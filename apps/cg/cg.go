@@ -1,0 +1,61 @@
+// Package cg implements the paper's distributed Conjugate Gradient solver:
+// the SPD matrix is split into row blocks owned by workers (loaded once and
+// reused every iteration, for data locality), the matrix-vector product and
+// dot products are computed per block, and every synchronisation — scalar
+// reductions and the allgather of the search direction — flows through
+// queue-based reduction services (Fig. 5). Arithmetic is double precision,
+// as in the paper, and the solver supports checkpoint-restart.
+package cg
+
+import (
+	"fmt"
+
+	"tfhpc/internal/tensor"
+)
+
+// Config describes one CG problem instance.
+type Config struct {
+	N       int // matrix dimension
+	Workers int // row-block owners (one GPU each in the paper)
+	// MaxIters bounds the iteration count; the paper's experiments run 500.
+	MaxIters int
+	// Tol stops early when ‖r‖ < Tol (0 disables, running MaxIters always).
+	Tol float64
+}
+
+// Validate checks the decomposition.
+func (c Config) Validate() error {
+	if c.N <= 0 || c.Workers <= 0 {
+		return fmt.Errorf("cg: need positive N and workers")
+	}
+	if c.N%c.Workers != 0 {
+		return fmt.Errorf("cg: workers %d must divide N %d", c.Workers, c.N)
+	}
+	if c.MaxIters <= 0 {
+		return fmt.Errorf("cg: need positive MaxIters")
+	}
+	return nil
+}
+
+// RowsPerWorker returns the block height.
+func (c Config) RowsPerWorker() int { return c.N / c.Workers }
+
+// SPDMatrix builds a random symmetric positive-definite test matrix:
+// A = R + Rᵀ + 2N·I with R uniform in [0,1), which is strictly diagonally
+// dominant and hence SPD.
+func SPDMatrix(n int, seed uint64) *tensor.Tensor {
+	r := tensor.NewRNG(seed)
+	a := tensor.New(tensor.Float64, n, n)
+	d := a.F64()
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := r.Float64()
+			d[i*n+j] += v
+			if i != j {
+				d[j*n+i] += v
+			}
+		}
+		d[i*n+i] += 2 * float64(n)
+	}
+	return a
+}

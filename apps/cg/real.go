@@ -1,0 +1,337 @@
+package cg
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"tfhpc/internal/checkpoint"
+	"tfhpc/internal/core"
+	"tfhpc/internal/graph"
+	"tfhpc/internal/queue"
+	"tfhpc/internal/session"
+	"tfhpc/internal/tensor"
+)
+
+// RealOptions tune an actual run.
+type RealOptions struct {
+	// CheckpointPath, when set, saves solver state every CheckpointEvery
+	// iterations (and on completion).
+	CheckpointPath  string
+	CheckpointEvery int
+	// Resume restarts from CheckpointPath instead of initialising.
+	Resume bool
+}
+
+// RealResult is the outcome of a real solve.
+type RealResult struct {
+	X            *tensor.Tensor // solution vector
+	Iters        int
+	ResidualNorm float64
+	Seconds      float64
+	Gflops       float64
+}
+
+// graphID identifies CG checkpoints.
+func graphID(cfg Config) string { return fmt.Sprintf("cg:n%d:w%d", cfg.N, cfg.Workers) }
+
+// gatherService assembles worker slices into the full search direction and
+// hands every worker a copy — the allgather of the data-driven formulation,
+// built from two FIFO queues like Fig. 5.
+type gatherService struct {
+	workers int
+	rows    int
+	in      *queue.FIFO
+	out     *queue.FIFO
+	done    chan struct{}
+}
+
+func newGatherService(workers, rows, n int) *gatherService {
+	g := &gatherService{
+		workers: workers,
+		rows:    rows,
+		in:      queue.New(0),
+		out:     queue.New(0),
+		done:    make(chan struct{}),
+	}
+	go func() {
+		defer close(g.done)
+		for {
+			full := tensor.New(tensor.Float64, n)
+			for i := 0; i < workers; i++ {
+				item, err := g.in.Dequeue()
+				if err != nil {
+					g.out.Close()
+					return
+				}
+				w := int(item[0].ScalarInt())
+				copy(full.F64()[w*rows:(w+1)*rows], item[1].F64())
+			}
+			for i := 0; i < workers; i++ {
+				if g.out.Enqueue(queue.Item{full}) != nil {
+					return
+				}
+			}
+		}
+	}()
+	return g
+}
+
+func (g *gatherService) gather(w int, slice *tensor.Tensor) (*tensor.Tensor, error) {
+	if err := g.in.Enqueue(queue.Item{tensor.ScalarI64(int64(w)), slice}); err != nil {
+		return nil, err
+	}
+	item, err := g.out.Dequeue()
+	if err != nil {
+		return nil, err
+	}
+	return item[0], nil
+}
+
+func (g *gatherService) close() {
+	g.in.Close()
+	<-g.done
+}
+
+// workerState is one worker's graph and handles.
+type workerState struct {
+	sess  *session.Session
+	begin int
+	rows  int
+}
+
+// buildWorker constructs worker w's compute graph: the block matvec, the
+// two local dot products and the vector updates, with state in variables
+// prefixed w<w>/ so checkpoints capture the whole solver.
+func buildWorker(cfg Config, res *session.Resources, w int) (*workerState, error) {
+	rows := cfg.RowsPerWorker()
+	begin := w * rows
+	pre := fmt.Sprintf("w%d/", w)
+	g := graph.New()
+
+	pFull := g.Placeholder("p_full", tensor.Float64, tensor.Shape{cfg.N})
+	alphaPH := g.Placeholder("alpha", tensor.Float64, nil)
+	betaPH := g.Placeholder("beta", tensor.Float64, nil)
+
+	aVar := g.AddNamedOp("A", "Variable", graph.Attrs{"var_name": pre + "A"})
+	xVar := g.AddNamedOp("x", "Variable", graph.Attrs{"var_name": pre + "x"})
+	rVar := g.AddNamedOp("r", "Variable", graph.Attrs{"var_name": pre + "r"})
+	pVar := g.AddNamedOp("p", "Variable", graph.Attrs{"var_name": pre + "p"})
+
+	// Stage 1: q = A·p_full on the GPU; partial α denominator = p_w·q.
+	var q *graph.Node
+	g.WithDevice("/device:GPU:0", func() {
+		q = g.AddNamedOp("q", "MatVec", nil, aVar, pFull)
+	})
+	g.AddNamedOp("save_q", "Assign", graph.Attrs{"var_name": pre + "q"}, q)
+	pSlice := g.AddNamedOp("p_slice", "SliceRows",
+		graph.Attrs{"begin": begin, "size": rows}, pFull)
+	g.AddNamedOp("partial_pq", "Dot", nil, pSlice, q)
+
+	// Stage 2: x += α·p ; r -= α·q ; partial ‖r‖² = r·r.
+	qVar := g.AddNamedOp("q_read", "Variable", graph.Attrs{"var_name": pre + "q"})
+	xNew := g.AddNamedOp("x_new", "Axpy", nil, alphaPH, pVar, xVar)
+	g.AddNamedOp("save_x", "Assign", graph.Attrs{"var_name": pre + "x"}, xNew)
+	negAlpha := g.AddNamedOp("neg_alpha", "Neg", nil, alphaPH)
+	rNew := g.AddNamedOp("r_new", "Axpy", nil, negAlpha, qVar, rVar)
+	saveR := g.AddNamedOp("save_r", "Assign", graph.Attrs{"var_name": pre + "r"}, rNew)
+	prr := g.AddNamedOp("partial_rr", "Dot", nil, rNew, rNew)
+	prr.AddControlDep(saveR)
+
+	// Stage 3: p = r + β·p.
+	pNew := g.AddNamedOp("p_new", "Axpy", nil, betaPH, pVar, rVar)
+	g.AddNamedOp("save_p", "Assign", graph.Attrs{"var_name": pre + "p"}, pNew)
+
+	sess, err := session.New(g, res, session.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return &workerState{sess: sess, begin: begin, rows: rows}, nil
+}
+
+// RunReal solves A·x = b with the distributed data-driven CG formulation,
+// with real numerics on the host. A must be SPD.
+func RunReal(cfg Config, a, b *tensor.Tensor, opts RealOptions) (*RealResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if a.Rank() != 2 || a.Shape()[0] != cfg.N || a.Shape()[1] != cfg.N {
+		return nil, fmt.Errorf("cg: matrix shape %v does not match N=%d", a.Shape(), cfg.N)
+	}
+	rows := cfg.RowsPerWorker()
+	res := session.NewResources()
+
+	workers := make([]*workerState, cfg.Workers)
+	for w := range workers {
+		ws, err := buildWorker(cfg, res, w)
+		if err != nil {
+			return nil, err
+		}
+		workers[w] = ws
+	}
+
+	startIter := 0
+	rr := 0.0
+	if opts.Resume {
+		ck, err := checkpoint.Load(opts.CheckpointPath)
+		if err != nil {
+			return nil, fmt.Errorf("cg: resume: %w", err)
+		}
+		if ck.GraphID != graphID(cfg) {
+			return nil, fmt.Errorf("cg: checkpoint is for %q, want %q", ck.GraphID, graphID(cfg))
+		}
+		if err := ck.Apply(res.Vars); err != nil {
+			return nil, err
+		}
+		startIter = int(ck.Step)
+		rrT, ok := ck.Vars["__rr"]
+		if !ok {
+			return nil, fmt.Errorf("cg: checkpoint missing residual state")
+		}
+		rr = rrT.ScalarFloat()
+	} else {
+		// Initialise: x=0, r=b, p=r per block; A blocks loaded once.
+		for w := range workers {
+			pre := fmt.Sprintf("w%d/", w)
+			blockRows := a.F64()[w*rows*cfg.N : (w+1)*rows*cfg.N]
+			block := tensor.FromF64(tensor.Shape{rows, cfg.N}, blockRows)
+			if err := res.Vars.Get(pre + "A").Assign(block); err != nil {
+				return nil, err
+			}
+			bSlice := tensor.FromF64(tensor.Shape{rows}, b.F64()[w*rows:(w+1)*rows])
+			res.Vars.Get(pre + "x").Assign(tensor.New(tensor.Float64, rows))
+			res.Vars.Get(pre + "r").Assign(bSlice)
+			res.Vars.Get(pre + "p").Assign(bSlice)
+		}
+		for _, v := range b.F64() {
+			rr += v * v
+		}
+	}
+
+	reducePQ := core.NewReducer(cfg.Workers, nil)
+	reduceRR := core.NewReducer(cfg.Workers, nil)
+	gather := newGatherService(cfg.Workers, rows, cfg.N)
+	defer reducePQ.Close()
+	defer reduceRR.Close()
+	defer gather.close()
+
+	type iterOut struct {
+		rr   float64
+		err  error
+		iter int
+	}
+	start := time.Now()
+	finalRR := rr
+	itersRun := startIter
+
+	// One driver goroutine per worker (the paper's per-task Python driver).
+	var wg sync.WaitGroup
+	results := make([]iterOut, cfg.Workers)
+	for w := range workers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ws := workers[w]
+			pre := fmt.Sprintf("w%d/", w)
+			localRR := rr
+			for iter := startIter; iter < cfg.MaxIters; iter++ {
+				pLocal, err := res.Vars.Get(pre + "p").Read()
+				if err != nil {
+					results[w] = iterOut{err: err, iter: iter}
+					return
+				}
+				pFull, err := gather.gather(w, pLocal)
+				if err != nil {
+					results[w] = iterOut{err: err, iter: iter}
+					return
+				}
+				out, err := ws.sess.Run(map[string]*tensor.Tensor{"p_full": pFull},
+					[]string{"partial_pq"}, []string{"save_q"})
+				if err != nil {
+					results[w] = iterOut{err: err, iter: iter}
+					return
+				}
+				pq, err := reducePQ.Reduce(w, out[0])
+				if err != nil {
+					results[w] = iterOut{err: err, iter: iter}
+					return
+				}
+				alpha := localRR / pq.ScalarFloat()
+
+				out, err = ws.sess.Run(map[string]*tensor.Tensor{
+					"alpha": tensor.ScalarF64(alpha),
+				}, []string{"partial_rr"}, []string{"save_x", "save_r"})
+				if err != nil {
+					results[w] = iterOut{err: err, iter: iter}
+					return
+				}
+				rrNewT, err := reduceRR.Reduce(w, out[0])
+				if err != nil {
+					results[w] = iterOut{err: err, iter: iter}
+					return
+				}
+				rrNew := rrNewT.ScalarFloat()
+				beta := rrNew / localRR
+				localRR = rrNew
+
+				if _, err := ws.sess.Run(map[string]*tensor.Tensor{
+					"beta": tensor.ScalarF64(beta),
+				}, nil, []string{"save_p"}); err != nil {
+					results[w] = iterOut{err: err, iter: iter}
+					return
+				}
+				results[w] = iterOut{rr: localRR, iter: iter + 1}
+
+				// Checkpoint at the agreed cadence (worker 0 writes; all
+				// workers are at the same iteration boundary because every
+				// reduction is a barrier).
+				if w == 0 && opts.CheckpointPath != "" && opts.CheckpointEvery > 0 &&
+					(iter+1)%opts.CheckpointEvery == 0 {
+					saveCheckpoint(cfg, res, opts.CheckpointPath, iter+1, localRR)
+				}
+				if cfg.Tol > 0 && math.Sqrt(localRR) < cfg.Tol {
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		finalRR = r.rr
+		itersRun = r.iter
+	}
+
+	// Assemble x.
+	x := tensor.New(tensor.Float64, cfg.N)
+	for w := 0; w < cfg.Workers; w++ {
+		xw, err := res.Vars.Get(fmt.Sprintf("w%d/x", w)).Read()
+		if err != nil {
+			return nil, err
+		}
+		copy(x.F64()[w*rows:(w+1)*rows], xw.F64())
+	}
+	if opts.CheckpointPath != "" {
+		if err := saveCheckpoint(cfg, res, opts.CheckpointPath, itersRun, finalRR); err != nil {
+			return nil, err
+		}
+	}
+	iters := itersRun - startIter
+	return &RealResult{
+		X:            x,
+		Iters:        itersRun,
+		ResidualNorm: math.Sqrt(finalRR),
+		Seconds:      elapsed,
+		Gflops:       core.Gflops(core.CGFlops(cfg.N, iters), elapsed),
+	}, nil
+}
+
+func saveCheckpoint(cfg Config, res *session.Resources, path string, step int, rr float64) error {
+	ck := checkpoint.Capture(graphID(cfg), int64(step), res.Vars)
+	ck.Vars["__rr"] = tensor.ScalarF64(rr)
+	return ck.Save(path)
+}

@@ -1,0 +1,89 @@
+// Package fft implements the paper's data-driven 1-D Cooley-Tukey FFT
+// (Fig. 6): the input signal is split into interleaved tiles stored as .npy
+// files; workers each transform their share of tiles on GPU and push
+// (index, result) into the merger's queue; the merger collects every tile
+// and then combines them serially with twiddle factors on the host — the
+// deliberately slow "Python merge" whose cost the paper excludes from its
+// scaling figures. Complex double precision throughout, as in the paper.
+package fft
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config describes one FFT decomposition.
+type Config struct {
+	N       int // signal length, power of two
+	Tiles   int // interleaved tiles, power of two dividing N
+	Workers int
+}
+
+// Validate checks the decomposition.
+func (c Config) Validate() error {
+	if c.N <= 0 || c.N&(c.N-1) != 0 {
+		return fmt.Errorf("fft: N=%d must be a positive power of two", c.N)
+	}
+	if c.Tiles <= 0 || c.Tiles&(c.Tiles-1) != 0 {
+		return fmt.Errorf("fft: tiles=%d must be a positive power of two", c.Tiles)
+	}
+	if c.Tiles > c.N {
+		return fmt.Errorf("fft: more tiles (%d) than samples (%d)", c.Tiles, c.N)
+	}
+	if c.Workers <= 0 {
+		return fmt.Errorf("fft: need at least one worker")
+	}
+	return nil
+}
+
+// TileLen is the per-tile sample count.
+func (c Config) TileLen() int { return c.N / c.Tiles }
+
+// TileBytes is the complex128 payload size of one tile.
+func (c Config) TileBytes() int64 { return int64(c.TileLen()) * 16 }
+
+// MergeInterleaved combines the FFTs of `tiles` stride-interleaved
+// subsequences into the FFT of the full signal using log₂(tiles) passes of
+// Cooley-Tukey twiddle butterflies. tiles[t] must be the transform of
+// x[t], x[t+T], x[t+2T], ... where T = len(tiles).
+//
+// The recurrence: the transform of x[a::s] (length 2M) follows from the
+// transforms G of x[a::2s] and H of x[a+s::2s] (length M each) as
+//
+//	X[k]   = G[k] + w^k·H[k]
+//	X[k+M] = G[k] − w^k·H[k],   w = exp(−2πi/(2M)), k < M.
+func MergeInterleaved(tiles [][]complex128) ([]complex128, error) {
+	T := len(tiles)
+	if T == 0 || T&(T-1) != 0 {
+		return nil, fmt.Errorf("fft: tile count %d must be a power of two", T)
+	}
+	m := len(tiles[0])
+	for t, tile := range tiles {
+		if len(tile) != m {
+			return nil, fmt.Errorf("fft: tile %d has length %d, want %d", t, len(tile), m)
+		}
+	}
+	cur := make([][]complex128, T)
+	for t := range tiles {
+		cur[t] = append([]complex128(nil), tiles[t]...)
+	}
+	// s counts the remaining interleave stride; each pass halves it.
+	for s := T / 2; s >= 1; s /= 2 {
+		M := len(cur[0])
+		next := make([][]complex128, s)
+		for a := 0; a < s; a++ {
+			g, h := cur[a], cur[a+s]
+			out := make([]complex128, 2*M)
+			for k := 0; k < M; k++ {
+				ang := -2 * math.Pi * float64(k) / float64(2*M)
+				w := complex(math.Cos(ang), math.Sin(ang))
+				wh := w * h[k]
+				out[k] = g[k] + wh
+				out[k+M] = g[k] - wh
+			}
+			next[a] = out
+		}
+		cur = next
+	}
+	return cur[0], nil
+}

@@ -1,0 +1,152 @@
+package fft
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"tfhpc/internal/core"
+	"tfhpc/internal/dataset"
+	"tfhpc/internal/graph"
+	"tfhpc/internal/session"
+	"tfhpc/internal/tensor"
+)
+
+// RealResult reports a real run. Following the paper, CollectSeconds (until
+// the merger holds every transformed tile) is the timed portion; the serial
+// host merge is reported separately.
+type RealResult struct {
+	X              []complex128 // the full transform
+	CollectSeconds float64
+	MergeSeconds   float64
+	Gflops         float64 // over the collection phase, paper-style
+}
+
+// RunReal executes the full pipeline with real numerics: pre-processes the
+// signal into interleaved .npy tiles under dir, streams them through worker
+// FFT sessions into the merger's queue, collects, and merges on the host.
+func RunReal(dir string, cfg Config, signal []complex128) (*RealResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(signal) != cfg.N {
+		return nil, fmt.Errorf("fft: signal length %d != N %d", len(signal), cfg.N)
+	}
+	paths, err := core.SaveInterleavedTiles(dir, "x", signal, cfg.Tiles)
+	if err != nil {
+		return nil, err
+	}
+
+	res := session.NewResources()
+	const mergeQueue = "merge"
+	res.Queues.Get(mergeQueue, 16)
+
+	shared := dataset.FromFiles(paths)
+	start := time.Now()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Workers+1)
+	abort := func() { res.Queues.Get(mergeQueue, 16).Close() }
+
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := runWorker(cfg, res, shared, w); err != nil {
+				errCh <- fmt.Errorf("fft worker %d: %w", w, err)
+				abort()
+			}
+		}(w)
+	}
+
+	// Merger: collect all tiles through a dequeue graph.
+	collected := make([][]complex128, cfg.Tiles)
+	var collectDone time.Time
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := runMerger(cfg, res, collected); err != nil {
+			errCh <- fmt.Errorf("fft merger: %w", err)
+			abort()
+			return
+		}
+		collectDone = time.Now()
+	}()
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+	collectSeconds := collectDone.Sub(start).Seconds()
+
+	mergeStart := time.Now()
+	x, err := MergeInterleaved(collected)
+	if err != nil {
+		return nil, err
+	}
+	return &RealResult{
+		X:              x,
+		CollectSeconds: collectSeconds,
+		MergeSeconds:   time.Since(mergeStart).Seconds(),
+		Gflops:         core.Gflops(core.FFTFlops(cfg.N), collectSeconds),
+	}, nil
+}
+
+func runWorker(cfg Config, res *session.Resources, shared dataset.Dataset, w int) error {
+	g := graph.New()
+	ph := g.Placeholder("tile", tensor.Complex128, tensor.Shape{cfg.TileLen()})
+	phIdx := g.Placeholder("idx", tensor.Int64, nil)
+	var out *graph.Node
+	g.WithDevice("/device:GPU:0", func() {
+		out = g.AddNamedOp("fft", "FFT", nil, ph)
+	})
+	enq := g.AddNamedOp("enq", "QueueEnqueue",
+		graph.Attrs{"queue": "merge", "capacity": 16}, phIdx, out)
+	sess, err := session.New(g, res, session.Options{})
+	if err != nil {
+		return err
+	}
+	it := dataset.Prefetch(dataset.Shard(shared, cfg.Workers, w), 2).Iterator()
+	for {
+		elem, err := it.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		_, err = sess.Run(map[string]*tensor.Tensor{
+			"idx":  elem[0],
+			"tile": elem[1],
+		}, nil, []string{enq.Name()})
+		if err != nil {
+			return err
+		}
+	}
+}
+
+func runMerger(cfg Config, res *session.Resources, collected [][]complex128) error {
+	g := graph.New()
+	deq := g.AddNamedOp("deq", "QueueDequeue", graph.Attrs{"queue": "merge", "capacity": 16})
+	tile := g.AddNamedOp("tile", "DequeueComponent", graph.Attrs{"index": 1}, deq)
+	sess, err := session.New(g, res, session.Options{})
+	if err != nil {
+		return err
+	}
+	for n := 0; n < cfg.Tiles; n++ {
+		out, err := sess.Run(nil, []string{deq.Name(), tile.Name()}, nil)
+		if err != nil {
+			return err
+		}
+		idx := int(out[0].ScalarInt())
+		if idx < 0 || idx >= cfg.Tiles {
+			return fmt.Errorf("fft: merger received tile index %d of %d", idx, cfg.Tiles)
+		}
+		if collected[idx] != nil {
+			return fmt.Errorf("fft: merger received tile %d twice", idx)
+		}
+		collected[idx] = out[1].C128()
+	}
+	return nil
+}

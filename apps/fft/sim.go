@@ -1,0 +1,196 @@
+package fft
+
+import (
+	"fmt"
+
+	"tfhpc/internal/core"
+	"tfhpc/internal/hw"
+	"tfhpc/internal/sim"
+)
+
+// SimConfig describes one point of Fig. 11 on the virtual platform.
+type SimConfig struct {
+	Cluster  *hw.Cluster
+	NodeType *hw.NodeType
+	Config   Config // Workers = GPU instances; one merger as in the paper
+}
+
+// SimResult is the virtual-time outcome. Seconds covers the timed portion
+// of the paper's figure — application start until the merger holds every
+// transformed tile; the serial host merge is estimated separately.
+type SimResult struct {
+	Seconds         float64
+	Gflops          float64
+	EstMergeSeconds float64
+	GPUUtil, FSUtil float64
+}
+
+// Cost-model constants. The merger's per-tile overhead is the session
+// dispatch + dequeue-to-host path the paper blames for the FFT's serial
+// bottleneck ("directly performing slicing insertion into a local Numpy
+// array ... already hampers overall performance").
+const (
+	mergerIngestBW  = 2.6e9
+	mergerPerTile   = 30e-3
+	workerPerTileOv = 20e-3 // session dispatch per tile on the worker
+)
+
+// RunSim executes the FFT pipeline in virtual time: per-node prefetch
+// processes stream tiles off Lustre while worker instances stage, transform
+// and ship them to the single merger, which ingests serially.
+func RunSim(sc SimConfig) (*SimResult, error) {
+	cfg := sc.Config
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nt := sc.NodeType
+	if 2*cfg.TileBytes() > nt.GPU.MemBytes {
+		return nil, fmt.Errorf("fft: tile of %d samples does not fit %s memory",
+			cfg.TileLen(), nt.GPU.Name)
+	}
+	place, err := core.NewPlacement(sc.Cluster, nt, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+
+	eng := sim.New()
+	tb := float64(cfg.TileBytes())
+	fftTime := nt.GPU.FFTTime(cfg.TileLen(), true)
+	wireEff := sc.Cluster.RDMAEff * sc.Cluster.Wire.BW
+
+	// Per-node filesystem streams and per-instance GPUs.
+	fsRes := make([]*sim.Resource, place.NumNodes)
+	for n := range fsRes {
+		fsRes[n] = eng.NewResource(fmt.Sprintf("fs%d", n), 1)
+	}
+	gpus := make([]*sim.Resource, cfg.Workers)
+	prefetched := make([]*sim.Store, cfg.Workers)
+	for i := range gpus {
+		gpus[i] = eng.NewResource(fmt.Sprintf("gpu%d", i), 1)
+		prefetched[i] = eng.NewStore(fmt.Sprintf("prefetch%d", i), 2)
+	}
+	mergeStore := eng.NewStore("merge", 16)
+
+	tilesOf := func(inst int) int {
+		n := 0
+		for t := inst; t < cfg.Tiles; t += cfg.Workers {
+			n++
+		}
+		return n
+	}
+
+	// Prefetch pipelines: one per instance, contending on the node's FS
+	// stream (the tf.data input pipeline of the paper).
+	for i := 0; i < cfg.Workers; i++ {
+		inst := i
+		eng.Go(fmt.Sprintf("prefetch%d", inst), func(p *sim.Process) {
+			node := place.Node[inst]
+			for n := 0; n < tilesOf(inst); n++ {
+				fsRes[node].Use(p, tb/nt.FSReadBW)
+				if prefetched[inst].Put(p, n) != nil {
+					return
+				}
+			}
+		})
+	}
+
+	// Worker instances: stage, FFT, send to the merger.
+	for i := 0; i < cfg.Workers; i++ {
+		inst := i
+		eng.Go(fmt.Sprintf("worker%d", inst), func(p *sim.Process) {
+			for n := 0; n < tilesOf(inst); n++ {
+				if _, err := prefetched[inst].Get(p); err != nil {
+					return
+				}
+				p.Wait(workerPerTileOv)
+				p.Wait(tb / nt.GPU.PCIeBW) // H2D
+				gpus[inst].Use(p, fftTime)
+				p.Wait(tb / nt.GPU.PCIeBW) // D2H
+				p.Wait(tb/wireEff + sc.Cluster.Wire.Latency)
+				if mergeStore.Put(p, n) != nil {
+					return
+				}
+			}
+		})
+	}
+
+	// The single merger collects every tile; the timed portion ends with
+	// the last ingest.
+	var collectEnd float64
+	eng.Go("merger", func(p *sim.Process) {
+		for n := 0; n < cfg.Tiles; n++ {
+			if _, err := mergeStore.Get(p); err != nil {
+				return
+			}
+			p.Wait(mergerPerTile + tb/mergerIngestBW)
+		}
+		collectEnd = p.Now()
+	})
+
+	if _, err := eng.Run(); err != nil {
+		return nil, err
+	}
+
+	// The host merge touches all N samples log2(Tiles) times at the node's
+	// serialize-grade throughput — the Python bottleneck of Section VIII.
+	passes := 0
+	for v := cfg.Tiles; v > 1; v >>= 1 {
+		passes++
+	}
+	mergeBytes := float64(passes) * 2 * 16 * float64(cfg.N)
+	res := &SimResult{
+		Seconds:         collectEnd,
+		Gflops:          core.Gflops(core.FFTFlops(cfg.N), collectEnd),
+		EstMergeSeconds: mergeBytes / nt.SerializeBW,
+	}
+	for _, g := range gpus {
+		res.GPUUtil += g.Utilisation()
+	}
+	res.GPUUtil /= float64(len(gpus))
+	for _, f := range fsRes {
+		res.FSUtil += f.Utilisation()
+	}
+	res.FSUtil /= float64(len(fsRes))
+	return res, nil
+}
+
+// Fig11Curve is one platform's scaling series.
+type Fig11Curve struct {
+	Platform string
+	N        int
+	Tiles    int
+	Points   []core.ScalingPoint
+}
+
+// Fig11 regenerates the figure: the FFT on Tegner with K420 GPUs (N=2²⁹ in
+// 64 tiles) and K80 GPUs (N=2³¹ in 128 tiles), one merger, 2 to 8 GPUs.
+func Fig11() ([]Fig11Curve, error) {
+	type platform struct {
+		label string
+		node  string
+		n     int
+		tiles int
+	}
+	platforms := []platform{
+		{"Tegner K420", "k420", 1 << 29, 64},
+		{"Tegner K80", "k80", 1 << 31, 128},
+	}
+	var curves []Fig11Curve
+	for _, pf := range platforms {
+		nt := hw.Tegner.NodeTypes[pf.node]
+		curve := Fig11Curve{Platform: pf.label, N: pf.n, Tiles: pf.tiles}
+		for _, g := range []int{2, 4, 8} {
+			res, err := RunSim(SimConfig{
+				Cluster:  hw.Tegner,
+				NodeType: nt,
+				Config:   Config{N: pf.n, Tiles: pf.tiles, Workers: g},
+			})
+			if err != nil {
+				return nil, err
+			}
+			curve.Points = append(curve.Points, core.ScalingPoint{GPUs: g, Gflops: res.Gflops})
+		}
+		curves = append(curves, curve)
+	}
+	return curves, nil
+}

@@ -1,0 +1,191 @@
+package matmul
+
+import (
+	"testing"
+
+	"tfhpc/internal/hw"
+	"tfhpc/internal/ops"
+	"tfhpc/internal/tensor"
+)
+
+func TestConfigValidation(t *testing.T) {
+	good := Config{N: 64, Tile: 16, Workers: 2, Reducers: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Config{
+		{N: 64, Tile: 17, Workers: 1, Reducers: 1}, // tile does not divide
+		{N: 64, Tile: 16, Workers: 0, Reducers: 1},
+		{N: 64, Tile: 16, Workers: 1, Reducers: 0},
+		{N: 0, Tile: 16, Workers: 1, Reducers: 1},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("config %+v should be invalid", bad)
+		}
+	}
+}
+
+func TestTaskEnumeration(t *testing.T) {
+	cfg := Config{N: 64, Tile: 16, Workers: 1, Reducers: 2}
+	tasks := cfg.Tasks()
+	if len(tasks) != 4*4*4 {
+		t.Fatalf("task count %d, want 64", len(tasks))
+	}
+	// Every (i,j) target appears exactly tilesPerDim times (once per k).
+	counts := map[int]int{}
+	for _, task := range tasks {
+		counts[task.Target(cfg.TilesPerDim())]++
+	}
+	if len(counts) != 16 {
+		t.Fatalf("distinct targets %d, want 16", len(counts))
+	}
+	for target, c := range counts {
+		if c != 4 {
+			t.Fatalf("target %d has %d tasks, want 4", target, c)
+		}
+	}
+	// Odd/even reducer split covers both reducers.
+	seen := map[int]bool{}
+	for _, task := range tasks {
+		seen[task.Reducer(cfg)] = true
+	}
+	if !seen[0] || !seen[1] {
+		t.Fatal("both reducers should receive work")
+	}
+}
+
+// The headline correctness property: the full distributed pipeline (tile
+// files → sharded dataset → worker sessions → queues → reducers) produces
+// the same product as a direct MatMul.
+func TestRealPipelineMatchesDirect(t *testing.T) {
+	cfg := Config{N: 64, Tile: 16, Workers: 3, Reducers: 2}
+	a := tensor.RandomUniform(tensor.Float32, 1, cfg.N, cfg.N)
+	b := tensor.RandomUniform(tensor.Float32, 2, cfg.N, cfg.N)
+	res, err := RunReal(t.TempDir(), cfg, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ops.Run("MatMul", &ops.Context{}, []*tensor.Tensor{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.C.ApproxEqual(want, 1e-3) {
+		t.Fatal("pipeline product != direct product")
+	}
+	if res.Gflops <= 0 || res.Seconds <= 0 {
+		t.Fatalf("implausible perf report: %+v", res)
+	}
+}
+
+func TestRealPipelineSingleWorkerSingleReducer(t *testing.T) {
+	cfg := Config{N: 32, Tile: 8, Workers: 1, Reducers: 1}
+	a := tensor.RandomUniform(tensor.Float32, 3, cfg.N, cfg.N)
+	b := tensor.RandomUniform(tensor.Float32, 4, cfg.N, cfg.N)
+	res, err := RunReal(t.TempDir(), cfg, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ops.Run("MatMul", &ops.Context{}, []*tensor.Tensor{a, b})
+	if !res.C.ApproxEqual(want, 1e-3) {
+		t.Fatal("1x1 pipeline wrong")
+	}
+}
+
+func TestRealPipelineManyWorkers(t *testing.T) {
+	// More workers than tasks in a column exercises shard edge cases.
+	cfg := Config{N: 32, Tile: 16, Workers: 7, Reducers: 3}
+	a := tensor.RandomUniform(tensor.Float32, 5, cfg.N, cfg.N)
+	b := tensor.RandomUniform(tensor.Float32, 6, cfg.N, cfg.N)
+	res, err := RunReal(t.TempDir(), cfg, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := ops.Run("MatMul", &ops.Context{}, []*tensor.Tensor{a, b})
+	if !res.C.ApproxEqual(want, 1e-3) {
+		t.Fatal("7-worker pipeline wrong")
+	}
+}
+
+func TestSimRejectsOversizedTiles(t *testing.T) {
+	// A 16384² float32 tile (1 GiB) cannot fit a K420's 1 GB with three
+	// resident tiles — the constraint that drove the paper's tile choices.
+	_, err := RunSim(SimConfig{
+		Cluster:  hw.Tegner,
+		NodeType: hw.Tegner.NodeTypes["k420"],
+		Config:   Config{N: 32768, Tile: 16384, Workers: 2, Reducers: 2},
+	})
+	if err == nil {
+		t.Fatal("oversized tile should be rejected")
+	}
+}
+
+func TestSimScalesOnTegner(t *testing.T) {
+	run := func(gpus int) float64 {
+		res, err := RunSim(SimConfig{
+			Cluster:  hw.Tegner,
+			NodeType: hw.Tegner.NodeTypes["k420"],
+			Config:   Config{N: 32768, Tile: 4096, Workers: gpus, Reducers: 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Gflops
+	}
+	g2, g4, g8 := run(2), run(4), run(8)
+	// Paper: ~2x from 2 to 4 GPUs and again from 4 to 8 on Tegner K420.
+	if r := g4 / g2; r < 1.6 || r > 2.2 {
+		t.Fatalf("Tegner K420 2->4 speedup %.2f, want ~2.0", r)
+	}
+	if r := g8 / g4; r < 1.5 || r > 2.2 {
+		t.Fatalf("Tegner K420 4->8 speedup %.2f, want ~2.0", r)
+	}
+}
+
+func TestSimKebnekaiseScalesWorseThanTegner(t *testing.T) {
+	speedup := func(c *hw.Cluster, node string, n int) float64 {
+		var g [2]float64
+		for i, gpus := range []int{2, 4} {
+			res, err := RunSim(SimConfig{
+				Cluster:  c,
+				NodeType: c.NodeTypes[node],
+				Config:   Config{N: n, Tile: 8192, Workers: gpus, Reducers: 2},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			g[i] = res.Gflops
+		}
+		return g[1] / g[0]
+	}
+	tegner := speedup(hw.Tegner, "k80", 65536)
+	keb := speedup(hw.Kebnekaise, "k80", 32768)
+	if keb >= tegner {
+		t.Fatalf("Kebnekaise (%.2f) should scale worse than Tegner (%.2f) — Fig. 9 contention", keb, tegner)
+	}
+	if keb < 1.1 || keb > 1.8 {
+		t.Fatalf("Kebnekaise 2->4 speedup %.2f, paper ~1.4", keb)
+	}
+	if tegner < 1.5 || tegner > 2.2 {
+		t.Fatalf("Tegner K80 2->4 speedup %.2f, paper ~1.8", tegner)
+	}
+}
+
+func TestFig8ProducesAllCurves(t *testing.T) {
+	curves, err := Fig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curves) != 7 { // 3 K420 sizes + 2 Tegner K80 + 2 Kebnekaise K80
+		t.Fatalf("curve count %d", len(curves))
+	}
+	for _, c := range curves {
+		if len(c.Points) < 3 {
+			t.Fatalf("%s N=%d has %d points", c.Platform, c.N, len(c.Points))
+		}
+		for _, p := range c.Points {
+			if p.Gflops <= 0 {
+				t.Fatalf("%s N=%d @%d GPUs: %v Gflops", c.Platform, c.N, p.GPUs, p.Gflops)
+			}
+		}
+	}
+}

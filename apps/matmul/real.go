@@ -1,0 +1,210 @@
+package matmul
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"tfhpc/internal/core"
+	"tfhpc/internal/dataset"
+	"tfhpc/internal/graph"
+	"tfhpc/internal/session"
+	"tfhpc/internal/tensor"
+)
+
+// RealResult is the outcome of an actual in-process run.
+type RealResult struct {
+	Seconds float64
+	Gflops  float64
+	// C is the assembled product matrix.
+	C *tensor.Tensor
+}
+
+// RunReal executes the full pipeline with real numerics: pre-processes A
+// and B into .npy tiles under dir, streams the shared task list through
+// worker sessions (one graph per worker: two tile placeholders → MatMul →
+// QueueEnqueue), and accumulates in reducer goroutines that drain their
+// queues through dequeue graphs. Timing covers the map-reduce phase only,
+// matching the paper (pre-processing is excluded).
+func RunReal(dir string, cfg Config, a, b *tensor.Tensor) (*RealResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	storeA, err := core.SaveMatrixTiles(dir, "A", a, cfg.Tile)
+	if err != nil {
+		return nil, err
+	}
+	storeB, err := core.SaveMatrixTiles(dir, "B", b, cfg.Tile)
+	if err != nil {
+		return nil, err
+	}
+	tpd := cfg.TilesPerDim()
+
+	// Shared resources: one registry hosts the reducer queues, as if they
+	// lived on the reducer tasks.
+	res := session.NewResources()
+	for r := 0; r < cfg.Reducers; r++ {
+		res.Queues.Get(queueName(r), 16)
+	}
+
+	// The shared dataset of tasks, sharded per worker.
+	tasks := cfg.Tasks()
+	elems := make([]dataset.Element, len(tasks))
+	for i, t := range tasks {
+		elems[i] = dataset.Element{tensor.FromI64(tensor.Shape{3}, []int64{int64(t.I), int64(t.K), int64(t.J)})}
+	}
+	shared := dataset.FromElements(elems...)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, cfg.Workers+cfg.Reducers)
+	// On any failure, close the queues so blocked peers unwind instead of
+	// deadlocking.
+	abort := func() {
+		for r := 0; r < cfg.Reducers; r++ {
+			res.Queues.Get(queueName(r), 16).Close()
+		}
+	}
+
+	// Workers: load tiles, multiply, push (target, product) to the right
+	// reducer queue through an enqueue graph.
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			if err := runWorker(cfg, res, storeA, storeB, shared, w); err != nil {
+				errCh <- fmt.Errorf("worker %d: %w", w, err)
+				abort()
+			}
+		}(w)
+	}
+
+	// Reducers: accumulate products into their share of the output tiles.
+	acc := make([]map[int]*tensor.Tensor, cfg.Reducers)
+	expected := make([]int, cfg.Reducers)
+	for _, t := range tasks {
+		expected[t.Reducer(cfg)]++
+	}
+	for r := 0; r < cfg.Reducers; r++ {
+		acc[r] = make(map[int]*tensor.Tensor)
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if err := runReducer(cfg, res, r, expected[r], acc[r]); err != nil {
+				errCh <- fmt.Errorf("reducer %d: %w", r, err)
+				abort()
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start).Seconds()
+
+	// Assemble C from the reducers' tiles.
+	c := tensor.New(tensor.Float32, cfg.N, cfg.N)
+	for r := range acc {
+		for target, tile := range acc[r] {
+			ti, tj := target/tpd, target%tpd
+			src, dst := tile.F32(), c.F32()
+			for row := 0; row < cfg.Tile; row++ {
+				copy(dst[(ti*cfg.Tile+row)*cfg.N+tj*cfg.Tile:(ti*cfg.Tile+row)*cfg.N+tj*cfg.Tile+cfg.Tile],
+					src[row*cfg.Tile:(row+1)*cfg.Tile])
+			}
+		}
+	}
+	return &RealResult{
+		Seconds: elapsed,
+		Gflops:  core.Gflops(core.MatMulFlops(cfg.N), elapsed),
+		C:       c,
+	}, nil
+}
+
+func queueName(r int) string { return fmt.Sprintf("reduce_%d", r) }
+
+// runWorker builds the worker graph once and feeds it tile pairs from the
+// worker's dataset shard.
+func runWorker(cfg Config, res *session.Resources, storeA, storeB *core.TileStore,
+	shared dataset.Dataset, w int) error {
+	g := graph.New()
+	phA := g.Placeholder("a", tensor.Float32, tensor.Shape{cfg.Tile, cfg.Tile})
+	phB := g.Placeholder("b", tensor.Float32, tensor.Shape{cfg.Tile, cfg.Tile})
+	phT := g.Placeholder("target", tensor.Int64, nil)
+	var mm *graph.Node
+	g.WithDevice("/device:GPU:0", func() {
+		mm = g.AddNamedOp("mm", "MatMul", nil, phA, phB)
+	})
+	enq := make([]*graph.Node, cfg.Reducers)
+	for r := 0; r < cfg.Reducers; r++ {
+		enq[r] = g.AddNamedOp(fmt.Sprintf("enq_%d", r), "QueueEnqueue",
+			graph.Attrs{"queue": queueName(r), "capacity": 16}, phT, mm)
+	}
+	sess, err := session.New(g, res, session.Options{})
+	if err != nil {
+		return err
+	}
+
+	it := dataset.Prefetch(dataset.Shard(shared, cfg.Workers, w), 2).Iterator()
+	for {
+		elem, err := it.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		idx := elem[0].I64()
+		task := Task{I: int(idx[0]), K: int(idx[1]), J: int(idx[2])}
+		tileA, err := storeA.LoadTile(task.I, task.K)
+		if err != nil {
+			return err
+		}
+		tileB, err := storeB.LoadTile(task.K, task.J)
+		if err != nil {
+			return err
+		}
+		r := task.Reducer(cfg)
+		_, err = sess.Run(map[string]*tensor.Tensor{
+			"a":      tileA,
+			"b":      tileB,
+			"target": tensor.ScalarI64(int64(task.Target(cfg.TilesPerDim()))),
+		}, nil, []string{enq[r].Name()})
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// runReducer drains its queue through a dequeue graph and accumulates
+// products locally, like the paper's reducer accumulating into numpy
+// arrays.
+func runReducer(cfg Config, res *session.Resources, r, expected int,
+	acc map[int]*tensor.Tensor) error {
+	g := graph.New()
+	deq := g.AddNamedOp("deq", "QueueDequeue", graph.Attrs{"queue": queueName(r), "capacity": 16})
+	tile := g.AddNamedOp("tile", "DequeueComponent", graph.Attrs{"index": 1}, deq)
+	sess, err := session.New(g, res, session.Options{})
+	if err != nil {
+		return err
+	}
+	for n := 0; n < expected; n++ {
+		out, err := sess.Run(nil, []string{deq.Name(), tile.Name()}, nil)
+		if err != nil {
+			return err
+		}
+		target := int(out[0].ScalarInt())
+		product := out[1]
+		if cur, ok := acc[target]; ok {
+			dst, src := cur.F32(), product.F32()
+			for i := range dst {
+				dst[i] += src[i]
+			}
+		} else {
+			acc[target] = product.Clone()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,125 @@
+// Package stream implements the paper's STREAM-like micro-benchmark: a
+// vector lives on a worker and a parameter server; an assign_add operation
+// pushes the worker's vector to the PS and accumulates it there. Invoking
+// the operation repeatedly creates a stream of tensor transfers whose
+// average rate estimates the sustained inter-node bandwidth for the chosen
+// transport (gRPC, MPI or InfiniBand verbs RDMA).
+//
+// Two drivers share the formulation: a real driver that runs the graph over
+// a TCP cluster with wall-clock timing, and a virtual driver that evaluates
+// the transport models of internal/simnet on the paper's platforms,
+// regenerating Fig. 7.
+package stream
+
+import (
+	"fmt"
+
+	"tfhpc/internal/hw"
+	"tfhpc/internal/simnet"
+)
+
+// SimConfig selects one bar of Fig. 7.
+type SimConfig struct {
+	Cluster   *hw.Cluster
+	NodeType  *hw.NodeType
+	Protocol  simnet.Protocol
+	Placement simnet.Placement // tensors on CPU or GPU memory
+	SizeBytes int64
+	// Invocations of the assign_add stream; the paper uses 100.
+	Iters int
+}
+
+// SimResult is one measured bar.
+type SimResult struct {
+	Config SimConfig
+	MBps   float64
+	// Seconds is the total virtual time of the stream.
+	Seconds float64
+}
+
+// RunSim evaluates the transport model: Iters back-to-back transfers of
+// SizeBytes plus the PS-side accumulation (a streaming add at host or
+// device memory bandwidth).
+func RunSim(cfg SimConfig) (*SimResult, error) {
+	if cfg.Iters <= 0 {
+		cfg.Iters = 100
+	}
+	if cfg.SizeBytes <= 0 {
+		return nil, fmt.Errorf("stream: need a positive transfer size")
+	}
+	perTransfer := simnet.TransferTime(cfg.Cluster, cfg.NodeType, cfg.Protocol,
+		cfg.Placement, cfg.Placement, cfg.SizeBytes)
+	// assign_add touches 3 vectors' worth of memory at the destination; in
+	// the steady-state stream of invocations it pipelines behind the next
+	// transfer, so the slower of the two paces the run.
+	var addBW float64
+	if cfg.Placement == simnet.OnGPU {
+		addBW = cfg.NodeType.GPU.MemBW
+	} else {
+		addBW = cfg.NodeType.HostMemBW
+	}
+	perAdd := 3 * float64(cfg.SizeBytes) / addBW
+	perIter := perTransfer
+	if perAdd > perIter {
+		perIter = perAdd
+	}
+	total := float64(cfg.Iters) * perIter
+	return &SimResult{
+		Config:  cfg,
+		Seconds: total,
+		MBps:    simnet.BandwidthMBps(int64(cfg.Iters)*cfg.SizeBytes, total),
+	}, nil
+}
+
+// Fig7Row is one bar group of Fig. 7: a platform+placement under one
+// protocol, at the paper's three transfer sizes.
+type Fig7Row struct {
+	Label    string
+	Protocol simnet.Protocol
+	MBps     map[int64]float64 // size in bytes -> MB/s
+}
+
+// Fig7Sizes are the paper's transfer sizes: 2, 16 and 128 MB.
+var Fig7Sizes = []int64{2 << 20, 16 << 20, 128 << 20}
+
+// Fig7Platforms are the paper's three measured configurations.
+var Fig7Platforms = []struct {
+	Label     string
+	Cluster   *hw.Cluster
+	Node      string
+	Placement simnet.Placement
+}{
+	{"Tegner GPU", hw.Tegner, "k420", simnet.OnGPU},
+	{"Tegner CPU", hw.Tegner, "k420", simnet.OnCPU},
+	{"Kebnekaise GPU", hw.Kebnekaise, "k80", simnet.OnGPU},
+}
+
+// Fig7 regenerates every bar of the figure.
+func Fig7() ([]Fig7Row, error) {
+	var rows []Fig7Row
+	for _, proto := range []simnet.Protocol{simnet.GRPC, simnet.MPI, simnet.RDMA} {
+		for _, p := range Fig7Platforms {
+			row := Fig7Row{
+				Label:    p.Label,
+				Protocol: proto,
+				MBps:     map[int64]float64{},
+			}
+			for _, size := range Fig7Sizes {
+				res, err := RunSim(SimConfig{
+					Cluster:   p.Cluster,
+					NodeType:  p.Cluster.NodeTypes[p.Node],
+					Protocol:  proto,
+					Placement: p.Placement,
+					SizeBytes: size,
+					Iters:     100,
+				})
+				if err != nil {
+					return nil, err
+				}
+				row.MBps[size] = res.MBps
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}

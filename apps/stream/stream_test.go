@@ -1,0 +1,110 @@
+package stream
+
+import (
+	"testing"
+
+	"tfhpc/internal/hw"
+	"tfhpc/internal/simnet"
+)
+
+func TestRunSimValidation(t *testing.T) {
+	_, err := RunSim(SimConfig{
+		Cluster:  hw.Tegner,
+		NodeType: hw.Tegner.NodeTypes["k420"],
+	})
+	if err == nil {
+		t.Fatal("zero size should error")
+	}
+}
+
+func TestSimBandwidthOrderingTegner(t *testing.T) {
+	bw := func(proto simnet.Protocol) float64 {
+		res, err := RunSim(SimConfig{
+			Cluster:   hw.Tegner,
+			NodeType:  hw.Tegner.NodeTypes["k420"],
+			Protocol:  proto,
+			Placement: simnet.OnGPU,
+			SizeBytes: 128 << 20,
+			Iters:     100,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MBps
+	}
+	grpc, mpi, rdma := bw(simnet.GRPC), bw(simnet.MPI), bw(simnet.RDMA)
+	if !(grpc < mpi && mpi < rdma) {
+		t.Fatalf("ordering: grpc=%.0f mpi=%.0f rdma=%.0f", grpc, mpi, rdma)
+	}
+}
+
+func TestFig7BarsMatchPaperTargets(t *testing.T) {
+	rows, err := Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 protocols x 3 platforms.
+	if len(rows) != 9 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	get := func(label string, proto simnet.Protocol, size int64) float64 {
+		for _, r := range rows {
+			if r.Label == label && r.Protocol == proto {
+				return r.MBps[size]
+			}
+		}
+		t.Fatalf("missing row %s/%v", label, proto)
+		return 0
+	}
+	big := int64(128 << 20)
+	// Section VI.A headline numbers.
+	if v := get("Tegner CPU", simnet.RDMA, big); v < 5800 || v > 6700 {
+		t.Fatalf("Tegner CPU RDMA = %.0f, paper >6000", v)
+	}
+	if v := get("Tegner GPU", simnet.RDMA, big); v < 1150 || v > 1450 {
+		t.Fatalf("Tegner GPU RDMA = %.0f, paper ~1300", v)
+	}
+	if v := get("Kebnekaise GPU", simnet.RDMA, big); v < 1900 || v > 2300 {
+		t.Fatalf("Kebnekaise GPU RDMA = %.0f, paper <2300", v)
+	}
+	if v := get("Tegner GPU", simnet.MPI, big); v < 270 || v > 370 {
+		t.Fatalf("Tegner GPU MPI = %.0f, paper ~318", v)
+	}
+	if v := get("Kebnekaise GPU", simnet.MPI, big); v < 420 || v > 540 {
+		t.Fatalf("Kebnekaise GPU MPI = %.0f, paper ~480", v)
+	}
+	// Every bar grows with message size.
+	for _, r := range rows {
+		if !(r.MBps[2<<20] <= r.MBps[16<<20] && r.MBps[16<<20] <= r.MBps[128<<20]) {
+			t.Fatalf("%s/%v: no growth across sizes: %v", r.Label, r.Protocol, r.MBps)
+		}
+	}
+}
+
+// The real driver moves actual float32 tensors over loopback TCP and
+// accumulates them on the ps task.
+func TestRunRealAccumulates(t *testing.T) {
+	res, err := RunReal(RealConfig{Elements: 1 << 12, Iters: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MBps <= 0 {
+		t.Fatalf("bandwidth %v", res.MBps)
+	}
+	if res.Bytes != 5*(1<<12)*4 {
+		t.Fatalf("bytes %d", res.Bytes)
+	}
+	// Five pushes of vectors drawn from [0,1): the accumulated PS vector
+	// must be strictly positive and bounded by 5.
+	for _, v := range res.Final.F32() {
+		if v <= 0 || v >= 5 {
+			t.Fatalf("accumulated element %v out of (0,5)", v)
+		}
+	}
+}
+
+func TestRunRealValidation(t *testing.T) {
+	if _, err := RunReal(RealConfig{}); err == nil {
+		t.Fatal("empty config should error")
+	}
+}

@@ -1,0 +1,48 @@
+// tfbench regenerates the paper's evaluation tables and figures on the
+// virtual platform.
+//
+// Usage:
+//
+//	tfbench                 # everything, in paper order
+//	tfbench -exp fig8       # one experiment: table1 fig7 fig8 fig9 fig10 fig11
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tfhpc/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all|table1|fig7|fig8|fig9|fig10|fig11")
+	flag.Parse()
+
+	var out string
+	var err error
+	switch *exp {
+	case "all":
+		out, err = bench.All()
+	case "table1":
+		out = bench.TableI()
+	case "fig7":
+		out, err = bench.Fig7()
+	case "fig8":
+		out, err = bench.Fig8()
+	case "fig9":
+		out = bench.Fig9()
+	case "fig10":
+		out, err = bench.Fig10()
+	case "fig11":
+		out, err = bench.Fig11()
+	default:
+		fmt.Fprintf(os.Stderr, "tfbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tfbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(out)
+}

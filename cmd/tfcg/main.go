@@ -1,0 +1,66 @@
+// tfcg runs the distributed Conjugate Gradient solver.
+//
+// Real mode solves a random SPD system through the queue-reduction
+// formulation, optionally checkpointing and resuming, and can emit a
+// TensorFlow-Timeline-style trace; sim mode evaluates a paper-scale
+// configuration on the virtual platform.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tfhpc/apps/cg"
+	"tfhpc/internal/hw"
+	"tfhpc/internal/tensor"
+)
+
+func main() {
+	mode := flag.String("mode", "real", "real|sim")
+	n := flag.Int("n", 512, "matrix dimension")
+	workers := flag.Int("workers", 4, "worker count (GPUs)")
+	iters := flag.Int("iters", 500, "max iterations")
+	tol := flag.Float64("tol", 1e-8, "residual tolerance (0 = run all iterations)")
+	ckpt := flag.String("checkpoint", "", "checkpoint file path")
+	every := flag.Int("checkpoint-every", 0, "checkpoint cadence in iterations")
+	resume := flag.Bool("resume", false, "resume from the checkpoint file")
+	clusterName := flag.String("cluster", "kebnekaise", "sim: tegner|kebnekaise")
+	node := flag.String("node", "v100", "sim: node type")
+	flag.Parse()
+
+	switch *mode {
+	case "real":
+		cfg := cg.Config{N: *n, Workers: *workers, MaxIters: *iters, Tol: *tol}
+		a := cg.SPDMatrix(*n, 42)
+		b := tensor.RandomUniform(tensor.Float64, 43, *n)
+		res, err := cg.RunReal(cfg, a, b, cg.RealOptions{
+			CheckpointPath:  *ckpt,
+			CheckpointEvery: *every,
+			Resume:          *resume,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cg real: N=%d workers=%d: converged to ‖r‖=%.3g in %d iterations, %.3fs, %.2f Gflop/s\n",
+			*n, *workers, res.ResidualNorm, res.Iters, res.Seconds, res.Gflops)
+	case "sim":
+		c, nt, err := hw.NodeTypeByName(*clusterName, *node)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := cg.RunSim(cg.SimConfig{Cluster: c, NodeType: nt, N: *n, GPUs: *workers, Iters: *iters})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("cg sim: %s N=%d %d GPUs, %d iters: %.2fs (%.2f ms/iter), %.0f Gflop/s\n",
+			nt.Name, *n, *workers, *iters, res.Seconds, 1e3*res.PerIter, res.Gflops)
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tfcg: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,37 @@
+// tfserver runs one standalone task server — the tf.train.Server analogue.
+// Point workers at it with a ClusterSpec; it hosts variables and queues and
+// executes ops sent over the wire.
+//
+//	tfserver -job ps -task 0 -listen 127.0.0.1:8888
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"tfhpc/internal/cluster"
+)
+
+func main() {
+	job := flag.String("job", "ps", "job name this task belongs to")
+	task := flag.Int("task", 0, "task index within the job")
+	listen := flag.String("listen", "127.0.0.1:8888", "listen address")
+	flag.Parse()
+
+	srv := cluster.NewServer(*job, *task)
+	addr, err := srv.Start(*listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tfserver: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("tfserver: /job:%s/task:%d serving on %s\n", *job, *task, addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+	fmt.Println("tfserver: shut down")
+}

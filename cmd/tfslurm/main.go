@@ -1,0 +1,74 @@
+// tfslurm shows what the SlurmClusterResolver derives from a Slurm
+// environment: the ClusterSpec, this process's job/task identity, and its
+// GPU exposure. With -synthetic it fabricates an allocation first, which is
+// how the virtual-platform experiments configure themselves.
+//
+//	tfslurm -jobs ps:1,worker:4 -synthetic -nodes 2 -tasks-per-node 2 -gpus 2 -proc 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"tfhpc/internal/cluster"
+	"tfhpc/internal/slurm"
+)
+
+func main() {
+	jobsFlag := flag.String("jobs", "ps:1,worker:2", "comma-separated job:tasks list, in slot order")
+	synthetic := flag.Bool("synthetic", true, "fabricate a Slurm allocation instead of reading the environment")
+	nodes := flag.Int("nodes", 3, "synthetic: node count")
+	tasksPerNode := flag.Int("tasks-per-node", 1, "synthetic: tasks per node")
+	gpus := flag.Int("gpus", 1, "synthetic: GPUs per node")
+	proc := flag.Int("proc", 0, "synthetic: which SLURM_PROCID to resolve as")
+	prefix := flag.String("prefix", "t03n", "synthetic: node name prefix")
+	flag.Parse()
+
+	var jobs []cluster.JobSpec
+	for _, part := range strings.Split(*jobsFlag, ",") {
+		name, count, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			fatal(fmt.Errorf("bad -jobs entry %q", part))
+		}
+		n, err := strconv.Atoi(count)
+		if err != nil {
+			fatal(fmt.Errorf("bad task count in %q", part))
+		}
+		jobs = append(jobs, cluster.JobSpec{Name: name, Tasks: n})
+	}
+
+	env := map[string]string{}
+	if *synthetic {
+		alloc := slurm.NewAllocation(4242, *prefix, *nodes, *tasksPerNode, *gpus)
+		var err error
+		env, err = alloc.Env(*proc)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, key := range []string{
+			"SLURM_JOB_ID", "SLURM_JOB_NODELIST", "SLURM_NTASKS",
+			"SLURM_PROCID", "SLURM_GPUS_ON_NODE",
+		} {
+			env[key] = os.Getenv(key)
+		}
+	}
+
+	resolver := &cluster.SlurmResolver{Jobs: jobs}
+	res, err := resolver.Resolve(env)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("nodelist:     %s\n", env["SLURM_JOB_NODELIST"])
+	fmt.Printf("cluster spec: %s\n", res.Spec)
+	fmt.Printf("this process: /job:%s/task:%d on %s, GPUs %v\n",
+		res.Job, res.Task, res.Node, res.GPUs)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tfslurm: %v\n", err)
+	os.Exit(1)
+}

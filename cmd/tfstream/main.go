@@ -1,0 +1,73 @@
+// tfstream runs the STREAM bandwidth micro-benchmark.
+//
+// Real mode moves float32 tensors between a worker and a parameter server
+// over loopback TCP; sim mode evaluates a chosen platform/protocol on the
+// virtual hardware.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tfhpc/apps/stream"
+	"tfhpc/internal/hw"
+	"tfhpc/internal/simnet"
+)
+
+func main() {
+	mode := flag.String("mode", "real", "real|sim")
+	sizeMB := flag.Int("size", 16, "transfer size in MB")
+	iters := flag.Int("iters", 100, "number of assign_add invocations")
+	clusterName := flag.String("cluster", "tegner", "sim: tegner|kebnekaise")
+	node := flag.String("node", "k420", "sim: node type (k420|k80|v100)")
+	proto := flag.String("protocol", "rdma", "sim: grpc|mpi|rdma")
+	place := flag.String("placement", "gpu", "sim: cpu|gpu")
+	flag.Parse()
+
+	switch *mode {
+	case "real":
+		res, err := stream.RunReal(stream.RealConfig{
+			Elements: *sizeMB << 20 / 4,
+			Iters:    *iters,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("STREAM real: %d x %d MB over loopback TCP: %.1f MB/s (%.3fs)\n",
+			*iters, *sizeMB, res.MBps, res.Seconds)
+	case "sim":
+		c, nt, err := hw.NodeTypeByName(*clusterName, *node)
+		if err != nil {
+			fatal(err)
+		}
+		p, err := simnet.ParseProtocol(*proto)
+		if err != nil {
+			fatal(err)
+		}
+		placement := simnet.OnGPU
+		if *place == "cpu" {
+			placement = simnet.OnCPU
+		}
+		res, err := stream.RunSim(stream.SimConfig{
+			Cluster:   c,
+			NodeType:  nt,
+			Protocol:  p,
+			Placement: placement,
+			SizeBytes: int64(*sizeMB) << 20,
+			Iters:     *iters,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("STREAM sim: %s %s %s tensors on %s, %d x %d MB: %.0f MB/s\n",
+			c.Name, nt.Name, placement, p, *iters, *sizeMB, res.MBps)
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tfstream: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// Spectral: distributed signal analysis with the FFT application. A noisy
+// two-tone signal is split into interleaved tiles, transformed by worker
+// sessions, merged with twiddle factors, and the dominant frequencies are
+// recovered — the signal-processing workload the paper cites for FFT.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/cmplx"
+	"os"
+
+	"tfhpc/apps/fft"
+	"tfhpc/tf"
+)
+
+func main() {
+	const (
+		logN  = 12
+		n     = 1 << logN
+		tone1 = 440.0 // bins
+		tone2 = 1337.0
+	)
+	rng := tf.NewRNG(2024)
+	signal := make([]complex128, n)
+	for i := range signal {
+		t := float64(i) / n
+		clean := math.Sin(2*math.Pi*tone1*t) + 0.5*math.Sin(2*math.Pi*tone2*t)
+		noise := 0.2 * (rng.Float64()*2 - 1)
+		signal[i] = complex(clean+noise, 0)
+	}
+
+	dir, err := os.MkdirTemp("", "spectral")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	cfg := fft.Config{N: n, Tiles: 8, Workers: 4}
+	res, err := fft.RunReal(dir, cfg, signal)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distributed FFT of 2^%d samples across %d workers (%d tiles): collect %.3fs, merge %.3fs\n",
+		logN, cfg.Workers, cfg.Tiles, res.CollectSeconds, res.MergeSeconds)
+
+	// Find the two strongest positive-frequency bins.
+	type peak struct {
+		bin int
+		mag float64
+	}
+	var first, second peak
+	for k := 1; k < n/2; k++ {
+		m := cmplx.Abs(res.X[k])
+		switch {
+		case m > first.mag:
+			second = first
+			first = peak{k, m}
+		case m > second.mag:
+			second = peak{k, m}
+		}
+	}
+	fmt.Printf("dominant bins: %d and %d (expected %d and %d)\n",
+		first.bin, second.bin, int(tone1), int(tone2))
+	if first.bin != int(tone1) || second.bin != int(tone2) {
+		log.Fatal("tone recovery failed")
+	}
+	fmt.Println("tone recovery through the distributed pipeline — OK")
+}

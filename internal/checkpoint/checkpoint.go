@@ -1,0 +1,177 @@
+// Package checkpoint saves and restores variable state — the
+// checkpoint-restart capability the paper highlights for its CG solver
+// ("our distributed CG solver with checkpoint-restart capability only
+// consists of less than 300 lines of code"). A checkpoint records the graph
+// structure identification, a step counter, and every variable's tensor.
+package checkpoint
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"tfhpc/internal/tensor"
+	"tfhpc/internal/vars"
+	"tfhpc/internal/wire"
+)
+
+// Checkpoint is an in-memory snapshot.
+type Checkpoint struct {
+	// GraphID identifies the producing graph (e.g. a name + node count) so
+	// restores onto mismatched programs fail loudly.
+	GraphID string
+	// Step is the application-defined resume point (e.g. CG iteration).
+	Step int64
+	// Vars maps variable names to their values.
+	Vars map[string]*tensor.Tensor
+}
+
+// Capture snapshots a variable store.
+func Capture(graphID string, step int64, store *vars.Store) *Checkpoint {
+	return &Checkpoint{GraphID: graphID, Step: step, Vars: store.Snapshot()}
+}
+
+// Apply restores the snapshot into a store.
+func (c *Checkpoint) Apply(store *vars.Store) error {
+	return store.Restore(c.Vars)
+}
+
+// Encode serializes the checkpoint:
+//
+//	field 1: graph id (string)
+//	field 2: step (varint)
+//	field 3: repeated entry { 1: name, 2: tensor bytes }
+func (c *Checkpoint) Encode() ([]byte, error) {
+	e := wire.NewEncoder()
+	e.String(1, c.GraphID)
+	e.Uint(2, uint64(c.Step))
+	// Deterministic order for reproducible files.
+	names := make([]string, 0, len(c.Vars))
+	for n := range c.Vars {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	for _, name := range names {
+		buf, err := c.Vars[name].Encode(nil)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: variable %q: %w", name, err)
+		}
+		e.Message(3, func(ve *wire.Encoder) {
+			ve.String(1, name)
+			ve.BytesField(2, buf)
+		})
+	}
+	return e.Bytes(), nil
+}
+
+// Decode parses an encoded checkpoint.
+func Decode(buf []byte) (*Checkpoint, error) {
+	c := &Checkpoint{Vars: make(map[string]*tensor.Tensor)}
+	d := wire.NewDecoder(buf)
+	for {
+		field, wt, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch field {
+		case 1:
+			if c.GraphID, err = d.StringVal(); err != nil {
+				return nil, err
+			}
+		case 2:
+			v, err := d.Uint()
+			if err != nil {
+				return nil, err
+			}
+			c.Step = int64(v)
+		case 3:
+			eb, err := d.Bytes()
+			if err != nil {
+				return nil, err
+			}
+			ed := wire.NewDecoder(eb)
+			var name string
+			var t *tensor.Tensor
+			for {
+				f, w, err := ed.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					return nil, err
+				}
+				switch f {
+				case 1:
+					if name, err = ed.StringVal(); err != nil {
+						return nil, err
+					}
+				case 2:
+					tb, err := ed.Bytes()
+					if err != nil {
+						return nil, err
+					}
+					if t, _, err = tensor.Decode(tb); err != nil {
+						return nil, err
+					}
+				default:
+					if err := ed.Skip(w); err != nil {
+						return nil, err
+					}
+				}
+			}
+			if name == "" || t == nil {
+				return nil, fmt.Errorf("checkpoint: malformed variable entry")
+			}
+			c.Vars[name] = t
+		default:
+			if err := d.Skip(wt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+// Save writes the checkpoint to path atomically (temp file + rename).
+func (c *Checkpoint) Save(path string) error {
+	buf, err := c.Encode()
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Load reads a checkpoint from path.
+func Load(path string) (*Checkpoint, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(buf)
+}
+
+// Restore loads path and applies it to the store after verifying GraphID.
+func Restore(path, graphID string, store *vars.Store) (step int64, err error) {
+	c, err := Load(path)
+	if err != nil {
+		return 0, err
+	}
+	if graphID != "" && c.GraphID != graphID {
+		return 0, fmt.Errorf("checkpoint: graph mismatch: file has %q, want %q", c.GraphID, graphID)
+	}
+	if err := c.Apply(store); err != nil {
+		return 0, err
+	}
+	return c.Step, nil
+}

@@ -1,0 +1,316 @@
+// Package cluster implements the distributed runtime: ClusterSpecs naming
+// jobs and tasks ("ps", "worker", "reducer"), per-task Servers that host
+// devices, variables and queues and execute ops over RPC, and the
+// SlurmClusterResolver that — like the paper's tf.contrib.cluster_resolver
+// extension — turns a Slurm allocation into a ready-to-use cluster.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"tfhpc/internal/graph"
+	"tfhpc/internal/ops"
+	"tfhpc/internal/rpc"
+	"tfhpc/internal/session"
+	"tfhpc/internal/tensor"
+	"tfhpc/internal/wire"
+)
+
+// Spec maps job names to their tasks' addresses, mirroring
+// tf.train.ClusterSpec (Listing 2 of the paper).
+type Spec map[string][]string
+
+// Jobs returns the job names in sorted order.
+func (s Spec) Jobs() []string {
+	out := make([]string, 0, len(s))
+	for j := range s {
+		out = append(out, j)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumTasks returns how many tasks a job has.
+func (s Spec) NumTasks(job string) int { return len(s[job]) }
+
+// Address resolves a job/task pair.
+func (s Spec) Address(job string, task int) (string, error) {
+	tasks, ok := s[job]
+	if !ok {
+		return "", fmt.Errorf("cluster: unknown job %q", job)
+	}
+	if task < 0 || task >= len(tasks) {
+		return "", fmt.Errorf("cluster: job %q has %d tasks, task %d requested", job, len(tasks), task)
+	}
+	return tasks[task], nil
+}
+
+// String renders the spec in the paper's Listing-2 style.
+func (s Spec) String() string {
+	var sb strings.Builder
+	sb.WriteString("{")
+	for i, job := range s.Jobs() {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%q: [%s]", job, strings.Join(s[job], ", "))
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+// Server is one TensorFlow-server analogue: a task that owns local
+// resources and executes ops on request. Create with NewServer, then Start.
+type Server struct {
+	Job  string
+	Task int
+	Res  *session.Resources
+
+	srv  *rpc.Server
+	addr string
+	mu   sync.Mutex
+}
+
+// NewServer creates a task server with fresh resources.
+func NewServer(job string, task int) *Server {
+	s := &Server{Job: job, Task: task, Res: session.NewResources()}
+	s.srv = rpc.NewServer()
+	s.srv.Handle("RunOp", s.handleRunOp)
+	s.srv.Handle("Health", func([]byte) ([]byte, error) { return []byte("ok"), nil })
+	return s
+}
+
+// Start binds addr ("host:0" allocates a port) and begins serving; returns
+// the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	bound, err := s.srv.Listen(addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.addr = bound
+	s.mu.Unlock()
+	return bound, nil
+}
+
+// Addr returns the bound address (empty before Start).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addr
+}
+
+// Close stops serving.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// RunOp request encoding:
+//
+//	1 op, 2 nodeName, 3 attr bytes, 4 repeated input name,
+//	5 repeated input tensor bytes
+//
+// Response: tensor bytes.
+func encodeRunOp(op, nodeName string, attrs graph.Attrs, inputNames []string, inputs []*tensor.Tensor) ([]byte, error) {
+	ab, err := graph.MarshalAttrs(attrs)
+	if err != nil {
+		return nil, err
+	}
+	e := wire.NewEncoder()
+	e.String(1, op)
+	e.String(2, nodeName)
+	e.BytesField(3, ab)
+	for _, n := range inputNames {
+		e.String(4, n)
+	}
+	for _, t := range inputs {
+		tb, err := t.Encode(nil)
+		if err != nil {
+			return nil, err
+		}
+		e.BytesField(5, tb)
+	}
+	return e.Bytes(), nil
+}
+
+func (s *Server) handleRunOp(req []byte) ([]byte, error) {
+	var op, nodeName string
+	var attrs graph.Attrs
+	var inputNames []string
+	var inputs []*tensor.Tensor
+	d := wire.NewDecoder(req)
+	for d.More() {
+		f, wt, err := d.Next()
+		if err != nil {
+			return nil, err
+		}
+		switch f {
+		case 1:
+			if op, err = d.StringVal(); err != nil {
+				return nil, err
+			}
+		case 2:
+			if nodeName, err = d.StringVal(); err != nil {
+				return nil, err
+			}
+		case 3:
+			ab, err := d.Bytes()
+			if err != nil {
+				return nil, err
+			}
+			if attrs, err = graph.UnmarshalAttrs(ab); err != nil {
+				return nil, err
+			}
+		case 4:
+			n, err := d.StringVal()
+			if err != nil {
+				return nil, err
+			}
+			inputNames = append(inputNames, n)
+		case 5:
+			tb, err := d.Bytes()
+			if err != nil {
+				return nil, err
+			}
+			t, _, err := tensor.Decode(tb)
+			if err != nil {
+				return nil, err
+			}
+			inputs = append(inputs, t)
+		default:
+			if err := d.Skip(wt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	ctx := &ops.Context{
+		NodeName:   nodeName,
+		Attrs:      attrs,
+		InputNames: inputNames,
+		Resources:  s.Res,
+		Scratch:    ops.NewScratch(),
+	}
+	out, err := ops.Run(op, ctx, inputs)
+	if err != nil {
+		return nil, err
+	}
+	return out.Encode(nil)
+}
+
+// Peers is the client side of a cluster: it forwards ops to remote tasks
+// and implements session.RemoteRunner.
+type Peers struct {
+	spec Spec
+
+	mu      sync.Mutex
+	clients map[string]*rpc.Client
+}
+
+// NewPeers creates a client set over a spec.
+func NewPeers(spec Spec) *Peers {
+	return &Peers{spec: spec, clients: make(map[string]*rpc.Client)}
+}
+
+// Spec returns the cluster spec.
+func (p *Peers) Spec() Spec { return p.spec }
+
+func (p *Peers) client(job string, task int) (*rpc.Client, error) {
+	addr, err := p.spec.Address(job, task)
+	if err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c, ok := p.clients[addr]
+	if !ok {
+		c = rpc.Dial(addr)
+		p.clients[addr] = c
+	}
+	return c, nil
+}
+
+// RunRemoteOp implements session.RemoteRunner by forwarding the op to the
+// task named in the device spec.
+func (p *Peers) RunRemoteOp(device graph.DeviceSpec, op, nodeName string, attrs graph.Attrs,
+	inputNames []string, inputs []*tensor.Tensor) (*tensor.Tensor, error) {
+	task := device.Task
+	if task < 0 {
+		task = 0
+	}
+	c, err := p.client(device.Job, task)
+	if err != nil {
+		return nil, err
+	}
+	req, err := encodeRunOp(op, nodeName, attrs, inputNames, inputs)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.Call("RunOp", req)
+	if err != nil {
+		return nil, err
+	}
+	out, _, err := tensor.Decode(resp)
+	return out, err
+}
+
+// Health pings a task.
+func (p *Peers) Health(job string, task int) error {
+	c, err := p.client(job, task)
+	if err != nil {
+		return err
+	}
+	_, err = c.Call("Health", nil)
+	return err
+}
+
+// Close releases all connections.
+func (p *Peers) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.clients {
+		c.Close()
+	}
+	p.clients = map[string]*rpc.Client{}
+}
+
+// Local is an in-process cluster: one Server per task of every job, all
+// bound to loopback ports — the harness tests and examples use it to stand
+// up multi-task topologies in one process.
+type Local struct {
+	SpecV   Spec
+	Servers map[string][]*Server
+}
+
+// StartLocal boots count tasks for each named job on 127.0.0.1.
+func StartLocal(jobs map[string]int) (*Local, error) {
+	l := &Local{SpecV: Spec{}, Servers: map[string][]*Server{}}
+	for job, n := range jobs {
+		for t := 0; t < n; t++ {
+			srv := NewServer(job, t)
+			addr, err := srv.Start("127.0.0.1:0")
+			if err != nil {
+				l.Close()
+				return nil, err
+			}
+			l.SpecV[job] = append(l.SpecV[job], addr)
+			l.Servers[job] = append(l.Servers[job], srv)
+		}
+	}
+	return l, nil
+}
+
+// Spec returns the running cluster's spec.
+func (l *Local) Spec() Spec { return l.SpecV }
+
+// Server returns the given task's server.
+func (l *Local) Server(job string, task int) *Server { return l.Servers[job][task] }
+
+// Close shuts every task down.
+func (l *Local) Close() {
+	for _, srvs := range l.Servers {
+		for _, s := range srvs {
+			s.Close()
+		}
+	}
+}

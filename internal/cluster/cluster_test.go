@@ -1,0 +1,268 @@
+package cluster
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"tfhpc/internal/graph"
+	"tfhpc/internal/session"
+	"tfhpc/internal/slurm"
+	"tfhpc/internal/tensor"
+)
+
+func TestSpecBasics(t *testing.T) {
+	spec := Spec{
+		"ps":     []string{"t01n01:8888"},
+		"worker": []string{"t01n02:8888", "t01n03:8888"},
+	}
+	if got := spec.NumTasks("worker"); got != 2 {
+		t.Fatalf("NumTasks = %d", got)
+	}
+	addr, err := spec.Address("worker", 1)
+	if err != nil || addr != "t01n03:8888" {
+		t.Fatalf("Address = %q, %v", addr, err)
+	}
+	if _, err := spec.Address("worker", 5); err == nil {
+		t.Fatal("out-of-range task should error")
+	}
+	if _, err := spec.Address("gpuq", 0); err == nil {
+		t.Fatal("unknown job should error")
+	}
+	s := spec.String()
+	if !strings.Contains(s, `"ps": [t01n01:8888]`) {
+		t.Fatalf("spec string %q", s)
+	}
+}
+
+func TestLocalClusterHealthAndRemoteOps(t *testing.T) {
+	lc, err := StartLocal(map[string]int{"ps": 1, "worker": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	peers := NewPeers(lc.Spec())
+	defer peers.Close()
+
+	if err := peers.Health("ps", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := peers.Health("worker", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Remote variable ops against the ps task.
+	dev := graph.MustParseDevice("/job:ps/task:0")
+	val := tensor.FromF64(tensor.Shape{3}, []float64{1, 2, 3})
+	if _, err := peers.RunRemoteOp(dev, "Assign", "a0", graph.Attrs{"var_name": "w"},
+		[]string{"c"}, []*tensor.Tensor{val}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := peers.RunRemoteOp(dev, "AssignAdd", "a1", graph.Attrs{"var_name": "w"},
+		[]string{"c"}, []*tensor.Tensor{val}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := peers.RunRemoteOp(dev, "Variable", "r", graph.Attrs{"var_name": "w"}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.F64()[2] != 6 {
+		t.Fatalf("remote variable = %v", got.F64())
+	}
+	// The variable lives on ps, not on workers.
+	wdev := graph.MustParseDevice("/job:worker/task:0")
+	if _, err := peers.RunRemoteOp(wdev, "Variable", "r2", graph.Attrs{"var_name": "w"}, nil, nil); err == nil {
+		t.Fatal("variable should not exist on worker")
+	}
+}
+
+func TestRemoteQueueDataflow(t *testing.T) {
+	lc, err := StartLocal(map[string]int{"reducer": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	peers := NewPeers(lc.Spec())
+	defer peers.Close()
+	dev := graph.MustParseDevice("/job:reducer/task:0")
+	attrs := graph.Attrs{"queue": "partials", "capacity": 8}
+
+	// Two concurrent "workers" push partial scalars; a dequeue drains them.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(v float64) {
+			defer wg.Done()
+			_, err := peers.RunRemoteOp(dev, "QueueEnqueue", "enq", attrs,
+				[]string{"c"}, []*tensor.Tensor{tensor.ScalarF64(v)})
+			if err != nil {
+				t.Error(err)
+			}
+		}(float64(i + 1))
+	}
+	wg.Wait()
+	sum := 0.0
+	for i := 0; i < 2; i++ {
+		got, err := peers.RunRemoteOp(dev, "QueueDequeue", "deq", attrs, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += got.ScalarFloat()
+	}
+	if sum != 3 {
+		t.Fatalf("sum of partials = %v", sum)
+	}
+}
+
+// A distributed session: worker-local compute with a variable pinned to ps,
+// exercising the session->Peers->Server path end to end over TCP.
+func TestDistributedSessionThroughPeers(t *testing.T) {
+	lc, err := StartLocal(map[string]int{"ps": 1, "worker": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	peers := NewPeers(lc.Spec())
+	defer peers.Close()
+
+	g := graph.New()
+	var local, push *graph.Node
+	g.WithDevice("/job:worker/task:0", func() {
+		local = g.AddOp("RandomUniform", graph.Attrs{
+			"dtype": tensor.Float64, "shape": tensor.Shape{4}, "seed": 1})
+	})
+	g.WithDevice("/job:ps/task:0", func() {
+		init := g.AddNamedOp("init", "Assign", graph.Attrs{"var_name": "acc"},
+			g.Const(tensor.New(tensor.Float64, 4)))
+		push = g.AddNamedOp("push", "AssignAdd", graph.Attrs{"var_name": "acc"}, local)
+		push.AddControlDep(init)
+	})
+
+	sess, err := session.New(g, nil, session.Options{
+		LocalJob: "worker", LocalTask: 0, Remote: peers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sess.Run(nil, []string{push.Name()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0].Shape().Equal(tensor.Shape{4}) {
+		t.Fatalf("shape %v", out[0].Shape())
+	}
+	// The accumulated value lives on the ps server, not locally.
+	psStore := lc.Server("ps", 0).Res.Vars
+	got, err := psStore.Get("acc").Read()
+	if err != nil {
+		t.Fatalf("acc not on ps: %v", err)
+	}
+	if !got.Equal(out[0]) {
+		t.Fatal("ps state disagrees with fetched value")
+	}
+}
+
+func TestResolverTegnerStyle(t *testing.T) {
+	// 3 nodes, 1 task each (Tegner K420 per Table I): 1 ps + 2 workers.
+	alloc := slurm.NewAllocation(100, "t03n", 3, 1, 1)
+	r := &SlurmResolver{Jobs: []JobSpec{{"ps", 1}, {"worker", 2}}}
+	env, _ := alloc.Env(0)
+	res, err := r.Resolve(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Job != "ps" || res.Task != 0 {
+		t.Fatalf("proc 0 resolved to %s:%d", res.Job, res.Task)
+	}
+	if got := res.Spec["ps"][0]; got != "t03n01:8888" {
+		t.Fatalf("ps address %q", got)
+	}
+	if got := res.Spec["worker"][1]; got != "t03n03:8888" {
+		t.Fatalf("worker 1 address %q", got)
+	}
+	// Worker proc sees the same spec but its own identity.
+	env2, _ := alloc.Env(2)
+	res2, err := r.Resolve(env2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Job != "worker" || res2.Task != 1 {
+		t.Fatalf("proc 2 resolved to %s:%d", res2.Job, res2.Task)
+	}
+	if len(res2.GPUs) != 1 || res2.GPUs[0] != 0 {
+		t.Fatalf("GPU exposure %v", res2.GPUs)
+	}
+}
+
+// Table I: Kebnekaise K80 nodes run 4 instances, each seeing one GK210.
+func TestResolverKebnekaiseK80GPUExposure(t *testing.T) {
+	alloc := slurm.NewAllocation(7, "b-cn", 2, 4, 4)
+	r := &SlurmResolver{Jobs: []JobSpec{{"ps", 1}, {"worker", 7}}}
+	seenGPU := map[string]map[int]bool{}
+	for proc := 0; proc < 8; proc++ {
+		env, _ := alloc.Env(proc)
+		res, err := r.Resolve(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.GPUs) != 1 {
+			t.Fatalf("proc %d exposed %v, want exactly one engine", proc, res.GPUs)
+		}
+		if seenGPU[res.Node] == nil {
+			seenGPU[res.Node] = map[int]bool{}
+		}
+		if seenGPU[res.Node][res.GPUs[0]] {
+			t.Fatalf("GPU %d on %s assigned twice", res.GPUs[0], res.Node)
+		}
+		seenGPU[res.Node][res.GPUs[0]] = true
+	}
+	// Every node's 4 engines each went to exactly one task.
+	for node, gpus := range seenGPU {
+		if len(gpus) != 4 {
+			t.Fatalf("node %s exposed %d distinct engines, want 4", node, len(gpus))
+		}
+	}
+	// Ports distinguish co-located tasks.
+	env, _ := alloc.Env(0)
+	res, _ := r.Resolve(env)
+	if res.Spec["worker"][0] == res.Spec["ps"][0] {
+		t.Fatal("co-located tasks must differ in port")
+	}
+}
+
+func TestResolverErrors(t *testing.T) {
+	alloc := slurm.NewAllocation(1, "n", 1, 1, 0)
+	env, _ := alloc.Env(0)
+	r := &SlurmResolver{Jobs: []JobSpec{{"ps", 1}, {"worker", 4}}}
+	if _, err := r.Resolve(env); err == nil {
+		t.Fatal("oversubscribed jobs should error")
+	}
+	if _, err := (&SlurmResolver{}).Resolve(env); err == nil {
+		t.Fatal("no jobs should error")
+	}
+	if _, err := (&SlurmResolver{Jobs: []JobSpec{{"w", 0}}}).Resolve(env); err == nil {
+		t.Fatal("zero tasks should error")
+	}
+}
+
+// GPU sharing: more tasks than GPUs round-robins engines (memory sharing
+// case from Section II.A of the paper).
+func TestResolverGPUSharing(t *testing.T) {
+	alloc := slurm.NewAllocation(1, "n", 1, 4, 2)
+	r := &SlurmResolver{Jobs: []JobSpec{{"worker", 4}}}
+	counts := map[int]int{}
+	for proc := 0; proc < 4; proc++ {
+		env, _ := alloc.Env(proc)
+		res, err := r.Resolve(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.GPUs) != 1 {
+			t.Fatalf("want one shared GPU, got %v", res.GPUs)
+		}
+		counts[res.GPUs[0]]++
+	}
+	if counts[0] != 2 || counts[1] != 2 {
+		t.Fatalf("sharing unbalanced: %v", counts)
+	}
+}

@@ -1,0 +1,117 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+
+	"tfhpc/internal/graph"
+	"tfhpc/internal/tensor"
+)
+
+// Failure injection: the behaviours a distributed runtime must get right
+// when tasks disappear or requests are malformed.
+
+func TestPeersAgainstDeadServer(t *testing.T) {
+	lc, err := StartLocal(map[string]int{"ps": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := NewPeers(lc.Spec())
+	defer peers.Close()
+	// Kill the task, then call it.
+	lc.Close()
+	dev := graph.MustParseDevice("/job:ps/task:0")
+	if _, err := peers.RunRemoteOp(dev, "Variable", "r", graph.Attrs{"var_name": "w"}, nil, nil); err == nil {
+		t.Fatal("call to a dead task should error")
+	}
+	if err := peers.Health("ps", 0); err == nil {
+		t.Fatal("health check of a dead task should error")
+	}
+}
+
+func TestPeersUnknownJobAndTask(t *testing.T) {
+	lc, err := StartLocal(map[string]int{"ps": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	peers := NewPeers(lc.Spec())
+	defer peers.Close()
+	if _, err := peers.RunRemoteOp(graph.MustParseDevice("/job:ghost/task:0"),
+		"NoOp", "n", nil, nil, nil); err == nil {
+		t.Fatal("unknown job should error")
+	}
+	if _, err := peers.RunRemoteOp(graph.MustParseDevice("/job:ps/task:9"),
+		"NoOp", "n", nil, nil, nil); err == nil {
+		t.Fatal("out-of-range task should error")
+	}
+}
+
+func TestRemoteUnknownOp(t *testing.T) {
+	lc, err := StartLocal(map[string]int{"ps": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	peers := NewPeers(lc.Spec())
+	defer peers.Close()
+	_, err = peers.RunRemoteOp(graph.MustParseDevice("/job:ps/task:0"),
+		"NotARealOp", "n", nil, nil, nil)
+	if err == nil || !strings.Contains(err.Error(), "unknown op") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRemoteKernelErrorSurvivesConnection(t *testing.T) {
+	lc, err := StartLocal(map[string]int{"ps": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	peers := NewPeers(lc.Spec())
+	defer peers.Close()
+	dev := graph.MustParseDevice("/job:ps/task:0")
+	// Reading an uninitialized variable errors remotely...
+	if _, err := peers.RunRemoteOp(dev, "Variable", "r",
+		graph.Attrs{"var_name": "nope"}, nil, nil); err == nil {
+		t.Fatal("uninitialized read should error")
+	}
+	// ...and the connection remains usable afterwards.
+	if _, err := peers.RunRemoteOp(dev, "Assign", "a",
+		graph.Attrs{"var_name": "nope"}, []string{"c"},
+		[]*tensor.Tensor{tensor.ScalarF64(1)}); err != nil {
+		t.Fatalf("connection broken after remote error: %v", err)
+	}
+}
+
+func TestServerRestartFromSnapshot(t *testing.T) {
+	srv := NewServer("ps", 0)
+	if _, err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	srv.Res.Vars.Get("w").Assign(tensor.ScalarF64(5))
+	snap := srv.Res.Vars.Snapshot()
+	srv.Close()
+
+	// A restarted task restores its state from the snapshot (the
+	// checkpoint-restart flow the paper highlights).
+	srv2 := NewServer("ps", 0)
+	if err := srv2.Res.Vars.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	addr2, err := srv2.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	peers := NewPeers(Spec{"ps": []string{addr2}})
+	defer peers.Close()
+	got, err := peers.RunRemoteOp(graph.MustParseDevice("/job:ps/task:0"),
+		"Variable", "r", graph.Attrs{"var_name": "w"}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ScalarFloat() != 5 {
+		t.Fatal("state lost across restart")
+	}
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"fmt"
+
+	"tfhpc/internal/slurm"
+)
+
+// JobSpec asks the resolver for a job with a number of tasks.
+type JobSpec struct {
+	Name  string
+	Tasks int
+}
+
+// SlurmResolver builds a ClusterSpec from a Slurm allocation — the paper's
+// contribution in Section III. Task slots are consumed in the allocation's
+// block ("plane") order: the first job's tasks land on the first slots, and
+// so on. GPUs on each node are divided between the node's co-located tasks
+// (the CUDA_VISIBLE_DEVICES exposure the paper automates).
+type SlurmResolver struct {
+	// Jobs in slot order, e.g. ps:1 then worker:4.
+	Jobs []JobSpec
+	// PortBase numbers the listening ports; co-located tasks get consecutive
+	// ports (default 8888).
+	PortBase int
+}
+
+// Resolved is the resolver's answer for one process.
+type Resolved struct {
+	// Spec addresses every task of every job.
+	Spec Spec
+	// Job and Task identify the calling process (from SLURM_PROCID).
+	Job  string
+	Task int
+	// Node is the host the process runs on.
+	Node string
+	// GPUs lists the device indices exposed to this process.
+	GPUs []int
+}
+
+// Resolve consumes a Slurm environment (e.g. from slurm.Allocation.Env or
+// the real process environment) and computes the cluster layout.
+func (r *SlurmResolver) Resolve(env map[string]string) (*Resolved, error) {
+	if len(r.Jobs) == 0 {
+		return nil, fmt.Errorf("cluster: resolver needs at least one job")
+	}
+	alloc, self, err := slurm.ParseEnv(env)
+	if err != nil {
+		return nil, err
+	}
+	portBase := r.PortBase
+	if portBase == 0 {
+		portBase = 8888
+	}
+	total := 0
+	for _, j := range r.Jobs {
+		if j.Tasks <= 0 {
+			return nil, fmt.Errorf("cluster: job %q needs a positive task count", j.Name)
+		}
+		total += j.Tasks
+	}
+	if total > alloc.NumTasks() {
+		return nil, fmt.Errorf("cluster: jobs need %d tasks but the allocation has only %d (%d nodes × %d)",
+			total, alloc.NumTasks(), len(alloc.Nodes), alloc.TasksPerNode)
+	}
+
+	placements := alloc.Distribute()
+	spec := Spec{}
+	out := &Resolved{Spec: spec, Job: "", Task: -1, Node: self.Node}
+	slot := 0
+	for _, j := range r.Jobs {
+		for t := 0; t < j.Tasks; t++ {
+			p := placements[slot]
+			addr := fmt.Sprintf("%s:%d", p.Node, portBase+p.LocalID)
+			spec[j.Name] = append(spec[j.Name], addr)
+			if p.ProcID == self.ProcID {
+				out.Job = j.Name
+				out.Task = t
+			}
+			slot++
+		}
+	}
+	if out.Task < 0 {
+		return nil, fmt.Errorf("cluster: SLURM_PROCID %d has no job slot (only %d requested)", self.ProcID, total)
+	}
+	// GPU exposure: divide the node's GPUs evenly among its co-located
+	// tasks, assigning each task a contiguous range by local id.
+	if alloc.GPUsPerNode > 0 {
+		per := alloc.GPUsPerNode / alloc.TasksPerNode
+		if per == 0 {
+			// More tasks than GPUs: tasks share by round-robin (memory
+			// sharing must then be configured, as the paper notes).
+			out.GPUs = []int{self.LocalID % alloc.GPUsPerNode}
+		} else {
+			for g := self.LocalID * per; g < (self.LocalID+1)*per; g++ {
+				out.GPUs = append(out.GPUs, g)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"tfhpc/internal/queue"
+	"tfhpc/internal/tensor"
+)
+
+// RingAllReduce is the extension Section VIII of the paper points to: the
+// MPI-style allreduce of Uber's Horovod and Cray's ML plugin, which removes
+// the dedicated parameter-server/reducer tasks that "hamper the scalability
+// of large scale deployment". Workers form a ring; each of the 2(p−1) steps
+// moves one chunk to the right neighbour, first reduce-scattering and then
+// allgathering, so every worker ends with the full sum and no central task
+// ever sees all the data.
+//
+// The implementation is pure dataflow: the ring's edges are FIFO queues,
+// matching the paper's queue-based formulation of collective operations.
+type RingAllReduce struct {
+	workers int
+	links   []*queue.FIFO // links[i]: worker i -> worker (i+1) mod p
+}
+
+// NewRingAllReduce wires a ring of p workers.
+func NewRingAllReduce(p int) *RingAllReduce {
+	if p <= 0 {
+		panic("core: ring needs at least one worker")
+	}
+	links := make([]*queue.FIFO, p)
+	for i := range links {
+		links[i] = queue.New(2)
+	}
+	return &RingAllReduce{workers: p, links: links}
+}
+
+// Workers returns the ring size.
+func (r *RingAllReduce) Workers() int { return r.workers }
+
+// Close shuts down the ring's links.
+func (r *RingAllReduce) Close() {
+	for _, l := range r.links {
+		l.Close()
+	}
+}
+
+// chunkBounds splits n elements into p contiguous chunks.
+func chunkBounds(n, p, c int) (lo, hi int) {
+	base := n / p
+	rem := n % p
+	lo = c*base + min(c, rem)
+	size := base
+	if c < rem {
+		size++
+	}
+	return lo, lo + size
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Reduce runs the collective for worker `rank` with its float64 vector
+// contribution; every worker must call it concurrently with equal-length
+// vectors. The input is not mutated; the summed vector is returned.
+func (r *RingAllReduce) Reduce(rank int, in *tensor.Tensor) (*tensor.Tensor, error) {
+	if rank < 0 || rank >= r.workers {
+		return nil, fmt.Errorf("core: rank %d out of %d", rank, r.workers)
+	}
+	if in.DType() != tensor.Float64 || in.Rank() != 1 {
+		return nil, fmt.Errorf("core: ring allreduce wants rank-1 float64, got %v%v", in.DType(), in.Shape())
+	}
+	p := r.workers
+	acc := in.Clone()
+	if p == 1 {
+		return acc, nil
+	}
+	n := acc.NumElements()
+	data := acc.F64()
+	send := r.links[rank]
+	recv := r.links[(rank-1+p)%p]
+
+	sendChunk := func(c int) error {
+		lo, hi := chunkBounds(n, p, c)
+		payload := tensor.FromF64(tensor.Shape{hi - lo}, append([]float64(nil), data[lo:hi]...))
+		return send.Enqueue(queue.Item{tensor.ScalarI64(int64(c)), payload})
+	}
+	recvChunk := func(wantC int) ([]float64, error) {
+		item, err := recv.Dequeue()
+		if err != nil {
+			return nil, err
+		}
+		if got := int(item[0].ScalarInt()); got != wantC {
+			return nil, fmt.Errorf("core: ring protocol error: got chunk %d, want %d", got, wantC)
+		}
+		return item[1].F64(), nil
+	}
+
+	// Reduce-scatter: after p-1 steps, worker `rank` holds the full sum of
+	// chunk (rank+1) mod p.
+	for step := 0; step < p-1; step++ {
+		sc := (rank - step + p) % p
+		rc := (rank - step - 1 + p) % p
+		if err := sendChunk(sc); err != nil {
+			return nil, err
+		}
+		chunk, err := recvChunk(rc)
+		if err != nil {
+			return nil, err
+		}
+		lo, _ := chunkBounds(n, p, rc)
+		for i, v := range chunk {
+			data[lo+i] += v
+		}
+	}
+	// Allgather: circulate the completed chunks.
+	for step := 0; step < p-1; step++ {
+		sc := (rank + 1 - step + p) % p
+		rc := (rank - step + p) % p
+		if err := sendChunk(sc); err != nil {
+			return nil, err
+		}
+		chunk, err := recvChunk(rc)
+		if err != nil {
+			return nil, err
+		}
+		lo, _ := chunkBounds(n, p, rc)
+		copy(data[lo:lo+len(chunk)], chunk)
+	}
+	return acc, nil
+}

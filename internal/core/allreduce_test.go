@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"tfhpc/internal/tensor"
+)
+
+// runRing executes a full collective across p goroutine workers.
+func runRing(t *testing.T, p, n int, seedBase uint64) ([][]float64, []float64) {
+	t.Helper()
+	ring := NewRingAllReduce(p)
+	defer ring.Close()
+	inputs := make([][]float64, p)
+	want := make([]float64, n)
+	for w := 0; w < p; w++ {
+		r := tensor.NewRNG(seedBase + uint64(w))
+		vec := make([]float64, n)
+		for i := range vec {
+			vec[i] = r.Float64()*2 - 1
+			want[i] += vec[i]
+		}
+		inputs[w] = vec
+	}
+	outs := make([][]float64, p)
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			in := tensor.FromF64(tensor.Shape{n}, append([]float64(nil), inputs[w]...))
+			out, err := ring.Reduce(w, in)
+			if err != nil {
+				t.Errorf("rank %d: %v", w, err)
+				return
+			}
+			outs[w] = out.F64()
+		}(w)
+	}
+	wg.Wait()
+	return outs, want
+}
+
+func TestRingAllReduceSums(t *testing.T) {
+	for _, tc := range []struct{ p, n int }{
+		{1, 5}, {2, 8}, {3, 7}, {4, 16}, {5, 23}, {8, 64},
+	} {
+		outs, want := runRing(t, tc.p, tc.n, 100)
+		for w, got := range outs {
+			if got == nil {
+				t.Fatalf("p=%d n=%d: rank %d produced nothing", tc.p, tc.n, w)
+			}
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-12*float64(tc.p) {
+					t.Fatalf("p=%d n=%d rank=%d elem=%d: %v != %v",
+						tc.p, tc.n, w, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestRingAllReduceDoesNotMutateInput(t *testing.T) {
+	ring := NewRingAllReduce(2)
+	defer ring.Close()
+	a := tensor.FromF64(tensor.Shape{4}, []float64{1, 2, 3, 4})
+	b := tensor.FromF64(tensor.Shape{4}, []float64{10, 20, 30, 40})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); ring.Reduce(0, a) }()
+	go func() { defer wg.Done(); ring.Reduce(1, b) }()
+	wg.Wait()
+	if a.F64()[0] != 1 || b.F64()[3] != 40 {
+		t.Fatal("inputs were mutated")
+	}
+}
+
+func TestRingAllReduceValidation(t *testing.T) {
+	ring := NewRingAllReduce(2)
+	defer ring.Close()
+	if _, err := ring.Reduce(5, tensor.FromF64(tensor.Shape{2}, []float64{1, 2})); err == nil {
+		t.Fatal("bad rank should error")
+	}
+	if _, err := ring.Reduce(0, tensor.FromF32(tensor.Shape{2}, []float32{1, 2})); err == nil {
+		t.Fatal("wrong dtype should error")
+	}
+}
+
+func TestRingAllReduceMultipleRounds(t *testing.T) {
+	const p, n, rounds = 3, 12, 5
+	ring := NewRingAllReduce(p)
+	defer ring.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				in := tensor.FromF64(tensor.Shape{n}, make([]float64, n))
+				for i := range in.F64() {
+					in.F64()[i] = float64(w + round)
+				}
+				out, err := ring.Reduce(w, in)
+				if err != nil {
+					t.Errorf("rank %d round %d: %v", w, round, err)
+					return
+				}
+				// Sum over w of (w+round) = 0+1+2 + 3*round.
+				want := float64(3 + 3*round)
+				if out.F64()[0] != want {
+					t.Errorf("rank %d round %d: got %v want %v", w, round, out.F64()[0], want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestChunkBoundsPartition(t *testing.T) {
+	f := func(nRaw, pRaw uint8) bool {
+		n := int(nRaw)
+		p := int(pRaw%8) + 1
+		covered := 0
+		prevHi := 0
+		for c := 0; c < p; c++ {
+			lo, hi := chunkBounds(n, p, c)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		return covered == n && prevHi == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The ring must agree with the two-queue Reducer on the same inputs — the
+// ablation of centralised vs decentralised reduction.
+func TestRingMatchesCentralReducer(t *testing.T) {
+	const p, n = 4, 10
+	outsRing, _ := runRing(t, p, n, 7)
+
+	red := NewReducer(p, nil)
+	defer red.Close()
+	var wg sync.WaitGroup
+	outsCentral := make([][]float64, p)
+	for w := 0; w < p; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := tensor.NewRNG(7 + uint64(w))
+			vec := make([]float64, n)
+			for i := range vec {
+				vec[i] = r.Float64()*2 - 1
+			}
+			out, err := red.Reduce(w, tensor.FromF64(tensor.Shape{n}, vec))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			outsCentral[w] = out.F64()
+		}(w)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if math.Abs(outsRing[0][i]-outsCentral[0][i]) > 1e-12 {
+			t.Fatalf("ring and central reducer disagree at %d: %v vs %v",
+				i, outsRing[0][i], outsCentral[0][i])
+		}
+	}
+}

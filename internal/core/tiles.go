@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tfhpc/internal/npy"
+	"tfhpc/internal/tensor"
+)
+
+// TileStore manages the .npy tile files of one square matrix, named
+// Tile_<prefix>_<i>_<j>.npy as in Fig. 4 of the paper.
+type TileStore struct {
+	Dir         string
+	Prefix      string
+	N           int // full matrix dimension
+	Tile        int // tile dimension
+	TilesPerDim int
+}
+
+// SaveMatrixTiles splits an N×N matrix into tile×tile blocks and writes one
+// .npy file per block (the paper's pre-processing step).
+func SaveMatrixTiles(dir, prefix string, mat *tensor.Tensor, tile int) (*TileStore, error) {
+	if mat.Rank() != 2 || mat.Shape()[0] != mat.Shape()[1] {
+		return nil, fmt.Errorf("core: need a square matrix, got %v", mat.Shape())
+	}
+	n := mat.Shape()[0]
+	if tile <= 0 || n%tile != 0 {
+		return nil, fmt.Errorf("core: tile %d must divide matrix dimension %d", tile, n)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	ts := &TileStore{Dir: dir, Prefix: prefix, N: n, Tile: tile, TilesPerDim: n / tile}
+	for ti := 0; ti < ts.TilesPerDim; ti++ {
+		for tj := 0; tj < ts.TilesPerDim; tj++ {
+			block := tensor.New(mat.DType(), tile, tile)
+			switch mat.DType() {
+			case tensor.Float32:
+				src, dst := mat.F32(), block.F32()
+				for r := 0; r < tile; r++ {
+					copy(dst[r*tile:(r+1)*tile], src[(ti*tile+r)*n+tj*tile:(ti*tile+r)*n+tj*tile+tile])
+				}
+			case tensor.Float64:
+				src, dst := mat.F64(), block.F64()
+				for r := 0; r < tile; r++ {
+					copy(dst[r*tile:(r+1)*tile], src[(ti*tile+r)*n+tj*tile:(ti*tile+r)*n+tj*tile+tile])
+				}
+			default:
+				return nil, fmt.Errorf("core: unsupported tile dtype %v", mat.DType())
+			}
+			if err := npy.Save(ts.Path(ti, tj), block); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ts, nil
+}
+
+// Path returns the file name of tile (i, j).
+func (ts *TileStore) Path(i, j int) string {
+	return filepath.Join(ts.Dir, fmt.Sprintf("Tile_%s_%d_%d.npy", ts.Prefix, i, j))
+}
+
+// LoadTile reads tile (i, j) back from disk.
+func (ts *TileStore) LoadTile(i, j int) (*tensor.Tensor, error) {
+	if i < 0 || i >= ts.TilesPerDim || j < 0 || j >= ts.TilesPerDim {
+		return nil, fmt.Errorf("core: tile (%d,%d) out of %d per dim", i, j, ts.TilesPerDim)
+	}
+	return npy.Load(ts.Path(i, j))
+}
+
+// Assemble reconstructs the full matrix from tiles (test/verification aid).
+func (ts *TileStore) Assemble(dt tensor.DType) (*tensor.Tensor, error) {
+	out := tensor.New(dt, ts.N, ts.N)
+	for ti := 0; ti < ts.TilesPerDim; ti++ {
+		for tj := 0; tj < ts.TilesPerDim; tj++ {
+			block, err := ts.LoadTile(ti, tj)
+			if err != nil {
+				return nil, err
+			}
+			switch dt {
+			case tensor.Float32:
+				src, dst := block.F32(), out.F32()
+				for r := 0; r < ts.Tile; r++ {
+					copy(dst[(ti*ts.Tile+r)*ts.N+tj*ts.Tile:(ti*ts.Tile+r)*ts.N+tj*ts.Tile+ts.Tile],
+						src[r*ts.Tile:(r+1)*ts.Tile])
+				}
+			case tensor.Float64:
+				src, dst := block.F64(), out.F64()
+				for r := 0; r < ts.Tile; r++ {
+					copy(dst[(ti*ts.Tile+r)*ts.N+tj*ts.Tile:(ti*ts.Tile+r)*ts.N+tj*ts.Tile+ts.Tile],
+						src[r*ts.Tile:(r+1)*ts.Tile])
+				}
+			default:
+				return nil, fmt.Errorf("core: unsupported dtype %v", dt)
+			}
+		}
+	}
+	return out, nil
+}
+
+// SaveInterleavedTiles splits a length-N complex vector into `tiles`
+// interleaved chunks (chunk t holds elements t, t+tiles, t+2·tiles, ...) and
+// writes each as a .npy file — the FFT application's decimation-in-time
+// layout (Fig. 6).
+func SaveInterleavedTiles(dir, prefix string, vec []complex128, tiles int) ([]string, error) {
+	n := len(vec)
+	if tiles <= 0 || n%tiles != 0 {
+		return nil, fmt.Errorf("core: %d tiles must divide vector length %d", tiles, n)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	chunk := n / tiles
+	paths := make([]string, tiles)
+	for t := 0; t < tiles; t++ {
+		data := make([]complex128, chunk)
+		for i := 0; i < chunk; i++ {
+			data[i] = vec[t+i*tiles]
+		}
+		paths[t] = filepath.Join(dir, fmt.Sprintf("Tile_%s_%d.npy", prefix, t))
+		if err := npy.Save(paths[t], tensor.FromC128(tensor.Shape{chunk}, data)); err != nil {
+			return nil, err
+		}
+	}
+	return paths, nil
+}

@@ -1,0 +1,72 @@
+// Package eager provides imperative op execution — the "eager mode" the
+// paper notes "will likely become the default execution mode in future
+// releases of TensorFlow". Operations run immediately against a private
+// resource context, with no graph or session, which is convenient for
+// interactive exploration and for writing the host-side fringes of an
+// application (the role Python/Numpy plays in the paper's FFT merger).
+package eager
+
+import (
+	"fmt"
+
+	"tfhpc/internal/ops"
+	"tfhpc/internal/session"
+	"tfhpc/internal/tensor"
+)
+
+// Context owns the state (variables, queues) eager ops touch.
+type Context struct {
+	res *session.Resources
+	seq int
+}
+
+// NewContext returns an empty eager context.
+func NewContext() *Context {
+	return &Context{res: session.NewResources()}
+}
+
+// Resources exposes the backing state (shared with sessions if desired).
+func (c *Context) Resources() *session.Resources { return c.res }
+
+// Exec runs one op immediately and returns its output.
+func (c *Context) Exec(op string, attrs map[string]any, inputs ...*tensor.Tensor) (*tensor.Tensor, error) {
+	c.seq++
+	ctx := &ops.Context{
+		NodeName:  fmt.Sprintf("eager_%s_%d", op, c.seq),
+		Attrs:     attrs,
+		Resources: c.res,
+		Scratch:   ops.NewScratch(),
+	}
+	return ops.Run(op, ctx, inputs)
+}
+
+// MustExec is Exec that panics on error, for quick scripts and tests.
+func (c *Context) MustExec(op string, attrs map[string]any, inputs ...*tensor.Tensor) *tensor.Tensor {
+	out, err := c.Exec(op, attrs, inputs...)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Convenience wrappers for the common arithmetic.
+
+// Add returns a+b elementwise.
+func (c *Context) Add(a, b *tensor.Tensor) (*tensor.Tensor, error) {
+	return c.Exec("Add", nil, a, b)
+}
+
+// MatMul returns a·b.
+func (c *Context) MatMul(a, b *tensor.Tensor) (*tensor.Tensor, error) {
+	return c.Exec("MatMul", nil, a, b)
+}
+
+// Dot returns the inner product of two vectors.
+func (c *Context) Dot(a, b *tensor.Tensor) (*tensor.Tensor, error) {
+	return c.Exec("Dot", nil, a, b)
+}
+
+// FFT returns the discrete Fourier transform of a complex128 vector.
+func (c *Context) FFT(a *tensor.Tensor) (*tensor.Tensor, error) {
+	return c.Exec("FFT", nil, a)
+}

@@ -1,0 +1,95 @@
+package eager
+
+import (
+	"strings"
+	"testing"
+
+	"tfhpc/internal/tensor"
+)
+
+func TestExecArithmetic(t *testing.T) {
+	c := NewContext()
+	a := tensor.FromF64(tensor.Shape{2}, []float64{1, 2})
+	b := tensor.FromF64(tensor.Shape{2}, []float64{10, 20})
+	out, err := c.Add(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.F64()[1] != 22 {
+		t.Fatalf("Add = %v", out.F64())
+	}
+	d, err := c.Dot(a, b)
+	if err != nil || d.ScalarFloat() != 50 {
+		t.Fatalf("Dot = %v, %v", d, err)
+	}
+}
+
+func TestExecMatMulAndFFT(t *testing.T) {
+	c := NewContext()
+	eye := tensor.FromF64(tensor.Shape{2, 2}, []float64{1, 0, 0, 1})
+	m := tensor.FromF64(tensor.Shape{2, 2}, []float64{1, 2, 3, 4})
+	out, err := c.MatMul(m, eye)
+	if err != nil || !out.Equal(m) {
+		t.Fatalf("MatMul with identity: %v, %v", out, err)
+	}
+	sig := tensor.FromC128(tensor.Shape{4}, []complex128{1, 0, 0, 0})
+	f, err := c.FFT(sig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range f.C128() {
+		if v != 1 {
+			t.Fatalf("impulse FFT = %v", f.C128())
+		}
+	}
+}
+
+func TestEagerStatePersists(t *testing.T) {
+	c := NewContext()
+	attrs := map[string]any{"var_name": "w"}
+	if _, err := c.Exec("Assign", attrs, tensor.ScalarF64(1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Exec("AssignAdd", attrs, tensor.ScalarF64(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := c.Exec("Variable", attrs)
+	if err != nil || out.ScalarFloat() != 7 {
+		t.Fatalf("variable = %v, %v", out, err)
+	}
+}
+
+func TestEagerErrors(t *testing.T) {
+	c := NewContext()
+	if _, err := c.Exec("NotAnOp", nil); err == nil || !strings.Contains(err.Error(), "unknown op") {
+		t.Fatalf("err = %v", err)
+	}
+	a := tensor.FromF64(tensor.Shape{2}, []float64{1, 2})
+	b := tensor.FromF64(tensor.Shape{3}, []float64{1, 2, 3})
+	if _, err := c.Add(a, b); err == nil {
+		t.Fatal("shape mismatch should error")
+	}
+}
+
+func TestMustExecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewContext().MustExec("NotAnOp", nil)
+}
+
+func TestEagerQueues(t *testing.T) {
+	c := NewContext()
+	attrs := map[string]any{"queue": "q", "capacity": 4}
+	if _, err := c.Exec("QueueEnqueue", attrs, tensor.ScalarI64(5)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := c.Exec("QueueDequeue", attrs)
+	if err != nil || out.ScalarInt() != 5 {
+		t.Fatalf("dequeue = %v, %v", out, err)
+	}
+}

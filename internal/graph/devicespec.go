@@ -1,0 +1,144 @@
+package graph
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// DeviceSpec identifies a device within a distributed cluster, mirroring
+// TensorFlow's "/job:worker/task:0/device:GPU:0" strings. Empty fields mean
+// "unconstrained" and are filled in by the placer or by merging with a
+// scope's default.
+type DeviceSpec struct {
+	Job         string // "ps", "worker", ... ; "" = local / unconstrained
+	Task        int    // task index within the job; -1 = unconstrained
+	DeviceType  string // "CPU" or "GPU"; "" = unconstrained
+	DeviceIndex int    // -1 = unconstrained
+}
+
+// UnconstrainedDevice returns a spec with every field open.
+func UnconstrainedDevice() DeviceSpec {
+	return DeviceSpec{Task: -1, DeviceIndex: -1}
+}
+
+// ParseDevice parses full ("/job:worker/task:1/device:GPU:0") and shorthand
+// ("/gpu:0", "/cpu:0", "/device:CPU:0") device strings. An empty string
+// parses to the unconstrained spec.
+func ParseDevice(s string) (DeviceSpec, error) {
+	spec := UnconstrainedDevice()
+	if s == "" {
+		return spec, nil
+	}
+	if !strings.HasPrefix(s, "/") {
+		return spec, fmt.Errorf("graph: device %q must start with '/'", s)
+	}
+	for _, part := range strings.Split(strings.TrimPrefix(s, "/"), "/") {
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, ":")
+		if !ok {
+			return spec, fmt.Errorf("graph: malformed device component %q in %q", part, s)
+		}
+		switch strings.ToLower(key) {
+		case "job":
+			spec.Job = val
+		case "task":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return spec, fmt.Errorf("graph: bad task index %q in %q", val, s)
+			}
+			spec.Task = n
+		case "replica":
+			// Accepted and ignored (single-replica runtime).
+		case "device":
+			typ, idxStr, ok := strings.Cut(val, ":")
+			if !ok {
+				return spec, fmt.Errorf("graph: device component needs TYPE:index in %q", s)
+			}
+			n, err := strconv.Atoi(idxStr)
+			if err != nil || n < 0 {
+				return spec, fmt.Errorf("graph: bad device index %q in %q", idxStr, s)
+			}
+			spec.DeviceType = strings.ToUpper(typ)
+			spec.DeviceIndex = n
+		case "cpu", "gpu":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 0 {
+				return spec, fmt.Errorf("graph: bad device index %q in %q", val, s)
+			}
+			spec.DeviceType = strings.ToUpper(key)
+			spec.DeviceIndex = n
+		default:
+			return spec, fmt.Errorf("graph: unknown device component %q in %q", key, s)
+		}
+	}
+	if spec.DeviceType != "" && spec.DeviceType != "CPU" && spec.DeviceType != "GPU" {
+		return spec, fmt.Errorf("graph: unsupported device type %q in %q", spec.DeviceType, s)
+	}
+	return spec, nil
+}
+
+// MustParseDevice is ParseDevice that panics on error, for literals.
+func MustParseDevice(s string) DeviceSpec {
+	spec, err := ParseDevice(s)
+	if err != nil {
+		panic(err)
+	}
+	return spec
+}
+
+// String renders the canonical full form, omitting unconstrained fields.
+func (d DeviceSpec) String() string {
+	var sb strings.Builder
+	if d.Job != "" {
+		fmt.Fprintf(&sb, "/job:%s", d.Job)
+	}
+	if d.Task >= 0 {
+		fmt.Fprintf(&sb, "/task:%d", d.Task)
+	}
+	if d.DeviceType != "" {
+		idx := d.DeviceIndex
+		if idx < 0 {
+			idx = 0
+		}
+		fmt.Fprintf(&sb, "/device:%s:%d", d.DeviceType, idx)
+	}
+	return sb.String()
+}
+
+// Merge fills d's unconstrained fields from other (d's own settings win).
+func (d DeviceSpec) Merge(other DeviceSpec) DeviceSpec {
+	out := d
+	if out.Job == "" {
+		out.Job = other.Job
+	}
+	if out.Task < 0 {
+		out.Task = other.Task
+	}
+	if out.DeviceType == "" {
+		out.DeviceType = other.DeviceType
+		if out.DeviceIndex < 0 {
+			out.DeviceIndex = other.DeviceIndex
+		}
+	}
+	return out
+}
+
+// IsLocalTo reports whether the spec addresses the given job/task (specs
+// with no job constraint are local to everyone).
+func (d DeviceSpec) IsLocalTo(job string, task int) bool {
+	if d.Job == "" {
+		return true
+	}
+	if d.Job != job {
+		return false
+	}
+	return d.Task < 0 || d.Task == task
+}
+
+// Unconstrained reports whether every field is open.
+func (d DeviceSpec) Unconstrained() bool {
+	return d.Job == "" && d.Task < 0 && d.DeviceType == "" && d.DeviceIndex < 0
+}

@@ -1,0 +1,243 @@
+// Package hostlist parses and generates Slurm hostlist expressions such as
+// "t01n[01-03,05],gpu07". The SlurmClusterResolver uses it to expand
+// SLURM_JOB_NODELIST into individual node names, exactly as the paper's
+// resolver does via scontrol.
+package hostlist
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Expand converts a hostlist expression into the full slice of host names.
+// Supported grammar (a practical subset of Slurm's):
+//
+//	list    := entry ("," entry)*
+//	entry   := text (range-group text?)*
+//	group   := "[" range ("," range)* "]"
+//	range   := number | number "-" number        (zero padding preserved)
+//
+// Multiple bracket groups per entry are supported ("r[1-2]n[01-02]" expands
+// to the cross product).
+func Expand(expr string) ([]string, error) {
+	entries, err := splitTop(expr)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		hosts, err := expandEntry(e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, hosts...)
+	}
+	return out, nil
+}
+
+// splitTop splits on commas that are not inside brackets.
+func splitTop(expr string) ([]string, error) {
+	var parts []string
+	depth := 0
+	start := 0
+	for i, c := range expr {
+		switch c {
+		case '[':
+			depth++
+		case ']':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("hostlist: unbalanced ']' at %d in %q", i, expr)
+			}
+		case ',':
+			if depth == 0 {
+				parts = append(parts, expr[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("hostlist: unbalanced '[' in %q", expr)
+	}
+	parts = append(parts, expr[start:])
+	var clean []string
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p != "" {
+			clean = append(clean, p)
+		}
+	}
+	return clean, nil
+}
+
+func expandEntry(entry string) ([]string, error) {
+	open := strings.IndexByte(entry, '[')
+	if open < 0 {
+		if strings.ContainsAny(entry, "]") {
+			return nil, fmt.Errorf("hostlist: stray ']' in %q", entry)
+		}
+		return []string{entry}, nil
+	}
+	closeIdx := strings.IndexByte(entry[open:], ']')
+	if closeIdx < 0 {
+		return nil, fmt.Errorf("hostlist: missing ']' in %q", entry)
+	}
+	closeIdx += open
+	prefix := entry[:open]
+	group := entry[open+1 : closeIdx]
+	rest := entry[closeIdx+1:]
+
+	nums, err := expandGroup(group)
+	if err != nil {
+		return nil, fmt.Errorf("hostlist: %q: %w", entry, err)
+	}
+	suffixes, err := expandEntry(rest)
+	if err != nil {
+		return nil, err
+	}
+	if rest == "" {
+		suffixes = []string{""}
+	}
+	out := make([]string, 0, len(nums)*len(suffixes))
+	for _, n := range nums {
+		for _, s := range suffixes {
+			out = append(out, prefix+n+s)
+		}
+	}
+	return out, nil
+}
+
+func expandGroup(group string) ([]string, error) {
+	if group == "" {
+		return nil, fmt.Errorf("empty range group")
+	}
+	var out []string
+	for _, r := range strings.Split(group, ",") {
+		r = strings.TrimSpace(r)
+		lo, hi, ok := strings.Cut(r, "-")
+		if !ok {
+			if _, err := strconv.Atoi(lo); err != nil {
+				return nil, fmt.Errorf("bad number %q", lo)
+			}
+			out = append(out, lo)
+			continue
+		}
+		loV, err1 := strconv.Atoi(lo)
+		hiV, err2 := strconv.Atoi(hi)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad range %q", r)
+		}
+		if hiV < loV {
+			return nil, fmt.Errorf("descending range %q", r)
+		}
+		if hiV-loV > 1<<20 {
+			return nil, fmt.Errorf("range %q too large", r)
+		}
+		width := 0
+		if len(lo) > 1 && lo[0] == '0' {
+			width = len(lo)
+		}
+		for v := loV; v <= hiV; v++ {
+			if width > 0 {
+				out = append(out, fmt.Sprintf("%0*d", width, v))
+			} else {
+				out = append(out, strconv.Itoa(v))
+			}
+		}
+	}
+	return out, nil
+}
+
+// Compress produces a compact hostlist expression for the given hosts,
+// grouping runs of numerically consecutive suffixes that share a prefix and
+// zero-padding width. Expand(Compress(hosts)) returns the hosts in sorted
+// order.
+func Compress(hosts []string) string {
+	type key struct {
+		prefix string
+		width  int
+	}
+	groups := make(map[key][]int)
+	var loners []string
+	var orderedKeys []key
+	seen := make(map[key]bool)
+
+	for _, h := range hosts {
+		// Split into prefix + trailing digits.
+		i := len(h)
+		for i > 0 && h[i-1] >= '0' && h[i-1] <= '9' {
+			i--
+		}
+		if i == len(h) {
+			loners = append(loners, h)
+			continue
+		}
+		numStr := h[i:]
+		n, _ := strconv.Atoi(numStr)
+		width := 0
+		if len(numStr) > 1 && numStr[0] == '0' {
+			width = len(numStr)
+		}
+		k := key{prefix: h[:i], width: width}
+		if !seen[k] {
+			seen[k] = true
+			orderedKeys = append(orderedKeys, k)
+		}
+		groups[k] = append(groups[k], n)
+	}
+
+	sort.Slice(orderedKeys, func(i, j int) bool {
+		if orderedKeys[i].prefix != orderedKeys[j].prefix {
+			return orderedKeys[i].prefix < orderedKeys[j].prefix
+		}
+		return orderedKeys[i].width < orderedKeys[j].width
+	})
+	sort.Strings(loners)
+
+	var parts []string
+	for _, k := range orderedKeys {
+		nums := groups[k]
+		sort.Ints(nums)
+		nums = dedupInts(nums)
+		var ranges []string
+		for i := 0; i < len(nums); {
+			j := i
+			for j+1 < len(nums) && nums[j+1] == nums[j]+1 {
+				j++
+			}
+			lo := formatNum(nums[i], k.width)
+			if j == i {
+				ranges = append(ranges, lo)
+			} else {
+				ranges = append(ranges, lo+"-"+formatNum(nums[j], k.width))
+			}
+			i = j + 1
+		}
+		if len(ranges) == 1 && !strings.Contains(ranges[0], "-") {
+			parts = append(parts, k.prefix+ranges[0])
+		} else {
+			parts = append(parts, k.prefix+"["+strings.Join(ranges, ",")+"]")
+		}
+	}
+	parts = append(parts, loners...)
+	return strings.Join(parts, ",")
+}
+
+func dedupInts(xs []int) []int {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func formatNum(n, width int) string {
+	if width > 0 {
+		return fmt.Sprintf("%0*d", width, n)
+	}
+	return strconv.Itoa(n)
+}

@@ -1,0 +1,144 @@
+package hostlist
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpandBasic(t *testing.T) {
+	cases := []struct {
+		expr string
+		want []string
+	}{
+		{"t01n01", []string{"t01n01"}},
+		{"t01n[01-03]", []string{"t01n01", "t01n02", "t01n03"}},
+		{"t01n[01-02,05]", []string{"t01n01", "t01n02", "t01n05"}},
+		{"a,b,c", []string{"a", "b", "c"}},
+		{"t01n[01-02],t02n07", []string{"t01n01", "t01n02", "t02n07"}},
+		{"gpu[1-3]", []string{"gpu1", "gpu2", "gpu3"}},
+		{"gpu[8-11]", []string{"gpu8", "gpu9", "gpu10", "gpu11"}},
+		{"gpu[08-11]", []string{"gpu08", "gpu09", "gpu10", "gpu11"}},
+		{"r[1-2]n[01-02]", []string{"r1n01", "r1n02", "r2n01", "r2n02"}},
+		{"n[5]", []string{"n5"}},
+		{" a , b ", []string{"a", "b"}},
+	}
+	for _, c := range cases {
+		got, err := Expand(c.expr)
+		if err != nil {
+			t.Errorf("Expand(%q): %v", c.expr, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Expand(%q) = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	for _, expr := range []string{
+		"t01n[01-",
+		"t01n01]",
+		"t01n[]",
+		"t01n[a-b]",
+		"t01n[5-3]",
+		"x[1-9999999999]",
+	} {
+		if _, err := Expand(expr); err == nil {
+			t.Errorf("Expand(%q) should fail", expr)
+		}
+	}
+}
+
+func TestCompressBasic(t *testing.T) {
+	cases := []struct {
+		hosts []string
+		want  string
+	}{
+		{[]string{"t01n01", "t01n02", "t01n03"}, "t01n[01-03]"},
+		{[]string{"t01n01", "t01n03"}, "t01n[01,03]"},
+		{[]string{"a"}, "a"},
+		{[]string{"gpu1", "gpu2", "gpu3", "gpu7"}, "gpu[1-3,7]"},
+		{[]string{"n1"}, "n1"},
+	}
+	for _, c := range cases {
+		if got := Compress(c.hosts); got != c.want {
+			t.Errorf("Compress(%v) = %q, want %q", c.hosts, got, c.want)
+		}
+	}
+}
+
+func TestCompressExpandRoundTrip(t *testing.T) {
+	sets := [][]string{
+		{"t01n01", "t01n02", "t01n05", "t02n01"},
+		{"a", "b9", "b10", "b11"},
+		{"kebnekaise-g01", "kebnekaise-g02"},
+		{"x01", "x02", "x3"}, // mixed padding widths stay separate
+	}
+	for _, hosts := range sets {
+		expr := Compress(hosts)
+		got, err := Expand(expr)
+		if err != nil {
+			t.Fatalf("Expand(Compress(%v)=%q): %v", hosts, expr, err)
+		}
+		wantSorted := append([]string(nil), hosts...)
+		sort.Strings(wantSorted)
+		gotSorted := append([]string(nil), got...)
+		sort.Strings(gotSorted)
+		if !reflect.DeepEqual(gotSorted, wantSorted) {
+			t.Errorf("round trip %v -> %q -> %v", hosts, expr, got)
+		}
+	}
+}
+
+// Property: expand(compress(S)) == S as a set, for arbitrary generated node
+// names of the Slurm style used on Tegner and Kebnekaise.
+func TestCompressExpandQuick(t *testing.T) {
+	f := func(rack uint8, ids []uint8) bool {
+		if len(ids) == 0 {
+			return true
+		}
+		seen := map[string]bool{}
+		var hosts []string
+		for _, id := range ids {
+			h := fmt.Sprintf("t%02dn%02d", rack%10, id%30)
+			if !seen[h] {
+				seen[h] = true
+				hosts = append(hosts, h)
+			}
+		}
+		expr := Compress(hosts)
+		got, err := Expand(expr)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(hosts) {
+			return false
+		}
+		gotSet := map[string]bool{}
+		for _, h := range got {
+			gotSet[h] = true
+		}
+		for _, h := range hosts {
+			if !gotSet[h] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpandLargeRange(t *testing.T) {
+	got, err := Expand("n[1-128]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 128 || got[0] != "n1" || got[127] != "n128" {
+		t.Fatalf("bad expansion: len=%d", len(got))
+	}
+}

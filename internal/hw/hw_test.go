@@ -1,0 +1,150 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCatalogueLookup(t *testing.T) {
+	for _, c := range []struct{ cluster, node string }{
+		{"tegner", "k420"},
+		{"tegner", "k80"},
+		{"kebnekaise", "k80"},
+		{"kebnekaise", "v100"},
+	} {
+		cl, nt, err := NodeTypeByName(c.cluster, c.node)
+		if err != nil {
+			t.Fatalf("%v/%v: %v", c.cluster, c.node, err)
+		}
+		if cl == nil || nt == nil {
+			t.Fatalf("%v/%v: nil result", c.cluster, c.node)
+		}
+	}
+	if _, _, err := NodeTypeByName("summit", "v100"); err == nil {
+		t.Fatal("unknown cluster should error")
+	}
+	if _, _, err := NodeTypeByName("tegner", "v100"); err == nil {
+		t.Fatal("unknown node type should error")
+	}
+}
+
+// Table I of the paper: TensorFlow instances per node.
+func TestTableIInstanceCounts(t *testing.T) {
+	want := []struct {
+		cluster, node string
+		instances     int
+		engines       int
+	}{
+		{"tegner", "k420", 1, 1},
+		{"tegner", "k80", 2, 2},
+		{"kebnekaise", "k80", 4, 4},
+		{"kebnekaise", "v100", 2, 2},
+	}
+	for _, w := range want {
+		_, nt, err := NodeTypeByName(w.cluster, w.node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nt.InstancesPerNode != w.instances {
+			t.Errorf("%s/%s instances = %d, want %d", w.cluster, w.node, nt.InstancesPerNode, w.instances)
+		}
+		if nt.GPUEngines != w.engines {
+			t.Errorf("%s/%s engines = %d, want %d", w.cluster, w.node, nt.GPUEngines, w.engines)
+		}
+	}
+}
+
+func TestGPUMemoryCapacities(t *testing.T) {
+	if K420.MemBytes != 1<<30 {
+		t.Error("K420 must have 1 GB (Table I)")
+	}
+	if GK210.MemBytes != 12<<30 {
+		t.Error("GK210 must have 12 GB per engine (Table I)")
+	}
+	if V100.MemBytes != 16<<30 {
+		t.Error("V100 must have 16 GB (Table I)")
+	}
+}
+
+func TestGemmTimeOrdering(t *testing.T) {
+	// V100 beats GK210 beats K420 on the same GEMM.
+	n := 4096
+	k420 := K420.GemmTime(n, n, n, false)
+	k80 := GK210.GemmTime(n, n, n, false)
+	v100 := V100.GemmTime(n, n, n, false)
+	if !(v100 < k80 && k80 < k420) {
+		t.Fatalf("GEMM time ordering wrong: v100=%v k80=%v k420=%v", v100, k80, k420)
+	}
+	// Doubling every dimension costs ~8x for a compute-bound GEMM.
+	small := GK210.GemmTime(2048, 2048, 2048, false)
+	big := GK210.GemmTime(4096, 4096, 4096, false)
+	if ratio := big / small; ratio < 7 || ratio > 9 {
+		t.Fatalf("GEMM scaling ratio %v, want ~8", ratio)
+	}
+	// DP GEMM is slower than SP.
+	if GK210.GemmTime(n, n, n, true) <= GK210.GemmTime(n, n, n, false) {
+		t.Fatal("DP GEMM should be slower than SP")
+	}
+}
+
+func TestMatVecIsMemoryBound(t *testing.T) {
+	// For a dense fp64 matvec the duration should be ~ bytes/MemBW.
+	n := 8192
+	dt := GK210.MatVecTime(n, n, true)
+	bytes := 8.0 * float64(n) * float64(n)
+	ideal := bytes / GK210.MemBW
+	if dt < ideal*0.99 || dt > ideal*1.2 {
+		t.Fatalf("matvec time %v not memory bound (ideal %v)", dt, ideal)
+	}
+}
+
+func TestFFTTimeGrowsNLogN(t *testing.T) {
+	t1 := GK210.FFTTime(1<<20, true)
+	t2 := GK210.FFTTime(1<<21, true)
+	// Doubling n should slightly more than double the time (n log n).
+	if ratio := t2 / t1; ratio < 2.0 || ratio > 2.2 {
+		t.Fatalf("FFT scaling ratio %v, want ~2.1", ratio)
+	}
+	if GK210.FFTTime(1, true) != 0 {
+		t.Fatal("FFT of 1 point should be free")
+	}
+}
+
+func TestPCIeTimeMonotone(t *testing.T) {
+	if K420.PCIeTime(1<<20) >= K420.PCIeTime(1<<24) {
+		t.Fatal("PCIe time must grow with size")
+	}
+	if GK210.PCIeTime(1<<24) >= K420.PCIeTime(1<<24) {
+		t.Fatal("GK210 PCIe staging should be faster than K420's")
+	}
+}
+
+func TestKebnekaiseTopologyFig9(t *testing.T) {
+	_, nt, _ := NodeTypeByName("kebnekaise", "k80")
+	if nt.NUMAIslands != 2 {
+		t.Fatal("Kebnekaise K80 nodes have two NUMA islands (Fig. 9)")
+	}
+	if nt.NICIsland != 0 {
+		t.Fatal("I/O attaches to island 0 (Fig. 9)")
+	}
+	// One K80 board (two engines) per island.
+	count := map[int]int{}
+	for _, isle := range nt.GPUIslandOf {
+		count[isle]++
+	}
+	if count[0] != 2 || count[1] != 2 {
+		t.Fatalf("GPU engines per island = %v, want 2+2", count)
+	}
+	s := nt.TopologyString()
+	for _, want := range []string{"island 0", "island 1", "InfiniBand", "GK210"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("topology string missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestVectorOpTime(t *testing.T) {
+	if V100.VectorOpTime(1<<30) >= GK210.VectorOpTime(1<<30) {
+		t.Fatal("V100 streams faster than GK210")
+	}
+}

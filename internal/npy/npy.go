@@ -1,0 +1,264 @@
+// Package npy reads and writes NumPy .npy files (format version 1.0) for
+// the dtypes the applications use: <f4, <f8, <i8 and <c16. The paper's
+// matmul and FFT applications pre-process their inputs into .npy tile files
+// ("Tile_1_2.npy, ...") that workers stream from the parallel filesystem;
+// this package is the moral equivalent of the numpy.save/load pair, byte
+// compatible with NumPy for supported dtypes.
+package npy
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"tfhpc/internal/tensor"
+)
+
+var magic = []byte("\x93NUMPY")
+
+func descrFor(dt tensor.DType) (string, error) {
+	switch dt {
+	case tensor.Float32:
+		return "<f4", nil
+	case tensor.Float64:
+		return "<f8", nil
+	case tensor.Int64:
+		return "<i8", nil
+	case tensor.Complex128:
+		return "<c16", nil
+	}
+	return "", fmt.Errorf("npy: unsupported dtype %v", dt)
+}
+
+func dtypeFor(descr string) (tensor.DType, error) {
+	switch descr {
+	case "<f4", "|f4", "f4":
+		return tensor.Float32, nil
+	case "<f8", "|f8", "f8":
+		return tensor.Float64, nil
+	case "<i8", "|i8", "i8":
+		return tensor.Int64, nil
+	case "<c16", "|c16", "c16":
+		return tensor.Complex128, nil
+	}
+	return tensor.Invalid, fmt.Errorf("npy: unsupported descr %q", descr)
+}
+
+// Write serializes t to w in .npy v1.0 format.
+func Write(w io.Writer, t *tensor.Tensor) error {
+	descr, err := descrFor(t.DType())
+	if err != nil {
+		return err
+	}
+	dims := make([]string, t.Rank())
+	for i, d := range t.Shape() {
+		dims[i] = strconv.Itoa(d)
+	}
+	shapeStr := strings.Join(dims, ", ")
+	if t.Rank() == 1 {
+		shapeStr += ","
+	}
+	header := fmt.Sprintf("{'descr': '%s', 'fortran_order': False, 'shape': (%s), }", descr, shapeStr)
+	// Pad with spaces so that magic+version+len+header is a multiple of 64,
+	// ending in newline (the NumPy convention).
+	unpadded := len(magic) + 2 + 2 + len(header) + 1
+	pad := (64 - unpadded%64) % 64
+	header += strings.Repeat(" ", pad) + "\n"
+
+	if _, err := w.Write(magic); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte{1, 0}); err != nil { // version 1.0
+		return err
+	}
+	var hlen [2]byte
+	binary.LittleEndian.PutUint16(hlen[:], uint16(len(header)))
+	if _, err := w.Write(hlen[:]); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, header); err != nil {
+		return err
+	}
+	return writePayload(w, t)
+}
+
+func writePayload(w io.Writer, t *tensor.Tensor) error {
+	buf := make([]byte, 0, t.ByteSize())
+	switch t.DType() {
+	case tensor.Float32:
+		for _, v := range t.F32() {
+			buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(v))
+		}
+	case tensor.Float64:
+		for _, v := range t.F64() {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	case tensor.Int64:
+		for _, v := range t.I64() {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(v))
+		}
+	case tensor.Complex128:
+		for _, v := range t.C128() {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(real(v)))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(imag(v)))
+		}
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// Read parses one .npy v1.x file from r.
+func Read(r io.Reader) (*tensor.Tensor, error) {
+	head := make([]byte, 8)
+	if _, err := io.ReadFull(r, head); err != nil {
+		return nil, fmt.Errorf("npy: short magic: %w", err)
+	}
+	if string(head[:6]) != string(magic) {
+		return nil, fmt.Errorf("npy: bad magic %q", head[:6])
+	}
+	major := head[6]
+	var hlen int
+	switch major {
+	case 1:
+		var b [2]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return nil, err
+		}
+		hlen = int(binary.LittleEndian.Uint16(b[:]))
+	case 2, 3:
+		var b [4]byte
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return nil, err
+		}
+		hlen = int(binary.LittleEndian.Uint32(b[:]))
+	default:
+		return nil, fmt.Errorf("npy: unsupported version %d.%d", head[6], head[7])
+	}
+	hdr := make([]byte, hlen)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return nil, err
+	}
+	descr, fortran, shape, err := parseHeader(string(hdr))
+	if err != nil {
+		return nil, err
+	}
+	if fortran {
+		return nil, fmt.Errorf("npy: fortran_order arrays are not supported")
+	}
+	dt, err := dtypeFor(descr)
+	if err != nil {
+		return nil, err
+	}
+	t := tensor.New(dt, shape...)
+	payload := make([]byte, t.ByteSize())
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("npy: short payload: %w", err)
+	}
+	switch dt {
+	case tensor.Float32:
+		d := t.F32()
+		for i := range d {
+			d[i] = math.Float32frombits(binary.LittleEndian.Uint32(payload[i*4:]))
+		}
+	case tensor.Float64:
+		d := t.F64()
+		for i := range d {
+			d[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[i*8:]))
+		}
+	case tensor.Int64:
+		d := t.I64()
+		for i := range d {
+			d[i] = int64(binary.LittleEndian.Uint64(payload[i*8:]))
+		}
+	case tensor.Complex128:
+		d := t.C128()
+		for i := range d {
+			re := math.Float64frombits(binary.LittleEndian.Uint64(payload[i*16:]))
+			im := math.Float64frombits(binary.LittleEndian.Uint64(payload[i*16+8:]))
+			d[i] = complex(re, im)
+		}
+	}
+	return t, nil
+}
+
+// parseHeader extracts the three fields from the Python dict literal NumPy
+// writes. The parser is deliberately narrow: it handles exactly the grammar
+// numpy.save produces (and that Write above produces).
+func parseHeader(h string) (descr string, fortran bool, shape tensor.Shape, err error) {
+	get := func(key string) (string, bool) {
+		i := strings.Index(h, "'"+key+"'")
+		if i < 0 {
+			return "", false
+		}
+		rest := h[i+len(key)+2:]
+		j := strings.Index(rest, ":")
+		if j < 0 {
+			return "", false
+		}
+		rest = strings.TrimSpace(rest[j+1:])
+		return rest, true
+	}
+	dv, ok := get("descr")
+	if !ok || len(dv) < 2 || dv[0] != '\'' {
+		return "", false, nil, fmt.Errorf("npy: header missing descr: %q", h)
+	}
+	end := strings.IndexByte(dv[1:], '\'')
+	if end < 0 {
+		return "", false, nil, fmt.Errorf("npy: unterminated descr: %q", h)
+	}
+	descr = dv[1 : 1+end]
+
+	fv, ok := get("fortran_order")
+	if !ok {
+		return "", false, nil, fmt.Errorf("npy: header missing fortran_order: %q", h)
+	}
+	fortran = strings.HasPrefix(fv, "True")
+
+	sv, ok := get("shape")
+	if !ok || len(sv) == 0 || sv[0] != '(' {
+		return "", false, nil, fmt.Errorf("npy: header missing shape: %q", h)
+	}
+	close := strings.IndexByte(sv, ')')
+	if close < 0 {
+		return "", false, nil, fmt.Errorf("npy: unterminated shape: %q", h)
+	}
+	for _, part := range strings.Split(sv[1:close], ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		d, err := strconv.Atoi(part)
+		if err != nil || d < 0 {
+			return "", false, nil, fmt.Errorf("npy: bad shape dim %q", part)
+		}
+		shape = append(shape, d)
+	}
+	return descr, fortran, shape, nil
+}
+
+// Save writes t to the named file.
+func Save(path string, t *tensor.Tensor) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a tensor from the named file.
+func Load(path string) (*tensor.Tensor, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,114 @@
+package ops
+
+import (
+	"testing"
+
+	"tfhpc/internal/tensor"
+)
+
+func TestConstAndIdentity(t *testing.T) {
+	v := tensor.FromF64(tensor.Shape{2}, []float64{1, 2})
+	got := run(t, "Const", map[string]any{"value": v})
+	if !got.Equal(v) {
+		t.Fatal("Const mismatch")
+	}
+	if runErr(t, "Const", nil) == nil {
+		t.Fatal("Const without value should error")
+	}
+	id := run(t, "Identity", nil, v)
+	if !id.Equal(v) {
+		t.Fatal("Identity mismatch")
+	}
+}
+
+func TestPlaceholderUnfedErrors(t *testing.T) {
+	if runErr(t, "Placeholder", map[string]any{"dtype": tensor.Float32}) == nil {
+		t.Fatal("unfed placeholder must error")
+	}
+}
+
+func TestRandomUniformFreshPerRun(t *testing.T) {
+	attrs := map[string]any{"dtype": tensor.Float64, "shape": tensor.Shape{16}, "seed": 3}
+	a := run(t, "RandomUniform", attrs)
+	b := run(t, "RandomUniform", attrs)
+	if a.Equal(b) {
+		t.Fatal("successive draws should differ (per-node counter)")
+	}
+	for _, v := range a.F64() {
+		if v < 0 || v >= 1 {
+			t.Fatalf("out of range: %v", v)
+		}
+	}
+}
+
+func TestZerosAndFill(t *testing.T) {
+	z := run(t, "Zeros", map[string]any{"dtype": tensor.Float64, "shape": tensor.Shape{3}})
+	for _, v := range z.F64() {
+		if v != 0 {
+			t.Fatal("Zeros not zero")
+		}
+	}
+	f := run(t, "Fill", map[string]any{"dtype": tensor.Float64, "shape": tensor.Shape{3}, "value": 2.5})
+	for _, v := range f.F64() {
+		if v != 2.5 {
+			t.Fatal("Fill wrong")
+		}
+	}
+	fc := run(t, "Fill", map[string]any{"dtype": tensor.Complex128, "shape": tensor.Shape{2}, "value": 1.0})
+	if fc.C128()[0] != 1 {
+		t.Fatal("complex Fill wrong")
+	}
+}
+
+func TestReshapeOp(t *testing.T) {
+	a := tensor.FromF64(tensor.Shape{2, 3}, []float64{1, 2, 3, 4, 5, 6})
+	got := run(t, "Reshape", map[string]any{"shape": tensor.Shape{3, 2}}, a)
+	if !got.Shape().Equal(tensor.Shape{3, 2}) {
+		t.Fatalf("shape %v", got.Shape())
+	}
+	if runErr(t, "Reshape", map[string]any{"shape": tensor.Shape{4}}, a) == nil {
+		t.Fatal("bad reshape should error")
+	}
+}
+
+func TestSliceRows(t *testing.T) {
+	a := tensor.FromF64(tensor.Shape{4, 2}, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	got := run(t, "SliceRows", map[string]any{"begin": 1, "size": 2}, a)
+	if !got.Shape().Equal(tensor.Shape{2, 2}) {
+		t.Fatalf("shape %v", got.Shape())
+	}
+	if got.F64()[0] != 3 || got.F64()[3] != 6 {
+		t.Fatalf("data %v", got.F64())
+	}
+	// size -1 = to the end
+	rest := run(t, "SliceRows", map[string]any{"begin": 2}, a)
+	if !rest.Shape().Equal(tensor.Shape{2, 2}) || rest.F64()[0] != 5 {
+		t.Fatal("open-ended slice wrong")
+	}
+	if runErr(t, "SliceRows", map[string]any{"begin": 3, "size": 2}, a) == nil {
+		t.Fatal("out of range slice should error")
+	}
+}
+
+func TestConcatRows(t *testing.T) {
+	a := tensor.FromF64(tensor.Shape{1, 2}, []float64{1, 2})
+	b := tensor.FromF64(tensor.Shape{2, 2}, []float64{3, 4, 5, 6})
+	got := run(t, "ConcatRows", nil, a, b)
+	if !got.Shape().Equal(tensor.Shape{3, 2}) {
+		t.Fatalf("shape %v", got.Shape())
+	}
+	if got.F64()[0] != 1 || got.F64()[5] != 6 {
+		t.Fatalf("data %v", got.F64())
+	}
+	// Split-and-concat round trip.
+	top := run(t, "SliceRows", map[string]any{"begin": 0, "size": 1}, got)
+	bottom := run(t, "SliceRows", map[string]any{"begin": 1, "size": 2}, got)
+	rt := run(t, "ConcatRows", nil, top, bottom)
+	if !rt.Equal(got) {
+		t.Fatal("slice+concat should round trip")
+	}
+	c := tensor.FromF64(tensor.Shape{1, 3}, []float64{1, 2, 3})
+	if runErr(t, "ConcatRows", nil, a, c) == nil {
+		t.Fatal("mismatched trailing dims should error")
+	}
+}

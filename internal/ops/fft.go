@@ -1,0 +1,113 @@
+package ops
+
+import (
+	"fmt"
+	"math"
+
+	"tfhpc/internal/tensor"
+)
+
+func init() {
+	Register(&OpDef{Name: "FFT", MinInputs: 1, MaxInputs: 1, GPUCapable: true, Kernel: fftKernel})
+	Register(&OpDef{Name: "IFFT", MinInputs: 1, MaxInputs: 1, GPUCapable: true, Kernel: ifftKernel})
+}
+
+func fftKernel(_ *Context, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	return fftOp(in[0], false)
+}
+
+func ifftKernel(_ *Context, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	return fftOp(in[0], true)
+}
+
+func fftOp(t *tensor.Tensor, inverse bool) (*tensor.Tensor, error) {
+	if t.DType() != tensor.Complex128 {
+		return nil, fmt.Errorf("FFT: need complex128, got %v", t.DType())
+	}
+	if t.Rank() != 1 {
+		return nil, fmt.Errorf("FFT: need rank-1, got %v", t.Shape())
+	}
+	out := t.Clone()
+	if err := FFTInPlace(out.C128(), inverse); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FFTInPlace runs an iterative radix-2 Cooley-Tukey transform over a (whose
+// length must be a power of two), forward or inverse. The inverse includes
+// the 1/n normalisation. Twiddle factors come from a precomputed table, so
+// accuracy does not degrade with n as it would with repeated multiplication.
+func FFTInPlace(a []complex128, inverse bool) error {
+	n := len(a)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) != 0 {
+		return fmt.Errorf("FFT: length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+		mask := n >> 1
+		for ; j&mask != 0; mask >>= 1 {
+			j &^= mask
+		}
+		j |= mask
+	}
+	// Root table: roots[k] = exp(sign * 2πi k / n), k in [0, n/2).
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	roots := make([]complex128, n/2)
+	for k := range roots {
+		ang := sign * 2 * math.Pi * float64(k) / float64(n)
+		roots[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	for length := 2; length <= n; length <<= 1 {
+		half := length >> 1
+		stride := n / length
+		for start := 0; start < n; start += length {
+			for j := 0; j < half; j++ {
+				w := roots[j*stride]
+				u := a[start+j]
+				v := a[start+j+half] * w
+				a[start+j] = u + v
+				a[start+j+half] = u - v
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range a {
+			a[i] *= inv
+		}
+	}
+	return nil
+}
+
+// NaiveDFT computes the O(n²) discrete Fourier transform, used as the
+// reference in tests and for the merger's correctness checks.
+func NaiveDFT(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			ang := sign * 2 * math.Pi * float64(k) * float64(j) / float64(n)
+			s += x[j] * complex(math.Cos(ang), math.Sin(ang))
+		}
+		if inverse {
+			s /= complex(float64(n), 0)
+		}
+		out[k] = s
+	}
+	return out
+}

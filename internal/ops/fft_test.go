@@ -1,0 +1,162 @@
+package ops
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"tfhpc/internal/tensor"
+)
+
+func randComplex(seed uint64, n int) []complex128 {
+	r := tensor.NewRNG(seed)
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(r.Float64()*2-1, r.Float64()*2-1)
+	}
+	return out
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		x := randComplex(uint64(n), n)
+		in := tensor.FromC128(tensor.Shape{n}, append([]complex128(nil), x...))
+		got := run(t, "FFT", nil, in)
+		want := NaiveDFT(x, false)
+		for i := range want {
+			if cmplx.Abs(got.C128()[i]-want[i]) > 1e-8*float64(n) {
+				t.Fatalf("n=%d: FFT[%d] = %v, want %v", n, i, got.C128()[i], want[i])
+			}
+		}
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		n := 1 << (1 + r.Intn(10))
+		x := randComplex(seed, n)
+		in := tensor.FromC128(tensor.Shape{n}, append([]complex128(nil), x...))
+		fwd, err := Run("FFT", &Context{}, []*tensor.Tensor{in})
+		if err != nil {
+			return false
+		}
+		back, err := Run("IFFT", &Context{}, []*tensor.Tensor{fwd})
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if cmplx.Abs(back.C128()[i]-x[i]) > 1e-9*float64(n) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Parseval: sum |x|² == (1/n) sum |X|².
+func TestFFTParseval(t *testing.T) {
+	n := 1024
+	x := randComplex(99, n)
+	in := tensor.FromC128(tensor.Shape{n}, append([]complex128(nil), x...))
+	out := run(t, "FFT", nil, in)
+	var eTime, eFreq float64
+	for i := range x {
+		eTime += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		v := out.C128()[i]
+		eFreq += real(v)*real(v) + imag(v)*imag(v)
+	}
+	eFreq /= float64(n)
+	if math.Abs(eTime-eFreq) > 1e-8*eTime {
+		t.Fatalf("Parseval violated: %v vs %v", eTime, eFreq)
+	}
+}
+
+// Linearity: FFT(a·x + y) == a·FFT(x) + FFT(y).
+func TestFFTLinearity(t *testing.T) {
+	n := 128
+	x := randComplex(1, n)
+	y := randComplex(2, n)
+	alpha := complex(2.5, -1.0)
+	combo := make([]complex128, n)
+	for i := range combo {
+		combo[i] = alpha*x[i] + y[i]
+	}
+	fc := run(t, "FFT", nil, tensor.FromC128(tensor.Shape{n}, combo))
+	fx := run(t, "FFT", nil, tensor.FromC128(tensor.Shape{n}, x))
+	fy := run(t, "FFT", nil, tensor.FromC128(tensor.Shape{n}, y))
+	for i := 0; i < n; i++ {
+		want := alpha*fx.C128()[i] + fy.C128()[i]
+		if cmplx.Abs(fc.C128()[i]-want) > 1e-9*float64(n) {
+			t.Fatalf("linearity broken at %d", i)
+		}
+	}
+}
+
+// An impulse transforms to all-ones; a constant transforms to an impulse.
+func TestFFTKnownSignals(t *testing.T) {
+	n := 16
+	impulse := make([]complex128, n)
+	impulse[0] = 1
+	out := run(t, "FFT", nil, tensor.FromC128(tensor.Shape{n}, impulse))
+	for i, v := range out.C128() {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse FFT[%d] = %v, want 1", i, v)
+		}
+	}
+	ones := make([]complex128, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	out = run(t, "FFT", nil, tensor.FromC128(tensor.Shape{n}, ones))
+	if cmplx.Abs(out.C128()[0]-complex(float64(n), 0)) > 1e-12 {
+		t.Fatalf("DC term = %v, want %d", out.C128()[0], n)
+	}
+	for i := 1; i < n; i++ {
+		if cmplx.Abs(out.C128()[i]) > 1e-10 {
+			t.Fatalf("non-DC term %d = %v, want 0", i, out.C128()[i])
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	in := tensor.New(tensor.Complex128, 12)
+	if runErr(t, "FFT", nil, in) == nil {
+		t.Fatal("non-power-of-two length should error")
+	}
+	if runErr(t, "FFT", nil, tensor.New(tensor.Float64, 8)) == nil {
+		t.Fatal("non-complex input should error")
+	}
+}
+
+// The Cooley-Tukey decimation-in-time identity that the paper's distributed
+// FFT relies on: splitting into even/odd interleaved halves, transforming
+// each, and merging with twiddle factors reproduces the full FFT.
+func TestCooleyTukeyMergeIdentity(t *testing.T) {
+	n := 256
+	x := randComplex(5, n)
+	even := make([]complex128, n/2)
+	odd := make([]complex128, n/2)
+	for i := 0; i < n/2; i++ {
+		even[i] = x[2*i]
+		odd[i] = x[2*i+1]
+	}
+	fe := NaiveDFT(even, false)
+	fo := NaiveDFT(odd, false)
+	merged := make([]complex128, n)
+	for k := 0; k < n/2; k++ {
+		tw := cmplx.Exp(complex(0, -2*math.Pi*float64(k)/float64(n)))
+		merged[k] = fe[k] + tw*fo[k]
+		merged[k+n/2] = fe[k] - tw*fo[k]
+	}
+	want := run(t, "FFT", nil, tensor.FromC128(tensor.Shape{n}, append([]complex128(nil), x...)))
+	for i := range merged {
+		if cmplx.Abs(merged[i]-want.C128()[i]) > 1e-8*float64(n) {
+			t.Fatalf("merge identity broken at %d", i)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package ops
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tfhpc/internal/tensor"
+)
+
+func run(t *testing.T, op string, attrs map[string]any, in ...*tensor.Tensor) *tensor.Tensor {
+	t.Helper()
+	out, err := Run(op, &Context{NodeName: "test", Attrs: attrs}, in)
+	if err != nil {
+		t.Fatalf("%s: %v", op, err)
+	}
+	return out
+}
+
+func runErr(t *testing.T, op string, attrs map[string]any, in ...*tensor.Tensor) error {
+	t.Helper()
+	_, err := Run(op, &Context{NodeName: "test", Attrs: attrs}, in)
+	return err
+}
+
+func TestAddSubMulDiv(t *testing.T) {
+	a := tensor.FromF64(tensor.Shape{3}, []float64{1, 2, 3})
+	b := tensor.FromF64(tensor.Shape{3}, []float64{4, 5, 6})
+	if got := run(t, "Add", nil, a, b).F64(); got[0] != 5 || got[2] != 9 {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := run(t, "Sub", nil, b, a).F64(); got[0] != 3 || got[2] != 3 {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := run(t, "Mul", nil, a, b).F64(); got[1] != 10 {
+		t.Fatalf("Mul = %v", got)
+	}
+	if got := run(t, "Div", nil, b, a).F64(); got[2] != 2 {
+		t.Fatalf("Div = %v", got)
+	}
+}
+
+func TestBinaryOpMismatches(t *testing.T) {
+	a := tensor.FromF64(tensor.Shape{3}, []float64{1, 2, 3})
+	b := tensor.FromF64(tensor.Shape{2}, []float64{1, 2})
+	if runErr(t, "Add", nil, a, b) == nil {
+		t.Fatal("shape mismatch should error")
+	}
+	c := tensor.FromF32(tensor.Shape{3}, []float32{1, 2, 3})
+	if runErr(t, "Add", nil, a, c) == nil {
+		t.Fatal("dtype mismatch should error")
+	}
+	if runErr(t, "Add", nil, a) == nil {
+		t.Fatal("arity should be checked")
+	}
+}
+
+func TestComplexArithmetic(t *testing.T) {
+	a := tensor.FromC128(tensor.Shape{2}, []complex128{1 + 2i, 3 - 1i})
+	b := tensor.FromC128(tensor.Shape{2}, []complex128{2 - 1i, 1 + 1i})
+	got := run(t, "Mul", nil, a, b).C128()
+	if got[0] != (1+2i)*(2-1i) || got[1] != (3-1i)*(1+1i) {
+		t.Fatalf("complex Mul = %v", got)
+	}
+}
+
+func TestNegSqrt(t *testing.T) {
+	a := tensor.FromF64(tensor.Shape{2}, []float64{4, 9})
+	if got := run(t, "Sqrt", nil, a).F64(); got[0] != 2 || got[1] != 3 {
+		t.Fatalf("Sqrt = %v", got)
+	}
+	if got := run(t, "Neg", nil, a).F64(); got[0] != -4 {
+		t.Fatalf("Neg = %v", got)
+	}
+}
+
+func TestAddN(t *testing.T) {
+	mk := func(v float64) *tensor.Tensor {
+		return tensor.FromF64(tensor.Shape{2}, []float64{v, 2 * v})
+	}
+	got := run(t, "AddN", nil, mk(1), mk(2), mk(3)).F64()
+	if got[0] != 6 || got[1] != 12 {
+		t.Fatalf("AddN = %v", got)
+	}
+	// AddN must not mutate its first input.
+	a := mk(1)
+	run(t, "AddN", nil, a, mk(5))
+	if a.F64()[0] != 1 {
+		t.Fatal("AddN mutated input")
+	}
+}
+
+func TestScaleAxpy(t *testing.T) {
+	x := tensor.FromF64(tensor.Shape{3}, []float64{1, 2, 3})
+	y := tensor.FromF64(tensor.Shape{3}, []float64{10, 20, 30})
+	alpha := tensor.ScalarF64(2)
+	if got := run(t, "Scale", nil, alpha, x).F64(); got[2] != 6 {
+		t.Fatalf("Scale = %v", got)
+	}
+	got := run(t, "Axpy", nil, alpha, x, y).F64()
+	if got[0] != 12 || got[1] != 24 || got[2] != 36 {
+		t.Fatalf("Axpy = %v", got)
+	}
+	if runErr(t, "Axpy", nil, x, x, y) == nil {
+		t.Fatal("non-scalar alpha should error")
+	}
+}
+
+func TestDotAndSum(t *testing.T) {
+	a := tensor.FromF64(tensor.Shape{3}, []float64{1, 2, 3})
+	b := tensor.FromF64(tensor.Shape{3}, []float64{4, 5, 6})
+	if got := run(t, "Dot", nil, a, b).ScalarFloat(); got != 32 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := run(t, "Sum", nil, a).ScalarFloat(); got != 6 {
+		t.Fatalf("Sum = %v", got)
+	}
+	c := tensor.FromC128(tensor.Shape{2}, []complex128{1 + 1i, 2 - 1i})
+	if got := run(t, "Sum", nil, c).C128()[0]; got != 3 {
+		t.Fatalf("complex Sum = %v", got)
+	}
+}
+
+func TestDotMatchesQuick(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		// Clamp values so products stay finite.
+		for i := range xs {
+			if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) || math.Abs(xs[i]) > 1e100 {
+				xs[i] = 1
+			}
+		}
+		a := tensor.FromF64(tensor.Shape{len(xs)}, xs)
+		got, err := Run("Dot", &Context{}, []*tensor.Tensor{a, a})
+		if err != nil {
+			return false
+		}
+		var want float64
+		for _, v := range xs {
+			want += v * v
+		}
+		diff := math.Abs(got.ScalarFloat() - want)
+		return diff <= 1e-9*math.Max(1, math.Abs(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCast(t *testing.T) {
+	a := tensor.FromF32(tensor.Shape{2}, []float32{1.5, -2})
+	got := run(t, "Cast", map[string]any{"dtype": tensor.Float64}, a)
+	if got.DType() != tensor.Float64 || got.F64()[0] != 1.5 {
+		t.Fatalf("Cast f32->f64 = %v", got)
+	}
+	back := run(t, "Cast", map[string]any{"dtype": tensor.Float32}, got)
+	if back.F32()[1] != -2 {
+		t.Fatalf("Cast f64->f32 = %v", back)
+	}
+	ci := run(t, "Cast", map[string]any{"dtype": tensor.Complex128},
+		tensor.FromI64(tensor.Shape{1}, []int64{3}))
+	if ci.C128()[0] != 3 {
+		t.Fatalf("Cast i64->c128 = %v", ci)
+	}
+}

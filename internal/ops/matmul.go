@@ -1,0 +1,182 @@
+package ops
+
+import (
+	"fmt"
+
+	"tfhpc/internal/tensor"
+)
+
+func init() {
+	Register(&OpDef{Name: "MatMul", MinInputs: 2, MaxInputs: 2, GPUCapable: true, Kernel: matMulKernel})
+	Register(&OpDef{Name: "MatVec", MinInputs: 2, MaxInputs: 2, GPUCapable: true, Kernel: matVecKernel})
+	Register(&OpDef{Name: "Transpose", MinInputs: 1, MaxInputs: 1, GPUCapable: true, Kernel: transposeKernel})
+}
+
+// matMulKernel computes C = op(A)·op(B) with optional "transpose_a" /
+// "transpose_b" attributes, in float32 or float64, parallelized over
+// row-blocks of C with an i-k-j loop order that streams B rows through the
+// cache.
+func matMulKernel(ctx *Context, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	a, b := in[0], in[1]
+	if a.DType() != b.DType() {
+		return nil, fmt.Errorf("MatMul: dtype mismatch %v vs %v", a.DType(), b.DType())
+	}
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return nil, fmt.Errorf("MatMul: need rank-2 inputs, got %v and %v", a.Shape(), b.Shape())
+	}
+	ta := ctx != nil && ctx.BoolAttr("transpose_a", false)
+	tb := ctx != nil && ctx.BoolAttr("transpose_b", false)
+	if ta {
+		var err error
+		if a, err = transpose2D(a); err != nil {
+			return nil, err
+		}
+	}
+	if tb {
+		var err error
+		if b, err = transpose2D(b); err != nil {
+			return nil, err
+		}
+	}
+	m, k := a.Shape()[0], a.Shape()[1]
+	k2, n := b.Shape()[0], b.Shape()[1]
+	if k != k2 {
+		return nil, fmt.Errorf("MatMul: inner dimensions disagree: %v · %v", a.Shape(), b.Shape())
+	}
+	switch a.DType() {
+	case tensor.Float32:
+		out := tensor.New(tensor.Float32, m, n)
+		av, bv, cv := a.F32(), b.F32(), out.F32()
+		parallelFor(m, 8, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ci := cv[i*n : (i+1)*n]
+				ai := av[i*k : (i+1)*k]
+				for kk := 0; kk < k; kk++ {
+					aik := ai[kk]
+					if aik == 0 {
+						continue
+					}
+					bk := bv[kk*n : (kk+1)*n]
+					for j := range ci {
+						ci[j] += aik * bk[j]
+					}
+				}
+			}
+		})
+		return out, nil
+	case tensor.Float64:
+		out := tensor.New(tensor.Float64, m, n)
+		av, bv, cv := a.F64(), b.F64(), out.F64()
+		parallelFor(m, 8, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				ci := cv[i*n : (i+1)*n]
+				ai := av[i*k : (i+1)*k]
+				for kk := 0; kk < k; kk++ {
+					aik := ai[kk]
+					if aik == 0 {
+						continue
+					}
+					bk := bv[kk*n : (kk+1)*n]
+					for j := range ci {
+						ci[j] += aik * bk[j]
+					}
+				}
+			}
+		})
+		return out, nil
+	}
+	return nil, fmt.Errorf("MatMul: unsupported dtype %v", a.DType())
+}
+
+// matVecKernel computes y = A·x for a rank-2 A and rank-1 x.
+func matVecKernel(_ *Context, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	a, x := in[0], in[1]
+	if a.DType() != x.DType() {
+		return nil, fmt.Errorf("MatVec: dtype mismatch %v vs %v", a.DType(), x.DType())
+	}
+	if a.Rank() != 2 || x.Rank() != 1 {
+		return nil, fmt.Errorf("MatVec: want matrix and vector, got %v and %v", a.Shape(), x.Shape())
+	}
+	m, n := a.Shape()[0], a.Shape()[1]
+	if n != x.Shape()[0] {
+		return nil, fmt.Errorf("MatVec: dimensions disagree: %v · %v", a.Shape(), x.Shape())
+	}
+	switch a.DType() {
+	case tensor.Float32:
+		out := tensor.New(tensor.Float32, m)
+		av, xv, yv := a.F32(), x.F32(), out.F32()
+		parallelFor(m, 64, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				row := av[i*n : (i+1)*n]
+				var s float64
+				for j, v := range row {
+					s += float64(v) * float64(xv[j])
+				}
+				yv[i] = float32(s)
+			}
+		})
+		return out, nil
+	case tensor.Float64:
+		out := tensor.New(tensor.Float64, m)
+		av, xv, yv := a.F64(), x.F64(), out.F64()
+		parallelFor(m, 64, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				row := av[i*n : (i+1)*n]
+				var s float64
+				for j, v := range row {
+					s += v * xv[j]
+				}
+				yv[i] = s
+			}
+		})
+		return out, nil
+	}
+	return nil, fmt.Errorf("MatVec: unsupported dtype %v", a.DType())
+}
+
+func transpose2D(a *tensor.Tensor) (*tensor.Tensor, error) {
+	if a.Rank() != 2 {
+		return nil, fmt.Errorf("Transpose: need rank-2, got %v", a.Shape())
+	}
+	m, n := a.Shape()[0], a.Shape()[1]
+	out := tensor.New(a.DType(), n, m)
+	const blk = 32 // cache-blocked transpose
+	switch a.DType() {
+	case tensor.Float32:
+		av, bv := a.F32(), out.F32()
+		for ii := 0; ii < m; ii += blk {
+			for jj := 0; jj < n; jj += blk {
+				for i := ii; i < ii+blk && i < m; i++ {
+					for j := jj; j < jj+blk && j < n; j++ {
+						bv[j*m+i] = av[i*n+j]
+					}
+				}
+			}
+		}
+	case tensor.Float64:
+		av, bv := a.F64(), out.F64()
+		for ii := 0; ii < m; ii += blk {
+			for jj := 0; jj < n; jj += blk {
+				for i := ii; i < ii+blk && i < m; i++ {
+					for j := jj; j < jj+blk && j < n; j++ {
+						bv[j*m+i] = av[i*n+j]
+					}
+				}
+			}
+		}
+	case tensor.Complex128:
+		av, bv := a.C128(), out.C128()
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				bv[j*m+i] = av[i*n+j]
+			}
+		}
+	default:
+		return nil, fmt.Errorf("Transpose: unsupported dtype %v", a.DType())
+	}
+	return out, nil
+}
+
+func transposeKernel(_ *Context, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	return transpose2D(in[0])
+}

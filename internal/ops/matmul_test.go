@@ -1,0 +1,206 @@
+package ops
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"tfhpc/internal/tensor"
+)
+
+// naiveMatMul is the reference O(n³) triple loop.
+func naiveMatMul(a, b *tensor.Tensor) *tensor.Tensor {
+	m, k := a.Shape()[0], a.Shape()[1]
+	n := b.Shape()[1]
+	out := tensor.New(tensor.Float64, m, n)
+	av, bv, cv := a.F64(), b.F64(), out.F64()
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for kk := 0; kk < k; kk++ {
+				s += av[i*k+kk] * bv[kk*n+j]
+			}
+			cv[i*n+j] = s
+		}
+	}
+	return out
+}
+
+func randMat(seed uint64, m, n int) *tensor.Tensor {
+	return tensor.RandomUniform(tensor.Float64, seed, m, n)
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	for _, dims := range [][3]int{{1, 1, 1}, {2, 3, 4}, {5, 5, 5}, {17, 31, 13}, {64, 32, 48}} {
+		a := randMat(1, dims[0], dims[1])
+		b := randMat(2, dims[1], dims[2])
+		got := run(t, "MatMul", nil, a, b)
+		want := naiveMatMul(a, b)
+		if !got.ApproxEqual(want, 1e-10) {
+			t.Fatalf("MatMul %v mismatch", dims)
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	n := 16
+	eye := tensor.New(tensor.Float64, n, n)
+	for i := 0; i < n; i++ {
+		eye.F64()[i*n+i] = 1
+	}
+	a := randMat(3, n, n)
+	got := run(t, "MatMul", nil, a, eye)
+	if !got.ApproxEqual(a, 1e-12) {
+		t.Fatal("A·I != A")
+	}
+	got = run(t, "MatMul", nil, eye, a)
+	if !got.ApproxEqual(a, 1e-12) {
+		t.Fatal("I·A != A")
+	}
+}
+
+func TestMatMulTransposeAttrs(t *testing.T) {
+	a := randMat(4, 6, 3)
+	b := randMat(5, 6, 4) // use Aᵀ·B with A 6x3 -> 3x6
+	got := run(t, "MatMul", map[string]any{"transpose_a": true}, a, b)
+	at := run(t, "Transpose", nil, a)
+	want := run(t, "MatMul", nil, at, b)
+	if !got.ApproxEqual(want, 1e-12) {
+		t.Fatal("transpose_a mismatch")
+	}
+	c := randMat(6, 4, 3)
+	got = run(t, "MatMul", map[string]any{"transpose_b": true}, a.Clone(), c)
+	// a is 6x3, cᵀ is 3x4 -> 6x4
+	ct := run(t, "Transpose", nil, c)
+	want = run(t, "MatMul", nil, a, ct)
+	if !got.ApproxEqual(want, 1e-12) {
+		t.Fatal("transpose_b mismatch")
+	}
+}
+
+// Property: (AB)ᵀ == BᵀAᵀ.
+func TestMatMulTransposeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		m, k, n := 1+r.Intn(12), 1+r.Intn(12), 1+r.Intn(12)
+		a := randMat(seed+1, m, k)
+		b := randMat(seed+2, k, n)
+		ab, err := Run("MatMul", &Context{}, []*tensor.Tensor{a, b})
+		if err != nil {
+			return false
+		}
+		abT, _ := Run("Transpose", &Context{}, []*tensor.Tensor{ab})
+		bT, _ := Run("Transpose", &Context{}, []*tensor.Tensor{b})
+		aT, _ := Run("Transpose", &Context{}, []*tensor.Tensor{a})
+		want, err := Run("MatMul", &Context{}, []*tensor.Tensor{bT, aT})
+		if err != nil {
+			return false
+		}
+		return abT.ApproxEqual(want, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: tiled matmul equals direct matmul — the correctness core of the
+// paper's tiled application.
+func TestTiledMatMulEqualsDirect(t *testing.T) {
+	n, tile := 32, 8
+	a := randMat(7, n, n)
+	b := randMat(8, n, n)
+	want := run(t, "MatMul", nil, a, b)
+
+	tiles := n / tile
+	acc := tensor.New(tensor.Float64, n, n)
+	getTile := func(src *tensor.Tensor, ti, tj int) *tensor.Tensor {
+		out := tensor.New(tensor.Float64, tile, tile)
+		for i := 0; i < tile; i++ {
+			copy(out.F64()[i*tile:(i+1)*tile],
+				src.F64()[(ti*tile+i)*n+tj*tile:(ti*tile+i)*n+tj*tile+tile])
+		}
+		return out
+	}
+	for ti := 0; ti < tiles; ti++ {
+		for tj := 0; tj < tiles; tj++ {
+			for tk := 0; tk < tiles; tk++ {
+				p := run(t, "MatMul", nil, getTile(a, ti, tk), getTile(b, tk, tj))
+				for i := 0; i < tile; i++ {
+					for j := 0; j < tile; j++ {
+						acc.F64()[(ti*tile+i)*n+tj*tile+j] += p.F64()[i*tile+j]
+					}
+				}
+			}
+		}
+	}
+	if !acc.ApproxEqual(want, 1e-9) {
+		t.Fatal("tiled != direct")
+	}
+}
+
+func TestMatMulShapeErrors(t *testing.T) {
+	a := randMat(1, 2, 3)
+	b := randMat(2, 4, 2)
+	if runErr(t, "MatMul", nil, a, b) == nil {
+		t.Fatal("inner dim mismatch should error")
+	}
+	v := tensor.New(tensor.Float64, 3)
+	if runErr(t, "MatMul", nil, a, v) == nil {
+		t.Fatal("rank mismatch should error")
+	}
+}
+
+func TestMatMulFloat32(t *testing.T) {
+	a := tensor.RandomUniform(tensor.Float32, 1, 8, 8)
+	b := tensor.RandomUniform(tensor.Float32, 2, 8, 8)
+	got := run(t, "MatMul", nil, a, b)
+	// Check one element against a float64 recomputation.
+	var want float64
+	for k := 0; k < 8; k++ {
+		want += float64(a.F32()[k]) * float64(b.F32()[k*8])
+	}
+	if math.Abs(float64(got.F32()[0])-want) > 1e-4 {
+		t.Fatalf("f32 MatMul[0,0] = %v, want %v", got.F32()[0], want)
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := randMat(9, 5, 3)
+	x := tensor.RandomUniform(tensor.Float64, 10, 3)
+	got := run(t, "MatVec", nil, a, x)
+	if !got.Shape().Equal(tensor.Shape{5}) {
+		t.Fatalf("shape %v", got.Shape())
+	}
+	for i := 0; i < 5; i++ {
+		var want float64
+		for j := 0; j < 3; j++ {
+			want += a.F64()[i*3+j] * x.F64()[j]
+		}
+		if math.Abs(got.F64()[i]-want) > 1e-12 {
+			t.Fatalf("MatVec[%d] = %v, want %v", i, got.F64()[i], want)
+		}
+	}
+	if runErr(t, "MatVec", nil, a, tensor.New(tensor.Float64, 4)) == nil {
+		t.Fatal("dim mismatch should error")
+	}
+}
+
+func TestMatVecEqualsMatMulColumn(t *testing.T) {
+	a := randMat(11, 16, 16)
+	x := tensor.RandomUniform(tensor.Float64, 12, 16)
+	xm, _ := x.Reshape(16, 1)
+	viaMM := run(t, "MatMul", nil, a, xm)
+	viaMV := run(t, "MatVec", nil, a, x)
+	flat, _ := viaMM.Reshape(16)
+	if !flat.ApproxEqual(viaMV, 1e-12) {
+		t.Fatal("MatVec disagrees with MatMul")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	a := randMat(13, 7, 11)
+	tt := run(t, "Transpose", nil, run(t, "Transpose", nil, a))
+	if !tt.Equal(a) {
+		t.Fatal("(Aᵀ)ᵀ != A")
+	}
+}

@@ -1,0 +1,67 @@
+package ops
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestParallelForCoversRangeExactlyOnce(t *testing.T) {
+	f := func(nRaw uint16, grainRaw uint8) bool {
+		n := int(nRaw % 5000)
+		grain := int(grainRaw)
+		hits := make([]int32, n)
+		parallelFor(n, grain, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for _, h := range hits {
+			if h != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelForEdgeCases(t *testing.T) {
+	called := false
+	parallelFor(0, 10, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("empty range should not invoke body")
+	}
+	var total int32
+	parallelFor(1, 1000, func(lo, hi int) { atomic.AddInt32(&total, int32(hi-lo)) })
+	if total != 1 {
+		t.Fatalf("single element covered %d times", total)
+	}
+	// Negative grain is clamped.
+	total = 0
+	parallelFor(10, -5, func(lo, hi int) { atomic.AddInt32(&total, int32(hi-lo)) })
+	if total != 10 {
+		t.Fatalf("covered %d of 10", total)
+	}
+}
+
+func TestParallelForChunksAreDisjointOrdered(t *testing.T) {
+	type span struct{ lo, hi int }
+	ch := make(chan span, 64)
+	parallelFor(1000, 10, func(lo, hi int) { ch <- span{lo, hi} })
+	close(ch)
+	seen := make([]bool, 1000)
+	for s := range ch {
+		if s.lo >= s.hi {
+			t.Fatalf("empty span %+v", s)
+		}
+		for i := s.lo; i < s.hi; i++ {
+			if seen[i] {
+				t.Fatalf("index %d covered twice", i)
+			}
+			seen[i] = true
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package queue implements the FIFO queue of the TensorFlow Queue API: a
+// bounded buffer of tensor tuples with blocking enqueue/dequeue and close
+// semantics. Queues are the paper's dataflow mechanism for reductions
+// (Fig. 5) and for streaming result tiles from workers to reducers (Fig. 4).
+package queue
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"tfhpc/internal/tensor"
+)
+
+// ErrClosed is returned by Enqueue after Close, and by Dequeue once the
+// queue is closed and drained.
+var ErrClosed = errors.New("queue: closed")
+
+// Item is one queue element: a tuple of tensors (e.g. a target index plus a
+// result tile).
+type Item = []*tensor.Tensor
+
+// FIFO is a threadsafe bounded queue of Items.
+type FIFO struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+	capacity int // 0 = unbounded
+	items    []Item
+	closed   bool
+
+	enqueued int64
+	dequeued int64
+}
+
+// New creates a FIFO with the given capacity; 0 means unbounded.
+func New(capacity int) *FIFO {
+	if capacity < 0 {
+		panic(fmt.Sprintf("queue: negative capacity %d", capacity))
+	}
+	q := &FIFO{capacity: capacity}
+	q.notFull = sync.NewCond(&q.mu)
+	q.notEmpty = sync.NewCond(&q.mu)
+	return q
+}
+
+// Capacity returns the configured bound (0 = unbounded).
+func (q *FIFO) Capacity() int { return q.capacity }
+
+// Size returns the current number of buffered items.
+func (q *FIFO) Size() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Stats returns the lifetime enqueue/dequeue counts.
+func (q *FIFO) Stats() (enqueued, dequeued int64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.enqueued, q.dequeued
+}
+
+// Enqueue appends item, blocking while the queue is full. Returns ErrClosed
+// if the queue is (or becomes) closed.
+func (q *FIFO) Enqueue(item Item) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.capacity > 0 && len(q.items) >= q.capacity && !q.closed {
+		q.notFull.Wait()
+	}
+	if q.closed {
+		return ErrClosed
+	}
+	q.items = append(q.items, item)
+	q.enqueued++
+	q.notEmpty.Signal()
+	return nil
+}
+
+// Dequeue removes and returns the oldest item, blocking while empty.
+// Returns ErrClosed once the queue is closed and drained.
+func (q *FIFO) Dequeue() (Item, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.notEmpty.Wait()
+	}
+	if len(q.items) == 0 {
+		return nil, ErrClosed
+	}
+	item := q.items[0]
+	q.items = q.items[1:]
+	q.dequeued++
+	q.notFull.Signal()
+	return item, nil
+}
+
+// TryDequeue removes the oldest item without blocking; ok is false when the
+// queue is empty.
+func (q *FIFO) TryDequeue() (Item, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	item := q.items[0]
+	q.items = q.items[1:]
+	q.dequeued++
+	q.notFull.Signal()
+	return item, true
+}
+
+// Close marks the queue closed and wakes all waiters. Buffered items remain
+// dequeueable.
+func (q *FIFO) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	q.notFull.Broadcast()
+	q.notEmpty.Broadcast()
+	return nil
+}
+
+// Closed reports whether Close was called.
+func (q *FIFO) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
+// Registry is a threadsafe name->queue map, one per task, created on first
+// use with the capacity requested by the first creator.
+type Registry struct {
+	mu     sync.Mutex
+	queues map[string]*FIFO
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{queues: make(map[string]*FIFO)}
+}
+
+// Get returns the named queue, creating it with the given capacity if absent.
+func (r *Registry) Get(name string, capacity int) *FIFO {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	q, ok := r.queues[name]
+	if !ok {
+		q = New(capacity)
+		r.queues[name] = q
+	}
+	return q
+}
+
+// Names returns all registered queue names (unsorted).
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.queues))
+	for n := range r.queues {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package queue
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"tfhpc/internal/tensor"
+)
+
+func item(v int64) Item { return Item{tensor.ScalarI64(v)} }
+
+func TestFIFOOrder(t *testing.T) {
+	q := New(0)
+	for i := int64(0); i < 10; i++ {
+		if err := q.Enqueue(item(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 10; i++ {
+		it, err := q.Dequeue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if it[0].ScalarInt() != i {
+			t.Fatalf("out of order: got %d want %d", it[0].ScalarInt(), i)
+		}
+	}
+}
+
+func TestCapacityBlocksEnqueue(t *testing.T) {
+	q := New(2)
+	q.Enqueue(item(1))
+	q.Enqueue(item(2))
+	unblocked := make(chan struct{})
+	go func() {
+		q.Enqueue(item(3)) // must block until a dequeue
+		close(unblocked)
+	}()
+	select {
+	case <-unblocked:
+		t.Fatal("enqueue should have blocked at capacity")
+	case <-time.After(30 * time.Millisecond):
+	}
+	if _, err := q.Dequeue(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-unblocked:
+	case <-time.After(time.Second):
+		t.Fatal("enqueue never unblocked")
+	}
+}
+
+func TestDequeueBlocksUntilEnqueue(t *testing.T) {
+	q := New(0)
+	got := make(chan int64, 1)
+	go func() {
+		it, err := q.Dequeue()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got <- it[0].ScalarInt()
+	}()
+	time.Sleep(10 * time.Millisecond)
+	q.Enqueue(item(42))
+	select {
+	case v := <-got:
+		if v != 42 {
+			t.Fatalf("got %d", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("dequeue never unblocked")
+	}
+}
+
+func TestCloseSemantics(t *testing.T) {
+	q := New(0)
+	q.Enqueue(item(1))
+	q.Close()
+	if err := q.Enqueue(item(2)); err != ErrClosed {
+		t.Fatalf("enqueue after close = %v", err)
+	}
+	// Buffered items drain.
+	if it, err := q.Dequeue(); err != nil || it[0].ScalarInt() != 1 {
+		t.Fatalf("drain failed: %v", err)
+	}
+	if _, err := q.Dequeue(); err != ErrClosed {
+		t.Fatalf("dequeue after drain = %v", err)
+	}
+	if !q.Closed() {
+		t.Fatal("Closed() false")
+	}
+}
+
+func TestCloseUnblocksWaiters(t *testing.T) {
+	q := New(1)
+	q.Enqueue(item(1))
+	errs := make(chan error, 2)
+	go func() { errs <- q.Enqueue(item(2)) }() // blocked on full
+	q2 := New(0)
+	go func() { _, err := q2.Dequeue(); errs <- err }() // blocked on empty
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	q2.Close()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if err != ErrClosed {
+				t.Fatalf("want ErrClosed, got %v", err)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("waiter never unblocked by Close")
+		}
+	}
+}
+
+func TestTryDequeue(t *testing.T) {
+	q := New(0)
+	if _, ok := q.TryDequeue(); ok {
+		t.Fatal("TryDequeue on empty should fail")
+	}
+	q.Enqueue(item(5))
+	it, ok := q.TryDequeue()
+	if !ok || it[0].ScalarInt() != 5 {
+		t.Fatal("TryDequeue failed")
+	}
+}
+
+func TestConcurrentProducersConsumers(t *testing.T) {
+	q := New(8)
+	const producers, perProducer = 4, 100
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(base int64) {
+			defer wg.Done()
+			for i := int64(0); i < perProducer; i++ {
+				q.Enqueue(item(base*1000 + i))
+			}
+		}(int64(p))
+	}
+	var mu sync.Mutex
+	seen := map[int64]bool{}
+	var cg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		cg.Add(1)
+		go func() {
+			defer cg.Done()
+			for {
+				it, err := q.Dequeue()
+				if err == ErrClosed {
+					return
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				v := it[0].ScalarInt()
+				if seen[v] {
+					t.Errorf("duplicate %d", v)
+				}
+				seen[v] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	cg.Wait()
+	if len(seen) != producers*perProducer {
+		t.Fatalf("saw %d items, want %d", len(seen), producers*perProducer)
+	}
+	enq, deq := q.Stats()
+	if enq != producers*perProducer || deq != producers*perProducer {
+		t.Fatalf("stats: %d/%d", enq, deq)
+	}
+}
+
+func TestRegistrySharing(t *testing.T) {
+	r := NewRegistry()
+	a := r.Get("q", 4)
+	b := r.Get("q", 99) // capacity from first creation wins
+	if a != b {
+		t.Fatal("registry should return the same queue")
+	}
+	if a.Capacity() != 4 {
+		t.Fatalf("capacity %d", a.Capacity())
+	}
+	if len(r.Names()) != 1 {
+		t.Fatal("names wrong")
+	}
+}
+
+// Per-producer FIFO: items from one producer stay ordered even with
+// concurrent consumers pulling from a shared queue (the matmul reducer
+// relies on accumulation being order-independent, but the queue itself must
+// not reorder a single producer's stream).
+func TestPerProducerOrderPreserved(t *testing.T) {
+	q := New(0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		last := int64(-1)
+		for {
+			it, err := q.Dequeue()
+			if err == ErrClosed {
+				return
+			}
+			v := it[0].ScalarInt()
+			if v <= last {
+				t.Errorf("reordered: %d after %d", v, last)
+				return
+			}
+			last = v
+		}
+	}()
+	for i := int64(0); i < 200; i++ {
+		q.Enqueue(item(i))
+	}
+	q.Close()
+	<-done
+}

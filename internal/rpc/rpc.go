@@ -1,0 +1,274 @@
+// Package rpc is the runtime's service-client layer: length-framed binary
+// messages (internal/wire) over TCP, with a method-dispatching server and a
+// connection-pooling client. It fills the role gRPC plays in TensorFlow —
+// including staying responsible for "administrative purposes" (connection
+// establishment, health checks) even when tensor payloads notionally ride a
+// faster transport, exactly as the paper describes.
+package rpc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"tfhpc/internal/wire"
+)
+
+// Handler serves one method: decode request, act, encode response.
+type Handler func(req []byte) ([]byte, error)
+
+// Server listens on a TCP address and dispatches framed calls to handlers.
+type Server struct {
+	mu       sync.Mutex
+	handlers map[string]Handler
+	ln       net.Listener
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer returns a server with no handlers registered.
+func NewServer() *Server {
+	return &Server{handlers: make(map[string]Handler)}
+}
+
+// Handle registers a method. Must be called before Serve.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.handlers[method]; dup {
+		panic(fmt.Sprintf("rpc: duplicate handler %q", method))
+	}
+	s.handlers[method] = h
+}
+
+// Listen binds the address (use "127.0.0.1:0" for tests) and starts the
+// accept loop in the background. It returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// serveConn handles calls sequentially per connection (clients open one
+// connection per in-flight call stream).
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	for {
+		frame, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		method, req, err := decodeRequest(frame)
+		var resp []byte
+		var callErr error
+		if err != nil {
+			callErr = err
+		} else {
+			s.mu.Lock()
+			h, ok := s.handlers[method]
+			s.mu.Unlock()
+			if !ok {
+				callErr = fmt.Errorf("rpc: no handler for %q", method)
+			} else {
+				resp, callErr = h(req)
+			}
+		}
+		if err := wire.WriteFrame(conn, encodeResponse(resp, callErr)); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the listener and waits for active connections to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln := s.ln
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+// Request frame: field 1 = method, field 2 = payload.
+func encodeRequest(method string, req []byte) []byte {
+	e := wire.NewEncoder()
+	e.String(1, method)
+	e.BytesField(2, req)
+	return e.Bytes()
+}
+
+func decodeRequest(frame []byte) (method string, req []byte, err error) {
+	d := wire.NewDecoder(frame)
+	for {
+		f, wt, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return "", nil, err
+		}
+		switch f {
+		case 1:
+			if method, err = d.StringVal(); err != nil {
+				return "", nil, err
+			}
+		case 2:
+			if req, err = d.Bytes(); err != nil {
+				return "", nil, err
+			}
+		default:
+			if err := d.Skip(wt); err != nil {
+				return "", nil, err
+			}
+		}
+	}
+	if method == "" {
+		return "", nil, errors.New("rpc: request missing method")
+	}
+	return method, req, nil
+}
+
+// Response frame: field 1 = error string (empty = ok), field 2 = payload.
+func encodeResponse(resp []byte, err error) []byte {
+	e := wire.NewEncoder()
+	if err != nil {
+		e.String(1, err.Error())
+	}
+	e.BytesField(2, resp)
+	return e.Bytes()
+}
+
+func decodeResponse(frame []byte) ([]byte, error) {
+	d := wire.NewDecoder(frame)
+	var payload []byte
+	var remoteErr string
+	for {
+		f, wt, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch f {
+		case 1:
+			if remoteErr, err = d.StringVal(); err != nil {
+				return nil, err
+			}
+		case 2:
+			if payload, err = d.Bytes(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := d.Skip(wt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if remoteErr != "" {
+		return nil, fmt.Errorf("rpc: remote error: %s", remoteErr)
+	}
+	return payload, nil
+}
+
+// Client issues calls to one server address. Connections are pooled so
+// concurrent calls (e.g. a blocking Dequeue alongside an Enqueue) each get
+// their own stream.
+type Client struct {
+	addr string
+	mu   sync.Mutex
+	idle []net.Conn
+	down bool
+}
+
+// Dial creates a client for the address; connections open lazily.
+func Dial(addr string) *Client {
+	return &Client{addr: addr}
+}
+
+// Call sends one request and waits for the response.
+func (c *Client) Call(method string, req []byte) ([]byte, error) {
+	conn, err := c.conn()
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.WriteFrame(conn, encodeRequest(method, req)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	frame, err := wire.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	c.put(conn)
+	return decodeResponse(frame)
+}
+
+func (c *Client) conn() (net.Conn, error) {
+	c.mu.Lock()
+	if c.down {
+		c.mu.Unlock()
+		return nil, errors.New("rpc: client closed")
+	}
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+	return net.Dial("tcp", c.addr)
+}
+
+func (c *Client) put(conn net.Conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.down || len(c.idle) >= 8 {
+		conn.Close()
+		return
+	}
+	c.idle = append(c.idle, conn)
+}
+
+// Close releases pooled connections.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.down = true
+	for _, conn := range c.idle {
+		conn.Close()
+	}
+	c.idle = nil
+}

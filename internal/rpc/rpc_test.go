@@ -1,0 +1,149 @@
+package rpc
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func startEcho(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	s := NewServer()
+	s.Handle("Echo", func(req []byte) ([]byte, error) {
+		return req, nil
+	})
+	s.Handle("Fail", func(req []byte) ([]byte, error) {
+		return nil, fmt.Errorf("deliberate failure: %s", req)
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	c := Dial(addr)
+	t.Cleanup(c.Close)
+	return s, c
+}
+
+func TestEchoRoundTrip(t *testing.T) {
+	_, c := startEcho(t)
+	payload := []byte("hello tensors")
+	got, err := c.Call("Echo", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("echo = %q", got)
+	}
+	// Empty payload.
+	got, err = c.Call("Echo", nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty echo: %v %v", got, err)
+	}
+}
+
+func TestRemoteErrorPropagates(t *testing.T) {
+	_, c := startEcho(t)
+	_, err := c.Call("Fail", []byte("because"))
+	if err == nil || !strings.Contains(err.Error(), "deliberate failure: because") {
+		t.Fatalf("err = %v", err)
+	}
+	// Connection still usable after a remote error.
+	if _, err := c.Call("Echo", []byte("x")); err != nil {
+		t.Fatalf("connection dead after error: %v", err)
+	}
+}
+
+func TestUnknownMethod(t *testing.T) {
+	_, c := startEcho(t)
+	_, err := c.Call("Nope", nil)
+	if err == nil || !strings.Contains(err.Error(), "no handler") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	_, c := startEcho(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 50)
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg := []byte(fmt.Sprintf("msg-%d", i))
+			got, err := c.Call("Echo", msg)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(got, msg) {
+				errs <- fmt.Errorf("mismatch: %q vs %q", got, msg)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestLargePayload(t *testing.T) {
+	_, c := startEcho(t)
+	big := bytes.Repeat([]byte{0xAB}, 8<<20) // 8 MB
+	got, err := c.Call("Echo", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, big) {
+		t.Fatal("large payload corrupted")
+	}
+}
+
+func TestMultipleClients(t *testing.T) {
+	s := NewServer()
+	var mu sync.Mutex
+	count := 0
+	s.Handle("Inc", func([]byte) ([]byte, error) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+		return nil, nil
+	})
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 5; i++ {
+		c := Dial(addr)
+		if _, err := c.Call("Inc", nil); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+	if count != 5 {
+		t.Fatalf("count = %d", count)
+	}
+}
+
+func TestCallAfterClose(t *testing.T) {
+	_, c := startEcho(t)
+	c.Close()
+	if _, err := c.Call("Echo", nil); err == nil {
+		t.Fatal("call after close should error")
+	}
+}
+
+func TestDuplicateHandlerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s := NewServer()
+	s.Handle("X", func([]byte) ([]byte, error) { return nil, nil })
+	s.Handle("X", func([]byte) ([]byte, error) { return nil, nil })
+}

@@ -1,0 +1,316 @@
+// Package session executes dataflow graphs: the tf.Session analogue. A
+// session binds a graph to a set of local resources (variables, queues) and
+// runs fetch/feed requests through a parallel topological executor that
+// dispatches independent ops concurrently — the property the paper
+// highlights as a core advantage of dataflow computing.
+//
+// Ops placed on remote jobs/tasks are forwarded through a RemoteRunner
+// (implemented over TCP RPC by internal/cluster), so the same session code
+// drives single-process and distributed executions.
+package session
+
+import (
+	"fmt"
+	"sync"
+
+	"tfhpc/internal/graph"
+	"tfhpc/internal/ops"
+	"tfhpc/internal/queue"
+	"tfhpc/internal/tensor"
+	"tfhpc/internal/timeline"
+	"tfhpc/internal/vars"
+)
+
+// Resources is the stateful backing of one task: its variables and queues.
+type Resources struct {
+	Vars   *vars.Store
+	Queues *queue.Registry
+}
+
+// NewResources allocates empty stores.
+func NewResources() *Resources {
+	return &Resources{Vars: vars.NewStore(), Queues: queue.NewRegistry()}
+}
+
+// Variable implements ops.Resources.
+func (r *Resources) Variable(name string) (ops.VariableHandle, error) {
+	return r.Vars.Get(name), nil
+}
+
+// Queue implements ops.Resources.
+func (r *Resources) Queue(name string, capacity int) (ops.QueueHandle, error) {
+	return r.Queues.Get(name, capacity), nil
+}
+
+// RemoteRunner executes a single op on a remote task. inputs are already
+// evaluated; the remote side applies the kernel against its own resources.
+type RemoteRunner interface {
+	RunRemoteOp(device graph.DeviceSpec, op, nodeName string, attrs graph.Attrs,
+		inputNames []string, inputs []*tensor.Tensor) (*tensor.Tensor, error)
+}
+
+// Options configures a session.
+type Options struct {
+	// LocalJob/LocalTask identify this process within a cluster; ops whose
+	// device spec names another job/task are forwarded to Remote. An empty
+	// LocalJob treats every op as local.
+	LocalJob  string
+	LocalTask int
+	// Remote forwards non-local ops; required only in distributed runs.
+	Remote RemoteRunner
+	// Trace, when non-nil, records per-op spans (TensorFlow Timeline).
+	Trace *timeline.Trace
+	// Parallelism bounds concurrent op dispatch; 0 = unlimited (the executor
+	// is already throttled by dependencies; kernels self-limit to NumCPU).
+	Parallelism int
+}
+
+// Session executes a fixed graph repeatedly.
+type Session struct {
+	g    *graph.Graph
+	res  *Resources
+	opts Options
+}
+
+// New validates the graph and binds it to resources. A nil res allocates
+// fresh local stores.
+func New(g *graph.Graph, res *Resources, opts Options) (*Session, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if res == nil {
+		res = NewResources()
+	}
+	return &Session{g: g, res: res, opts: opts}, nil
+}
+
+// Resources exposes the session's stateful backing (for checkpointing).
+func (s *Session) Resources() *Resources { return s.res }
+
+// Graph returns the bound graph.
+func (s *Session) Graph() *graph.Graph { return s.g }
+
+// Run evaluates the named fetches (returned in order) after executing the
+// named targets (run for effect only), with feeds overriding node outputs.
+// It is the equivalent of sess.run(fetches, feed_dict) — including the
+// paper's STREAM trick of passing an op as a target with no fetches so that
+// no tensor value is returned to the client.
+func (s *Session) Run(feeds map[string]*tensor.Tensor, fetches, targets []string) ([]*tensor.Tensor, error) {
+	var roots []*graph.Node
+	resolve := func(name string) (*graph.Node, error) {
+		n := s.g.Lookup(name)
+		if n == nil {
+			return nil, fmt.Errorf("session: no node named %q", name)
+		}
+		return n, nil
+	}
+	fetchNodes := make([]*graph.Node, len(fetches))
+	for i, f := range fetches {
+		n, err := resolve(f)
+		if err != nil {
+			return nil, err
+		}
+		fetchNodes[i] = n
+		roots = append(roots, n)
+	}
+	for _, t := range targets {
+		n, err := resolve(t)
+		if err != nil {
+			return nil, err
+		}
+		roots = append(roots, n)
+	}
+	if len(roots) == 0 {
+		return nil, fmt.Errorf("session: Run needs at least one fetch or target")
+	}
+	for name := range feeds {
+		if _, err := resolve(name); err != nil {
+			return nil, err
+		}
+	}
+
+	exec := &execution{
+		sess:    s,
+		needed:  s.g.Subgraph(roots),
+		feeds:   feeds,
+		results: make(map[int]*tensor.Tensor),
+		scratch: ops.NewScratch(),
+	}
+	if err := exec.run(); err != nil {
+		return nil, err
+	}
+	out := make([]*tensor.Tensor, len(fetchNodes))
+	for i, n := range fetchNodes {
+		v, ok := exec.results[n.ID()]
+		if !ok || v == nil {
+			return nil, fmt.Errorf("session: fetch %q produced no value", n.Name())
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// execution is the per-Run state of the parallel topological executor.
+type execution struct {
+	sess    *Session
+	needed  map[int]bool
+	feeds   map[string]*tensor.Tensor
+	scratch *ops.Scratch
+
+	mu      sync.Mutex
+	results map[int]*tensor.Tensor
+	err     error
+}
+
+func (e *execution) setErr(err error) {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+}
+
+func (e *execution) run() error {
+	g := e.sess.g
+	// Build dependency counts restricted to the needed subgraph.
+	indeg := make(map[int]int, len(e.needed))
+	succs := make(map[int][]*graph.Node, len(e.needed))
+	var nodes []*graph.Node
+	for id := range e.needed {
+		nodes = append(nodes, g.Nodes()[id])
+	}
+	for _, n := range nodes {
+		if _, fed := e.feeds[n.Name()]; fed {
+			continue // fed nodes have no dependencies
+		}
+		deps := 0
+		for _, in := range n.Inputs() {
+			if e.needed[in.ID()] {
+				deps++
+				succs[in.ID()] = append(succs[in.ID()], n)
+			}
+		}
+		for _, c := range n.ControlDeps() {
+			if e.needed[c.ID()] {
+				deps++
+				succs[c.ID()] = append(succs[c.ID()], n)
+			}
+		}
+		indeg[n.ID()] = deps
+	}
+
+	var wg sync.WaitGroup
+	var sem chan struct{}
+	if p := e.sess.opts.Parallelism; p > 0 {
+		sem = make(chan struct{}, p)
+	}
+	var schedule func(n *graph.Node)
+	dispatch := func(n *graph.Node) {
+		defer wg.Done()
+		if sem != nil {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+		}
+		e.mu.Lock()
+		failed := e.err != nil
+		e.mu.Unlock()
+		if failed {
+			return
+		}
+		out, err := e.evalNode(n)
+		if err != nil {
+			e.setErr(err)
+			return
+		}
+		e.mu.Lock()
+		e.results[n.ID()] = out
+		var ready []*graph.Node
+		for _, s := range succs[n.ID()] {
+			indeg[s.ID()]--
+			if indeg[s.ID()] == 0 {
+				ready = append(ready, s)
+			}
+		}
+		e.mu.Unlock()
+		for _, r := range ready {
+			schedule(r)
+		}
+	}
+	schedule = func(n *graph.Node) {
+		wg.Add(1)
+		go dispatch(n)
+	}
+
+	// Seed: fed nodes resolve immediately; then roots with no remaining deps.
+	e.mu.Lock()
+	var seeds []*graph.Node
+	for _, n := range nodes {
+		if v, fed := e.feeds[n.Name()]; fed {
+			e.results[n.ID()] = v
+			for _, s := range succs[n.ID()] {
+				indeg[s.ID()]--
+			}
+		}
+	}
+	for _, n := range nodes {
+		if _, fed := e.feeds[n.Name()]; fed {
+			continue
+		}
+		if indeg[n.ID()] == 0 {
+			seeds = append(seeds, n)
+		}
+	}
+	e.mu.Unlock()
+	for _, n := range seeds {
+		schedule(n)
+	}
+	wg.Wait()
+	return e.err
+}
+
+// evalNode runs one node locally or remotely.
+func (e *execution) evalNode(n *graph.Node) (*tensor.Tensor, error) {
+	inputs := make([]*tensor.Tensor, len(n.Inputs()))
+	inputNames := make([]string, len(n.Inputs()))
+	e.mu.Lock()
+	for i, in := range n.Inputs() {
+		inputs[i] = e.results[in.ID()]
+		inputNames[i] = in.Name()
+	}
+	e.mu.Unlock()
+
+	opts := &e.sess.opts
+	dev := n.Device()
+	local := opts.LocalJob == "" || dev.IsLocalTo(opts.LocalJob, opts.LocalTask)
+
+	var start float64
+	if opts.Trace != nil {
+		start = opts.Trace.Now()
+	}
+	var out *tensor.Tensor
+	var err error
+	if local {
+		ctx := &ops.Context{
+			NodeName:   n.Name(),
+			Attrs:      n.Attrs(),
+			InputNames: inputNames,
+			Resources:  e.sess.res,
+			Scratch:    e.scratch,
+		}
+		out, err = ops.Run(n.Op(), ctx, inputs)
+	} else {
+		if opts.Remote == nil {
+			return nil, fmt.Errorf("session: node %q placed on %v but no remote runner configured",
+				n.Name(), dev)
+		}
+		out, err = opts.Remote.RunRemoteOp(dev, n.Op(), n.Name(), n.Attrs(), inputNames, inputs)
+	}
+	if opts.Trace != nil {
+		devStr := dev.String()
+		if devStr == "" {
+			devStr = "/device:CPU:0"
+		}
+		opts.Trace.AddSpan(n.Name(), n.Op(), devStr, start, opts.Trace.Now())
+	}
+	return out, err
+}

@@ -1,0 +1,245 @@
+package session
+
+import (
+	"strings"
+	"testing"
+
+	"tfhpc/internal/graph"
+	"tfhpc/internal/tensor"
+	"tfhpc/internal/timeline"
+)
+
+// buildListing1 reproduces the paper's Listing 1: two random matrices
+// generated on CPU, multiplied on GPU.
+func buildListing1(g *graph.Graph) *graph.Node {
+	var a, b, c *graph.Node
+	g.WithDevice("/cpu:0", func() {
+		a = g.AddOp("RandomUniform", graph.Attrs{
+			"dtype": tensor.Float32, "shape": tensor.Shape{3, 3}, "seed": 1})
+		b = g.AddOp("RandomUniform", graph.Attrs{
+			"dtype": tensor.Float32, "shape": tensor.Shape{3, 3}, "seed": 2})
+	})
+	g.WithDevice("/gpu:0", func() {
+		c = g.AddOp("MatMul", nil, a, b)
+	})
+	return c
+}
+
+func TestListing1MatMul(t *testing.T) {
+	g := graph.New()
+	c := buildListing1(g)
+	sess, err := New(g, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := sess.Run(nil, []string{c.Name()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out[0].Shape().Equal(tensor.Shape{3, 3}) {
+		t.Fatalf("shape %v", out[0].Shape())
+	}
+	// Product of two matrices with entries in [0,1): every element in [0,3).
+	for _, v := range out[0].F32() {
+		if v < 0 || v >= 3 {
+			t.Fatalf("implausible product element %v", v)
+		}
+	}
+}
+
+func TestFeedsOverrideNodes(t *testing.T) {
+	g := graph.New()
+	x := g.Placeholder("x", tensor.Float64, tensor.Shape{2})
+	y := g.Const(tensor.FromF64(tensor.Shape{2}, []float64{10, 20}))
+	sum := g.AddOp("Add", nil, x, y)
+	sess, _ := New(g, nil, Options{})
+
+	out, err := sess.Run(map[string]*tensor.Tensor{
+		"x": tensor.FromF64(tensor.Shape{2}, []float64{1, 2}),
+	}, []string{sum.Name()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].F64()[0] != 11 || out[0].F64()[1] != 22 {
+		t.Fatalf("sum = %v", out[0].F64())
+	}
+	// Unfed placeholder errors.
+	if _, err := sess.Run(nil, []string{sum.Name()}, nil); err == nil {
+		t.Fatal("unfed placeholder should error")
+	}
+	// Feeding a non-placeholder overrides it too (TF semantics).
+	out, err = sess.Run(map[string]*tensor.Tensor{
+		"x":      tensor.FromF64(tensor.Shape{2}, []float64{0, 0}),
+		y.Name(): tensor.FromF64(tensor.Shape{2}, []float64{5, 5}),
+	}, []string{sum.Name()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].F64()[0] != 5 {
+		t.Fatalf("fed const: %v", out[0].F64())
+	}
+}
+
+func TestVariablesPersistAcrossRuns(t *testing.T) {
+	g := graph.New()
+	init := g.AddNamedOp("init", "Assign", graph.Attrs{"var_name": "counter"},
+		g.Const(tensor.ScalarF64(0)))
+	inc := g.AddNamedOp("inc", "AssignAdd", graph.Attrs{"var_name": "counter"},
+		g.Const(tensor.ScalarF64(1)))
+	read := g.AddNamedOp("read", "Variable", graph.Attrs{"var_name": "counter"})
+
+	sess, _ := New(g, nil, Options{})
+	if _, err := sess.Run(nil, nil, []string{init.Name()}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := sess.Run(nil, nil, []string{inc.Name()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := sess.Run(nil, []string{read.Name()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].ScalarFloat() != 5 {
+		t.Fatalf("counter = %v, want 5 (state must persist across runs)", out[0].ScalarFloat())
+	}
+}
+
+func TestOnlyNeededSubgraphRuns(t *testing.T) {
+	g := graph.New()
+	a := g.Const(tensor.ScalarF64(1))
+	// A poisoned branch: unfed placeholder. Fetching `a` must not touch it.
+	ph := g.Placeholder("poison", tensor.Float64, nil)
+	g.AddOp("Neg", nil, ph)
+	sess, _ := New(g, nil, Options{})
+	out, err := sess.Run(nil, []string{a.Name()}, nil)
+	if err != nil {
+		t.Fatalf("pruning failed: %v", err)
+	}
+	if out[0].ScalarFloat() != 1 {
+		t.Fatal("wrong value")
+	}
+}
+
+func TestParallelDiamondDependencies(t *testing.T) {
+	g := graph.New()
+	root := g.Const(tensor.FromF64(tensor.Shape{4}, []float64{1, 2, 3, 4}))
+	l := g.AddOp("Scale", nil, g.Const(tensor.ScalarF64(2)), root)
+	r := g.AddOp("Scale", nil, g.Const(tensor.ScalarF64(3)), root)
+	join := g.AddOp("Add", nil, l, r)
+	sess, _ := New(g, nil, Options{})
+	out, err := sess.Run(nil, []string{join.Name()}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].F64()[3] != 20 {
+		t.Fatalf("diamond = %v", out[0].F64())
+	}
+}
+
+func TestControlDependencyOrdering(t *testing.T) {
+	g := graph.New()
+	init := g.AddNamedOp("init", "Assign", graph.Attrs{"var_name": "v"},
+		g.Const(tensor.ScalarF64(100)))
+	read := g.AddNamedOp("read", "Variable", graph.Attrs{"var_name": "v"})
+	read.AddControlDep(init)
+	sess, _ := New(g, nil, Options{})
+	out, err := sess.Run(nil, []string{"read"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].ScalarFloat() != 100 {
+		t.Fatal("control dep did not order init before read")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	g := graph.New()
+	g.Const(tensor.ScalarF64(1))
+	sess, _ := New(g, nil, Options{})
+	if _, err := sess.Run(nil, []string{"nope"}, nil); err == nil {
+		t.Fatal("unknown fetch should error")
+	}
+	if _, err := sess.Run(nil, nil, nil); err == nil {
+		t.Fatal("empty run should error")
+	}
+	if _, err := sess.Run(map[string]*tensor.Tensor{"ghost": tensor.ScalarF64(1)},
+		[]string{"nope"}, nil); err == nil {
+		t.Fatal("unknown feed should error")
+	}
+}
+
+func TestKernelErrorPropagates(t *testing.T) {
+	g := graph.New()
+	a := g.Const(tensor.FromF64(tensor.Shape{2}, []float64{1, 2}))
+	b := g.Const(tensor.FromF64(tensor.Shape{3}, []float64{1, 2, 3}))
+	bad := g.AddOp("Add", nil, a, b)
+	sess, _ := New(g, nil, Options{})
+	_, err := sess.Run(nil, []string{bad.Name()}, nil)
+	if err == nil || !strings.Contains(err.Error(), "shape mismatch") {
+		t.Fatalf("want shape mismatch error, got %v", err)
+	}
+}
+
+func TestRemoteOpRequiresRunner(t *testing.T) {
+	g := graph.New()
+	var remote *graph.Node
+	g.WithDevice("/job:ps/task:0", func() {
+		remote = g.AddOp("Variable", graph.Attrs{"var_name": "w"})
+	})
+	sess, _ := New(g, nil, Options{LocalJob: "worker", LocalTask: 0})
+	if _, err := sess.Run(nil, []string{remote.Name()}, nil); err == nil ||
+		!strings.Contains(err.Error(), "no remote runner") {
+		t.Fatalf("want remote-runner error, got %v", err)
+	}
+}
+
+func TestTimelineCollection(t *testing.T) {
+	g := graph.New()
+	c := buildListing1(g)
+	trace := timeline.New()
+	sess, _ := New(g, nil, Options{Trace: trace})
+	if _, err := sess.Run(nil, []string{c.Name()}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if trace.Len() != 3 {
+		t.Fatalf("trace has %d events, want 3", trace.Len())
+	}
+	events := trace.Events()
+	devices := map[string]bool{}
+	for _, ev := range events {
+		if ev.End < ev.Start {
+			t.Fatal("event ends before it starts")
+		}
+		devices[ev.Device] = true
+	}
+	if !devices["/device:CPU:0"] || !devices["/device:GPU:0"] {
+		t.Fatalf("expected CPU and GPU lanes, got %v", devices)
+	}
+	b, err := trace.MarshalChrome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "traceEvents") || !strings.Contains(string(b), "MatMul") {
+		t.Fatal("chrome JSON missing content")
+	}
+}
+
+func TestParallelismLimit(t *testing.T) {
+	g := graph.New()
+	var outs []string
+	for i := 0; i < 20; i++ {
+		n := g.AddOp("RandomUniform", graph.Attrs{
+			"dtype": tensor.Float64, "shape": tensor.Shape{64}, "seed": i})
+		outs = append(outs, n.Name())
+	}
+	sess, _ := New(g, nil, Options{Parallelism: 2})
+	res, err := sess.Run(nil, outs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 20 {
+		t.Fatal("wrong fetch count")
+	}
+}

@@ -1,0 +1,231 @@
+// Package sim implements a deterministic discrete-event simulation engine
+// with cooperatively-scheduled processes, counted resources and FIFO stores.
+// The virtual cluster uses it to execute the paper's experiments at scale
+// (65536² matrices, 16 GPUs, InfiniBand links) on a laptop: application
+// driver loops run as sim processes, and every compute kernel, PCIe copy and
+// network transfer advances virtual time according to the hardware models in
+// internal/hw and internal/simnet.
+//
+// Exactly one process (or the engine itself) runs at any instant; the engine
+// hands control to a process and waits for it to block or finish before
+// advancing the clock, so simulations are fully deterministic: same inputs,
+// same event order, same virtual timings, on every run and platform.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Engine is a discrete-event scheduler. Create with New, add processes with
+// Go, then call Run from the host goroutine.
+type Engine struct {
+	now     float64
+	seq     int64
+	events  eventHeap
+	yield   chan struct{}
+	live    int
+	blocked map[*Process]string // blocked process -> reason, for deadlock reports
+	panicV  any
+}
+
+type event struct {
+	t   float64
+	seq int64
+	p   *Process
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Process is a unit of concurrent simulated activity. Its methods must only
+// be called from inside its own body function.
+type Process struct {
+	eng         *Engine
+	name        string
+	resume      chan struct{}
+	done        bool
+	doneWaiters []*Process
+}
+
+// New returns an empty engine at virtual time zero.
+func New() *Engine {
+	return &Engine{
+		yield:   make(chan struct{}),
+		blocked: make(map[*Process]string),
+	}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Live returns the number of processes that have started and not finished.
+func (e *Engine) Live() int { return e.live }
+
+func (e *Engine) schedule(t float64, p *Process, fn func()) {
+	e.seq++
+	heap.Push(&e.events, &event{t: t, seq: e.seq, p: p, fn: fn})
+}
+
+// After runs fn at virtual time Now()+d in engine context (not a process).
+func (e *Engine) After(d float64, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	e.schedule(e.now+d, nil, fn)
+}
+
+// Go spawns a new process that starts at the current virtual time. It may be
+// called before Run or from inside another process.
+func (e *Engine) Go(name string, body func(*Process)) *Process {
+	p := &Process{eng: e, name: name, resume: make(chan struct{})}
+	e.live++
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil && e.panicV == nil {
+				e.panicV = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+			}
+			p.done = true
+			for _, w := range p.doneWaiters {
+				e.schedule(e.now, w, nil)
+			}
+			p.doneWaiters = nil
+			e.live--
+			e.yield <- struct{}{}
+		}()
+		body(p)
+	}()
+	e.schedule(e.now, p, nil)
+	return p
+}
+
+// Run executes events until none remain. It returns the final virtual time.
+// If processes remain blocked with no pending events (a deadlock, e.g. a
+// queue consumer waiting on a producer that already exited), Run returns an
+// error naming them.
+func (e *Engine) Run() (float64, error) {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.t < e.now {
+			return e.now, fmt.Errorf("sim: time went backwards: %g < %g", ev.t, e.now)
+		}
+		e.now = ev.t
+		if ev.fn != nil {
+			ev.fn()
+			if e.panicV != nil {
+				panic(e.panicV)
+			}
+			continue
+		}
+		if ev.p == nil || ev.p.done {
+			continue
+		}
+		delete(e.blocked, ev.p)
+		ev.p.resume <- struct{}{}
+		<-e.yield
+		if e.panicV != nil {
+			panic(e.panicV)
+		}
+	}
+	if e.live > 0 {
+		names := make([]string, 0, len(e.blocked))
+		for p, why := range e.blocked {
+			names = append(names, fmt.Sprintf("%s (%s)", p.name, why))
+		}
+		sort.Strings(names)
+		return e.now, fmt.Errorf("sim: deadlock: %d process(es) blocked forever: %v", e.live, names)
+	}
+	return e.now, nil
+}
+
+// block suspends the process until something schedules a wake for it.
+func (p *Process) block(reason string) {
+	p.eng.blocked[p] = reason
+	p.eng.yield <- struct{}{}
+	<-p.resume
+	delete(p.eng.blocked, p)
+}
+
+// Name returns the process name given to Go.
+func (p *Process) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Process) Now() float64 { return p.eng.now }
+
+// Engine returns the owning engine.
+func (p *Process) Engine() *Engine { return p.eng }
+
+// Wait advances the process's virtual time by d seconds.
+func (p *Process) Wait(d float64) {
+	if d < 0 {
+		d = 0
+	}
+	p.eng.schedule(p.eng.now+d, p, nil)
+	p.block(fmt.Sprintf("sleeping %.3gs", d))
+}
+
+// Join blocks until all the given processes have finished.
+func (p *Process) Join(procs ...*Process) {
+	for _, q := range procs {
+		if q.done {
+			continue
+		}
+		q.doneWaiters = append(q.doneWaiters, p)
+		p.block(fmt.Sprintf("join %s", q.name))
+	}
+}
+
+// Event is a one-shot latch processes can wait on (similar to simpy events).
+type Event struct {
+	eng     *Engine
+	fired   bool
+	waiters []*Process
+}
+
+// NewEvent returns an unfired event.
+func (e *Engine) NewEvent() *Event { return &Event{eng: e} }
+
+// Fired reports whether the event has fired.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Fire releases all current and future waiters. Idempotent. May be called
+// from any process or from engine context.
+func (ev *Event) Fire() {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	for _, w := range ev.waiters {
+		ev.eng.schedule(ev.eng.now, w, nil)
+	}
+	ev.waiters = nil
+}
+
+// Wait blocks the process until the event fires (returns immediately if it
+// already has).
+func (ev *Event) Wait(p *Process) {
+	if ev.fired {
+		return
+	}
+	ev.waiters = append(ev.waiters, p)
+	p.block("event wait")
+}

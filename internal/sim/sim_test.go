@@ -1,0 +1,400 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSingleProcessWait(t *testing.T) {
+	e := New()
+	var seen []float64
+	e.Go("p", func(p *Process) {
+		seen = append(seen, p.Now())
+		p.Wait(1.5)
+		seen = append(seen, p.Now())
+		p.Wait(0.5)
+		seen = append(seen, p.Now())
+	})
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 2.0 {
+		t.Fatalf("end time %v, want 2.0", end)
+	}
+	want := []float64{0, 1.5, 2.0}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("seen %v, want %v", seen, want)
+		}
+	}
+}
+
+func TestInterleavingDeterministic(t *testing.T) {
+	run := func() []string {
+		e := New()
+		var order []string
+		e.Go("a", func(p *Process) {
+			for i := 0; i < 3; i++ {
+				p.Wait(1)
+				order = append(order, "a")
+			}
+		})
+		e.Go("b", func(p *Process) {
+			for i := 0; i < 2; i++ {
+				p.Wait(1.5)
+				order = append(order, "b")
+			}
+		})
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	first := run()
+	want := "a b a b a" // t=1 a, 1.5 b, 2 a, 3 a&b with a scheduled first
+	got := strings.Join(first, " ")
+	if got != want && got != "a b a a b" {
+		t.Fatalf("order %q", got)
+	}
+	for i := 0; i < 10; i++ {
+		again := strings.Join(run(), " ")
+		if again != got {
+			t.Fatalf("non-deterministic: %q vs %q", again, got)
+		}
+	}
+}
+
+func TestAfterCallback(t *testing.T) {
+	e := New()
+	fired := -1.0
+	e.After(3, func() { fired = e.Now() })
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 3 {
+		t.Fatalf("fired at %v", fired)
+	}
+}
+
+func TestEventWaitAndFire(t *testing.T) {
+	e := New()
+	ev := e.NewEvent()
+	var wokenAt float64
+	e.Go("waiter", func(p *Process) {
+		ev.Wait(p)
+		wokenAt = p.Now()
+	})
+	e.Go("firer", func(p *Process) {
+		p.Wait(2)
+		ev.Fire()
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wokenAt != 2 {
+		t.Fatalf("woken at %v", wokenAt)
+	}
+	if !ev.Fired() {
+		t.Fatal("event should be fired")
+	}
+}
+
+func TestEventWaitAfterFire(t *testing.T) {
+	e := New()
+	ev := e.NewEvent()
+	ev.Fire()
+	ok := false
+	e.Go("late", func(p *Process) {
+		ev.Wait(p) // must not block
+		ok = true
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("late waiter blocked on fired event")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	e := New()
+	var joinedAt float64
+	var c1, c2 *Process
+	e.Go("parent", func(p *Process) {
+		c1 = e.Go("c1", func(q *Process) { q.Wait(5) })
+		c2 = e.Go("c2", func(q *Process) { q.Wait(3) })
+		p.Join(c1, c2)
+		joinedAt = p.Now()
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if joinedAt != 5 {
+		t.Fatalf("joined at %v, want 5", joinedAt)
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	e := New()
+	r := e.NewResource("gpu", 1)
+	var ends []float64
+	for i := 0; i < 3; i++ {
+		e.Go("user", func(p *Process) {
+			r.Use(p, 2)
+			ends = append(ends, p.Now())
+		})
+	}
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 6 {
+		t.Fatalf("end %v, want 6 (3 serialized uses of 2s)", end)
+	}
+	want := []float64{2, 4, 6}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends %v", ends)
+		}
+	}
+	if r.Acquired() != 3 {
+		t.Fatalf("acquired %d", r.Acquired())
+	}
+}
+
+func TestResourceCapacityTwo(t *testing.T) {
+	e := New()
+	r := e.NewResource("link", 2)
+	var maxInUse int
+	for i := 0; i < 4; i++ {
+		e.Go("user", func(p *Process) {
+			r.Acquire(p)
+			if r.InUse() > maxInUse {
+				maxInUse = r.InUse()
+			}
+			p.Wait(1)
+			r.Release()
+		})
+	}
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 2 {
+		t.Fatalf("end %v, want 2 (4 jobs, 2 wide)", end)
+	}
+	if maxInUse != 2 {
+		t.Fatalf("maxInUse %d", maxInUse)
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	e := New()
+	r := e.NewResource("r", 1)
+	var order []string
+	spawn := func(name string, delay float64) {
+		e.Go(name, func(p *Process) {
+			p.Wait(delay)
+			r.Acquire(p)
+			order = append(order, name)
+			p.Wait(10)
+			r.Release()
+		})
+	}
+	spawn("first", 0)
+	spawn("second", 1)
+	spawn("third", 2)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, ",") != "first,second,third" {
+		t.Fatalf("order %v", order)
+	}
+}
+
+func TestResourceUtilisation(t *testing.T) {
+	e := New()
+	r := e.NewResource("gpu", 1)
+	e.Go("u", func(p *Process) {
+		r.Use(p, 3)
+		p.Wait(1) // idle tail
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	u := r.Utilisation()
+	if u < 0.74 || u > 0.76 {
+		t.Fatalf("utilisation %v, want 0.75", u)
+	}
+}
+
+func TestStorePutGetFIFO(t *testing.T) {
+	e := New()
+	s := e.NewStore("q", 0)
+	var got []int
+	e.Go("producer", func(p *Process) {
+		for i := 0; i < 5; i++ {
+			p.Wait(1)
+			if err := s.Put(p, i); err != nil {
+				t.Errorf("put: %v", err)
+			}
+		}
+		s.Close()
+	})
+	e.Go("consumer", func(p *Process) {
+		for {
+			v, err := s.Get(p)
+			if err == ErrClosed {
+				return
+			}
+			if err != nil {
+				t.Errorf("get: %v", err)
+				return
+			}
+			got = append(got, v.(int))
+		}
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("got %v", got)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+	if s.Gets() != 5 || s.Puts() != 5 {
+		t.Fatalf("counters: gets=%d puts=%d", s.Gets(), s.Puts())
+	}
+}
+
+func TestStoreCapacityBlocksProducer(t *testing.T) {
+	e := New()
+	s := e.NewStore("q", 2)
+	var lastPut float64
+	e.Go("producer", func(p *Process) {
+		for i := 0; i < 4; i++ {
+			if err := s.Put(p, i); err != nil {
+				t.Errorf("put: %v", err)
+			}
+			lastPut = p.Now()
+		}
+	})
+	e.Go("consumer", func(p *Process) {
+		for i := 0; i < 4; i++ {
+			p.Wait(10)
+			if _, err := s.Get(p); err != nil {
+				t.Errorf("get: %v", err)
+			}
+		}
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Producer's 4th put must wait until consumer frees space at t=20.
+	if lastPut != 20 {
+		t.Fatalf("last put at %v, want 20", lastPut)
+	}
+	if s.MaxLen() != 2 {
+		t.Fatalf("max len %d, want 2", s.MaxLen())
+	}
+}
+
+func TestStoreGetBlocksUntilPut(t *testing.T) {
+	e := New()
+	s := e.NewStore("q", 0)
+	var gotAt float64
+	e.Go("consumer", func(p *Process) {
+		v, err := s.Get(p)
+		if err != nil || v.(string) != "x" {
+			t.Errorf("get: %v %v", v, err)
+		}
+		gotAt = p.Now()
+	})
+	e.Go("producer", func(p *Process) {
+		p.Wait(7)
+		s.Put(p, "x")
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotAt != 7 {
+		t.Fatalf("got at %v", gotAt)
+	}
+}
+
+func TestStoreCloseUnblocksGetters(t *testing.T) {
+	e := New()
+	s := e.NewStore("q", 0)
+	var gotErr error
+	e.Go("consumer", func(p *Process) {
+		_, gotErr = s.Get(p)
+	})
+	e.Go("closer", func(p *Process) {
+		p.Wait(1)
+		s.Close()
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotErr != ErrClosed {
+		t.Fatalf("err %v, want ErrClosed", gotErr)
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	e := New()
+	s := e.NewStore("q", 0)
+	e.Go("stuck", func(p *Process) {
+		s.Get(p) // nobody will ever put
+	})
+	_, err := e.Run()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want deadlock error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "stuck") {
+		t.Fatalf("error should name the process: %v", err)
+	}
+}
+
+func TestProcessPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil || !strings.Contains(r.(error).Error(), "boom") {
+			t.Fatalf("want propagated panic, got %v", r)
+		}
+	}()
+	e := New()
+	e.Go("bad", func(p *Process) {
+		p.Wait(1)
+		panic("boom")
+	})
+	e.Run()
+}
+
+func TestManyProcessesScale(t *testing.T) {
+	e := New()
+	r := e.NewResource("nic", 4)
+	n := 500
+	done := 0
+	for i := 0; i < n; i++ {
+		e.Go("w", func(p *Process) {
+			r.Use(p, 0.001)
+			done++
+		})
+	}
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done != n {
+		t.Fatalf("done %d", done)
+	}
+	wantEnd := float64(n) * 0.001 / 4
+	if end < wantEnd*0.99 || end > wantEnd*1.01 {
+		t.Fatalf("end %v, want ~%v", end, wantEnd)
+	}
+}

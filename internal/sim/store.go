@@ -1,0 +1,169 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrClosed is returned by Store operations after Close once drained.
+var ErrClosed = errors.New("sim: store is closed")
+
+// Store is a bounded FIFO of arbitrary items with blocking Put/Get — the
+// simulated twin of the runtime's FIFOQueue (TensorFlow Queue API). Items
+// hand off directly between blocked producers and consumers, preserving
+// strict FIFO order.
+type Store struct {
+	eng     *Engine
+	name    string
+	cap     int // 0 = unbounded
+	items   []any
+	getters []*storeGetter
+	putters []*storePutter
+	closed  bool
+
+	puts   int64
+	gets   int64
+	maxLen int
+}
+
+type storeGetter struct {
+	p     *Process
+	item  any
+	ready bool
+	err   error
+}
+
+type storePutter struct {
+	p    *Process
+	item any
+	done bool
+}
+
+// NewStore creates a FIFO store. capacity 0 means unbounded.
+func (e *Engine) NewStore(name string, capacity int) *Store {
+	if capacity < 0 {
+		panic(fmt.Sprintf("sim: store %q capacity must be >= 0", name))
+	}
+	return &Store{eng: e, name: name, cap: capacity}
+}
+
+// Name returns the store's name.
+func (s *Store) Name() string { return s.name }
+
+// Len returns the number of buffered items.
+func (s *Store) Len() int { return len(s.items) }
+
+// MaxLen returns the high-water mark of the buffer.
+func (s *Store) MaxLen() int { return s.maxLen }
+
+// Puts returns the number of completed Put operations.
+func (s *Store) Puts() int64 { return s.puts }
+
+// Gets returns the number of completed Get operations.
+func (s *Store) Gets() int64 { return s.gets }
+
+func (s *Store) buffer(v any) {
+	s.items = append(s.items, v)
+	if len(s.items) > s.maxLen {
+		s.maxLen = len(s.items)
+	}
+}
+
+// Put appends v, blocking while the store is full. Returns ErrClosed if the
+// store was closed.
+func (s *Store) Put(p *Process, v any) error {
+	if s.closed {
+		return ErrClosed
+	}
+	// Direct hand-off to a waiting getter.
+	if len(s.getters) > 0 {
+		g := s.getters[0]
+		s.getters = s.getters[1:]
+		g.item = v
+		g.ready = true
+		s.eng.schedule(s.eng.now, g.p, nil)
+		s.puts++
+		s.gets++ // the paired get completes now
+		return nil
+	}
+	if s.cap == 0 || len(s.items) < s.cap {
+		s.buffer(v)
+		s.puts++
+		return nil
+	}
+	w := &storePutter{p: p, item: v}
+	s.putters = append(s.putters, w)
+	for !w.done {
+		p.block(fmt.Sprintf("put %s (full)", s.name))
+		if s.closed && !w.done {
+			return ErrClosed
+		}
+	}
+	s.puts++
+	return nil
+}
+
+// Get removes and returns the oldest item, blocking while the store is
+// empty. Returns ErrClosed once the store is closed and drained.
+func (s *Store) Get(p *Process) (any, error) {
+	for {
+		if len(s.items) > 0 {
+			v := s.items[0]
+			s.items = s.items[1:]
+			// Admit a blocked putter into the freed space.
+			if len(s.putters) > 0 {
+				w := s.putters[0]
+				s.putters = s.putters[1:]
+				s.buffer(w.item)
+				w.done = true
+				s.eng.schedule(s.eng.now, w.p, nil)
+			}
+			s.gets++
+			return v, nil
+		}
+		if len(s.putters) > 0 { // cap could be 0-sized rendezvous in theory
+			w := s.putters[0]
+			s.putters = s.putters[1:]
+			w.done = true
+			s.eng.schedule(s.eng.now, w.p, nil)
+			s.gets++
+			return w.item, nil
+		}
+		if s.closed {
+			return nil, ErrClosed
+		}
+		g := &storeGetter{p: p}
+		s.getters = append(s.getters, g)
+		p.block(fmt.Sprintf("get %s (empty)", s.name))
+		if g.ready {
+			return g.item, nil
+		}
+		if g.err != nil {
+			return nil, g.err
+		}
+		// Woken by Close with nothing delivered: loop re-checks state.
+	}
+}
+
+// Close marks the store closed: pending and future Puts fail, Gets drain the
+// buffer then fail with ErrClosed.
+func (s *Store) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, g := range s.getters {
+		if len(s.items) == 0 {
+			g.err = ErrClosed
+		}
+		s.eng.schedule(s.eng.now, g.p, nil)
+	}
+	s.getters = nil
+	for _, w := range s.putters {
+		s.eng.schedule(s.eng.now, w.p, nil)
+	}
+	s.putters = nil
+}
+
+// Closed reports whether Close has been called.
+func (s *Store) Closed() bool { return s.closed }

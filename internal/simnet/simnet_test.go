@@ -1,0 +1,132 @@
+package simnet
+
+import (
+	"testing"
+
+	"tfhpc/internal/hw"
+)
+
+const mb = 1 << 20
+
+func bwFor(c *hw.Cluster, node string, proto Protocol, place Placement, bytes int64) float64 {
+	nt := c.NodeTypes[node]
+	dt := TransferTime(c, nt, proto, place, place, bytes)
+	return BandwidthMBps(bytes, dt)
+}
+
+// Fig. 7 calibration: orderings and saturation levels from Section VI.A.
+func TestFig7RDMAOrderingAndLevels(t *testing.T) {
+	// Tegner CPU RDMA peaks above 6000 MB/s (>50% of 12.5 GB/s EDR).
+	got := bwFor(hw.Tegner, "k420", RDMA, OnCPU, 128*mb)
+	if got < 6000 || got > 7000 {
+		t.Fatalf("Tegner CPU RDMA 128MB = %.0f MB/s, want ~6000-6500", got)
+	}
+	// Tegner GPU RDMA saturates around 1300 MB/s.
+	got = bwFor(hw.Tegner, "k420", RDMA, OnGPU, 128*mb)
+	if got < 1200 || got > 1450 {
+		t.Fatalf("Tegner GPU RDMA 128MB = %.0f MB/s, want ~1300", got)
+	}
+	// Kebnekaise GPU RDMA saturates below 2300 MB/s.
+	got = bwFor(hw.Kebnekaise, "k80", RDMA, OnGPU, 128*mb)
+	if got < 2000 || got > 2300 {
+		t.Fatalf("Kebnekaise GPU RDMA 128MB = %.0f MB/s, want just below 2300", got)
+	}
+}
+
+func TestFig7MPILevels(t *testing.T) {
+	// ~318 MB/s on Tegner K420 GPUs.
+	got := bwFor(hw.Tegner, "k420", MPI, OnGPU, 128*mb)
+	if got < 280 || got > 360 {
+		t.Fatalf("Tegner GPU MPI = %.0f MB/s, want ~318", got)
+	}
+	// ~480 MB/s on Kebnekaise K80 GPUs.
+	got = bwFor(hw.Kebnekaise, "k80", MPI, OnGPU, 128*mb)
+	if got < 430 || got > 530 {
+		t.Fatalf("Kebnekaise GPU MPI = %.0f MB/s, want ~480", got)
+	}
+}
+
+func TestFig7GRPCLowestOnTegner(t *testing.T) {
+	// gRPC resolves over gigabit Ethernet on Tegner: the slowest by far.
+	for _, place := range []Placement{OnCPU, OnGPU} {
+		grpc := bwFor(hw.Tegner, "k420", GRPC, place, 128*mb)
+		mpi := bwFor(hw.Tegner, "k420", MPI, place, 128*mb)
+		rdma := bwFor(hw.Tegner, "k420", RDMA, place, 128*mb)
+		if !(grpc < mpi && mpi < rdma) {
+			t.Fatalf("Tegner %v ordering: grpc=%.0f mpi=%.0f rdma=%.0f", place, grpc, mpi, rdma)
+		}
+		if grpc > 150 {
+			t.Fatalf("Tegner gRPC = %.0f MB/s, should be Ethernet-bound (~110)", grpc)
+		}
+	}
+}
+
+func TestFig7GRPCSimilarToMPIOnKebnekaise(t *testing.T) {
+	grpc := bwFor(hw.Kebnekaise, "k80", GRPC, OnGPU, 128*mb)
+	mpi := bwFor(hw.Kebnekaise, "k80", MPI, OnGPU, 128*mb)
+	ratio := grpc / mpi
+	if ratio < 0.6 || ratio > 1.4 {
+		t.Fatalf("Kebnekaise gRPC/MPI = %.2f (grpc=%.0f, mpi=%.0f), want similar", ratio, grpc, mpi)
+	}
+}
+
+func TestBandwidthGrowsWithMessageSize(t *testing.T) {
+	// Fig. 7 annotates 2, 16, 128 MB per bar: bigger messages amortise setup.
+	for _, proto := range []Protocol{GRPC, MPI, RDMA} {
+		prev := 0.0
+		for _, size := range []int64{2 * mb, 16 * mb, 128 * mb} {
+			got := bwFor(hw.Tegner, "k420", proto, OnCPU, size)
+			if got < prev {
+				t.Fatalf("%v: bandwidth fell from %.0f to %.0f as size grew", proto, prev, got)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestPathStructure(t *testing.T) {
+	// GPU endpoints add PCIe staging hops.
+	cpu := TransferPath(hw.Tegner, hw.Tegner.NodeTypes["k420"], RDMA, OnCPU, OnCPU)
+	gpu := TransferPath(hw.Tegner, hw.Tegner.NodeTypes["k420"], RDMA, OnGPU, OnGPU)
+	if len(gpu) != len(cpu)+2 {
+		t.Fatalf("GPU path should add 2 staging hops: cpu=%d gpu=%d", len(cpu), len(gpu))
+	}
+	if gpu.Bottleneck() >= cpu.Bottleneck() {
+		t.Fatal("PCIe staging should lower the bottleneck bandwidth")
+	}
+}
+
+func TestSerialSlowerThanPipelined(t *testing.T) {
+	p := TransferPath(hw.Kebnekaise, hw.Kebnekaise.NodeTypes["k80"], MPI, OnGPU, OnGPU)
+	n := int64(64 * mb)
+	if p.SerialTime(n) <= p.PipelinedTime(n) {
+		t.Fatal("store-and-forward must be slower than pipelined")
+	}
+}
+
+func TestParseProtocol(t *testing.T) {
+	for _, c := range []struct {
+		s    string
+		want Protocol
+	}{{"grpc", GRPC}, {"mpi", MPI}, {"rdma", RDMA}} {
+		got, err := ParseProtocol(c.s)
+		if err != nil || got != c.want {
+			t.Fatalf("ParseProtocol(%q) = %v, %v", c.s, got, err)
+		}
+		if got.String() != c.s {
+			t.Fatalf("String round trip %q", c.s)
+		}
+	}
+	if _, err := ParseProtocol("tcp"); err == nil {
+		t.Fatal("bad protocol should error")
+	}
+}
+
+func TestBandwidthMBps(t *testing.T) {
+	if got := BandwidthMBps(1e6, 1); got != 1 {
+		t.Fatalf("1 MB in 1 s = %v MB/s", got)
+	}
+	if got := BandwidthMBps(100, 0); got != 0 {
+		t.Fatalf("zero time should yield 0, got %v", got)
+	}
+}

@@ -1,0 +1,154 @@
+// Package slurm emulates the pieces of the Slurm workload manager that the
+// paper's ClusterResolver consumes: job allocations, the environment
+// variables Slurm exports to each task, the `scontrol show hostnames`
+// expansion, and task-to-node distribution. On a real system these values
+// come from Slurm itself; here a synthetic Allocation produces
+// byte-compatible values so the resolver code path is identical.
+package slurm
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"tfhpc/internal/hostlist"
+)
+
+// Allocation describes one synthetic Slurm job allocation.
+type Allocation struct {
+	JobID        int
+	Nodes        []string // expanded node names, in allocation order
+	TasksPerNode int
+	GPUsPerNode  int
+}
+
+// NewAllocation creates an allocation of n homogeneous nodes named with the
+// given prefix (e.g. "t03n" yields t03n01, t03n02, ...).
+func NewAllocation(jobID int, prefix string, n, tasksPerNode, gpusPerNode int) *Allocation {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("%s%02d", prefix, i+1)
+	}
+	return &Allocation{JobID: jobID, Nodes: nodes, TasksPerNode: tasksPerNode, GPUsPerNode: gpusPerNode}
+}
+
+// NumTasks returns the total task count of the allocation.
+func (a *Allocation) NumTasks() int { return len(a.Nodes) * a.TasksPerNode }
+
+// Hostlist returns the compressed SLURM_JOB_NODELIST expression.
+func (a *Allocation) Hostlist() string { return hostlist.Compress(a.Nodes) }
+
+// TasksPerNodeString renders Slurm's run-length format, e.g. "2(x3)" for
+// two tasks on each of three nodes.
+func (a *Allocation) TasksPerNodeString() string {
+	if len(a.Nodes) == 1 {
+		return strconv.Itoa(a.TasksPerNode)
+	}
+	return fmt.Sprintf("%d(x%d)", a.TasksPerNode, len(a.Nodes))
+}
+
+// Placement locates one task within the allocation.
+type Placement struct {
+	ProcID  int    // global rank
+	Node    string // host name
+	LocalID int    // rank within the node
+}
+
+// Distribute assigns tasks to nodes with Slurm's default block ("plane")
+// distribution: ranks fill node 0 first, then node 1, and so on — the
+// distribution the paper's resolver supports.
+func (a *Allocation) Distribute() []Placement {
+	out := make([]Placement, 0, a.NumTasks())
+	for proc := 0; proc < a.NumTasks(); proc++ {
+		out = append(out, Placement{
+			ProcID:  proc,
+			Node:    a.Nodes[proc/a.TasksPerNode],
+			LocalID: proc % a.TasksPerNode,
+		})
+	}
+	return out
+}
+
+// Env returns the environment Slurm would export to the given task,
+// restricted to the variables the resolver reads.
+func (a *Allocation) Env(procID int) (map[string]string, error) {
+	if procID < 0 || procID >= a.NumTasks() {
+		return nil, fmt.Errorf("slurm: proc %d out of %d tasks", procID, a.NumTasks())
+	}
+	p := a.Distribute()[procID]
+	return map[string]string{
+		"SLURM_JOB_ID":          strconv.Itoa(a.JobID),
+		"SLURM_JOB_NODELIST":    a.Hostlist(),
+		"SLURM_JOB_NUM_NODES":   strconv.Itoa(len(a.Nodes)),
+		"SLURM_NTASKS":          strconv.Itoa(a.NumTasks()),
+		"SLURM_NTASKS_PER_NODE": strconv.Itoa(a.TasksPerNode),
+		"SLURM_TASKS_PER_NODE":  a.TasksPerNodeString(),
+		"SLURM_PROCID":          strconv.Itoa(p.ProcID),
+		"SLURM_LOCALID":         strconv.Itoa(p.LocalID),
+		"SLURMD_NODENAME":       p.Node,
+		"SLURM_GPUS_ON_NODE":    strconv.Itoa(a.GPUsPerNode),
+	}, nil
+}
+
+// ScontrolShowHostnames mimics `scontrol show hostnames <nodelist>`: it
+// expands a compressed node list, one host per line.
+func ScontrolShowHostnames(nodelist string) (string, error) {
+	hosts, err := hostlist.Expand(nodelist)
+	if err != nil {
+		return "", err
+	}
+	return strings.Join(hosts, "\n"), nil
+}
+
+// ParseEnv reconstructs an Allocation view from a Slurm environment (the
+// inverse of Env, up to field coverage). It is what the resolver calls.
+func ParseEnv(env map[string]string) (*Allocation, *Placement, error) {
+	get := func(key string) (string, error) {
+		v, ok := env[key]
+		if !ok || v == "" {
+			return "", fmt.Errorf("slurm: environment missing %s", key)
+		}
+		return v, nil
+	}
+	nodelist, err := get("SLURM_JOB_NODELIST")
+	if err != nil {
+		return nil, nil, err
+	}
+	nodes, err := hostlist.Expand(nodelist)
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Strings(nodes)
+	ntasksStr, err := get("SLURM_NTASKS")
+	if err != nil {
+		return nil, nil, err
+	}
+	ntasks, err := strconv.Atoi(ntasksStr)
+	if err != nil || ntasks <= 0 {
+		return nil, nil, fmt.Errorf("slurm: bad SLURM_NTASKS %q", ntasksStr)
+	}
+	if ntasks%len(nodes) != 0 {
+		return nil, nil, fmt.Errorf("slurm: %d tasks do not divide evenly over %d nodes (homogeneous allocations only)", ntasks, len(nodes))
+	}
+	a := &Allocation{
+		Nodes:        nodes,
+		TasksPerNode: ntasks / len(nodes),
+	}
+	if v, ok := env["SLURM_JOB_ID"]; ok {
+		a.JobID, _ = strconv.Atoi(v)
+	}
+	if v, ok := env["SLURM_GPUS_ON_NODE"]; ok {
+		a.GPUsPerNode, _ = strconv.Atoi(v)
+	}
+	procStr, err := get("SLURM_PROCID")
+	if err != nil {
+		return nil, nil, err
+	}
+	proc, err := strconv.Atoi(procStr)
+	if err != nil || proc < 0 || proc >= ntasks {
+		return nil, nil, fmt.Errorf("slurm: bad SLURM_PROCID %q", procStr)
+	}
+	p := a.Distribute()[proc]
+	return a, &p, nil
+}

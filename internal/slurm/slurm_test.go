@@ -1,0 +1,122 @@
+package slurm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllocationBasics(t *testing.T) {
+	a := NewAllocation(4242, "t03n", 3, 2, 2)
+	if a.NumTasks() != 6 {
+		t.Fatalf("NumTasks = %d", a.NumTasks())
+	}
+	if a.Hostlist() != "t03n[01-03]" {
+		t.Fatalf("hostlist = %q", a.Hostlist())
+	}
+	if a.TasksPerNodeString() != "2(x3)" {
+		t.Fatalf("tasks per node = %q", a.TasksPerNodeString())
+	}
+	single := NewAllocation(1, "n", 1, 4, 4)
+	if single.TasksPerNodeString() != "4" {
+		t.Fatalf("single-node format = %q", single.TasksPerNodeString())
+	}
+}
+
+func TestDistributeBlockOrder(t *testing.T) {
+	a := NewAllocation(1, "n", 2, 2, 2)
+	p := a.Distribute()
+	want := []struct {
+		node    string
+		localID int
+	}{
+		{"n01", 0}, {"n01", 1}, {"n02", 0}, {"n02", 1},
+	}
+	for i, w := range want {
+		if p[i].Node != w.node || p[i].LocalID != w.localID || p[i].ProcID != i {
+			t.Fatalf("placement[%d] = %+v, want %+v", i, p[i], w)
+		}
+	}
+}
+
+func TestEnvFields(t *testing.T) {
+	a := NewAllocation(777, "t03n", 2, 2, 2)
+	env, err := a.Env(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks := map[string]string{
+		"SLURM_JOB_ID":         "777",
+		"SLURM_JOB_NODELIST":   "t03n[01-02]",
+		"SLURM_NTASKS":         "4",
+		"SLURM_TASKS_PER_NODE": "2(x2)",
+		"SLURM_PROCID":         "3",
+		"SLURM_LOCALID":        "1",
+		"SLURMD_NODENAME":      "t03n02",
+		"SLURM_GPUS_ON_NODE":   "2",
+	}
+	for k, want := range checks {
+		if env[k] != want {
+			t.Errorf("%s = %q, want %q", k, env[k], want)
+		}
+	}
+	if _, err := a.Env(99); err == nil {
+		t.Fatal("out-of-range proc should error")
+	}
+}
+
+func TestScontrolShowHostnames(t *testing.T) {
+	out, err := ScontrolShowHostnames("t03n[01-03],t04n07")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "t03n01\nt03n02\nt03n03\nt04n07"
+	if out != want {
+		t.Fatalf("scontrol output:\n%s\nwant:\n%s", out, want)
+	}
+	if _, err := ScontrolShowHostnames("bad["); err == nil {
+		t.Fatal("bad nodelist should error")
+	}
+}
+
+func TestParseEnvRoundTrip(t *testing.T) {
+	a := NewAllocation(55, "gpu", 4, 2, 4)
+	for proc := 0; proc < a.NumTasks(); proc++ {
+		env, _ := a.Env(proc)
+		got, place, err := ParseEnv(env)
+		if err != nil {
+			t.Fatalf("proc %d: %v", proc, err)
+		}
+		if len(got.Nodes) != 4 || got.TasksPerNode != 2 || got.GPUsPerNode != 4 || got.JobID != 55 {
+			t.Fatalf("proc %d: allocation %+v", proc, got)
+		}
+		if place.ProcID != proc {
+			t.Fatalf("proc %d: placement %+v", proc, place)
+		}
+		wantNode := a.Nodes[proc/2]
+		if place.Node != wantNode {
+			t.Fatalf("proc %d on %q, want %q", proc, place.Node, wantNode)
+		}
+	}
+}
+
+func TestParseEnvErrors(t *testing.T) {
+	base, _ := NewAllocation(1, "n", 2, 2, 0).Env(0)
+	for _, drop := range []string{"SLURM_JOB_NODELIST", "SLURM_NTASKS", "SLURM_PROCID"} {
+		env := map[string]string{}
+		for k, v := range base {
+			env[k] = v
+		}
+		delete(env, drop)
+		if _, _, err := ParseEnv(env); err == nil || !strings.Contains(err.Error(), drop) {
+			t.Errorf("dropping %s: err = %v", drop, err)
+		}
+	}
+	env := map[string]string{}
+	for k, v := range base {
+		env[k] = v
+	}
+	env["SLURM_NTASKS"] = "3" // does not divide 2 nodes
+	if _, _, err := ParseEnv(env); err == nil {
+		t.Error("non-homogeneous task count should error")
+	}
+}

@@ -1,0 +1,103 @@
+package tensor
+
+import "math"
+
+// RNG is a small, fast, deterministic SplitMix64 generator. The runtime uses
+// it everywhere randomness is needed (random_uniform kernels, workload
+// generators) so that experiments are reproducible across runs and platforms.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG seeds a generator. The same seed always yields the same stream.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits (SplitMix64).
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float32 returns a uniform value in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / (1 << 24)
+}
+
+// Intn returns a uniform value in [0, n). Panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("tensor: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// NormFloat64 returns a standard normal variate (Box-Muller).
+func (r *RNG) NormFloat64() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// RandomUniform allocates a tensor filled with uniform values in [0, 1) for
+// float dtypes, uniformly random phases on the unit circle for complex
+// dtypes, and uniform values in [0, 100) for integer dtypes. It is the
+// kernel behind the random_uniform op (Listing 1 of the paper).
+func RandomUniform(dt DType, seed uint64, shape ...int) *Tensor {
+	t := New(dt, shape...)
+	r := NewRNG(seed)
+	FillUniform(t, r)
+	return t
+}
+
+// FillUniform overwrites t in place with uniform pseudo-random values drawn
+// from r.
+func FillUniform(t *Tensor, r *RNG) {
+	switch t.DType() {
+	case Float32:
+		d := t.F32()
+		for i := range d {
+			d[i] = r.Float32()
+		}
+	case Float64:
+		d := t.F64()
+		for i := range d {
+			d[i] = r.Float64()
+		}
+	case Complex64:
+		d := t.C64()
+		for i := range d {
+			d[i] = complex(r.Float32(), r.Float32())
+		}
+	case Complex128:
+		d := t.C128()
+		for i := range d {
+			d[i] = complex(r.Float64(), r.Float64())
+		}
+	case Int32:
+		d := t.I32()
+		for i := range d {
+			d[i] = int32(r.Intn(100))
+		}
+	case Int64:
+		d := t.I64()
+		for i := range d {
+			d[i] = int64(r.Intn(100))
+		}
+	case Bool:
+		d := t.Bools()
+		for i := range d {
+			d[i] = r.Uint64()&1 == 1
+		}
+	}
+}

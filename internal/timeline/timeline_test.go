@@ -1,0 +1,111 @@
+package timeline
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAddAndOrderedEvents(t *testing.T) {
+	tr := New()
+	tr.AddSpan("b", "MatMul", "/device:GPU:0", 2.0, 3.0)
+	tr.AddSpan("a", "RandomUniform", "/device:CPU:0", 0.5, 1.0)
+	if tr.Len() != 2 {
+		t.Fatalf("len %d", tr.Len())
+	}
+	evs := tr.Events()
+	if evs[0].Name != "a" || evs[1].Name != "b" {
+		t.Fatalf("events not ordered by start: %+v", evs)
+	}
+}
+
+func TestVirtualClock(t *testing.T) {
+	tr := New()
+	now := 0.0
+	tr.VirtualNow = func() float64 { return now }
+	if tr.Now() != 0 {
+		t.Fatal("virtual clock ignored")
+	}
+	now = 42.5
+	if tr.Now() != 42.5 {
+		t.Fatal("virtual clock not live")
+	}
+}
+
+func TestWallClockMonotone(t *testing.T) {
+	tr := New()
+	a := tr.Now()
+	b := tr.Now()
+	if b < a {
+		t.Fatal("wall clock went backwards")
+	}
+}
+
+func TestChromeJSONStructure(t *testing.T) {
+	tr := New()
+	tr.AddSpan("mm", "MatMul", "/device:GPU:0", 0.001, 0.003)
+	tr.AddSpan("ru", "RandomUniform", "/device:CPU:0", 0.000, 0.001)
+	buf, err := tr.MarshalChrome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	// 2 device metadata records + 2 spans.
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("events %d", len(doc.TraceEvents))
+	}
+	var lanes, spans int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			lanes++
+		case "X":
+			spans++
+			if ev["dur"].(float64) <= 0 {
+				t.Fatal("span without duration")
+			}
+		}
+	}
+	if lanes != 2 || spans != 2 {
+		t.Fatalf("lanes=%d spans=%d", lanes, spans)
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	tr := New()
+	tr.AddSpan("x", "Add", "/device:CPU:0", 0, 1)
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	// Re-read through the JSON parser.
+	tr2 := New()
+	_ = tr2
+	b, err := tr.MarshalChrome()
+	if err != nil || !strings.Contains(string(b), "Add") {
+		t.Fatal("file content wrong")
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr.AddSpan("op", "Add", "/device:CPU:0", float64(i), float64(i)+1)
+		}(i)
+	}
+	wg.Wait()
+	if tr.Len() != 50 {
+		t.Fatalf("lost events: %d", tr.Len())
+	}
+}
