@@ -8,6 +8,7 @@ import (
 
 	"tfhpc/internal/checkpoint"
 	"tfhpc/internal/core"
+	"tfhpc/internal/gemm"
 	"tfhpc/internal/graph"
 	"tfhpc/internal/queue"
 	"tfhpc/internal/session"
@@ -204,9 +205,7 @@ func RunReal(cfg Config, a, b *tensor.Tensor, opts RealOptions) (*RealResult, er
 			res.Vars.Get(pre + "r").Assign(bSlice)
 			res.Vars.Get(pre + "p").Assign(bSlice)
 		}
-		for _, v := range b.F64() {
-			rr += v * v
-		}
+		rr = gemm.Dot64(b.F64(), b.F64())
 	}
 
 	reducePQ := core.NewReducer(cfg.Workers, nil)

@@ -8,6 +8,7 @@ import (
 
 	"tfhpc/internal/core"
 	"tfhpc/internal/dataset"
+	"tfhpc/internal/gemm"
 	"tfhpc/internal/graph"
 	"tfhpc/internal/session"
 	"tfhpc/internal/tensor"
@@ -198,10 +199,7 @@ func runReducer(cfg Config, res *session.Resources, r, expected int,
 		target := int(out[0].ScalarInt())
 		product := out[1]
 		if cur, ok := acc[target]; ok {
-			dst, src := cur.F32(), product.F32()
-			for i := range dst {
-				dst[i] += src[i]
-			}
+			gemm.Add32(cur.F32(), product.F32())
 		} else {
 			acc[target] = product.Clone()
 		}

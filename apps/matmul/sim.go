@@ -25,9 +25,10 @@ type SimResult struct {
 }
 
 // The matmul cost model. Each TensorFlow instance runs a serial pipeline per
-// tile product — deserialize the two input tiles into the runtime, stage
-// them over PCIe, multiply, stage back, serialize the product into the
-// reducer's queue — while per-node I/O hubs carry every byte a node reads
+// tile product — deserialize the two input tiles into the runtime, pack
+// them into the GEMM engine's panel buffers, stage them over PCIe,
+// multiply, stage back, serialize the product into the reducer's queue —
+// while per-node I/O hubs carry every byte a node reads
 // from Lustre or sends on the fabric (all through one NUMA island, Fig. 9),
 // and the reducers ingest result tiles serially.
 const (
@@ -107,6 +108,7 @@ func RunSim(sc SimConfig) (*SimResult, error) {
 
 	gemmTime := nt.GPU.GemmTime(cfg.Tile, cfg.Tile, cfg.Tile, false)
 	feedTime := 2 * tb / nt.SerializeBW            // npy -> runtime tensors
+	packTime := 2 * tb / nt.HostMemBW              // GEMM engine packs both input panels
 	enqTime := tb / nt.SerializeBW                 // product -> queue message
 	hubTaskTime := 3 * tb / hub                    // 2 reads + 1 send on the node hub
 	ingestTime := tb / reducerIngestBW(sc.Cluster) // queue -> host accumulate
@@ -125,9 +127,9 @@ func RunSim(sc SimConfig) (*SimResult, error) {
 				task := tasks[idx]
 				// Node hub: Lustre reads and the result send.
 				hubs[node].Use(p, penalty*hubTaskTime)
-				// Instance pipeline: deserialize, stage, multiply, stage,
-				// serialize into the queue.
-				p.Wait(feedTime)
+				// Instance pipeline: deserialize, pack panels, stage,
+				// multiply, stage, serialize into the queue.
+				p.Wait(feedTime + packTime)
 				board.Use(p, 2*tb/nt.GPU.PCIeBW)
 				gpus[inst].Use(p, gemmTime)
 				board.Use(p, tb/nt.GPU.PCIeBW)

@@ -8,6 +8,7 @@ package tfhpc_test
 import (
 	"fmt"
 	"os"
+	"runtime"
 	"testing"
 
 	"tfhpc/apps/cg"
@@ -15,6 +16,7 @@ import (
 	"tfhpc/apps/matmul"
 	"tfhpc/apps/stream"
 	"tfhpc/internal/bench"
+	"tfhpc/internal/gemm"
 	"tfhpc/internal/hw"
 	"tfhpc/internal/ops"
 	"tfhpc/internal/simnet"
@@ -112,6 +114,85 @@ func reportOnce(b *testing.B, out string) {
 }
 
 // --- real-mode microbenchmarks of the load-bearing kernels and paths ---
+
+// BenchmarkGEMM measures the packed, register-blocked engine in
+// internal/gemm. The single-threaded 1024³ float32 case is the acceptance
+// benchmark against the seed's naive kernel (BenchmarkGEMM/seed-naive…):
+// the engine must be at least 2× the naive throughput on the same machine.
+func BenchmarkGEMM(b *testing.B) {
+	gflops := func(b *testing.B, n int) {
+		b.ReportMetric(gemm.Flops(n, n, n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "Gflop/s")
+	}
+	singleThread := func(b *testing.B) func() {
+		old := runtime.GOMAXPROCS(1)
+		return func() { runtime.GOMAXPROCS(old) }
+	}
+	for _, n := range []int{256, 1024} {
+		n := n
+		b.Run(fmt.Sprintf("engine-f32-%d-1thread", n), func(b *testing.B) {
+			defer singleThread(b)()
+			x := tensor.RandomUniform(tensor.Float32, 1, n, n)
+			y := tensor.RandomUniform(tensor.Float32, 2, n, n)
+			c := make([]float32, n*n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				gemm.Gemm32(false, false, n, n, n, x.F32(), n, y.F32(), n, c, n)
+			}
+			gflops(b, n)
+		})
+		b.Run(fmt.Sprintf("engine-f64-%d-1thread", n), func(b *testing.B) {
+			defer singleThread(b)()
+			x := tensor.RandomUniform(tensor.Float64, 1, n, n)
+			y := tensor.RandomUniform(tensor.Float64, 2, n, n)
+			c := make([]float64, n*n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				gemm.Gemm64(false, false, n, n, n, x.F64(), n, y.F64(), n, c, n)
+			}
+			gflops(b, n)
+		})
+	}
+	b.Run("engine-f32-1024-parallel", func(b *testing.B) {
+		n := 1024
+		x := tensor.RandomUniform(tensor.Float32, 1, n, n)
+		y := tensor.RandomUniform(tensor.Float32, 2, n, n)
+		c := make([]float32, n*n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			gemm.Gemm32(false, false, n, n, n, x.F32(), n, y.F32(), n, c, n)
+		}
+		gflops(b, n)
+	})
+	// The seed's matMulKernel inner loop (i-k-j with the zero-multiplicand
+	// branch), kept here as the baseline the engine is measured against.
+	b.Run("seed-naive-f32-1024-1thread", func(b *testing.B) {
+		defer singleThread(b)()
+		n := 1024
+		x := tensor.RandomUniform(tensor.Float32, 1, n, n)
+		y := tensor.RandomUniform(tensor.Float32, 2, n, n)
+		av, bv := x.F32(), y.F32()
+		cv := make([]float32, n*n)
+		b.ResetTimer()
+		for it := 0; it < b.N; it++ {
+			clear(cv)
+			for i := 0; i < n; i++ {
+				ci := cv[i*n : (i+1)*n]
+				ai := av[i*n : (i+1)*n]
+				for kk := 0; kk < n; kk++ {
+					aik := ai[kk]
+					if aik == 0 {
+						continue
+					}
+					bk := bv[kk*n : (kk+1)*n]
+					for j := range ci {
+						ci[j] += aik * bk[j]
+					}
+				}
+			}
+		}
+		gflops(b, n)
+	})
+}
 
 func BenchmarkMatMulKernel512(b *testing.B) {
 	x := tensor.RandomUniform(tensor.Float32, 1, 512, 512)

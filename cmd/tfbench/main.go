@@ -5,6 +5,7 @@
 //
 //	tfbench                 # everything, in paper order
 //	tfbench -exp fig8       # one experiment: table1 fig7 fig8 fig9 fig10 fig11
+//	tfbench -exp gemm       # real-mode GEMM engine sweep on this host
 package main
 
 import (
@@ -16,7 +17,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all|table1|fig7|fig8|fig9|fig10|fig11")
+	exp := flag.String("exp", "all", "experiment to run: all|table1|fig7|fig8|fig9|fig10|fig11|gemm")
 	flag.Parse()
 
 	var out string
@@ -36,6 +37,8 @@ func main() {
 		out, err = bench.Fig10()
 	case "fig11":
 		out, err = bench.Fig11()
+	case "gemm":
+		out = bench.Gemm()
 	default:
 		fmt.Fprintf(os.Stderr, "tfbench: unknown experiment %q\n", *exp)
 		os.Exit(2)

@@ -1,0 +1,3 @@
+module tfhpc
+
+go 1.24

@@ -8,11 +8,13 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"tfhpc/apps/cg"
 	"tfhpc/apps/fft"
 	"tfhpc/apps/matmul"
 	"tfhpc/apps/stream"
+	"tfhpc/internal/gemm"
 	"tfhpc/internal/hw"
 )
 
@@ -151,6 +153,66 @@ func Fig11() (string, error) {
 		sb.WriteString("\n")
 	}
 	return sb.String(), nil
+}
+
+// Gemm benchmarks the real GEMM engine on this host — not the virtual
+// platform: single node, real numerics, parallelism bounded by the current
+// GOMAXPROCS. This is the kernel the MatMul op, the tiled-matmul pipeline
+// and the CG solver all bottom out in.
+func Gemm() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "GEMM engine on this host (micro-kernel %s, %d workers) [Gflop/s]\n",
+		gemm.KernelName(), gemm.Workers())
+	sb.WriteString(fmt.Sprintf("%-8s %10s %10s\n", "size", "float32", "float64"))
+	for _, n := range []int{256, 512, 1024} {
+		a32 := make([]float32, n*n)
+		b32 := make([]float32, n*n)
+		c32 := make([]float32, n*n)
+		fillSeq32(a32)
+		fillSeq32(b32)
+		f32 := timeGemm(n, func() {
+			gemm.Gemm32(false, false, n, n, n, a32, n, b32, n, c32, n)
+		})
+		a64 := make([]float64, n*n)
+		b64 := make([]float64, n*n)
+		c64 := make([]float64, n*n)
+		fillSeq64(a64)
+		fillSeq64(b64)
+		f64 := timeGemm(n, func() {
+			gemm.Gemm64(false, false, n, n, n, a64, n, b64, n, c64, n)
+		})
+		sb.WriteString(fmt.Sprintf("%-8d %10.1f %10.1f\n", n, f32, f64))
+	}
+	return sb.String()
+}
+
+// timeGemm runs fn repeatedly (at least 3 times, at least ~200ms) and
+// returns the best-rep throughput in Gflop/s for an n³ product.
+func timeGemm(n int, fn func()) float64 {
+	best := 0.0
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for rep := 0; rep < 3 || time.Now().Before(deadline); rep++ {
+		start := time.Now()
+		fn()
+		if s := time.Since(start).Seconds(); s > 0 {
+			if g := gemm.Flops(n, n, n) / s / 1e9; g > best {
+				best = g
+			}
+		}
+	}
+	return best
+}
+
+func fillSeq32(s []float32) {
+	for i := range s {
+		s[i] = float32(i%251) * 0.013
+	}
+}
+
+func fillSeq64(s []float64) {
+	for i := range s {
+		s[i] = float64(i%251) * 0.013
+	}
 }
 
 // All renders every experiment in paper order.

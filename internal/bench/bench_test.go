@@ -90,6 +90,15 @@ func TestFig11Output(t *testing.T) {
 	}
 }
 
+func TestGemmReportRendersAllSizes(t *testing.T) {
+	out := Gemm()
+	for _, want := range []string{"GEMM engine", "micro-kernel", "float32", "float64", "256", "512", "1024"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("GEMM report missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestAllStitchesEverything(t *testing.T) {
 	out, err := All()
 	if err != nil {

@@ -1,0 +1,53 @@
+//go:build amd64
+
+package gemm
+
+import "os"
+
+// CPUID leaf 1 ECX feature bits and XCR0 state bits used to gate the AVX
+// micro-kernels.
+const (
+	cpuidFMA     = 1 << 12
+	cpuidOSXSAVE = 1 << 27
+	cpuidAVX     = 1 << 28
+	xcr0SSE      = 1 << 1
+	xcr0AVX      = 1 << 2
+)
+
+// Implemented in kernel_amd64.s.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+//go:noescape
+func sgemm6x16(kc int64, ap, bp, c *float32, ldc int64)
+
+//go:noescape
+func dgemm6x8(kc int64, ap, bp, c *float64, ldc int64)
+
+// hasAVXFMA reports whether the host CPU supports the AVX+FMA micro-kernels
+// and the OS preserves ymm state across context switches.
+func hasAVXFMA() bool {
+	_, _, ecx, _ := cpuid(1, 0)
+	if ecx&cpuidFMA == 0 || ecx&cpuidAVX == 0 || ecx&cpuidOSXSAVE == 0 {
+		return false
+	}
+	lo, _ := xgetbv()
+	return lo&(xcr0SSE|xcr0AVX) == xcr0SSE|xcr0AVX
+}
+
+func kernelAVX32(kc int, ap, bp []float32, c []float32, ldc int) {
+	sgemm6x16(int64(kc), &ap[0], &bp[0], &c[0], int64(ldc))
+}
+
+func kernelAVX64(kc int, ap, bp []float64, c []float64, ldc int) {
+	dgemm6x8(int64(kc), &ap[0], &bp[0], &c[0], int64(ldc))
+}
+
+func init() {
+	if os.Getenv("TFHPC_NOSIMD") != "" || !hasAVXFMA() {
+		return
+	}
+	mr32, nr32, kern32 = 6, 16, kernelAVX32
+	mr64, nr64, kern64 = 6, 8, kernelAVX64
+	kernelName = "avx-fma"
+}

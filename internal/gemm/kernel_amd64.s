@@ -1,0 +1,203 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv() (eax, edx uint32)
+TEXT ·xgetbv(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func sgemm6x16(kc int64, ap, bp, c *float32, ldc int64)
+//
+// C[0:6][0:16] += Ap·Bp over kc steps. Ap is packed 6 floats per step
+// (column of the A micro-panel), Bp 16 floats per step (row of the B
+// micro-panel), C has row stride ldc floats. Twelve ymm accumulators hold
+// the 6×16 tile; each step is 2 B loads, 6 A broadcasts and 12 FMAs.
+TEXT ·sgemm6x16(SB), NOSPLIT, $0-40
+	MOVQ kc+0(FP), AX
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), BX
+	MOVQ c+24(FP), CX
+	MOVQ ldc+32(FP), DX
+	SHLQ $2, DX                  // row stride in bytes
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	VXORPS Y5, Y5, Y5
+	VXORPS Y6, Y6, Y6
+	VXORPS Y7, Y7, Y7
+	VXORPS Y8, Y8, Y8
+	VXORPS Y9, Y9, Y9
+	VXORPS Y10, Y10, Y10
+	VXORPS Y11, Y11, Y11
+
+	TESTQ AX, AX
+	JZ    sdone
+
+sloop:
+	VMOVUPS (BX), Y12            // B[p][0:8]
+	VMOVUPS 32(BX), Y13          // B[p][8:16]
+
+	VBROADCASTSS (SI), Y14
+	VFMADD231PS  Y12, Y14, Y0
+	VFMADD231PS  Y13, Y14, Y1
+	VBROADCASTSS 4(SI), Y14
+	VFMADD231PS  Y12, Y14, Y2
+	VFMADD231PS  Y13, Y14, Y3
+	VBROADCASTSS 8(SI), Y14
+	VFMADD231PS  Y12, Y14, Y4
+	VFMADD231PS  Y13, Y14, Y5
+	VBROADCASTSS 12(SI), Y14
+	VFMADD231PS  Y12, Y14, Y6
+	VFMADD231PS  Y13, Y14, Y7
+	VBROADCASTSS 16(SI), Y14
+	VFMADD231PS  Y12, Y14, Y8
+	VFMADD231PS  Y13, Y14, Y9
+	VBROADCASTSS 20(SI), Y14
+	VFMADD231PS  Y12, Y14, Y10
+	VFMADD231PS  Y13, Y14, Y11
+
+	ADDQ $24, SI
+	ADDQ $64, BX
+	DECQ AX
+	JNZ  sloop
+
+sdone:
+	VADDPS  (CX), Y0, Y0         // C += accumulators, row by row
+	VMOVUPS Y0, (CX)
+	VADDPS  32(CX), Y1, Y1
+	VMOVUPS Y1, 32(CX)
+	ADDQ    DX, CX
+	VADDPS  (CX), Y2, Y2
+	VMOVUPS Y2, (CX)
+	VADDPS  32(CX), Y3, Y3
+	VMOVUPS Y3, 32(CX)
+	ADDQ    DX, CX
+	VADDPS  (CX), Y4, Y4
+	VMOVUPS Y4, (CX)
+	VADDPS  32(CX), Y5, Y5
+	VMOVUPS Y5, 32(CX)
+	ADDQ    DX, CX
+	VADDPS  (CX), Y6, Y6
+	VMOVUPS Y6, (CX)
+	VADDPS  32(CX), Y7, Y7
+	VMOVUPS Y7, 32(CX)
+	ADDQ    DX, CX
+	VADDPS  (CX), Y8, Y8
+	VMOVUPS Y8, (CX)
+	VADDPS  32(CX), Y9, Y9
+	VMOVUPS Y9, 32(CX)
+	ADDQ    DX, CX
+	VADDPS  (CX), Y10, Y10
+	VMOVUPS Y10, (CX)
+	VADDPS  32(CX), Y11, Y11
+	VMOVUPS Y11, 32(CX)
+	VZEROUPPER
+	RET
+
+// func dgemm6x8(kc int64, ap, bp, c *float64, ldc int64)
+//
+// C[0:6][0:8] += Ap·Bp over kc steps, float64. Same structure as the
+// float32 kernel: 12 accumulators, 2 B loads, 6 broadcasts, 12 FMAs per
+// step.
+TEXT ·dgemm6x8(SB), NOSPLIT, $0-40
+	MOVQ kc+0(FP), AX
+	MOVQ ap+8(FP), SI
+	MOVQ bp+16(FP), BX
+	MOVQ c+24(FP), CX
+	MOVQ ldc+32(FP), DX
+	SHLQ $3, DX                  // row stride in bytes
+
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	VXORPD Y4, Y4, Y4
+	VXORPD Y5, Y5, Y5
+	VXORPD Y6, Y6, Y6
+	VXORPD Y7, Y7, Y7
+	VXORPD Y8, Y8, Y8
+	VXORPD Y9, Y9, Y9
+	VXORPD Y10, Y10, Y10
+	VXORPD Y11, Y11, Y11
+
+	TESTQ AX, AX
+	JZ    ddone
+
+dloop:
+	VMOVUPD (BX), Y12            // B[p][0:4]
+	VMOVUPD 32(BX), Y13          // B[p][4:8]
+
+	VBROADCASTSD (SI), Y14
+	VFMADD231PD  Y12, Y14, Y0
+	VFMADD231PD  Y13, Y14, Y1
+	VBROADCASTSD 8(SI), Y14
+	VFMADD231PD  Y12, Y14, Y2
+	VFMADD231PD  Y13, Y14, Y3
+	VBROADCASTSD 16(SI), Y14
+	VFMADD231PD  Y12, Y14, Y4
+	VFMADD231PD  Y13, Y14, Y5
+	VBROADCASTSD 24(SI), Y14
+	VFMADD231PD  Y12, Y14, Y6
+	VFMADD231PD  Y13, Y14, Y7
+	VBROADCASTSD 32(SI), Y14
+	VFMADD231PD  Y12, Y14, Y8
+	VFMADD231PD  Y13, Y14, Y9
+	VBROADCASTSD 40(SI), Y14
+	VFMADD231PD  Y12, Y14, Y10
+	VFMADD231PD  Y13, Y14, Y11
+
+	ADDQ $48, SI
+	ADDQ $64, BX
+	DECQ AX
+	JNZ  dloop
+
+ddone:
+	VADDPD  (CX), Y0, Y0
+	VMOVUPD Y0, (CX)
+	VADDPD  32(CX), Y1, Y1
+	VMOVUPD Y1, 32(CX)
+	ADDQ    DX, CX
+	VADDPD  (CX), Y2, Y2
+	VMOVUPD Y2, (CX)
+	VADDPD  32(CX), Y3, Y3
+	VMOVUPD Y3, 32(CX)
+	ADDQ    DX, CX
+	VADDPD  (CX), Y4, Y4
+	VMOVUPD Y4, (CX)
+	VADDPD  32(CX), Y5, Y5
+	VMOVUPD Y5, 32(CX)
+	ADDQ    DX, CX
+	VADDPD  (CX), Y6, Y6
+	VMOVUPD Y6, (CX)
+	VADDPD  32(CX), Y7, Y7
+	VMOVUPD Y7, 32(CX)
+	ADDQ    DX, CX
+	VADDPD  (CX), Y8, Y8
+	VMOVUPD Y8, (CX)
+	VADDPD  32(CX), Y9, Y9
+	VMOVUPD Y9, 32(CX)
+	ADDQ    DX, CX
+	VADDPD  (CX), Y10, Y10
+	VMOVUPD Y10, (CX)
+	VADDPD  32(CX), Y11, Y11
+	VMOVUPD Y11, 32(CX)
+	VZEROUPPER
+	RET

@@ -1,0 +1,144 @@
+package gemm
+
+// Panel packing: the blocked GEMM copies panels of A and B into contiguous
+// buffers laid out exactly in the order the micro-kernel consumes them, so
+// the innermost loop runs at unit stride regardless of the operands'
+// transposition. Short strips are zero-padded to the full micro-kernel
+// width; the padding multiplies into C rows/columns that are discarded, so
+// it never affects results (including NaN/Inf inputs).
+
+// packA32 packs op(A)[ic:ic+mc][pc:pc+kc] into mr-row micro-panels:
+// ap[s*kc*mr + p*mr + r] = op(A)[ic+s*mr+r][pc+p].
+func packA32(ap, a []float32, lda int, trans bool, ic, mc, pc, kc, mr int) {
+	iStrips := (mc + mr - 1) / mr
+	for s := 0; s < iStrips; s++ {
+		dst := ap[s*kc*mr : (s+1)*kc*mr]
+		rows := min(mr, mc-s*mr)
+		base := ic + s*mr
+		if trans {
+			// op(A)[i][p] reads a[(pc+p)*lda+i]: contiguous in i.
+			for p := 0; p < kc; p++ {
+				src := a[(pc+p)*lda+base : (pc+p)*lda+base+rows]
+				d := dst[p*mr : p*mr+mr]
+				copy(d, src)
+				for r := rows; r < mr; r++ {
+					d[r] = 0
+				}
+			}
+		} else {
+			// Walk stored rows so reads are sequential; writes stride by mr.
+			for r := 0; r < rows; r++ {
+				src := a[(base+r)*lda+pc : (base+r)*lda+pc+kc]
+				for p, v := range src {
+					dst[p*mr+r] = v
+				}
+			}
+			for r := rows; r < mr; r++ {
+				for p := 0; p < kc; p++ {
+					dst[p*mr+r] = 0
+				}
+			}
+		}
+	}
+}
+
+// packB32 packs op(B)[pc:pc+kc][0:n] into nr-column micro-panels:
+// bp[t*kc*nr + p*nr + c] = op(B)[pc+p][t*nr+c]. Strips pack in parallel on
+// the worker pool (packing is the only serial stage of the blocked loop).
+func packB32(bp, b []float32, ldb int, trans bool, pc, kc, n, nr int) {
+	nStrips := (n + nr - 1) / nr
+	ParallelFor(nStrips, 16, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			dst := bp[t*kc*nr : (t+1)*kc*nr]
+			cols := min(nr, n-t*nr)
+			if !trans {
+				for p := 0; p < kc; p++ {
+					src := b[(pc+p)*ldb+t*nr : (pc+p)*ldb+t*nr+cols]
+					d := dst[p*nr : p*nr+nr]
+					copy(d, src)
+					for c := cols; c < nr; c++ {
+						d[c] = 0
+					}
+				}
+			} else {
+				// op(B)[p][j] reads b[j*ldb+pc+p]: walk stored rows (j).
+				for c := 0; c < cols; c++ {
+					src := b[(t*nr+c)*ldb+pc : (t*nr+c)*ldb+pc+kc]
+					for p, v := range src {
+						dst[p*nr+c] = v
+					}
+				}
+				for c := cols; c < nr; c++ {
+					for p := 0; p < kc; p++ {
+						dst[p*nr+c] = 0
+					}
+				}
+			}
+		}
+	})
+}
+
+// packA64 is the float64 twin of packA32.
+func packA64(ap, a []float64, lda int, trans bool, ic, mc, pc, kc, mr int) {
+	iStrips := (mc + mr - 1) / mr
+	for s := 0; s < iStrips; s++ {
+		dst := ap[s*kc*mr : (s+1)*kc*mr]
+		rows := min(mr, mc-s*mr)
+		base := ic + s*mr
+		if trans {
+			for p := 0; p < kc; p++ {
+				src := a[(pc+p)*lda+base : (pc+p)*lda+base+rows]
+				d := dst[p*mr : p*mr+mr]
+				copy(d, src)
+				for r := rows; r < mr; r++ {
+					d[r] = 0
+				}
+			}
+		} else {
+			for r := 0; r < rows; r++ {
+				src := a[(base+r)*lda+pc : (base+r)*lda+pc+kc]
+				for p, v := range src {
+					dst[p*mr+r] = v
+				}
+			}
+			for r := rows; r < mr; r++ {
+				for p := 0; p < kc; p++ {
+					dst[p*mr+r] = 0
+				}
+			}
+		}
+	}
+}
+
+// packB64 is the float64 twin of packB32.
+func packB64(bp, b []float64, ldb int, trans bool, pc, kc, n, nr int) {
+	nStrips := (n + nr - 1) / nr
+	ParallelFor(nStrips, 16, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			dst := bp[t*kc*nr : (t+1)*kc*nr]
+			cols := min(nr, n-t*nr)
+			if !trans {
+				for p := 0; p < kc; p++ {
+					src := b[(pc+p)*ldb+t*nr : (pc+p)*ldb+t*nr+cols]
+					d := dst[p*nr : p*nr+nr]
+					copy(d, src)
+					for c := cols; c < nr; c++ {
+						d[c] = 0
+					}
+				}
+			} else {
+				for c := 0; c < cols; c++ {
+					src := b[(t*nr+c)*ldb+pc : (t*nr+c)*ldb+pc+kc]
+					for p, v := range src {
+						dst[p*nr+c] = v
+					}
+				}
+				for c := cols; c < nr; c++ {
+					for p := 0; p < kc; p++ {
+						dst[p*nr+c] = 0
+					}
+				}
+			}
+		}
+	})
+}

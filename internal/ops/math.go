@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"tfhpc/internal/gemm"
 	"tfhpc/internal/tensor"
 )
 
@@ -246,21 +247,9 @@ func axpyKernel(_ *Context, in []*tensor.Tensor) (*tensor.Tensor, error) {
 	out := tensor.New(x.DType(), x.Shape()...)
 	switch x.DType() {
 	case tensor.Float32:
-		alpha := float32(s.ScalarFloat())
-		xv, yv, z := x.F32(), y.F32(), out.F32()
-		parallelFor(len(z), 1<<14, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				z[i] = alpha*xv[i] + yv[i]
-			}
-		})
+		gemm.Axpy32(float32(s.ScalarFloat()), x.F32(), y.F32(), out.F32())
 	case tensor.Float64:
-		alpha := s.ScalarFloat()
-		xv, yv, z := x.F64(), y.F64(), out.F64()
-		parallelFor(len(z), 1<<14, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				z[i] = alpha*xv[i] + yv[i]
-			}
-		})
+		gemm.Axpy64(s.ScalarFloat(), x.F64(), y.F64(), out.F64())
 	default:
 		return nil, fmt.Errorf("Axpy: unsupported dtype %v", x.DType())
 	}
@@ -274,19 +263,10 @@ func dotKernel(_ *Context, in []*tensor.Tensor) (*tensor.Tensor, error) {
 	}
 	switch a.DType() {
 	case tensor.Float32:
-		x, y := a.F32(), b.F32()
-		var s float64 // accumulate in double for stability
-		for i := range x {
-			s += float64(x[i]) * float64(y[i])
-		}
-		return tensor.ScalarF32(float32(s)), nil
+		// gemm.Dot32 accumulates in double for stability.
+		return tensor.ScalarF32(float32(gemm.Dot32(a.F32(), b.F32()))), nil
 	case tensor.Float64:
-		x, y := a.F64(), b.F64()
-		var s float64
-		for i := range x {
-			s += x[i] * y[i]
-		}
-		return tensor.ScalarF64(s), nil
+		return tensor.ScalarF64(gemm.Dot64(a.F64(), b.F64())), nil
 	case tensor.Complex128:
 		x, y := a.C128(), b.C128()
 		var s complex128

@@ -3,6 +3,7 @@ package ops
 import (
 	"fmt"
 
+	"tfhpc/internal/gemm"
 	"tfhpc/internal/tensor"
 )
 
@@ -13,9 +14,9 @@ func init() {
 }
 
 // matMulKernel computes C = op(A)·op(B) with optional "transpose_a" /
-// "transpose_b" attributes, in float32 or float64, parallelized over
-// row-blocks of C with an i-k-j loop order that streams B rows through the
-// cache.
+// "transpose_b" attributes, in float32 or float64, through the packed,
+// register-blocked engine in internal/gemm. Transposition is absorbed into
+// the engine's panel packing, so no transposed copy is ever materialized.
 func matMulKernel(ctx *Context, in []*tensor.Tensor) (*tensor.Tensor, error) {
 	a, b := in[0], in[1]
 	if a.DType() != b.DType() {
@@ -26,63 +27,27 @@ func matMulKernel(ctx *Context, in []*tensor.Tensor) (*tensor.Tensor, error) {
 	}
 	ta := ctx != nil && ctx.BoolAttr("transpose_a", false)
 	tb := ctx != nil && ctx.BoolAttr("transpose_b", false)
-	if ta {
-		var err error
-		if a, err = transpose2D(a); err != nil {
-			return nil, err
-		}
-	}
-	if tb {
-		var err error
-		if b, err = transpose2D(b); err != nil {
-			return nil, err
-		}
-	}
+	lda, ldb := a.Shape()[1], b.Shape()[1]
 	m, k := a.Shape()[0], a.Shape()[1]
-	k2, n := b.Shape()[0], b.Shape()[1]
-	if k != k2 {
-		return nil, fmt.Errorf("MatMul: inner dimensions disagree: %v · %v", a.Shape(), b.Shape())
+	if ta {
+		m, k = k, m
+	}
+	kb, n := b.Shape()[0], b.Shape()[1]
+	if tb {
+		kb, n = n, kb
+	}
+	if k != kb {
+		return nil, fmt.Errorf("MatMul: inner dimensions disagree: %v · %v (transpose_a=%v, transpose_b=%v)",
+			a.Shape(), b.Shape(), ta, tb)
 	}
 	switch a.DType() {
 	case tensor.Float32:
 		out := tensor.New(tensor.Float32, m, n)
-		av, bv, cv := a.F32(), b.F32(), out.F32()
-		parallelFor(m, 8, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				ci := cv[i*n : (i+1)*n]
-				ai := av[i*k : (i+1)*k]
-				for kk := 0; kk < k; kk++ {
-					aik := ai[kk]
-					if aik == 0 {
-						continue
-					}
-					bk := bv[kk*n : (kk+1)*n]
-					for j := range ci {
-						ci[j] += aik * bk[j]
-					}
-				}
-			}
-		})
+		gemm.Gemm32(ta, tb, m, n, k, a.F32(), lda, b.F32(), ldb, out.F32(), n)
 		return out, nil
 	case tensor.Float64:
 		out := tensor.New(tensor.Float64, m, n)
-		av, bv, cv := a.F64(), b.F64(), out.F64()
-		parallelFor(m, 8, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				ci := cv[i*n : (i+1)*n]
-				ai := av[i*k : (i+1)*k]
-				for kk := 0; kk < k; kk++ {
-					aik := ai[kk]
-					if aik == 0 {
-						continue
-					}
-					bk := bv[kk*n : (kk+1)*n]
-					for j := range ci {
-						ci[j] += aik * bk[j]
-					}
-				}
-			}
-		})
+		gemm.Gemm64(ta, tb, m, n, k, a.F64(), lda, b.F64(), ldb, out.F64(), n)
 		return out, nil
 	}
 	return nil, fmt.Errorf("MatMul: unsupported dtype %v", a.DType())
@@ -104,31 +69,11 @@ func matVecKernel(_ *Context, in []*tensor.Tensor) (*tensor.Tensor, error) {
 	switch a.DType() {
 	case tensor.Float32:
 		out := tensor.New(tensor.Float32, m)
-		av, xv, yv := a.F32(), x.F32(), out.F32()
-		parallelFor(m, 64, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				row := av[i*n : (i+1)*n]
-				var s float64
-				for j, v := range row {
-					s += float64(v) * float64(xv[j])
-				}
-				yv[i] = float32(s)
-			}
-		})
+		gemm.MatVec32(m, n, a.F32(), n, x.F32(), out.F32())
 		return out, nil
 	case tensor.Float64:
 		out := tensor.New(tensor.Float64, m)
-		av, xv, yv := a.F64(), x.F64(), out.F64()
-		parallelFor(m, 64, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				row := av[i*n : (i+1)*n]
-				var s float64
-				for j, v := range row {
-					s += v * xv[j]
-				}
-				yv[i] = s
-			}
-		})
+		gemm.MatVec64(m, n, a.F64(), n, x.F64(), out.F64())
 		return out, nil
 	}
 	return nil, fmt.Errorf("MatVec: unsupported dtype %v", a.DType())
@@ -140,30 +85,11 @@ func transpose2D(a *tensor.Tensor) (*tensor.Tensor, error) {
 	}
 	m, n := a.Shape()[0], a.Shape()[1]
 	out := tensor.New(a.DType(), n, m)
-	const blk = 32 // cache-blocked transpose
 	switch a.DType() {
 	case tensor.Float32:
-		av, bv := a.F32(), out.F32()
-		for ii := 0; ii < m; ii += blk {
-			for jj := 0; jj < n; jj += blk {
-				for i := ii; i < ii+blk && i < m; i++ {
-					for j := jj; j < jj+blk && j < n; j++ {
-						bv[j*m+i] = av[i*n+j]
-					}
-				}
-			}
-		}
+		gemm.Transpose32(m, n, a.F32(), out.F32())
 	case tensor.Float64:
-		av, bv := a.F64(), out.F64()
-		for ii := 0; ii < m; ii += blk {
-			for jj := 0; jj < n; jj += blk {
-				for i := ii; i < ii+blk && i < m; i++ {
-					for j := jj; j < jj+blk && j < n; j++ {
-						bv[j*m+i] = av[i*n+j]
-					}
-				}
-			}
-		}
+		gemm.Transpose64(m, n, a.F64(), out.F64())
 	case tensor.Complex128:
 		av, bv := a.C128(), out.C128()
 		for i := 0; i < m; i++ {

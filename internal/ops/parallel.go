@@ -1,43 +1,12 @@
 package ops
 
-import (
-	"runtime"
-	"sync"
-)
-
-// maxWorkers bounds kernel parallelism to the host's capacity.
-var maxWorkers = runtime.NumCPU()
+import "tfhpc/internal/gemm"
 
 // parallelFor splits [0, n) into contiguous chunks of at least grain
-// iterations and runs body(lo, hi) concurrently across them. Small ranges
-// run inline to avoid goroutine overhead.
+// iterations and runs body(lo, hi) concurrently on the persistent worker
+// pool shared with the GEMM engine (no goroutines are spawned per call).
+// The parallelism bound follows runtime.GOMAXPROCS(0) at call time, so
+// tests and operators can bound kernel parallelism.
 func parallelFor(n, grain int, body func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	if grain < 1 {
-		grain = 1
-	}
-	chunks := n / grain
-	if chunks > maxWorkers {
-		chunks = maxWorkers
-	}
-	if chunks <= 1 {
-		body(0, n)
-		return
-	}
-	size := (n + chunks - 1) / chunks
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += size {
-		hi := lo + size
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	gemm.ParallelFor(n, grain, body)
 }
