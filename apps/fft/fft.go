@@ -9,7 +9,9 @@ package fft
 
 import (
 	"fmt"
-	"math"
+
+	"tfhpc/internal/fft"
+	"tfhpc/internal/gemm"
 )
 
 // Config describes one FFT decomposition.
@@ -52,6 +54,12 @@ func (c Config) TileBytes() int64 { return int64(c.TileLen()) * 16 }
 //
 //	X[k]   = G[k] + w^k·H[k]
 //	X[k+M] = G[k] − w^k·H[k],   w = exp(−2πi/(2M)), k < M.
+//
+// Twiddles come from the FFT engine as per-pass tables (shared with the
+// plan cache where plans already exist) — no per-element trigonometry —
+// and every pass's butterflies fan out across the shared worker pool, so
+// the host merge is no longer the serial "Python merge" of the paper's
+// Section VIII.
 func MergeInterleaved(tiles [][]complex128) ([]complex128, error) {
 	T := len(tiles)
 	if T == 0 || T&(T-1) != 0 {
@@ -63,27 +71,37 @@ func MergeInterleaved(tiles [][]complex128) ([]complex128, error) {
 			return nil, fmt.Errorf("fft: tile %d has length %d, want %d", t, len(tile), m)
 		}
 	}
-	cur := make([][]complex128, T)
+	// Ping-pong between two flat buffers; rows of cur/next are views.
+	n := T * m
+	cur, next := make([]complex128, n), make([]complex128, n)
 	for t := range tiles {
-		cur[t] = append([]complex128(nil), tiles[t]...)
+		copy(cur[t*m:(t+1)*m], tiles[t])
 	}
 	// s counts the remaining interleave stride; each pass halves it.
+	M := m
 	for s := T / 2; s >= 1; s /= 2 {
-		M := len(cur[0])
-		next := make([][]complex128, s)
-		for a := 0; a < s; a++ {
-			g, h := cur[a], cur[a+s]
-			out := make([]complex128, 2*M)
-			for k := 0; k < M; k++ {
-				ang := -2 * math.Pi * float64(k) / float64(2*M)
-				w := complex(math.Cos(ang), math.Sin(ang))
-				wh := w * h[k]
-				out[k] = g[k] + wh
-				out[k+M] = g[k] - wh
-			}
-			next[a] = out
+		tw := fft.ForwardTwiddles(2 * M)
+		row := func(buf []complex128, r, length int) []complex128 {
+			return buf[r*length : (r+1)*length]
 		}
-		cur = next
+		half := M
+		gemm.ParallelFor(s*M, 1<<12, func(lo, hi int) {
+			for f := lo; f < hi; {
+				a := f / half
+				k := f - a*half
+				kEnd := min(half, k+(hi-f))
+				g, h := row(cur, a, half), row(cur, a+s, half)
+				out := row(next, a, 2*half)
+				for ; k < kEnd; k++ {
+					wh := tw[k] * h[k]
+					out[k] = g[k] + wh
+					out[k+half] = g[k] - wh
+				}
+				f = a*half + kEnd
+			}
+		})
+		cur, next = next, cur
+		M *= 2
 	}
-	return cur[0], nil
+	return cur[:n], nil
 }

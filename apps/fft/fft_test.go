@@ -68,6 +68,33 @@ func TestMergeInterleavedMatchesFFT(t *testing.T) {
 	}
 }
 
+// TestMergeInterleavedNonPowerOfTwoTiles exercises the merge recurrence
+// with tile lengths no engine plan exists for (the per-pass twiddle-table
+// fallback): the recurrence itself holds for any equal tile length.
+func TestMergeInterleavedNonPowerOfTwoTiles(t *testing.T) {
+	const tiles, m = 4, 3
+	n := tiles * m
+	x := randSignal(13, n)
+	parts := make([][]complex128, tiles)
+	for tt := 0; tt < tiles; tt++ {
+		sub := make([]complex128, m)
+		for i := range sub {
+			sub[i] = x[tt+i*tiles]
+		}
+		parts[tt] = ops.NaiveDFT(sub, false)
+	}
+	got, err := MergeInterleaved(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ops.NaiveDFT(x, false)
+	for i := range want {
+		if cmplx.Abs(got[i]-want[i]) > 1e-9*float64(n) {
+			t.Fatalf("merge[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
 func TestMergeInterleavedErrors(t *testing.T) {
 	if _, err := MergeInterleaved(nil); err == nil {
 		t.Fatal("empty tile list should error")

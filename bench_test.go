@@ -11,11 +11,15 @@ import (
 	"runtime"
 	"testing"
 
+	"math"
+
 	"tfhpc/apps/cg"
-	"tfhpc/apps/fft"
+	appfft "tfhpc/apps/fft"
 	"tfhpc/apps/matmul"
 	"tfhpc/apps/stream"
 	"tfhpc/internal/bench"
+	"tfhpc/internal/core"
+	"tfhpc/internal/fft"
 	"tfhpc/internal/gemm"
 	"tfhpc/internal/hw"
 	"tfhpc/internal/ops"
@@ -218,6 +222,154 @@ func BenchmarkMatVecKernel2048(b *testing.B) {
 	}
 }
 
+// BenchmarkFFT measures the planned FFT engine in internal/fft at the
+// acceptance size 2^20 complex128, single- and multi-threaded, against the
+// seed's radix-2 loop (seed-radix2…, kept below as the baseline, per-call
+// twiddle table included — that is what every FFT op used to pay). The
+// engine must be at least 4× the seed single-thread. Each iteration is a
+// forward+inverse pair so the data stays bounded; sub-benchmark names carry
+// fft.KernelName() so runs under TFHPC_NOSIMD=1 record the portable-go
+// kernel rather than silently mixing trajectories.
+func BenchmarkFFT(b *testing.B) {
+	const n = 1 << 20
+	gflops := func(b *testing.B) {
+		b.ReportMetric(2*core.FFTFlops(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "Gflop/s")
+	}
+	singleThread := func() func() {
+		old := runtime.GOMAXPROCS(1)
+		return func() { runtime.GOMAXPROCS(old) }
+	}
+	signal := func() []complex128 {
+		a := make([]complex128, n)
+		for i := range a {
+			v := float64(i%251)*0.013 - 1.6
+			a[i] = complex(v, -v)
+		}
+		return a
+	}
+	pair := func(b *testing.B, a []complex128) {
+		for i := 0; i < b.N; i++ {
+			if err := fft.Forward(a); err != nil {
+				b.Fatal(err)
+			}
+			if err := fft.Inverse(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("engine-c128-2^20-1thread-"+fft.KernelName(), func(b *testing.B) {
+		defer singleThread()()
+		a := signal()
+		b.ResetTimer()
+		pair(b, a)
+		gflops(b)
+	})
+	// Multi-threaded: above fourStepMin with >1 workers the engine takes
+	// the four-step path, whose sub-FFT sweeps and transposes spread over
+	// the shared worker pool.
+	b.Run("engine-c128-2^20-parallel-"+fft.KernelName(), func(b *testing.B) {
+		a := signal()
+		b.ResetTimer()
+		pair(b, a)
+		gflops(b)
+	})
+	b.Run("seed-radix2-2^20-1thread", func(b *testing.B) {
+		defer singleThread()()
+		a := signal()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			seedRadix2FFT(a, false)
+			seedRadix2FFT(a, true)
+		}
+		gflops(b)
+	})
+}
+
+// BenchmarkRFFT measures the real-input fast path at 2^20 real samples
+// (half-spectrum out), using the paper's flop convention at half weight —
+// an n-point RFFT runs an n/2-point complex transform plus an O(n) unpack.
+func BenchmarkRFFT(b *testing.B) {
+	const n = 1 << 20
+	gflops := func(b *testing.B) {
+		b.ReportMetric(core.FFTFlops(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "Gflop/s")
+	}
+	singleThread := func() func() {
+		old := runtime.GOMAXPROCS(1)
+		return func() { runtime.GOMAXPROCS(old) }
+	}
+	run := func(b *testing.B) {
+		rp, err := fft.RPlanFor(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i%251)*0.013 - 1.6
+		}
+		spec := make([]complex128, rp.SpectrumLen())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := rp.Transform(spec, x); err != nil {
+				b.Fatal(err)
+			}
+			if err := rp.Inverse(x, spec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		gflops(b)
+	}
+	b.Run("engine-rfft-2^20-1thread-"+fft.KernelName(), func(b *testing.B) {
+		defer singleThread()()
+		run(b)
+	})
+	b.Run("engine-rfft-2^20-parallel-"+fft.KernelName(), run)
+}
+
+// seedRadix2FFT is the seed's FFT kernel, kept verbatim as the baseline the
+// engine is measured against: serial radix-2 with a fresh twiddle table
+// computed on every call.
+func seedRadix2FFT(a []complex128, inverse bool) {
+	n := len(a)
+	for i, j := 0, 0; i < n; i++ {
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+		mask := n >> 1
+		for ; j&mask != 0; mask >>= 1 {
+			j &^= mask
+		}
+		j |= mask
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	roots := make([]complex128, n/2)
+	for k := range roots {
+		ang := sign * 2 * math.Pi * float64(k) / float64(n)
+		roots[k] = complex(math.Cos(ang), math.Sin(ang))
+	}
+	for length := 2; length <= n; length <<= 1 {
+		half := length >> 1
+		stride := n / length
+		for start := 0; start < n; start += length {
+			for j := 0; j < half; j++ {
+				w := roots[j*stride]
+				u := a[start+j]
+				v := a[start+j+half] * w
+				a[start+j] = u + v
+				a[start+j+half] = u - v
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range a {
+			a[i] *= inv
+		}
+	}
+}
+
 func BenchmarkFFTKernel64k(b *testing.B) {
 	x := tensor.RandomUniform(tensor.Complex128, 1, 1<<16)
 	b.SetBytes(int64(1<<16) * 16)
@@ -280,7 +432,7 @@ func BenchmarkCGRealSolve(b *testing.B) {
 }
 
 func BenchmarkFFTRealPipeline(b *testing.B) {
-	cfg := fft.Config{N: 1 << 12, Tiles: 8, Workers: 4}
+	cfg := appfft.Config{N: 1 << 12, Tiles: 8, Workers: 4}
 	r := tensor.NewRNG(3)
 	signal := make([]complex128, cfg.N)
 	for i := range signal {
@@ -291,7 +443,7 @@ func BenchmarkFFTRealPipeline(b *testing.B) {
 		b.StopTimer()
 		dir := b.TempDir()
 		b.StartTimer()
-		if _, err := fft.RunReal(dir, cfg, signal); err != nil {
+		if _, err := appfft.RunReal(dir, cfg, signal); err != nil {
 			b.Fatal(err)
 		}
 	}

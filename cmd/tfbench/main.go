@@ -6,6 +6,7 @@
 //	tfbench                 # everything, in paper order
 //	tfbench -exp fig8       # one experiment: table1 fig7 fig8 fig9 fig10 fig11
 //	tfbench -exp gemm       # real-mode GEMM engine sweep on this host
+//	tfbench -exp fft        # real-mode FFT engine sweep on this host
 package main
 
 import (
@@ -17,7 +18,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all|table1|fig7|fig8|fig9|fig10|fig11|gemm")
+	exp := flag.String("exp", "all", "experiment to run: all|table1|fig7|fig8|fig9|fig10|fig11|gemm|fft")
 	flag.Parse()
 
 	var out string
@@ -39,6 +40,8 @@ func main() {
 		out, err = bench.Fig11()
 	case "gemm":
 		out = bench.Gemm()
+	case "fft":
+		out = bench.Fft()
 	default:
 		fmt.Fprintf(os.Stderr, "tfbench: unknown experiment %q\n", *exp)
 		os.Exit(2)

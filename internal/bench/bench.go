@@ -11,9 +11,11 @@ import (
 	"time"
 
 	"tfhpc/apps/cg"
-	"tfhpc/apps/fft"
+	appfft "tfhpc/apps/fft"
 	"tfhpc/apps/matmul"
 	"tfhpc/apps/stream"
+	"tfhpc/internal/core"
+	"tfhpc/internal/fft"
 	"tfhpc/internal/gemm"
 	"tfhpc/internal/hw"
 )
@@ -134,7 +136,7 @@ func Fig10() (string, error) {
 
 // Fig11 renders the FFT scaling curves (Gflop/s, timed to tile collection).
 func Fig11() (string, error) {
-	curves, err := fft.Fig11()
+	curves, err := appfft.Fig11()
 	if err != nil {
 		return "", err
 	}
@@ -184,6 +186,83 @@ func Gemm() string {
 		sb.WriteString(fmt.Sprintf("%-8d %10.1f %10.1f\n", n, f32, f64))
 	}
 	return sb.String()
+}
+
+// Fft benchmarks the real FFT engine in internal/fft on this host — not
+// the virtual platform: single node, real numerics, parallelism bounded by
+// the current GOMAXPROCS. Each timed rep is a forward+inverse pair, so the
+// data stays bounded; throughput uses the paper's 5·n·log₂(n) flop
+// convention per transform (rfft counted as half, since it runs an
+// n/2-point complex transform plus an O(n) unpack).
+func Fft() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "FFT engine on this host (cached plans, radix-4/8 + four-step, %d workers) [Gflop/s]\n",
+		gemm.Workers())
+	sb.WriteString(fmt.Sprintf("%-8s %12s %12s\n", "size", "complex128", "rfft"))
+	for _, logn := range []int{16, 18, 20} {
+		n := 1 << logn
+		a := make([]complex128, n)
+		x := make([]float64, n)
+		for i := range a {
+			v := float64(i%251)*0.013 - 1.6
+			a[i] = complex(v, -v)
+			x[i] = v
+		}
+		c128 := timeFlops(2*core.FFTFlops(n), func() {
+			if err := fft.Forward(a); err != nil {
+				panic(err)
+			}
+			if err := fft.Inverse(a); err != nil {
+				panic(err)
+			}
+		})
+		rp, err := fft.RPlanFor(n)
+		if err != nil {
+			panic(err)
+		}
+		spec := make([]complex128, rp.SpectrumLen())
+		rfft := timeFlops(core.FFTFlops(n), func() {
+			if err := rp.Transform(spec, x); err != nil {
+				panic(err)
+			}
+			if err := rp.Inverse(x, spec); err != nil {
+				panic(err)
+			}
+		})
+		sb.WriteString(fmt.Sprintf("2^%-6d %12.2f %12.2f\n", logn, c128, rfft))
+	}
+	const m = 1024
+	b2 := make([]complex128, m*m)
+	for i := range b2 {
+		b2[i] = complex(float64(i%251)*0.013, 0)
+	}
+	g2 := timeFlops(2*2*float64(m)*core.FFTFlops(m), func() {
+		if err := fft.FFT2D(b2, m, m, false); err != nil {
+			panic(err)
+		}
+		if err := fft.FFT2D(b2, m, m, true); err != nil {
+			panic(err)
+		}
+	})
+	sb.WriteString(fmt.Sprintf("2-D %dx%d: %.2f Gflop/s\n", m, m, g2))
+	return sb.String()
+}
+
+// timeFlops runs fn repeatedly (at least 3 times, at least ~200ms) and
+// returns the best-rep throughput in Gflop/s for the given flop count.
+func timeFlops(flops float64, fn func()) float64 {
+	best := 0.0
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for rep := 0; rep < 3 || time.Now().Before(deadline); rep++ {
+		start := time.Now()
+		fn()
+		if s := time.Since(start).Seconds(); s > 0 {
+			if g := flops / s / 1e9; g > best {
+				best = g
+			}
+		}
+	}
+	return best
 }
 
 // timeGemm runs fn repeatedly (at least 3 times, at least ~200ms) and

@@ -1,0 +1,77 @@
+package fft
+
+import (
+	"fmt"
+
+	"tfhpc/internal/gemm"
+)
+
+// TransformBatch transforms many packed rows in one call: a holds
+// len(a)/Len() consecutive signals of Len() points each, transformed
+// independently and in parallel across the worker pool. This is the shape
+// batched op kernels and the distributed-FFT workers feed: one plan lookup
+// and one pool dispatch for the whole batch.
+func (p *Plan) TransformBatch(a []complex128, inverse bool) error {
+	if len(a)%p.n != 0 {
+		return fmt.Errorf("fft: batch length %d is not a multiple of plan size %d", len(a), p.n)
+	}
+	rows := len(a) / p.n
+	if rows <= 1 {
+		if rows == 1 {
+			p.transform(a, inverse)
+		}
+		return nil
+	}
+	if p.n >= fourStepMin {
+		// Each row already saturates the pool through the four-step path.
+		for r := 0; r < rows; r++ {
+			p.transform(a[r*p.n:(r+1)*p.n], inverse)
+		}
+		return nil
+	}
+	// Small rows: parallelise across rows, batching tiny ones so each chunk
+	// amortises its dispatch.
+	grain := 1
+	if p.n < 1<<13 {
+		grain = (1 << 13) / p.n
+	}
+	gemm.ParallelFor(rows, grain, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			p.direct(a[r*p.n:(r+1)*p.n], inverse)
+		}
+	})
+	return nil
+}
+
+// FFT2D runs an in-place 2-D transform over a rows×cols row-major array: a
+// batched pass along rows, a blocked transpose, a batched pass along
+// columns, and a transpose back. The inverse includes the full
+// 1/(rows·cols) normalisation. Both dimensions must be powers of two.
+func FFT2D(a []complex128, rows, cols int, inverse bool) error {
+	if rows <= 0 || cols <= 0 || rows*cols != len(a) {
+		return fmt.Errorf("fft: 2-D shape %dx%d does not match data length %d", rows, cols, len(a))
+	}
+	pc, err := PlanFor(cols)
+	if err != nil {
+		return err
+	}
+	pr, err := PlanFor(rows)
+	if err != nil {
+		return err
+	}
+	if err := pc.TransformBatch(a, inverse); err != nil {
+		return err
+	}
+	if rows == 1 {
+		return nil
+	}
+	w := workPool.get(len(a))
+	transpose(w, a, rows, cols)
+	if err := pr.TransformBatch(w, inverse); err != nil {
+		workPool.put(w)
+		return err
+	}
+	transpose(a, w, cols, rows)
+	workPool.put(w)
+	return nil
+}

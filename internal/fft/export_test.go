@@ -1,0 +1,16 @@
+package fft
+
+// White-box hooks: the four-step path normally engages only above
+// fourStepMin, so tests drive it directly at naive-DFT-checkable sizes.
+
+// FourStep runs the four-step decomposition regardless of size thresholds.
+func (p *Plan) FourStep(a []complex128, inverse bool) { p.fourStep(a, inverse) }
+
+// Direct runs the in-cache butterfly path regardless of size thresholds.
+func (p *Plan) Direct(a []complex128, inverse bool) { p.direct(a, inverse) }
+
+// Schedule exposes the butterfly pass schedule.
+func (p *Plan) Schedule() []int { return p.schedule }
+
+// FourStepMin exposes the path-selection threshold to tests.
+const FourStepMin = fourStepMin

@@ -1,0 +1,101 @@
+package fft
+
+import "tfhpc/internal/gemm"
+
+// fourStep runs the four-step (Bailey) decomposition: the length-n
+// transform becomes n2 column FFTs of size n1, a twiddle multiply, and n1
+// row FFTs of size n2, with blocked transposes keeping every sub-FFT
+// contiguous and cache-resident. Writing the input index j = n2·j1 + j2 and
+// the output index k = k1 + n1·k2,
+//
+//	X[k1 + n1·k2] = Σ_{j2} [ w_n^{j2·k1} · Σ_{j1} x[n2·j1+j2] w_{n1}^{j1·k1} ] w_{n2}^{j2·k2}
+//
+// Both sub-FFT sweeps and the transposes fan out over the shared
+// internal/gemm worker pool, so one large transform scales with GOMAXPROCS.
+func (p *Plan) fourStep(a []complex128, inverse bool) {
+	n1 := 1 << ((p.log2n + 1) / 2)
+	n2 := p.n / n1
+	p1, p2 := mustPlan(n1), mustPlan(n2)
+	roots := p.roots
+	if inverse {
+		roots = p.rootsInv
+	}
+	w := workPool.get(p.n)
+
+	// Step 1: transpose so each column (stride n2) becomes a contiguous row.
+	transpose(w, a, n1, n2)
+
+	// Step 2: size-n1 FFT per row, then the twiddle multiply w_n^{j2·k1}.
+	// The twiddle advances incrementally (one complex multiply per point,
+	// instead of a strided gather across the n/2-entry root table) and
+	// resyncs from the table every 32 steps to keep rounding error flat.
+	// j2·k1 < n, so the full circle is the root table and its negation.
+	half := p.n / 2
+	rootAt := func(m int) complex128 {
+		if m < half {
+			return roots[m]
+		}
+		return -roots[m-half]
+	}
+	gemm.ParallelFor(n2, 1, func(lo, hi int) {
+		for j2 := lo; j2 < hi; j2++ {
+			row := w[j2*n1 : (j2+1)*n1]
+			p1.transform(row, inverse)
+			if j2 == 0 {
+				continue // twiddles are all 1
+			}
+			step := rootAt(j2)
+			wk := step
+			for k1 := 1; k1 < n1; k1++ {
+				row[k1] *= wk
+				if k1&31 == 0 {
+					wk = rootAt(j2 * (k1 + 1))
+				} else {
+					wk *= step
+				}
+			}
+		}
+	})
+
+	// Steps 3-4: transpose back and run the size-n2 FFTs along rows.
+	transpose(a, w, n2, n1)
+	gemm.ParallelFor(n1, 1, func(lo, hi int) {
+		for k1 := lo; k1 < hi; k1++ {
+			p2.transform(a[k1*n2:(k1+1)*n2], inverse)
+		}
+	})
+
+	// Final transpose realises the k = k1 + n1·k2 output ordering.
+	transpose(w, a, n1, n2)
+	copy(a, w)
+	workPool.put(w)
+}
+
+// transposeBlock is the tile edge of the blocked transpose: 32×32
+// complex128 tiles (16 KB source + 16 KB destination) stay L1/L2-friendly
+// on both the read and the scattered-write side.
+const transposeBlock = 32
+
+// transpose writes the cols×rows transpose of src (a rows×cols row-major
+// matrix) into dst, in parallel over tiles. dst and src must not overlap.
+func transpose(dst, src []complex128, rows, cols int) {
+	if rows == 1 || cols == 1 {
+		copy(dst, src)
+		return
+	}
+	rb := (rows + transposeBlock - 1) / transposeBlock
+	cb := (cols + transposeBlock - 1) / transposeBlock
+	gemm.ParallelFor(rb*cb, 4, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			i0 := (t / cb) * transposeBlock
+			j0 := (t % cb) * transposeBlock
+			imax := min(i0+transposeBlock, rows)
+			jmax := min(j0+transposeBlock, cols)
+			for i := i0; i < imax; i++ {
+				for j := j0; j < jmax; j++ {
+					dst[j*rows+i] = src[i*cols+j]
+				}
+			}
+		}
+	})
+}

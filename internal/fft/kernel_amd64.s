@@ -1,0 +1,186 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func fftRadix8AVX(a *complex128, blocks, q int64, tw *complex128, conj int64)
+//
+// One radix-8 butterfly pass: `blocks` blocks of 8·q complex128 points,
+// each combining its eight length-q sub-DFTs in three fused
+// decimation-in-time levels. Butterflies are processed two at a time
+// (j, j+1): a 256-bit register holds two complex128 values, a complex
+// multiply is VPERMILPD + VMULPD + VFMADDSUB231PD against the re-dup and
+// im-dup of the twiddle pair, and the seven twiddle families stream
+// sequentially from the packed stage table (224 bytes per butterfly pair,
+// layout in Plan.buildStageTables). conj≠0 negates the twiddle imaginary
+// parts (via the Y15 mask), turning the pass into its inverse counterpart.
+//
+// Requires AVX2 (VPBROADCASTQ) and FMA; q must be even and ≥ 2.
+TEXT ·fftRadix8AVX(SB), NOSPLIT, $0-40
+	MOVQ a+0(FP), DI
+	MOVQ blocks+8(FP), R8
+	MOVQ q+16(FP), R9
+	MOVQ tw+24(FP), R10
+	MOVQ conj+32(FP), CX
+
+	// Byte strides between the eight length-q sub-blocks.
+	MOVQ R9, R11
+	SHLQ $4, R11                 // R11 = 16·q
+	LEAQ (R11)(R11*2), R15       // R15 = 48·q
+	LEAQ (R11)(R11*4), AX        // AX  = 80·q
+	LEAQ (R15)(R11*4), BX        // BX  = 112·q
+
+	// Y15: sign mask applied to twiddle imaginary parts (all lanes -0.0
+	// when conjugating, zero otherwise).
+	VXORPD Y15, Y15, Y15
+	TESTQ  CX, CX
+	JZ     noconj
+	MOVQ   $0x8000000000000000, CX
+	VMOVQ  CX, X15
+	VPBROADCASTQ X15, Y15
+
+noconj:
+	TESTQ R8, R8
+	JZ    done
+
+blockloop:
+	MOVQ R10, R12                // stage table, restarted per block
+	MOVQ DI, R14                 // &block[j]
+	MOVQ R9, R13
+	SHRQ $1, R13                 // butterfly pairs in this block
+
+pairloop:
+	VMOVUPD (R14), Y0            // B0[j:j+2]
+	VMOVUPD (R14)(R11*1), Y1     // B1
+	VMOVUPD (R14)(R11*2), Y2     // B2
+	VMOVUPD (R14)(R15*1), Y3     // B3
+	VMOVUPD (R14)(R11*4), Y4     // B4
+	VMOVUPD (R14)(AX*1), Y5      // B5
+	VMOVUPD (R14)(R15*2), Y6     // B6
+	VMOVUPD (R14)(BX*1), Y7      // B7
+
+	// Level 1: (B0,B1) (B2,B3) (B4,B5) (B6,B7), all with w1.
+	VMOVUPD   (R12), Y8
+	VPERMILPD $0x0, Y8, Y9       // w1 re-dup
+	VPERMILPD $0xF, Y8, Y10      // w1 im-dup
+	VXORPD    Y15, Y10, Y10
+
+	VPERMILPD      $0x5, Y1, Y11
+	VMULPD         Y10, Y11, Y12
+	VFMADDSUB231PD Y1, Y9, Y12   // Y12 = w1·B1
+	VSUBPD         Y12, Y0, Y1
+	VADDPD         Y12, Y0, Y0
+
+	VPERMILPD      $0x5, Y3, Y11
+	VMULPD         Y10, Y11, Y12
+	VFMADDSUB231PD Y3, Y9, Y12
+	VSUBPD         Y12, Y2, Y3
+	VADDPD         Y12, Y2, Y2
+
+	VPERMILPD      $0x5, Y5, Y11
+	VMULPD         Y10, Y11, Y12
+	VFMADDSUB231PD Y5, Y9, Y12
+	VSUBPD         Y12, Y4, Y5
+	VADDPD         Y12, Y4, Y4
+
+	VPERMILPD      $0x5, Y7, Y11
+	VMULPD         Y10, Y11, Y12
+	VFMADDSUB231PD Y7, Y9, Y12
+	VSUBPD         Y12, Y6, Y7
+	VADDPD         Y12, Y6, Y6
+
+	// Level 2: (Y0,Y2) (Y4,Y6) with w2a; (Y1,Y3) (Y5,Y7) with w2b.
+	VMOVUPD   32(R12), Y8
+	VPERMILPD $0x0, Y8, Y9       // w2a
+	VPERMILPD $0xF, Y8, Y10
+	VXORPD    Y15, Y10, Y10
+	VMOVUPD   64(R12), Y8
+	VPERMILPD $0x0, Y8, Y13      // w2b
+	VPERMILPD $0xF, Y8, Y14
+	VXORPD    Y15, Y14, Y14
+
+	VPERMILPD      $0x5, Y2, Y11
+	VMULPD         Y10, Y11, Y12
+	VFMADDSUB231PD Y2, Y9, Y12
+	VSUBPD         Y12, Y0, Y2
+	VADDPD         Y12, Y0, Y0
+
+	VPERMILPD      $0x5, Y6, Y11
+	VMULPD         Y10, Y11, Y12
+	VFMADDSUB231PD Y6, Y9, Y12
+	VSUBPD         Y12, Y4, Y6
+	VADDPD         Y12, Y4, Y4
+
+	VPERMILPD      $0x5, Y3, Y11
+	VMULPD         Y14, Y11, Y12
+	VFMADDSUB231PD Y3, Y13, Y12
+	VSUBPD         Y12, Y1, Y3
+	VADDPD         Y12, Y1, Y1
+
+	VPERMILPD      $0x5, Y7, Y11
+	VMULPD         Y14, Y11, Y12
+	VFMADDSUB231PD Y7, Y13, Y12
+	VSUBPD         Y12, Y5, Y7
+	VADDPD         Y12, Y5, Y5
+
+	// Level 3: (Y0,Y4) w3a, (Y1,Y5) w3b, (Y2,Y6) w3c, (Y3,Y7) w3d.
+	VMOVUPD   96(R12), Y8
+	VPERMILPD $0x0, Y8, Y9
+	VPERMILPD $0xF, Y8, Y10
+	VXORPD    Y15, Y10, Y10
+	VPERMILPD      $0x5, Y4, Y11
+	VMULPD         Y10, Y11, Y12
+	VFMADDSUB231PD Y4, Y9, Y12
+	VSUBPD         Y12, Y0, Y4
+	VADDPD         Y12, Y0, Y0
+
+	VMOVUPD   128(R12), Y8
+	VPERMILPD $0x0, Y8, Y9
+	VPERMILPD $0xF, Y8, Y10
+	VXORPD    Y15, Y10, Y10
+	VPERMILPD      $0x5, Y5, Y11
+	VMULPD         Y10, Y11, Y12
+	VFMADDSUB231PD Y5, Y9, Y12
+	VSUBPD         Y12, Y1, Y5
+	VADDPD         Y12, Y1, Y1
+
+	VMOVUPD   160(R12), Y8
+	VPERMILPD $0x0, Y8, Y9
+	VPERMILPD $0xF, Y8, Y10
+	VXORPD    Y15, Y10, Y10
+	VPERMILPD      $0x5, Y6, Y11
+	VMULPD         Y10, Y11, Y12
+	VFMADDSUB231PD Y6, Y9, Y12
+	VSUBPD         Y12, Y2, Y6
+	VADDPD         Y12, Y2, Y2
+
+	VMOVUPD   192(R12), Y8
+	VPERMILPD $0x0, Y8, Y9
+	VPERMILPD $0xF, Y8, Y10
+	VXORPD    Y15, Y10, Y10
+	VPERMILPD      $0x5, Y7, Y11
+	VMULPD         Y10, Y11, Y12
+	VFMADDSUB231PD Y7, Y9, Y12
+	VSUBPD         Y12, Y3, Y7
+	VADDPD         Y12, Y3, Y3
+
+	VMOVUPD Y0, (R14)
+	VMOVUPD Y1, (R14)(R11*1)
+	VMOVUPD Y2, (R14)(R11*2)
+	VMOVUPD Y3, (R14)(R15*1)
+	VMOVUPD Y4, (R14)(R11*4)
+	VMOVUPD Y5, (R14)(AX*1)
+	VMOVUPD Y6, (R14)(R15*2)
+	VMOVUPD Y7, (R14)(BX*1)
+
+	ADDQ $224, R12               // next twiddle group
+	ADDQ $32, R14                // next butterfly pair
+	DECQ R13
+	JNZ  pairloop
+
+	LEAQ (DI)(R11*8), DI         // next block
+	DECQ R8
+	JNZ  blockloop
+
+done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,111 @@
+package fft
+
+// Butterfly passes for the in-cache transform path. Each pass combines
+// adjacent length-q sub-DFTs (laid out by the bit-reversal permutation)
+// into length radix·q sub-DFTs. The radix-4 and radix-8 passes fuse two and
+// three decimation-in-time levels into one sweep over the data, so a full
+// transform touches memory ~log8(n) times instead of log2(n) — the same
+// traffic-per-pass economics as the GEMM engine's register blocking.
+//
+// Twiddles come from the plan's shared root table: w_m^j = roots[j·(n/m)].
+// The inverse transform passes the conjugate table; the kernels are
+// sign-agnostic.
+
+// radix2Pass combines pairs of length-q sub-DFTs: the cleanup stage when
+// log2(n) ≡ 1 (mod 3).
+func radix2Pass(a []complex128, q int, roots []complex128, n int) {
+	s := n / (2 * q)
+	for start := 0; start < len(a); start += 2 * q {
+		for j := 0; j < q; j++ {
+			w := roots[j*s]
+			u := a[start+j]
+			v := a[start+q+j] * w
+			a[start+j] = u + v
+			a[start+q+j] = u - v
+		}
+	}
+}
+
+// radix4Pass fuses two radix-2 levels: four length-q sub-DFTs become one
+// length-4q sub-DFT in a single read-modify-write of the block.
+func radix4Pass(a []complex128, q int, roots []complex128, n int) {
+	s2 := n / (2 * q) // level 1: q → 2q
+	s4 := n / (4 * q) // level 2: 2q → 4q
+	for start := 0; start < len(a); start += 4 * q {
+		for j := 0; j < q; j++ {
+			w1 := roots[j*s2]
+			w2a := roots[j*s4]
+			w2b := roots[(j+q)*s4]
+			a0, a1 := a[start+j], a[start+q+j]
+			a2, a3 := a[start+2*q+j], a[start+3*q+j]
+			t0 := w1 * a1
+			t1 := w1 * a3
+			e0, e1 := a0+t0, a0-t0
+			o0, o1 := a2+t1, a2-t1
+			u0 := w2a * o0
+			u1 := w2b * o1
+			a[start+j] = e0 + u0
+			a[start+q+j] = e1 + u1
+			a[start+2*q+j] = e0 - u0
+			a[start+3*q+j] = e1 - u1
+		}
+	}
+}
+
+// radix8Pass fuses three radix-2 levels: eight length-q sub-DFTs become one
+// length-8q sub-DFT per block sweep. With the schedule's single cleanup
+// pass, almost all butterflies run through this kernel.
+func radix8Pass(a []complex128, q int, roots []complex128, n int) {
+	s2 := n / (2 * q) // level 1: q → 2q
+	s4 := n / (4 * q) // level 2: 2q → 4q
+	s8 := n / (8 * q) // level 3: 4q → 8q
+	for start := 0; start < len(a); start += 8 * q {
+		for j := 0; j < q; j++ {
+			w1 := roots[j*s2]
+			w2a := roots[j*s4]
+			w2b := roots[(j+q)*s4]
+			w3a := roots[j*s8]
+			w3b := roots[(j+q)*s8]
+			w3c := roots[(j+2*q)*s8]
+			w3d := roots[(j+3*q)*s8]
+
+			// Level 1: four independent radix-2 butterflies.
+			a0, a1 := a[start+j], a[start+q+j]
+			a2, a3 := a[start+2*q+j], a[start+3*q+j]
+			a4, a5 := a[start+4*q+j], a[start+5*q+j]
+			a6, a7 := a[start+6*q+j], a[start+7*q+j]
+			t0 := w1 * a1
+			t1 := w1 * a3
+			t2 := w1 * a5
+			t3 := w1 * a7
+			c00, c01 := a0+t0, a0-t0
+			c10, c11 := a2+t1, a2-t1
+			c20, c21 := a4+t2, a4-t2
+			c30, c31 := a6+t3, a6-t3
+
+			// Level 2: two radix-4 halves (each two radix-2 butterflies).
+			u0 := w2a * c10
+			u1 := w2b * c11
+			d00, d02 := c00+u0, c00-u0 // D0[j], D0[j+2q]
+			d01, d03 := c01+u1, c01-u1 // D0[j+q], D0[j+3q]
+			u2 := w2a * c30
+			u3 := w2b * c31
+			d10, d12 := c20+u2, c20-u2
+			d11, d13 := c21+u3, c21-u3
+
+			// Level 3: combine the two length-4q halves.
+			v0 := w3a * d10
+			v1 := w3b * d11
+			v2 := w3c * d12
+			v3 := w3d * d13
+			a[start+j] = d00 + v0
+			a[start+q+j] = d01 + v1
+			a[start+2*q+j] = d02 + v2
+			a[start+3*q+j] = d03 + v3
+			a[start+4*q+j] = d00 - v0
+			a[start+5*q+j] = d01 - v1
+			a[start+6*q+j] = d02 - v2
+			a[start+7*q+j] = d03 - v3
+		}
+	}
+}

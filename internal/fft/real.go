@@ -1,0 +1,142 @@
+package fft
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// RPlan is the real-input counterpart of Plan: an n-point RFFT runs an
+// n/2-point complex transform over the packed signal z[k] = x[2k] +
+// i·x[2k+1] and unpacks the half-spectrum with a precomputed table of
+// exp(-2πi·k/n) — roughly 2× the throughput of a complex FFT of the same
+// real signal. Plans are cached per size and safe for concurrent use.
+type RPlan struct {
+	n    int   // real signal length, power of two ≥ 2
+	half *Plan // complex plan for the packed length n/2
+	tw   []complex128
+}
+
+var rplans sync.Map // int -> *RPlan
+
+// RPlanFor returns the cached real-transform plan for n real samples. n
+// must be a power of two and at least 2.
+func RPlanFor(n int) (*RPlan, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: real length %d is not a power of two ≥ 2", n)
+	}
+	if p, ok := rplans.Load(n); ok {
+		return p.(*RPlan), nil
+	}
+	h := n / 2
+	p := &RPlan{n: n, half: mustPlan(h), tw: make([]complex128, h+1)}
+	for k := range p.tw {
+		s, c := math.Sincos(-2 * math.Pi * float64(k) / float64(n))
+		p.tw[k] = complex(c, s)
+	}
+	if prev, loaded := rplans.LoadOrStore(n, p); loaded {
+		return prev.(*RPlan), nil
+	}
+	return p, nil
+}
+
+// Len reports the real signal length the plan was built for.
+func (p *RPlan) Len() int { return p.n }
+
+// SpectrumLen is the half-spectrum length n/2+1 produced by Transform.
+func (p *RPlan) SpectrumLen() int { return p.n/2 + 1 }
+
+// Transform computes the forward half-spectrum of the real signal x into
+// dst: dst[k] = Σ_j x[j]·exp(-2πi·jk/n) for k ≤ n/2. The remaining bins
+// follow from conjugate symmetry, X[n-k] = conj(X[k]). len(x) must be
+// Len(), len(dst) must be SpectrumLen(); x is left untouched.
+func (p *RPlan) Transform(dst []complex128, x []float64) error {
+	if len(x) != p.n {
+		return fmt.Errorf("fft: real input length %d does not match plan size %d", len(x), p.n)
+	}
+	if len(dst) != p.SpectrumLen() {
+		return fmt.Errorf("fft: spectrum length %d, want %d", len(dst), p.SpectrumLen())
+	}
+	h := p.n / 2
+	z := workPool.get(h)
+	for k := 0; k < h; k++ {
+		z[k] = complex(x[2*k], x[2*k+1])
+	}
+	p.half.transform(z, false)
+	// Unpack: with E/O the DFTs of the even/odd subsequences,
+	//   E[k] = (Z[k] + conj(Z[h-k]))/2,  O[k] = -i·(Z[k] - conj(Z[h-k]))/2,
+	//   X[k] = E[k] + exp(-2πi·k/n)·O[k],  Z[h] ≡ Z[0].
+	z0 := z[0]
+	dst[0] = complex(real(z0)+imag(z0), 0)
+	dst[h] = complex(real(z0)-imag(z0), 0)
+	for k := 1; k < h; k++ {
+		zk, zr := z[k], cconj(z[h-k])
+		e := (zk + zr) * 0.5
+		o := (zk - zr) * complex(0, -0.5)
+		dst[k] = e + p.tw[k]*o
+	}
+	workPool.put(z)
+	return nil
+}
+
+// Inverse reconstructs the real signal from its half-spectrum: the exact
+// inverse of Transform, including the 1/n normalisation. len(spec) must be
+// SpectrumLen(), len(dst) must be Len(); spec is left untouched.
+func (p *RPlan) Inverse(dst []float64, spec []complex128) error {
+	if len(spec) != p.SpectrumLen() {
+		return fmt.Errorf("fft: spectrum length %d, want %d", len(spec), p.SpectrumLen())
+	}
+	if len(dst) != p.n {
+		return fmt.Errorf("fft: real output length %d does not match plan size %d", len(dst), p.n)
+	}
+	h := p.n / 2
+	z := workPool.get(h)
+	// Repack: E[k] = (X[k] + conj(X[h-k]))/2, O[k] = conj(w^k)·(X[k] -
+	// conj(X[h-k]))/2, Z[k] = E[k] + i·O[k].
+	for k := 0; k < h; k++ {
+		xk, xr := spec[k], cconj(spec[h-k])
+		e := (xk + xr) * 0.5
+		o := cconj(p.tw[k]) * (xk - xr) * 0.5
+		z[k] = e + o*complex(0, 1)
+	}
+	p.half.transform(z, true)
+	for k := 0; k < h; k++ {
+		dst[2*k] = real(z[k])
+		dst[2*k+1] = imag(z[k])
+	}
+	workPool.put(z)
+	return nil
+}
+
+func cconj(c complex128) complex128 { return complex(real(c), -imag(c)) }
+
+// RFFT computes the half-spectrum of a real signal through the plan cache,
+// allocating the n/2+1 output. See RPlan.Transform.
+func RFFT(x []float64) ([]complex128, error) {
+	p, err := RPlanFor(len(x))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, p.SpectrumLen())
+	if err := p.Transform(out, x); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// IRFFT reconstructs n real samples from an n/2+1 half-spectrum through the
+// plan cache, allocating the output. See RPlan.Inverse.
+func IRFFT(spec []complex128, n int) ([]float64, error) {
+	p, err := RPlanFor(n)
+	if err != nil {
+		return nil, err
+	}
+	if len(spec) != p.SpectrumLen() {
+		return nil, fmt.Errorf("fft: spectrum length %d, want %d for n=%d", len(spec), p.SpectrumLen(), n)
+	}
+	out := make([]float64, n)
+	if err := p.Inverse(out, spec); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

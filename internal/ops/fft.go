@@ -4,12 +4,17 @@ import (
 	"fmt"
 	"math"
 
+	"tfhpc/internal/fft"
 	"tfhpc/internal/tensor"
 )
 
 func init() {
 	Register(&OpDef{Name: "FFT", MinInputs: 1, MaxInputs: 1, GPUCapable: true, Kernel: fftKernel})
 	Register(&OpDef{Name: "IFFT", MinInputs: 1, MaxInputs: 1, GPUCapable: true, Kernel: ifftKernel})
+	Register(&OpDef{Name: "FFT2D", MinInputs: 1, MaxInputs: 1, GPUCapable: true, Kernel: fft2dKernel})
+	Register(&OpDef{Name: "IFFT2D", MinInputs: 1, MaxInputs: 1, GPUCapable: true, Kernel: ifft2dKernel})
+	Register(&OpDef{Name: "RFFT", MinInputs: 1, MaxInputs: 1, GPUCapable: true, Kernel: rfftKernel})
+	Register(&OpDef{Name: "IRFFT", MinInputs: 1, MaxInputs: 1, GPUCapable: true, Kernel: irfftKernel})
 }
 
 func fftKernel(_ *Context, in []*tensor.Tensor) (*tensor.Tensor, error) {
@@ -20,73 +25,103 @@ func ifftKernel(_ *Context, in []*tensor.Tensor) (*tensor.Tensor, error) {
 	return fftOp(in[0], true)
 }
 
+// fftOp transforms a rank-1 signal, or a rank-2 batch of signals one per
+// row (the shape the distributed-FFT workers feed), through the planned
+// engine in internal/fft.
 func fftOp(t *tensor.Tensor, inverse bool) (*tensor.Tensor, error) {
 	if t.DType() != tensor.Complex128 {
 		return nil, fmt.Errorf("FFT: need complex128, got %v", t.DType())
 	}
-	if t.Rank() != 1 {
-		return nil, fmt.Errorf("FFT: need rank-1, got %v", t.Shape())
+	var n int
+	switch t.Rank() {
+	case 1:
+		n = t.Shape()[0]
+	case 2:
+		n = t.Shape()[1]
+	default:
+		return nil, fmt.Errorf("FFT: need rank-1 signal or rank-2 batch, got %v", t.Shape())
+	}
+	p, err := fft.PlanFor(n)
+	if err != nil {
+		return nil, err
 	}
 	out := t.Clone()
-	if err := FFTInPlace(out.C128(), inverse); err != nil {
+	if err := p.TransformBatch(out.C128(), inverse); err != nil {
 		return nil, err
 	}
 	return out, nil
 }
 
-// FFTInPlace runs an iterative radix-2 Cooley-Tukey transform over a (whose
-// length must be a power of two), forward or inverse. The inverse includes
-// the 1/n normalisation. Twiddle factors come from a precomputed table, so
-// accuracy does not degrade with n as it would with repeated multiplication.
+func fft2dKernel(_ *Context, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	return fft2dOp(in[0], false)
+}
+
+func ifft2dKernel(_ *Context, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	return fft2dOp(in[0], true)
+}
+
+func fft2dOp(t *tensor.Tensor, inverse bool) (*tensor.Tensor, error) {
+	if t.DType() != tensor.Complex128 {
+		return nil, fmt.Errorf("FFT2D: need complex128, got %v", t.DType())
+	}
+	if t.Rank() != 2 {
+		return nil, fmt.Errorf("FFT2D: need rank-2, got %v", t.Shape())
+	}
+	out := t.Clone()
+	if err := fft.FFT2D(out.C128(), t.Shape()[0], t.Shape()[1], inverse); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// rfftKernel transforms a rank-1 real signal into its n/2+1 half-spectrum.
+func rfftKernel(_ *Context, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	t := in[0]
+	if t.DType() != tensor.Float64 {
+		return nil, fmt.Errorf("RFFT: need float64, got %v", t.DType())
+	}
+	if t.Rank() != 1 {
+		return nil, fmt.Errorf("RFFT: need rank-1, got %v", t.Shape())
+	}
+	spec, err := fft.RFFT(t.F64())
+	if err != nil {
+		return nil, err
+	}
+	return tensor.FromC128(tensor.Shape{len(spec)}, spec), nil
+}
+
+// irfftKernel reconstructs the 2·(len-1) real samples behind a rank-1
+// half-spectrum.
+func irfftKernel(_ *Context, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	t := in[0]
+	if t.DType() != tensor.Complex128 {
+		return nil, fmt.Errorf("IRFFT: need complex128, got %v", t.DType())
+	}
+	if t.Rank() != 1 || t.Shape()[0] < 2 {
+		return nil, fmt.Errorf("IRFFT: need a rank-1 half-spectrum, got %v", t.Shape())
+	}
+	n := 2 * (t.Shape()[0] - 1)
+	x, err := fft.IRFFT(t.C128(), n)
+	if err != nil {
+		return nil, err
+	}
+	return tensor.FromF64(tensor.Shape{n}, x), nil
+}
+
+// FFTInPlace runs a planned in-place transform over a (whose length must be
+// a power of two), forward or inverse. The inverse includes the 1/n
+// normalisation. This is the compatibility entry point older callers use;
+// it routes through the engine's plan cache, so — unlike the seed's
+// radix-2 loop — it does not allocate or recompute twiddle tables per call.
 func FFTInPlace(a []complex128, inverse bool) error {
-	n := len(a)
-	if n == 0 {
+	if len(a) == 0 {
 		return nil
 	}
-	if n&(n-1) != 0 {
-		return fmt.Errorf("FFT: length %d is not a power of two", n)
+	p, err := fft.PlanFor(len(a))
+	if err != nil {
+		return err
 	}
-	// Bit-reversal permutation.
-	for i, j := 0, 0; i < n; i++ {
-		if i < j {
-			a[i], a[j] = a[j], a[i]
-		}
-		mask := n >> 1
-		for ; j&mask != 0; mask >>= 1 {
-			j &^= mask
-		}
-		j |= mask
-	}
-	// Root table: roots[k] = exp(sign * 2πi k / n), k in [0, n/2).
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	roots := make([]complex128, n/2)
-	for k := range roots {
-		ang := sign * 2 * math.Pi * float64(k) / float64(n)
-		roots[k] = complex(math.Cos(ang), math.Sin(ang))
-	}
-	for length := 2; length <= n; length <<= 1 {
-		half := length >> 1
-		stride := n / length
-		for start := 0; start < n; start += length {
-			for j := 0; j < half; j++ {
-				w := roots[j*stride]
-				u := a[start+j]
-				v := a[start+j+half] * w
-				a[start+j] = u + v
-				a[start+j+half] = u - v
-			}
-		}
-	}
-	if inverse {
-		inv := complex(1/float64(n), 0)
-		for i := range a {
-			a[i] *= inv
-		}
-	}
-	return nil
+	return p.Transform(a, inverse)
 }
 
 // NaiveDFT computes the O(n²) discrete Fourier transform, used as the

@@ -123,6 +123,100 @@ func TestFFTKnownSignals(t *testing.T) {
 	}
 }
 
+// TestFFTBatchedRank2 checks that a rank-2 input transforms each row
+// independently — the batched shape the distributed-FFT workers feed.
+func TestFFTBatchedRank2(t *testing.T) {
+	const n, rows = 64, 3
+	flat := randComplex(21, n*rows)
+	in := tensor.FromC128(tensor.Shape{rows, n}, append([]complex128(nil), flat...))
+	got := run(t, "FFT", nil, in)
+	if !got.Shape().Equal(tensor.Shape{rows, n}) {
+		t.Fatalf("batched FFT shape = %v", got.Shape())
+	}
+	for r := 0; r < rows; r++ {
+		want := NaiveDFT(flat[r*n:(r+1)*n], false)
+		for i := range want {
+			if cmplx.Abs(got.C128()[r*n+i]-want[i]) > 1e-9*float64(n) {
+				t.Fatalf("row %d bin %d: %v, want %v", r, i, got.C128()[r*n+i], want[i])
+			}
+		}
+	}
+}
+
+// TestRFFTOp checks the half-spectrum op against the complex FFT of the
+// same real signal, and the IRFFT round trip.
+func TestRFFTOp(t *testing.T) {
+	const n = 128
+	r := tensor.NewRNG(31)
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = r.Float64()*2 - 1
+	}
+	in := tensor.FromF64(tensor.Shape{n}, append([]float64(nil), x...))
+	spec := run(t, "RFFT", nil, in)
+	if !spec.Shape().Equal(tensor.Shape{n/2 + 1}) {
+		t.Fatalf("RFFT shape = %v, want [%d]", spec.Shape(), n/2+1)
+	}
+	full := make([]complex128, n)
+	for i, v := range x {
+		full[i] = complex(v, 0)
+	}
+	want := NaiveDFT(full, false)
+	for k := 0; k <= n/2; k++ {
+		if cmplx.Abs(spec.C128()[k]-want[k]) > 1e-10*float64(n) {
+			t.Fatalf("RFFT[%d] = %v, want %v", k, spec.C128()[k], want[k])
+		}
+	}
+	back := run(t, "IRFFT", nil, spec)
+	if !back.Shape().Equal(tensor.Shape{n}) {
+		t.Fatalf("IRFFT shape = %v, want [%d]", back.Shape(), n)
+	}
+	for i := range x {
+		if math.Abs(back.F64()[i]-x[i]) > 1e-12 {
+			t.Fatalf("IRFFT round trip off at %d", i)
+		}
+	}
+	if runErr(t, "RFFT", nil, tensor.New(tensor.Complex128, n)) == nil {
+		t.Fatal("RFFT should reject complex input")
+	}
+}
+
+// TestFFT2DOp checks the 2-D op against row-then-column naive DFTs and the
+// IFFT2D round trip.
+func TestFFT2DOp(t *testing.T) {
+	const rows, cols = 8, 16
+	flat := randComplex(41, rows*cols)
+	in := tensor.FromC128(tensor.Shape{rows, cols}, append([]complex128(nil), flat...))
+	got := run(t, "FFT2D", nil, in)
+	want := make([]complex128, len(flat))
+	for i := 0; i < rows; i++ {
+		copy(want[i*cols:(i+1)*cols], NaiveDFT(flat[i*cols:(i+1)*cols], false))
+	}
+	col := make([]complex128, rows)
+	for j := 0; j < cols; j++ {
+		for i := 0; i < rows; i++ {
+			col[i] = want[i*cols+j]
+		}
+		for i, v := range NaiveDFT(col, false) {
+			want[i*cols+j] = v
+		}
+	}
+	for i := range want {
+		if cmplx.Abs(got.C128()[i]-want[i]) > 1e-9*float64(len(flat)) {
+			t.Fatalf("FFT2D[%d] = %v, want %v", i, got.C128()[i], want[i])
+		}
+	}
+	back := run(t, "IFFT2D", nil, got)
+	for i := range flat {
+		if cmplx.Abs(back.C128()[i]-flat[i]) > 1e-12 {
+			t.Fatalf("IFFT2D round trip off at %d", i)
+		}
+	}
+	if runErr(t, "FFT2D", nil, tensor.New(tensor.Complex128, 8)) == nil {
+		t.Fatal("FFT2D should reject rank-1 input")
+	}
+}
+
 func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
 	in := tensor.New(tensor.Complex128, 12)
 	if runErr(t, "FFT", nil, in) == nil {
