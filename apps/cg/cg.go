@@ -1,10 +1,14 @@
 // Package cg implements the paper's distributed Conjugate Gradient solver:
 // the SPD matrix is split into row blocks owned by workers (loaded once and
 // reused every iteration, for data locality), the matrix-vector product and
-// dot products are computed per block, and every synchronisation — scalar
-// reductions and the allgather of the search direction — flows through
-// queue-based reduction services (Fig. 5). Arithmetic is double precision,
-// as in the paper, and the solver supports checkpoint-restart.
+// dot products are computed per block, and every synchronisation — the
+// allgather of the search direction and both scalar reductions — is a ring
+// collective in the worker graph (internal/collective, the Horovod-style
+// engine Section VIII of the paper points to, replacing the queue-based
+// reduction services of Fig. 5). The same graphs drive the in-process real
+// mode (loopback ring) and the cluster mode over running tfserver tasks
+// (TCP ring between the tasks). Arithmetic is double precision, as in the
+// paper, and the solver supports checkpoint-restart.
 package cg
 
 import (

@@ -1,0 +1,59 @@
+package cg
+
+import (
+	"testing"
+	"time"
+
+	"tfhpc/internal/cluster"
+	"tfhpc/internal/tensor"
+)
+
+// TestClusterSolveMatchesInProcess solves the same system over an in-process
+// TCP cluster (4 task servers, ring collectives between them) and in plain
+// real mode; both must converge to the same solution.
+func TestClusterSolveMatchesInProcess(t *testing.T) {
+	cfg := Config{N: 64, Workers: 4, MaxIters: 150, Tol: 1e-9}
+	a := SPDMatrix(cfg.N, 21)
+	b := tensor.RandomUniform(tensor.Float64, 22, cfg.N)
+
+	lc, err := cluster.StartLocal(map[string]int{"worker": cfg.Workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	peers := cluster.NewPeers(lc.Spec())
+	defer peers.Close()
+
+	dist, err := RunCluster(cfg, a, b, peers, ClusterOptions{HealthWait: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := RunReal(cfg, a, b, RealOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn := residualNorm(t, a, dist.X, b); rn > 1e-7 {
+		t.Fatalf("cluster solve residual ‖b - Ax‖ = %g after %d iters", rn, dist.Iters)
+	}
+	if !dist.X.ApproxEqual(local.X, 1e-8) {
+		t.Fatal("cluster and in-process solutions disagree")
+	}
+}
+
+// TestClusterRejectsSmallJob: asking for more workers than the job has tasks
+// must fail fast, not hang.
+func TestClusterRejectsSmallJob(t *testing.T) {
+	lc, err := cluster.StartLocal(map[string]int{"worker": 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	peers := cluster.NewPeers(lc.Spec())
+	defer peers.Close()
+	cfg := Config{N: 64, Workers: 4, MaxIters: 10}
+	a := SPDMatrix(cfg.N, 23)
+	b := tensor.RandomUniform(tensor.Float64, 24, cfg.N)
+	if _, err := RunCluster(cfg, a, b, peers, ClusterOptions{}); err == nil {
+		t.Fatal("4-worker solve on a 2-task job should fail")
+	}
+}

@@ -7,10 +7,10 @@ import (
 	"time"
 
 	"tfhpc/internal/checkpoint"
+	"tfhpc/internal/collective"
 	"tfhpc/internal/core"
 	"tfhpc/internal/gemm"
 	"tfhpc/internal/graph"
-	"tfhpc/internal/queue"
 	"tfhpc/internal/session"
 	"tfhpc/internal/tensor"
 )
@@ -37,122 +37,131 @@ type RealResult struct {
 // graphID identifies CG checkpoints.
 func graphID(cfg Config) string { return fmt.Sprintf("cg:n%d:w%d", cfg.N, cfg.Workers) }
 
-// gatherService assembles worker slices into the full search direction and
-// hands every worker a copy — the allgather of the data-driven formulation,
-// built from two FIFO queues like Fig. 5.
-type gatherService struct {
-	workers int
-	rows    int
-	in      *queue.FIFO
-	out     *queue.FIFO
-	done    chan struct{}
-}
+// collGroup names worker w's collective-group membership in a shared
+// resource store (in-process runs register one membership per worker; in
+// cluster runs every task registers under its own store, so the name is the
+// same on all of them).
+func collGroup(w int) string { return fmt.Sprintf("cg/w%d", w) }
 
-func newGatherService(workers, rows, n int) *gatherService {
-	g := &gatherService{
-		workers: workers,
-		rows:    rows,
-		in:      queue.New(0),
-		out:     queue.New(0),
-		done:    make(chan struct{}),
-	}
-	go func() {
-		defer close(g.done)
-		for {
-			full := tensor.New(tensor.Float64, n)
-			for i := 0; i < workers; i++ {
-				item, err := g.in.Dequeue()
-				if err != nil {
-					g.out.Close()
-					return
-				}
-				w := int(item[0].ScalarInt())
-				copy(full.F64()[w*rows:(w+1)*rows], item[1].F64())
-			}
-			for i := 0; i < workers; i++ {
-				if g.out.Enqueue(queue.Item{full}) != nil {
-					return
-				}
-			}
-		}
-	}()
-	return g
-}
-
-func (g *gatherService) gather(w int, slice *tensor.Tensor) (*tensor.Tensor, error) {
-	if err := g.in.Enqueue(queue.Item{tensor.ScalarI64(int64(w)), slice}); err != nil {
-		return nil, err
-	}
-	item, err := g.out.Dequeue()
-	if err != nil {
-		return nil, err
-	}
-	return item[0], nil
-}
-
-func (g *gatherService) close() {
-	g.in.Close()
-	<-g.done
-}
-
-// workerState is one worker's graph and handles.
-type workerState struct {
-	sess  *session.Session
-	begin int
-	rows  int
-}
-
-// buildWorker constructs worker w's compute graph: the block matvec, the
-// two local dot products and the vector updates, with state in variables
-// prefixed w<w>/ so checkpoints capture the whole solver.
-func buildWorker(cfg Config, res *session.Resources, w int) (*workerState, error) {
+// buildWorker constructs worker w's compute graph: the allgather of the
+// search direction and the two scalar allreduces now ride collective ops in
+// the graph itself (ring collectives replacing the bespoke two-queue gather
+// service and central reducers of the parameter-server formulation), around
+// the block matvec, local dot products and vector updates. State lives in
+// variables prefixed w<w>/ so checkpoints capture the whole solver. group
+// names the collective membership; a non-empty device places every node on
+// that device spec (cluster runs).
+func buildWorker(cfg Config, w int, group, device string) *graph.Graph {
 	rows := cfg.RowsPerWorker()
 	begin := w * rows
 	pre := fmt.Sprintf("w%d/", w)
 	g := graph.New()
 
-	pFull := g.Placeholder("p_full", tensor.Float64, tensor.Shape{cfg.N})
-	alphaPH := g.Placeholder("alpha", tensor.Float64, nil)
-	betaPH := g.Placeholder("beta", tensor.Float64, nil)
+	build := func() {
+		alphaPH := g.Placeholder("alpha", tensor.Float64, nil)
+		betaPH := g.Placeholder("beta", tensor.Float64, nil)
 
-	aVar := g.AddNamedOp("A", "Variable", graph.Attrs{"var_name": pre + "A"})
-	xVar := g.AddNamedOp("x", "Variable", graph.Attrs{"var_name": pre + "x"})
-	rVar := g.AddNamedOp("r", "Variable", graph.Attrs{"var_name": pre + "r"})
-	pVar := g.AddNamedOp("p", "Variable", graph.Attrs{"var_name": pre + "p"})
+		aVar := g.AddNamedOp("A", "Variable", graph.Attrs{"var_name": pre + "A"})
+		xVar := g.AddNamedOp("x", "Variable", graph.Attrs{"var_name": pre + "x"})
+		rVar := g.AddNamedOp("r", "Variable", graph.Attrs{"var_name": pre + "r"})
+		pVar := g.AddNamedOp("p", "Variable", graph.Attrs{"var_name": pre + "p"})
 
-	// Stage 1: q = A·p_full on the GPU; partial α denominator = p_w·q.
-	var q *graph.Node
-	g.WithDevice("/device:GPU:0", func() {
-		q = g.AddNamedOp("q", "MatVec", nil, aVar, pFull)
-	})
-	g.AddNamedOp("save_q", "Assign", graph.Attrs{"var_name": pre + "q"}, q)
-	pSlice := g.AddNamedOp("p_slice", "SliceRows",
-		graph.Attrs{"begin": begin, "size": rows}, pFull)
-	g.AddNamedOp("partial_pq", "Dot", nil, pSlice, q)
+		// Stage 1: allgather p, then q = A·p_full on the GPU; the α
+		// denominator p·q is a local dot allreduced over the ring. The
+		// collective keys ("p_full", "pq_sum") are node names, identical on
+		// every worker by construction.
+		pFull := g.AddNamedOp("p_full", "AllGather", graph.Attrs{"group": group, "key": "p_full"}, pVar)
+		var q *graph.Node
+		g.WithDevice("/device:GPU:0", func() {
+			q = g.AddNamedOp("q", "MatVec", nil, aVar, pFull)
+		})
+		g.AddNamedOp("save_q", "Assign", graph.Attrs{"var_name": pre + "q"}, q)
+		pSlice := g.AddNamedOp("p_slice", "SliceRows",
+			graph.Attrs{"begin": begin, "size": rows}, pFull)
+		partialPQ := g.AddNamedOp("partial_pq", "Dot", nil, pSlice, q)
+		g.AddNamedOp("pq_sum", "AllReduce", graph.Attrs{"group": group, "key": "pq_sum"}, partialPQ)
 
-	// Stage 2: x += α·p ; r -= α·q ; partial ‖r‖² = r·r.
-	qVar := g.AddNamedOp("q_read", "Variable", graph.Attrs{"var_name": pre + "q"})
-	xNew := g.AddNamedOp("x_new", "Axpy", nil, alphaPH, pVar, xVar)
-	g.AddNamedOp("save_x", "Assign", graph.Attrs{"var_name": pre + "x"}, xNew)
-	negAlpha := g.AddNamedOp("neg_alpha", "Neg", nil, alphaPH)
-	rNew := g.AddNamedOp("r_new", "Axpy", nil, negAlpha, qVar, rVar)
-	saveR := g.AddNamedOp("save_r", "Assign", graph.Attrs{"var_name": pre + "r"}, rNew)
-	prr := g.AddNamedOp("partial_rr", "Dot", nil, rNew, rNew)
-	prr.AddControlDep(saveR)
+		// Stage 2: x += α·p ; r -= α·q ; ‖r‖² allreduced.
+		qVar := g.AddNamedOp("q_read", "Variable", graph.Attrs{"var_name": pre + "q"})
+		xNew := g.AddNamedOp("x_new", "Axpy", nil, alphaPH, pVar, xVar)
+		g.AddNamedOp("save_x", "Assign", graph.Attrs{"var_name": pre + "x"}, xNew)
+		negAlpha := g.AddNamedOp("neg_alpha", "Neg", nil, alphaPH)
+		rNew := g.AddNamedOp("r_new", "Axpy", nil, negAlpha, qVar, rVar)
+		saveR := g.AddNamedOp("save_r", "Assign", graph.Attrs{"var_name": pre + "r"}, rNew)
+		prr := g.AddNamedOp("partial_rr", "Dot", nil, rNew, rNew)
+		prr.AddControlDep(saveR)
+		g.AddNamedOp("rr_sum", "AllReduce", graph.Attrs{"group": group, "key": "rr_sum"}, prr)
 
-	// Stage 3: p = r + β·p.
-	pNew := g.AddNamedOp("p_new", "Axpy", nil, betaPH, pVar, rVar)
-	g.AddNamedOp("save_p", "Assign", graph.Attrs{"var_name": pre + "p"}, pNew)
-
-	sess, err := session.New(g, res, session.Options{})
-	if err != nil {
-		return nil, err
+		// Stage 3: p = r + β·p.
+		pNew := g.AddNamedOp("p_new", "Axpy", nil, betaPH, pVar, rVar)
+		g.AddNamedOp("save_p", "Assign", graph.Attrs{"var_name": pre + "p"}, pNew)
 	}
-	return &workerState{sess: sess, begin: begin, rows: rows}, nil
+	if device != "" {
+		g.WithDevice(device, build)
+	} else {
+		build()
+	}
+	return g
+}
+
+// iterOut is one worker driver's outcome.
+type iterOut struct {
+	rr   float64
+	err  error
+	iter int
+}
+
+// driveWorker runs worker w's iteration loop against its session: per
+// iteration one Run per stage, with α and β computed from the allreduced
+// scalars exactly like every other worker (collectives return identical
+// bytes on all ranks, so the replicas never diverge). checkpointEach, when
+// non-nil, runs on EVERY worker at the end of each iteration — the
+// checkpoint path uses it to barrier all workers around the capture, since
+// the last per-iteration collective (rr_sum) does not order the stage-3
+// variable writes that follow it.
+func driveWorker(cfg Config, sess *session.Session, w, startIter int, rr float64,
+	checkpointEach func(iter int, rr float64) error) iterOut {
+	localRR := rr
+	out := iterOut{rr: rr, iter: startIter}
+	for iter := startIter; iter < cfg.MaxIters; iter++ {
+		fetched, err := sess.Run(nil, []string{"pq_sum"}, []string{"save_q"})
+		if err != nil {
+			return iterOut{err: err, iter: iter}
+		}
+		alpha := localRR / fetched[0].ScalarFloat()
+
+		fetched, err = sess.Run(map[string]*tensor.Tensor{
+			"alpha": tensor.ScalarF64(alpha),
+		}, []string{"rr_sum"}, []string{"save_x", "save_r"})
+		if err != nil {
+			return iterOut{err: err, iter: iter}
+		}
+		rrNew := fetched[0].ScalarFloat()
+		beta := rrNew / localRR
+		localRR = rrNew
+
+		if _, err := sess.Run(map[string]*tensor.Tensor{
+			"beta": tensor.ScalarF64(beta),
+		}, nil, []string{"save_p"}); err != nil {
+			return iterOut{err: err, iter: iter}
+		}
+		out = iterOut{rr: localRR, iter: iter + 1}
+
+		if checkpointEach != nil {
+			if err := checkpointEach(iter+1, localRR); err != nil {
+				return iterOut{err: err, iter: iter + 1}
+			}
+		}
+		if cfg.Tol > 0 && math.Sqrt(localRR) < cfg.Tol {
+			return out
+		}
+	}
+	return out
 }
 
 // RunReal solves A·x = b with the distributed data-driven CG formulation,
-// with real numerics on the host. A must be SPD.
+// with real numerics on the host: one driver goroutine per worker, ring
+// collectives over an in-process loopback fabric. A must be SPD.
 func RunReal(cfg Config, a, b *tensor.Tensor, opts RealOptions) (*RealResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -163,13 +172,20 @@ func RunReal(cfg Config, a, b *tensor.Tensor, opts RealOptions) (*RealResult, er
 	rows := cfg.RowsPerWorker()
 	res := session.NewResources()
 
-	workers := make([]*workerState, cfg.Workers)
-	for w := range workers {
-		ws, err := buildWorker(cfg, res, w)
+	// One ring membership per worker over a shared loopback fabric.
+	groups := collective.NewLoopbackGroups(cfg.Workers, collective.Options{})
+	for w, grp := range groups {
+		res.Colls.Register(collGroup(w), grp)
+	}
+	defer res.Colls.CloseAll()
+
+	sessions := make([]*session.Session, cfg.Workers)
+	for w := range sessions {
+		sess, err := session.New(buildWorker(cfg, w, collGroup(w), ""), res, session.Options{})
 		if err != nil {
 			return nil, err
 		}
-		workers[w] = ws
+		sessions[w] = sess
 	}
 
 	startIter := 0
@@ -193,7 +209,7 @@ func RunReal(cfg Config, a, b *tensor.Tensor, opts RealOptions) (*RealResult, er
 		rr = rrT.ScalarFloat()
 	} else {
 		// Initialise: x=0, r=b, p=r per block; A blocks loaded once.
-		for w := range workers {
+		for w := 0; w < cfg.Workers; w++ {
 			pre := fmt.Sprintf("w%d/", w)
 			blockRows := a.F64()[w*rows*cfg.N : (w+1)*rows*cfg.N]
 			block := tensor.FromF64(tensor.Shape{rows, cfg.N}, blockRows)
@@ -208,95 +224,49 @@ func RunReal(cfg Config, a, b *tensor.Tensor, opts RealOptions) (*RealResult, er
 		rr = gemm.Dot64(b.F64(), b.F64())
 	}
 
-	reducePQ := core.NewReducer(cfg.Workers, nil)
-	reduceRR := core.NewReducer(cfg.Workers, nil)
-	gather := newGatherService(cfg.Workers, rows, cfg.N)
-	defer reducePQ.Close()
-	defer reduceRR.Close()
-	defer gather.close()
-
-	type iterOut struct {
-		rr   float64
-		err  error
-		iter int
-	}
 	start := time.Now()
-	finalRR := rr
-	itersRun := startIter
-
-	// One driver goroutine per worker (the paper's per-task Python driver).
 	var wg sync.WaitGroup
 	results := make([]iterOut, cfg.Workers)
-	for w := range workers {
+	for w := range sessions {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			ws := workers[w]
-			pre := fmt.Sprintf("w%d/", w)
-			localRR := rr
-			for iter := startIter; iter < cfg.MaxIters; iter++ {
-				pLocal, err := res.Vars.Get(pre + "p").Read()
-				if err != nil {
-					results[w] = iterOut{err: err, iter: iter}
-					return
+			var ckpt func(int, float64) error
+			if opts.CheckpointPath != "" && opts.CheckpointEvery > 0 {
+				// Every worker enters a barrier pair around the capture: the
+				// first barrier orders all stage-3 variable writes before
+				// the snapshot, the second keeps the next iteration from
+				// mutating state until worker 0 finishes writing.
+				grp := groups[w]
+				ckpt = func(iter int, rr float64) error {
+					if iter%opts.CheckpointEvery != 0 {
+						return nil
+					}
+					if err := grp.Barrier("ckpt_enter"); err != nil {
+						return err
+					}
+					var saveErr error
+					if w == 0 {
+						saveErr = saveCheckpoint(cfg, res, opts.CheckpointPath, iter, rr)
+					}
+					if err := grp.Barrier("ckpt_exit"); err != nil {
+						return err
+					}
+					return saveErr
 				}
-				pFull, err := gather.gather(w, pLocal)
-				if err != nil {
-					results[w] = iterOut{err: err, iter: iter}
-					return
-				}
-				out, err := ws.sess.Run(map[string]*tensor.Tensor{"p_full": pFull},
-					[]string{"partial_pq"}, []string{"save_q"})
-				if err != nil {
-					results[w] = iterOut{err: err, iter: iter}
-					return
-				}
-				pq, err := reducePQ.Reduce(w, out[0])
-				if err != nil {
-					results[w] = iterOut{err: err, iter: iter}
-					return
-				}
-				alpha := localRR / pq.ScalarFloat()
-
-				out, err = ws.sess.Run(map[string]*tensor.Tensor{
-					"alpha": tensor.ScalarF64(alpha),
-				}, []string{"partial_rr"}, []string{"save_x", "save_r"})
-				if err != nil {
-					results[w] = iterOut{err: err, iter: iter}
-					return
-				}
-				rrNewT, err := reduceRR.Reduce(w, out[0])
-				if err != nil {
-					results[w] = iterOut{err: err, iter: iter}
-					return
-				}
-				rrNew := rrNewT.ScalarFloat()
-				beta := rrNew / localRR
-				localRR = rrNew
-
-				if _, err := ws.sess.Run(map[string]*tensor.Tensor{
-					"beta": tensor.ScalarF64(beta),
-				}, nil, []string{"save_p"}); err != nil {
-					results[w] = iterOut{err: err, iter: iter}
-					return
-				}
-				results[w] = iterOut{rr: localRR, iter: iter + 1}
-
-				// Checkpoint at the agreed cadence (worker 0 writes; all
-				// workers are at the same iteration boundary because every
-				// reduction is a barrier).
-				if w == 0 && opts.CheckpointPath != "" && opts.CheckpointEvery > 0 &&
-					(iter+1)%opts.CheckpointEvery == 0 {
-					saveCheckpoint(cfg, res, opts.CheckpointPath, iter+1, localRR)
-				}
-				if cfg.Tol > 0 && math.Sqrt(localRR) < cfg.Tol {
-					return
-				}
+			}
+			results[w] = driveWorker(cfg, sessions[w], w, startIter, rr, ckpt)
+			if results[w].err != nil {
+				// Poison this worker's ring membership so peers blocked in a
+				// collective cascade the failure instead of hanging.
+				groups[w].Close()
 			}
 		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start).Seconds()
+	finalRR := rr
+	itersRun := startIter
 	for _, r := range results {
 		if r.err != nil {
 			return nil, r.err

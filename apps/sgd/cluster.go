@@ -1,0 +1,86 @@
+package sgd
+
+import (
+	"fmt"
+	"time"
+
+	"tfhpc/internal/cluster"
+	"tfhpc/internal/graph"
+	"tfhpc/internal/session"
+	"tfhpc/internal/tensor"
+)
+
+// ClusterOptions tune a distributed run over running task servers.
+type ClusterOptions struct {
+	// Job is the worker job name in the cluster spec (default "worker").
+	Job string
+	// HealthWait bounds how long to wait for the tasks to come up (default
+	// 10s).
+	HealthWait time.Duration
+	// ChunkBytes is the ring pipelining granularity (0 = engine default).
+	ChunkBytes int
+}
+
+// RunCluster trains over an already-running cluster: replica w's graph runs
+// on /job:<job>/task:<w> and the per-step gradient allreduce rings over TCP
+// directly between the task servers — the paper's Horovod deployment shape.
+func RunCluster(cfg Config, peers *cluster.Peers, opts ClusterOptions) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	job := opts.Job
+	if job == "" {
+		job = "worker"
+	}
+	// The ring spans every task of the job, so the replica count must match
+	// exactly: a partial set of drivers would leave un-driven ranks blocking
+	// the collectives until the receive timeout.
+	if got := peers.Spec().NumTasks(job); got != cfg.Workers {
+		return nil, fmt.Errorf("sgd: %d workers requested but job %q has %d tasks (counts must match)", cfg.Workers, job, got)
+	}
+	wait := opts.HealthWait
+	if wait <= 0 {
+		wait = 10 * time.Second
+	}
+	if err := peers.WaitHealthy(job, wait); err != nil {
+		return nil, err
+	}
+	const group = "sgd"
+	if err := peers.InitCollective(job, group, cluster.CollectiveOptions{ChunkBytes: opts.ChunkBytes}); err != nil {
+		return nil, err
+	}
+
+	sessions := make([]*session.Session, cfg.Workers)
+	for w := range sessions {
+		g := buildWorker(cfg, w, group, fmt.Sprintf("/job:%s/task:%d", job, w))
+		sess, err := session.New(g, nil, session.Options{LocalJob: "client", Remote: peers})
+		if err != nil {
+			return nil, err
+		}
+		sessions[w] = sess
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		pre := fmt.Sprintf("w%d/", w)
+		dev := graph.DeviceSpec{Job: job, Task: w}
+		x, xt, y, w0 := shardTensors(cfg, w)
+		for _, init := range []struct {
+			name string
+			val  *tensor.Tensor
+		}{{pre + "X", x}, {pre + "Xt", xt}, {pre + "y", y}, {pre + "w", w0}} {
+			if _, err := peers.RunRemoteOp(dev, "Assign", "init/"+init.name,
+				graph.Attrs{"var_name": init.name}, []string{"value"},
+				[]*tensor.Tensor{init.val}); err != nil {
+				return nil, fmt.Errorf("sgd: init %s: %w", init.name, err)
+			}
+		}
+	}
+
+	return runReplicas(cfg, sessions,
+		// Poison the ring on the servers so the other ranks cascade the
+		// failure instead of blocking until the receive timeout.
+		func(int) { peers.AbortCollective(job, group) },
+		func(w int) (*tensor.Tensor, error) {
+			return peers.RunRemoteOp(graph.DeviceSpec{Job: job, Task: w},
+				"Variable", "read/w", graph.Attrs{"var_name": fmt.Sprintf("w%d/w", w)}, nil, nil)
+		})
+}

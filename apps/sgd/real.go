@@ -1,0 +1,142 @@
+package sgd
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tfhpc/internal/collective"
+	"tfhpc/internal/gemm"
+	"tfhpc/internal/session"
+	"tfhpc/internal/tensor"
+)
+
+// collGroup names worker w's ring membership in the shared in-process store.
+func collGroup(w int) string { return fmt.Sprintf("sgd/w%d", w) }
+
+// shardTensors materialises worker w's variables: the shard, its transpose
+// (packed once, so the gradient matvec streams rows), labels, and w = 0.
+func shardTensors(cfg Config, w int) (x, xt, y, w0 *tensor.Tensor) {
+	x, y = Shard(cfg, w)
+	m, d := cfg.RowsPerWorker, cfg.Features
+	xtv := make([]float64, d*m)
+	gemm.Transpose64(m, d, x.F64(), xtv)
+	xt = tensor.FromF64(tensor.Shape{d, m}, xtv)
+	w0 = tensor.New(tensor.Float64, d)
+	return
+}
+
+// driveWorker runs one replica's training loop: per step one session Run
+// fetching the allreduced loss and applying the identical weight update.
+func driveWorker(cfg Config, sess *session.Session) (first, last float64, err error) {
+	lr := tensor.ScalarF64(cfg.LR)
+	for step := 0; step < cfg.Steps; step++ {
+		out, err := sess.Run(map[string]*tensor.Tensor{"lr": lr},
+			[]string{"loss"}, []string{"save_w"})
+		if err != nil {
+			return 0, 0, err
+		}
+		loss := out[0].ScalarFloat()
+		if step == 0 {
+			first = loss
+		}
+		last = loss
+	}
+	return first, last, nil
+}
+
+// RunReal trains in-process: one session and driver goroutine per replica,
+// gradients allreduced over a loopback ring fabric.
+func RunReal(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := session.NewResources()
+	groups := collective.NewLoopbackGroups(cfg.Workers, collective.Options{})
+	for w, grp := range groups {
+		res.Colls.Register(collGroup(w), grp)
+	}
+	defer res.Colls.CloseAll()
+
+	sessions := make([]*session.Session, cfg.Workers)
+	for w := range sessions {
+		sess, err := session.New(buildWorker(cfg, w, collGroup(w), ""), res, session.Options{})
+		if err != nil {
+			return nil, err
+		}
+		sessions[w] = sess
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		pre := fmt.Sprintf("w%d/", w)
+		x, xt, y, w0 := shardTensors(cfg, w)
+		res.Vars.Get(pre + "X").Assign(x)
+		res.Vars.Get(pre + "Xt").Assign(xt)
+		res.Vars.Get(pre + "y").Assign(y)
+		res.Vars.Get(pre + "w").Assign(w0)
+	}
+
+	return runReplicas(cfg, sessions,
+		func(w int) { groups[w].Close() }, // cascade failure to blocked peers
+		func(w int) (*tensor.Tensor, error) {
+			return res.Vars.Get(fmt.Sprintf("w%d/w", w)).Read()
+		})
+}
+
+// runReplicas fans the per-replica training loops out, aggregates their
+// outcomes (invoking abort on the first failure so peers blocked in a
+// collective cascade instead of hanging), reads every replica's final
+// weights back and assembles the Result — including the synchronous
+// allreduce invariant that all replicas ended bit-for-bit equal.
+func runReplicas(cfg Config, sessions []*session.Session,
+	abort func(w int), readWeights func(w int) (*tensor.Tensor, error)) (*Result, error) {
+	type out struct {
+		first, last float64
+		err         error
+	}
+	start := time.Now()
+	outs := make([]out, cfg.Workers)
+	var wg sync.WaitGroup
+	for w := range sessions {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			first, last, err := driveWorker(cfg, sessions[w])
+			outs[w] = out{first, last, err}
+			if err != nil {
+				abort(w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	for _, o := range outs {
+		if o.err != nil {
+			return nil, o.err
+		}
+	}
+
+	weights := make([]*tensor.Tensor, cfg.Workers)
+	for w := range weights {
+		wt, err := readWeights(w)
+		if err != nil {
+			return nil, err
+		}
+		weights[w] = wt
+	}
+	equal := true
+	for w := 1; w < cfg.Workers; w++ {
+		if !weights[w].Equal(weights[0]) {
+			equal = false
+		}
+	}
+	return &Result{
+		InitialLoss:   outs[0].first,
+		FinalLoss:     outs[0].last,
+		WeightErr:     relWeightErr(weights[0], TrueWeights(cfg)),
+		Steps:         cfg.Steps,
+		Seconds:       elapsed,
+		StepSeconds:   elapsed / float64(cfg.Steps),
+		GradBytes:     int64(cfg.Features) * 8,
+		ReplicasEqual: equal,
+	}, nil
+}

@@ -1,0 +1,157 @@
+// Package sgd is the paper's Horovod scenario as a workload: data-parallel
+// synchronous SGD on a synthetic linear model. Every worker owns a shard of
+// the data and a full replica of the weights; each step computes a local
+// gradient, allreduces it over the ring collectives (the decentralised
+// alternative to a parameter server), and applies the identical averaged
+// update — so replicas stay bit-for-bit equal without ever being exchanged.
+package sgd
+
+import (
+	"fmt"
+	"math"
+
+	"tfhpc/internal/graph"
+	"tfhpc/internal/tensor"
+)
+
+// Config describes one training setup.
+type Config struct {
+	Features      int // model dimension d
+	RowsPerWorker int // samples per shard
+	Workers       int // data-parallel replicas
+	Steps         int // full-batch gradient steps
+	LR            float64
+	Seed          uint64
+	// Noise is the observation-noise amplitude of the synthetic labels.
+	Noise float64
+}
+
+// Validate checks the setup.
+func (c Config) Validate() error {
+	if c.Features <= 0 || c.RowsPerWorker <= 0 || c.Workers <= 0 {
+		return fmt.Errorf("sgd: need positive features, rows and workers")
+	}
+	if c.Steps <= 0 {
+		return fmt.Errorf("sgd: need a positive step count")
+	}
+	if c.LR <= 0 {
+		return fmt.Errorf("sgd: need a positive learning rate")
+	}
+	return nil
+}
+
+// TotalRows is the full dataset size across shards.
+func (c Config) TotalRows() int { return c.Workers * c.RowsPerWorker }
+
+// TrueWeights returns the generating model w* (deterministic in the seed).
+func TrueWeights(cfg Config) *tensor.Tensor {
+	r := tensor.NewRNG(cfg.Seed*2 + 1)
+	w := make([]float64, cfg.Features)
+	for i := range w {
+		w[i] = r.Float64()*2 - 1
+	}
+	return tensor.FromF64(tensor.Shape{cfg.Features}, w)
+}
+
+// Shard generates worker w's data: X uniform in [-1,1), y = X·w* + noise.
+func Shard(cfg Config, w int) (x, y *tensor.Tensor) {
+	wStar := TrueWeights(cfg).F64()
+	r := tensor.NewRNG(cfg.Seed + uint64(w)*7919 + 17)
+	m, d := cfg.RowsPerWorker, cfg.Features
+	xv := make([]float64, m*d)
+	yv := make([]float64, m)
+	for i := 0; i < m; i++ {
+		dot := 0.0
+		for j := 0; j < d; j++ {
+			v := r.Float64()*2 - 1
+			xv[i*d+j] = v
+			dot += v * wStar[j]
+		}
+		yv[i] = dot + cfg.Noise*r.NormFloat64()
+	}
+	return tensor.FromF64(tensor.Shape{m, d}, xv),
+		tensor.FromF64(tensor.Shape{m}, yv)
+}
+
+// buildWorker constructs worker w's training graph. Per step:
+//
+//	resid  = X·w − y                     (local)
+//	g_sum  = allreduce( Xᵀ·resid )       (ring, the Horovod step)
+//	loss   = allreduce( resid·resid )/M  (ring, ordered after g_sum)
+//	w     −= lr · (2/M) · g_sum          (identical on every replica)
+//
+// The two allreduces share the group, so a control edge fixes their issue
+// order — the executor would otherwise race them and ranks could disagree.
+// group names the collective membership; device places the nodes (cluster).
+func buildWorker(cfg Config, w int, group, device string) *graph.Graph {
+	pre := fmt.Sprintf("w%d/", w)
+	g := graph.New()
+	build := func() {
+		lrPH := g.Placeholder("lr", tensor.Float64, nil)
+		xVar := g.AddNamedOp("X", "Variable", graph.Attrs{"var_name": pre + "X"})
+		xtVar := g.AddNamedOp("Xt", "Variable", graph.Attrs{"var_name": pre + "Xt"})
+		yVar := g.AddNamedOp("y", "Variable", graph.Attrs{"var_name": pre + "y"})
+		wVar := g.AddNamedOp("w", "Variable", graph.Attrs{"var_name": pre + "w"})
+
+		var pred *graph.Node
+		g.WithDevice("/device:GPU:0", func() {
+			pred = g.AddNamedOp("pred", "MatVec", nil, xVar, wVar)
+		})
+		resid := g.AddNamedOp("resid", "Sub", nil, pred, yVar)
+		var gLocal *graph.Node
+		g.WithDevice("/device:GPU:0", func() {
+			gLocal = g.AddNamedOp("g_local", "MatVec", nil, xtVar, resid)
+		})
+		gSum := g.AddNamedOp("g_sum", "AllReduce", graph.Attrs{"group": group, "key": "g_sum"}, gLocal)
+
+		partialLoss := g.AddNamedOp("partial_loss", "Dot", nil, resid, resid)
+		lossSum := g.AddNamedOp("loss_sum", "AllReduce",
+			graph.Attrs{"group": group, "key": "loss_sum"}, partialLoss)
+		lossSum.AddControlDep(gSum)
+		invM := g.Const(tensor.ScalarF64(1.0 / float64(cfg.TotalRows())))
+		g.AddNamedOp("loss", "Scale", nil, invM, lossSum)
+
+		gradScale := g.Const(tensor.ScalarF64(2.0 / float64(cfg.TotalRows())))
+		gAvg := g.AddNamedOp("g_avg", "Scale", nil, gradScale, gSum)
+		negLR := g.AddNamedOp("neg_lr", "Neg", nil, lrPH)
+		wNew := g.AddNamedOp("w_new", "Axpy", nil, negLR, gAvg, wVar)
+		g.AddNamedOp("save_w", "Assign", graph.Attrs{"var_name": pre + "w"}, wNew)
+	}
+	if device != "" {
+		g.WithDevice(device, build)
+	} else {
+		build()
+	}
+	return g
+}
+
+// Result is the outcome of a training run.
+type Result struct {
+	InitialLoss float64 // mean squared error before the first update
+	FinalLoss   float64 // MSE before the last update
+	WeightErr   float64 // ‖w − w*‖ / ‖w*‖ after training
+	Steps       int
+	Seconds     float64
+	// StepSeconds is the mean wall time per step.
+	StepSeconds float64
+	// GradBytes is the per-step allreduce payload per worker.
+	GradBytes int64
+	// ReplicasEqual reports whether every worker ended with bit-identical
+	// weights — the invariant synchronous allreduce SGD must preserve.
+	ReplicasEqual bool
+}
+
+// relWeightErr is ‖w − w*‖/‖w*‖.
+func relWeightErr(w, wStar *tensor.Tensor) float64 {
+	num, den := 0.0, 0.0
+	a, b := w.F64(), wStar.F64()
+	for i := range a {
+		d := a[i] - b[i]
+		num += d * d
+		den += b[i] * b[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return math.Sqrt(num / den)
+}

@@ -1,0 +1,86 @@
+package sgd
+
+import (
+	"fmt"
+
+	"tfhpc/internal/core"
+	"tfhpc/internal/hw"
+	"tfhpc/internal/simnet"
+)
+
+// SimConfig describes one data-parallel deployment on the virtual platform.
+type SimConfig struct {
+	Cluster  *hw.Cluster
+	NodeType *hw.NodeType
+	Protocol simnet.Protocol
+	Config
+}
+
+// SimResult is the virtual-time outcome of one training deployment.
+type SimResult struct {
+	StepSeconds    float64 // one synchronous step, end to end
+	ComputeSeconds float64 // per-step on-GPU share
+	RingSeconds    float64 // ring allreduce of the gradient
+	NaiveSeconds   float64 // gather-to-root + broadcast baseline
+	RingSpeedup    float64 // NaiveSeconds / RingSeconds
+	Seconds        float64 // whole run
+	Gflops         float64
+}
+
+// RunSim evaluates the per-step cost model:
+//
+//	compute   = 2 matvecs on the shard + 3 vector ops       (per GPU)
+//	ring      = 2(p−1) pipelined hops of d/p gradient bytes
+//	naive     = 2(p−1) serial transfers of the full gradient
+//	           through the root — the parameter-server shape
+//
+// The comparison is the paper's Section VIII argument in numbers: the ring
+// keeps per-step communication constant as p grows, while the central
+// reduction's wall time scales with p.
+func RunSim(sc SimConfig) (*SimResult, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if sc.Cluster == nil || sc.NodeType == nil {
+		return nil, fmt.Errorf("sgd: sim needs a cluster and node type")
+	}
+	gpu := sc.NodeType.GPU
+	m, d, p := sc.RowsPerWorker, sc.Features, sc.Workers
+
+	compute := gpu.MatVecTime(m, d, true) + gpu.MatVecTime(d, m, true) +
+		3*gpu.VectorOpTime(int64(maxInt(m, d))*8)
+
+	segBytes := int64((d+p-1)/p) * 8
+	hop := simnet.TransferTime(sc.Cluster, sc.NodeType, sc.Protocol, simnet.OnGPU, simnet.OnGPU, segBytes)
+	ring := float64(2*(p-1)) * hop
+	full := simnet.TransferTime(sc.Cluster, sc.NodeType, sc.Protocol, simnet.OnGPU, simnet.OnGPU, int64(d)*8)
+	naive := float64(2*(p-1)) * full
+	if p == 1 {
+		ring, naive = 0, 0
+	}
+
+	step := compute + ring
+	total := float64(sc.Steps) * step
+	// Two matvecs (2·2·m·d flops) per worker per step.
+	flops := float64(sc.Steps) * 4 * float64(m) * float64(d) * float64(p)
+	speedup := 1.0
+	if ring > 0 {
+		speedup = naive / ring
+	}
+	return &SimResult{
+		StepSeconds:    step,
+		ComputeSeconds: compute,
+		RingSeconds:    ring,
+		NaiveSeconds:   naive,
+		RingSpeedup:    speedup,
+		Seconds:        total,
+		Gflops:         core.Gflops(flops, total),
+	}, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,54 +1,51 @@
 // tfbench regenerates the paper's evaluation tables and figures on the
-// virtual platform.
+// virtual platform and runs the real-mode engine sweeps on this host.
 //
 // Usage:
 //
-//	tfbench                 # everything, in paper order
-//	tfbench -exp fig8       # one experiment: table1 fig7 fig8 fig9 fig10 fig11
-//	tfbench -exp gemm       # real-mode GEMM engine sweep on this host
-//	tfbench -exp fft        # real-mode FFT engine sweep on this host
+//	tfbench                                   # everything: figures + host sweeps
+//	tfbench -exp figures                      # the paper tables/figures only
+//	tfbench -exp fig8                         # one experiment
+//	tfbench -exp gemm,fft,collective          # several, in order
+//	tfbench -exp collective -json out.json    # also write machine-readable results
+//
+// Experiments: table1 fig7 fig8 fig9 fig10 fig11 gemm fft collective.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"tfhpc/internal/bench"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all|table1|fig7|fig8|fig9|fig10|fig11|gemm|fft")
+	exp := flag.String("exp", "all", "comma-separated experiments: all|figures|table1|fig7|fig8|fig9|fig10|fig11|gemm|fft|collective")
+	jsonPath := flag.String("json", "", "also write a machine-readable report (tfhpc-bench/v1) to this path")
 	flag.Parse()
 
-	var out string
-	var err error
-	switch *exp {
-	case "all":
-		out, err = bench.All()
-	case "table1":
-		out = bench.TableI()
-	case "fig7":
-		out, err = bench.Fig7()
-	case "fig8":
-		out, err = bench.Fig8()
-	case "fig9":
-		out = bench.Fig9()
-	case "fig10":
-		out, err = bench.Fig10()
-	case "fig11":
-		out, err = bench.Fig11()
-	case "gemm":
-		out = bench.Gemm()
-	case "fft":
-		out = bench.Fft()
-	default:
-		fmt.Fprintf(os.Stderr, "tfbench: unknown experiment %q\n", *exp)
-		os.Exit(2)
+	exps := strings.Split(*exp, ",")
+	for i := range exps {
+		exps[i] = strings.TrimSpace(exps[i])
 	}
+	report, text, err := bench.Run(exps)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tfbench: %v\n", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
-	fmt.Print(out)
+	fmt.Print(text)
+	if *jsonPath != "" {
+		data, err := report.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tfbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "tfbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "tfbench: wrote %s\n", *jsonPath)
+	}
 }

@@ -1,23 +1,30 @@
 // tfcg runs the distributed Conjugate Gradient solver.
 //
-// Real mode solves a random SPD system through the queue-reduction
-// formulation, optionally checkpointing and resuming, and can emit a
-// TensorFlow-Timeline-style trace; sim mode evaluates a paper-scale
-// configuration on the virtual platform.
+// Real mode solves a random SPD system in-process through the ring-collective
+// formulation, optionally checkpointing and resuming; cluster mode drives the
+// same solve over running tfserver tasks (collectives ring over TCP between
+// the tasks); sim mode evaluates a paper-scale configuration on the virtual
+// platform.
+//
+//	tfcg -mode real -n 1024 -workers 4
+//	tfcg -mode cluster -spec 127.0.0.1:7000,127.0.0.1:7001 -workers 2
+//	tfcg -mode sim -cluster kebnekaise -node v100
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"tfhpc/apps/cg"
+	"tfhpc/internal/cluster"
 	"tfhpc/internal/hw"
 	"tfhpc/internal/tensor"
 )
 
 func main() {
-	mode := flag.String("mode", "real", "real|sim")
+	mode := flag.String("mode", "real", "real|cluster|sim")
 	n := flag.Int("n", 512, "matrix dimension")
 	workers := flag.Int("workers", 4, "worker count (GPUs)")
 	iters := flag.Int("iters", 500, "max iterations")
@@ -25,6 +32,8 @@ func main() {
 	ckpt := flag.String("checkpoint", "", "checkpoint file path")
 	every := flag.Int("checkpoint-every", 0, "checkpoint cadence in iterations")
 	resume := flag.Bool("resume", false, "resume from the checkpoint file")
+	spec := flag.String("spec", "", "cluster: comma-separated worker addresses host:port,...")
+	job := flag.String("job", "worker", "cluster: worker job name")
 	clusterName := flag.String("cluster", "kebnekaise", "sim: tegner|kebnekaise")
 	node := flag.String("node", "v100", "sim: node type")
 	flag.Parse()
@@ -42,8 +51,24 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("cg real: N=%d workers=%d: converged to ‖r‖=%.3g in %d iterations, %.3fs, %.2f Gflop/s\n",
-			*n, *workers, res.ResidualNorm, res.Iters, res.Seconds, res.Gflops)
+		report("real", *n, *workers, res)
+		checkTol(res, *tol)
+	case "cluster":
+		if *spec == "" {
+			fatal(fmt.Errorf("cluster mode needs -spec host:port,host:port,..."))
+		}
+		addrs := strings.Split(*spec, ",")
+		peers := cluster.NewPeers(cluster.Spec{*job: addrs})
+		defer peers.Close()
+		cfg := cg.Config{N: *n, Workers: *workers, MaxIters: *iters, Tol: *tol}
+		a := cg.SPDMatrix(*n, 42)
+		b := tensor.RandomUniform(tensor.Float64, 43, *n)
+		res, err := cg.RunCluster(cfg, a, b, peers, cg.ClusterOptions{Job: *job})
+		if err != nil {
+			fatal(err)
+		}
+		report("cluster", *n, *workers, res)
+		checkTol(res, *tol)
 	case "sim":
 		c, nt, err := hw.NodeTypeByName(*clusterName, *node)
 		if err != nil {
@@ -57,6 +82,19 @@ func main() {
 			nt.Name, *n, *workers, *iters, res.Seconds, 1e3*res.PerIter, res.Gflops)
 	default:
 		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+}
+
+func report(mode string, n, workers int, res *cg.RealResult) {
+	fmt.Printf("cg %s: N=%d workers=%d: converged to ‖r‖=%.3g in %d iterations, %.3fs, %.2f Gflop/s\n",
+		mode, n, workers, res.ResidualNorm, res.Iters, res.Seconds, res.Gflops)
+}
+
+// checkTol turns a missed tolerance into a nonzero exit — the contract the
+// CI smoke job relies on.
+func checkTol(res *cg.RealResult, tol float64) {
+	if tol > 0 && res.ResidualNorm > tol {
+		fatal(fmt.Errorf("residual %.3g above tolerance %.3g", res.ResidualNorm, tol))
 	}
 }
 

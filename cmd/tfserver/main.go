@@ -1,8 +1,13 @@
 // tfserver runs one standalone task server — the tf.train.Server analogue.
-// Point workers at it with a ClusterSpec; it hosts variables and queues and
-// executes ops sent over the wire.
+// Point workers at it with a ClusterSpec; it hosts variables, queues and
+// collective-group memberships, and executes ops sent over the wire.
 //
 //	tfserver -job ps -task 0 -listen 127.0.0.1:8888
+//
+// When the listen address is not the address peers should dial (binding
+// 0.0.0.0, NAT, or a port-forwarded container), -advertise names the
+// external address; it is what the server reports and what cluster specs
+// should carry.
 package main
 
 import (
@@ -19,6 +24,7 @@ func main() {
 	job := flag.String("job", "ps", "job name this task belongs to")
 	task := flag.Int("task", 0, "task index within the job")
 	listen := flag.String("listen", "127.0.0.1:8888", "listen address")
+	advertise := flag.String("advertise", "", "address peers should dial (default: the bound listen address)")
 	flag.Parse()
 
 	srv := cluster.NewServer(*job, *task)
@@ -27,7 +33,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "tfserver: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("tfserver: /job:%s/task:%d serving on %s\n", *job, *task, addr)
+	srv.SetAdvertise(*advertise)
+	fmt.Printf("tfserver: /job:%s/task:%d serving on %s (advertised %s)\n", *job, *task, addr, srv.Addr())
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

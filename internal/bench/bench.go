@@ -157,15 +157,19 @@ func Fig11() (string, error) {
 	return sb.String(), nil
 }
 
-// Gemm benchmarks the real GEMM engine on this host — not the virtual
+// GemmRow is one measured GEMM size.
+type GemmRow struct {
+	N         int     `json:"n"`
+	F32Gflops float64 `json:"f32_gflops"`
+	F64Gflops float64 `json:"f64_gflops"`
+}
+
+// GemmRows benchmarks the real GEMM engine on this host — not the virtual
 // platform: single node, real numerics, parallelism bounded by the current
 // GOMAXPROCS. This is the kernel the MatMul op, the tiled-matmul pipeline
 // and the CG solver all bottom out in.
-func Gemm() string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "GEMM engine on this host (micro-kernel %s, %d workers) [Gflop/s]\n",
-		gemm.KernelName(), gemm.Workers())
-	sb.WriteString(fmt.Sprintf("%-8s %10s %10s\n", "size", "float32", "float64"))
+func GemmRows() []GemmRow {
+	var rows []GemmRow
 	for _, n := range []int{256, 512, 1024} {
 		a32 := make([]float32, n*n)
 		b32 := make([]float32, n*n)
@@ -183,22 +187,46 @@ func Gemm() string {
 		f64 := timeGemm(n, func() {
 			gemm.Gemm64(false, false, n, n, n, a64, n, b64, n, c64, n)
 		})
-		sb.WriteString(fmt.Sprintf("%-8d %10.1f %10.1f\n", n, f32, f64))
+		rows = append(rows, GemmRow{N: n, F32Gflops: f32, F64Gflops: f64})
+	}
+	return rows
+}
+
+// Gemm renders the GEMM engine sweep.
+func Gemm() string { return renderGemm(GemmRows()) }
+
+func renderGemm(rows []GemmRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "GEMM engine on this host (micro-kernel %s, %d workers) [Gflop/s]\n",
+		gemm.KernelName(), gemm.Workers())
+	sb.WriteString(fmt.Sprintf("%-8s %10s %10s\n", "size", "float32", "float64"))
+	for _, r := range rows {
+		sb.WriteString(fmt.Sprintf("%-8d %10.1f %10.1f\n", r.N, r.F32Gflops, r.F64Gflops))
 	}
 	return sb.String()
 }
 
-// Fft benchmarks the real FFT engine in internal/fft on this host — not
+// FftRow is one measured 1-D FFT size.
+type FftRow struct {
+	LogN       int     `json:"log_n"`
+	C128Gflops float64 `json:"c128_gflops"`
+	RfftGflops float64 `json:"rfft_gflops"`
+}
+
+// FftResult is the FFT engine sweep: 1-D sizes plus the 1024² 2-D transform.
+type FftResult struct {
+	Rows        []FftRow `json:"rows"`
+	Fft2DGflops float64  `json:"fft2d_gflops"`
+}
+
+// FftRows benchmarks the real FFT engine in internal/fft on this host — not
 // the virtual platform: single node, real numerics, parallelism bounded by
 // the current GOMAXPROCS. Each timed rep is a forward+inverse pair, so the
 // data stays bounded; throughput uses the paper's 5·n·log₂(n) flop
 // convention per transform (rfft counted as half, since it runs an
 // n/2-point complex transform plus an O(n) unpack).
-func Fft() string {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "FFT engine on this host (cached plans, radix-4/8 + four-step, %d workers) [Gflop/s]\n",
-		gemm.Workers())
-	sb.WriteString(fmt.Sprintf("%-8s %12s %12s\n", "size", "complex128", "rfft"))
+func FftRows() FftResult {
+	var out FftResult
 	for _, logn := range []int{16, 18, 20} {
 		n := 1 << logn
 		a := make([]complex128, n)
@@ -229,14 +257,14 @@ func Fft() string {
 				panic(err)
 			}
 		})
-		sb.WriteString(fmt.Sprintf("2^%-6d %12.2f %12.2f\n", logn, c128, rfft))
+		out.Rows = append(out.Rows, FftRow{LogN: logn, C128Gflops: c128, RfftGflops: rfft})
 	}
 	const m = 1024
 	b2 := make([]complex128, m*m)
 	for i := range b2 {
 		b2[i] = complex(float64(i%251)*0.013, 0)
 	}
-	g2 := timeFlops(2*2*float64(m)*core.FFTFlops(m), func() {
+	out.Fft2DGflops = timeFlops(2*2*float64(m)*core.FFTFlops(m), func() {
 		if err := fft.FFT2D(b2, m, m, false); err != nil {
 			panic(err)
 		}
@@ -244,7 +272,21 @@ func Fft() string {
 			panic(err)
 		}
 	})
-	sb.WriteString(fmt.Sprintf("2-D %dx%d: %.2f Gflop/s\n", m, m, g2))
+	return out
+}
+
+// Fft renders the FFT engine sweep.
+func Fft() string { return renderFft(FftRows()) }
+
+func renderFft(res FftResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "FFT engine on this host (cached plans, radix-4/8 + four-step, %d workers) [Gflop/s]\n",
+		gemm.Workers())
+	sb.WriteString(fmt.Sprintf("%-8s %12s %12s\n", "size", "complex128", "rfft"))
+	for _, r := range res.Rows {
+		sb.WriteString(fmt.Sprintf("2^%-6d %12.2f %12.2f\n", r.LogN, r.C128Gflops, r.RfftGflops))
+	}
+	sb.WriteString(fmt.Sprintf("2-D 1024x1024: %.2f Gflop/s\n", res.Fft2DGflops))
 	return sb.String()
 }
 
@@ -292,28 +334,6 @@ func fillSeq64(s []float64) {
 	for i := range s {
 		s[i] = float64(i%251) * 0.013
 	}
-}
-
-// All renders every experiment in paper order.
-func All() (string, error) {
-	var sb strings.Builder
-	sb.WriteString(TableI() + "\n")
-	for _, fn := range []func() (string, error){Fig7, Fig8} {
-		s, err := fn()
-		if err != nil {
-			return "", err
-		}
-		sb.WriteString(s + "\n")
-	}
-	sb.WriteString(Fig9() + "\n")
-	for _, fn := range []func() (string, error){Fig10, Fig11} {
-		s, err := fn()
-		if err != nil {
-			return "", err
-		}
-		sb.WriteString(s + "\n")
-	}
-	return sb.String(), nil
 }
 
 func sizeLabel(n int) string {

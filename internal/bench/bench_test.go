@@ -99,14 +99,14 @@ func TestGemmReportRendersAllSizes(t *testing.T) {
 	}
 }
 
-func TestAllStitchesEverything(t *testing.T) {
-	out, err := All()
+func TestFiguresStitchEverything(t *testing.T) {
+	_, out, err := Run([]string{"figures"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, want := range []string{"Table I", "Fig. 7", "Fig. 8", "Fig. 9", "Fig. 10", "Fig. 11"} {
 		if !strings.Contains(out, want) {
-			t.Errorf("All() missing %q", want)
+			t.Errorf("figures output missing %q", want)
 		}
 	}
 }

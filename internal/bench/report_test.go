@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestRunReportCheapExperiments exercises the report builder on the
+// zero-timing experiments and checks the JSON round-trips.
+func TestRunReportCheapExperiments(t *testing.T) {
+	rep, text, err := Run([]string{"table1", "fig9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text == "" {
+		t.Fatal("no rendered text")
+	}
+	if rep.Schema != "tfhpc-bench/v1" {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if len(rep.Figures) != 2 {
+		t.Fatalf("figures = %d, want 2", len(rep.Figures))
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.GoVersion == "" || back.GoMaxProcs <= 0 {
+		t.Fatalf("host fields missing: %+v", back)
+	}
+}
+
+func TestRunRejectsUnknownExperiment(t *testing.T) {
+	if _, _, err := Run([]string{"fig99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestCollectiveBenchSmall verifies the allreduce comparison machinery on a
+// scaled-down case (full sweeps run in tfbench, not the test suite).
+func TestCollectiveBenchSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	rows, err := CollectiveRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	ringWins := 0
+	for _, r := range rows {
+		if r.RingSeconds <= 0 || r.NaiveSeconds <= 0 {
+			t.Fatalf("non-positive timing: %+v", r)
+		}
+		if r.Tasks >= 4 && r.Fabric != "host" && r.Speedup > 1 {
+			ringWins++
+		}
+	}
+	// On the modelled fabrics the ring must beat gather-to-root regardless
+	// of host core count; the raw host rows additionally need real cores.
+	if ringWins == 0 {
+		t.Fatal("ring allreduce never beat the gather-to-root baseline on a modelled fabric")
+	}
+}

@@ -10,7 +10,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
+	"tfhpc/internal/collective"
 	"tfhpc/internal/graph"
 	"tfhpc/internal/ops"
 	"tfhpc/internal/rpc"
@@ -64,21 +66,28 @@ func (s Spec) String() string {
 
 // Server is one TensorFlow-server analogue: a task that owns local
 // resources and executes ops on request. Create with NewServer, then Start.
+// Every server also hosts a collective Hub, so tasks can run ring
+// collectives among themselves once a client (or peer) calls CollInit.
 type Server struct {
 	Job  string
 	Task int
 	Res  *session.Resources
+	Hub  *collective.Hub
 
-	srv  *rpc.Server
-	addr string
-	mu   sync.Mutex
+	srv       *rpc.Server
+	addr      string
+	advertise string
+	mu        sync.Mutex
 }
 
 // NewServer creates a task server with fresh resources.
 func NewServer(job string, task int) *Server {
-	s := &Server{Job: job, Task: task, Res: session.NewResources()}
+	s := &Server{Job: job, Task: task, Res: session.NewResources(), Hub: collective.NewHub()}
 	s.srv = rpc.NewServer()
 	s.srv.Handle("RunOp", s.handleRunOp)
+	s.srv.Handle("CollSend", s.Hub.HandleSend)
+	s.srv.Handle("CollInit", s.handleCollInit)
+	s.srv.Handle("CollClose", s.handleCollClose)
 	s.srv.Handle("Health", func([]byte) ([]byte, error) { return []byte("ok"), nil })
 	return s
 }
@@ -96,15 +105,150 @@ func (s *Server) Start(addr string) (string, error) {
 	return bound, nil
 }
 
-// Addr returns the bound address (empty before Start).
+// SetAdvertise overrides the address this task reports as its identity —
+// needed when the bind address (0.0.0.0, a container port-map) is not what
+// peers should dial. Cluster specs should carry the advertised address.
+func (s *Server) SetAdvertise(addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if addr != "" {
+		s.advertise = addr
+	}
+}
+
+// Addr returns the dialable address: the advertised one when set, otherwise
+// the bound listen address (empty before Start).
 func (s *Server) Addr() string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.advertise != "" {
+		return s.advertise
+	}
 	return s.addr
 }
 
-// Close stops serving.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close tears the task down in dependency order: collective memberships and
+// the hub first (so ops blocked inside a ring fail fast instead of pinning
+// in-flight RPCs), then the RPC server, which drains active calls before
+// closing the listener and connections.
+func (s *Server) Close() error {
+	s.Res.Colls.CloseAll()
+	s.Hub.Close()
+	return s.srv.Close()
+}
+
+// CollInit request encoding:
+//
+//	1 group, 2 rank, 4 repeated peer address, 5 chunk bytes, 6 timeout ms,
+//	7 epoch
+func encodeCollInit(group string, rank int, addrs []string, chunkBytes int, timeout time.Duration, epoch uint64) []byte {
+	e := wire.NewEncoder()
+	e.String(1, group)
+	e.Int(2, int64(rank))
+	for _, a := range addrs {
+		e.String(4, a)
+	}
+	e.Int(5, int64(chunkBytes))
+	e.Int(6, int64(timeout/time.Millisecond))
+	e.Uint(7, epoch)
+	return e.Bytes()
+}
+
+// handleCollInit joins this task to a TCP collective group: it builds the
+// transport endpoint over the advertised peer addresses and registers the
+// group membership in the task's resources under the group name, replacing
+// (and closing) any previous membership.
+func (s *Server) handleCollInit(req []byte) ([]byte, error) {
+	var group string
+	var rank int
+	var addrs []string
+	var chunkBytes int
+	var timeout time.Duration
+	var epoch uint64
+	d := wire.NewDecoder(req)
+	for d.More() {
+		f, wt, err := d.Next()
+		if err != nil {
+			return nil, err
+		}
+		switch f {
+		case 1:
+			if group, err = d.StringVal(); err != nil {
+				return nil, err
+			}
+		case 2:
+			v, err := d.Int()
+			if err != nil {
+				return nil, err
+			}
+			rank = int(v)
+		case 4:
+			a, err := d.StringVal()
+			if err != nil {
+				return nil, err
+			}
+			addrs = append(addrs, a)
+		case 5:
+			v, err := d.Int()
+			if err != nil {
+				return nil, err
+			}
+			chunkBytes = int(v)
+		case 6:
+			v, err := d.Int()
+			if err != nil {
+				return nil, err
+			}
+			timeout = time.Duration(v) * time.Millisecond
+		case 7:
+			if epoch, err = d.Uint(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := d.Skip(wt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if group == "" || len(addrs) == 0 {
+		return nil, fmt.Errorf("cluster: malformed CollInit")
+	}
+	tr, err := collective.NewTCPTransport(group, rank, addrs, s.Hub, timeout, epoch)
+	if err != nil {
+		return nil, err
+	}
+	s.Res.Colls.Register(group, collective.NewGroup(tr, collective.Options{ChunkBytes: chunkBytes}))
+	return []byte("ok"), nil
+}
+
+// handleCollClose aborts a group: the membership is closed, which poisons
+// the local inbox so any op blocked inside one of the group's collectives
+// errors out. Request encoding: 1 group.
+func (s *Server) handleCollClose(req []byte) ([]byte, error) {
+	var group string
+	d := wire.NewDecoder(req)
+	for d.More() {
+		f, wt, err := d.Next()
+		if err != nil {
+			return nil, err
+		}
+		if f == 1 {
+			if group, err = d.StringVal(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if err := d.Skip(wt); err != nil {
+			return nil, err
+		}
+	}
+	if group == "" {
+		return nil, fmt.Errorf("cluster: malformed CollClose")
+	}
+	s.Res.Colls.Close(group)
+	s.Hub.CloseGroup(group)
+	return []byte("ok"), nil
+}
 
 // RunOp request encoding:
 //
@@ -262,6 +406,75 @@ func (p *Peers) Health(job string, task int) error {
 	}
 	_, err = c.Call("Health", nil)
 	return err
+}
+
+// WaitHealthy polls every task of a job until it answers Health or the
+// deadline passes — the client-side readiness gate for clusters whose tasks
+// are separate processes racing the driver (CI boots them with &).
+func (p *Peers) WaitHealthy(job string, deadline time.Duration) error {
+	until := time.Now().Add(deadline)
+	for task := 0; task < p.spec.NumTasks(job); task++ {
+		for {
+			err := p.Health(job, task)
+			if err == nil {
+				break
+			}
+			if time.Now().After(until) {
+				return fmt.Errorf("cluster: task /job:%s/task:%d not healthy after %v: %w", job, task, deadline, err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// CollectiveOptions tune InitCollective.
+type CollectiveOptions struct {
+	// ChunkBytes is the ring pipelining granularity (0 = engine default).
+	ChunkBytes int
+	// RecvTimeout bounds each receive on the servers (0 = engine default).
+	RecvTimeout time.Duration
+}
+
+// InitCollective joins every task of a job into one TCP collective group:
+// task i becomes rank i over the job's advertised addresses. Re-initialising
+// an existing group name replaces (and closes) the old membership, so a
+// restarted driver can rebuild its rings.
+func (p *Peers) InitCollective(job, group string, opts CollectiveOptions) error {
+	addrs, ok := p.spec[job]
+	if !ok {
+		return fmt.Errorf("cluster: unknown job %q", job)
+	}
+	// One epoch per incarnation: every rank's transport fences its message
+	// keys with it, so chunks still in flight from an aborted predecessor
+	// can never be reduced into this membership's collectives.
+	epoch := uint64(time.Now().UnixNano())
+	for task := range addrs {
+		c, err := p.client(job, task)
+		if err != nil {
+			return err
+		}
+		req := encodeCollInit(group, task, addrs, opts.ChunkBytes, opts.RecvTimeout, epoch)
+		if _, err := c.Call("CollInit", req); err != nil {
+			return fmt.Errorf("cluster: CollInit on /job:%s/task:%d: %w", job, task, err)
+		}
+	}
+	return nil
+}
+
+// AbortCollective poisons the named group on every reachable task of a job:
+// ranks blocked inside one of the group's collectives error out instead of
+// waiting for the receive timeout. Best-effort — unreachable tasks are
+// skipped (they are likely the reason for the abort).
+func (p *Peers) AbortCollective(job, group string) {
+	e := wire.NewEncoder()
+	e.String(1, group)
+	req := e.Bytes()
+	for task := 0; task < p.spec.NumTasks(job); task++ {
+		if c, err := p.client(job, task); err == nil {
+			c.Call("CollClose", req)
+		}
+	}
 }
 
 // Close releases all connections.

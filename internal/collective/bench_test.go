@@ -1,0 +1,78 @@
+package collective_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"tfhpc/internal/collective"
+	"tfhpc/internal/tensor"
+)
+
+func benchAllReduce(b *testing.B, naive bool) {
+	const p, n = 4, 1 << 20
+	groups := collective.NewLoopbackGroups(p, collective.Options{})
+	ins := make([]*tensor.Tensor, p)
+	for r := range ins {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64((i + r) % 97)
+		}
+		ins[r] = tensor.FromF64(tensor.Shape{n}, v)
+	}
+	b.SetBytes(int64(2 * (p - 1) * n * 8 / p))
+	b.ResetTimer()
+	for rep := 0; rep < b.N; rep++ {
+		var wg sync.WaitGroup
+		errs := make([]error, p)
+		for r := 0; r < p; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				key := fmt.Sprintf("bench%d", rep)
+				if naive {
+					_, errs[r] = groups[r].NaiveAllReduce(key, ins[r], collective.OpSum)
+				} else {
+					_, errs[r] = groups[r].AllReduce(key, ins[r], collective.OpSum)
+				}
+			}(r)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkRingAllReduce(b *testing.B)  { benchAllReduce(b, false) }
+func BenchmarkNaiveAllReduce(b *testing.B) { benchAllReduce(b, true) }
+
+func BenchmarkRingAllGather(b *testing.B) {
+	const p, n = 4, 1 << 18
+	groups := collective.NewLoopbackGroups(p, collective.Options{})
+	ins := make([]*tensor.Tensor, p)
+	for r := range ins {
+		ins[r] = tensor.New(tensor.Float64, n)
+	}
+	b.SetBytes(int64((p - 1) * n * 8))
+	b.ResetTimer()
+	for rep := 0; rep < b.N; rep++ {
+		var wg sync.WaitGroup
+		errs := make([]error, p)
+		for r := 0; r < p; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				_, errs[r] = groups[r].AllGather(fmt.Sprintf("bench%d", rep), ins[r])
+			}(r)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,600 @@
+package collective
+
+import (
+	"fmt"
+	"sync"
+
+	"tfhpc/internal/gemm"
+	"tfhpc/internal/tensor"
+)
+
+// Reduction op names accepted by AllReduce.
+const (
+	OpSum = "sum"
+	OpMax = "max"
+)
+
+// Options tune a group.
+type Options struct {
+	// ChunkBytes is the pipelining granularity: each ring segment is split
+	// into chunks of at most this many bytes, so transmission of chunk k
+	// overlaps the reduction of chunk k-1. Default 256 KiB.
+	ChunkBytes int
+}
+
+// DefaultChunkBytes is the pipelining granularity when Options leaves it 0.
+const DefaultChunkBytes = 256 << 10
+
+// Group binds collective operations to one rank's transport endpoint. A
+// group may run concurrent collectives only under distinct keys; calls that
+// share a key must be issued in the same order on every rank (the usual
+// bulk-synchronous contract, enforced by Horovod with a coordinator and here
+// by symmetric graph construction).
+type Group struct {
+	tr   Transport
+	opts Options
+
+	mu  sync.Mutex
+	seq map[string]uint64
+}
+
+// NewGroup wraps a transport endpoint.
+func NewGroup(tr Transport, opts Options) *Group {
+	if opts.ChunkBytes <= 0 {
+		opts.ChunkBytes = DefaultChunkBytes
+	}
+	return &Group{tr: tr, opts: opts, seq: make(map[string]uint64)}
+}
+
+// NewLoopbackGroups is the single-call constructor tests and in-process runs
+// use: p endpoints over a fresh loopback fabric, one group per rank.
+func NewLoopbackGroups(p int, opts Options) []*Group {
+	eps := NewLoopback(p)
+	gs := make([]*Group, p)
+	for i, ep := range eps {
+		gs[i] = NewGroup(ep, opts)
+	}
+	return gs
+}
+
+// Rank returns this member's rank.
+func (g *Group) Rank() int { return g.tr.Rank() }
+
+// Size returns the group size.
+func (g *Group) Size() int { return g.tr.Size() }
+
+// Transport exposes the underlying endpoint (tests, diagnostics).
+func (g *Group) Transport() Transport { return g.tr }
+
+// Close tears down the underlying transport endpoint.
+func (g *Group) Close() error { return g.tr.Close() }
+
+func (g *Group) nextSeq(key string) uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.seq[key]++
+	return g.seq[key]
+}
+
+// fatal records an unrecoverable mid-protocol failure: the group's
+// bulk-synchronous state cannot be resynchronised, so the endpoint is
+// closed, which poisons the local inbox and (on loopback) the peers' lanes.
+// Ring neighbours therefore cascade the error instead of hanging on traffic
+// that will never arrive.
+func (g *Group) fatal(err error) error {
+	g.tr.Close()
+	return err
+}
+
+func (g *Group) chunkElems(dt tensor.DType) int {
+	c := g.opts.ChunkBytes / dt.Size()
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// segBounds splits n elements into p contiguous ring segments; the first
+// n%p segments carry one extra element.
+func segBounds(n, p, s int) (lo, hi int) {
+	base := n / p
+	rem := n % p
+	lo = s*base + min(s, rem)
+	size := base
+	if s < rem {
+		size++
+	}
+	return lo, lo + size
+}
+
+// slicer adapts the generic ring code to one element type.
+type slicer[T any] struct {
+	wrap func(tensor.Shape, []T) *tensor.Tensor
+	data func(*tensor.Tensor) []T
+}
+
+var (
+	slF32  = slicer[float32]{tensor.FromF32, (*tensor.Tensor).F32}
+	slF64  = slicer[float64]{tensor.FromF64, (*tensor.Tensor).F64}
+	slI32  = slicer[int32]{tensor.FromI32, (*tensor.Tensor).I32}
+	slI64  = slicer[int64]{tensor.FromI64, (*tensor.Tensor).I64}
+	slC64  = slicer[complex64]{tensor.FromC64, (*tensor.Tensor).C64}
+	slC128 = slicer[complex128]{tensor.FromC128, (*tensor.Tensor).C128}
+	slBool = slicer[bool]{tensor.FromBool, (*tensor.Tensor).Bools}
+)
+
+// reduceGrain is the minimum per-chunk work before a reduction fans out
+// across the gemm worker pool.
+const reduceGrain = 1 << 13
+
+func sumOf[T interface {
+	~float32 | ~float64 | ~int32 | ~int64
+}](dst, a, b []T) {
+	gemm.ParallelFor(len(dst), reduceGrain, func(lo, hi int) {
+		d, x, y := dst[lo:hi], a[lo:hi], b[lo:hi]
+		for i := range d {
+			d[i] = x[i] + y[i]
+		}
+	})
+}
+
+func maxOf[T interface {
+	~float32 | ~float64 | ~int32 | ~int64
+}](dst, a, b []T) {
+	gemm.ParallelFor(len(dst), reduceGrain, func(lo, hi int) {
+		d, x, y := dst[lo:hi], a[lo:hi], b[lo:hi]
+		for i := range d {
+			if y[i] > x[i] {
+				d[i] = y[i]
+			} else {
+				d[i] = x[i]
+			}
+		}
+	})
+}
+
+// combinerFor returns the fused ternary kernel dst = a ⊕ b.
+func combinerFor[T interface {
+	~float32 | ~float64 | ~int32 | ~int64
+}](op string) (func(dst, a, b []T), error) {
+	switch op {
+	case "", OpSum:
+		return sumOf[T], nil
+	case OpMax:
+		return maxOf[T], nil
+	}
+	return nil, fmt.Errorf("collective: unknown reduction op %q (want sum|max)", op)
+}
+
+// AllReduce combines equal-shaped tensors element-wise across all ranks and
+// returns the full result on every rank. It is the bandwidth-optimal ring:
+// a reduce-scatter pass leaves each rank owning one fully-reduced segment,
+// then an allgather pass circulates the finished segments — 2(p−1) steps
+// moving n/p elements each, so the per-rank traffic is 2n(p−1)/p no matter
+// how large the group. key isolates concurrent collectives; ranks must call
+// with the same key in the same order.
+func (g *Group) AllReduce(key string, t *tensor.Tensor, op string) (*tensor.Tensor, error) {
+	switch t.DType() {
+	case tensor.Float32:
+		return ringAllReduce(g, key, t, slF32, op)
+	case tensor.Float64:
+		return ringAllReduce(g, key, t, slF64, op)
+	case tensor.Int32:
+		return ringAllReduce(g, key, t, slI32, op)
+	case tensor.Int64:
+		return ringAllReduce(g, key, t, slI64, op)
+	}
+	return nil, fmt.Errorf("collective: allreduce does not support dtype %v", t.DType())
+}
+
+func ringAllReduce[T interface {
+	~float32 | ~float64 | ~int32 | ~int64
+}](g *Group, key string, in *tensor.Tensor, sl slicer[T], op string) (*tensor.Tensor, error) {
+	combine, err := combinerFor[T](op)
+	if err != nil {
+		return nil, err
+	}
+	p, r := g.Size(), g.Rank()
+	if p == 1 {
+		return in.Clone(), nil
+	}
+	seq := g.nextSeq(key)
+	src := sl.data(in)
+	n := len(src)
+	out := tensor.New(in.DType(), in.Shape()...)
+	data := sl.data(out)
+	next, prev := (r+1)%p, (r-1+p)%p
+	chunk := g.chunkElems(in.DType())
+
+	for phase := 0; phase < 2; phase++ {
+		for step := 0; step < p-1; step++ {
+			var sendSeg, recvSeg int
+			if phase == phaseReduceScatter {
+				sendSeg = (r - step + p) % p
+				recvSeg = (r - step - 1 + p) % p
+			} else {
+				sendSeg = (r + 1 - step + 2*p) % p
+				recvSeg = (r - step + p) % p
+			}
+			sLo, sHi := segBounds(n, p, sendSeg)
+			rLo, rHi := segBounds(n, p, recvSeg)
+
+			// The first reduce-scatter step ships the raw input segment;
+			// every later send ships a segment this rank finished writing in
+			// an earlier step. The output is therefore written exactly once
+			// per segment per phase and the input is never cloned.
+			sendBuf := data
+			if phase == phaseReduceScatter && step == 0 {
+				sendBuf = src
+			}
+
+			// The sender runs asynchronously: while chunk k is in flight the
+			// receive loop below is still reducing chunk k-1. The segments
+			// are disjoint, so there is no aliasing.
+			errc := make(chan error, 1)
+			go func(buf []T, lo, hi, phase, step int) {
+				for k, off := 0, lo; off < hi; k, off = k+1, off+chunk {
+					end := min(off+chunk, hi)
+					// A view, not a copy: Send consumes the payload before
+					// returning (loopback clones, TCP serialises), and this
+					// segment is not mutated again until after the step's
+					// receive completes.
+					payload := sl.wrap(tensor.Shape{end - off}, buf[off:end:end])
+					if err := g.tr.Send(next, key, tag(seq, phase, step, k), payload); err != nil {
+						errc <- err
+						return
+					}
+				}
+				errc <- nil
+			}(sendBuf, sLo, sHi, phase, step)
+
+			var recvErr error
+			for k, off := 0, rLo; off < rHi; k, off = k+1, off+chunk {
+				end := min(off+chunk, rHi)
+				msg, err := g.tr.Recv(prev, key, tag(seq, phase, step, k))
+				if err != nil {
+					recvErr = err
+					break
+				}
+				if msg.DType() != in.DType() || msg.NumElements() != end-off {
+					recvErr = fmt.Errorf("collective: %q: peer %d sent %v%v, want %d %v elements (mismatched inputs?)",
+						key, prev, msg.DType(), msg.Shape(), end-off, in.DType())
+					break
+				}
+				got := sl.data(msg)
+				if phase == phaseReduceScatter {
+					// Fused first touch: out = in ⊕ incoming (each segment is
+					// received exactly once per phase, so there is no prior
+					// partial to preserve).
+					combine(data[off:end], src[off:end], got)
+				} else {
+					copy(data[off:end], got)
+				}
+			}
+			// Always join the sender before surfacing any receive error.
+			if err := <-errc; err != nil {
+				return nil, g.fatal(err)
+			}
+			if recvErr != nil {
+				return nil, g.fatal(recvErr)
+			}
+		}
+	}
+	return out, nil
+}
+
+// AllGather concatenates equal-shaped per-rank tensors along a new leading
+// slot: rank-0 inputs produce a [p] vector, rank-k inputs a tensor whose
+// first dimension is p times larger. The ring circulates each rank's
+// segment p−1 hops, chunked like AllReduce.
+func (g *Group) AllGather(key string, t *tensor.Tensor) (*tensor.Tensor, error) {
+	switch t.DType() {
+	case tensor.Float32:
+		return ringAllGather(g, key, t, slF32)
+	case tensor.Float64:
+		return ringAllGather(g, key, t, slF64)
+	case tensor.Int32:
+		return ringAllGather(g, key, t, slI32)
+	case tensor.Int64:
+		return ringAllGather(g, key, t, slI64)
+	case tensor.Complex64:
+		return ringAllGather(g, key, t, slC64)
+	case tensor.Complex128:
+		return ringAllGather(g, key, t, slC128)
+	case tensor.Bool:
+		return ringAllGather(g, key, t, slBool)
+	}
+	return nil, fmt.Errorf("collective: allgather does not support dtype %v", t.DType())
+}
+
+// gatherShape is the output shape of an allgather over p ranks.
+func gatherShape(in tensor.Shape, p int) tensor.Shape {
+	if in.Rank() == 0 {
+		return tensor.Shape{p}
+	}
+	out := in.Clone()
+	out[0] *= p
+	return out
+}
+
+func ringAllGather[T any](g *Group, key string, in *tensor.Tensor, sl slicer[T]) (*tensor.Tensor, error) {
+	p, r := g.Size(), g.Rank()
+	m := in.NumElements()
+	out := tensor.New(in.DType(), gatherShape(in.Shape(), p)...)
+	data := sl.data(out)
+	copy(data[r*m:(r+1)*m], sl.data(in))
+	if p == 1 {
+		return out, nil
+	}
+	seq := g.nextSeq(key)
+	next, prev := (r+1)%p, (r-1+p)%p
+	chunk := g.chunkElems(in.DType())
+
+	for step := 0; step < p-1; step++ {
+		sendSeg := (r - step + p) % p
+		recvSeg := (r - step - 1 + p) % p
+		sLo, rLo := sendSeg*m, recvSeg*m
+
+		errc := make(chan error, 1)
+		go func(lo, step int) {
+			for k, off := 0, lo; off < lo+m; k, off = k+1, off+chunk {
+				end := min(off+chunk, lo+m)
+				payload := sl.wrap(tensor.Shape{end - off}, data[off:end:end])
+				if err := g.tr.Send(next, key, tag(seq, phaseAllGather, step, k), payload); err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}(sLo, step)
+
+		var recvErr error
+		for k, off := 0, rLo; off < rLo+m; k, off = k+1, off+chunk {
+			end := min(off+chunk, rLo+m)
+			msg, err := g.tr.Recv(prev, key, tag(seq, phaseAllGather, step, k))
+			if err != nil {
+				recvErr = err
+				break
+			}
+			if msg.DType() != in.DType() || msg.NumElements() != end-off {
+				recvErr = fmt.Errorf("collective: %q: peer %d sent %v%v, want %d %v elements (mismatched inputs?)",
+					key, prev, msg.DType(), msg.Shape(), end-off, in.DType())
+				break
+			}
+			copy(data[off:end], sl.data(msg))
+		}
+		if err := <-errc; err != nil {
+			return nil, g.fatal(err)
+		}
+		if recvErr != nil {
+			return nil, g.fatal(recvErr)
+		}
+	}
+	return out, nil
+}
+
+// Broadcast replicates root's tensor to every rank, relaying chunks around
+// the ring so downstream forwarding overlaps upstream reception. Non-root
+// ranks may pass t == nil; the broadcast carries dtype and shape.
+func (g *Group) Broadcast(key string, t *tensor.Tensor, root int) (*tensor.Tensor, error) {
+	p, r := g.Size(), g.Rank()
+	if root < 0 || root >= p {
+		return nil, fmt.Errorf("collective: broadcast root %d out of %d", root, p)
+	}
+	if r == root && t == nil {
+		return nil, fmt.Errorf("collective: broadcast root needs a tensor")
+	}
+	if p == 1 {
+		return t.Clone(), nil
+	}
+	seq := g.nextSeq(key)
+	next, prev := (r+1)%p, (r-1+p)%p
+
+	if r == root {
+		// Header: dtype + shape, then the flat payload in chunks.
+		hdr := make([]int64, 1+t.Rank())
+		hdr[0] = int64(t.DType())
+		for i, d := range t.Shape() {
+			hdr[1+i] = int64(d)
+		}
+		if err := g.tr.Send(next, key, tag(seq, phaseBroadcast, 0, 0), tensor.FromI64(tensor.Shape{len(hdr)}, hdr)); err != nil {
+			return nil, g.fatal(err)
+		}
+		flat, err := t.Reshape(t.NumElements())
+		if err != nil {
+			return nil, g.fatal(err)
+		}
+		chunk := g.chunkElems(t.DType())
+		n := t.NumElements()
+		for k, off := 0, 0; off < n; k, off = k+1, off+chunk {
+			end := min(off+chunk, n)
+			piece, err := sliceFlat(flat, off, end)
+			if err != nil {
+				return nil, g.fatal(err)
+			}
+			if err := g.tr.Send(next, key, tag(seq, phaseBroadcast, 1, k), piece); err != nil {
+				return nil, g.fatal(err)
+			}
+		}
+		return t.Clone(), nil
+	}
+
+	hdrT, err := g.tr.Recv(prev, key, tag(seq, phaseBroadcast, 0, 0))
+	if err != nil {
+		return nil, g.fatal(err)
+	}
+	if hdrT.DType() != tensor.Int64 || hdrT.NumElements() < 1 {
+		return nil, g.fatal(fmt.Errorf("collective: %q: malformed broadcast header", key))
+	}
+	forward := next != root
+	if forward {
+		if err := g.tr.Send(next, key, tag(seq, phaseBroadcast, 0, 0), hdrT); err != nil {
+			return nil, g.fatal(err)
+		}
+	}
+	hdr := hdrT.I64()
+	dt := tensor.DType(hdr[0])
+	shape := make(tensor.Shape, len(hdr)-1)
+	for i := range shape {
+		shape[i] = int(hdr[1+i])
+	}
+	if !shape.Valid() || dt.Size() == 0 {
+		return nil, g.fatal(fmt.Errorf("collective: %q: invalid broadcast header %v/%v", key, dt, shape))
+	}
+	out := tensor.New(dt, shape...)
+	flat, err := out.Reshape(out.NumElements())
+	if err != nil {
+		return nil, g.fatal(err)
+	}
+	chunk := g.chunkElems(dt)
+	n := out.NumElements()
+	for k, off := 0, 0; off < n; k, off = k+1, off+chunk {
+		end := min(off+chunk, n)
+		msg, err := g.tr.Recv(prev, key, tag(seq, phaseBroadcast, 1, k))
+		if err != nil {
+			return nil, g.fatal(err)
+		}
+		if msg.DType() != dt || msg.NumElements() != end-off {
+			return nil, g.fatal(fmt.Errorf("collective: %q: broadcast chunk %d has %v%v, want %d %v elements",
+				key, k, msg.DType(), msg.Shape(), end-off, dt))
+		}
+		if err := copyFlat(flat, off, msg); err != nil {
+			return nil, g.fatal(err)
+		}
+		if forward {
+			if err := g.tr.Send(next, key, tag(seq, phaseBroadcast, 1, k), msg); err != nil {
+				return nil, g.fatal(err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Barrier blocks until every rank has entered. It rides an allreduce over a
+// p-element vector so every ring segment is non-empty and each rank's exit
+// transitively depends on every other rank's entry.
+func (g *Group) Barrier(key string) error {
+	token := tensor.New(tensor.Int64, g.Size())
+	token.I64()[g.Rank()] = 1
+	_, err := g.AllReduce(key, token, OpSum)
+	return err
+}
+
+// NaiveAllReduce is the gather-to-root baseline the paper's parameter-server
+// formulation amounts to: every rank ships its whole tensor to rank 0, which
+// reduces serially in rank order and broadcasts the result back. It is both
+// the semantic reference for the ring (left-fold in rank order) and the
+// bandwidth strawman tfbench compares against.
+func (g *Group) NaiveAllReduce(key string, t *tensor.Tensor, op string) (*tensor.Tensor, error) {
+	p, r := g.Size(), g.Rank()
+	if p == 1 {
+		return t.Clone(), nil
+	}
+	seq := g.nextSeq(key)
+	if r != 0 {
+		if err := g.tr.Send(0, key, tag(seq, phaseGather, r, 0), t); err != nil {
+			return nil, g.fatal(err)
+		}
+		out, err := g.tr.Recv(0, key, tag(seq, phaseBroadcast, r, 0))
+		if err != nil {
+			return nil, g.fatal(err)
+		}
+		return out, nil
+	}
+	acc := t.Clone()
+	for from := 1; from < p; from++ {
+		msg, err := g.tr.Recv(from, key, tag(seq, phaseGather, from, 0))
+		if err != nil {
+			return nil, g.fatal(err)
+		}
+		if err := reduceTensor(acc, msg, op); err != nil {
+			return nil, g.fatal(err)
+		}
+	}
+	for to := 1; to < p; to++ {
+		if err := g.tr.Send(to, key, tag(seq, phaseBroadcast, to, 0), acc); err != nil {
+			return nil, g.fatal(err)
+		}
+	}
+	return acc, nil
+}
+
+// reduceTensor folds src into dst element-wise — serially, on the calling
+// goroutine: this is the gather-to-root strawman, whose root does all the
+// arithmetic itself while p−1 peers wait.
+func reduceTensor(dst, src *tensor.Tensor, op string) error {
+	if dst.DType() != src.DType() || dst.NumElements() != src.NumElements() {
+		return fmt.Errorf("collective: reduce mismatch: %v%v vs %v%v",
+			dst.DType(), dst.Shape(), src.DType(), src.Shape())
+	}
+	switch dst.DType() {
+	case tensor.Float32:
+		return serialReduce(dst.F32(), src.F32(), op)
+	case tensor.Float64:
+		return serialReduce(dst.F64(), src.F64(), op)
+	case tensor.Int32:
+		return serialReduce(dst.I32(), src.I32(), op)
+	case tensor.Int64:
+		return serialReduce(dst.I64(), src.I64(), op)
+	}
+	return fmt.Errorf("collective: reduce does not support dtype %v", dst.DType())
+}
+
+func serialReduce[T interface {
+	~float32 | ~float64 | ~int32 | ~int64
+}](dst, src []T, op string) error {
+	switch op {
+	case "", OpSum:
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	case OpMax:
+		for i := range dst {
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	default:
+		return fmt.Errorf("collective: unknown reduction op %q (want sum|max)", op)
+	}
+	return nil
+}
+
+// sliceFlat copies [lo,hi) of a rank-1 tensor into a fresh tensor.
+func sliceFlat(flat *tensor.Tensor, lo, hi int) (*tensor.Tensor, error) {
+	out := tensor.New(flat.DType(), hi-lo)
+	if err := copyFlatRange(out, 0, flat, lo, hi); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// copyFlat copies all of src into flat at offset off.
+func copyFlat(flat *tensor.Tensor, off int, src *tensor.Tensor) error {
+	return copyFlatRange(flat, off, src, 0, src.NumElements())
+}
+
+func copyFlatRange(dst *tensor.Tensor, dOff int, src *tensor.Tensor, lo, hi int) error {
+	if dst.DType() != src.DType() {
+		return fmt.Errorf("collective: dtype mismatch %v vs %v", dst.DType(), src.DType())
+	}
+	switch dst.DType() {
+	case tensor.Float32:
+		copy(dst.F32()[dOff:], src.F32()[lo:hi])
+	case tensor.Float64:
+		copy(dst.F64()[dOff:], src.F64()[lo:hi])
+	case tensor.Complex64:
+		copy(dst.C64()[dOff:], src.C64()[lo:hi])
+	case tensor.Complex128:
+		copy(dst.C128()[dOff:], src.C128()[lo:hi])
+	case tensor.Int32:
+		copy(dst.I32()[dOff:], src.I32()[lo:hi])
+	case tensor.Int64:
+		copy(dst.I64()[dOff:], src.I64()[lo:hi])
+	case tensor.Bool:
+		copy(dst.Bools()[dOff:], src.Bools()[lo:hi])
+	default:
+		return fmt.Errorf("collective: cannot copy dtype %v", dst.DType())
+	}
+	return nil
+}

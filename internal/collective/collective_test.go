@@ -1,0 +1,469 @@
+package collective_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tfhpc/internal/collective"
+	"tfhpc/internal/hw"
+	"tfhpc/internal/rpc"
+	"tfhpc/internal/simnet"
+	"tfhpc/internal/tensor"
+)
+
+// runAll drives fn concurrently on every rank and returns the per-rank
+// results, failing the test on any error.
+func runAll(t *testing.T, groups []*collective.Group,
+	fn func(g *collective.Group) (*tensor.Tensor, error)) []*tensor.Tensor {
+	t.Helper()
+	outs, errs := runAllErr(groups, fn)
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return outs
+}
+
+func runAllErr(groups []*collective.Group,
+	fn func(g *collective.Group) (*tensor.Tensor, error)) ([]*tensor.Tensor, []error) {
+	p := len(groups)
+	outs := make([]*tensor.Tensor, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			outs[r], errs[r] = fn(groups[r])
+		}(r)
+	}
+	wg.Wait()
+	return outs, errs
+}
+
+// tcpGroups boots p rpc servers hosting hubs and returns TCP-backed groups
+// (plus a closer).
+func tcpGroups(t *testing.T, p int, opts collective.Options, timeout time.Duration) []*collective.Group {
+	t.Helper()
+	hubs := make([]*collective.Hub, p)
+	servers := make([]*rpc.Server, p)
+	addrs := make([]string, p)
+	for i := 0; i < p; i++ {
+		hubs[i] = collective.NewHub()
+		servers[i] = rpc.NewServer()
+		servers[i].Handle("CollSend", hubs[i].HandleSend)
+		addr, err := servers[i].Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = addr
+	}
+	groups := make([]*collective.Group, p)
+	for i := 0; i < p; i++ {
+		tr, err := collective.NewTCPTransport("test", i, addrs, hubs[i], timeout, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups[i] = collective.NewGroup(tr, opts)
+	}
+	t.Cleanup(func() {
+		for i := 0; i < p; i++ {
+			groups[i].Close()
+			servers[i].Close()
+		}
+	})
+	return groups
+}
+
+func randVec(seed uint64, n int) *tensor.Tensor {
+	r := tensor.NewRNG(seed)
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.Float64()*2 - 1
+	}
+	return tensor.FromF64(tensor.Shape{n}, v)
+}
+
+// TestRingMatchesNaive is the acceptance property: on both transports, over
+// group sizes and lengths that exercise uneven segments and sub-chunking,
+// ring allreduce must agree with the serial gather-reduce-broadcast
+// reference to tight tolerance.
+func TestRingMatchesNaive(t *testing.T) {
+	for _, transport := range []string{"loopback", "tcp"} {
+		for _, p := range []int{1, 2, 3, 4, 7} {
+			for _, n := range []int{1, 5, 64, 1023, 4096} {
+				name := fmt.Sprintf("%s/p%d/n%d", transport, p, n)
+				t.Run(name, func(t *testing.T) {
+					// Tiny chunks force multi-chunk pipelining even at small n.
+					opts := collective.Options{ChunkBytes: 512}
+					var groups []*collective.Group
+					if transport == "tcp" {
+						if testing.Short() && p > 4 {
+							t.Skip("short mode")
+						}
+						groups = tcpGroups(t, p, opts, 10*time.Second)
+					} else {
+						groups = collective.NewLoopbackGroups(p, opts)
+					}
+					ins := make([]*tensor.Tensor, p)
+					for r := 0; r < p; r++ {
+						ins[r] = randVec(uint64(1000*p+r), n)
+					}
+					ring := runAll(t, groups, func(g *collective.Group) (*tensor.Tensor, error) {
+						return g.AllReduce("ar", ins[g.Rank()], collective.OpSum)
+					})
+					naive := runAll(t, groups, func(g *collective.Group) (*tensor.Tensor, error) {
+						return g.NaiveAllReduce("naive", ins[g.Rank()], collective.OpSum)
+					})
+					for r := 0; r < p; r++ {
+						if !ring[r].ApproxEqual(naive[r], 1e-12) {
+							t.Fatalf("rank %d: ring and naive disagree", r)
+						}
+						// Every rank must hold the identical ring result.
+						if !ring[r].Equal(ring[0]) {
+							t.Fatalf("rank %d: ring results differ between ranks", r)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestRingBitExactOnIntegers: with integer-valued float64 inputs every
+// addition is exact, so the ring must match the serial reference
+// bit-for-bit regardless of summation order.
+func TestRingBitExactOnIntegers(t *testing.T) {
+	p, n := 5, 777
+	groups := collective.NewLoopbackGroups(p, collective.Options{ChunkBytes: 256})
+	ins := make([]*tensor.Tensor, p)
+	for r := 0; r < p; r++ {
+		rng := tensor.NewRNG(uint64(r + 1))
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(rng.Intn(1000) - 500)
+		}
+		ins[r] = tensor.FromF64(tensor.Shape{n}, v)
+	}
+	ring := runAll(t, groups, func(g *collective.Group) (*tensor.Tensor, error) {
+		return g.AllReduce("ar", ins[g.Rank()], collective.OpSum)
+	})
+	naive := runAll(t, groups, func(g *collective.Group) (*tensor.Tensor, error) {
+		return g.NaiveAllReduce("naive", ins[g.Rank()], collective.OpSum)
+	})
+	for r := 0; r < p; r++ {
+		if !ring[r].Equal(naive[r]) {
+			t.Fatalf("rank %d: integer-valued allreduce not bit-exact", r)
+		}
+	}
+}
+
+func TestAllReduceDTypesAndMax(t *testing.T) {
+	p := 4
+	groups := collective.NewLoopbackGroups(p, collective.Options{})
+	t.Run("int64-sum", func(t *testing.T) {
+		outs := runAll(t, groups, func(g *collective.Group) (*tensor.Tensor, error) {
+			v := tensor.FromI64(tensor.Shape{3}, []int64{int64(g.Rank()), 1, 10})
+			return g.AllReduce("i64", v, collective.OpSum)
+		})
+		want := []int64{0 + 1 + 2 + 3, 4, 40}
+		for i, w := range want {
+			if outs[0].I64()[i] != w {
+				t.Fatalf("elem %d = %d, want %d", i, outs[0].I64()[i], w)
+			}
+		}
+	})
+	t.Run("f32-max", func(t *testing.T) {
+		outs := runAll(t, groups, func(g *collective.Group) (*tensor.Tensor, error) {
+			v := tensor.FromF32(tensor.Shape{2}, []float32{float32(g.Rank()), -float32(g.Rank())})
+			return g.AllReduce("f32max", v, collective.OpMax)
+		})
+		if outs[1].F32()[0] != 3 || outs[1].F32()[1] != 0 {
+			t.Fatalf("max wrong: %v", outs[1])
+		}
+	})
+	t.Run("unsupported", func(t *testing.T) {
+		_, errs := runAllErr(groups, func(g *collective.Group) (*tensor.Tensor, error) {
+			return g.AllReduce("bad", tensor.New(tensor.Complex128, 4), collective.OpSum)
+		})
+		for _, err := range errs {
+			if err == nil {
+				t.Fatal("complex allreduce should fail")
+			}
+		}
+	})
+}
+
+func TestAllGather(t *testing.T) {
+	for _, p := range []int{1, 3, 4} {
+		t.Run(fmt.Sprintf("p%d", p), func(t *testing.T) {
+			groups := collective.NewLoopbackGroups(p, collective.Options{ChunkBytes: 128})
+			rows := 5
+			outs := runAll(t, groups, func(g *collective.Group) (*tensor.Tensor, error) {
+				v := make([]float64, rows)
+				for i := range v {
+					v[i] = float64(g.Rank()*100 + i)
+				}
+				return g.AllGather("ag", tensor.FromF64(tensor.Shape{rows}, v))
+			})
+			for r := 0; r < p; r++ {
+				got := outs[r]
+				if got.NumElements() != p*rows {
+					t.Fatalf("rank %d: %d elements, want %d", r, got.NumElements(), p*rows)
+				}
+				for s := 0; s < p; s++ {
+					for i := 0; i < rows; i++ {
+						if got.F64()[s*rows+i] != float64(s*100+i) {
+							t.Fatalf("rank %d: segment %d elem %d = %g", r, s, i, got.F64()[s*rows+i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestAllGatherScalars(t *testing.T) {
+	p := 4
+	groups := collective.NewLoopbackGroups(p, collective.Options{})
+	outs := runAll(t, groups, func(g *collective.Group) (*tensor.Tensor, error) {
+		return g.AllGather("ag0", tensor.ScalarF64(float64(g.Rank())))
+	})
+	if !outs[2].Shape().Equal(tensor.Shape{p}) {
+		t.Fatalf("scalar gather shape = %v", outs[2].Shape())
+	}
+	for i := 0; i < p; i++ {
+		if outs[2].F64()[i] != float64(i) {
+			t.Fatalf("elem %d = %g", i, outs[2].F64()[i])
+		}
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	for _, p := range []int{1, 2, 5} {
+		for root := 0; root < p; root++ {
+			t.Run(fmt.Sprintf("p%d/root%d", p, root), func(t *testing.T) {
+				groups := collective.NewLoopbackGroups(p, collective.Options{ChunkBytes: 64})
+				src := randVec(99, 301)
+				outs := runAll(t, groups, func(g *collective.Group) (*tensor.Tensor, error) {
+					if g.Rank() == root {
+						return g.Broadcast("bc", src, root)
+					}
+					return g.Broadcast("bc", nil, root)
+				})
+				for r := 0; r < p; r++ {
+					if !outs[r].Equal(src) {
+						t.Fatalf("rank %d: broadcast mismatch", r)
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	p := 6
+	groups := collective.NewLoopbackGroups(p, collective.Options{})
+	// Every rank increments before the barrier; after it, all must see p.
+	var mu sync.Mutex
+	entered := 0
+	_, errs := runAllErr(groups, func(g *collective.Group) (*tensor.Tensor, error) {
+		mu.Lock()
+		entered++
+		mu.Unlock()
+		if err := g.Barrier("b"); err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if entered != p {
+			return nil, fmt.Errorf("rank %d passed barrier with %d/%d entered", g.Rank(), entered, p)
+		}
+		return nil, nil
+	})
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+}
+
+// TestConcurrentKeys runs two independent collectives per rank concurrently
+// under distinct keys on one shared group — the executor does exactly this
+// when a graph holds independent collective nodes with an agreed order per
+// key but races between keys.
+func TestConcurrentKeys(t *testing.T) {
+	p, n := 4, 2048
+	groups := collective.NewLoopbackGroups(p, collective.Options{ChunkBytes: 256})
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*p)
+	for r := 0; r < p; r++ {
+		for _, key := range []string{"left", "right"} {
+			wg.Add(1)
+			go func(r int, key string) {
+				defer wg.Done()
+				for iter := 0; iter < 10; iter++ {
+					in := randVec(uint64(r+1), n)
+					out, err := groups[r].AllReduce(key, in, collective.OpSum)
+					if err != nil {
+						errs <- fmt.Errorf("rank %d key %s iter %d: %w", r, key, iter, err)
+						return
+					}
+					if out.NumElements() != n {
+						errs <- fmt.Errorf("rank %d key %s: bad length", r, key)
+						return
+					}
+				}
+			}(r, key)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// --- fault injection (satellite: simnet faults under -race) ---
+
+func faultyGroups(p int, plans []simnet.FaultPlan, opts collective.Options) []*collective.Group {
+	eps := collective.NewLoopback(p)
+	groups := make([]*collective.Group, p)
+	for i, ep := range eps {
+		groups[i] = collective.NewGroup(collective.NewFaulty(ep, plans[i]), opts)
+	}
+	return groups
+}
+
+func plansFor(p int, plan simnet.FaultPlan) []simnet.FaultPlan {
+	plans := make([]simnet.FaultPlan, p)
+	for i := range plans {
+		plans[i] = plan
+	}
+	return plans
+}
+
+// TestFaultLatency: with model-derived link latency on every hop the
+// collective still completes and stays correct.
+func TestFaultLatency(t *testing.T) {
+	p, n := 4, 512
+	plan := simnet.NewFaultPlan()
+	// Tegner's gRPC path for a chunk-sized message, compressed 100×.
+	plan.LinkDelay = simnet.ModelLinkDelay(hw.Tegner, hw.Tegner.NodeTypes["k420"], simnet.GRPC, 4096, 0.01)
+	if plan.LinkDelay <= 0 {
+		t.Fatalf("model delay = %v, want > 0", plan.LinkDelay)
+	}
+	groups := faultyGroups(p, plansFor(p, plan), collective.Options{ChunkBytes: 1024})
+	ins := make([]*tensor.Tensor, p)
+	for r := range ins {
+		ins[r] = randVec(uint64(r+7), n)
+	}
+	ring := runAll(t, groups, func(g *collective.Group) (*tensor.Tensor, error) {
+		return g.AllReduce("lat", ins[g.Rank()], collective.OpSum)
+	})
+	naive := runAll(t, groups, func(g *collective.Group) (*tensor.Tensor, error) {
+		return g.NaiveAllReduce("latn", ins[g.Rank()], collective.OpSum)
+	})
+	for r := 0; r < p; r++ {
+		if !ring[r].ApproxEqual(naive[r], 1e-12) {
+			t.Fatalf("rank %d: latency run corrupted the reduction", r)
+		}
+	}
+}
+
+// TestFaultSlowPeer: one straggler serialises the ring but must not corrupt
+// it; the whole collective simply runs at the straggler's pace.
+func TestFaultSlowPeer(t *testing.T) {
+	p, n := 4, 256
+	plan := simnet.NewFaultPlan()
+	plan.SlowRank = 2
+	plan.SlowBy = 2 * time.Millisecond
+	groups := faultyGroups(p, plansFor(p, plan), collective.Options{ChunkBytes: 512})
+	ins := make([]*tensor.Tensor, p)
+	want := make([]float64, n)
+	for r := range ins {
+		ins[r] = randVec(uint64(r+11), n)
+		for i, v := range ins[r].F64() {
+			want[i] += v
+		}
+	}
+	start := time.Now()
+	outs := runAll(t, groups, func(g *collective.Group) (*tensor.Tensor, error) {
+		return g.AllReduce("slow", ins[g.Rank()], collective.OpSum)
+	})
+	elapsed := time.Since(start)
+	if !outs[0].ApproxEqual(tensor.FromF64(tensor.Shape{n}, want), 1e-12) {
+		t.Fatal("slow-peer run corrupted the reduction")
+	}
+	// The straggler sends at least p-1 delayed messages on the critical path.
+	if minWait := time.Duration(p-1) * plan.SlowBy; elapsed < minWait {
+		t.Fatalf("finished in %v, impossible with a straggler slower than %v", elapsed, minWait)
+	}
+}
+
+// TestFaultDroppedTask: a task dying mid-allreduce must surface an error on
+// every rank — the dropped one and, through poisoned lanes, its peers.
+func TestFaultDroppedTask(t *testing.T) {
+	p, n := 4, 4096
+	plans := plansFor(p, simnet.NewFaultPlan())
+	plans[1].DropRank = 1
+	plans[1].DropAfterSends = 3
+	groups := faultyGroups(p, plans, collective.Options{ChunkBytes: 512})
+	ins := make([]*tensor.Tensor, p)
+	for r := range ins {
+		ins[r] = randVec(uint64(r+13), n)
+	}
+	done := make(chan []error, 1)
+	go func() {
+		_, errs := runAllErr(groups, func(g *collective.Group) (*tensor.Tensor, error) {
+			return g.AllReduce("drop", ins[g.Rank()], collective.OpSum)
+		})
+		done <- errs
+	}()
+	select {
+	case errs := <-done:
+		for r, err := range errs {
+			if err == nil {
+				t.Fatalf("rank %d: no error despite dropped task", r)
+			}
+		}
+		if !strings.Contains(errs[1].Error(), "injected fault") {
+			t.Fatalf("dropped rank error = %v", errs[1])
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("dropped task hung the collective instead of erroring")
+	}
+}
+
+// TestTCPDroppedTask: over TCP a dead peer is detected by the receive
+// timeout (its server is gone, so sends also fail fast).
+func TestTCPDroppedTask(t *testing.T) {
+	p := 3
+	groups := tcpGroups(t, p, collective.Options{ChunkBytes: 1 << 20}, 500*time.Millisecond)
+	ins := make([]*tensor.Tensor, p)
+	for r := range ins {
+		ins[r] = randVec(uint64(r+17), 64)
+	}
+	// Rank 1 never joins; the others must error out, not hang.
+	done := make(chan error, 2)
+	for _, r := range []int{0, 2} {
+		go func(r int) {
+			_, err := groups[r].AllReduce("tcpdrop", ins[r], collective.OpSum)
+			done <- err
+		}(r)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatal("allreduce succeeded without rank 1")
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("missing rank hung the collective instead of timing out")
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package collective
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tfhpc/internal/simnet"
+	"tfhpc/internal/tensor"
+)
+
+// Faulty wraps a transport with a simnet.FaultPlan: every send pays the
+// plan's injected latency (plus the straggler surcharge for the slow rank),
+// and the drop rank's endpoint closes itself mid-collective after its send
+// budget — which must surface as an error on every rank, not a hang.
+type Faulty struct {
+	inner Transport
+	plan  simnet.FaultPlan
+
+	mu    sync.Mutex
+	sends int
+}
+
+// NewFaulty wraps inner under the given plan.
+func NewFaulty(inner Transport, plan simnet.FaultPlan) *Faulty {
+	return &Faulty{inner: inner, plan: plan}
+}
+
+// Rank returns the inner endpoint's rank.
+func (f *Faulty) Rank() int { return f.inner.Rank() }
+
+// Size returns the group size.
+func (f *Faulty) Size() int { return f.inner.Size() }
+
+// Send injects the plan's delay, then either delivers or — once the drop
+// budget is spent — closes the endpoint and fails.
+func (f *Faulty) Send(to int, key string, tg uint64, t *tensor.Tensor) error {
+	f.mu.Lock()
+	f.sends++
+	n := f.sends
+	f.mu.Unlock()
+	if f.plan.ShouldDrop(f.Rank(), n) {
+		f.inner.Close()
+		return fmt.Errorf("collective: injected fault: rank %d dropped after %d sends", f.Rank(), n-1)
+	}
+	if d := f.plan.SendDelay(f.Rank()); d > 0 {
+		time.Sleep(d)
+	}
+	return f.inner.Send(to, key, tg, t)
+}
+
+// Recv delegates to the inner endpoint.
+func (f *Faulty) Recv(from int, key string, tg uint64) (*tensor.Tensor, error) {
+	return f.inner.Recv(from, key, tg)
+}
+
+// Close closes the inner endpoint.
+func (f *Faulty) Close() error { return f.inner.Close() }

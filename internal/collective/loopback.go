@@ -1,0 +1,106 @@
+package collective
+
+import (
+	"fmt"
+	"sync"
+
+	"tfhpc/internal/tensor"
+)
+
+// loopbackFabric is the shared state of one in-process group: a full mesh of
+// per-(receiver, sender) lanes plus liveness flags.
+type loopbackFabric struct {
+	size  int
+	lanes [][]*lane // lanes[to][from]
+
+	mu   sync.Mutex
+	down []bool
+}
+
+// Loopback is one rank's endpoint of an in-process group.
+type Loopback struct {
+	fabric *loopbackFabric
+	rank   int
+}
+
+// NewLoopback builds an in-process transport fabric for p ranks and returns
+// one endpoint per rank. Tensors are deep-copied on send, so both sides keep
+// ownership of their buffers.
+func NewLoopback(p int) []*Loopback {
+	if p <= 0 {
+		panic("collective: loopback needs at least one rank")
+	}
+	f := &loopbackFabric{size: p, down: make([]bool, p)}
+	f.lanes = make([][]*lane, p)
+	for to := range f.lanes {
+		f.lanes[to] = make([]*lane, p)
+		for from := range f.lanes[to] {
+			f.lanes[to][from] = newLane()
+		}
+	}
+	eps := make([]*Loopback, p)
+	for r := range eps {
+		eps[r] = &Loopback{fabric: f, rank: r}
+	}
+	return eps
+}
+
+// Rank returns this endpoint's position in the group.
+func (l *Loopback) Rank() int { return l.rank }
+
+// Size returns the group size.
+func (l *Loopback) Size() int { return l.fabric.size }
+
+func (l *Loopback) checkPeer(peer string, r int) error {
+	if r < 0 || r >= l.fabric.size {
+		return fmt.Errorf("collective: %s rank %d out of %d", peer, r, l.fabric.size)
+	}
+	l.fabric.mu.Lock()
+	defer l.fabric.mu.Unlock()
+	if l.fabric.down[l.rank] {
+		return fmt.Errorf("collective: rank %d is closed", l.rank)
+	}
+	if l.fabric.down[r] {
+		return fmt.Errorf("collective: %s rank %d is down", peer, r)
+	}
+	return nil
+}
+
+// Send delivers a copy of t to the peer's inbox; it never blocks.
+func (l *Loopback) Send(to int, key string, tg uint64, t *tensor.Tensor) error {
+	if err := l.checkPeer("destination", to); err != nil {
+		return err
+	}
+	l.fabric.lanes[to][l.rank].put(message{key: key, tag: tg, t: t.Clone()})
+	return nil
+}
+
+// Recv blocks for the matching message from the given sender.
+func (l *Loopback) Recv(from int, key string, tg uint64) (*tensor.Tensor, error) {
+	if err := l.checkPeer("source", from); err != nil {
+		return nil, err
+	}
+	return l.fabric.lanes[l.rank][from].take(key, tg, 0)
+}
+
+// Close marks this rank down and poisons every lane it feeds or drains, so
+// peers blocked on its traffic fail fast instead of hanging — the behaviour
+// a dropped task must have mid-collective.
+func (l *Loopback) Close() error {
+	f := l.fabric
+	f.mu.Lock()
+	if f.down[l.rank] {
+		f.mu.Unlock()
+		return nil
+	}
+	f.down[l.rank] = true
+	f.mu.Unlock()
+	err := fmt.Errorf("collective: rank %d left the group", l.rank)
+	for to := 0; to < f.size; to++ {
+		f.lanes[to][l.rank].fail(err)
+	}
+	for from := 0; from < f.size; from++ {
+		f.lanes[l.rank][from].fail(err)
+	}
+	return nil
+}

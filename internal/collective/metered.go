@@ -1,0 +1,47 @@
+package collective
+
+import (
+	"time"
+
+	"tfhpc/internal/tensor"
+)
+
+// Metered wraps a transport with a wire-occupancy model: every Send sleeps
+// for cost(bytes) before delivering, so a rank's consecutive sends serialise
+// through its modelled NIC while different ranks' transfers overlap —
+// exactly the property that separates a ring allreduce (every NIC busy) from
+// a gather-to-root (the root's NIC is the bottleneck). The payloads and
+// reductions stay real; only the wire is virtual, like every other
+// experiment on the repo's simulated platform.
+type Metered struct {
+	inner Transport
+	cost  func(bytes int64) time.Duration
+}
+
+// NewMetered wraps inner; cost maps a message size to its wire time
+// (internal/simnet's TransferTime is the natural source).
+func NewMetered(inner Transport, cost func(bytes int64) time.Duration) *Metered {
+	return &Metered{inner: inner, cost: cost}
+}
+
+// Rank returns the inner endpoint's rank.
+func (m *Metered) Rank() int { return m.inner.Rank() }
+
+// Size returns the group size.
+func (m *Metered) Size() int { return m.inner.Size() }
+
+// Send charges the modelled wire time, then delivers.
+func (m *Metered) Send(to int, key string, tg uint64, t *tensor.Tensor) error {
+	if d := m.cost(t.ByteSize()); d > 0 {
+		time.Sleep(d)
+	}
+	return m.inner.Send(to, key, tg, t)
+}
+
+// Recv delegates to the inner endpoint.
+func (m *Metered) Recv(from int, key string, tg uint64) (*tensor.Tensor, error) {
+	return m.inner.Recv(from, key, tg)
+}
+
+// Close closes the inner endpoint.
+func (m *Metered) Close() error { return m.inner.Close() }

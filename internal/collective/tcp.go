@@ -1,0 +1,280 @@
+package collective
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"tfhpc/internal/rpc"
+	"tfhpc/internal/tensor"
+	"tfhpc/internal/wire"
+)
+
+// DefaultRecvTimeout bounds how long a TCP Recv waits for a peer before
+// declaring it lost. Collectives are bulk-synchronous, so a peer that stays
+// silent this long has almost certainly died rather than fallen behind.
+const DefaultRecvTimeout = 2 * time.Minute
+
+// Hub is the server side of the TCP transport: the inbox a task exposes over
+// internal/rpc. Register HandleSend under the "CollSend" method; every
+// TCPTransport on the task then drains its group's lanes from here.
+type Hub struct {
+	mu     sync.Mutex
+	groups map[string]*hubGroup
+	closed bool
+}
+
+type hubGroup struct {
+	mu    sync.Mutex
+	lanes map[int]*lane
+}
+
+func (g *hubGroup) lane(from int) *lane {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	l, ok := g.lanes[from]
+	if !ok {
+		l = newLane()
+		g.lanes[from] = l
+	}
+	return l
+}
+
+func (g *hubGroup) fail(err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, l := range g.lanes {
+		l.fail(err)
+	}
+}
+
+// NewHub returns an empty inbox registry.
+func NewHub() *Hub {
+	return &Hub{groups: make(map[string]*hubGroup)}
+}
+
+// group returns the named group's inbox, creating it on first use — a peer's
+// first chunk may arrive before the local transport is constructed.
+func (h *Hub) group(name string) (*hubGroup, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, fmt.Errorf("collective: hub is closed")
+	}
+	g, ok := h.groups[name]
+	if !ok {
+		g = &hubGroup{lanes: make(map[int]*lane)}
+		h.groups[name] = g
+	}
+	return g, nil
+}
+
+// CloseGroup poisons one group's lanes (receivers fail fast) and forgets it.
+func (h *Hub) CloseGroup(name string) {
+	h.mu.Lock()
+	g := h.groups[name]
+	delete(h.groups, name)
+	h.mu.Unlock()
+	if g != nil {
+		g.fail(fmt.Errorf("collective: group %q closed", name))
+	}
+}
+
+// Close poisons every group; registered after-the-fact groups fail too.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	groups := h.groups
+	h.groups = make(map[string]*hubGroup)
+	h.closed = true
+	h.mu.Unlock()
+	for name, g := range groups {
+		g.fail(fmt.Errorf("collective: group %q closed", name))
+	}
+}
+
+// HandleSend is the rpc.Handler for incoming chunks. Request encoding:
+//
+//	1 group, 2 from rank, 3 key, 4 tag, 5 tensor bytes
+func (h *Hub) HandleSend(req []byte) ([]byte, error) {
+	var group, key string
+	var from int
+	var tg uint64
+	var t *tensor.Tensor
+	d := wire.NewDecoder(req)
+	for {
+		f, wt, err := d.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch f {
+		case 1:
+			if group, err = d.StringVal(); err != nil {
+				return nil, err
+			}
+		case 2:
+			v, err := d.Int()
+			if err != nil {
+				return nil, err
+			}
+			from = int(v)
+		case 3:
+			if key, err = d.StringVal(); err != nil {
+				return nil, err
+			}
+		case 4:
+			if tg, err = d.Uint(); err != nil {
+				return nil, err
+			}
+		case 5:
+			tb, err := d.Bytes()
+			if err != nil {
+				return nil, err
+			}
+			if t, _, err = tensor.Decode(tb); err != nil {
+				return nil, err
+			}
+		default:
+			if err := d.Skip(wt); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if group == "" || t == nil {
+		return nil, fmt.Errorf("collective: malformed CollSend")
+	}
+	g, err := h.group(group)
+	if err != nil {
+		return nil, err
+	}
+	g.lane(from).put(message{key: key, tag: tg, t: t})
+	return nil, nil
+}
+
+func encodeSend(group string, from int, key string, tg uint64, t *tensor.Tensor) ([]byte, error) {
+	tb, err := t.Encode(nil)
+	if err != nil {
+		return nil, err
+	}
+	e := wire.NewEncoder()
+	e.String(1, group)
+	e.Int(2, int64(from))
+	e.String(3, key)
+	e.Uint(4, tg)
+	e.BytesField(5, tb)
+	return e.Bytes(), nil
+}
+
+// TCPTransport is one rank's endpoint of a TCP group: it dials peers through
+// pooled internal/rpc clients and drains its own traffic from the task's Hub.
+type TCPTransport struct {
+	group   string
+	rank    int
+	addrs   []string
+	hub     *Hub
+	timeout time.Duration
+	// epoch fences group incarnations: it prefixes every message key, so a
+	// chunk still in flight from an aborted run can never match a collective
+	// of the membership that replaced it (all ranks of one incarnation must
+	// share the epoch — CollInit distributes it).
+	epoch string
+
+	mu      sync.Mutex
+	clients map[int]*rpc.Client
+	closed  bool
+}
+
+// NewTCPTransport builds rank's endpoint for the named group over the given
+// task addresses (one per rank, e.g. a cluster.Spec job). timeout bounds each
+// Recv; 0 applies DefaultRecvTimeout. epoch identifies the group incarnation
+// and must be identical on every rank.
+func NewTCPTransport(group string, rank int, addrs []string, hub *Hub, timeout time.Duration, epoch uint64) (*TCPTransport, error) {
+	if rank < 0 || rank >= len(addrs) {
+		return nil, fmt.Errorf("collective: rank %d outside %d addresses", rank, len(addrs))
+	}
+	if timeout <= 0 {
+		timeout = DefaultRecvTimeout
+	}
+	return &TCPTransport{
+		group:   group,
+		rank:    rank,
+		addrs:   append([]string(nil), addrs...),
+		hub:     hub,
+		timeout: timeout,
+		epoch:   fmt.Sprintf("%d\x00", epoch),
+		clients: make(map[int]*rpc.Client),
+	}, nil
+}
+
+// Rank returns this endpoint's position in the group.
+func (t *TCPTransport) Rank() int { return t.rank }
+
+// Size returns the group size.
+func (t *TCPTransport) Size() int { return len(t.addrs) }
+
+func (t *TCPTransport) client(to int) (*rpc.Client, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, fmt.Errorf("collective: rank %d is closed", t.rank)
+	}
+	c, ok := t.clients[to]
+	if !ok {
+		c = rpc.Dial(t.addrs[to])
+		t.clients[to] = c
+	}
+	return c, nil
+}
+
+// Send ships one chunk to the peer's hub.
+func (t *TCPTransport) Send(to int, key string, tg uint64, ten *tensor.Tensor) error {
+	if to < 0 || to >= len(t.addrs) {
+		return fmt.Errorf("collective: destination rank %d out of %d", to, len(t.addrs))
+	}
+	c, err := t.client(to)
+	if err != nil {
+		return err
+	}
+	req, err := encodeSend(t.group, t.rank, t.epoch+key, tg, ten)
+	if err != nil {
+		return err
+	}
+	if _, err := c.Call("CollSend", req); err != nil {
+		return fmt.Errorf("collective: send to rank %d (%s): %w", to, t.addrs[to], err)
+	}
+	return nil
+}
+
+// Recv blocks for the matching chunk from the given sender, up to the
+// transport's receive timeout.
+func (t *TCPTransport) Recv(from int, key string, tg uint64) (*tensor.Tensor, error) {
+	if from < 0 || from >= len(t.addrs) {
+		return nil, fmt.Errorf("collective: source rank %d out of %d", from, len(t.addrs))
+	}
+	g, err := t.hub.group(t.group)
+	if err != nil {
+		return nil, err
+	}
+	return g.lane(from).take(t.epoch+key, tg, t.timeout)
+}
+
+// Close releases peer connections and poisons the local group inbox.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	clients := t.clients
+	t.clients = nil
+	t.mu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
+	t.hub.CloseGroup(t.group)
+	return nil
+}

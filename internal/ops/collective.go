@@ -1,0 +1,101 @@
+package ops
+
+import (
+	"fmt"
+
+	"tfhpc/internal/tensor"
+)
+
+func init() {
+	// Collective ops are stateful (they synchronise with other ranks and
+	// must never be pruned, cached or reordered across control deps) and
+	// GPU-capable: the placer may pin them next to the compute they feed,
+	// exactly as TensorFlow places Horovod's allreduce.
+	Register(&OpDef{Name: "AllReduce", MinInputs: 1, MaxInputs: 1, GPUCapable: true, Stateful: true, Kernel: allReduceKernel})
+	Register(&OpDef{Name: "AllGather", MinInputs: 1, MaxInputs: 1, GPUCapable: true, Stateful: true, Kernel: allGatherKernel})
+	Register(&OpDef{Name: "Broadcast", MinInputs: 0, MaxInputs: 1, GPUCapable: true, Stateful: true, Kernel: broadcastKernel})
+}
+
+// collective resolves the node's group handle from the "group" attribute.
+func (c *Context) collective() (CollectiveHandle, string, error) {
+	name := c.StringAttr("group", "")
+	if name == "" {
+		return nil, "", fmt.Errorf("missing %q attribute", "group")
+	}
+	if c.Resources == nil {
+		return nil, "", fmt.Errorf("no resource manager in this execution context")
+	}
+	h, err := c.Resources.Collective(name)
+	return h, name, err
+}
+
+// collKey is the match key for one collective node: the "key" attribute, or
+// the node name — identical across ranks when graphs are built symmetrically.
+func (c *Context) collKey() string { return c.StringAttr("key", c.NodeName) }
+
+// allReduceKernel sums (or max-reduces, attr "reduce") its input across all
+// ranks of the group; attr "average" divides the sum by the group size,
+// which is the data-parallel gradient-averaging convention.
+func allReduceKernel(ctx *Context, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	h, name, err := ctx.collective()
+	if err != nil {
+		return nil, err
+	}
+	out, err := h.AllReduce(ctx.collKey(), in[0], ctx.StringAttr("reduce", "sum"))
+	if err != nil {
+		return nil, fmt.Errorf("group %q: %w", name, err)
+	}
+	if ctx.BoolAttr("average", false) {
+		inv := 1.0 / float64(h.Size())
+		switch out.DType() {
+		case tensor.Float32:
+			d := out.F32()
+			for i := range d {
+				d[i] *= float32(inv)
+			}
+		case tensor.Float64:
+			d := out.F64()
+			for i := range d {
+				d[i] *= inv
+			}
+		default:
+			return nil, fmt.Errorf("group %q: average needs a float tensor, got %v", name, out.DType())
+		}
+	}
+	return out, nil
+}
+
+// allGatherKernel concatenates the per-rank inputs along the leading axis.
+func allGatherKernel(ctx *Context, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	h, name, err := ctx.collective()
+	if err != nil {
+		return nil, err
+	}
+	out, err := h.AllGather(ctx.collKey(), in[0])
+	if err != nil {
+		return nil, fmt.Errorf("group %q: %w", name, err)
+	}
+	return out, nil
+}
+
+// broadcastKernel replicates the root rank's input (attr "root", default 0)
+// to every rank; non-root ranks may omit the input.
+func broadcastKernel(ctx *Context, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	h, name, err := ctx.collective()
+	if err != nil {
+		return nil, err
+	}
+	root := ctx.IntAttr("root", 0)
+	var t *tensor.Tensor
+	if len(in) > 0 {
+		t = in[0]
+	}
+	if h.Rank() == root && t == nil {
+		return nil, fmt.Errorf("group %q: broadcast root needs an input", name)
+	}
+	out, err := h.Broadcast(ctx.collKey(), t, root)
+	if err != nil {
+		return nil, fmt.Errorf("group %q: %w", name, err)
+	}
+	return out, nil
+}

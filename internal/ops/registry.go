@@ -34,11 +34,25 @@ type QueueHandle interface {
 	Size() int
 }
 
+// CollectiveHandle is the access interface collective kernels use: one
+// rank's membership of a communication group (internal/collective provides
+// the ring implementation over loopback or TCP transports). key isolates
+// concurrent collectives that share the group; kernels default it to the
+// node name, which symmetric per-rank graphs give identical spellings.
+type CollectiveHandle interface {
+	Rank() int
+	Size() int
+	AllReduce(key string, t *tensor.Tensor, op string) (*tensor.Tensor, error)
+	AllGather(key string, t *tensor.Tensor) (*tensor.Tensor, error)
+	Broadcast(key string, t *tensor.Tensor, root int) (*tensor.Tensor, error)
+}
+
 // Resources resolves named stateful objects for kernels. The session
 // provides it, routing to local state or to remote tasks.
 type Resources interface {
 	Variable(name string) (VariableHandle, error)
 	Queue(name string, capacity int) (QueueHandle, error)
+	Collective(name string) (CollectiveHandle, error)
 }
 
 // Context carries everything a kernel may need beyond its input tensors.

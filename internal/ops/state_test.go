@@ -69,6 +69,10 @@ func (r *fakeResources) Queue(name string, _ int) (QueueHandle, error) {
 	return q, nil
 }
 
+func (r *fakeResources) Collective(name string) (CollectiveHandle, error) {
+	return nil, fmt.Errorf("no collective group %q", name)
+}
+
 func ctxWith(res Resources, node string, attrs map[string]any) *Context {
 	return &Context{NodeName: node, Attrs: attrs, Resources: res, Scratch: NewScratch()}
 }

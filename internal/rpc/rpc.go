@@ -26,11 +26,13 @@ type Server struct {
 	ln       net.Listener
 	closed   bool
 	wg       sync.WaitGroup
+	conns    map[net.Conn]struct{}
+	inflight sync.WaitGroup // calls between request decode and response write
 }
 
 // NewServer returns a server with no handlers registered.
 func NewServer() *Server {
-	return &Server{handlers: make(map[string]Handler)}
+	return &Server{handlers: make(map[string]Handler), conns: make(map[net.Conn]struct{})}
 }
 
 // Handle registers a method. Must be called before Serve.
@@ -76,34 +78,68 @@ func (s *Server) acceptLoop(ln net.Listener) {
 // serveConn handles calls sequentially per connection (clients open one
 // connection per in-flight call stream).
 func (s *Server) serveConn(conn net.Conn) {
-	defer conn.Close()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
 	for {
 		frame, err := wire.ReadFrame(conn)
 		if err != nil {
 			return
 		}
-		method, req, err := decodeRequest(frame)
+		// Register the call as in-flight (unless shutdown already started,
+		// in which case it is rejected) so Close can drain active work —
+		// including the response write — before tearing connections down.
+		s.mu.Lock()
+		rejected := s.closed
+		if !rejected {
+			s.inflight.Add(1)
+		}
+		s.mu.Unlock()
 		var resp []byte
 		var callErr error
-		if err != nil {
-			callErr = err
+		if rejected {
+			callErr = errors.New("rpc: server shutting down")
 		} else {
-			s.mu.Lock()
-			h, ok := s.handlers[method]
-			s.mu.Unlock()
-			if !ok {
-				callErr = fmt.Errorf("rpc: no handler for %q", method)
+			method, req, err := decodeRequest(frame)
+			if err != nil {
+				callErr = err
 			} else {
-				resp, callErr = h(req)
+				s.mu.Lock()
+				h, ok := s.handlers[method]
+				s.mu.Unlock()
+				if !ok {
+					callErr = fmt.Errorf("rpc: no handler for %q", method)
+				} else {
+					resp, callErr = h(req)
+				}
 			}
 		}
-		if err := wire.WriteFrame(conn, encodeResponse(resp, callErr)); err != nil {
+		err = wire.WriteFrame(conn, encodeResponse(resp, callErr))
+		if !rejected {
+			s.inflight.Done()
+		}
+		if err != nil {
 			return
 		}
 	}
 }
 
-// Close stops the listener and waits for active connections to drain.
+// Close drains then stops the server: it closes the listener, rejects calls
+// that arrive from here on, waits for every in-flight call to finish and
+// have its response written, then force-closes the connections (clients
+// pool idle keepalives, so waiting for them to hang up would block forever)
+// and joins the serving goroutines.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -116,6 +152,12 @@ func (s *Server) Close() error {
 	if ln != nil {
 		ln.Close()
 	}
+	s.inflight.Wait()
+	s.mu.Lock()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
 	s.wg.Wait()
 	return nil
 }
@@ -204,17 +246,21 @@ func decodeResponse(frame []byte) ([]byte, error) {
 
 // Client issues calls to one server address. Connections are pooled so
 // concurrent calls (e.g. a blocking Dequeue alongside an Enqueue) each get
-// their own stream.
+// their own stream. Close aborts in-flight calls too: every open connection
+// — idle or mid-call — is tracked and torn down, so a Call blocked on an
+// unresponsive peer returns an error instead of pinning its caller (the
+// collective teardown path relies on this to cascade failures).
 type Client struct {
 	addr string
 	mu   sync.Mutex
 	idle []net.Conn
+	live map[net.Conn]struct{}
 	down bool
 }
 
 // Dial creates a client for the address; connections open lazily.
 func Dial(addr string) *Client {
-	return &Client{addr: addr}
+	return &Client{addr: addr, live: make(map[net.Conn]struct{})}
 }
 
 // Call sends one request and waits for the response.
@@ -224,12 +270,12 @@ func (c *Client) Call(method string, req []byte) ([]byte, error) {
 		return nil, err
 	}
 	if err := wire.WriteFrame(conn, encodeRequest(method, req)); err != nil {
-		conn.Close()
+		c.discard(conn)
 		return nil, err
 	}
 	frame, err := wire.ReadFrame(conn)
 	if err != nil {
-		conn.Close()
+		c.discard(conn)
 		return nil, err
 	}
 	c.put(conn)
@@ -249,26 +295,51 @@ func (c *Client) conn() (net.Conn, error) {
 		return conn, nil
 	}
 	c.mu.Unlock()
-	return net.Dial("tcp", c.addr)
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.down {
+		c.mu.Unlock()
+		conn.Close()
+		return nil, errors.New("rpc: client closed")
+	}
+	c.live[conn] = struct{}{}
+	c.mu.Unlock()
+	return conn, nil
+}
+
+// discard drops a broken connection from tracking and closes it.
+func (c *Client) discard(conn net.Conn) {
+	c.mu.Lock()
+	delete(c.live, conn)
+	c.mu.Unlock()
+	conn.Close()
 }
 
 func (c *Client) put(conn net.Conn) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.down || len(c.idle) >= 8 {
+		delete(c.live, conn)
+		c.mu.Unlock()
 		conn.Close()
 		return
 	}
 	c.idle = append(c.idle, conn)
+	c.mu.Unlock()
 }
 
-// Close releases pooled connections.
+// Close tears every connection down — idle and in-use alike, so blocked
+// calls fail fast.
 func (c *Client) Close() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.down = true
-	for _, conn := range c.idle {
+	live := c.live
+	c.live = make(map[net.Conn]struct{})
+	c.idle = nil
+	c.mu.Unlock()
+	for conn := range live {
 		conn.Close()
 	}
-	c.idle = nil
 }

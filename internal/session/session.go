@@ -11,6 +11,7 @@ package session
 
 import (
 	"fmt"
+	"io"
 	"sync"
 
 	"tfhpc/internal/graph"
@@ -21,15 +22,17 @@ import (
 	"tfhpc/internal/vars"
 )
 
-// Resources is the stateful backing of one task: its variables and queues.
+// Resources is the stateful backing of one task: its variables, queues and
+// collective-group memberships.
 type Resources struct {
 	Vars   *vars.Store
 	Queues *queue.Registry
+	Colls  *CollStore
 }
 
 // NewResources allocates empty stores.
 func NewResources() *Resources {
-	return &Resources{Vars: vars.NewStore(), Queues: queue.NewRegistry()}
+	return &Resources{Vars: vars.NewStore(), Queues: queue.NewRegistry(), Colls: NewCollStore()}
 }
 
 // Variable implements ops.Resources.
@@ -40,6 +43,76 @@ func (r *Resources) Variable(name string) (ops.VariableHandle, error) {
 // Queue implements ops.Resources.
 func (r *Resources) Queue(name string, capacity int) (ops.QueueHandle, error) {
 	return r.Queues.Get(name, capacity), nil
+}
+
+// Collective implements ops.Resources.
+func (r *Resources) Collective(name string) (ops.CollectiveHandle, error) {
+	return r.Colls.Get(name)
+}
+
+// CollStore is the task's registry of collective-group memberships. Unlike
+// variables and queues, groups are not created on first use: membership
+// needs a transport endpoint (rank, peers), so the runtime — cluster servers
+// on CollInit, in-process apps directly — registers handles explicitly.
+type CollStore struct {
+	mu sync.Mutex
+	m  map[string]ops.CollectiveHandle
+}
+
+// NewCollStore returns an empty registry.
+func NewCollStore() *CollStore {
+	return &CollStore{m: make(map[string]ops.CollectiveHandle)}
+}
+
+// Register installs (or replaces) the named group membership. A replaced
+// handle is closed if it implements io.Closer.
+func (s *CollStore) Register(name string, h ops.CollectiveHandle) {
+	s.mu.Lock()
+	old := s.m[name]
+	s.m[name] = h
+	s.mu.Unlock()
+	if c, ok := old.(io.Closer); ok && old != nil {
+		c.Close()
+	}
+}
+
+// Get resolves a registered group membership.
+func (s *CollStore) Get(name string) (ops.CollectiveHandle, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.m[name]
+	if !ok {
+		return nil, fmt.Errorf("session: no collective group %q registered on this task", name)
+	}
+	return h, nil
+}
+
+// Close removes and closes one registered membership (no-op if absent) —
+// the remote-abort path: poisoning a group's transport errors out any rank
+// blocked inside one of its collectives.
+func (s *CollStore) Close(name string) {
+	s.mu.Lock()
+	h := s.m[name]
+	delete(s.m, name)
+	s.mu.Unlock()
+	if c, ok := h.(io.Closer); ok && h != nil {
+		c.Close()
+	}
+}
+
+// CloseAll closes every registered handle that implements io.Closer and
+// empties the store — used at server teardown so ranks blocked inside a
+// collective fail fast instead of stalling shutdown.
+func (s *CollStore) CloseAll() {
+	s.mu.Lock()
+	m := s.m
+	s.m = make(map[string]ops.CollectiveHandle)
+	s.mu.Unlock()
+	for _, h := range m {
+		if c, ok := h.(io.Closer); ok {
+			c.Close()
+		}
+	}
 }
 
 // RemoteRunner executes a single op on a remote task. inputs are already

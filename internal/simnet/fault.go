@@ -1,0 +1,59 @@
+package simnet
+
+import (
+	"time"
+
+	"tfhpc/internal/hw"
+)
+
+// FaultPlan describes deterministic fault injection for distributed-runtime
+// tests: uniform added link latency, one straggler whose sends are further
+// delayed, and one task that drops out after a fixed number of sends. The
+// zero value (with the rank fields set to NoRank) injects nothing.
+//
+// Plans are consumed by transport wrappers (internal/collective) so that the
+// collectives can be driven through the same degradations the paper's
+// Fig. 7 protocols exhibit — latency-bound small transfers, slow peers
+// serialising a ring, and mid-collective task loss.
+type FaultPlan struct {
+	// LinkDelay is added to every message delivery.
+	LinkDelay time.Duration
+	// SlowRank's sends incur SlowBy of extra delay (straggler). NoRank
+	// disables.
+	SlowRank int
+	SlowBy   time.Duration
+	// DropRank's endpoint closes after DropAfterSends sends, simulating a
+	// task dying mid-collective. NoRank disables.
+	DropRank       int
+	DropAfterSends int
+}
+
+// NoRank marks a fault's rank field as unused.
+const NoRank = -1
+
+// NewFaultPlan returns an inactive plan (both rank fields NoRank).
+func NewFaultPlan() FaultPlan {
+	return FaultPlan{SlowRank: NoRank, DropRank: NoRank}
+}
+
+// SendDelay is the injected latency for one send by `rank`.
+func (f FaultPlan) SendDelay(rank int) time.Duration {
+	d := f.LinkDelay
+	if rank == f.SlowRank {
+		d += f.SlowBy
+	}
+	return d
+}
+
+// ShouldDrop reports whether `rank` must fail its sendCount-th send (1-based).
+func (f FaultPlan) ShouldDrop(rank, sendCount int) bool {
+	return rank == f.DropRank && sendCount > f.DropAfterSends
+}
+
+// ModelLinkDelay derives a per-message delay from the platform model: the
+// modelled transfer time of one `bytes`-sized host tensor under the given
+// protocol, scaled by `scale` so tests can compress simulated seconds into
+// real milliseconds.
+func ModelLinkDelay(c *hw.Cluster, nt *hw.NodeType, proto Protocol, bytes int64, scale float64) time.Duration {
+	return time.Duration(scale * TransferTime(c, nt, proto, OnCPU, OnCPU, bytes) * float64(time.Second))
+}

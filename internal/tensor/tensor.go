@@ -189,6 +189,12 @@ func FromF64(shape Shape, vals []float64) *Tensor {
 	return &Tensor{dtype: Float64, shape: shape.Clone(), data: vals}
 }
 
+// FromC64 wraps vals (not copied) as a tensor with the given shape.
+func FromC64(shape Shape, vals []complex64) *Tensor {
+	checkLen(shape, len(vals))
+	return &Tensor{dtype: Complex64, shape: shape.Clone(), data: vals}
+}
+
 // FromC128 wraps vals (not copied) as a tensor with the given shape.
 func FromC128(shape Shape, vals []complex128) *Tensor {
 	checkLen(shape, len(vals))

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Distributed smoke test: build the binaries, boot a 4-task localhost cluster
+# as real processes, run a CG solve and an SGD epoch over TCP (collectives
+# ring between the tfserver tasks), and fail on nonzero exit — tfcg enforces
+# the residual tolerance itself and tfsgd enforces loss decrease and replica
+# consistency.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=${BIN:-bin}
+mkdir -p "$BIN"
+go build -o "$BIN/tfserver" ./cmd/tfserver
+go build -o "$BIN/tfcg" ./cmd/tfcg
+go build -o "$BIN/tfsgd" ./cmd/tfsgd
+
+BASE_PORT=${BASE_PORT:-17841}
+TASKS=4
+SPEC=""
+pids=()
+cleanup() {
+  for pid in "${pids[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+# Bind the wildcard address but dial loopback: the listen and advertised
+# addresses genuinely differ, exercising tfserver -advertise.
+for i in $(seq 0 $((TASKS - 1))); do
+  port=$((BASE_PORT + i))
+  addr="127.0.0.1:${port}"
+  SPEC="${SPEC:+$SPEC,}$addr"
+  "$BIN/tfserver" -job worker -task "$i" -listen "0.0.0.0:${port}" -advertise "$addr" &
+  pids+=($!)
+done
+echo "smoke: booted $TASKS tfserver tasks: $SPEC"
+
+echo "smoke: CG solve over TCP"
+"$BIN/tfcg" -mode cluster -spec "$SPEC" -workers $TASKS -n 256 -iters 300 -tol 1e-6
+
+echo "smoke: SGD training over TCP"
+"$BIN/tfsgd" -mode cluster -spec "$SPEC" -workers $TASKS -features 128 -rows 256 -steps 25 -lr 0.3
+
+echo "smoke: OK"
