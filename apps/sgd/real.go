@@ -138,5 +138,6 @@ func runReplicas(cfg Config, sessions []*session.Session,
 		StepSeconds:   elapsed / float64(cfg.Steps),
 		GradBytes:     int64(cfg.Features) * 8,
 		ReplicasEqual: equal,
+		Weights:       weights[0],
 	}, nil
 }

@@ -139,6 +139,9 @@ type Result struct {
 	// ReplicasEqual reports whether every worker ended with bit-identical
 	// weights — the invariant synchronous allreduce SGD must preserve.
 	ReplicasEqual bool
+	// Weights is replica 0's final weight vector — the trained model, ready
+	// to checkpoint for serving (tfsgd -checkpoint → tfserve).
+	Weights *tensor.Tensor
 }
 
 // relWeightErr is ‖w − w*‖/‖w*‖.

@@ -8,8 +8,9 @@
 //	tfbench -exp fig8                         # one experiment
 //	tfbench -exp gemm,fft,collective          # several, in order
 //	tfbench -exp collective -json out.json    # also write machine-readable results
+//	tfbench -exp serving                      # micro-batching throughput/latency sweep
 //
-// Experiments: table1 fig7 fig8 fig9 fig10 fig11 gemm fft collective.
+// Experiments: table1 fig7 fig8 fig9 fig10 fig11 gemm fft collective serving.
 package main
 
 import (
@@ -22,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: all|figures|table1|fig7|fig8|fig9|fig10|fig11|gemm|fft|collective")
+	exp := flag.String("exp", "all", "comma-separated experiments: all|figures|table1|fig7|fig8|fig9|fig10|fig11|gemm|fft|collective|serving")
 	jsonPath := flag.String("json", "", "also write a machine-readable report (tfhpc-bench/v1) to this path")
 	flag.Parse()
 

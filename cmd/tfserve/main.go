@@ -1,0 +1,175 @@
+// tfserve is the model server: it loads checkpointed models into the
+// versioned serving registry and answers online predict traffic over a
+// KServe-style HTTP/JSON API and (optionally) the framed binary RPC
+// endpoint, with dynamic micro-batching and admission control in front of
+// every model.
+//
+//	tfserve -listen 127.0.0.1:8500 -model prices=model.ckpt
+//	tfserve -listen 127.0.0.1:8500 -rpc 127.0.0.1:8501 -model a=a.ckpt -model b=b.ckpt
+//	tfserve -listen 127.0.0.1:8500 -synthetic demo -features 256
+//	tfserve -listen 127.0.0.1:8500 -route 127.0.0.1:8501,127.0.0.1:8502
+//
+// -model name=path serves a checkpoint written by tfsgd -checkpoint (or any
+// servable linear checkpoint). -synthetic trains a small SGD linear model
+// in-process and serves it — the zero-setup demo. -route makes this process
+// a front router spreading requests over replica tfserve/tfserver tasks
+// (least-loaded, failure-aware) instead of hosting models itself.
+//
+//	curl -s localhost:8500/v1/models
+//	curl -s -X POST localhost:8500/v1/models/demo:predict \
+//	     -d '{"instances": [[0.1, 0.2, 0.3, ...]]}'
+//	curl -s localhost:8500/statsz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"tfhpc/apps/sgd"
+	"tfhpc/internal/rpc"
+	"tfhpc/internal/serving"
+)
+
+// modelFlags collects repeated -model name=path pairs.
+type modelFlags []struct{ name, path string }
+
+func (m *modelFlags) String() string { return fmt.Sprintf("%d models", len(*m)) }
+
+func (m *modelFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want -model name=path, got %q", v)
+	}
+	*m = append(*m, struct{ name, path string }{name, path})
+	return nil
+}
+
+func main() {
+	var models modelFlags
+	listen := flag.String("listen", "127.0.0.1:8500", "HTTP predictor listen address")
+	rpcAddr := flag.String("rpc", "", "also serve the framed binary endpoint on this address (replicas need this)")
+	flag.Var(&models, "model", "serve a checkpoint: name=path (repeatable)")
+	synthetic := flag.String("synthetic", "", "train a synthetic SGD linear model in-process and serve it under this name")
+	features := flag.Int("features", 256, "synthetic model dimension")
+	steps := flag.Int("steps", 40, "synthetic model training steps")
+	route := flag.String("route", "", "route to replica addresses host:port,... instead of hosting models")
+	maxBatch := flag.Int("max-batch", 32, "micro-batcher flush threshold (1 disables batching)")
+	batchTimeout := flag.Duration("batch-timeout", 2*time.Millisecond, "micro-batcher coalescing window")
+	queueDepth := flag.Int("queue", 1024, "per-model admission queue depth")
+	deadline := flag.Duration("deadline", time.Second, "default per-request deadline")
+	runners := flag.Int("runners", 2, "concurrent batch executors per model")
+	flag.Parse()
+
+	var predictor serving.Predictor
+	var cleanup func()
+	if *route != "" {
+		if len(models) > 0 || *synthetic != "" {
+			fatal(fmt.Errorf("-route excludes -model/-synthetic (a router hosts no models)"))
+		}
+		r, err := serving.NewRouter(strings.Split(*route, ","), serving.RouterOptions{
+			DefaultDeadline: *deadline,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		predictor = r
+		cleanup = r.Close
+		fmt.Printf("tfserve: routing over replicas %s\n", *route)
+	} else {
+		svc := serving.NewService(serving.NewRegistry(), serving.BatchOptions{
+			MaxBatch:        *maxBatch,
+			Timeout:         *batchTimeout,
+			QueueDepth:      *queueDepth,
+			DefaultDeadline: *deadline,
+			Runners:         *runners,
+		})
+		for _, m := range models {
+			mv, err := serving.LoadLinear(m.name, 0, m.path)
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := svc.ServeModel(mv); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("tfserve: serving %s v%d from %s (d=%d)\n",
+				m.name, mv.Version(), m.path, mv.Signature().Features)
+		}
+		if *synthetic != "" {
+			mv, err := trainSynthetic(*synthetic, *features, *steps)
+			if err != nil {
+				fatal(err)
+			}
+			if _, err := svc.ServeModel(mv); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("tfserve: serving synthetic %s v%d (d=%d, trained %d steps)\n",
+				*synthetic, mv.Version(), *features, *steps)
+		}
+		if len(svc.Models()) == 0 {
+			fatal(fmt.Errorf("nothing to serve: give -model, -synthetic or -route"))
+		}
+		predictor = svc
+		cleanup = svc.Close
+	}
+
+	// Binary endpoint (the router's replica-facing surface).
+	var rpcSrv *rpc.Server
+	if *rpcAddr != "" {
+		rpcSrv = rpc.NewServer()
+		serving.Attach(rpcSrv, predictor)
+		bound, err := rpcSrv.Listen(*rpcAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("tfserve: binary endpoint on %s\n", bound)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	httpSrv := &http.Server{Handler: serving.NewHTTPHandler(predictor)}
+	go httpSrv.Serve(ln)
+	fmt.Printf("tfserve: HTTP predictor on %s\n", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	httpSrv.Close()
+	if rpcSrv != nil {
+		rpcSrv.Close()
+	}
+	cleanup()
+	fmt.Println("tfserve: shut down")
+}
+
+// trainSynthetic trains the apps/sgd linear model in-process and wraps the
+// learned weights as a servable version — train → serve with no file in
+// between.
+func trainSynthetic(name string, features, steps int) (*serving.ModelVersion, error) {
+	res, err := sgd.RunReal(sgd.Config{
+		Features:      features,
+		RowsPerWorker: 4 * features,
+		Workers:       2,
+		Steps:         steps,
+		LR:            0.3,
+		Seed:          42,
+		Noise:         0.01,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return serving.NewLinear(name, steps, res.Weights)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tfserve: %v\n", err)
+	os.Exit(1)
+}

@@ -10,6 +10,7 @@
 //	tfsgd -mode real -features 4096 -rows 1024 -workers 4 -steps 50
 //	tfsgd -mode cluster -spec 127.0.0.1:7000,127.0.0.1:7001 -workers 2
 //	tfsgd -mode sim -cluster kebnekaise -node v100 -proto rdma -features 1048576
+//	tfsgd -mode real -features 256 -checkpoint model.ckpt   # then: tfserve -model m=model.ckpt
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"tfhpc/apps/sgd"
 	"tfhpc/internal/cluster"
 	"tfhpc/internal/hw"
+	"tfhpc/internal/serving"
 	"tfhpc/internal/simnet"
 )
 
@@ -39,6 +41,7 @@ func main() {
 	clusterName := flag.String("cluster", "kebnekaise", "sim: tegner|kebnekaise")
 	node := flag.String("node", "v100", "sim: node type")
 	proto := flag.String("proto", "rdma", "sim: grpc|mpi|rdma")
+	ckpt := flag.String("checkpoint", "", "save the trained weights as a servable linear-model checkpoint (tfserve -model)")
 	flag.Parse()
 
 	cfg := sgd.Config{
@@ -59,6 +62,7 @@ func main() {
 		}
 		report("real", cfg, res)
 		check(res)
+		saveCheckpoint(*ckpt, cfg, res)
 	case "cluster":
 		if *spec == "" {
 			fatal(fmt.Errorf("cluster mode needs -spec host:port,host:port,..."))
@@ -72,6 +76,7 @@ func main() {
 		}
 		report("cluster", cfg, res)
 		check(res)
+		saveCheckpoint(*ckpt, cfg, res)
 	case "sim":
 		c, nt, err := hw.NodeTypeByName(*clusterName, *node)
 		if err != nil {
@@ -118,6 +123,22 @@ func check(res *sgd.Result) {
 	case !res.ReplicasEqual:
 		fatal(fmt.Errorf("weight replicas diverged"))
 	}
+}
+
+// saveCheckpoint writes the trained weights in the servable linear format —
+// the handoff from training to tfserve (train → checkpoint → serve).
+func saveCheckpoint(path string, cfg sgd.Config, res *sgd.Result) {
+	if path == "" {
+		return
+	}
+	if res.Weights == nil {
+		fatal(fmt.Errorf("no trained weights to checkpoint"))
+	}
+	if err := serving.SaveLinear(path, int64(cfg.Steps), res.Weights); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("sgd: checkpointed trained model to %s (d=%d, servable as a linear model)\n",
+		path, cfg.Features)
 }
 
 func fatal(err error) {

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LatencyHist accumulates per-request latency samples and summarises them
+// as the quantiles an SLO is written against. Safe for concurrent Record;
+// Summary is meant for after the run (it snapshots under the lock).
+type LatencyHist struct {
+	mu      sync.Mutex
+	samples []float64 // seconds
+}
+
+// NewLatencyHist returns an empty histogram.
+func NewLatencyHist() *LatencyHist { return &LatencyHist{} }
+
+// Record adds one sample.
+func (h *LatencyHist) Record(d time.Duration) {
+	h.mu.Lock()
+	h.samples = append(h.samples, d.Seconds())
+	h.mu.Unlock()
+}
+
+// Count returns the number of recorded samples.
+func (h *LatencyHist) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Summary computes the latency quantiles (empty histogram → zero summary).
+func (h *LatencyHist) Summary() LatencySummary {
+	h.mu.Lock()
+	s := append([]float64(nil), h.samples...)
+	h.mu.Unlock()
+	out := LatencySummary{Count: len(s)}
+	if len(s) == 0 {
+		return out
+	}
+	sort.Float64s(s)
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	ms := func(sec float64) float64 { return sec * 1e3 }
+	out.MeanMs = ms(sum / float64(len(s)))
+	out.P50Ms = ms(quantile(s, 0.50))
+	out.P95Ms = ms(quantile(s, 0.95))
+	out.P99Ms = ms(quantile(s, 0.99))
+	out.MaxMs = ms(s[len(s)-1])
+	return out
+}
+
+// quantile interpolates the q-quantile of sorted samples (nearest-rank with
+// linear interpolation, the common "type 7" estimator).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// LatencySummary is the JSON form of a latency distribution, in
+// milliseconds — part of the tfhpc-bench report schema.
+type LatencySummary struct {
+	Count  int     `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+func (l LatencySummary) String() string {
+	return fmt.Sprintf("p50 %.3fms p95 %.3fms p99 %.3fms max %.3fms (n=%d)",
+		l.P50Ms, l.P95Ms, l.P99Ms, l.MaxMs, l.Count)
+}

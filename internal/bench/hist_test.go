@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLatencyHistQuantiles(t *testing.T) {
+	h := NewLatencyHist()
+	// 1..100 ms: quantiles are known in closed form.
+	for i := 1; i <= 100; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Summary()
+	if s.Count != 100 {
+		t.Fatalf("count %d", s.Count)
+	}
+	check := func(name string, got, want float64) {
+		if math.Abs(got-want) > 0.11 {
+			t.Errorf("%s: got %.3f want %.3f", name, got, want)
+		}
+	}
+	check("p50", s.P50Ms, 50.5)
+	check("p95", s.P95Ms, 95.05)
+	check("p99", s.P99Ms, 99.01)
+	check("max", s.MaxMs, 100)
+	check("mean", s.MeanMs, 50.5)
+}
+
+func TestLatencyHistEdgeCases(t *testing.T) {
+	if s := NewLatencyHist().Summary(); s.Count != 0 || s.P99Ms != 0 {
+		t.Fatalf("empty histogram: %+v", s)
+	}
+	h := NewLatencyHist()
+	h.Record(7 * time.Millisecond)
+	s := h.Summary()
+	if s.P50Ms != 7 || s.P99Ms != 7 || s.MaxMs != 7 {
+		t.Fatalf("single sample: %+v", s)
+	}
+}
+
+func TestLatencyHistConcurrentRecord(t *testing.T) {
+	h := NewLatencyHist()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Record(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != 8000 {
+		t.Fatalf("lost samples: %d", got)
+	}
+}

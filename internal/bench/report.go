@@ -23,6 +23,7 @@ type Report struct {
 	Gemm       []GemmRow       `json:"gemm,omitempty"`
 	Fft        *FftResult      `json:"fft,omitempty"`
 	Collective []CollectiveRow `json:"collective,omitempty"`
+	Serving    []ServingRow    `json:"serving,omitempty"`
 	// Figures holds the rendered text of the paper-figure experiments,
 	// which have no natural tabular schema beyond their printed form.
 	Figures map[string]string `json:"figures,omitempty"`
@@ -33,7 +34,7 @@ type Report struct {
 // sweeps. "figures" and "all" expand to them respectively.
 var (
 	FigureNames     = []string{"table1", "fig7", "fig8", "fig9", "fig10", "fig11"}
-	ExperimentNames = append(append([]string{}, FigureNames...), "gemm", "fft", "collective")
+	ExperimentNames = append(append([]string{}, FigureNames...), "gemm", "fft", "collective", "serving")
 )
 
 // Run executes the named experiments in order and returns the combined
@@ -95,6 +96,10 @@ func Run(exps []string) (*Report, string, error) {
 		case "collective":
 			if rep.Collective, err = CollectiveRows(); err == nil {
 				text = renderCollective(rep.Collective)
+			}
+		case "serving":
+			if rep.Serving, err = ServingRows(); err == nil {
+				text = renderServing(rep.Serving)
 			}
 		default:
 			err = fmt.Errorf("bench: unknown experiment %q (want all|figures|%s)",

@@ -1,0 +1,291 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tfhpc/internal/serving"
+	"tfhpc/internal/tensor"
+)
+
+// ServingRow is one measured serving configuration: a load-generation mode
+// (closed loop = fixed concurrency, each client waits for its answer; open
+// loop = fixed arrival rate regardless of completions) against one
+// micro-batcher setting. SpeedupVsNoBatch relates a batched closed-loop row
+// to the MaxBatch=1 row at the same concurrency — the number the batching
+// thesis stands on.
+type ServingRow struct {
+	Mode             string         `json:"mode"` // "closed" | "open"
+	Clients          int            `json:"clients,omitempty"`
+	TargetRps        float64        `json:"target_rps,omitempty"`
+	MaxBatch         int            `json:"max_batch"`
+	Features         int            `json:"features"`
+	Requests         int            `json:"requests"`
+	Seconds          float64        `json:"seconds"`
+	ThroughputRps    float64        `json:"throughput_rps"`
+	MeanBatch        float64        `json:"mean_batch"`
+	MaxBatchSeen     int64          `json:"max_batch_seen"`
+	Rejected         int64          `json:"rejected"`
+	Expired          int64          `json:"expired"`
+	Latency          LatencySummary `json:"latency"`
+	SpeedupVsNoBatch float64        `json:"speedup_vs_nobatch,omitempty"`
+}
+
+// servingFixture is one servable linear model plus a pool of request rows.
+type servingFixture struct {
+	svc  *serving.Service
+	rows []*tensor.Tensor
+}
+
+func newServingFixture(d, maxBatch int) (*servingFixture, error) {
+	svc := serving.NewService(serving.NewRegistry(), serving.BatchOptions{
+		MaxBatch: maxBatch,
+		Timeout:  2 * time.Millisecond,
+		// Runners follow the machine so MaxBatch=1 measures true concurrent
+		// single-row serving, not an artificial runner bottleneck.
+		Runners:         runtime.GOMAXPROCS(0),
+		QueueDepth:      4096,
+		DefaultDeadline: 10 * time.Second,
+	})
+	w := make([]float64, d)
+	for i := range w {
+		w[i] = 0.25 + float64(i%31)*0.0625
+	}
+	mv, err := serving.NewLinear("bench", 1, tensor.FromF64(tensor.Shape{d}, w))
+	if err != nil {
+		return nil, err
+	}
+	if _, err := svc.ServeModel(mv); err != nil {
+		return nil, err
+	}
+	rows := make([]*tensor.Tensor, 256)
+	r := tensor.NewRNG(7)
+	for i := range rows {
+		buf := make([]float64, d)
+		for j := range buf {
+			buf[j] = r.Float64()*2 - 1
+		}
+		rows[i] = tensor.FromF64(tensor.Shape{d}, buf)
+	}
+	return &servingFixture{svc: svc, rows: rows}, nil
+}
+
+// closedLoop drives `clients` concurrent callers, each issuing its next
+// request as soon as the previous one answers, until `total` requests are
+// done. Returns the wall time and the recorded latency histogram.
+func (f *servingFixture) closedLoop(clients, total int, deadline time.Duration, hist *LatencyHist) (float64, error) {
+	var next atomic.Int64
+	var firstErr atomic.Value
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				i := next.Add(1)
+				if int(i) > total {
+					return
+				}
+				row := f.rows[int(i)%len(f.rows)]
+				t0 := time.Now()
+				_, err := f.svc.Predict("bench", row, t0.Add(deadline))
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				if hist != nil {
+					hist.Record(time.Since(t0))
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if err, ok := firstErr.Load().(error); ok {
+		return 0, err
+	}
+	return elapsed, nil
+}
+
+// openLoop fires requests at a fixed arrival rate for dur, regardless of
+// completions — the regime where queues actually build and the admission
+// control earns its keep. Slow answers don't slow arrivals.
+func (f *servingFixture) openLoop(rate float64, dur, deadline time.Duration, hist *LatencyHist) (sent int, rejected, expired int64, elapsed float64) {
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	var wg sync.WaitGroup
+	var rej, exp atomic.Int64
+	start := time.Now()
+	for t := time.Duration(0); t < dur; t += interval {
+		// Arrival schedule is absolute: sleep to the slot, then fire.
+		if d := time.Until(start.Add(t)); d > 0 {
+			time.Sleep(d)
+		}
+		row := f.rows[sent%len(f.rows)]
+		sent++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			_, err := f.svc.Predict("bench", row, t0.Add(deadline))
+			switch {
+			case err == nil:
+				hist.Record(time.Since(t0))
+			case err == serving.ErrOverloaded:
+				rej.Add(1)
+			case err == serving.ErrDeadline:
+				exp.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	return sent, rej.Load(), exp.Load(), time.Since(start).Seconds()
+}
+
+// ServingRows measures the serving subsystem on this host: closed-loop
+// sweeps over micro-batcher settings at fixed concurrency (the batch-vs-
+// no-batch comparison) and one open-loop run into overload. Request
+// results are bitwise independent of batching, so every configuration
+// computes identical answers — the rows isolate scheduling, not numerics.
+func ServingRows() ([]ServingRow, error) {
+	// d=256 keeps one row's work (a 256-element dot product) far below the
+	// fixed per-Run executor cost, which is exactly the regime online
+	// feature-vector serving lives in — and where micro-batching pays.
+	const (
+		d        = 256
+		clients  = 64
+		requests = 12000
+		deadline = 10 * time.Second
+	)
+	var rows []ServingRow
+	var baselineRps float64
+	for _, maxBatch := range []int{1, 8, 32, 64} {
+		f, err := newServingFixture(d, maxBatch)
+		if err != nil {
+			return nil, err
+		}
+		// Warmup (uncounted), then the measured run.
+		if _, err := f.closedLoop(clients, requests/8, deadline, nil); err != nil {
+			f.svc.Close()
+			return nil, err
+		}
+		pre := snapshotOf(f.svc)
+		hist := NewLatencyHist()
+		elapsed, err := f.closedLoop(clients, requests, deadline, hist)
+		if err != nil {
+			f.svc.Close()
+			return nil, err
+		}
+		post := snapshotOf(f.svc)
+		row := ServingRow{
+			Mode:          "closed",
+			Clients:       clients,
+			MaxBatch:      maxBatch,
+			Features:      d,
+			Requests:      requests,
+			Seconds:       elapsed,
+			ThroughputRps: float64(requests) / elapsed,
+			MeanBatch:     meanBatch(pre, post),
+			MaxBatchSeen:  post.MaxBatch,
+			Rejected:      post.Rejected - pre.Rejected,
+			Expired:       post.Expired - pre.Expired,
+			Latency:       hist.Summary(),
+		}
+		if maxBatch == 1 {
+			baselineRps = row.ThroughputRps
+		} else if baselineRps > 0 {
+			row.SpeedupVsNoBatch = row.ThroughputRps / baselineRps
+		}
+		rows = append(rows, row)
+		f.svc.Close()
+	}
+
+	// Open loop: arrivals at ~2x the no-batch capacity with tight
+	// deadlines — rejections and expiries are the expected outcome.
+	f, err := newServingFixture(d, 32)
+	if err != nil {
+		return nil, err
+	}
+	// ~2x the no-batch capacity, capped: the goal is sustained overload,
+	// not a goroutine storm.
+	rate := 2 * baselineRps
+	if rate <= 0 || rate > 30000 {
+		rate = 30000
+	}
+	hist := NewLatencyHist()
+	pre := snapshotOf(f.svc)
+	sent, rejected, expired, elapsed := f.openLoop(rate, time.Second, 50*time.Millisecond, hist)
+	post := snapshotOf(f.svc)
+	rows = append(rows, ServingRow{
+		Mode:          "open",
+		TargetRps:     rate,
+		MaxBatch:      32,
+		Features:      d,
+		Requests:      sent,
+		Seconds:       elapsed,
+		ThroughputRps: float64(hist.Count()) / elapsed,
+		MeanBatch:     meanBatch(pre, post),
+		MaxBatchSeen:  post.MaxBatch,
+		Rejected:      rejected,
+		Expired:       expired,
+		Latency:       hist.Summary(),
+	})
+	f.svc.Close()
+	return rows, nil
+}
+
+func snapshotOf(svc *serving.Service) serving.StatsSnapshot {
+	snaps := svc.Snapshots()
+	if len(snaps) == 0 {
+		return serving.StatsSnapshot{}
+	}
+	return snaps[0]
+}
+
+func meanBatch(pre, post serving.StatsSnapshot) float64 {
+	rows := post.Rows - pre.Rows
+	batches := post.Batches - pre.Batches
+	if batches <= 0 {
+		return 0
+	}
+	return float64(rows) / float64(batches)
+}
+
+// Serving renders the serving benchmark table.
+func Serving() (string, error) {
+	rows, err := ServingRows()
+	if err != nil {
+		return "", err
+	}
+	return renderServing(rows), nil
+}
+
+func renderServing(rows []ServingRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Model serving: dynamic micro-batching, %d features, linear model (%d pool workers)\n",
+		rows[0].Features, runtime.GOMAXPROCS(0))
+	sb.WriteString(fmt.Sprintf("%-7s %-8s %-9s %9s %9s %8s %8s %8s %8s %6s %6s\n",
+		"mode", "load", "maxbatch", "rps", "meanbat", "p50ms", "p95ms", "p99ms", "maxms", "rej", "exp"))
+	for _, r := range rows {
+		load := fmt.Sprintf("%dc", r.Clients)
+		if r.Mode == "open" {
+			load = fmt.Sprintf("%.0f/s", r.TargetRps)
+		}
+		speed := ""
+		if r.SpeedupVsNoBatch > 0 {
+			speed = fmt.Sprintf("  %.1fx vs nobatch", r.SpeedupVsNoBatch)
+		}
+		sb.WriteString(fmt.Sprintf("%-7s %-8s %-9d %9.0f %9.1f %8.3f %8.3f %8.3f %8.2f %6d %6d%s\n",
+			r.Mode, load, r.MaxBatch, r.ThroughputRps, r.MeanBatch,
+			r.Latency.P50Ms, r.Latency.P95Ms, r.Latency.P99Ms, r.Latency.MaxMs,
+			r.Rejected, r.Expired, speed))
+	}
+	return sb.String()
+}

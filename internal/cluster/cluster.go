@@ -92,6 +92,12 @@ func NewServer(job string, task int) *Server {
 	return s
 }
 
+// HandleCtx registers an additional RPC method on this task's server — the
+// hook other subsystems use to co-host endpoints on cluster worker tasks
+// (model serving attaches its predict/stats methods this way, so a worker
+// can train a replica and serve it from the same process).
+func (s *Server) HandleCtx(method string, h rpc.CtxHandler) { s.srv.HandleCtx(method, h) }
+
 // Start binds addr ("host:0" allocates a port) and begins serving; returns
 // the bound address.
 func (s *Server) Start(addr string) (string, error) {

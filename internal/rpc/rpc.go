@@ -7,11 +7,13 @@
 package rpc
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"tfhpc/internal/wire"
 )
@@ -19,10 +21,15 @@ import (
 // Handler serves one method: decode request, act, encode response.
 type Handler func(req []byte) ([]byte, error)
 
+// CtxHandler is a deadline-aware handler: ctx carries the caller's remaining
+// per-call budget (propagated in the request frame), so slow work can stop
+// instead of computing an answer nobody is waiting for.
+type CtxHandler func(ctx context.Context, req []byte) ([]byte, error)
+
 // Server listens on a TCP address and dispatches framed calls to handlers.
 type Server struct {
 	mu       sync.Mutex
-	handlers map[string]Handler
+	handlers map[string]CtxHandler
 	ln       net.Listener
 	closed   bool
 	wg       sync.WaitGroup
@@ -32,11 +39,17 @@ type Server struct {
 
 // NewServer returns a server with no handlers registered.
 func NewServer() *Server {
-	return &Server{handlers: make(map[string]Handler), conns: make(map[net.Conn]struct{})}
+	return &Server{handlers: make(map[string]CtxHandler), conns: make(map[net.Conn]struct{})}
 }
 
 // Handle registers a method. Must be called before Serve.
 func (s *Server) Handle(method string, h Handler) {
+	s.HandleCtx(method, func(_ context.Context, req []byte) ([]byte, error) { return h(req) })
+}
+
+// HandleCtx registers a deadline-aware method: the handler's context expires
+// when the caller's per-call deadline (CallContext) does.
+func (s *Server) HandleCtx(method string, h CtxHandler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, dup := s.handlers[method]; dup {
@@ -111,7 +124,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if rejected {
 			callErr = errors.New("rpc: server shutting down")
 		} else {
-			method, req, err := decodeRequest(frame)
+			method, req, budget, err := decodeRequest(frame)
 			if err != nil {
 				callErr = err
 			} else {
@@ -121,7 +134,15 @@ func (s *Server) serveConn(conn net.Conn) {
 				if !ok {
 					callErr = fmt.Errorf("rpc: no handler for %q", method)
 				} else {
-					resp, callErr = h(req)
+					ctx := context.Background()
+					if budget > 0 {
+						var cancel context.CancelFunc
+						ctx, cancel = context.WithTimeout(ctx, budget)
+						resp, callErr = invoke(h, ctx, req)
+						cancel()
+					} else {
+						resp, callErr = invoke(h, ctx, req)
+					}
 				}
 			}
 		}
@@ -133,6 +154,18 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// invoke runs one handler, converting a panic into a call error: a server
+// hosts many subsystems' methods (ops, collectives, serving), and one
+// malformed request must fail its own call, not the whole task.
+func invoke(h CtxHandler, ctx context.Context, req []byte) (resp []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("rpc: handler panic: %v", r)
+		}
+	}()
+	return h(ctx, req)
 }
 
 // Close drains then stops the server: it closes the listener, rejects calls
@@ -162,15 +195,20 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// Request frame: field 1 = method, field 2 = payload.
-func encodeRequest(method string, req []byte) []byte {
+// Request frame: field 1 = method, field 2 = payload, field 3 = remaining
+// per-call budget in microseconds (0/absent = no deadline). The budget is a
+// duration, not an absolute time, so peers need no clock agreement.
+func encodeRequest(method string, req []byte, budget time.Duration) []byte {
 	e := wire.NewEncoder()
 	e.String(1, method)
 	e.BytesField(2, req)
+	if budget > 0 {
+		e.Uint(3, uint64(budget/time.Microsecond))
+	}
 	return e.Bytes()
 }
 
-func decodeRequest(frame []byte) (method string, req []byte, err error) {
+func decodeRequest(frame []byte) (method string, req []byte, budget time.Duration, err error) {
 	d := wire.NewDecoder(frame)
 	for {
 		f, wt, err := d.Next()
@@ -178,27 +216,33 @@ func decodeRequest(frame []byte) (method string, req []byte, err error) {
 			break
 		}
 		if err != nil {
-			return "", nil, err
+			return "", nil, 0, err
 		}
 		switch f {
 		case 1:
 			if method, err = d.StringVal(); err != nil {
-				return "", nil, err
+				return "", nil, 0, err
 			}
 		case 2:
 			if req, err = d.Bytes(); err != nil {
-				return "", nil, err
+				return "", nil, 0, err
 			}
+		case 3:
+			us, err := d.Uint()
+			if err != nil {
+				return "", nil, 0, err
+			}
+			budget = time.Duration(us) * time.Microsecond
 		default:
 			if err := d.Skip(wt); err != nil {
-				return "", nil, err
+				return "", nil, 0, err
 			}
 		}
 	}
 	if method == "" {
-		return "", nil, errors.New("rpc: request missing method")
+		return "", nil, 0, errors.New("rpc: request missing method")
 	}
-	return method, req, nil
+	return method, req, budget, nil
 }
 
 // Response frame: field 1 = error string (empty = ok), field 2 = payload.
@@ -239,9 +283,24 @@ func decodeResponse(frame []byte) ([]byte, error) {
 		}
 	}
 	if remoteErr != "" {
-		return nil, fmt.Errorf("rpc: remote error: %s", remoteErr)
+		return nil, &RemoteError{Msg: remoteErr}
 	}
 	return payload, nil
+}
+
+// RemoteError is an application-level failure reported by the remote
+// handler: the transport round-trip succeeded, so retrying the same request
+// on another replica of the same service will fail the same way. Callers
+// (the serving router) use this to separate failover-worthy transport
+// errors from deterministic application errors.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "rpc: remote error: " + e.Msg }
+
+// IsRemote reports whether err is (or wraps) a remote application error.
+func IsRemote(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re)
 }
 
 // Client issues calls to one server address. Connections are pooled so
@@ -263,26 +322,79 @@ func Dial(addr string) *Client {
 	return &Client{addr: addr, live: make(map[net.Conn]struct{})}
 }
 
-// Call sends one request and waits for the response.
+// Call sends one request and waits for the response (no deadline).
 func (c *Client) Call(method string, req []byte) ([]byte, error) {
-	conn, err := c.conn()
+	return c.CallContext(context.Background(), method, req)
+}
+
+// CallContext sends one request bounded by ctx: the remaining budget rides
+// in the frame header (so the server's handler context expires with ours)
+// and, if ctx fires before the response lands, the connection is torn down —
+// unblocking the pending read — and ctx's error is returned. This is how
+// serving request timeouts propagate instead of blocking forever on a
+// stuck or partitioned peer.
+func (c *Client) CallContext(ctx context.Context, method string, req []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var budget time.Duration
+	if dl, ok := ctx.Deadline(); ok {
+		budget = time.Until(dl)
+		if budget <= 0 {
+			return nil, context.DeadlineExceeded
+		}
+	}
+	conn, err := c.conn(ctx)
 	if err != nil {
 		return nil, err
 	}
-	if err := wire.WriteFrame(conn, encodeRequest(method, req)); err != nil {
-		c.discard(conn)
-		return nil, err
+	// The exchange owns conn exclusively, so interrupting it via the conn's
+	// I/O deadline is race-free (closing it would race with the pool). A
+	// watcher pokes the deadline into the past on early cancellation.
+	if budget > 0 {
+		conn.SetDeadline(time.Now().Add(budget))
 	}
-	frame, err := wire.ReadFrame(conn)
-	if err != nil {
-		c.discard(conn)
-		return nil, err
+	var stop, wdone chan struct{}
+	if ctx.Done() != nil {
+		stop, wdone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(wdone)
+			select {
+			case <-ctx.Done():
+				conn.SetDeadline(time.Unix(1, 0))
+			case <-stop:
+			}
+		}()
 	}
+	frame, ioErr := func() ([]byte, error) {
+		if err := wire.WriteFrame(conn, encodeRequest(method, req, budget)); err != nil {
+			return nil, err
+		}
+		return wire.ReadFrame(conn)
+	}()
+	if stop != nil {
+		close(stop)
+		<-wdone
+	}
+	if ioErr != nil {
+		// A half-done stream cannot be reused.
+		c.discard(conn)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if budget > 0 {
+			if ne, ok := ioErr.(net.Error); ok && ne.Timeout() {
+				return nil, context.DeadlineExceeded
+			}
+		}
+		return nil, ioErr
+	}
+	conn.SetDeadline(time.Time{}) // clear before pooling
 	c.put(conn)
 	return decodeResponse(frame)
 }
 
-func (c *Client) conn() (net.Conn, error) {
+func (c *Client) conn(ctx context.Context) (net.Conn, error) {
 	c.mu.Lock()
 	if c.down {
 		c.mu.Unlock()
@@ -295,7 +407,11 @@ func (c *Client) conn() (net.Conn, error) {
 		return conn, nil
 	}
 	c.mu.Unlock()
-	conn, err := net.Dial("tcp", c.addr)
+	// DialContext so the per-call deadline bounds connection establishment
+	// too — a SYN-blackholing peer must fail the call at the deadline, not
+	// after the OS connect timeout.
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
 		return nil, err
 	}

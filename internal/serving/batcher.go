@@ -1,0 +1,296 @@
+package serving
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tfhpc/internal/tensor"
+)
+
+// BatchOptions tune one model's micro-batcher and admission control.
+type BatchOptions struct {
+	// MaxBatch is the flush threshold: a forming batch is dispatched as
+	// soon as it holds this many rows (default 32). 1 disables coalescing.
+	MaxBatch int
+	// Timeout is the longest a first row waits for company before the
+	// partial batch flushes anyway (default 2ms) — the latency the batcher
+	// is allowed to spend buying arithmetic intensity.
+	Timeout time.Duration
+	// QueueDepth bounds the admission queue; enqueues beyond it are
+	// rejected immediately with ErrOverloaded (default 1024).
+	QueueDepth int
+	// Runners is the number of concurrent batch executors (default 2):
+	// while one batch runs the session, the next one forms.
+	Runners int
+	// DefaultDeadline applies to requests that carry none (default 1s).
+	DefaultDeadline time.Duration
+}
+
+func (o BatchOptions) withDefaults() BatchOptions {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 32
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 2 * time.Millisecond
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
+	if o.Runners <= 0 {
+		o.Runners = 2
+	}
+	if o.DefaultDeadline <= 0 {
+		o.DefaultDeadline = time.Second
+	}
+	return o
+}
+
+type result struct {
+	out *tensor.Tensor
+	err error
+}
+
+type request struct {
+	row      *tensor.Tensor // [features]
+	deadline time.Time
+	resp     chan result // buffered(1): a late runner response never blocks
+}
+
+// Batcher coalesces single-row predictions for one model into batched
+// session runs. Admission is a bounded queue (reject > queue > time out):
+// a full queue rejects instantly, queued rows carry deadlines, and expired
+// rows are dropped at flush time instead of wasting a session run.
+type Batcher struct {
+	reg   *Registry
+	model string
+	opts  BatchOptions
+	stats *Stats
+
+	ch     chan *request
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewBatcher starts a batcher (and its runner goroutines) over the
+// registry's named model.
+func NewBatcher(reg *Registry, model string, opts BatchOptions) *Batcher {
+	b := &Batcher{
+		reg:   reg,
+		model: model,
+		opts:  opts.withDefaults(),
+		stats: &Stats{},
+		ch:    make(chan *request, opts.withDefaults().QueueDepth),
+	}
+	for i := 0; i < b.opts.Runners; i++ {
+		b.wg.Add(1)
+		go b.runner()
+	}
+	return b
+}
+
+// Stats returns the model's live counters.
+func (b *Batcher) Stats() *Stats { return b.stats }
+
+// Pending is the current admission-queue depth.
+func (b *Batcher) Pending() int { return len(b.ch) }
+
+// Close stops the runners after the queue drains; queued requests are
+// still answered.
+func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	close(b.ch)
+	b.mu.Unlock()
+	b.wg.Wait()
+}
+
+// Predict serves one row (shape [features]) through the batcher, blocking
+// until the prediction, the deadline (zero = DefaultDeadline from now), or
+// rejection. The outcome is counted exactly once, here at the resolution
+// point: rejected at admission, expired at deadline, errored, or ok.
+func (b *Batcher) Predict(row *tensor.Tensor, deadline time.Time) (*tensor.Tensor, error) {
+	if deadline.IsZero() {
+		deadline = time.Now().Add(b.opts.DefaultDeadline)
+	}
+	r := &request{row: row, deadline: deadline, resp: make(chan result, 1)}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	select {
+	case b.ch <- r:
+		b.mu.Unlock()
+	default:
+		b.mu.Unlock()
+		b.stats.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	select {
+	case res := <-r.resp:
+		switch {
+		case res.err == nil:
+			return res.out, nil
+		case res.err == ErrDeadline:
+			b.stats.expired.Add(1)
+		default:
+			b.stats.errs.Add(1)
+		}
+		return nil, res.err
+	case <-timer.C:
+		// The runner may still answer into the buffered chan; the compute
+		// is wasted but nothing leaks or blocks.
+		b.stats.expired.Add(1)
+		return nil, ErrDeadline
+	}
+}
+
+func (b *Batcher) runner() {
+	defer b.wg.Done()
+	for first := range b.ch {
+		b.flush(b.collect(first))
+	}
+}
+
+// collect forms one batch: it has the first row and keeps pulling until the
+// batch is full or the coalescing window closes.
+func (b *Batcher) collect(first *request) []*request {
+	batch := []*request{first}
+	if b.opts.MaxBatch <= 1 {
+		return batch
+	}
+	timer := time.NewTimer(b.opts.Timeout)
+	defer timer.Stop()
+	for len(batch) < b.opts.MaxBatch {
+		select {
+		case r, ok := <-b.ch:
+			if !ok {
+				return batch
+			}
+			batch = append(batch, r)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// flush runs one coalesced batch: expired and malformed rows are answered
+// individually (they never poison their batch-mates), the remainder is
+// stacked along the leading dimension and run as a single session run.
+func (b *Batcher) flush(batch []*request) {
+	mv, release, err := b.reg.Acquire(b.model)
+	if err != nil {
+		for _, r := range batch {
+			r.resp <- result{err: err}
+		}
+		return
+	}
+	defer release()
+
+	sig := mv.Signature()
+	now := time.Now()
+	live := batch[:0]
+	for _, r := range batch {
+		switch {
+		case now.After(r.deadline):
+			r.resp <- result{err: ErrDeadline}
+		case r.row == nil || r.row.Rank() != 1 || r.row.Shape()[0] != sig.Features || !r.row.DType().IsFloat():
+			r.resp <- result{err: fmt.Errorf("%w: want [%d] %v row, got %v %v",
+				ErrBadInput, sig.Features, sig.DType, shapeOf(r.row), dtypeOf(r.row))}
+		default:
+			live = append(live, r)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	in := stackRows(live, sig)
+	out, err := mv.Predict(in)
+	if err != nil {
+		for _, r := range live {
+			r.resp <- result{err: err}
+		}
+		return
+	}
+	if out.Rank() < 1 || out.Shape()[0] != len(live) {
+		err := fmt.Errorf("serving: model %s v%d returned %v for a %d-row batch",
+			mv.model, mv.version, out.Shape(), len(live))
+		for _, r := range live {
+			r.resp <- result{err: err}
+		}
+		return
+	}
+	b.stats.recordBatch(len(live))
+	for i, r := range live {
+		r.resp <- result{out: sliceRow(out, i)}
+	}
+}
+
+func dtypeOf(t *tensor.Tensor) tensor.DType {
+	if t == nil {
+		return tensor.Invalid
+	}
+	return t.DType()
+}
+
+// stackRows builds the [n, features] batch input from validated rows,
+// converting each to the signature dtype (JSON traffic arrives float64
+// regardless of the model's precision; the conversion is deterministic, so
+// bitwise batched-vs-single parity holds).
+func stackRows(live []*request, sig Signature) *tensor.Tensor {
+	n, d := len(live), sig.Features
+	switch sig.DType {
+	case tensor.Float32:
+		buf := make([]float32, n*d)
+		for i, r := range live {
+			dst := buf[i*d : (i+1)*d]
+			if r.row.DType() == tensor.Float32 {
+				copy(dst, r.row.F32())
+			} else {
+				for j, v := range r.row.F64() {
+					dst[j] = float32(v)
+				}
+			}
+		}
+		return tensor.FromF32(tensor.Shape{n, d}, buf)
+	default: // Float64 — signature dtypes are validated at load
+		buf := make([]float64, n*d)
+		for i, r := range live {
+			dst := buf[i*d : (i+1)*d]
+			if r.row.DType() == tensor.Float64 {
+				copy(dst, r.row.F64())
+			} else {
+				for j, v := range r.row.F32() {
+					dst[j] = float64(v)
+				}
+			}
+		}
+		return tensor.FromF64(tensor.Shape{n, d}, buf)
+	}
+}
+
+// sliceRow extracts row i of a batched output (shape = out.Shape()[1:], so
+// a [n] output yields scalars and [n, k] yields [k] vectors).
+func sliceRow(out *tensor.Tensor, i int) *tensor.Tensor {
+	rest := out.Shape()[1:].Clone()
+	stride := rest.NumElements()
+	lo, hi := i*stride, (i+1)*stride
+	switch out.DType() {
+	case tensor.Float32:
+		return tensor.FromF32(rest, append([]float32(nil), out.F32()[lo:hi]...))
+	default:
+		return tensor.FromF64(rest, append([]float64(nil), out.F64()[lo:hi]...))
+	}
+}

@@ -1,0 +1,213 @@
+package serving
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"tfhpc/internal/tensor"
+)
+
+// newLinearService serves a fresh linear model and returns it plus its
+// registry.
+func newLinearService(t *testing.T, d int, opts BatchOptions) (*Service, *tensor.Tensor) {
+	t.Helper()
+	w := linearWeights(d, 1)
+	svc := NewService(NewRegistry(), opts)
+	mv, err := NewLinear("lin", 1, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.ServeModel(mv); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(svc.Close)
+	return svc, w
+}
+
+// TestBatcherCoalescesAndPreservesAssociation drives concurrent single-row
+// predicts and checks (a) rows coalesce into multi-row session runs and
+// (b) every caller gets exactly its own row's answer, bit-identical to an
+// unbatched run.
+func TestBatcherCoalescesAndPreservesAssociation(t *testing.T) {
+	const d, clients, perClient = 48, 16, 40
+	svc, w := newLinearService(t, d, BatchOptions{MaxBatch: 16, Timeout: 2 * time.Millisecond})
+	ref := NewLinearMust(t, w)
+
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < perClient; k++ {
+				in := randRows(1, d, uint64(c*1000+k))
+				row := sliceRow(in, 0)
+				got, err := svc.Predict("lin", row, time.Now().Add(5*time.Second))
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				want, err := ref.Predict(in)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				if got.F64()[0] != want.F64()[0] {
+					errs[c] = errors.New("batched result differs from unbatched")
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+	snaps := svc.Snapshots()
+	if len(snaps) != 1 {
+		t.Fatalf("want 1 model snapshot, got %d", len(snaps))
+	}
+	s := snaps[0]
+	if s.Rows != clients*perClient {
+		t.Fatalf("rows %d, want %d", s.Rows, clients*perClient)
+	}
+	if s.MaxBatch < 2 {
+		t.Fatalf("no coalescing happened (max batch %d) with %d concurrent clients", s.MaxBatch, clients)
+	}
+	if s.Batches >= s.Rows {
+		t.Fatalf("batches %d not fewer than rows %d — batching ineffective", s.Batches, s.Rows)
+	}
+}
+
+func TestBatcherDeadline(t *testing.T) {
+	svc, _ := newLinearService(t, 8, BatchOptions{})
+	in := randRows(1, 8, 1)
+	// A deadline already in the past must resolve as ErrDeadline, counted.
+	_, err := svc.Predict("lin", sliceRow(in, 0), time.Now().Add(-time.Second))
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("want ErrDeadline, got %v", err)
+	}
+	if s := svc.Snapshots()[0]; s.Expired == 0 {
+		t.Fatalf("expired not counted: %+v", s)
+	}
+}
+
+func TestBatcherBackpressure(t *testing.T) {
+	// Queue depth 1 and one runner: a burst of concurrent predicts must see
+	// rejections (admission control prefers rejecting to unbounded queueing).
+	svc, _ := newLinearService(t, 2048, BatchOptions{
+		MaxBatch: 1, QueueDepth: 1, Runners: 1, DefaultDeadline: 5 * time.Second,
+	})
+	const burst = 400
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var rejected, ok int
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			in := randRows(1, 2048, uint64(i))
+			_, err := svc.Predict("lin", sliceRow(in, 0), time.Time{})
+			mu.Lock()
+			defer mu.Unlock()
+			switch {
+			case err == nil:
+				ok++
+			case errors.Is(err, ErrOverloaded):
+				rejected++
+			default:
+				t.Errorf("unexpected error: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if rejected == 0 {
+		t.Fatalf("no rejections from a %d-burst against queue depth 1", burst)
+	}
+	if ok == 0 {
+		t.Fatalf("everything rejected — admission never admits")
+	}
+	if s := svc.Snapshots()[0]; s.Rejected != int64(rejected) {
+		t.Fatalf("rejected counter %d, callers saw %d", s.Rejected, rejected)
+	}
+}
+
+func TestBatcherBadRowDoesNotPoisonBatch(t *testing.T) {
+	const d = 16
+	svc, w := newLinearService(t, d, BatchOptions{MaxBatch: 8, Timeout: 20 * time.Millisecond})
+	ref := NewLinearMust(t, w)
+
+	var wg sync.WaitGroup
+	var badErr, goodErr error
+	var got, want *tensor.Tensor
+	wg.Add(2)
+	go func() { // malformed row: wrong width
+		defer wg.Done()
+		_, badErr = svc.Predict("lin", tensor.New(tensor.Float64, d+1), time.Now().Add(2*time.Second))
+	}()
+	go func() { // well-formed row sharing the coalescing window
+		defer wg.Done()
+		in := randRows(1, d, 5)
+		var err error
+		got, err = svc.Predict("lin", sliceRow(in, 0), time.Now().Add(2*time.Second))
+		if err != nil {
+			goodErr = err
+			return
+		}
+		want, goodErr = ref.Predict(in)
+	}()
+	wg.Wait()
+	if !errors.Is(badErr, ErrBadInput) {
+		t.Fatalf("bad row: want ErrBadInput, got %v", badErr)
+	}
+	if goodErr != nil {
+		t.Fatalf("good row poisoned by batch-mate: %v", goodErr)
+	}
+	if got.F64()[0] != want.F64()[0] {
+		t.Fatalf("good row answer wrong after sharing a batch with a bad row")
+	}
+}
+
+func TestServiceMultiRowRequest(t *testing.T) {
+	const d, n = 24, 9
+	svc, w := newLinearService(t, d, BatchOptions{MaxBatch: 4, Timeout: time.Millisecond})
+	ref := NewLinearMust(t, w)
+	in := randRows(n, d, 21)
+	got, err := svc.Predict("lin", in, time.Now().Add(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("multi-row request: got %v want %v", got, want)
+	}
+}
+
+func TestServiceUnknownModel(t *testing.T) {
+	svc, _ := newLinearService(t, 4, BatchOptions{})
+	if _, err := svc.Predict("nope", tensor.New(tensor.Float64, 4), time.Time{}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound, got %v", err)
+	}
+}
+
+func TestServiceNonFloatInput(t *testing.T) {
+	// Wire clients can send any dtype; a non-float batch must come back as
+	// ErrBadInput, not panic in the row slicer.
+	svc, _ := newLinearService(t, 4, BatchOptions{})
+	for _, in := range []*tensor.Tensor{
+		tensor.New(tensor.Int32, 2, 4),
+		tensor.New(tensor.Int64, 4),
+		tensor.New(tensor.Complex128, 2, 4),
+	} {
+		if _, err := svc.Predict("lin", in, time.Time{}); !errors.Is(err, ErrBadInput) {
+			t.Fatalf("%v input: want ErrBadInput, got %v", in.DType(), err)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package serving
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkPredictSingle measures the unbatched serving path: one row, one
+// session run, through admission and the batcher machinery.
+func BenchmarkPredictSingle(b *testing.B) {
+	svc := NewService(NewRegistry(), BatchOptions{MaxBatch: 1, DefaultDeadline: 10 * time.Second})
+	defer svc.Close()
+	mv, err := NewLinear("m", 1, linearWeights(256, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := svc.ServeModel(mv); err != nil {
+		b.Fatal(err)
+	}
+	row := sliceRow(randRows(1, 256, 1), 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Predict("m", row, time.Time{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictCoalesced measures the micro-batched path under
+// concurrent callers — the configuration production traffic runs in.
+func BenchmarkPredictCoalesced(b *testing.B) {
+	svc := NewService(NewRegistry(), BatchOptions{
+		MaxBatch: 32, Timeout: time.Millisecond, DefaultDeadline: 10 * time.Second,
+	})
+	defer svc.Close()
+	mv, err := NewLinear("m", 1, linearWeights(256, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := svc.ServeModel(mv); err != nil {
+		b.Fatal(err)
+	}
+	row := sliceRow(randRows(1, 256, 1), 0)
+	b.SetParallelism(16) // 16x GOMAXPROCS concurrent callers feed the batcher
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := svc.Predict("m", row, time.Time{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.ReportMetric(float64(svc.Snapshots()[0].MeanBatch), "rows/batch")
+}

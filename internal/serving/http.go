@@ -1,0 +1,212 @@
+package serving
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"tfhpc/internal/tensor"
+)
+
+// maxBodyBytes bounds a predict request body (64 MiB: a 2M-element f64
+// batch in JSON) — admission control starts at the transport.
+const maxBodyBytes = 64 << 20
+
+// NewHTTPHandler serves the KServe-style v1 predictor API over any
+// Predictor (a local Service or a replica Router):
+//
+//	POST /v1/models/<name>:predict   {"instances": [[f, ...], ...]}
+//	GET  /v1/models                  list served models
+//	GET  /v1/models/<name>           one model's status
+//	GET  /healthz                    process liveness
+//	GET  /readyz                     traffic readiness (503 until a model serves)
+//	GET  /statsz                     batching/admission counters
+//
+// A predict request may carry X-Deadline-Ms; otherwise the predictor's
+// default applies. Outcomes map to 200/400/404/429/503/504.
+func NewHTTPHandler(p Predictor) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "alive"})
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if p.Ready() {
+			writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
+			return
+		}
+		writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ready": false})
+	})
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+		buf, err := p.StatsJSON()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(buf)
+	})
+	mux.HandleFunc("/v1/models", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"models": p.Models()})
+	})
+	mux.HandleFunc("/v1/models/", func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/v1/models/")
+		if name, ok := strings.CutSuffix(rest, ":predict"); ok {
+			if r.Method != http.MethodPost {
+				http.Error(w, "predict wants POST", http.StatusMethodNotAllowed)
+				return
+			}
+			servePredict(w, r, p, name)
+			return
+		}
+		for _, m := range p.Models() {
+			if m.Name == rest {
+				writeJSON(w, http.StatusOK, m)
+				return
+			}
+		}
+		writeError(w, fmt.Errorf("%w: %q", ErrNotFound, rest))
+	})
+	return mux
+}
+
+// predictRequest is the KServe v1 predict body: instances is a list of
+// feature-vector rows (a flat list is accepted as one row).
+type predictRequest struct {
+	Instances json.RawMessage `json:"instances"`
+}
+
+func servePredict(w http.ResponseWriter, r *http.Request, p Predictor, model string) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadInput, err))
+		return
+	}
+	if len(body) > maxBodyBytes {
+		writeError(w, fmt.Errorf("%w: body over %d bytes", ErrOverloaded, maxBodyBytes))
+		return
+	}
+	var req predictRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadInput, err))
+		return
+	}
+	in, err := instancesTensor(req.Instances)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+
+	var deadline time.Time
+	if h := r.Header.Get("X-Deadline-Ms"); h != "" {
+		ms, err := strconv.Atoi(h)
+		if err != nil || ms <= 0 {
+			writeError(w, fmt.Errorf("%w: bad X-Deadline-Ms %q", ErrBadInput, h))
+			return
+		}
+		deadline = time.Now().Add(time.Duration(ms) * time.Millisecond)
+	}
+
+	out, err := p.Predict(model, in, deadline)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"predictions": predictions(out)})
+}
+
+// instancesTensor parses instances into a [n, features] float64 tensor.
+func instancesTensor(raw json.RawMessage) (*tensor.Tensor, error) {
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("%w: missing instances", ErrBadInput)
+	}
+	var rows [][]float64
+	if err := json.Unmarshal(raw, &rows); err != nil {
+		var flat []float64
+		if err2 := json.Unmarshal(raw, &flat); err2 != nil {
+			return nil, fmt.Errorf("%w: instances must be [][]float or []float", ErrBadInput)
+		}
+		rows = [][]float64{flat}
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("%w: empty instances", ErrBadInput)
+	}
+	d := len(rows[0])
+	if d == 0 {
+		return nil, fmt.Errorf("%w: empty feature row", ErrBadInput)
+	}
+	buf := make([]float64, 0, len(rows)*d)
+	for i, row := range rows {
+		if len(row) != d {
+			return nil, fmt.Errorf("%w: row %d has %d features, row 0 has %d", ErrBadInput, i, len(row), d)
+		}
+		buf = append(buf, row...)
+	}
+	return tensor.FromF64(tensor.Shape{len(rows), d}, buf), nil
+}
+
+// predictions renders the output tensor: [n] → n scalars, [n, k] → n
+// k-vectors.
+func predictions(out *tensor.Tensor) []any {
+	n := 0
+	if out.Rank() >= 1 {
+		n = out.Shape()[0]
+	}
+	preds := make([]any, 0, n)
+	stride := 1
+	if out.Rank() >= 2 {
+		stride = out.Shape()[1:].NumElements()
+	}
+	elem := func(i int) float64 {
+		if out.DType() == tensor.Float32 {
+			return float64(out.F32()[i])
+		}
+		return out.F64()[i]
+	}
+	for i := 0; i < n; i++ {
+		if out.Rank() <= 1 {
+			preds = append(preds, elem(i))
+			continue
+		}
+		vec := make([]float64, stride)
+		for j := range vec {
+			vec[j] = elem(i*stride + j)
+		}
+		preds = append(preds, vec)
+	}
+	return preds
+}
+
+// HTTPStatus maps a serving error onto its HTTP status code.
+func HTTPStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrBadInput):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDeadline):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, HTTPStatus(err), map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,158 @@
+package serving
+
+import (
+	"errors"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"tfhpc/internal/checkpoint"
+	"tfhpc/internal/tensor"
+	"tfhpc/internal/vars"
+)
+
+// linearWeights builds a deterministic weight vector.
+func linearWeights(d int, scale float64) *tensor.Tensor {
+	w := make([]float64, d)
+	for i := range w {
+		w[i] = scale * (0.25 + float64(i%17)*0.125) // exact in binary
+	}
+	return tensor.FromF64(tensor.Shape{d}, w)
+}
+
+// randRows builds an [n, d] batch with deterministic values.
+func randRows(n, d int, seed uint64) *tensor.Tensor {
+	r := tensor.NewRNG(seed)
+	buf := make([]float64, n*d)
+	for i := range buf {
+		buf[i] = r.Float64()*2 - 1
+	}
+	return tensor.FromF64(tensor.Shape{n, d}, buf)
+}
+
+func TestLinearPredictMatchesDot(t *testing.T) {
+	const d = 64
+	w := linearWeights(d, 1)
+	mv, err := NewLinear("lin", 1, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := randRows(3, d, 7)
+	out, err := mv.Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Shape().Equal(tensor.Shape{3}) {
+		t.Fatalf("output shape %v, want [3]", out.Shape())
+	}
+	for i := 0; i < 3; i++ {
+		want := 0.0
+		for j := 0; j < d; j++ {
+			want += in.F64()[i*d+j] * w.F64()[j]
+		}
+		if got := out.F64()[i]; math.IsNaN(got) || math.Abs(got-want) > 1e-9 {
+			t.Fatalf("row %d: got %g want %g", i, got, want)
+		}
+	}
+}
+
+// TestBatchedBitIdentical is the batching contract: the same row produces
+// bit-for-bit the same prediction alone and inside any batch.
+func TestBatchedBitIdentical(t *testing.T) {
+	const d, n = 96, 17
+	mv, err := NewLinear("lin", 1, linearWeights(d, 0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := randRows(n, d, 11)
+	full, err := mv.Predict(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		row := sliceRow(batch, i)
+		one, err := mv.Predict(tensor.FromF64(tensor.Shape{1, d}, append([]float64(nil), row.F64()...)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := one.F64()[0], full.F64()[i]; got != want {
+			t.Fatalf("row %d: single %x != batched %x", i, got, want)
+		}
+	}
+}
+
+func TestPredictValidation(t *testing.T) {
+	mv, err := NewLinear("lin", 1, linearWeights(8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mv.Predict(randRows(2, 9, 1)); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("wrong width: want ErrBadInput, got %v", err)
+	}
+	if _, err := mv.Predict(tensor.FromF64(tensor.Shape{8}, make([]float64, 8))); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("rank 1: want ErrBadInput, got %v", err)
+	}
+	if _, err := mv.Predict(tensor.New(tensor.Float32, 2, 8)); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("dtype: want ErrBadInput, got %v", err)
+	}
+}
+
+func TestLinearCheckpointRoundTrip(t *testing.T) {
+	const d = 32
+	w := linearWeights(d, 2)
+	path := filepath.Join(t.TempDir(), "lin.ckpt")
+	if err := SaveLinear(path, 7, w); err != nil {
+		t.Fatal(err)
+	}
+	mv, err := LoadLinear("m", 0, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mv.Version() != 7 {
+		t.Fatalf("version from step: got %d want 7", mv.Version())
+	}
+	if mv.Signature().Features != d {
+		t.Fatalf("features: got %d want %d", mv.Signature().Features, d)
+	}
+	in := randRows(4, d, 3)
+	want, err := NewLinearMust(t, w).Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mv.Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("loaded model disagrees with source weights")
+	}
+}
+
+// NewLinearMust is a test helper.
+func NewLinearMust(t *testing.T, w *tensor.Tensor) *ModelVersion {
+	t.Helper()
+	mv, err := NewLinear("ref", 1, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mv
+}
+
+func TestLoadLinearRejectsForeignCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	// A checkpoint with the wrong graph id must be refused loudly.
+	foreign := filepath.Join(dir, "cg.ckpt")
+	store := vars.NewStore()
+	if err := store.Get("w").Assign(linearWeights(4, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkpoint.Capture("tfhpc/cg", 3, store).Save(foreign); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadLinear("m", 0, foreign); err == nil {
+		t.Fatal("foreign-graph checkpoint accepted")
+	}
+	if _, err := LoadLinear("m", 0, filepath.Join(dir, "missing.ckpt")); err == nil {
+		t.Fatal("missing checkpoint accepted")
+	}
+}

@@ -1,0 +1,225 @@
+package serving
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"tfhpc/internal/rpc"
+	"tfhpc/internal/tensor"
+)
+
+// RouterOptions tune replica selection and failover.
+type RouterOptions struct {
+	// DefaultDeadline applies to requests carrying none (default 1s).
+	DefaultDeadline time.Duration
+	// FailBackoff is how long a replica sits out after a transport failure
+	// before being offered traffic again (default 500ms).
+	FailBackoff time.Duration
+	// MaxAttempts bounds the replicas tried per request (default: all).
+	MaxAttempts int
+}
+
+func (o RouterOptions) withDefaults(replicas int) RouterOptions {
+	if o.DefaultDeadline <= 0 {
+		o.DefaultDeadline = time.Second
+	}
+	if o.FailBackoff <= 0 {
+		o.FailBackoff = 500 * time.Millisecond
+	}
+	if o.MaxAttempts <= 0 || o.MaxAttempts > replicas {
+		o.MaxAttempts = replicas
+	}
+	return o
+}
+
+// replica is one serving endpoint with its live load and health view.
+type replica struct {
+	addr        string
+	client      *rpc.Client
+	outstanding atomic.Int64
+	failUntil   atomic.Int64 // unixnano; 0 = healthy
+}
+
+func (r *replica) healthyAt(now time.Time) bool {
+	return r.failUntil.Load() <= now.UnixNano()
+}
+
+// Router spreads predict traffic across model replicas hosted on cluster
+// worker tasks: least-outstanding pick, transport failures bench the
+// replica briefly and the request retries on the next-best one. The router
+// itself implements Predictor, so it sits behind the same HTTP/binary
+// front-ends as a local Service — a serving tree.
+type Router struct {
+	replicas []*replica
+	opts     RouterOptions
+
+	routed    atomic.Int64
+	retries   atomic.Int64
+	failovers atomic.Int64
+}
+
+// NewRouter builds a router over replica addresses (each a tfserve/cluster
+// task hosting the binary serving endpoint).
+func NewRouter(addrs []string, opts RouterOptions) (*Router, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("serving: router needs at least one replica")
+	}
+	r := &Router{opts: opts.withDefaults(len(addrs))}
+	for _, a := range addrs {
+		r.replicas = append(r.replicas, &replica{addr: a, client: rpc.Dial(a)})
+	}
+	return r, nil
+}
+
+// Close releases every replica connection.
+func (r *Router) Close() {
+	for _, rep := range r.replicas {
+		rep.client.Close()
+	}
+}
+
+// pick returns the untried replica with the least outstanding work,
+// preferring healthy ones; with every replica benched it falls back to the
+// least-loaded benched one (the bench is advisory, not a death sentence).
+func (r *Router) pick(tried map[*replica]bool) *replica {
+	now := time.Now()
+	var best, bestBenched *replica
+	for _, rep := range r.replicas {
+		if tried[rep] {
+			continue
+		}
+		if rep.healthyAt(now) {
+			if best == nil || rep.outstanding.Load() < best.outstanding.Load() {
+				best = rep
+			}
+		} else if bestBenched == nil || rep.outstanding.Load() < bestBenched.outstanding.Load() {
+			bestBenched = rep
+		}
+	}
+	if best != nil {
+		return best
+	}
+	return bestBenched
+}
+
+// Predict implements Predictor: route, and on transport failure bench the
+// replica and retry the request on another one while deadline budget
+// remains.
+func (r *Router) Predict(model string, in *tensor.Tensor, deadline time.Time) (*tensor.Tensor, error) {
+	if deadline.IsZero() {
+		deadline = time.Now().Add(r.opts.DefaultDeadline)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+
+	tried := make(map[*replica]bool, r.opts.MaxAttempts)
+	var lastErr error
+	for attempt := 0; attempt < r.opts.MaxAttempts; attempt++ {
+		rep := r.pick(tried)
+		if rep == nil {
+			break
+		}
+		tried[rep] = true
+		if attempt > 0 {
+			r.retries.Add(1)
+		}
+		rep.outstanding.Add(1)
+		out, err := PredictRemote(ctx, rep.client, model, in)
+		rep.outstanding.Add(-1)
+		if err == nil {
+			r.routed.Add(1)
+			return out, nil
+		}
+		lastErr = err
+		if !isTransportErr(err) {
+			return nil, err // deterministic application outcome: no failover
+		}
+		r.failovers.Add(1)
+		rep.failUntil.Store(time.Now().Add(r.opts.FailBackoff).UnixNano())
+		if ctx.Err() != nil {
+			return nil, mapRemoteErr(ctx.Err())
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("serving: no replica available")
+	}
+	return nil, fmt.Errorf("serving: all replicas failed: %w", lastErr)
+}
+
+// Models implements Predictor by asking the first answering replica — the
+// fleet serves one model set, any healthy member can describe it.
+func (r *Router) Models() []ModelStatus {
+	tried := make(map[*replica]bool, len(r.replicas))
+	for range r.replicas {
+		rep := r.pick(tried)
+		if rep == nil {
+			break
+		}
+		tried[rep] = true
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		resp, err := rep.client.CallContext(ctx, "ServingModels", nil)
+		cancel()
+		if err != nil {
+			rep.failUntil.Store(time.Now().Add(r.opts.FailBackoff).UnixNano())
+			continue
+		}
+		var ms []ModelStatus
+		if json.Unmarshal(resp, &ms) == nil {
+			return ms
+		}
+	}
+	return nil
+}
+
+// Ready implements Predictor: some replica is answering with models.
+func (r *Router) Ready() bool { return len(r.Models()) > 0 }
+
+// RouterStats is the router's own traffic view.
+type RouterStats struct {
+	Routed    int64          `json:"routed"`
+	Retries   int64          `json:"retries"`
+	Failovers int64          `json:"failovers"`
+	Replicas  []ReplicaStats `json:"replicas"`
+}
+
+// ReplicaStats is one replica's instantaneous router-side state.
+type ReplicaStats struct {
+	Addr        string `json:"addr"`
+	Outstanding int64  `json:"outstanding"`
+	Healthy     bool   `json:"healthy"`
+	// Stats is the replica's own /statsz payload, when reachable.
+	Stats json.RawMessage `json:"stats,omitempty"`
+}
+
+// StatsJSON implements Predictor: the router's routing counters plus each
+// reachable replica's own serving stats.
+func (r *Router) StatsJSON() ([]byte, error) {
+	now := time.Now()
+	st := RouterStats{
+		Routed:    r.routed.Load(),
+		Retries:   r.retries.Load(),
+		Failovers: r.failovers.Load(),
+	}
+	for _, rep := range r.replicas {
+		rs := ReplicaStats{
+			Addr:        rep.addr,
+			Outstanding: rep.outstanding.Load(),
+			Healthy:     rep.healthyAt(now),
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if resp, err := rep.client.CallContext(ctx, "ServingStats", nil); err == nil && json.Valid(resp) {
+			rs.Stats = resp
+		}
+		cancel()
+		st.Replicas = append(st.Replicas, rs)
+	}
+	return json.Marshal(map[string]any{"router": st})
+}
+
+// marshalModels renders the ServingModels RPC payload.
+func marshalModels(ms []ModelStatus) ([]byte, error) {
+	return json.Marshal(ms)
+}

@@ -1,0 +1,214 @@
+package serving
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"tfhpc/internal/cluster"
+	"tfhpc/internal/tensor"
+)
+
+// startReplicaFleet hosts one serving replica on each worker task of an
+// in-process cluster — the deployment shape the router is built for: the
+// same cluster.Server that executes training ops co-hosts the predict
+// endpoint.
+func startReplicaFleet(t *testing.T, replicas, d int) (*cluster.Local, []*Service) {
+	t.Helper()
+	l, err := cluster.StartLocal(map[string]int{"worker": replicas})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(l.Close)
+	svcs := make([]*Service, replicas)
+	for i := 0; i < replicas; i++ {
+		svc := NewService(NewRegistry(), BatchOptions{MaxBatch: 8, Timeout: time.Millisecond})
+		mv, err := NewLinear("lin", 1, linearWeights(d, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.ServeModel(mv); err != nil {
+			t.Fatal(err)
+		}
+		Attach(l.Server("worker", i), svc)
+		svcs[i] = svc
+		t.Cleanup(svc.Close)
+	}
+	return l, svcs
+}
+
+func TestRouterSpreadsLoad(t *testing.T) {
+	const replicas, d = 3, 32
+	l, svcs := startReplicaFleet(t, replicas, d)
+	r, err := NewRouter(l.Spec()["worker"], RouterOptions{DefaultDeadline: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	ref := NewLinearMust(t, linearWeights(d, 1))
+	const clients, perClient = 12, 30
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < perClient; k++ {
+				in := randRows(1, d, uint64(c*331+k))
+				out, err := r.Predict("lin", sliceRow(in, 0), time.Time{})
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				want, _ := ref.Predict(in)
+				if out.F64()[0] != want.F64()[0] {
+					errs[c] = fmt.Errorf("routed result differs from reference")
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for c, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", c, err)
+		}
+	}
+
+	// Least-loaded spreading: with 12 concurrent clients every replica
+	// must have seen real traffic.
+	served := 0
+	var total int64
+	for i, svc := range svcs {
+		rows := svc.Snapshots()[0].Rows
+		total += rows
+		if rows > 0 {
+			served++
+		}
+		t.Logf("replica %d served %d rows", i, rows)
+	}
+	if served < 2 {
+		t.Fatalf("traffic not spread: only %d of %d replicas served", served, replicas)
+	}
+	if total != clients*perClient {
+		t.Fatalf("fleet served %d rows, want %d", total, clients*perClient)
+	}
+}
+
+func TestRouterFailover(t *testing.T) {
+	const replicas, d = 3, 16
+	l, _ := startReplicaFleet(t, replicas, d)
+	r, err := NewRouter(l.Spec()["worker"], RouterOptions{DefaultDeadline: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	in := randRows(1, d, 1)
+	row := sliceRow(in, 0)
+	if _, err := r.Predict("lin", row, time.Time{}); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+
+	// Kill one replica: every subsequent request must still succeed via
+	// failover onto the survivors.
+	l.Server("worker", 0).Close()
+	for k := 0; k < 30; k++ {
+		if _, err := r.Predict("lin", row, time.Time{}); err != nil {
+			t.Fatalf("predict %d after replica loss: %v", k, err)
+		}
+	}
+
+	var st struct {
+		Router RouterStats `json:"router"`
+	}
+	buf, err := r.StatsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Router.Failovers == 0 {
+		t.Fatalf("no failovers recorded after killing a replica: %+v", st.Router)
+	}
+	if len(st.Router.Replicas) != replicas {
+		t.Fatalf("replica stats: %+v", st.Router)
+	}
+}
+
+func TestRouterApplicationErrorsDoNotFailover(t *testing.T) {
+	const replicas, d = 2, 8
+	l, svcs := startReplicaFleet(t, replicas, d)
+	r, err := NewRouter(l.Spec()["worker"], RouterOptions{DefaultDeadline: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Unknown model: a deterministic application error — retrying it on
+	// another replica of the same fleet is pointless and must not happen.
+	if _, err := r.Predict("nope", tensor.New(tensor.Float64, d), time.Time{}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("want ErrNotFound through the router, got %v", err)
+	}
+	var st struct {
+		Router RouterStats `json:"router"`
+	}
+	buf, _ := r.StatsJSON()
+	json.Unmarshal(buf, &st)
+	if st.Router.Failovers != 0 || st.Router.Retries != 0 {
+		t.Fatalf("application error triggered failover: %+v", st.Router)
+	}
+
+	// Wrong feature width maps to ErrBadInput remotely.
+	if _, err := r.Predict("lin", tensor.New(tensor.Float64, d+3), time.Time{}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("want ErrBadInput through the router, got %v", err)
+	}
+
+	// A non-float tensor over the wire must fail the call cleanly — and
+	// must not kill the replica (the follow-up predict proves it's alive).
+	if _, err := r.Predict("lin", tensor.New(tensor.Int32, 2, d), time.Time{}); err == nil {
+		t.Fatal("int32 batch accepted")
+	}
+	in := randRows(1, d, 3)
+	if _, err := r.Predict("lin", sliceRow(in, 0), time.Time{}); err != nil {
+		t.Fatalf("replica dead after malformed request: %v", err)
+	}
+	_ = svcs
+}
+
+func TestRouterModelsAndReady(t *testing.T) {
+	const replicas, d = 2, 8
+	l, _ := startReplicaFleet(t, replicas, d)
+	r, err := NewRouter(l.Spec()["worker"], RouterOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	ms := r.Models()
+	if len(ms) != 1 || ms[0].Name != "lin" {
+		t.Fatalf("router models: %+v", ms)
+	}
+	if !r.Ready() {
+		t.Fatal("router not ready with healthy replicas")
+	}
+}
+
+func TestRouterAllReplicasDown(t *testing.T) {
+	l, _ := startReplicaFleet(t, 2, 8)
+	addrs := append([]string(nil), l.Spec()["worker"]...)
+	r, err := NewRouter(addrs, RouterOptions{DefaultDeadline: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	l.Close()
+	in := tensor.New(tensor.Float64, 8)
+	if _, err := r.Predict("lin", in, time.Time{}); err == nil {
+		t.Fatal("predict succeeded with every replica down")
+	}
+}

@@ -1,0 +1,195 @@
+// bench_diff is the perf-trajectory gate: it compares a freshly generated
+// tfbench report (BENCH_ci.json) against the committed baseline and fails
+// on regressions beyond the tolerance — >20% by default — of the metrics
+// the ROADMAP tracks: gemm/fft Gflop/s, collective ring bus bandwidth, and
+// serving throughput + p99 latency.
+//
+//	go run ./scripts/bench_diff -baseline scripts/bench_baseline.json -current BENCH_ci.json
+//
+// Throughput-style metrics regress by dropping, latency metrics by rising.
+// Metrics present in the baseline but absent from the current report fail
+// (a silently vanished benchmark is itself a regression); new metrics pass
+// with a note — commit a refreshed baseline to start gating them.
+// -update rewrites the baseline from the current report instead of diffing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"encoding/json"
+
+	"tfhpc/internal/bench"
+)
+
+// metric is one gated scalar. For latency metrics (lowerBetter) the
+// regression direction flips.
+type metric struct {
+	name        string
+	value       float64
+	lowerBetter bool
+}
+
+// extract flattens a report into its gated metrics.
+func extract(r *bench.Report) []metric {
+	var ms []metric
+	add := func(name string, v float64, lowerBetter bool) {
+		if v > 0 {
+			ms = append(ms, metric{name, v, lowerBetter})
+		}
+	}
+	for _, g := range r.Gemm {
+		add(fmt.Sprintf("gemm/n%d/f32_gflops", g.N), g.F32Gflops, false)
+		add(fmt.Sprintf("gemm/n%d/f64_gflops", g.N), g.F64Gflops, false)
+	}
+	if r.Fft != nil {
+		for _, f := range r.Fft.Rows {
+			add(fmt.Sprintf("fft/logn%d/c128_gflops", f.LogN), f.C128Gflops, false)
+			add(fmt.Sprintf("fft/logn%d/rfft_gflops", f.LogN), f.RfftGflops, false)
+		}
+		add("fft/2d_gflops", r.Fft.Fft2DGflops, false)
+	}
+	for _, c := range r.Collective {
+		add(fmt.Sprintf("collective/%s/p%d/e%d/ring_bus_mbps", c.Fabric, c.Tasks, c.Elems),
+			c.RingBusMBps, false)
+	}
+	for _, s := range r.Serving {
+		key := fmt.Sprintf("serving/%s/b%d", s.Mode, s.MaxBatch)
+		add(key+"/throughput_rps", s.ThroughputRps, false)
+		if s.Mode == "closed" {
+			add(key+"/p99_ms", s.Latency.P99Ms, true)
+		}
+	}
+	return ms
+}
+
+func load(path string) (*bench.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf, err := io.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	var r bench.Report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "scripts/bench_baseline.json", "committed baseline report")
+	currentPath := flag.String("current", "BENCH_ci.json", "freshly generated report")
+	tol := flag.Float64("max-regress", 0.20, "allowed fractional regression before failing")
+	// Tail latency on shared CI hosts is far noisier than throughput (a
+	// single scheduler hiccup moves p99), so it gets a wider gate: the
+	// point is catching "batching broke, p99 went 10x", not 30% jitter.
+	latTol := flag.Float64("max-regress-latency", 1.0, "allowed fractional regression for latency metrics")
+	// Sub-millisecond p99s are scheduler-noise-dominated: a relative bound
+	// alone flags 0.4ms -> 1.3ms as +200% even though both are excellent.
+	// A latency regression must also exceed this absolute slack, so the
+	// gate reserves its teeth for "batching broke, p99 went to 30ms".
+	latSlack := flag.Float64("latency-slack-ms", 1.0, "absolute ms a latency metric may rise regardless of percentage")
+	update := flag.Bool("update", false, "rewrite the baseline from the current report")
+	flag.Parse()
+
+	cur, err := load(*currentPath)
+	if err != nil {
+		fatal(err)
+	}
+	if *update {
+		buf, err := cur.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*baselinePath, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("bench_diff: baseline %s updated from %s\n", *baselinePath, *currentPath)
+		return
+	}
+	base, err := load(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	// Absolute Gflop/s and bus MB/s only compare meaningfully on the same
+	// host class. On a different one (CI runner generation changed, baseline
+	// committed from a dev box) the diff is hardware, not code — report and
+	// step aside until the baseline is refreshed from this host class with
+	// -update (CI uploads BENCH_ci.json precisely so it can seed that).
+	if base.GoMaxProcs != cur.GoMaxProcs || base.GemmKernel != cur.GemmKernel {
+		fmt.Printf("bench_diff: host class mismatch (baseline gomaxprocs=%d kernel=%q, current gomaxprocs=%d kernel=%q); skipping hard gate — refresh with -update on this host class\n",
+			base.GoMaxProcs, base.GemmKernel, cur.GoMaxProcs, cur.GemmKernel)
+		return
+	}
+
+	baseM := map[string]metric{}
+	for _, m := range extract(base) {
+		baseM[m.name] = m
+	}
+	curM := map[string]metric{}
+	for _, m := range extract(cur) {
+		curM[m.name] = m
+	}
+
+	names := make([]string, 0, len(baseM))
+	for n := range baseM {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	fmt.Printf("%-44s %12s %12s %8s\n", "metric", "baseline", "current", "delta")
+	for _, n := range names {
+		b := baseM[n]
+		c, ok := curM[n]
+		if !ok {
+			fmt.Printf("%-44s %12.2f %12s %8s  REGRESSION (metric vanished)\n", n, b.value, "-", "-")
+			regressions++
+			continue
+		}
+		delta := (c.value - b.value) / b.value
+		verdict := ""
+		bound := *tol
+		worse := delta < -bound
+		if b.lowerBetter {
+			bound = *latTol
+			worse = delta > bound && c.value-b.value > *latSlack
+		}
+		if worse {
+			verdict = fmt.Sprintf("  REGRESSION (>%.0f%%)", bound*100)
+			regressions++
+		}
+		fmt.Printf("%-44s %12.2f %12.2f %+7.1f%%%s\n", n, b.value, c.value, delta*100, verdict)
+	}
+	for _, name := range sortedNew(baseM, curM) {
+		fmt.Printf("%-44s %12s %12.2f %8s  (new, not gated)\n", name, "-", curM[name].value, "-")
+	}
+	if regressions > 0 {
+		fatal(fmt.Errorf("%d metric(s) regressed beyond %.0f%%", regressions, *tol*100))
+	}
+	fmt.Printf("bench_diff: %d metrics within %.0f%% of baseline\n", len(names), *tol*100)
+}
+
+// sortedNew lists metrics present only in the current report.
+func sortedNew(base, cur map[string]metric) []string {
+	var out []string
+	for n := range cur {
+		if _, ok := base[n]; !ok {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "bench_diff: %v\n", err)
+	os.Exit(1)
+}

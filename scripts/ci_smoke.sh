@@ -3,7 +3,9 @@
 # as real processes, run a CG solve and an SGD epoch over TCP (collectives
 # ring between the tfserver tasks), and fail on nonzero exit — tfcg enforces
 # the residual tolerance itself and tfsgd enforces loss decrease and replica
-# consistency.
+# consistency. Then the serving smoke: tfsgd checkpoints its trained model,
+# tfserve serves it, and concurrent HTTP predicts must coalesce while
+# staying bit-identical to single-request answers.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,6 +14,8 @@ mkdir -p "$BIN"
 go build -o "$BIN/tfserver" ./cmd/tfserver
 go build -o "$BIN/tfcg" ./cmd/tfcg
 go build -o "$BIN/tfsgd" ./cmd/tfsgd
+go build -o "$BIN/tfserve" ./cmd/tfserve
+go build -o "$BIN/serving_smoke" ./scripts/serving_smoke
 
 BASE_PORT=${BASE_PORT:-17841}
 TASKS=4
@@ -41,5 +45,21 @@ echo "smoke: CG solve over TCP"
 
 echo "smoke: SGD training over TCP"
 "$BIN/tfsgd" -mode cluster -spec "$SPEC" -workers $TASKS -features 128 -rows 256 -steps 25 -lr 0.3
+
+# --- serving smoke: train -> checkpoint -> serve -> predict ---------------
+CKPT=$(mktemp -t tfhpc_smoke_XXXX.ckpt)
+SERVE_PORT=$((BASE_PORT + 100))
+SERVE_ADDR="127.0.0.1:${SERVE_PORT}"
+
+echo "smoke: training + checkpointing the serving model"
+"$BIN/tfsgd" -mode real -features 64 -rows 256 -workers 2 -steps 30 -checkpoint "$CKPT"
+
+echo "smoke: booting tfserve on $SERVE_ADDR"
+"$BIN/tfserve" -listen "$SERVE_ADDR" -model "smoke=$CKPT" -max-batch 32 -batch-timeout 5ms &
+pids+=($!)
+
+echo "smoke: concurrent HTTP predicts (batched must equal single, bit-for-bit)"
+"$BIN/serving_smoke" -addr "http://$SERVE_ADDR" -model smoke -features 64
+rm -f "$CKPT"
 
 echo "smoke: OK"
