@@ -1,10 +1,12 @@
 // Package fft implements the paper's data-driven 1-D Cooley-Tukey FFT
 // (Fig. 6): the input signal is split into interleaved tiles stored as .npy
-// files; workers each transform their share of tiles on GPU and push
-// (index, result) into the merger's queue; the merger collects every tile
-// and then combines them serially with twiddle factors on the host — the
-// deliberately slow "Python merge" whose cost the paper excludes from its
-// scaling figures. Complex double precision throughout, as in the paper.
+// files; workers each transform their share of tiles on GPU, the
+// transformed tiles are collected with ragged AllGatherV collectives (the
+// balanced replacement for the paper's single merger queue — sim mode
+// still prices that deployment), and the tiles are combined with twiddle
+// factors on the host — the merge the paper runs serially in Python and
+// excludes from its scaling figures, here pool-parallel. Complex double
+// precision throughout, as in the paper.
 package fft
 
 import (

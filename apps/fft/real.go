@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"tfhpc/internal/collective"
 	"tfhpc/internal/core"
 	"tfhpc/internal/dataset"
 	"tfhpc/internal/graph"
@@ -14,8 +15,8 @@ import (
 )
 
 // RealResult reports a real run. Following the paper, CollectSeconds (until
-// the merger holds every transformed tile) is the timed portion; the serial
-// host merge is reported separately.
+// every rank holds every transformed tile) is the timed portion; the host
+// merge is reported separately.
 type RealResult struct {
 	X              []complex128 // the full transform
 	CollectSeconds float64
@@ -23,9 +24,17 @@ type RealResult struct {
 	Gflops         float64 // over the collection phase, paper-style
 }
 
+// collGroup names worker w's membership in the in-process collective fabric.
+func collGroup(w int) string { return fmt.Sprintf("fft/w%d", w) }
+
 // RunReal executes the full pipeline with real numerics: pre-processes the
-// signal into interleaved .npy tiles under dir, streams them through worker
-// FFT sessions into the merger's queue, collects, and merges on the host.
+// signal into interleaved .npy tiles under dir, transforms each worker's
+// shard through an FFT session, then collects with a pair of in-graph
+// AllGatherV passes — tile indices and tile payloads, both ragged since the
+// tile count rarely divides the worker count — replacing the central
+// merger's dequeue loop: every rank ends holding every transformed tile,
+// where the old queue service funnelled them through one task. The merge
+// then combines them on the host.
 func RunReal(dir string, cfg Config, signal []complex128) (*RealResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -39,46 +48,72 @@ func RunReal(dir string, cfg Config, signal []complex128) (*RealResult, error) {
 	}
 
 	res := session.NewResources()
-	const mergeQueue = "merge"
-	res.Queues.Get(mergeQueue, 16)
+	groups := collective.NewLoopbackGroups(cfg.Workers, collective.Options{})
+	for w, grp := range groups {
+		res.Colls.Register(collGroup(w), grp)
+	}
+	defer res.Colls.CloseAll()
 
 	shared := dataset.FromFiles(paths)
 	start := time.Now()
 
 	var wg sync.WaitGroup
-	errCh := make(chan error, cfg.Workers+1)
-	abort := func() { res.Queues.Get(mergeQueue, 16).Close() }
+	errCh := make(chan error, cfg.Workers)
+	abort := func() {
+		for _, grp := range groups {
+			grp.Close()
+		}
+	}
 
+	// gathered[w] holds worker w's copy of (indices, tiles) — identical on
+	// every rank once the collective completes.
+	type gatherOut struct {
+		idx   *tensor.Tensor
+		tiles *tensor.Tensor
+	}
+	gathered := make([]gatherOut, cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			if err := runWorker(cfg, res, shared, w); err != nil {
+			idx, tiles, err := runWorker(cfg, res, shared, w)
+			if err != nil {
 				errCh <- fmt.Errorf("fft worker %d: %w", w, err)
 				abort()
+				return
 			}
+			gathered[w] = gatherOut{idx, tiles}
 		}(w)
 	}
-
-	// Merger: collect all tiles through a dequeue graph.
-	collected := make([][]complex128, cfg.Tiles)
-	var collectDone time.Time
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		if err := runMerger(cfg, res, collected); err != nil {
-			errCh <- fmt.Errorf("fft merger: %w", err)
-			abort()
-			return
-		}
-		collectDone = time.Now()
-	}()
 	wg.Wait()
 	close(errCh)
 	if err := <-errCh; err != nil {
 		return nil, err
 	}
-	collectSeconds := collectDone.Sub(start).Seconds()
+	collectSeconds := time.Since(start).Seconds()
+
+	// Scatter rank 0's gathered tiles into index order for the merge.
+	collected := make([][]complex128, cfg.Tiles)
+	idx := gathered[0].idx.I64()
+	flat := gathered[0].tiles.C128()
+	m := cfg.TileLen()
+	if len(idx)*m != len(flat) {
+		return nil, fmt.Errorf("fft: gathered %d indices but %d samples", len(idx), len(flat))
+	}
+	for i, ti := range idx {
+		if ti < 0 || int(ti) >= cfg.Tiles {
+			return nil, fmt.Errorf("fft: gathered tile index %d of %d", ti, cfg.Tiles)
+		}
+		if collected[ti] != nil {
+			return nil, fmt.Errorf("fft: tile %d gathered twice", ti)
+		}
+		collected[ti] = flat[i*m : (i+1)*m]
+	}
+	for ti, tile := range collected {
+		if tile == nil {
+			return nil, fmt.Errorf("fft: tile %d never gathered", ti)
+		}
+	}
 
 	mergeStart := time.Now()
 	x, err := MergeInterleaved(collected)
@@ -93,60 +128,57 @@ func RunReal(dir string, cfg Config, signal []complex128) (*RealResult, error) {
 	}, nil
 }
 
-func runWorker(cfg Config, res *session.Resources, shared dataset.Dataset, w int) error {
+// runWorker transforms the worker's tile shard through an FFT session and
+// returns the group-wide gathers of tile indices and tile payloads.
+func runWorker(cfg Config, res *session.Resources, shared dataset.Dataset, w int) (idx, tiles *tensor.Tensor, err error) {
 	g := graph.New()
 	ph := g.Placeholder("tile", tensor.Complex128, tensor.Shape{cfg.TileLen()})
-	phIdx := g.Placeholder("idx", tensor.Int64, nil)
 	var out *graph.Node
 	g.WithDevice("/device:GPU:0", func() {
 		out = g.AddNamedOp("fft", "FFT", nil, ph)
 	})
-	enq := g.AddNamedOp("enq", "QueueEnqueue",
-		graph.Attrs{"queue": "merge", "capacity": 16}, phIdx, out)
 	sess, err := session.New(g, res, session.Options{})
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
+	var myIdx []int64
+	var myTiles []complex128
 	it := dataset.Prefetch(dataset.Shard(shared, cfg.Workers, w), 2).Iterator()
 	for {
 		elem, err := it.Next()
 		if err == io.EOF {
-			return nil
+			break
 		}
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
-		_, err = sess.Run(map[string]*tensor.Tensor{
-			"idx":  elem[0],
-			"tile": elem[1],
-		}, nil, []string{enq.Name()})
+		outs, err := sess.Run(map[string]*tensor.Tensor{"tile": elem[1]},
+			[]string{out.Name()}, nil)
 		if err != nil {
-			return err
+			return nil, nil, err
 		}
+		myIdx = append(myIdx, elem[0].ScalarInt())
+		myTiles = append(myTiles, outs[0].C128()...)
 	}
-}
 
-func runMerger(cfg Config, res *session.Resources, collected [][]complex128) error {
-	g := graph.New()
-	deq := g.AddNamedOp("deq", "QueueDequeue", graph.Attrs{"queue": "merge", "capacity": 16})
-	tile := g.AddNamedOp("tile", "DequeueComponent", graph.Attrs{"index": 1}, deq)
-	sess, err := session.New(g, res, session.Options{})
+	// Collection: two ragged allgathers (this worker may own zero tiles
+	// when workers outnumber tiles), concatenated in rank order on every
+	// rank so the index gather labels the payload gather positionally.
+	cg := graph.New()
+	phI := cg.Placeholder("idx", tensor.Int64, tensor.Shape{len(myIdx)})
+	phT := cg.Placeholder("tiles", tensor.Complex128, tensor.Shape{len(myTiles)})
+	agI := cg.AddNamedOp("ag_idx", "AllGatherV", graph.Attrs{"group": collGroup(w), "key": "idx"}, phI)
+	agT := cg.AddNamedOp("ag_tiles", "AllGatherV", graph.Attrs{"group": collGroup(w), "key": "tiles"}, phT)
+	csess, err := session.New(cg, res, session.Options{})
 	if err != nil {
-		return err
+		return nil, nil, err
 	}
-	for n := 0; n < cfg.Tiles; n++ {
-		out, err := sess.Run(nil, []string{deq.Name(), tile.Name()}, nil)
-		if err != nil {
-			return err
-		}
-		idx := int(out[0].ScalarInt())
-		if idx < 0 || idx >= cfg.Tiles {
-			return fmt.Errorf("fft: merger received tile index %d of %d", idx, cfg.Tiles)
-		}
-		if collected[idx] != nil {
-			return fmt.Errorf("fft: merger received tile %d twice", idx)
-		}
-		collected[idx] = out[1].C128()
+	outs, err := csess.Run(map[string]*tensor.Tensor{
+		"idx":   tensor.FromI64(tensor.Shape{len(myIdx)}, myIdx),
+		"tiles": tensor.FromC128(tensor.Shape{len(myTiles)}, myTiles),
+	}, []string{agI.Name(), agT.Name()}, nil)
+	if err != nil {
+		return nil, nil, err
 	}
-	return nil
+	return outs[0], outs[1], nil
 }

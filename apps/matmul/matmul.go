@@ -1,10 +1,12 @@
 // Package matmul implements the paper's tiled matrix-matrix multiplication
 // (Fig. 4): two large matrices are pre-processed into .npy tiles; a shared
 // dataset lists the (i, k, j) tile products; workers stream their shard of
-// the list, multiply tile pairs on their GPU and push (target, tile) results
-// into reducer FIFO queues; reducers accumulate the products into the output
-// tiles. The algorithm is embarrassingly parallel map-reduce, computed in
-// single precision as in the paper.
+// the list and multiply tile pairs on their GPU. In real mode each worker
+// accumulates its products into a local partial of C and the partials are
+// summed with one in-graph ReduceScatter + AllGatherV pass over the
+// collective engine — the balanced replacement for the paper's two reducer
+// queues, which sim mode still models faithfully (Fig. 4 prices the
+// queue-and-reducer deployment). Single precision as in the paper.
 package matmul
 
 import "fmt"
@@ -13,8 +15,10 @@ import "fmt"
 type Config struct {
 	N    int // matrix dimension
 	Tile int // tile dimension (4096 for K420, 8192 for K80 in the paper)
-	// Workers and Reducers count the TensorFlow instances of each role;
-	// the paper uses two reducers (odd and even target indices).
+	// Workers counts the mapper TensorFlow instances. Reducers counts the
+	// reducer tasks of the paper's deployment — sim mode models them (the
+	// paper uses two, odd and even target indices); real mode reduces over
+	// collectives between the workers instead.
 	Workers  int
 	Reducers int
 }

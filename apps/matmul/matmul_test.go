@@ -55,8 +55,8 @@ func TestTaskEnumeration(t *testing.T) {
 }
 
 // The headline correctness property: the full distributed pipeline (tile
-// files → sharded dataset → worker sessions → queues → reducers) produces
-// the same product as a direct MatMul.
+// files → sharded dataset → worker sessions → reduce-scatter/allgatherv
+// over the collective engine) produces the same product as a direct MatMul.
 func TestRealPipelineMatchesDirect(t *testing.T) {
 	cfg := Config{N: 64, Tile: 16, Workers: 3, Reducers: 2}
 	a := tensor.RandomUniform(tensor.Float32, 1, cfg.N, cfg.N)

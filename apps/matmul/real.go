@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"tfhpc/internal/collective"
 	"tfhpc/internal/core"
 	"tfhpc/internal/dataset"
 	"tfhpc/internal/gemm"
@@ -22,12 +23,18 @@ type RealResult struct {
 	C *tensor.Tensor
 }
 
+// collGroup names worker w's membership in the in-process collective fabric.
+func collGroup(w int) string { return fmt.Sprintf("matmul/w%d", w) }
+
 // RunReal executes the full pipeline with real numerics: pre-processes A
 // and B into .npy tiles under dir, streams the shared task list through
-// worker sessions (one graph per worker: two tile placeholders → MatMul →
-// QueueEnqueue), and accumulates in reducer goroutines that drain their
-// queues through dequeue graphs. Timing covers the map-reduce phase only,
-// matching the paper (pre-processing is excluded).
+// worker sessions (one graph per worker: two tile placeholders → MatMul),
+// each worker accumulating its products into a local partial of C, then
+// reduces the partials with one in-graph ReduceScatter + AllGatherV pass —
+// the balanced collective that replaced the two central reducer queues
+// (every worker reduces an even share instead of two tasks ingesting
+// everything). Timing covers the map-reduce phase only, matching the paper
+// (pre-processing is excluded).
 func RunReal(dir string, cfg Config, a, b *tensor.Tensor) (*RealResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -40,14 +47,15 @@ func RunReal(dir string, cfg Config, a, b *tensor.Tensor) (*RealResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	tpd := cfg.TilesPerDim()
 
-	// Shared resources: one registry hosts the reducer queues, as if they
-	// lived on the reducer tasks.
+	// One collective group spans the workers; the reduction rings between
+	// them with no designated reducer task.
 	res := session.NewResources()
-	for r := 0; r < cfg.Reducers; r++ {
-		res.Queues.Get(queueName(r), 16)
+	groups := collective.NewLoopbackGroups(cfg.Workers, collective.Options{})
+	for w, grp := range groups {
+		res.Colls.Register(collGroup(w), grp)
 	}
+	defer res.Colls.CloseAll()
 
 	// The shared dataset of tasks, sharded per worker.
 	tasks := cfg.Tasks()
@@ -59,44 +67,28 @@ func RunReal(dir string, cfg Config, a, b *tensor.Tensor) (*RealResult, error) {
 
 	start := time.Now()
 	var wg sync.WaitGroup
-	errCh := make(chan error, cfg.Workers+cfg.Reducers)
-	// On any failure, close the queues so blocked peers unwind instead of
-	// deadlocking.
+	errCh := make(chan error, cfg.Workers)
+	// On any failure, poison the collective fabric so peers blocked in the
+	// reduction unwind instead of deadlocking.
 	abort := func() {
-		for r := 0; r < cfg.Reducers; r++ {
-			res.Queues.Get(queueName(r), 16).Close()
+		for _, grp := range groups {
+			grp.Close()
 		}
 	}
 
-	// Workers: load tiles, multiply, push (target, product) to the right
-	// reducer queue through an enqueue graph.
+	outs := make([]*tensor.Tensor, cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			if err := runWorker(cfg, res, storeA, storeB, shared, w); err != nil {
+			out, err := runWorker(cfg, res, storeA, storeB, shared, w)
+			if err != nil {
 				errCh <- fmt.Errorf("worker %d: %w", w, err)
 				abort()
+				return
 			}
+			outs[w] = out
 		}(w)
-	}
-
-	// Reducers: accumulate products into their share of the output tiles.
-	acc := make([]map[int]*tensor.Tensor, cfg.Reducers)
-	expected := make([]int, cfg.Reducers)
-	for _, t := range tasks {
-		expected[t.Reducer(cfg)]++
-	}
-	for r := 0; r < cfg.Reducers; r++ {
-		acc[r] = make(map[int]*tensor.Tensor)
-		wg.Add(1)
-		go func(r int) {
-			defer wg.Done()
-			if err := runReducer(cfg, res, r, expected[r], acc[r]); err != nil {
-				errCh <- fmt.Errorf("reducer %d: %w", r, err)
-				abort()
-			}
-		}(r)
 	}
 	wg.Wait()
 	close(errCh)
@@ -105,17 +97,10 @@ func RunReal(dir string, cfg Config, a, b *tensor.Tensor) (*RealResult, error) {
 	}
 	elapsed := time.Since(start).Seconds()
 
-	// Assemble C from the reducers' tiles.
-	c := tensor.New(tensor.Float32, cfg.N, cfg.N)
-	for r := range acc {
-		for target, tile := range acc[r] {
-			ti, tj := target/tpd, target%tpd
-			src, dst := tile.F32(), c.F32()
-			for row := 0; row < cfg.Tile; row++ {
-				copy(dst[(ti*cfg.Tile+row)*cfg.N+tj*cfg.Tile:(ti*cfg.Tile+row)*cfg.N+tj*cfg.Tile+cfg.Tile],
-					src[row*cfg.Tile:(row+1)*cfg.Tile])
-			}
-		}
+	// Every worker holds the identical reduced C; reshape worker 0's copy.
+	c, err := outs[0].Reshape(cfg.N, cfg.N)
+	if err != nil {
+		return nil, err
 	}
 	return &RealResult{
 		Seconds: elapsed,
@@ -124,85 +109,74 @@ func RunReal(dir string, cfg Config, a, b *tensor.Tensor) (*RealResult, error) {
 	}, nil
 }
 
-func queueName(r int) string { return fmt.Sprintf("reduce_%d", r) }
-
-// runWorker builds the worker graph once and feeds it tile pairs from the
-// worker's dataset shard.
+// runWorker builds the worker's map graph once, feeds it tile pairs from
+// the worker's dataset shard while accumulating products into a local
+// partial of C, then runs the reduce graph: ReduceScatter sums the partials
+// across workers leaving this rank one (generally uneven) segment, and
+// AllGatherV reassembles the full matrix on every rank.
 func runWorker(cfg Config, res *session.Resources, storeA, storeB *core.TileStore,
-	shared dataset.Dataset, w int) error {
+	shared dataset.Dataset, w int) (*tensor.Tensor, error) {
 	g := graph.New()
 	phA := g.Placeholder("a", tensor.Float32, tensor.Shape{cfg.Tile, cfg.Tile})
 	phB := g.Placeholder("b", tensor.Float32, tensor.Shape{cfg.Tile, cfg.Tile})
-	phT := g.Placeholder("target", tensor.Int64, nil)
 	var mm *graph.Node
 	g.WithDevice("/device:GPU:0", func() {
 		mm = g.AddNamedOp("mm", "MatMul", nil, phA, phB)
 	})
-	enq := make([]*graph.Node, cfg.Reducers)
-	for r := 0; r < cfg.Reducers; r++ {
-		enq[r] = g.AddNamedOp(fmt.Sprintf("enq_%d", r), "QueueEnqueue",
-			graph.Attrs{"queue": queueName(r), "capacity": 16}, phT, mm)
-	}
 	sess, err := session.New(g, res, session.Options{})
 	if err != nil {
-		return err
+		return nil, err
 	}
 
+	partial := make([]float32, cfg.N*cfg.N)
+	tpd := cfg.TilesPerDim()
 	it := dataset.Prefetch(dataset.Shard(shared, cfg.Workers, w), 2).Iterator()
 	for {
 		elem, err := it.Next()
 		if err == io.EOF {
-			return nil
+			break
 		}
 		if err != nil {
-			return err
+			return nil, err
 		}
 		idx := elem[0].I64()
 		task := Task{I: int(idx[0]), K: int(idx[1]), J: int(idx[2])}
 		tileA, err := storeA.LoadTile(task.I, task.K)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		tileB, err := storeB.LoadTile(task.K, task.J)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		r := task.Reducer(cfg)
-		_, err = sess.Run(map[string]*tensor.Tensor{
-			"a":      tileA,
-			"b":      tileB,
-			"target": tensor.ScalarI64(int64(task.Target(cfg.TilesPerDim()))),
-		}, nil, []string{enq[r].Name()})
+		out, err := sess.Run(map[string]*tensor.Tensor{"a": tileA, "b": tileB},
+			[]string{mm.Name()}, nil)
 		if err != nil {
-			return err
+			return nil, err
+		}
+		// Accumulate the product into this worker's partial at its target
+		// block — the work the reducer tasks used to serialise.
+		ti, tj := task.Target(tpd)/tpd, task.Target(tpd)%tpd
+		src := out[0].F32()
+		for row := 0; row < cfg.Tile; row++ {
+			dst := partial[(ti*cfg.Tile+row)*cfg.N+tj*cfg.Tile:]
+			gemm.Add32(dst[:cfg.Tile], src[row*cfg.Tile:(row+1)*cfg.Tile])
 		}
 	}
-}
 
-// runReducer drains its queue through a dequeue graph and accumulates
-// products locally, like the paper's reducer accumulating into numpy
-// arrays.
-func runReducer(cfg Config, res *session.Resources, r, expected int,
-	acc map[int]*tensor.Tensor) error {
-	g := graph.New()
-	deq := g.AddNamedOp("deq", "QueueDequeue", graph.Attrs{"queue": queueName(r), "capacity": 16})
-	tile := g.AddNamedOp("tile", "DequeueComponent", graph.Attrs{"index": 1}, deq)
-	sess, err := session.New(g, res, session.Options{})
+	rg := graph.New()
+	ph := rg.Placeholder("partial", tensor.Float32, tensor.Shape{cfg.N * cfg.N})
+	rs := rg.AddNamedOp("rs", "ReduceScatter", graph.Attrs{"group": collGroup(w), "key": "c_rs"}, ph)
+	ag := rg.AddNamedOp("ag", "AllGatherV", graph.Attrs{"group": collGroup(w), "key": "c_ag"}, rs)
+	rsess, err := session.New(rg, res, session.Options{})
 	if err != nil {
-		return err
+		return nil, err
 	}
-	for n := 0; n < expected; n++ {
-		out, err := sess.Run(nil, []string{deq.Name(), tile.Name()}, nil)
-		if err != nil {
-			return err
-		}
-		target := int(out[0].ScalarInt())
-		product := out[1]
-		if cur, ok := acc[target]; ok {
-			gemm.Add32(cur.F32(), product.F32())
-		} else {
-			acc[target] = product.Clone()
-		}
+	out, err := rsess.Run(map[string]*tensor.Tensor{
+		"partial": tensor.FromF32(tensor.Shape{cfg.N * cfg.N}, partial),
+	}, []string{ag.Name()}, nil)
+	if err != nil {
+		return nil, err
 	}
-	return nil
+	return out[0], nil
 }

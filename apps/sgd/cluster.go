@@ -46,7 +46,10 @@ func RunCluster(cfg Config, peers *cluster.Peers, opts ClusterOptions) (*Result,
 		return nil, err
 	}
 	const group = "sgd"
-	if err := peers.InitCollective(job, group, cluster.CollectiveOptions{ChunkBytes: opts.ChunkBytes}); err != nil {
+	if err := peers.InitCollective(job, group, cluster.CollectiveOptions{
+		ChunkBytes: opts.ChunkBytes,
+		Fusion:     cfg.fusionOptions(),
+	}); err != nil {
 		return nil, err
 	}
 
@@ -60,17 +63,12 @@ func RunCluster(cfg Config, peers *cluster.Peers, opts ClusterOptions) (*Result,
 		sessions[w] = sess
 	}
 	for w := 0; w < cfg.Workers; w++ {
-		pre := fmt.Sprintf("w%d/", w)
 		dev := graph.DeviceSpec{Job: job, Task: w}
-		x, xt, y, w0 := shardTensors(cfg, w)
-		for _, init := range []struct {
-			name string
-			val  *tensor.Tensor
-		}{{pre + "X", x}, {pre + "Xt", xt}, {pre + "y", y}, {pre + "w", w0}} {
-			if _, err := peers.RunRemoteOp(dev, "Assign", "init/"+init.name,
-				graph.Attrs{"var_name": init.name}, []string{"value"},
-				[]*tensor.Tensor{init.val}); err != nil {
-				return nil, fmt.Errorf("sgd: init %s: %w", init.name, err)
+		for _, init := range workerInit(cfg, w) {
+			if _, err := peers.RunRemoteOp(dev, "Assign", "init/"+init.Name,
+				graph.Attrs{"var_name": init.Name}, []string{"value"},
+				[]*tensor.Tensor{init.Val}); err != nil {
+				return nil, fmt.Errorf("sgd: init %s: %w", init.Name, err)
 			}
 		}
 	}
@@ -80,7 +78,9 @@ func RunCluster(cfg Config, peers *cluster.Peers, opts ClusterOptions) (*Result,
 		// failure instead of blocking until the receive timeout.
 		func(int) { peers.AbortCollective(job, group) },
 		func(w int) (*tensor.Tensor, error) {
-			return peers.RunRemoteOp(graph.DeviceSpec{Job: job, Task: w},
-				"Variable", "read/w", graph.Attrs{"var_name": fmt.Sprintf("w%d/w", w)}, nil, nil)
+			return concatWeights(cfg, func(name string) (*tensor.Tensor, error) {
+				return peers.RunRemoteOp(graph.DeviceSpec{Job: job, Task: w},
+					"Variable", "read/w", graph.Attrs{"var_name": name}, nil, nil)
+			}, w)
 		})
 }

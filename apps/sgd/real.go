@@ -26,22 +26,121 @@ func shardTensors(cfg Config, w int) (x, xt, y, w0 *tensor.Tensor) {
 	return
 }
 
+// workerInit lists worker w's (variable name, value) pairs for either graph
+// shape: the multi-tensor graph splits Xt and w into per-parameter-tensor
+// chunks (rows of Xt align with weight indices, so chunk t of Xt feeds
+// gradient tensor t).
+func workerInit(cfg Config, w int) []struct {
+	Name string
+	Val  *tensor.Tensor
+} {
+	type nv = struct {
+		Name string
+		Val  *tensor.Tensor
+	}
+	pre := fmt.Sprintf("w%d/", w)
+	x, xt, y, w0 := shardTensors(cfg, w)
+	if !cfg.multiTensor() {
+		return []nv{{pre + "X", x}, {pre + "Xt", xt}, {pre + "y", y}, {pre + "w", w0}}
+	}
+	T := cfg.paramTensors()
+	m, d := cfg.RowsPerWorker, cfg.Features
+	out := []nv{{pre + "X", x}, {pre + "y", y}}
+	xtv := xt.F64()
+	for t := 0; t < T; t++ {
+		lo, hi := chunkBounds(d, T, t)
+		out = append(out,
+			nv{fmt.Sprintf("%sXt%d", pre, t), tensor.FromF64(tensor.Shape{hi - lo, m}, xtv[lo*m:hi*m])},
+			nv{weightVarName(pre, t), tensor.New(tensor.Float64, hi-lo)})
+	}
+	return out
+}
+
+// fusionOptions returns the collective fusion tuning of one run: a count
+// trigger equal to the per-step post set, so a step's gradients flush as
+// one pass the moment the last one lands, with the deadline as fallback.
+func (c Config) fusionOptions() collective.FusionOptions {
+	if !c.Fuse {
+		return collective.FusionOptions{}
+	}
+	return collective.FusionOptions{FlushTensors: c.paramTensors()}
+}
+
+// concatWeights reassembles the flat weight vector from per-tensor reads.
+func concatWeights(cfg Config, read func(name string) (*tensor.Tensor, error), w int) (*tensor.Tensor, error) {
+	pre := fmt.Sprintf("w%d/", w)
+	if !cfg.multiTensor() {
+		return read(pre + "w")
+	}
+	out := tensor.New(tensor.Float64, cfg.Features)
+	dst := out.F64()
+	off := 0
+	for t := 0; t < cfg.paramTensors(); t++ {
+		chunk, err := read(weightVarName(pre, t))
+		if err != nil {
+			return nil, err
+		}
+		copy(dst[off:off+chunk.NumElements()], chunk.F64())
+		off += chunk.NumElements()
+	}
+	return out, nil
+}
+
 // driveWorker runs one replica's training loop: per step one session Run
 // fetching the allreduced loss and applying the identical weight update.
+//
+// Multi-tensor mode pipelines the loss: step k's Run only *starts* the loss
+// allreduce (async handle, parity-alternating), and step k+1's Run joins it
+// — so the loss collective for step k is on the wire while step k's weight
+// assigns and step k+1's forward pass execute. A drain Run after the loop
+// joins the final step's loss.
 func driveWorker(cfg Config, sess *session.Session) (first, last float64, err error) {
 	lr := tensor.ScalarF64(cfg.LR)
-	for step := 0; step < cfg.Steps; step++ {
-		out, err := sess.Run(map[string]*tensor.Tensor{"lr": lr},
-			[]string{"loss"}, []string{"save_w"})
-		if err != nil {
-			return 0, 0, err
+	feeds := map[string]*tensor.Tensor{"lr": lr}
+	if !cfg.multiTensor() {
+		for step := 0; step < cfg.Steps; step++ {
+			out, err := sess.Run(feeds, []string{"loss"}, []string{"save_w"})
+			if err != nil {
+				return 0, 0, err
+			}
+			loss := out[0].ScalarFloat()
+			if step == 0 {
+				first = loss
+			}
+			last = loss
 		}
-		loss := out[0].ScalarFloat()
+		return first, last, nil
+	}
+
+	targetsBase := make([]string, cfg.paramTensors())
+	for t := range targetsBase {
+		targetsBase[t] = saveTarget(t)
+	}
+	record := func(step int, loss float64) {
 		if step == 0 {
 			first = loss
 		}
 		last = loss
 	}
+	for step := 0; step < cfg.Steps; step++ {
+		targets := append(append([]string{}, targetsBase...), "loss_start_"+lossParity(step))
+		var fetches []string
+		if step > 0 {
+			fetches = []string{"loss_" + lossParity(step-1)}
+		}
+		out, err := sess.Run(feeds, fetches, targets)
+		if err != nil {
+			return 0, 0, err
+		}
+		if step > 0 {
+			record(step-1, out[0].ScalarFloat())
+		}
+	}
+	out, err := sess.Run(nil, []string{"loss_" + lossParity(cfg.Steps-1)}, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	record(cfg.Steps-1, out[0].ScalarFloat())
 	return first, last, nil
 }
 
@@ -52,7 +151,7 @@ func RunReal(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	res := session.NewResources()
-	groups := collective.NewLoopbackGroups(cfg.Workers, collective.Options{})
+	groups := collective.NewLoopbackGroups(cfg.Workers, collective.Options{Fusion: cfg.fusionOptions()})
 	for w, grp := range groups {
 		res.Colls.Register(collGroup(w), grp)
 	}
@@ -67,18 +166,17 @@ func RunReal(cfg Config) (*Result, error) {
 		sessions[w] = sess
 	}
 	for w := 0; w < cfg.Workers; w++ {
-		pre := fmt.Sprintf("w%d/", w)
-		x, xt, y, w0 := shardTensors(cfg, w)
-		res.Vars.Get(pre + "X").Assign(x)
-		res.Vars.Get(pre + "Xt").Assign(xt)
-		res.Vars.Get(pre + "y").Assign(y)
-		res.Vars.Get(pre + "w").Assign(w0)
+		for _, init := range workerInit(cfg, w) {
+			res.Vars.Get(init.Name).Assign(init.Val)
+		}
 	}
 
 	return runReplicas(cfg, sessions,
 		func(w int) { groups[w].Close() }, // cascade failure to blocked peers
 		func(w int) (*tensor.Tensor, error) {
-			return res.Vars.Get(fmt.Sprintf("w%d/w", w)).Read()
+			return concatWeights(cfg, func(name string) (*tensor.Tensor, error) {
+				return res.Vars.Get(name).Read()
+			}, w)
 		})
 }
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 
+	"tfhpc/internal/collective"
 	"tfhpc/internal/graph"
 	"tfhpc/internal/tensor"
 )
@@ -24,6 +25,20 @@ type Config struct {
 	Seed          uint64
 	// Noise is the observation-noise amplitude of the synthetic labels.
 	Noise float64
+	// ParamTensors splits the weight vector into this many parameter
+	// tensors (0/1 = one tensor, the classic graph). Multi-tensor mode is
+	// the Horovod shape — one gradient allreduce per parameter tensor, all
+	// dispatched concurrently by the executor — and switches the loss
+	// reduction to the double-buffered async handles, so step k's loss
+	// collective overlaps step k's update and step k+1's forward pass.
+	ParamTensors int
+	// Fuse routes the per-tensor gradient allreduces through the group's
+	// fusion buffer: the ParamTensors concurrent posts coalesce into one
+	// collective pass per step. Results are bit-identical to the unfused
+	// path (both ride the same recursive-doubling tree below the picker
+	// threshold) — scripts/ci_smoke.sh asserts exactly that on final
+	// weights.
+	Fuse bool
 }
 
 // Validate checks the setup.
@@ -37,7 +52,29 @@ func (c Config) Validate() error {
 	if c.LR <= 0 {
 		return fmt.Errorf("sgd: need a positive learning rate")
 	}
+	if c.ParamTensors < 0 || c.ParamTensors > c.Features {
+		return fmt.Errorf("sgd: param tensors %d outside [0, %d]", c.ParamTensors, c.Features)
+	}
 	return nil
+}
+
+// paramTensors normalises ParamTensors (0 means one tensor).
+func (c Config) paramTensors() int {
+	if c.ParamTensors <= 0 {
+		return 1
+	}
+	return c.ParamTensors
+}
+
+// multiTensor reports whether the multi-tensor graph (and its async loss
+// double-buffering) is in effect.
+func (c Config) multiTensor() bool { return c.paramTensors() > 1 }
+
+// chunkBounds splits d weights into T near-equal parameter tensors using
+// the collective engine's segment layout (first d%T tensors one element
+// larger), so the weight split mirrors how the engine itself shards.
+func chunkBounds(d, T, t int) (lo, hi int) {
+	return collective.SegBounds(d, T, t)
 }
 
 // TotalRows is the full dataset size across shards.
@@ -76,17 +113,32 @@ func Shard(cfg Config, w int) (x, y *tensor.Tensor) {
 // buildWorker constructs worker w's training graph. Per step:
 //
 //	resid  = X·w − y                     (local)
-//	g_sum  = allreduce( Xᵀ·resid )       (ring, the Horovod step)
-//	loss   = allreduce( resid·resid )/M  (ring, ordered after g_sum)
+//	g_sum  = allreduce( Xᵀ·resid )       (ring/doubling, the Horovod step)
+//	loss   = allreduce( resid·resid )/M  (ordered after g_sum)
 //	w     −= lr · (2/M) · g_sum          (identical on every replica)
 //
 // The two allreduces share the group, so a control edge fixes their issue
 // order — the executor would otherwise race them and ranks could disagree.
 // group names the collective membership; device places the nodes (cluster).
+//
+// In multi-tensor mode (ParamTensors > 1) the weight vector splits into T
+// parameter tensors with one gradient allreduce each — plain AllReduce
+// nodes, or AllReduceFused when cfg.Fuse routes them through the fusion
+// buffer so the executor's concurrent dispatch coalesces them into one
+// pass. The per-tensor chains are independent, so tensor t's weight update
+// overlaps tensor u's reduction, and the loss moves to double-buffered
+// AllReduceStart/AllReduceJoin handles (even/odd), letting step k's loss
+// collective overlap step k's update and step k+1's forward pass; the
+// driver fetches each loss one step late and drains the last after the
+// loop.
 func buildWorker(cfg Config, w int, group, device string) *graph.Graph {
 	pre := fmt.Sprintf("w%d/", w)
 	g := graph.New()
 	build := func() {
+		if cfg.multiTensor() {
+			buildMultiTensor(cfg, g, pre, group)
+			return
+		}
 		lrPH := g.Placeholder("lr", tensor.Float64, nil)
 		xVar := g.AddNamedOp("X", "Variable", graph.Attrs{"var_name": pre + "X"})
 		xtVar := g.AddNamedOp("Xt", "Variable", graph.Attrs{"var_name": pre + "Xt"})
@@ -102,7 +154,11 @@ func buildWorker(cfg Config, w int, group, device string) *graph.Graph {
 		g.WithDevice("/device:GPU:0", func() {
 			gLocal = g.AddNamedOp("g_local", "MatVec", nil, xtVar, resid)
 		})
-		gSum := g.AddNamedOp("g_sum", "AllReduce", graph.Attrs{"group": group, "key": "g_sum"}, gLocal)
+		gradOp := "AllReduce"
+		if cfg.Fuse {
+			gradOp = "AllReduceFused"
+		}
+		gSum := g.AddNamedOp("g_sum", gradOp, graph.Attrs{"group": group, "key": "g_sum"}, gLocal)
 
 		partialLoss := g.AddNamedOp("partial_loss", "Dot", nil, resid, resid)
 		lossSum := g.AddNamedOp("loss_sum", "AllReduce",
@@ -123,6 +179,76 @@ func buildWorker(cfg Config, w int, group, device string) *graph.Graph {
 		build()
 	}
 	return g
+}
+
+// buildMultiTensor emits the per-parameter-tensor graph described on
+// buildWorker.
+func buildMultiTensor(cfg Config, g *graph.Graph, pre, group string) {
+	T := cfg.paramTensors()
+	lrPH := g.Placeholder("lr", tensor.Float64, nil)
+	xVar := g.AddNamedOp("X", "Variable", graph.Attrs{"var_name": pre + "X"})
+	yVar := g.AddNamedOp("y", "Variable", graph.Attrs{"var_name": pre + "y"})
+	wVars := make([]*graph.Node, T)
+	xtVars := make([]*graph.Node, T)
+	for t := 0; t < T; t++ {
+		wVars[t] = g.AddNamedOp(fmt.Sprintf("w%d", t), "Variable",
+			graph.Attrs{"var_name": weightVarName(pre, t)})
+		xtVars[t] = g.AddNamedOp(fmt.Sprintf("Xt%d", t), "Variable",
+			graph.Attrs{"var_name": fmt.Sprintf("%sXt%d", pre, t)})
+	}
+	wFull := g.AddNamedOp("w_full", "ConcatRows", nil, wVars...)
+
+	var pred *graph.Node
+	g.WithDevice("/device:GPU:0", func() {
+		pred = g.AddNamedOp("pred", "MatVec", nil, xVar, wFull)
+	})
+	resid := g.AddNamedOp("resid", "Sub", nil, pred, yVar)
+
+	gradOp := "AllReduce"
+	if cfg.Fuse {
+		gradOp = "AllReduceFused"
+	}
+	gradScale := g.Const(tensor.ScalarF64(2.0 / float64(cfg.TotalRows())))
+	negLR := g.AddNamedOp("neg_lr", "Neg", nil, lrPH)
+	for t := 0; t < T; t++ {
+		var gLocal *graph.Node
+		g.WithDevice("/device:GPU:0", func() {
+			gLocal = g.AddNamedOp(fmt.Sprintf("g_local%d", t), "MatVec", nil, xtVars[t], resid)
+		})
+		gSum := g.AddNamedOp(fmt.Sprintf("g_sum%d", t), gradOp,
+			graph.Attrs{"group": group, "key": fmt.Sprintf("g_sum%d", t)}, gLocal)
+		gAvg := g.AddNamedOp(fmt.Sprintf("g_avg%d", t), "Scale", nil, gradScale, gSum)
+		wNew := g.AddNamedOp(fmt.Sprintf("w_new%d", t), "Axpy", nil, negLR, gAvg, wVars[t])
+		g.AddNamedOp(saveTarget(t), "Assign", graph.Attrs{"var_name": weightVarName(pre, t)}, wNew)
+	}
+
+	// Double-buffered async loss: even/odd handles alternate across steps,
+	// so the join of step k−1 and the start of step k touch different
+	// in-flight collectives within one Run.
+	partialLoss := g.AddNamedOp("partial_loss", "Dot", nil, resid, resid)
+	invM := g.Const(tensor.ScalarF64(1.0 / float64(cfg.TotalRows())))
+	for _, par := range []string{"even", "odd"} {
+		g.AddNamedOp("loss_start_"+par, "AllReduceStart",
+			graph.Attrs{"group": group, "key": "loss_" + par, "handle": "loss_" + par}, partialLoss)
+		join := g.AddNamedOp("loss_join_"+par, "AllReduceJoin",
+			graph.Attrs{"group": group, "handle": "loss_" + par})
+		g.AddNamedOp("loss_"+par, "Scale", nil, invM, join)
+	}
+}
+
+// weightVarName is parameter tensor t's variable name under worker prefix
+// pre (single-tensor mode keeps the historic bare "w").
+func weightVarName(pre string, t int) string { return fmt.Sprintf("%sw%d", pre, t) }
+
+// saveTarget names the per-tensor assign node the driver targets each step.
+func saveTarget(t int) string { return fmt.Sprintf("save_w%d", t) }
+
+// lossParity returns the even/odd suffix of a step's loss double buffer.
+func lossParity(step int) string {
+	if step%2 == 0 {
+		return "even"
+	}
+	return "odd"
 }
 
 // Result is the outcome of a training run.

@@ -82,6 +82,65 @@ func TestWorkerCountsAgree(t *testing.T) {
 	}
 }
 
+// TestMultiTensorMatchesSingle: splitting the weights into parameter
+// tensors changes the graph shape, not the math — same data, same updates,
+// so the trajectory and final weights must agree with the single-tensor
+// run to the last bit when both allreduce paths pick the same algorithm
+// (they do: these gradients sit below the doubling threshold).
+func TestMultiTensorMatchesSingle(t *testing.T) {
+	single := baseConfig()
+	single.Steps = 25
+	multi := single
+	multi.ParamTensors = 5 // uneven 32/5 split exercises ragged chunks
+	rs, err := RunReal(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := RunReal(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rm.ReplicasEqual {
+		t.Fatal("multi-tensor replicas diverged")
+	}
+	if !rm.Weights.Equal(rs.Weights) {
+		t.Fatal("multi-tensor weights differ from single-tensor weights")
+	}
+	if diff := rm.FinalLoss - rs.FinalLoss; diff != 0 {
+		t.Fatalf("multi-tensor loss %g != single-tensor loss %g", rm.FinalLoss, rs.FinalLoss)
+	}
+}
+
+// TestFusedMatchesUnfusedBitwise is the in-process form of the CI smoke
+// assertion: routing the per-tensor gradients through the fusion buffer
+// must leave the final weights bit-identical to the unfused multi-tensor
+// run — the fused pass reduces the packed payload through the same
+// doubling tree.
+func TestFusedMatchesUnfusedBitwise(t *testing.T) {
+	unfused := baseConfig()
+	unfused.Steps = 25
+	unfused.ParamTensors = 4
+	fused := unfused
+	fused.Fuse = true
+	ru, err := RunReal(unfused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := RunReal(fused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rf.ReplicasEqual {
+		t.Fatal("fused replicas diverged")
+	}
+	if !rf.Weights.Equal(ru.Weights) {
+		t.Fatal("fused weights not bit-identical to unfused weights")
+	}
+	if rf.FinalLoss != ru.FinalLoss {
+		t.Fatalf("fused loss %g != unfused loss %g", rf.FinalLoss, ru.FinalLoss)
+	}
+}
+
 func TestClusterTrainingMatchesInProcess(t *testing.T) {
 	cfg := baseConfig()
 	cfg.Steps = 15
@@ -108,6 +167,39 @@ func TestClusterTrainingMatchesInProcess(t *testing.T) {
 	// modulo the transport (which moves identical bytes).
 	if diff := dist.FinalLoss - local.FinalLoss; diff > 1e-12 || diff < -1e-12 {
 		t.Fatalf("cluster loss %g != in-process loss %g", dist.FinalLoss, local.FinalLoss)
+	}
+}
+
+// TestClusterFusedMultiTensor drives the fused multi-tensor graph over real
+// task servers: AllReduceFused ops coalesce on each server's fusion buffer,
+// the async loss handles span RunRemoteOp calls, and the result must match
+// the in-process fused run bit-for-bit.
+func TestClusterFusedMultiTensor(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Steps = 10
+	cfg.ParamTensors = 3
+	cfg.Fuse = true
+	lc, err := cluster.StartLocal(map[string]int{"worker": cfg.Workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lc.Close()
+	peers := cluster.NewPeers(lc.Spec())
+	defer peers.Close()
+
+	dist, err := RunCluster(cfg, peers, ClusterOptions{HealthWait: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := RunReal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dist.ReplicasEqual {
+		t.Fatal("fused cluster replicas diverged")
+	}
+	if !dist.Weights.Equal(local.Weights) {
+		t.Fatal("fused cluster weights differ from in-process fused weights")
 	}
 }
 

@@ -2,13 +2,19 @@
 // the paper's Horovod scenario: full weight replicas, per-step gradient
 // allreduce over ring collectives, no parameter server.
 //
-// Real mode runs all replicas in-process over a loopback ring; cluster mode
-// places one replica per running tfserver task with the allreduce ringing
-// over TCP between the tasks; sim mode prices a deployment on the virtual
-// platform and reports the ring-vs-central communication comparison.
+// Real mode runs all replicas in-process over a loopback fabric; cluster
+// mode places one replica per running tfserver task with the allreduce
+// running over TCP between the tasks (algorithm picked per call: recursive
+// doubling below the payload threshold, ring above); sim mode prices a
+// deployment on the virtual platform and reports the ring-vs-central
+// communication comparison. -param-tensors splits the weights into several
+// parameter tensors (one gradient allreduce each, loss double-buffered
+// through async handles) and -fuse coalesces those allreduces through the
+// fusion buffer — bit-identical results, one collective pass per step.
 //
 //	tfsgd -mode real -features 4096 -rows 1024 -workers 4 -steps 50
 //	tfsgd -mode cluster -spec 127.0.0.1:7000,127.0.0.1:7001 -workers 2
+//	tfsgd -mode cluster -spec ... -workers 4 -param-tensors 8 -fuse
 //	tfsgd -mode sim -cluster kebnekaise -node v100 -proto rdma -features 1048576
 //	tfsgd -mode real -features 256 -checkpoint model.ckpt   # then: tfserve -model m=model.ckpt
 package main
@@ -42,6 +48,8 @@ func main() {
 	node := flag.String("node", "v100", "sim: node type")
 	proto := flag.String("proto", "rdma", "sim: grpc|mpi|rdma")
 	ckpt := flag.String("checkpoint", "", "save the trained weights as a servable linear-model checkpoint (tfserve -model)")
+	paramTensors := flag.Int("param-tensors", 1, "split the weights into this many parameter tensors (Horovod shape: one gradient allreduce each, loss double-buffered async)")
+	fuse := flag.Bool("fuse", false, "coalesce the per-tensor gradient allreduces through the fusion buffer (bit-identical to unfused)")
 	flag.Parse()
 
 	cfg := sgd.Config{
@@ -52,6 +60,8 @@ func main() {
 		LR:            *lr,
 		Seed:          *seed,
 		Noise:         *noise,
+		ParamTensors:  *paramTensors,
+		Fuse:          *fuse,
 	}
 
 	switch *mode {

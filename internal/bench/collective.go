@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -13,26 +14,44 @@ import (
 	"tfhpc/internal/tensor"
 )
 
-// CollectiveRow is one measured allreduce configuration: ring vs the
-// gather-to-root baseline over the same fabric.
+// CollectiveRow is one measured allreduce configuration: a single
+// (fabric, group size, payload, algorithm) point, so the report gates each
+// algorithm independently.
 type CollectiveRow struct {
 	// Fabric is "host" (raw in-process loopback: real memory system, no
 	// wire) or a modelled interconnect ("kebnekaise-mpi", "tegner-grpc"):
 	// loopback plus simnet wire occupancy per message, reductions still
-	// real. On the modelled fabrics the ring's decentralisation shows up on
-	// any host; on "host" it needs real cores to spread the reduction over.
+	// real. On the modelled fabrics the balanced algorithms' decentralised
+	// traffic shows up on any host; on "host" the ring needs real cores to
+	// spread the reduction over, while doubling's fewer steps win on
+	// latency alone.
 	Fabric string `json:"fabric"`
 	Tasks  int    `json:"tasks"`
-	Elems  int    `json:"elems"`
-	DType  string `json:"dtype"`
+	// Elems is the per-tensor element count; fusion rows post Tensors such
+	// tensors per rank per pass.
+	Elems   int     `json:"elems"`
+	DType   string  `json:"dtype"`
+	Algo    string  `json:"algo"` // ring|doubling|auto|naive|fused|unfused
+	Tensors int     `json:"tensors,omitempty"`
+	Seconds float64 `json:"seconds"`
 	// Bus bandwidth uses the Horovod convention 2(p−1)/p · bytes / t: the
 	// per-rank wire traffic of an optimal allreduce, so algorithms are
-	// comparable at any p.
-	RingSeconds  float64 `json:"ring_seconds"`
-	RingBusMBps  float64 `json:"ring_bus_mbps"`
-	NaiveSeconds float64 `json:"naive_seconds"`
-	NaiveBusMBps float64 `json:"naive_bus_mbps"`
-	Speedup      float64 `json:"speedup"`
+	// comparable at any p and payload.
+	BusMBps float64 `json:"bus_mbps"`
+}
+
+// CollectiveResult is the collective experiment's report: the sweep rows
+// plus the measured ring/doubling crossover that justifies the picker's
+// default threshold.
+type CollectiveResult struct {
+	Rows []CollectiveRow `json:"rows"`
+	// CrossoverBytes is the smallest swept per-rank payload (bytes/p,
+	// loopback, p=4, f64) at which the ring was at least as fast as
+	// recursive doubling; payloads below it are doubling territory.
+	CrossoverBytes int64 `json:"crossover_bytes"`
+	// SwitchBytes is the engine's default picker threshold, committed here
+	// so the baseline records the tuning the numbers were taken under.
+	SwitchBytes int `json:"switch_bytes"`
 }
 
 // timeCollective runs the operation on every rank concurrently and returns
@@ -83,7 +102,7 @@ func modeledWire(c *hw.Cluster, node string, proto simnet.Protocol) func(int64) 
 	}
 }
 
-func buildGroups(p int, spec fabricSpec) []*collective.Group {
+func buildGroups(p int, spec fabricSpec, opts collective.Options) []*collective.Group {
 	eps := collective.NewLoopback(p)
 	groups := make([]*collective.Group, p)
 	for i, ep := range eps {
@@ -91,103 +110,290 @@ func buildGroups(p int, spec fabricSpec) []*collective.Group {
 		if spec.wire != nil {
 			tr = collective.NewMetered(ep, spec.wire)
 		}
-		groups[i] = collective.NewGroup(tr, collective.Options{})
+		groups[i] = collective.NewGroup(tr, opts)
 	}
 	return groups
 }
 
-// CollectiveRows measures ring allreduce against the gather-to-root baseline
-// on simulated tasks: in-process ranks over the raw host memory system and
-// over simnet-modelled interconnects. Both algorithms move real bytes and
-// reduce with the same kernels, so each row isolates the algorithmic
-// difference — the serialised root versus the balanced ring.
-func CollectiveRows() ([]CollectiveRow, error) {
-	cases := []struct {
-		fabric fabricSpec
-		p      int
-		elems  int
-		dt     tensor.DType
-		reps   int
-	}{
-		{fabricSpec{name: "host"}, 4, 1 << 21, tensor.Float64, 5},
-		{fabricSpec{name: "host"}, 8, 1 << 21, tensor.Float64, 5},
-		{fabricSpec{"kebnekaise-mpi", modeledWire(hw.Kebnekaise, "k80", simnet.MPI)}, 4, 1 << 20, tensor.Float64, 2},
-		{fabricSpec{"kebnekaise-mpi", modeledWire(hw.Kebnekaise, "k80", simnet.MPI)}, 8, 1 << 20, tensor.Float64, 2},
-		{fabricSpec{"tegner-grpc", modeledWire(hw.Tegner, "k420", simnet.GRPC)}, 4, 1 << 18, tensor.Float32, 2},
-		{fabricSpec{"tegner-grpc", modeledWire(hw.Tegner, "k420", simnet.GRPC)}, 8, 1 << 18, tensor.Float32, 2},
-	}
-	var rows []CollectiveRow
-	for _, c := range cases {
-		groups := buildGroups(c.p, c.fabric)
-		ins := make([]*tensor.Tensor, c.p)
-		for r := range ins {
-			t := tensor.New(c.dt, c.elems)
-			switch c.dt {
-			case tensor.Float64:
-				d := t.F64()
-				for i := range d {
-					d[i] = float64((i+r)%251) * 0.017
-				}
-			case tensor.Float32:
-				d := t.F32()
-				for i := range d {
-					d[i] = float32((i+r)%251) * 0.017
-				}
+func fillInputs(p, elems int, dt tensor.DType) []*tensor.Tensor {
+	ins := make([]*tensor.Tensor, p)
+	for r := range ins {
+		t := tensor.New(dt, elems)
+		switch dt {
+		case tensor.Float64:
+			d := t.F64()
+			for i := range d {
+				d[i] = float64((i+r)%251) * 0.017
 			}
-			ins[r] = t
+		case tensor.Float32:
+			d := t.F32()
+			for i := range d {
+				d[i] = float32((i+r)%251) * 0.017
+			}
 		}
-		ring, err := timeCollective(groups, ins, c.reps, func(g *collective.Group, in *tensor.Tensor, key string) error {
-			_, err := g.AllReduce("ring/"+key, in, collective.OpSum)
-			return err
-		})
-		if err != nil {
-			return nil, err
+		ins[r] = t
+	}
+	return ins
+}
+
+func busMBps(p, elems int, dt tensor.DType, seconds float64) float64 {
+	bytes := float64(elems) * float64(dt.Size())
+	return 2 * float64(p-1) / float64(p) * bytes / seconds / 1e6
+}
+
+// allReduceTimer returns a timeCollective runner for one algorithm name
+// ("naive" selects the gather-to-root strawman).
+func allReduceTimer(algo string) func(g *collective.Group, in *tensor.Tensor, key string) error {
+	return func(g *collective.Group, in *tensor.Tensor, key string) error {
+		var err error
+		if algo == "naive" {
+			_, err = g.NaiveAllReduce(algo+"/"+key, in, collective.OpSum)
+		} else {
+			_, err = g.AllReduceAlg(algo+"/"+key, in, collective.OpSum, algo)
 		}
-		naive, err := timeCollective(groups, ins, c.reps, func(g *collective.Group, in *tensor.Tensor, key string) error {
-			_, err := g.NaiveAllReduce("naive/"+key, in, collective.OpSum)
-			return err
-		})
-		if err != nil {
-			return nil, err
+		return err
+	}
+}
+
+// sweepCase is one (fabric, p, payload) point of the algorithm sweep.
+type sweepCase struct {
+	fabric fabricSpec
+	p      int
+	elems  int
+	dt     tensor.DType
+	reps   int
+	algos  []string
+}
+
+// CollectiveRows measures the allreduce algorithms against each other and
+// the gather-to-root baseline on simulated tasks: in-process ranks over the
+// raw host memory system and over simnet-modelled interconnects, payloads
+// from latency-bound (KiB) to bandwidth-bound (MiB). Every algorithm moves
+// real bytes and reduces with the same kernels, so each row isolates the
+// algorithmic difference. The "auto" rows show what the per-call picker
+// actually delivers; "fused"/"unfused" rows post many small tensors through
+// the fusion buffer versus one plain allreduce each.
+func CollectiveRows() (*CollectiveResult, error) {
+	allAlgos := []string{"ring", "doubling", "auto", "naive"}
+	fast := []string{"ring", "doubling", "auto"}
+	host := fabricSpec{name: "host"}
+	kebne := fabricSpec{"kebnekaise-mpi", modeledWire(hw.Kebnekaise, "k80", simnet.MPI)}
+	tegner := fabricSpec{"tegner-grpc", modeledWire(hw.Tegner, "k420", simnet.GRPC)}
+	cases := []sweepCase{
+		// Loopback payload sweep at p=4: the crossover scan (f64; 512
+		// elems = 4 KiB payload = 1 KiB/rank, up to 16 MiB).
+		{host, 4, 1 << 9, tensor.Float64, 9, allAlgos},
+		{host, 4, 1 << 11, tensor.Float64, 9, allAlgos},
+		{host, 4, 1 << 13, tensor.Float64, 7, fast},
+		{host, 4, 1 << 15, tensor.Float64, 5, fast},
+		{host, 4, 1 << 17, tensor.Float64, 5, fast},
+		{host, 4, 1 << 21, tensor.Float64, 3, allAlgos},
+		// Non-power-of-two and larger groups: the doubling fold/unfold and
+		// the ring's step growth.
+		{host, 5, 1 << 11, tensor.Float64, 7, fast},
+		{host, 8, 1 << 11, tensor.Float64, 7, fast},
+		{host, 8, 1 << 21, tensor.Float64, 3, allAlgos},
+		// Modelled fabrics: small payloads where algorithm latency
+		// dominates, large where bandwidth does.
+		{kebne, 4, 1 << 9, tensor.Float64, 3, fast},
+		{kebne, 4, 1 << 20, tensor.Float64, 2, allAlgos},
+		{kebne, 8, 1 << 20, tensor.Float64, 2, allAlgos},
+		{tegner, 4, 1 << 9, tensor.Float32, 3, fast},
+		{tegner, 4, 1 << 18, tensor.Float32, 2, allAlgos},
+		{tegner, 8, 1 << 18, tensor.Float32, 2, allAlgos},
+	}
+	result := &CollectiveResult{SwitchBytes: collective.DefaultSwitchBytes}
+	for _, c := range cases {
+		groups := buildGroups(c.p, c.fabric, collective.Options{})
+		ins := fillInputs(c.p, c.elems, c.dt)
+		for _, algo := range c.algos {
+			secs, err := timeCollective(groups, ins, c.reps, allReduceTimer(algo))
+			if err != nil {
+				return nil, err
+			}
+			result.Rows = append(result.Rows, CollectiveRow{
+				Fabric:  c.fabric.name,
+				Tasks:   c.p,
+				Elems:   c.elems,
+				DType:   c.dt.String(),
+				Algo:    algo,
+				Seconds: secs,
+				BusMBps: busMBps(c.p, c.elems, c.dt, secs),
+			})
 		}
 		for _, grp := range groups {
 			grp.Close()
 		}
-		bytes := float64(c.elems) * float64(c.dt.Size())
-		bus := 2 * float64(c.p-1) / float64(c.p) * bytes
-		rows = append(rows, CollectiveRow{
-			Fabric:       c.fabric.name,
-			Tasks:        c.p,
-			Elems:        c.elems,
-			DType:        c.dt.String(),
-			RingSeconds:  ring,
-			RingBusMBps:  bus / ring / 1e6,
-			NaiveSeconds: naive,
-			NaiveBusMBps: bus / naive / 1e6,
-			Speedup:      naive / ring,
-		})
 	}
-	return rows, nil
+	result.CrossoverBytes = measureCrossover(result.Rows)
+
+	// Fusion rows on both fabric classes: raw loopback exposes the
+	// negotiation overhead honestly (per-message cost is near zero there,
+	// so coalescing buys little), while the modelled interconnect is the
+	// regime fusion exists for — per-message wire latency dominates tiny
+	// tensors, and one fused pass replaces K of them.
+	for _, spec := range []fabricSpec{host, tegner} {
+		fusedRows, err := fusionRows(spec)
+		if err != nil {
+			return nil, err
+		}
+		result.Rows = append(result.Rows, fusedRows...)
+	}
+	return result, nil
+}
+
+// measureCrossover scans the loopback p=4 f64 sweep for the smallest
+// per-rank payload at which the ring matched or beat doubling.
+func measureCrossover(rows []CollectiveRow) int64 {
+	times := map[int]map[string]float64{}
+	for _, r := range rows {
+		if r.Fabric != "host" || r.Tasks != 4 || r.DType != "float64" || r.Tensors > 0 {
+			continue
+		}
+		if times[r.Elems] == nil {
+			times[r.Elems] = map[string]float64{}
+		}
+		times[r.Elems][r.Algo] = r.Seconds
+	}
+	elems := make([]int, 0, len(times))
+	for e := range times {
+		elems = append(elems, e)
+	}
+	sort.Ints(elems)
+	for _, e := range elems {
+		ring, okR := times[e]["ring"]
+		dbl, okD := times[e]["doubling"]
+		if okR && okD && ring <= dbl {
+			return int64(e) * 8 / 4 // bytes per rank at p=4
+		}
+	}
+	if len(elems) == 0 {
+		return 0
+	}
+	// Ring never caught up inside the sweep: report the top as a floor.
+	return int64(elems[len(elems)-1]) * 8 / 4
+}
+
+// fusionRows measures the small-tensor regime the fusion buffer exists
+// for: K tiny gradients per rank per step, posted concurrently through the
+// buffer (fused) versus reduced one by one (unfused).
+func fusionRows(spec fabricSpec) ([]CollectiveRow, error) {
+	const p, K, elems = 4, 32, 1 << 7
+	reps := 5
+	if spec.wire != nil {
+		reps = 2 // modelled wire time makes each rep expensive
+	}
+	dt := tensor.Float64
+
+	run := func(fused bool) (float64, error) {
+		opts := collective.Options{}
+		if fused {
+			opts.Fusion = collective.FusionOptions{FlushTensors: K}
+		}
+		groups := buildGroups(p, spec, opts)
+		defer func() {
+			for _, g := range groups {
+				g.Close()
+			}
+		}()
+		ins := fillInputs(p, elems, dt)
+		best := 0.0
+		for rep := -1; rep < reps; rep++ {
+			errs := make([]error, p)
+			start := time.Now()
+			var wg sync.WaitGroup
+			for r := 0; r < p; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					// Both sides post their K tensors concurrently — the shape
+					// the executor produces for K independent allreduce nodes —
+					// so the rows compare coalescing, not concurrency.
+					var inner sync.WaitGroup
+					ferrs := make([]error, K)
+					for k := 0; k < K; k++ {
+						inner.Add(1)
+						go func(k int) {
+							defer inner.Done()
+							if fused {
+								_, ferrs[k] = groups[r].AllReduceFused(
+									fmt.Sprintf("f%d/%d", rep, k), ins[r], collective.OpSum)
+							} else {
+								_, ferrs[k] = groups[r].AllReduce(
+									fmt.Sprintf("u%d/%d", rep, k), ins[r], collective.OpSum)
+							}
+						}(k)
+					}
+					inner.Wait()
+					for _, err := range ferrs {
+						if err != nil {
+							errs[r] = err
+							return
+						}
+					}
+				}(r)
+			}
+			wg.Wait()
+			elapsed := time.Since(start).Seconds()
+			for _, err := range errs {
+				if err != nil {
+					return 0, err
+				}
+			}
+			if rep >= 0 && (best == 0 || elapsed < best) {
+				best = elapsed
+			}
+		}
+		return best, nil
+	}
+
+	fusedSecs, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	unfusedSecs, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	row := func(algo string, secs float64) CollectiveRow {
+		return CollectiveRow{
+			Fabric:  spec.name,
+			Tasks:   p,
+			Elems:   elems,
+			DType:   dt.String(),
+			Algo:    algo,
+			Tensors: K,
+			Seconds: secs,
+			BusMBps: busMBps(p, K*elems, dt, secs),
+		}
+	}
+	return []CollectiveRow{row("fused", fusedSecs), row("unfused", unfusedSecs)}, nil
 }
 
 // Collective renders the allreduce comparison table.
 func Collective() (string, error) {
-	rows, err := CollectiveRows()
+	res, err := CollectiveRows()
 	if err != nil {
 		return "", err
 	}
-	return renderCollective(rows), nil
+	return renderCollective(res), nil
 }
 
-func renderCollective(rows []CollectiveRow) string {
+func renderCollective(res *CollectiveResult) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "Ring allreduce vs gather-to-root, simulated tasks (%d pool workers) [bus MB/s]\n",
+	fmt.Fprintf(&sb, "Allreduce algorithms on simulated tasks (%d pool workers) [bus MB/s]\n",
 		gemm.Workers())
-	sb.WriteString(fmt.Sprintf("%-16s %-6s %-9s %-9s %10s %10s %9s\n",
-		"fabric", "tasks", "elems", "dtype", "ring", "gather", "speedup"))
-	for _, r := range rows {
-		sb.WriteString(fmt.Sprintf("%-16s %-6d %-9d %-9s %10.1f %10.1f %8.1fx\n",
-			r.Fabric, r.Tasks, r.Elems, r.DType, r.RingBusMBps, r.NaiveBusMBps, r.Speedup))
+	sb.WriteString(fmt.Sprintf("%-16s %-6s %-9s %-9s %-9s %8s %12s\n",
+		"fabric", "tasks", "elems", "dtype", "algo", "tensors", "bus MB/s"))
+	for _, r := range res.Rows {
+		tensors := "-"
+		if r.Tensors > 0 {
+			tensors = fmt.Sprintf("%d", r.Tensors)
+		}
+		sb.WriteString(fmt.Sprintf("%-16s %-6d %-9d %-9s %-9s %8s %12.1f\n",
+			r.Fabric, r.Tasks, r.Elems, r.DType, r.Algo, tensors, r.BusMBps))
 	}
+	fmt.Fprintf(&sb, "ring/doubling crossover: %d bytes/rank (picker threshold %d)\n",
+		res.CrossoverBytes, res.SwitchBytes)
 	return sb.String()
 }

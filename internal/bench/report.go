@@ -20,10 +20,10 @@ type Report struct {
 	GemmKernel  string   `json:"gemm_kernel"`
 	Experiments []string `json:"experiments"`
 
-	Gemm       []GemmRow       `json:"gemm,omitempty"`
-	Fft        *FftResult      `json:"fft,omitempty"`
-	Collective []CollectiveRow `json:"collective,omitempty"`
-	Serving    []ServingRow    `json:"serving,omitempty"`
+	Gemm       []GemmRow         `json:"gemm,omitempty"`
+	Fft        *FftResult        `json:"fft,omitempty"`
+	Collective *CollectiveResult `json:"collective,omitempty"`
+	Serving    []ServingRow      `json:"serving,omitempty"`
 	// Figures holds the rendered text of the paper-figure experiments,
 	// which have no natural tabular schema beyond their printed form.
 	Figures map[string]string `json:"figures,omitempty"`

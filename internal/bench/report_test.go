@@ -2,6 +2,8 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
+	"strings"
 	"testing"
 )
 
@@ -40,31 +42,73 @@ func TestRunRejectsUnknownExperiment(t *testing.T) {
 	}
 }
 
-// TestCollectiveBenchSmall verifies the allreduce comparison machinery on a
-// scaled-down case (full sweeps run in tfbench, not the test suite).
+// TestCollectiveBenchSmall verifies the allreduce sweep machinery (full
+// sweeps run in tfbench, not the test suite).
 func TestCollectiveBenchSmall(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing test")
 	}
-	rows, err := CollectiveRows()
+	res, err := CollectiveRows()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) == 0 {
+	if len(res.Rows) == 0 {
 		t.Fatal("no rows")
 	}
-	ringWins := 0
-	for _, r := range rows {
-		if r.RingSeconds <= 0 || r.NaiveSeconds <= 0 {
+	times := map[string]map[string]float64{} // case key -> algo -> seconds
+	caseKey := func(r CollectiveRow) string {
+		return fmt.Sprintf("%s/p%d/e%d/t%d", r.Fabric, r.Tasks, r.Elems, r.Tensors)
+	}
+	for _, r := range res.Rows {
+		if r.Seconds <= 0 || r.BusMBps <= 0 {
 			t.Fatalf("non-positive timing: %+v", r)
 		}
-		if r.Tasks >= 4 && r.Fabric != "host" && r.Speedup > 1 {
-			ringWins++
+		if times[caseKey(r)] == nil {
+			times[caseKey(r)] = map[string]float64{}
+		}
+		times[caseKey(r)][r.Algo] = r.Seconds
+	}
+	// On the modelled fabrics a balanced algorithm must beat gather-to-root
+	// at p >= 4 regardless of host core count; the raw host rows
+	// additionally need real cores.
+	balancedWins := 0
+	pickerSane := 0
+	for key, algos := range times {
+		naive, hasNaive := algos["naive"]
+		if hasNaive && !strings.HasPrefix(key, "host/") {
+			if ring, ok := algos["ring"]; ok && ring < naive {
+				balancedWins++
+			}
+			if dbl, ok := algos["doubling"]; ok && dbl < naive {
+				balancedWins++
+			}
+		}
+		// The picker must never be far worse than the better of its two
+		// choices (it IS one of them, modulo run-to-run jitter).
+		if auto, ok := algos["auto"]; ok {
+			ring, okR := algos["ring"]
+			dbl, okD := algos["doubling"]
+			if okR && okD && auto <= 2*min(ring, dbl) {
+				pickerSane++
+			}
 		}
 	}
-	// On the modelled fabrics the ring must beat gather-to-root regardless
-	// of host core count; the raw host rows additionally need real cores.
-	if ringWins == 0 {
-		t.Fatal("ring allreduce never beat the gather-to-root baseline on a modelled fabric")
+	if balancedWins == 0 {
+		t.Fatal("no balanced algorithm ever beat the gather-to-root baseline on a modelled fabric")
+	}
+	if pickerSane == 0 {
+		t.Fatal("auto picker never landed near the better algorithm")
+	}
+	if res.CrossoverBytes <= 0 {
+		t.Fatalf("crossover not measured: %d", res.CrossoverBytes)
+	}
+	fusedRows := 0
+	for _, r := range res.Rows {
+		if r.Algo == "fused" && r.Tensors > 1 {
+			fusedRows++
+		}
+	}
+	if fusedRows == 0 {
+		t.Fatal("fusion rows missing from the sweep")
 	}
 }

@@ -146,17 +146,25 @@ func (s *Server) Close() error {
 // CollInit request encoding:
 //
 //	1 group, 2 rank, 4 repeated peer address, 5 chunk bytes, 6 timeout ms,
-//	7 epoch
-func encodeCollInit(group string, rank int, addrs []string, chunkBytes int, timeout time.Duration, epoch uint64) []byte {
+//	7 epoch, 8 algorithm, 9 switch bytes, 10 fusion flush bytes,
+//	11 fusion flush tensors, 12 fusion flush interval µs
+func encodeCollInit(group string, rank int, addrs []string, opts CollectiveOptions, epoch uint64) []byte {
 	e := wire.NewEncoder()
 	e.String(1, group)
 	e.Int(2, int64(rank))
 	for _, a := range addrs {
 		e.String(4, a)
 	}
-	e.Int(5, int64(chunkBytes))
-	e.Int(6, int64(timeout/time.Millisecond))
+	e.Int(5, int64(opts.ChunkBytes))
+	e.Int(6, int64(opts.RecvTimeout/time.Millisecond))
 	e.Uint(7, epoch)
+	if opts.Algorithm != "" {
+		e.String(8, opts.Algorithm)
+	}
+	e.Int(9, int64(opts.SwitchBytes))
+	e.Int(10, opts.Fusion.FlushBytes)
+	e.Int(11, int64(opts.Fusion.FlushTensors))
+	e.Int(12, int64(opts.Fusion.FlushInterval/time.Microsecond))
 	return e.Bytes()
 }
 
@@ -168,8 +176,7 @@ func (s *Server) handleCollInit(req []byte) ([]byte, error) {
 	var group string
 	var rank int
 	var addrs []string
-	var chunkBytes int
-	var timeout time.Duration
+	var opts CollectiveOptions
 	var epoch uint64
 	d := wire.NewDecoder(req)
 	for d.More() {
@@ -199,17 +206,43 @@ func (s *Server) handleCollInit(req []byte) ([]byte, error) {
 			if err != nil {
 				return nil, err
 			}
-			chunkBytes = int(v)
+			opts.ChunkBytes = int(v)
 		case 6:
 			v, err := d.Int()
 			if err != nil {
 				return nil, err
 			}
-			timeout = time.Duration(v) * time.Millisecond
+			opts.RecvTimeout = time.Duration(v) * time.Millisecond
 		case 7:
 			if epoch, err = d.Uint(); err != nil {
 				return nil, err
 			}
+		case 8:
+			if opts.Algorithm, err = d.StringVal(); err != nil {
+				return nil, err
+			}
+		case 9:
+			v, err := d.Int()
+			if err != nil {
+				return nil, err
+			}
+			opts.SwitchBytes = int(v)
+		case 10:
+			if opts.Fusion.FlushBytes, err = d.Int(); err != nil {
+				return nil, err
+			}
+		case 11:
+			v, err := d.Int()
+			if err != nil {
+				return nil, err
+			}
+			opts.Fusion.FlushTensors = int(v)
+		case 12:
+			v, err := d.Int()
+			if err != nil {
+				return nil, err
+			}
+			opts.Fusion.FlushInterval = time.Duration(v) * time.Microsecond
 		default:
 			if err := d.Skip(wt); err != nil {
 				return nil, err
@@ -219,11 +252,16 @@ func (s *Server) handleCollInit(req []byte) ([]byte, error) {
 	if group == "" || len(addrs) == 0 {
 		return nil, fmt.Errorf("cluster: malformed CollInit")
 	}
-	tr, err := collective.NewTCPTransport(group, rank, addrs, s.Hub, timeout, epoch)
+	tr, err := collective.NewTCPTransport(group, rank, addrs, s.Hub, opts.RecvTimeout, epoch)
 	if err != nil {
 		return nil, err
 	}
-	s.Res.Colls.Register(group, collective.NewGroup(tr, collective.Options{ChunkBytes: chunkBytes}))
+	s.Res.Colls.Register(group, collective.NewGroup(tr, collective.Options{
+		ChunkBytes:  opts.ChunkBytes,
+		Algorithm:   opts.Algorithm,
+		SwitchBytes: opts.SwitchBytes,
+		Fusion:      opts.Fusion,
+	}))
 	return []byte("ok"), nil
 }
 
@@ -434,12 +472,20 @@ func (p *Peers) WaitHealthy(job string, deadline time.Duration) error {
 	return nil
 }
 
-// CollectiveOptions tune InitCollective.
+// CollectiveOptions tune InitCollective. Algorithm/SwitchBytes/Fusion map
+// onto collective.Options and ship to every task, so the whole ring agrees
+// on the message pattern.
 type CollectiveOptions struct {
 	// ChunkBytes is the ring pipelining granularity (0 = engine default).
 	ChunkBytes int
 	// RecvTimeout bounds each receive on the servers (0 = engine default).
 	RecvTimeout time.Duration
+	// Algorithm forces one allreduce/broadcast algorithm ("" = auto picker).
+	Algorithm string
+	// SwitchBytes is the picker's bytes/p threshold (0 = engine default).
+	SwitchBytes int
+	// Fusion tunes each task's fusion buffer (AllReduceFused ops).
+	Fusion collective.FusionOptions
 }
 
 // InitCollective joins every task of a job into one TCP collective group:
@@ -460,7 +506,7 @@ func (p *Peers) InitCollective(job, group string, opts CollectiveOptions) error 
 		if err != nil {
 			return err
 		}
-		req := encodeCollInit(group, task, addrs, opts.ChunkBytes, opts.RecvTimeout, epoch)
+		req := encodeCollInit(group, task, addrs, opts, epoch)
 		if _, err := c.Call("CollInit", req); err != nil {
 			return fmt.Errorf("cluster: CollInit on /job:%s/task:%d: %w", job, task, err)
 		}

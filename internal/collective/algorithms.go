@@ -1,0 +1,561 @@
+package collective
+
+import (
+	"fmt"
+
+	"tfhpc/internal/tensor"
+)
+
+// Algorithm names accepted by Options.Algorithm and AllReduceAlg.
+const (
+	AlgoAuto     = "auto"     // pick per call by bytes/p against SwitchBytes
+	AlgoRing     = "ring"     // bandwidth-optimal reduce-scatter + allgather
+	AlgoDoubling = "doubling" // recursive doubling, latency-optimal log2(p) steps
+)
+
+// DefaultSwitchBytes is the picker threshold when Options leaves it 0: calls
+// whose per-rank payload (bytes/p) is strictly below it run recursive
+// doubling, the rest run the ring. The value is data-derived: bench.Collective()
+// sweeps algorithm × payload on loopback and records the measured
+// ring/doubling crossover in the committed baseline (the "crossover_bytes"
+// field under "collective" in scripts/bench_baseline.json, 16 KiB/rank on
+// the reference container — i.e. the threshold sits at the measured
+// crossover, with doubling winning ~1.4–3× through the swept payloads
+// below it). Jitter on small hosts moves the measured point between runs;
+// the baseline records what the committed numbers were taken under.
+const DefaultSwitchBytes = 16 << 10
+
+// pickAlgorithm is the per-call picker: explicit Options.Algorithm wins,
+// otherwise key on bytes/p — the same quantity Horovod's fusion threshold
+// uses — because the ring's per-step message is n/p while its step count
+// grows with p, so small per-rank payloads are exactly where the ring's
+// 2(p−1) latency terms dominate and doubling's log2(p) steps win. The
+// comparison is strict: SwitchBytes records the measured crossover, i.e.
+// the smallest per-rank payload at which the ring is already at least as
+// fast, so the boundary payload itself belongs to the ring.
+func (g *Group) pickAlgorithm(bytes int64) string {
+	switch g.opts.Algorithm {
+	case "", AlgoAuto:
+	default:
+		return g.opts.Algorithm
+	}
+	if bytes/int64(g.Size()) < int64(g.opts.SwitchBytes) {
+		return AlgoDoubling
+	}
+	return AlgoRing
+}
+
+// AllReduceAlg is AllReduce with an explicit algorithm (benchmarks, tests);
+// alg "" or "auto" defers to the picker.
+func (g *Group) AllReduceAlg(key string, t *tensor.Tensor, op, alg string) (*tensor.Tensor, error) {
+	if alg == "" || alg == AlgoAuto {
+		alg = g.pickAlgorithm(t.ByteSize())
+	}
+	seq := g.nextSeq(key)
+	return g.allReduceSeq(key, seq, t, op, alg)
+}
+
+// allReduceSeq dispatches one already-sequenced allreduce. Separating seq
+// reservation from execution lets AllReduceAsync fix the cross-rank issue
+// order at call time even though the collective itself runs on a goroutine.
+func (g *Group) allReduceSeq(key string, seq uint64, t *tensor.Tensor, op, alg string) (*tensor.Tensor, error) {
+	switch alg {
+	case AlgoRing:
+		switch t.DType() {
+		case tensor.Float32:
+			return ringAllReduce(g, key, seq, t, slF32, op)
+		case tensor.Float64:
+			return ringAllReduce(g, key, seq, t, slF64, op)
+		case tensor.Int32:
+			return ringAllReduce(g, key, seq, t, slI32, op)
+		case tensor.Int64:
+			return ringAllReduce(g, key, seq, t, slI64, op)
+		}
+	case AlgoDoubling:
+		switch t.DType() {
+		case tensor.Float32:
+			return doublingAllReduce(g, key, seq, t, slF32, op)
+		case tensor.Float64:
+			return doublingAllReduce(g, key, seq, t, slF64, op)
+		case tensor.Int32:
+			return doublingAllReduce(g, key, seq, t, slI32, op)
+		case tensor.Int64:
+			return doublingAllReduce(g, key, seq, t, slI64, op)
+		}
+	default:
+		return nil, fmt.Errorf("collective: unknown algorithm %q (want auto|ring|doubling)", alg)
+	}
+	return nil, fmt.Errorf("collective: allreduce does not support dtype %v", t.DType())
+}
+
+// foldedRank maps a doubling-phase virtual rank back to its physical rank
+// when p is not a power of two: the first 2·rem physical ranks fold into
+// rem virtual ranks (the odd one of each pair participates), the rest shift
+// down by rem.
+func foldedRank(virtual, rem int) int {
+	if virtual < rem {
+		return 2*virtual + 1
+	}
+	return virtual + rem
+}
+
+// doublingAllReduce is the latency-optimal allreduce: log2(p) exchange
+// steps, each pairing ranks across a doubling mask and combining full
+// vectors. Non-power-of-two groups fold the first p−2^⌊log2 p⌋ rank pairs
+// into single virtual ranks before the butterfly and unfold afterwards.
+//
+// Unlike the ring, the combination tree is identical for every element and
+// every rank — it depends only on p — so with a commutative element op
+// (sum, max are commutative in IEEE; only associativity fails) all ranks
+// produce bit-identical results, and a fused (packed) payload reduces each
+// element through exactly the same tree as an unfused one. The fusion
+// buffer's fused-equals-unfused guarantee rests on this property.
+func doublingAllReduce[T interface {
+	~float32 | ~float64 | ~int32 | ~int64
+}](g *Group, key string, seq uint64, in *tensor.Tensor, sl slicer[T], op string) (*tensor.Tensor, error) {
+	combine, err := combinerFor[T](op)
+	if err != nil {
+		return nil, err
+	}
+	p, r := g.Size(), g.Rank()
+	if p == 1 {
+		return in.Clone(), nil
+	}
+	out := in.Clone()
+	data := sl.data(out)
+	n := len(data)
+	check := func(msg *tensor.Tensor, from int) error {
+		if msg.DType() != in.DType() || msg.NumElements() != n {
+			return fmt.Errorf("collective: %q: peer %d sent %v%v, want %d %v elements (mismatched inputs?)",
+				key, from, msg.DType(), msg.Shape(), n, in.DType())
+		}
+		return nil
+	}
+
+	pow2 := 1
+	for pow2*2 <= p {
+		pow2 *= 2
+	}
+	rem := p - pow2
+
+	// Fold: pairs (2i, 2i+1) for i < rem merge onto the odd rank; the even
+	// rank sits out the butterfly and receives the finished result at the
+	// end.
+	virtual := -1
+	switch {
+	case r < 2*rem && r%2 == 0:
+		if err := g.tr.Send(r+1, key, tag(seq, phaseDouble, 0, 0), out); err != nil {
+			return nil, g.fatal(err)
+		}
+		msg, err := g.tr.Recv(r+1, key, tag(seq, phaseDouble, 0, 1))
+		if err != nil {
+			return nil, g.fatal(err)
+		}
+		if err := check(msg, r+1); err != nil {
+			return nil, g.fatal(err)
+		}
+		copy(data, sl.data(msg))
+		return out, nil
+	case r < 2*rem:
+		msg, err := g.tr.Recv(r-1, key, tag(seq, phaseDouble, 0, 0))
+		if err != nil {
+			return nil, g.fatal(err)
+		}
+		if err := check(msg, r-1); err != nil {
+			return nil, g.fatal(err)
+		}
+		// Canonical operand order (lower physical rank first) keeps the
+		// tree deterministic even for non-commutative corner cases (NaN
+		// payload propagation follows the first operand on most targets).
+		combine(data, sl.data(msg), data)
+		virtual = r / 2
+	default:
+		virtual = r - rem
+	}
+
+	for mask, step := 1, 1; mask < pow2; mask, step = mask<<1, step+1 {
+		partner := foldedRank(virtual^mask, rem)
+		// Send completes before the matching Recv+combine mutates out
+		// (loopback clones, TCP serialises), so no defensive copy is needed.
+		if err := g.tr.Send(partner, key, tag(seq, phaseDouble, step, 0), out); err != nil {
+			return nil, g.fatal(err)
+		}
+		msg, err := g.tr.Recv(partner, key, tag(seq, phaseDouble, step, 0))
+		if err != nil {
+			return nil, g.fatal(err)
+		}
+		if err := check(msg, partner); err != nil {
+			return nil, g.fatal(err)
+		}
+		if partner < r {
+			combine(data, sl.data(msg), data)
+		} else {
+			combine(data, data, sl.data(msg))
+		}
+	}
+
+	// Unfold: hand the finished vector back to the folded even ranks.
+	if r < 2*rem && r%2 == 1 {
+		if err := g.tr.Send(r-1, key, tag(seq, phaseDouble, 0, 1), out); err != nil {
+			return nil, g.fatal(err)
+		}
+	}
+	return out, nil
+}
+
+// treeBroadcast replicates root's tensor down a binomial tree: depth
+// ⌈log2 p⌉ instead of the ring relay's p−1 hops, so small broadcasts pay
+// O(log p) latency. Chunks are forwarded to every child as soon as they
+// arrive, so large payloads still pipeline down the levels.
+func (g *Group) treeBroadcast(key string, seq uint64, t *tensor.Tensor, root int) (*tensor.Tensor, error) {
+	p, r := g.Size(), g.Rank()
+	rel := (r - root + p) % p
+
+	// children enumerates this node's binomial subtree roots, highest mask
+	// first — the order the sends must go out so the deepest subtree starts
+	// earliest.
+	childMasks := func(recvMask int) []int {
+		var ms []int
+		for m := recvMask >> 1; m >= 1; m >>= 1 {
+			if rel+m < p {
+				ms = append(ms, m)
+			}
+		}
+		return ms
+	}
+
+	if rel == 0 { // root
+		topMask := 1
+		for topMask < p {
+			topMask <<= 1
+		}
+		kids := childMasks(topMask)
+		hdr := broadcastHeader(t)
+		for _, m := range kids {
+			if err := g.tr.Send((rel+m+root)%p, key, tag(seq, phaseTree, 0, 0), hdr); err != nil {
+				return nil, g.fatal(err)
+			}
+		}
+		flat, err := t.Reshape(t.NumElements())
+		if err != nil {
+			return nil, g.fatal(err)
+		}
+		chunk := g.chunkElems(t.DType())
+		n := t.NumElements()
+		for k, off := 0, 0; off < n; k, off = k+1, off+chunk {
+			end := min(off+chunk, n)
+			piece, err := sliceFlat(flat, off, end)
+			if err != nil {
+				return nil, g.fatal(err)
+			}
+			for _, m := range kids {
+				if err := g.tr.Send((rel+m+root)%p, key, tag(seq, phaseTree, 1, k), piece); err != nil {
+					return nil, g.fatal(err)
+				}
+			}
+		}
+		return t.Clone(), nil
+	}
+
+	// Non-root: the parent is rel with its lowest set bit cleared.
+	low := rel & (-rel)
+	parent := (rel - low + root) % p
+	hdrT, err := g.tr.Recv(parent, key, tag(seq, phaseTree, 0, 0))
+	if err != nil {
+		return nil, g.fatal(err)
+	}
+	out, err := tensorFromBroadcastHeader(key, hdrT)
+	if err != nil {
+		return nil, g.fatal(err)
+	}
+	kids := childMasks(low)
+	for _, m := range kids {
+		if err := g.tr.Send((rel+m+root)%p, key, tag(seq, phaseTree, 0, 0), hdrT); err != nil {
+			return nil, g.fatal(err)
+		}
+	}
+	flat, err := out.Reshape(out.NumElements())
+	if err != nil {
+		return nil, g.fatal(err)
+	}
+	chunk := g.chunkElems(out.DType())
+	n := out.NumElements()
+	for k, off := 0, 0; off < n; k, off = k+1, off+chunk {
+		end := min(off+chunk, n)
+		msg, err := g.tr.Recv(parent, key, tag(seq, phaseTree, 1, k))
+		if err != nil {
+			return nil, g.fatal(err)
+		}
+		if msg.DType() != out.DType() || msg.NumElements() != end-off {
+			return nil, g.fatal(fmt.Errorf("collective: %q: broadcast chunk %d has %v%v, want %d %v elements",
+				key, k, msg.DType(), msg.Shape(), end-off, out.DType()))
+		}
+		if err := copyFlat(flat, off, msg); err != nil {
+			return nil, g.fatal(err)
+		}
+		for _, m := range kids {
+			if err := g.tr.Send((rel+m+root)%p, key, tag(seq, phaseTree, 1, k), msg); err != nil {
+				return nil, g.fatal(err)
+			}
+		}
+	}
+	return out, nil
+}
+
+// broadcastHeader packs dtype + shape into the int64 header tensor both
+// broadcast algorithms lead with.
+func broadcastHeader(t *tensor.Tensor) *tensor.Tensor {
+	hdr := make([]int64, 1+t.Rank())
+	hdr[0] = int64(t.DType())
+	for i, d := range t.Shape() {
+		hdr[1+i] = int64(d)
+	}
+	return tensor.FromI64(tensor.Shape{len(hdr)}, hdr)
+}
+
+// tensorFromBroadcastHeader validates a received header and allocates the
+// destination tensor it describes.
+func tensorFromBroadcastHeader(key string, hdrT *tensor.Tensor) (*tensor.Tensor, error) {
+	if hdrT.DType() != tensor.Int64 || hdrT.NumElements() < 1 {
+		return nil, fmt.Errorf("collective: %q: malformed broadcast header", key)
+	}
+	hdr := hdrT.I64()
+	dt := tensor.DType(hdr[0])
+	shape := make(tensor.Shape, len(hdr)-1)
+	for i := range shape {
+		shape[i] = int(hdr[1+i])
+	}
+	if !shape.Valid() || dt.Size() == 0 {
+		return nil, fmt.Errorf("collective: %q: invalid broadcast header %v/%v", key, dt, shape)
+	}
+	return tensor.New(dt, shape...), nil
+}
+
+// ReduceScatter combines equal-shaped tensors element-wise across all ranks
+// and leaves rank r holding segment r of the result (SegBounds split, MPI
+// convention) as a flat rank-1 tensor — the first half of the ring
+// allreduce at half the traffic, for consumers that shard the reduced
+// value anyway. Pair with AllGatherV to reassemble the full tensor.
+func (g *Group) ReduceScatter(key string, t *tensor.Tensor, op string) (*tensor.Tensor, error) {
+	switch t.DType() {
+	case tensor.Float32:
+		return ringReduceScatter(g, key, t, slF32, op)
+	case tensor.Float64:
+		return ringReduceScatter(g, key, t, slF64, op)
+	case tensor.Int32:
+		return ringReduceScatter(g, key, t, slI32, op)
+	case tensor.Int64:
+		return ringReduceScatter(g, key, t, slI64, op)
+	}
+	return nil, fmt.Errorf("collective: reduce-scatter does not support dtype %v", t.DType())
+}
+
+func ringReduceScatter[T interface {
+	~float32 | ~float64 | ~int32 | ~int64
+}](g *Group, key string, in *tensor.Tensor, sl slicer[T], op string) (*tensor.Tensor, error) {
+	combine, err := combinerFor[T](op)
+	if err != nil {
+		return nil, err
+	}
+	p, r := g.Size(), g.Rank()
+	src := sl.data(in)
+	n := len(src)
+	if p == 1 {
+		out := tensor.New(in.DType(), n)
+		copy(sl.data(out), src)
+		return out, nil
+	}
+	seq := g.nextSeq(key)
+	// scratch holds partially reduced segments in transit; only segment r
+	// survives into the returned tensor.
+	scratch := make([]T, n)
+	next, prev := (r+1)%p, (r-1+p)%p
+	chunk := g.chunkElems(in.DType())
+
+	// Segment schedule: rank r relays segment (r+p-1-step) and receives
+	// (r+p-2-step); after p−1 steps the last received segment is r itself,
+	// fully reduced.
+	for step := 0; step < p-1; step++ {
+		sendSeg := (r + p - 1 - step) % p
+		recvSeg := (r + p - 2 - step) % p
+		sLo, sHi := SegBounds(n, p, sendSeg)
+		rLo, rHi := SegBounds(n, p, recvSeg)
+
+		sendBuf := scratch
+		if step == 0 {
+			sendBuf = src
+		}
+		errc := make(chan error, 1)
+		go func(buf []T, lo, hi, step int) {
+			for k, off := 0, lo; off < hi; k, off = k+1, off+chunk {
+				end := min(off+chunk, hi)
+				payload := sl.wrap(tensor.Shape{end - off}, buf[off:end:end])
+				if err := g.tr.Send(next, key, tag(seq, phaseRS, step, k), payload); err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}(sendBuf, sLo, sHi, step)
+
+		var recvErr error
+		for k, off := 0, rLo; off < rHi; k, off = k+1, off+chunk {
+			end := min(off+chunk, rHi)
+			msg, err := g.tr.Recv(prev, key, tag(seq, phaseRS, step, k))
+			if err != nil {
+				recvErr = err
+				break
+			}
+			if msg.DType() != in.DType() || msg.NumElements() != end-off {
+				recvErr = fmt.Errorf("collective: %q: peer %d sent %v%v, want %d %v elements (mismatched inputs?)",
+					key, prev, msg.DType(), msg.Shape(), end-off, in.DType())
+				break
+			}
+			combine(scratch[off:end], src[off:end], sl.data(msg))
+		}
+		if err := <-errc; err != nil {
+			return nil, g.fatal(err)
+		}
+		if recvErr != nil {
+			return nil, g.fatal(recvErr)
+		}
+	}
+	lo, hi := SegBounds(n, p, r)
+	out := tensor.New(in.DType(), hi-lo)
+	copy(sl.data(out), scratch[lo:hi])
+	return out, nil
+}
+
+// AllGatherV concatenates per-rank tensors of differing leading dimension
+// along axis 0 (rank-0 inputs count as one row of one element). Trailing
+// dimensions and dtype must agree across ranks; a size-exchange round
+// precedes the data ring, so callers never pre-negotiate shard sizes —
+// exactly what uneven SegBounds shards and per-worker tile sets need.
+func (g *Group) AllGatherV(key string, t *tensor.Tensor) (*tensor.Tensor, error) {
+	switch t.DType() {
+	case tensor.Float32:
+		return ringAllGatherV(g, key, t, slF32)
+	case tensor.Float64:
+		return ringAllGatherV(g, key, t, slF64)
+	case tensor.Int32:
+		return ringAllGatherV(g, key, t, slI32)
+	case tensor.Int64:
+		return ringAllGatherV(g, key, t, slI64)
+	case tensor.Complex64:
+		return ringAllGatherV(g, key, t, slC64)
+	case tensor.Complex128:
+		return ringAllGatherV(g, key, t, slC128)
+	case tensor.Bool:
+		return ringAllGatherV(g, key, t, slBool)
+	}
+	return nil, fmt.Errorf("collective: allgatherv does not support dtype %v", t.DType())
+}
+
+func ringAllGatherV[T any](g *Group, key string, in *tensor.Tensor, sl slicer[T]) (*tensor.Tensor, error) {
+	p, r := g.Size(), g.Rank()
+	lead := 1
+	rowElems := in.NumElements()
+	if in.Rank() >= 1 {
+		lead = in.Shape()[0]
+		rowElems = 1
+		for _, d := range in.Shape()[1:] {
+			rowElems *= d
+		}
+	}
+	seq := g.nextSeq(key)
+	next, prev := (r+1)%p, (r-1+p)%p
+
+	// Size-exchange round: circulate (lead, rowElems) so every rank can lay
+	// out the output and validate geometry before any payload moves.
+	leads := make([]int, p)
+	leads[r] = lead
+	if p > 1 {
+		for step := 0; step < p-1; step++ {
+			sendSeg := (r - step + p) % p
+			if err := g.tr.Send(next, key, tag(seq, phaseGatherV, step, 0),
+				tensor.FromI64(tensor.Shape{2}, []int64{int64(leads[sendSeg]), int64(rowElems)})); err != nil {
+				return nil, g.fatal(err)
+			}
+			recvSeg := (r - step - 1 + p) % p
+			msg, err := g.tr.Recv(prev, key, tag(seq, phaseGatherV, step, 0))
+			if err != nil {
+				return nil, g.fatal(err)
+			}
+			if msg.DType() != tensor.Int64 || msg.NumElements() != 2 {
+				return nil, g.fatal(fmt.Errorf("collective: %q: malformed allgatherv size header", key))
+			}
+			got := msg.I64()
+			if got[1] != int64(rowElems) {
+				return nil, g.fatal(fmt.Errorf("collective: %q: rank %d rows have %d elements, rank %d has %d (trailing dims must match)",
+					key, recvSeg, got[1], r, rowElems))
+			}
+			if got[0] < 0 {
+				return nil, g.fatal(fmt.Errorf("collective: %q: negative shard size from rank %d", key, recvSeg))
+			}
+			leads[recvSeg] = int(got[0])
+		}
+	}
+
+	totalLead := 0
+	offs := make([]int, p+1)
+	for s := 0; s < p; s++ {
+		offs[s] = totalLead * rowElems
+		totalLead += leads[s]
+	}
+	offs[p] = totalLead * rowElems
+
+	outShape := tensor.Shape{totalLead}
+	if in.Rank() >= 1 {
+		outShape = append(tensor.Shape{totalLead}, in.Shape()[1:]...)
+	}
+	out := tensor.New(in.DType(), outShape...)
+	data := sl.data(out)
+	copy(data[offs[r]:offs[r+1]], sl.data(in))
+	if p == 1 {
+		return out, nil
+	}
+	chunk := g.chunkElems(in.DType())
+
+	for step := 0; step < p-1; step++ {
+		sendSeg := (r - step + p) % p
+		recvSeg := (r - step - 1 + p) % p
+		sLo, sHi := offs[sendSeg], offs[sendSeg+1]
+		rLo, rHi := offs[recvSeg], offs[recvSeg+1]
+
+		errc := make(chan error, 1)
+		go func(lo, hi, step int) {
+			for k, off := 0, lo; off < hi; k, off = k+1, off+chunk {
+				end := min(off+chunk, hi)
+				payload := sl.wrap(tensor.Shape{end - off}, data[off:end:end])
+				if err := g.tr.Send(next, key, tag(seq, phaseGatherV, step, k+1), payload); err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}(sLo, sHi, step)
+
+		var recvErr error
+		for k, off := 0, rLo; off < rHi; k, off = k+1, off+chunk {
+			end := min(off+chunk, rHi)
+			msg, err := g.tr.Recv(prev, key, tag(seq, phaseGatherV, step, k+1))
+			if err != nil {
+				recvErr = err
+				break
+			}
+			if msg.DType() != in.DType() || msg.NumElements() != end-off {
+				recvErr = fmt.Errorf("collective: %q: peer %d sent %v%v, want %d %v elements (mismatched inputs?)",
+					key, prev, msg.DType(), msg.Shape(), end-off, in.DType())
+				break
+			}
+			copy(data[off:end], sl.data(msg))
+		}
+		if err := <-errc; err != nil {
+			return nil, g.fatal(err)
+		}
+		if recvErr != nil {
+			return nil, g.fatal(recvErr)
+		}
+	}
+	return out, nil
+}

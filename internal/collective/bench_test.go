@@ -49,6 +49,81 @@ func benchAllReduce(b *testing.B, naive bool) {
 func BenchmarkRingAllReduce(b *testing.B)  { benchAllReduce(b, false) }
 func BenchmarkNaiveAllReduce(b *testing.B) { benchAllReduce(b, true) }
 
+// BenchmarkDoublingAllReduceSmall is the latency-bound regime the picker
+// routes to recursive doubling: a tiny per-rank payload where the ring's
+// 2(p−1) steps dominate.
+func BenchmarkDoublingAllReduceSmall(b *testing.B) {
+	const p, n = 4, 512
+	groups := collective.NewLoopbackGroups(p, collective.Options{})
+	ins := make([]*tensor.Tensor, p)
+	for r := range ins {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64((i + r) % 97)
+		}
+		ins[r] = tensor.FromF64(tensor.Shape{n}, v)
+	}
+	b.SetBytes(int64(2 * (p - 1) * n * 8 / p))
+	b.ResetTimer()
+	for rep := 0; rep < b.N; rep++ {
+		var wg sync.WaitGroup
+		errs := make([]error, p)
+		for r := 0; r < p; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				_, errs[r] = groups[r].AllReduceAlg(fmt.Sprintf("bench%d", rep), ins[r],
+					collective.OpSum, collective.AlgoDoubling)
+			}(r)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFusedAllReduce posts K small tensors per rank through the fusion
+// buffer per iteration — the multi-parameter-tensor SGD shape.
+func BenchmarkFusedAllReduce(b *testing.B) {
+	const p, K, n = 4, 16, 128
+	groups := collective.NewLoopbackGroups(p, collective.Options{
+		Fusion: collective.FusionOptions{FlushTensors: K},
+	})
+	ins := make([]*tensor.Tensor, p)
+	for r := range ins {
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64((i + r) % 97)
+		}
+		ins[r] = tensor.FromF64(tensor.Shape{n}, v)
+	}
+	b.SetBytes(int64(2 * (p - 1) * K * n * 8 / p))
+	b.ResetTimer()
+	for rep := 0; rep < b.N; rep++ {
+		var wg sync.WaitGroup
+		errs := make([]error, p*K)
+		for r := 0; r < p; r++ {
+			for k := 0; k < K; k++ {
+				wg.Add(1)
+				go func(r, k int) {
+					defer wg.Done()
+					_, errs[r*K+k] = groups[r].AllReduceFused(
+						fmt.Sprintf("bench%d/%d", rep, k), ins[r], collective.OpSum)
+				}(r, k)
+			}
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 func BenchmarkRingAllGather(b *testing.B) {
 	const p, n = 4, 1 << 18
 	groups := collective.NewLoopbackGroups(p, collective.Options{})

@@ -14,12 +14,24 @@ const (
 	OpMax = "max"
 )
 
-// Options tune a group.
+// Options tune a group. Every rank of one group must be constructed with
+// identical options — the algorithm choice and thresholds shape the message
+// pattern, so they are part of the bulk-synchronous contract.
 type Options struct {
 	// ChunkBytes is the pipelining granularity: each ring segment is split
 	// into chunks of at most this many bytes, so transmission of chunk k
 	// overlaps the reduction of chunk k-1. Default 256 KiB.
 	ChunkBytes int
+	// Algorithm forces one allreduce/broadcast algorithm ("ring",
+	// "doubling"); "" or "auto" picks per call by payload size.
+	Algorithm string
+	// SwitchBytes is the picker threshold: allreduces whose per-rank payload
+	// (bytes/p) is strictly below it run recursive doubling, the rest run
+	// the ring (the threshold records the measured crossover, where the
+	// ring already wins). 0 = DefaultSwitchBytes.
+	SwitchBytes int
+	// Fusion tunes the group's fusion buffer (AllReduceFused).
+	Fusion FusionOptions
 }
 
 // DefaultChunkBytes is the pipelining granularity when Options leaves it 0.
@@ -36,6 +48,12 @@ type Group struct {
 
 	mu  sync.Mutex
 	seq map[string]uint64
+
+	fuMu   sync.Mutex
+	fusion *Fusion
+
+	pendMu   sync.Mutex
+	pendings map[string]*Pending
 }
 
 // NewGroup wraps a transport endpoint.
@@ -43,7 +61,10 @@ func NewGroup(tr Transport, opts Options) *Group {
 	if opts.ChunkBytes <= 0 {
 		opts.ChunkBytes = DefaultChunkBytes
 	}
-	return &Group{tr: tr, opts: opts, seq: make(map[string]uint64)}
+	if opts.SwitchBytes <= 0 {
+		opts.SwitchBytes = DefaultSwitchBytes
+	}
+	return &Group{tr: tr, opts: opts, seq: make(map[string]uint64), pendings: make(map[string]*Pending)}
 }
 
 // NewLoopbackGroups is the single-call constructor tests and in-process runs
@@ -66,8 +87,17 @@ func (g *Group) Size() int { return g.tr.Size() }
 // Transport exposes the underlying endpoint (tests, diagnostics).
 func (g *Group) Transport() Transport { return g.tr }
 
-// Close tears down the underlying transport endpoint.
-func (g *Group) Close() error { return g.tr.Close() }
+// Close tears down the underlying transport endpoint, failing the fusion
+// buffer's waiters and any unjoined async handles along the way.
+func (g *Group) Close() error {
+	g.fuMu.Lock()
+	f := g.fusion
+	g.fuMu.Unlock()
+	if f != nil {
+		f.Close()
+	}
+	return g.tr.Close()
+}
 
 func (g *Group) nextSeq(key string) uint64 {
 	g.mu.Lock()
@@ -94,9 +124,13 @@ func (g *Group) chunkElems(dt tensor.DType) int {
 	return c
 }
 
-// segBounds splits n elements into p contiguous ring segments; the first
-// n%p segments carry one extra element.
-func segBounds(n, p, s int) (lo, hi int) {
+// SegBounds splits n elements into p contiguous near-equal segments — the
+// first n%p segments carry one extra element — and returns segment s's
+// half-open bounds. It is the ring algorithms' segment layout and the
+// split ReduceScatter's output follows, exported so consumers (sgd's
+// parameter-tensor chunking, shard assembly) can mirror it without
+// duplicating the arithmetic.
+func SegBounds(n, p, s int) (lo, hi int) {
 	base := n / p
 	rem := n % p
 	lo = s*base + min(s, rem)
@@ -167,29 +201,106 @@ func combinerFor[T interface {
 }
 
 // AllReduce combines equal-shaped tensors element-wise across all ranks and
-// returns the full result on every rank. It is the bandwidth-optimal ring:
-// a reduce-scatter pass leaves each rank owning one fully-reduced segment,
-// then an allgather pass circulates the finished segments — 2(p−1) steps
-// moving n/p elements each, so the per-rank traffic is 2n(p−1)/p no matter
-// how large the group. key isolates concurrent collectives; ranks must call
+// returns the full result on every rank. The algorithm is picked per call
+// (Options.Algorithm, or by payload size under "auto"): the bandwidth-optimal
+// ring — a reduce-scatter pass leaves each rank owning one fully-reduced
+// segment, then an allgather pass circulates the finished segments, 2(p−1)
+// steps moving n/p elements each, so the per-rank traffic is 2n(p−1)/p no
+// matter how large the group — for large payloads, and the latency-optimal
+// recursive doubling (log2(p) full-vector exchanges) below the SwitchBytes
+// per-rank threshold. key isolates concurrent collectives; ranks must call
 // with the same key in the same order.
 func (g *Group) AllReduce(key string, t *tensor.Tensor, op string) (*tensor.Tensor, error) {
-	switch t.DType() {
-	case tensor.Float32:
-		return ringAllReduce(g, key, t, slF32, op)
-	case tensor.Float64:
-		return ringAllReduce(g, key, t, slF64, op)
-	case tensor.Int32:
-		return ringAllReduce(g, key, t, slI32, op)
-	case tensor.Int64:
-		return ringAllReduce(g, key, t, slI64, op)
+	seq := g.nextSeq(key)
+	return g.allReduceSeq(key, seq, t, op, g.pickAlgorithm(t.ByteSize()))
+}
+
+// Pending is an in-flight asynchronous collective: the handle side of
+// AllReduceAsync / StartAllReduce.
+type Pending struct {
+	ch chan pendingResult
+}
+
+type pendingResult struct {
+	t   *tensor.Tensor
+	err error
+}
+
+// Wait blocks until the collective finishes and returns its result. Wait
+// may be called once.
+func (p *Pending) Wait() (*tensor.Tensor, error) {
+	r := <-p.ch
+	return r.t, r.err
+}
+
+// AllReduceAsync issues an allreduce without blocking: the sequence slot is
+// reserved synchronously — so the cross-rank issue order under one key is
+// the call order, exactly as for AllReduce — but the wire work runs on a
+// goroutine and the result is claimed via Pending.Wait. This is the
+// double-buffering primitive: start step k's reduction, keep computing, and
+// join it while step k+1's traffic is already in flight under another key.
+func (g *Group) AllReduceAsync(key string, t *tensor.Tensor, op string) *Pending {
+	seq := g.nextSeq(key)
+	alg := g.pickAlgorithm(t.ByteSize())
+	p := &Pending{ch: make(chan pendingResult, 1)}
+	go func() {
+		out, err := g.allReduceSeq(key, seq, t, op, alg)
+		p.ch <- pendingResult{out, err}
+	}()
+	return p
+}
+
+// StartAllReduce issues an asynchronous allreduce and parks it under a
+// named handle for a later JoinAllReduce — the op-kernel form of
+// AllReduceAsync, usable across session Run boundaries (start the loss
+// reduction in step k's Run, join it in step k+1's while k+1's own traffic
+// overlaps). A handle admits one in-flight collective at a time.
+func (g *Group) StartAllReduce(handle, key string, t *tensor.Tensor, op string) error {
+	g.pendMu.Lock()
+	if _, busy := g.pendings[handle]; busy {
+		g.pendMu.Unlock()
+		return fmt.Errorf("collective: async handle %q already has an unjoined collective", handle)
 	}
-	return nil, fmt.Errorf("collective: allreduce does not support dtype %v", t.DType())
+	pend := g.AllReduceAsync(key, t, op)
+	g.pendings[handle] = pend
+	g.pendMu.Unlock()
+	return nil
+}
+
+// JoinAllReduce claims the named handle's result, blocking until the
+// collective finishes.
+func (g *Group) JoinAllReduce(handle string) (*tensor.Tensor, error) {
+	g.pendMu.Lock()
+	pend, ok := g.pendings[handle]
+	delete(g.pendings, handle)
+	g.pendMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("collective: async handle %q has no started collective", handle)
+	}
+	return pend.Wait()
+}
+
+// AllReduceFused posts one tensor to the group's fusion buffer and blocks
+// until the coalesced collective that carries it completes — many small
+// concurrent posts ride a single fused pass (see Fusion).
+func (g *Group) AllReduceFused(key string, t *tensor.Tensor, op string) (*tensor.Tensor, error) {
+	return g.Fusion().AllReduce(key, t, op)
+}
+
+// Fusion returns the group's fusion buffer, creating it on first use with
+// the group's Options.Fusion.
+func (g *Group) Fusion() *Fusion {
+	g.fuMu.Lock()
+	defer g.fuMu.Unlock()
+	if g.fusion == nil {
+		g.fusion = newFusion(g, g.opts.Fusion)
+	}
+	return g.fusion
 }
 
 func ringAllReduce[T interface {
 	~float32 | ~float64 | ~int32 | ~int64
-}](g *Group, key string, in *tensor.Tensor, sl slicer[T], op string) (*tensor.Tensor, error) {
+}](g *Group, key string, seq uint64, in *tensor.Tensor, sl slicer[T], op string) (*tensor.Tensor, error) {
 	combine, err := combinerFor[T](op)
 	if err != nil {
 		return nil, err
@@ -198,7 +309,6 @@ func ringAllReduce[T interface {
 	if p == 1 {
 		return in.Clone(), nil
 	}
-	seq := g.nextSeq(key)
 	src := sl.data(in)
 	n := len(src)
 	out := tensor.New(in.DType(), in.Shape()...)
@@ -216,8 +326,8 @@ func ringAllReduce[T interface {
 				sendSeg = (r + 1 - step + 2*p) % p
 				recvSeg = (r - step + p) % p
 			}
-			sLo, sHi := segBounds(n, p, sendSeg)
-			rLo, rHi := segBounds(n, p, recvSeg)
+			sLo, sHi := SegBounds(n, p, sendSeg)
+			rLo, rHi := SegBounds(n, p, recvSeg)
 
 			// The first reduce-scatter step ships the raw input segment;
 			// every later send ships a segment this rank finished writing in
@@ -373,9 +483,14 @@ func ringAllGather[T any](g *Group, key string, in *tensor.Tensor, sl slicer[T])
 	return out, nil
 }
 
-// Broadcast replicates root's tensor to every rank, relaying chunks around
-// the ring so downstream forwarding overlaps upstream reception. Non-root
-// ranks may pass t == nil; the broadcast carries dtype and shape.
+// Broadcast replicates root's tensor to every rank. The default algorithm
+// is the binomial tree (depth ⌈log2 p⌉, chunks pipelined down the levels);
+// Options.Algorithm "ring" selects the chunk relay around the ring, whose
+// p−1 hop latency only pays off when per-hop forwarding fully overlaps on
+// real NICs. Non-root ranks may pass t == nil; the broadcast carries dtype
+// and shape. The algorithm cannot be picked per call by payload size: only
+// the root knows the size before the first message, and the two algorithms
+// give every rank a different parent to listen to.
 func (g *Group) Broadcast(key string, t *tensor.Tensor, root int) (*tensor.Tensor, error) {
 	p, r := g.Size(), g.Rank()
 	if root < 0 || root >= p {
@@ -388,16 +503,21 @@ func (g *Group) Broadcast(key string, t *tensor.Tensor, root int) (*tensor.Tenso
 		return t.Clone(), nil
 	}
 	seq := g.nextSeq(key)
+	if g.opts.Algorithm != AlgoRing {
+		return g.treeBroadcast(key, seq, t, root)
+	}
+	return g.ringBroadcast(key, seq, t, root)
+}
+
+// ringBroadcast relays chunks around the ring so downstream forwarding
+// overlaps upstream reception.
+func (g *Group) ringBroadcast(key string, seq uint64, t *tensor.Tensor, root int) (*tensor.Tensor, error) {
+	p, r := g.Size(), g.Rank()
 	next, prev := (r+1)%p, (r-1+p)%p
 
 	if r == root {
 		// Header: dtype + shape, then the flat payload in chunks.
-		hdr := make([]int64, 1+t.Rank())
-		hdr[0] = int64(t.DType())
-		for i, d := range t.Shape() {
-			hdr[1+i] = int64(d)
-		}
-		if err := g.tr.Send(next, key, tag(seq, phaseBroadcast, 0, 0), tensor.FromI64(tensor.Shape{len(hdr)}, hdr)); err != nil {
+		if err := g.tr.Send(next, key, tag(seq, phaseBroadcast, 0, 0), broadcastHeader(t)); err != nil {
 			return nil, g.fatal(err)
 		}
 		flat, err := t.Reshape(t.NumElements())
@@ -423,8 +543,9 @@ func (g *Group) Broadcast(key string, t *tensor.Tensor, root int) (*tensor.Tenso
 	if err != nil {
 		return nil, g.fatal(err)
 	}
-	if hdrT.DType() != tensor.Int64 || hdrT.NumElements() < 1 {
-		return nil, g.fatal(fmt.Errorf("collective: %q: malformed broadcast header", key))
+	out, err := tensorFromBroadcastHeader(key, hdrT)
+	if err != nil {
+		return nil, g.fatal(err)
 	}
 	forward := next != root
 	if forward {
@@ -432,16 +553,7 @@ func (g *Group) Broadcast(key string, t *tensor.Tensor, root int) (*tensor.Tenso
 			return nil, g.fatal(err)
 		}
 	}
-	hdr := hdrT.I64()
-	dt := tensor.DType(hdr[0])
-	shape := make(tensor.Shape, len(hdr)-1)
-	for i := range shape {
-		shape[i] = int(hdr[1+i])
-	}
-	if !shape.Valid() || dt.Size() == 0 {
-		return nil, g.fatal(fmt.Errorf("collective: %q: invalid broadcast header %v/%v", key, dt, shape))
-	}
-	out := tensor.New(dt, shape...)
+	dt := out.DType()
 	flat, err := out.Reshape(out.NumElements())
 	if err != nil {
 		return nil, g.fatal(err)

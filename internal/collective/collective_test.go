@@ -98,8 +98,11 @@ func TestRingMatchesNaive(t *testing.T) {
 			for _, n := range []int{1, 5, 64, 1023, 4096} {
 				name := fmt.Sprintf("%s/p%d/n%d", transport, p, n)
 				t.Run(name, func(t *testing.T) {
-					// Tiny chunks force multi-chunk pipelining even at small n.
-					opts := collective.Options{ChunkBytes: 512}
+					// Tiny chunks force multi-chunk pipelining even at small n;
+					// the algorithm is pinned so this stays the chunked-ring
+					// property test (the picker would route small payloads to
+					// doubling, covered by TestAlgorithmsMatchNaive).
+					opts := collective.Options{ChunkBytes: 512, Algorithm: collective.AlgoRing}
 					var groups []*collective.Group
 					if transport == "tcp" {
 						if testing.Short() && p > 4 {
@@ -139,7 +142,7 @@ func TestRingMatchesNaive(t *testing.T) {
 // bit-for-bit regardless of summation order.
 func TestRingBitExactOnIntegers(t *testing.T) {
 	p, n := 5, 777
-	groups := collective.NewLoopbackGroups(p, collective.Options{ChunkBytes: 256})
+	groups := collective.NewLoopbackGroups(p, collective.Options{ChunkBytes: 256, Algorithm: collective.AlgoRing})
 	ins := make([]*tensor.Tensor, p)
 	for r := 0; r < p; r++ {
 		rng := tensor.NewRNG(uint64(r + 1))
@@ -382,7 +385,7 @@ func TestFaultSlowPeer(t *testing.T) {
 	plan := simnet.NewFaultPlan()
 	plan.SlowRank = 2
 	plan.SlowBy = 2 * time.Millisecond
-	groups := faultyGroups(p, plansFor(p, plan), collective.Options{ChunkBytes: 512})
+	groups := faultyGroups(p, plansFor(p, plan), collective.Options{ChunkBytes: 512, Algorithm: collective.AlgoRing})
 	ins := make([]*tensor.Tensor, p)
 	want := make([]float64, n)
 	for r := range ins {
@@ -412,7 +415,10 @@ func TestFaultDroppedTask(t *testing.T) {
 	plans := plansFor(p, simnet.NewFaultPlan())
 	plans[1].DropRank = 1
 	plans[1].DropAfterSends = 3
-	groups := faultyGroups(p, plans, collective.Options{ChunkBytes: 512})
+	// Pin the ring: the drop budget is tuned to its chunk schedule (the
+	// doubling path sends fewer, larger messages; its drop coverage lives in
+	// TestDoublingDroppedTask).
+	groups := faultyGroups(p, plans, collective.Options{ChunkBytes: 512, Algorithm: collective.AlgoRing})
 	ins := make([]*tensor.Tensor, p)
 	for r := range ins {
 		ins[r] = randVec(uint64(r+13), n)

@@ -1,0 +1,479 @@
+package collective_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"tfhpc/internal/collective"
+	"tfhpc/internal/tensor"
+)
+
+// fusedExpected computes the reference sum for one fusion key's inputs.
+func fusedExpected(ins []*tensor.Tensor) []float64 {
+	out := make([]float64, ins[0].NumElements())
+	for _, in := range ins {
+		for i, v := range in.F64() {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// TestFusionCoalesces: every rank posts K small tensors from K goroutines;
+// with FlushTensors=K they must ride one negotiated pass and come back with
+// the correct per-key reduction.
+func TestFusionCoalesces(t *testing.T) {
+	const p, K, n = 3, 16, 32
+	groups := collective.NewLoopbackGroups(p, collective.Options{
+		Fusion: collective.FusionOptions{FlushTensors: K, FlushInterval: time.Hour, FlushBytes: 1 << 30},
+	})
+	ins := make([][]*tensor.Tensor, K) // ins[k][r]
+	for k := range ins {
+		ins[k] = make([]*tensor.Tensor, p)
+		for r := 0; r < p; r++ {
+			ins[k][r] = randVec(uint64(100*k+r+1), n)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, p*K)
+	for r := 0; r < p; r++ {
+		for k := 0; k < K; k++ {
+			wg.Add(1)
+			go func(r, k int) {
+				defer wg.Done()
+				out, err := groups[r].AllReduceFused(fmt.Sprintf("g%d", k), ins[k][r], collective.OpSum)
+				if err != nil {
+					errs <- fmt.Errorf("rank %d key %d: %w", r, k, err)
+					return
+				}
+				want := fusedExpected(ins[k])
+				for i := range want {
+					if d := out.F64()[i] - want[i]; d > 1e-12 || d < -1e-12 {
+						errs <- fmt.Errorf("rank %d key %d: elem %d = %g, want %g", r, k, i, out.F64()[i], want[i])
+						return
+					}
+				}
+			}(r, k)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestFusionBitIdenticalToUnfused is the numerics contract behind the CI
+// smoke assertion: small tensors reduced through the fusion buffer must be
+// bit-identical to the same tensors reduced one by one, because both paths
+// pick recursive doubling below the threshold and the doubling tree does
+// not depend on element offset — packing cannot reassociate anything.
+func TestFusionBitIdenticalToUnfused(t *testing.T) {
+	const p, K, n = 4, 8, 97
+	fusedGroups := collective.NewLoopbackGroups(p, collective.Options{
+		Fusion: collective.FusionOptions{FlushTensors: K, FlushInterval: time.Hour, FlushBytes: 1 << 30},
+	})
+	plainGroups := collective.NewLoopbackGroups(p, collective.Options{})
+	ins := make([][]*tensor.Tensor, K)
+	for k := range ins {
+		ins[k] = make([]*tensor.Tensor, p)
+		for r := 0; r < p; r++ {
+			ins[k][r] = randVec(uint64(7*k+r+3), n) // arbitrary floats: rounding matters
+		}
+	}
+	fused := make([][]*tensor.Tensor, K) // fused[k][r]
+	for k := range fused {
+		fused[k] = make([]*tensor.Tensor, p)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, p*K)
+	for r := 0; r < p; r++ {
+		for k := 0; k < K; k++ {
+			wg.Add(1)
+			go func(r, k int) {
+				defer wg.Done()
+				out, err := fusedGroups[r].AllReduceFused(fmt.Sprintf("g%d", k), ins[k][r], collective.OpSum)
+				if err != nil {
+					errc <- err
+					return
+				}
+				fused[k][r] = out
+			}(r, k)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	for k := 0; k < K; k++ {
+		plain := runAll(t, plainGroups, func(g *collective.Group) (*tensor.Tensor, error) {
+			return g.AllReduce(fmt.Sprintf("u%d", k), ins[k][g.Rank()], collective.OpSum)
+		})
+		for r := 0; r < p; r++ {
+			if !fused[k][r].Equal(plain[r]) {
+				t.Fatalf("key %d rank %d: fused result not bit-identical to unfused", k, r)
+			}
+		}
+	}
+}
+
+// TestFusionBitIdenticalWhenPackCrossesThreshold: tensors that pick
+// doubling individually can pack past the ring threshold; the fused pass
+// pins doubling regardless, so bit-identity must survive any pack size
+// (regression: the packed pass once went through the picker and flipped to
+// the ring's offset-dependent combination order).
+func TestFusionBitIdenticalWhenPackCrossesThreshold(t *testing.T) {
+	const p, K, n = 4, 8, 3000 // 24 KB each (6 KB/rank -> doubling); 192 KB packed
+	fusedGroups := collective.NewLoopbackGroups(p, collective.Options{
+		Fusion: collective.FusionOptions{FlushTensors: K, FlushInterval: time.Hour, FlushBytes: 1 << 30},
+	})
+	plainGroups := collective.NewLoopbackGroups(p, collective.Options{})
+	ins := make([][]*tensor.Tensor, K)
+	for k := range ins {
+		ins[k] = make([]*tensor.Tensor, p)
+		for r := 0; r < p; r++ {
+			ins[k][r] = randVec(uint64(13*k+r+5), n)
+		}
+	}
+	fused := make([][]*tensor.Tensor, K)
+	for k := range fused {
+		fused[k] = make([]*tensor.Tensor, p)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, p*K)
+	for r := 0; r < p; r++ {
+		for k := 0; k < K; k++ {
+			wg.Add(1)
+			go func(r, k int) {
+				defer wg.Done()
+				out, err := fusedGroups[r].AllReduceFused(fmt.Sprintf("g%d", k), ins[k][r], collective.OpSum)
+				if err != nil {
+					errc <- err
+					return
+				}
+				fused[k][r] = out
+			}(r, k)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+	for k := 0; k < K; k++ {
+		plain := runAll(t, plainGroups, func(g *collective.Group) (*tensor.Tensor, error) {
+			return g.AllReduce(fmt.Sprintf("u%d", k), ins[k][g.Rank()], collective.OpSum)
+		})
+		for r := 0; r < p; r++ {
+			if !fused[k][r].Equal(plain[r]) {
+				t.Fatalf("key %d rank %d: threshold-crossing pack broke fused bit-identity", k, r)
+			}
+		}
+	}
+}
+
+// TestFusionBypassesLargeTensors: a tensor above the picker threshold
+// skips the buffer entirely and reduces exactly as an unfused call would
+// (ring), keeping the bit-identity unconditional without dragging a
+// bandwidth-bound payload through doubling.
+func TestFusionBypassesLargeTensors(t *testing.T) {
+	const p, n = 4, 1 << 15 // 256 KB: 64 KB/rank, well past the threshold
+	fusedGroups := collective.NewLoopbackGroups(p, collective.Options{
+		Fusion: collective.FusionOptions{FlushInterval: time.Hour, FlushBytes: 1 << 30},
+	})
+	plainGroups := collective.NewLoopbackGroups(p, collective.Options{})
+	ins := make([]*tensor.Tensor, p)
+	for r := 0; r < p; r++ {
+		ins[r] = randVec(uint64(r+31), n)
+	}
+	fused := runAll(t, fusedGroups, func(g *collective.Group) (*tensor.Tensor, error) {
+		return g.AllReduceFused("big", ins[g.Rank()], collective.OpSum)
+	})
+	plain := runAll(t, plainGroups, func(g *collective.Group) (*tensor.Tensor, error) {
+		return g.AllReduce("big", ins[g.Rank()], collective.OpSum)
+	})
+	for r := 0; r < p; r++ {
+		if !fused[r].Equal(plain[r]) {
+			t.Fatalf("rank %d: bypassed large tensor differs from plain allreduce", r)
+		}
+	}
+}
+
+// TestFusionMismatchedPostsError: ranks posting one key with different
+// shapes must get a loud error, not an eternal renegotiation loop.
+func TestFusionMismatchedPostsError(t *testing.T) {
+	const p = 2
+	groups := collective.NewLoopbackGroups(p, collective.Options{
+		Fusion: collective.FusionOptions{FlushInterval: time.Millisecond},
+	})
+	done := make(chan error, p)
+	for r := 0; r < p; r++ {
+		go func(r int) {
+			_, err := groups[r].AllReduceFused("g", intVec(uint64(r+1), 100+r), collective.OpSum)
+			done <- err
+		}(r)
+	}
+	for i := 0; i < p; i++ {
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Fatal("mismatched fused posts returned success")
+			}
+			if !strings.Contains(err.Error(), "mismatched") {
+				t.Fatalf("error does not explain the mismatch: %v", err)
+			}
+		case <-time.After(20 * time.Second):
+			t.Fatal("mismatched fused posts hung instead of erroring")
+		}
+	}
+}
+
+// TestFusionConcurrency is the satellite race test: many goroutines posting
+// small tensors across several steps with a byte threshold small enough to
+// force mid-step flushes, so negotiation rounds race fresh posts and the
+// deadline timer races the byte trigger. Run under -race in the normal test
+// job.
+func TestFusionConcurrency(t *testing.T) {
+	const p, K, steps, n = 3, 24, 5, 16
+	groups := collective.NewLoopbackGroups(p, collective.Options{
+		Fusion: collective.FusionOptions{
+			FlushBytes:    4 * n * 8, // ~4 tensors per pass: flushes race the posts
+			FlushInterval: 2 * time.Millisecond,
+		},
+	})
+	for step := 0; step < steps; step++ {
+		ins := make([][]*tensor.Tensor, K)
+		for k := range ins {
+			ins[k] = make([]*tensor.Tensor, p)
+			for r := 0; r < p; r++ {
+				ins[k][r] = intVec(uint64(1000*step+10*k+r), n)
+			}
+		}
+		var wg sync.WaitGroup
+		wg.Add(p * K)
+		errs := make(chan error, p*K)
+		for r := 0; r < p; r++ {
+			// Jitter the per-rank posting order and timing so ranks disagree
+			// about what is pending at each negotiation.
+			rng := rand.New(rand.NewSource(int64(97*step + r)))
+			for _, k := range rng.Perm(K) {
+				go func(r, k int, delay time.Duration) {
+					defer wg.Done()
+					time.Sleep(delay)
+					out, err := groups[r].AllReduceFused(fmt.Sprintf("s%d/g%d", step, k), ins[k][r], collective.OpSum)
+					if err != nil {
+						errs <- fmt.Errorf("step %d rank %d key %d: %w", step, r, k, err)
+						return
+					}
+					want := fusedExpected(ins[k])
+					for i := range want {
+						if out.F64()[i] != want[i] { // integer-valued: exact
+							errs <- fmt.Errorf("step %d rank %d key %d: elem %d = %g, want %g",
+								step, r, k, i, out.F64()[i], want[i])
+							return
+						}
+					}
+				}(r, k, time.Duration(rng.Intn(1500))*time.Microsecond)
+			}
+		}
+		wg.Wait()
+		select {
+		case err := <-errs:
+			t.Fatal(err)
+		default:
+		}
+	}
+}
+
+// TestFusionDeadlineFlush: with no byte or count trigger reachable, the
+// deadline timer alone must flush.
+func TestFusionDeadlineFlush(t *testing.T) {
+	const p, n = 2, 8
+	groups := collective.NewLoopbackGroups(p, collective.Options{
+		Fusion: collective.FusionOptions{FlushBytes: 1 << 30, FlushInterval: time.Millisecond},
+	})
+	start := time.Now()
+	outs := runAll(t, groups, func(g *collective.Group) (*tensor.Tensor, error) {
+		return g.AllReduceFused("lonely", intVec(uint64(g.Rank()+1), n), collective.OpSum)
+	})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("deadline flush took %v", elapsed)
+	}
+	want := fusedExpected([]*tensor.Tensor{intVec(1, n), intVec(2, n)})
+	for i := range want {
+		if outs[0].F64()[i] != want[i] {
+			t.Fatalf("elem %d = %g, want %g", i, outs[0].F64()[i], want[i])
+		}
+	}
+}
+
+// TestFusionSkewedRounds: ranks post two tensors in opposite order with the
+// byte threshold at one tensor, so the first negotiation on each side sees
+// disjoint-looking sets; the straggler intersection must resolve over
+// subsequent rounds instead of fusing mismatched members or deadlocking.
+func TestFusionSkewedRounds(t *testing.T) {
+	const p, n = 2, 64
+	groups := collective.NewLoopbackGroups(p, collective.Options{
+		Fusion: collective.FusionOptions{FlushBytes: n * 8, FlushInterval: time.Millisecond},
+	})
+	ins := map[string][]*tensor.Tensor{
+		"a": {intVec(11, n), intVec(21, n)},
+		"b": {intVec(12, n), intVec(22, n)},
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			keys := []string{"a", "b"}
+			if r == 1 {
+				keys = []string{"b", "a"}
+			}
+			var inner sync.WaitGroup
+			for i, key := range keys {
+				inner.Add(1)
+				go func(key string, delay time.Duration) {
+					defer inner.Done()
+					time.Sleep(delay)
+					out, err := groups[r].AllReduceFused(key, ins[key][r], collective.OpSum)
+					if err != nil {
+						errs <- fmt.Errorf("rank %d key %s: %w", r, key, err)
+						return
+					}
+					want := fusedExpected(ins[key])
+					for j := range want {
+						if out.F64()[j] != want[j] {
+							errs <- fmt.Errorf("rank %d key %s: elem %d mismatch", r, key, j)
+							return
+						}
+					}
+				}(key, time.Duration(i)*500*time.Microsecond)
+			}
+			inner.Wait()
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestFusionFlushBarrier: with every automatic trigger out of reach except
+// a long fallback deadline, an explicit Flush on each rank must drive the
+// pass — the flush-on-barrier policy.
+func TestFusionFlushBarrier(t *testing.T) {
+	const p, n = 2, 16
+	groups := collective.NewLoopbackGroups(p, collective.Options{
+		Fusion: collective.FusionOptions{FlushBytes: 1 << 30, FlushInterval: 30 * time.Second},
+	})
+	var wg sync.WaitGroup
+	errs := make(chan error, p)
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			out, err := groups[r].AllReduceFused("k", intVec(uint64(r+1), n), collective.OpSum)
+			if err != nil {
+				errs <- err
+				return
+			}
+			want := fusedExpected([]*tensor.Tensor{intVec(1, n), intVec(2, n)})
+			if out.F64()[0] != want[0] {
+				errs <- fmt.Errorf("rank %d: wrong fused result", r)
+			}
+		}(r)
+	}
+	time.Sleep(20 * time.Millisecond) // let both posts land
+	var fw sync.WaitGroup
+	for r := 0; r < p; r++ {
+		fw.Add(1)
+		go func(r int) {
+			defer fw.Done()
+			groups[r].Fusion().Flush()
+		}(r)
+	}
+	fw.Wait()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestFusionOverTCP runs the coalescing path across real rpc servers.
+func TestFusionOverTCP(t *testing.T) {
+	const p, K, n = 3, 6, 32
+	groups := tcpGroups(t, p, collective.Options{
+		Fusion: collective.FusionOptions{FlushTensors: K, FlushInterval: 5 * time.Millisecond},
+	}, 20*time.Second)
+	ins := make([][]*tensor.Tensor, K)
+	for k := range ins {
+		ins[k] = make([]*tensor.Tensor, p)
+		for r := 0; r < p; r++ {
+			ins[k][r] = intVec(uint64(50*k+r), n)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, p*K)
+	for r := 0; r < p; r++ {
+		for k := 0; k < K; k++ {
+			wg.Add(1)
+			go func(r, k int) {
+				defer wg.Done()
+				out, err := groups[r].AllReduceFused(fmt.Sprintf("g%d", k), ins[k][r], collective.OpSum)
+				if err != nil {
+					errs <- fmt.Errorf("rank %d key %d: %w", r, k, err)
+					return
+				}
+				want := fusedExpected(ins[k])
+				for i := range want {
+					if out.F64()[i] != want[i] {
+						errs <- fmt.Errorf("rank %d key %d: elem %d mismatch", r, k, i)
+						return
+					}
+				}
+			}(r, k)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestFusionErrors covers the local contract violations: duplicate pending
+// key, unsupported dtype, posts after close.
+func TestFusionErrors(t *testing.T) {
+	groups := collective.NewLoopbackGroups(2, collective.Options{
+		Fusion: collective.FusionOptions{FlushBytes: 1 << 30, FlushInterval: time.Hour},
+	})
+	g := groups[0]
+	if _, err := g.AllReduceFused("c", tensor.New(tensor.Complex128, 4), collective.OpSum); err == nil {
+		t.Fatal("complex fused allreduce should fail")
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := g.AllReduceFused("dup", intVec(1, 4), collective.OpSum)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the first post park
+	if _, err := g.AllReduceFused("dup", intVec(2, 4), collective.OpSum); err == nil {
+		t.Fatal("duplicate pending key should fail")
+	}
+	groups[0].Close()
+	groups[1].Close()
+	if err := <-done; err == nil {
+		t.Fatal("close should fail the parked waiter")
+	}
+	if _, err := g.AllReduceFused("after", intVec(3, 4), collective.OpSum); err == nil {
+		t.Fatal("post after close should fail")
+	}
+}

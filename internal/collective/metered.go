@@ -1,21 +1,28 @@
 package collective
 
 import (
+	"sync"
 	"time"
 
 	"tfhpc/internal/tensor"
 )
 
-// Metered wraps a transport with a wire-occupancy model: every Send sleeps
-// for cost(bytes) before delivering, so a rank's consecutive sends serialise
-// through its modelled NIC while different ranks' transfers overlap —
-// exactly the property that separates a ring allreduce (every NIC busy) from
-// a gather-to-root (the root's NIC is the bottleneck). The payloads and
-// reductions stay real; only the wire is virtual, like every other
-// experiment on the repo's simulated platform.
+// Metered wraps a transport with a wire-occupancy model: every Send holds
+// the endpoint's single modelled NIC for cost(bytes) before delivering, so
+// a rank's sends serialise through its NIC — across goroutines too, the
+// way concurrent collectives contend for one physical link — while
+// different ranks' transfers overlap. Exactly the property that separates
+// a ring allreduce (every NIC busy) from a gather-to-root (the root's NIC
+// is the bottleneck), and that makes coalescing many small messages into
+// one fused pass pay off. The payloads and reductions stay real; only the
+// wire is virtual, like every other experiment on the repo's simulated
+// platform.
 type Metered struct {
 	inner Transport
 	cost  func(bytes int64) time.Duration
+	// nic serialises modelled wire occupancy: one transfer on the link at
+	// a time per endpoint.
+	nic sync.Mutex
 }
 
 // NewMetered wraps inner; cost maps a message size to its wire time
@@ -30,10 +37,12 @@ func (m *Metered) Rank() int { return m.inner.Rank() }
 // Size returns the group size.
 func (m *Metered) Size() int { return m.inner.Size() }
 
-// Send charges the modelled wire time, then delivers.
+// Send occupies the modelled NIC for the wire time, then delivers.
 func (m *Metered) Send(to int, key string, tg uint64, t *tensor.Tensor) error {
 	if d := m.cost(t.ByteSize()); d > 0 {
+		m.nic.Lock()
 		time.Sleep(d)
+		m.nic.Unlock()
 	}
 	return m.inner.Send(to, key, tg, t)
 }

@@ -48,6 +48,10 @@ const (
 	phaseAllGather
 	phaseGather
 	phaseBroadcast
+	phaseDouble  // recursive-doubling exchange steps
+	phaseTree    // binomial-tree broadcast
+	phaseRS      // standalone reduce-scatter
+	phaseGatherV // allgatherv size-exchange + data circulation
 )
 
 // message is one in-flight tensor with its match labels.

@@ -10,10 +10,18 @@ func init() {
 	// Collective ops are stateful (they synchronise with other ranks and
 	// must never be pruned, cached or reordered across control deps) and
 	// GPU-capable: the placer may pin them next to the compute they feed,
-	// exactly as TensorFlow places Horovod's allreduce.
+	// exactly as TensorFlow places Horovod's allreduce. They BLOCK until
+	// peers issue the matching call, so sessions running graphs with K
+	// independent collective nodes must not cap Options.Parallelism below
+	// K (0 = unlimited is safe; see session.Options).
 	Register(&OpDef{Name: "AllReduce", MinInputs: 1, MaxInputs: 1, GPUCapable: true, Stateful: true, Kernel: allReduceKernel})
 	Register(&OpDef{Name: "AllGather", MinInputs: 1, MaxInputs: 1, GPUCapable: true, Stateful: true, Kernel: allGatherKernel})
 	Register(&OpDef{Name: "Broadcast", MinInputs: 0, MaxInputs: 1, GPUCapable: true, Stateful: true, Kernel: broadcastKernel})
+	Register(&OpDef{Name: "ReduceScatter", MinInputs: 1, MaxInputs: 1, GPUCapable: true, Stateful: true, Kernel: reduceScatterKernel})
+	Register(&OpDef{Name: "AllGatherV", MinInputs: 1, MaxInputs: 1, GPUCapable: true, Stateful: true, Kernel: allGatherVKernel})
+	Register(&OpDef{Name: "AllReduceFused", MinInputs: 1, MaxInputs: 1, GPUCapable: true, Stateful: true, Kernel: allReduceFusedKernel})
+	Register(&OpDef{Name: "AllReduceStart", MinInputs: 1, MaxInputs: 1, GPUCapable: true, Stateful: true, Kernel: allReduceStartKernel})
+	Register(&OpDef{Name: "AllReduceJoin", MinInputs: 0, MaxInputs: 0, GPUCapable: true, Stateful: true, Kernel: allReduceJoinKernel})
 }
 
 // collective resolves the node's group handle from the "group" attribute.
@@ -45,24 +53,107 @@ func allReduceKernel(ctx *Context, in []*tensor.Tensor) (*tensor.Tensor, error) 
 	if err != nil {
 		return nil, fmt.Errorf("group %q: %w", name, err)
 	}
-	if ctx.BoolAttr("average", false) {
-		inv := 1.0 / float64(h.Size())
-		switch out.DType() {
-		case tensor.Float32:
-			d := out.F32()
-			for i := range d {
-				d[i] *= float32(inv)
-			}
-		case tensor.Float64:
-			d := out.F64()
-			for i := range d {
-				d[i] *= inv
-			}
-		default:
-			return nil, fmt.Errorf("group %q: average needs a float tensor, got %v", name, out.DType())
+	return maybeAverage(ctx, h, name, out)
+}
+
+// maybeAverage divides an allreduced sum by the group size when the node
+// carries the data-parallel gradient-averaging attribute.
+func maybeAverage(ctx *Context, h CollectiveHandle, name string, out *tensor.Tensor) (*tensor.Tensor, error) {
+	if !ctx.BoolAttr("average", false) {
+		return out, nil
+	}
+	inv := 1.0 / float64(h.Size())
+	switch out.DType() {
+	case tensor.Float32:
+		d := out.F32()
+		for i := range d {
+			d[i] *= float32(inv)
 		}
+	case tensor.Float64:
+		d := out.F64()
+		for i := range d {
+			d[i] *= inv
+		}
+	default:
+		return nil, fmt.Errorf("group %q: average needs a float tensor, got %v", name, out.DType())
 	}
 	return out, nil
+}
+
+// reduceScatterKernel reduces across ranks and keeps only this rank's
+// segment of the result (flat rank-1) — half an allreduce, for consumers
+// that shard the reduced value anyway.
+func reduceScatterKernel(ctx *Context, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	h, name, err := ctx.collective()
+	if err != nil {
+		return nil, err
+	}
+	out, err := h.ReduceScatter(ctx.collKey(), in[0], ctx.StringAttr("reduce", "sum"))
+	if err != nil {
+		return nil, fmt.Errorf("group %q: %w", name, err)
+	}
+	return out, nil
+}
+
+// allGatherVKernel concatenates per-rank inputs of differing leading
+// dimension along axis 0.
+func allGatherVKernel(ctx *Context, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	h, name, err := ctx.collective()
+	if err != nil {
+		return nil, err
+	}
+	out, err := h.AllGatherV(ctx.collKey(), in[0])
+	if err != nil {
+		return nil, fmt.Errorf("group %q: %w", name, err)
+	}
+	return out, nil
+}
+
+// allReduceFusedKernel posts its input to the group's fusion buffer:
+// independent fused nodes dispatched concurrently by the executor coalesce
+// into one collective pass (Horovod tensor fusion). Attributes match
+// AllReduce ("reduce", "average").
+func allReduceFusedKernel(ctx *Context, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	h, name, err := ctx.collective()
+	if err != nil {
+		return nil, err
+	}
+	out, err := h.AllReduceFused(ctx.collKey(), in[0], ctx.StringAttr("reduce", "sum"))
+	if err != nil {
+		return nil, fmt.Errorf("group %q: %w", name, err)
+	}
+	return maybeAverage(ctx, h, name, out)
+}
+
+// allReduceStartKernel begins an asynchronous allreduce under the named
+// handle (attr "handle", default the collective key) and returns its input
+// unchanged, so downstream nodes may keep using the local value. The
+// reduction proceeds in the background — across session Run boundaries —
+// until an AllReduceJoin with the same handle claims it.
+func allReduceStartKernel(ctx *Context, in []*tensor.Tensor) (*tensor.Tensor, error) {
+	h, name, err := ctx.collective()
+	if err != nil {
+		return nil, err
+	}
+	key := ctx.collKey()
+	if err := h.StartAllReduce(ctx.StringAttr("handle", key), key, in[0], ctx.StringAttr("reduce", "sum")); err != nil {
+		return nil, fmt.Errorf("group %q: %w", name, err)
+	}
+	return in[0], nil
+}
+
+// allReduceJoinKernel blocks on the named handle's in-flight allreduce and
+// returns the reduced tensor ("average" supported as on AllReduce).
+func allReduceJoinKernel(ctx *Context, _ []*tensor.Tensor) (*tensor.Tensor, error) {
+	h, name, err := ctx.collective()
+	if err != nil {
+		return nil, err
+	}
+	out, err := h.JoinAllReduce(ctx.StringAttr("handle", ctx.collKey()))
+	if err != nil {
+		return nil, fmt.Errorf("group %q: %w", name, err)
+	}
+	return maybeAverage(ctx, h, name, out)
 }
 
 // allGatherKernel concatenates the per-rank inputs along the leading axis.

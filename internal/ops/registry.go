@@ -36,15 +36,25 @@ type QueueHandle interface {
 
 // CollectiveHandle is the access interface collective kernels use: one
 // rank's membership of a communication group (internal/collective provides
-// the ring implementation over loopback or TCP transports). key isolates
-// concurrent collectives that share the group; kernels default it to the
-// node name, which symmetric per-rank graphs give identical spellings.
+// the ring/tree implementations over loopback or TCP transports). key
+// isolates concurrent collectives that share the group; kernels default it
+// to the node name, which symmetric per-rank graphs give identical
+// spellings. Beyond the synchronous trio, handles expose the v2 engine:
+// ReduceScatter/AllGatherV (sharded reductions and uneven gathers),
+// AllReduceFused (posts ride the group's fusion buffer and coalesce into
+// one pass), and StartAllReduce/JoinAllReduce (named async handles that
+// may span session Run boundaries for double-buffered overlap).
 type CollectiveHandle interface {
 	Rank() int
 	Size() int
 	AllReduce(key string, t *tensor.Tensor, op string) (*tensor.Tensor, error)
 	AllGather(key string, t *tensor.Tensor) (*tensor.Tensor, error)
 	Broadcast(key string, t *tensor.Tensor, root int) (*tensor.Tensor, error)
+	ReduceScatter(key string, t *tensor.Tensor, op string) (*tensor.Tensor, error)
+	AllGatherV(key string, t *tensor.Tensor) (*tensor.Tensor, error)
+	AllReduceFused(key string, t *tensor.Tensor, op string) (*tensor.Tensor, error)
+	StartAllReduce(handle, key string, t *tensor.Tensor, op string) error
+	JoinAllReduce(handle string) (*tensor.Tensor, error)
 }
 
 // Resources resolves named stateful objects for kernels. The session

@@ -135,6 +135,15 @@ type Options struct {
 	Trace *timeline.Trace
 	// Parallelism bounds concurrent op dispatch; 0 = unlimited (the executor
 	// is already throttled by dependencies; kernels self-limit to NumCPU).
+	//
+	// Caution: collective kernels (AllReduce, AllReduceFused, ...) block
+	// inside the executor until peer ranks issue the matching call, and the
+	// executor seeds ready nodes in nondeterministic order — so a graph
+	// with K independent collective nodes needs Parallelism 0 or >= K on
+	// every rank, or two ranks can each fill all their slots with
+	// collectives the other has not dispatched yet and deadlock. Leave it 0
+	// for graphs that use collectives (the default everywhere in this
+	// repo).
 	Parallelism int
 }
 

@@ -1,9 +1,12 @@
 package session
 
 import (
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
+	"tfhpc/internal/collective"
 	"tfhpc/internal/graph"
 	"tfhpc/internal/tensor"
 	"tfhpc/internal/timeline"
@@ -241,5 +244,141 @@ func TestParallelismLimit(t *testing.T) {
 	}
 	if len(res) != 20 {
 		t.Fatal("wrong fetch count")
+	}
+}
+
+// TestExecutorCoalescesFusedAllReduces builds, per rank, a graph holding
+// several independent AllReduceFused nodes: the parallel executor
+// dispatches them concurrently, so the group's fusion buffer must coalesce
+// one Run's posts into a single negotiated pass and still return the exact
+// per-key sums.
+func TestExecutorCoalescesFusedAllReduces(t *testing.T) {
+	const p, K, n = 3, 6, 16
+	res := NewResources()
+	groups := collective.NewLoopbackGroups(p, collective.Options{
+		Fusion: collective.FusionOptions{FlushTensors: K},
+	})
+	for r, grp := range groups {
+		res.Colls.Register(fmt.Sprintf("fg%d", r), grp)
+	}
+	defer res.Colls.CloseAll()
+
+	sessions := make([]*Session, p)
+	fetches := make([]string, K)
+	for r := 0; r < p; r++ {
+		g := graph.New()
+		for k := 0; k < K; k++ {
+			ph := g.Placeholder(fmt.Sprintf("in%d", k), tensor.Float64, tensor.Shape{n})
+			node := g.AddNamedOp(fmt.Sprintf("fused%d", k), "AllReduceFused",
+				graph.Attrs{"group": fmt.Sprintf("fg%d", r), "key": fmt.Sprintf("k%d", k)}, ph)
+			fetches[k] = node.Name()
+		}
+		sess, err := New(g, res, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[r] = sess
+	}
+
+	ins := make([][]*tensor.Tensor, p) // ins[r][k]
+	want := make([][]float64, K)
+	for k := range want {
+		want[k] = make([]float64, n)
+	}
+	for r := 0; r < p; r++ {
+		ins[r] = make([]*tensor.Tensor, K)
+		for k := 0; k < K; k++ {
+			v := make([]float64, n)
+			for i := range v {
+				v[i] = float64(100*r + 10*k + i)
+				want[k][i] += v[i]
+			}
+			ins[r][k] = tensor.FromF64(tensor.Shape{n}, v)
+		}
+	}
+
+	outs := make([][]*tensor.Tensor, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			feeds := map[string]*tensor.Tensor{}
+			for k := 0; k < K; k++ {
+				feeds[fmt.Sprintf("in%d", k)] = ins[r][k]
+			}
+			outs[r], errs[r] = sessions[r].Run(feeds, fetches, nil)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+		for k := 0; k < K; k++ {
+			for i := 0; i < n; i++ {
+				if outs[r][k].F64()[i] != want[k][i] {
+					t.Fatalf("rank %d key %d elem %d = %g, want %g", r, k, i, outs[r][k].F64()[i], want[k][i])
+				}
+			}
+		}
+	}
+}
+
+// TestAsyncAllReduceSpansRuns starts a collective in one session Run and
+// joins it in a later one — the double-buffered handle contract the SGD
+// loss pipeline relies on.
+func TestAsyncAllReduceSpansRuns(t *testing.T) {
+	const p = 2
+	res := NewResources()
+	groups := collective.NewLoopbackGroups(p, collective.Options{})
+	for r, grp := range groups {
+		res.Colls.Register(fmt.Sprintf("ag%d", r), grp)
+	}
+	defer res.Colls.CloseAll()
+
+	sessions := make([]*Session, p)
+	for r := 0; r < p; r++ {
+		g := graph.New()
+		ph := g.Placeholder("x", tensor.Float64, nil)
+		g.AddNamedOp("start", "AllReduceStart",
+			graph.Attrs{"group": fmt.Sprintf("ag%d", r), "key": "s", "handle": "h"}, ph)
+		g.AddNamedOp("join", "AllReduceJoin",
+			graph.Attrs{"group": fmt.Sprintf("ag%d", r), "handle": "h"})
+		sess, err := New(g, res, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessions[r] = sess
+	}
+	errs := make([]error, p)
+	vals := make([]float64, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if _, err := sessions[r].Run(map[string]*tensor.Tensor{"x": tensor.ScalarF64(float64(r + 1))},
+				nil, []string{"start"}); err != nil {
+				errs[r] = err
+				return
+			}
+			out, err := sessions[r].Run(nil, []string{"join"}, nil)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			vals[r] = out[0].ScalarFloat()
+		}(r)
+	}
+	wg.Wait()
+	for r := 0; r < p; r++ {
+		if errs[r] != nil {
+			t.Fatalf("rank %d: %v", r, errs[r])
+		}
+		if vals[r] != 3 { // 1 + 2
+			t.Fatalf("rank %d: joined %g, want 3", r, vals[r])
+		}
 	}
 }

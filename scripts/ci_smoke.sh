@@ -1,16 +1,23 @@
 #!/usr/bin/env bash
 # Distributed smoke test: build the binaries, boot a 4-task localhost cluster
 # as real processes, run a CG solve and an SGD epoch over TCP (collectives
-# ring between the tfserver tasks), and fail on nonzero exit — tfcg enforces
-# the residual tolerance itself and tfsgd enforces loss decrease and replica
-# consistency. Then the serving smoke: tfsgd checkpoints its trained model,
+# ring between the tfserver tasks), a fused multi-tensor SGD epoch over the
+# same cluster, and fail on nonzero exit — tfcg enforces the residual
+# tolerance itself and tfsgd enforces loss decrease and replica consistency.
+# The fusion leg additionally asserts the engine's numerics contract: a
+# fused run's final weights must be bit-identical to the unfused run's
+# (both reduce through the same doubling tree), compared via checkpoint
+# files. Then the serving smoke: tfsgd checkpoints its trained model,
 # tfserve serves it, and concurrent HTTP predicts must coalesce while
 # staying bit-identical to single-request answers.
+#
+# Server processes log to $BIN/logs/ so CI can upload them when a leg fails.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BIN=${BIN:-bin}
-mkdir -p "$BIN"
+LOGDIR="$BIN/logs"
+mkdir -p "$BIN" "$LOGDIR"
 go build -o "$BIN/tfserver" ./cmd/tfserver
 go build -o "$BIN/tfcg" ./cmd/tfcg
 go build -o "$BIN/tfsgd" ./cmd/tfsgd
@@ -35,16 +42,35 @@ for i in $(seq 0 $((TASKS - 1))); do
   port=$((BASE_PORT + i))
   addr="127.0.0.1:${port}"
   SPEC="${SPEC:+$SPEC,}$addr"
-  "$BIN/tfserver" -job worker -task "$i" -listen "0.0.0.0:${port}" -advertise "$addr" &
+  "$BIN/tfserver" -job worker -task "$i" -listen "0.0.0.0:${port}" -advertise "$addr" \
+    >"$LOGDIR/tfserver-$i.log" 2>&1 &
   pids+=($!)
 done
-echo "smoke: booted $TASKS tfserver tasks: $SPEC"
+echo "smoke: booted $TASKS tfserver tasks: $SPEC (logs in $LOGDIR)"
 
 echo "smoke: CG solve over TCP"
 "$BIN/tfcg" -mode cluster -spec "$SPEC" -workers $TASKS -n 256 -iters 300 -tol 1e-6
 
 echo "smoke: SGD training over TCP"
 "$BIN/tfsgd" -mode cluster -spec "$SPEC" -workers $TASKS -features 128 -rows 256 -steps 25 -lr 0.3
+
+echo "smoke: fused multi-tensor SGD over TCP (AllReduceFused + async loss handles)"
+"$BIN/tfsgd" -mode cluster -spec "$SPEC" -workers $TASKS -features 128 -rows 256 -steps 25 -lr 0.3 \
+  -param-tensors 4 -fuse
+
+# --- fusion bit-identity: fused and unfused runs must end on the same bits -
+CKPT_UNFUSED=$(mktemp -t tfhpc_smoke_unfused_XXXX.ckpt)
+CKPT_FUSED=$(mktemp -t tfhpc_smoke_fused_XXXX.ckpt)
+echo "smoke: fused-vs-unfused bit-identity on final weights"
+"$BIN/tfsgd" -mode real -features 64 -rows 128 -workers 2 -steps 20 \
+  -param-tensors 4 -checkpoint "$CKPT_UNFUSED"
+"$BIN/tfsgd" -mode real -features 64 -rows 128 -workers 2 -steps 20 \
+  -param-tensors 4 -fuse -checkpoint "$CKPT_FUSED"
+if ! cmp -s "$CKPT_UNFUSED" "$CKPT_FUSED"; then
+  echo "smoke: FAIL — fused SGD checkpoint differs from unfused (fusion broke bit-identity)"
+  exit 1
+fi
+rm -f "$CKPT_UNFUSED" "$CKPT_FUSED"
 
 # --- serving smoke: train -> checkpoint -> serve -> predict ---------------
 CKPT=$(mktemp -t tfhpc_smoke_XXXX.ckpt)
@@ -55,7 +81,8 @@ echo "smoke: training + checkpointing the serving model"
 "$BIN/tfsgd" -mode real -features 64 -rows 256 -workers 2 -steps 30 -checkpoint "$CKPT"
 
 echo "smoke: booting tfserve on $SERVE_ADDR"
-"$BIN/tfserve" -listen "$SERVE_ADDR" -model "smoke=$CKPT" -max-batch 32 -batch-timeout 5ms &
+"$BIN/tfserve" -listen "$SERVE_ADDR" -model "smoke=$CKPT" -max-batch 32 -batch-timeout 5ms \
+  >"$LOGDIR/tfserve.log" 2>&1 &
 pids+=($!)
 
 echo "smoke: concurrent HTTP predicts (batched must equal single, bit-for-bit)"
