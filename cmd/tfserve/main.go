@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"tfhpc/apps/sgd"
+	"tfhpc/internal/pprofsrv"
 	"tfhpc/internal/rpc"
 	"tfhpc/internal/serving"
 )
@@ -65,7 +66,16 @@ func main() {
 	queueDepth := flag.Int("queue", 1024, "per-model admission queue depth")
 	deadline := flag.Duration("deadline", time.Second, "default per-request deadline")
 	runners := flag.Int("runners", 2, "concurrent batch executors per model")
+	pprofAddr := flag.String("pprof", "", "expose net/http/pprof on this address (off when empty)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		bound, err := pprofsrv.Serve(*pprofAddr)
+		if err != nil {
+			fatal(fmt.Errorf("pprof: %w", err))
+		}
+		fmt.Printf("tfserve: pprof on http://%s/debug/pprof/\n", bound)
+	}
 
 	var predictor serving.Predictor
 	var cleanup func()

@@ -18,6 +18,7 @@ import (
 	"syscall"
 
 	"tfhpc/internal/cluster"
+	"tfhpc/internal/pprofsrv"
 )
 
 func main() {
@@ -25,7 +26,17 @@ func main() {
 	task := flag.Int("task", 0, "task index within the job")
 	listen := flag.String("listen", "127.0.0.1:8888", "listen address")
 	advertise := flag.String("advertise", "", "address peers should dial (default: the bound listen address)")
+	pprofAddr := flag.String("pprof", "", "expose net/http/pprof on this address (off when empty)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		bound, err := pprofsrv.Serve(*pprofAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tfserver: pprof: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("tfserver: pprof on http://%s/debug/pprof/\n", bound)
+	}
 
 	srv := cluster.NewServer(*job, *task)
 	addr, err := srv.Start(*listen)

@@ -227,6 +227,15 @@ func CollectiveRows() (*CollectiveResult, error) {
 	}
 	result.CrossoverBytes = measureCrossover(result.Rows)
 
+	// Real-transport fabrics: the same ring over actual rpc servers on TCP
+	// loopback (per-chunk calls vs persistent streams) and over the
+	// shared-memory rings — the transport tier's own trajectory rows.
+	trRows, err := transportRows()
+	if err != nil {
+		return nil, err
+	}
+	result.Rows = append(result.Rows, trRows...)
+
 	// Fusion rows on both fabric classes: raw loopback exposes the
 	// negotiation overhead honestly (per-message cost is near zero there,
 	// so coalescing buys little), while the modelled interconnect is the

@@ -1,0 +1,125 @@
+package bench
+
+import (
+	"os"
+	"time"
+
+	"tfhpc/internal/collective"
+	"tfhpc/internal/rpc"
+	"tfhpc/internal/tensor"
+)
+
+// The real-transport fabrics run the same ring allreduce the loopback
+// sweep times, but over actual rpc servers on TCP loopback — once with a
+// full Call round trip per chunk ("tcp-call", the pre-streaming
+// transport), once over one persistent stream per edge ("tcp-stream"),
+// and once over the in-process shared-memory rings ("shm"). The rows land
+// in the same collective lattice, so bench_diff gates each fabric's bus
+// bandwidth independently: a streaming edge that stops beating the call
+// path, or an shm ring that stops beating TCP loopback on small payloads,
+// regresses its own row.
+
+// netFabric builds p collective groups whose edges run over real rpc
+// servers on 127.0.0.1, wired for the named fabric. The returned cleanup
+// closes groups, servers, and shm registrations.
+func netFabric(p int, fabric string, opts collective.Options) ([]*collective.Group, func(), error) {
+	hubs := make([]*collective.Hub, p)
+	servers := make([]*rpc.Server, p)
+	inboxes := make([]*collective.ShmInbox, p)
+	groups := make([]*collective.Group, p)
+	addrs := make([]string, p)
+	cleanup := func() {
+		for _, g := range groups {
+			if g != nil {
+				g.Close()
+			}
+		}
+		for i := range servers {
+			if inboxes[i] != nil {
+				collective.UnregisterShm(addrs[i], inboxes[i])
+				inboxes[i].Close()
+			}
+			if servers[i] != nil {
+				servers[i].Close()
+			}
+		}
+	}
+	for i := 0; i < p; i++ {
+		hubs[i] = collective.NewHub()
+		servers[i] = rpc.NewServer()
+		servers[i].Handle("CollSend", hubs[i].HandleSend)
+		servers[i].HandleStream(collective.StreamMethod, hubs[i].HandleStream)
+		addr, err := servers[i].Listen("127.0.0.1:0")
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		addrs[i] = addr
+		if fabric == "shm" {
+			inboxes[i] = collective.NewShmInbox()
+			collective.RegisterShm(addr, inboxes[i])
+		}
+	}
+	cfg := collective.TransportConfig{DisableShm: fabric != "shm"}
+	if fabric == "tcp-call" {
+		cfg.Mode = collective.ModeCall
+	}
+	for i := 0; i < p; i++ {
+		tr, err := collective.NewNetTransport("bench", i, addrs, hubs[i], 30*time.Second, 1, cfg)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		groups[i] = collective.NewGroup(tr, opts)
+	}
+	return groups, cleanup, nil
+}
+
+// transportRows sweeps the ring allreduce at p=4 over the real fabrics,
+// from latency-bound 1 KiB tensors to bandwidth-bound 1 MiB. The shm rows
+// are skipped under TFHPC_NO_SHM (the fabric is then unbuildable, which
+// should read as a missing feature, not a zero-bandwidth measurement).
+func transportRows() ([]CollectiveRow, error) {
+	const p = 4
+	cases := []struct{ elems, reps int }{
+		{1 << 7, 7},  // 1 KiB
+		{1 << 10, 5}, // 8 KiB
+		{1 << 13, 4}, // 64 KiB
+		{1 << 17, 2}, // 1 MiB
+	}
+	fabrics := []string{"tcp-call", "tcp-stream"}
+	if os.Getenv("TFHPC_NO_SHM") == "" {
+		fabrics = append(fabrics, "shm")
+	}
+	var rows []CollectiveRow
+	for _, fabric := range fabrics {
+		for _, c := range cases {
+			secs, err := timeNetFabric(fabric, p, c.elems, c.reps)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, CollectiveRow{
+				Fabric:  fabric,
+				Tasks:   p,
+				Elems:   c.elems,
+				DType:   tensor.Float64.String(),
+				Algo:    "ring",
+				Seconds: secs,
+				BusMBps: busMBps(p, c.elems, tensor.Float64, secs),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// timeNetFabric measures one (fabric, payload) point on fresh groups, so
+// no lane or pool state leaks between points.
+func timeNetFabric(fabric string, p, elems, reps int) (float64, error) {
+	groups, cleanup, err := netFabric(p, fabric, collective.Options{})
+	if err != nil {
+		return 0, err
+	}
+	defer cleanup()
+	ins := fillInputs(p, elems, tensor.Float64)
+	return timeCollective(groups, ins, reps, allReduceTimer("ring"))
+}

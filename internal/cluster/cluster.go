@@ -75,17 +75,20 @@ type Server struct {
 	Hub  *collective.Hub
 
 	srv       *rpc.Server
+	inbox     *collective.ShmInbox
 	addr      string
 	advertise string
+	shmAddrs  []string
 	mu        sync.Mutex
 }
 
 // NewServer creates a task server with fresh resources.
 func NewServer(job string, task int) *Server {
-	s := &Server{Job: job, Task: task, Res: session.NewResources(), Hub: collective.NewHub()}
+	s := &Server{Job: job, Task: task, Res: session.NewResources(), Hub: collective.NewHub(), inbox: collective.NewShmInbox()}
 	s.srv = rpc.NewServer()
 	s.srv.Handle("RunOp", s.handleRunOp)
 	s.srv.Handle("CollSend", s.Hub.HandleSend)
+	s.srv.HandleStream(collective.StreamMethod, s.Hub.HandleStream)
 	s.srv.Handle("CollInit", s.handleCollInit)
 	s.srv.Handle("CollClose", s.handleCollClose)
 	s.srv.Handle("Health", func([]byte) ([]byte, error) { return []byte("ok"), nil })
@@ -98,8 +101,14 @@ func NewServer(job string, task int) *Server {
 // can train a replica and serve it from the same process).
 func (s *Server) HandleCtx(method string, h rpc.CtxHandler) { s.srv.HandleCtx(method, h) }
 
+// HandleStream registers an additional streaming method — the same co-host
+// hook for stream endpoints (serving's streaming predict rides on it).
+func (s *Server) HandleStream(method string, h rpc.StreamHandler) { s.srv.HandleStream(method, h) }
+
 // Start binds addr ("host:0" allocates a port) and begins serving; returns
-// the bound address.
+// the bound address. The task's shared-memory inbox is published under the
+// bound address, so groups whose peers live in this process skip the TCP
+// stack entirely (see collective.RegisterShm).
 func (s *Server) Start(addr string) (string, error) {
 	bound, err := s.srv.Listen(addr)
 	if err != nil {
@@ -107,8 +116,23 @@ func (s *Server) Start(addr string) (string, error) {
 	}
 	s.mu.Lock()
 	s.addr = bound
+	s.registerShmLocked(bound)
 	s.mu.Unlock()
 	return bound, nil
+}
+
+// registerShmLocked publishes the inbox under addr (idempotent).
+func (s *Server) registerShmLocked(addr string) {
+	if addr == "" {
+		return
+	}
+	for _, a := range s.shmAddrs {
+		if a == addr {
+			return
+		}
+	}
+	collective.RegisterShm(addr, s.inbox)
+	s.shmAddrs = append(s.shmAddrs, addr)
 }
 
 // SetAdvertise overrides the address this task reports as its identity —
@@ -119,6 +143,11 @@ func (s *Server) SetAdvertise(addr string) {
 	defer s.mu.Unlock()
 	if addr != "" {
 		s.advertise = addr
+		// Peers dial the advertised form, so shm discovery must find the
+		// inbox under it too.
+		if s.addr != "" {
+			s.registerShmLocked(addr)
+		}
 	}
 }
 
@@ -138,6 +167,14 @@ func (s *Server) Addr() string {
 // in-flight RPCs), then the RPC server, which drains active calls before
 // closing the listener and connections.
 func (s *Server) Close() error {
+	s.mu.Lock()
+	addrs := s.shmAddrs
+	s.shmAddrs = nil
+	s.mu.Unlock()
+	for _, a := range addrs {
+		collective.UnregisterShm(a, s.inbox)
+	}
+	s.inbox.Close()
 	s.Res.Colls.CloseAll()
 	s.Hub.Close()
 	return s.srv.Close()

@@ -155,6 +155,7 @@ func doublingAllReduce[T interface {
 			return nil, g.fatal(err)
 		}
 		copy(data, sl.data(msg))
+		tensor.Recycle(msg)
 		return out, nil
 	case r < 2*rem:
 		msg, err := g.tr.Recv(r-1, key, tag(seq, phaseDouble, 0, 0))
@@ -168,6 +169,7 @@ func doublingAllReduce[T interface {
 		// tree deterministic even for non-commutative corner cases (NaN
 		// payload propagation follows the first operand on most targets).
 		combine(data, sl.data(msg), data)
+		tensor.Recycle(msg)
 		virtual = r / 2
 	default:
 		virtual = r - rem
@@ -192,6 +194,7 @@ func doublingAllReduce[T interface {
 		} else {
 			combine(data, data, sl.data(msg))
 		}
+		tensor.Recycle(msg)
 	}
 
 	// Unfold: hand the finished vector back to the folded even ranks.
@@ -274,6 +277,7 @@ func (g *Group) treeBroadcast(key string, seq uint64, t *tensor.Tensor, root int
 			return nil, g.fatal(err)
 		}
 	}
+	tensor.Recycle(hdrT)
 	flat, err := out.Reshape(out.NumElements())
 	if err != nil {
 		return nil, g.fatal(err)
@@ -298,6 +302,7 @@ func (g *Group) treeBroadcast(key string, seq uint64, t *tensor.Tensor, root int
 				return nil, g.fatal(err)
 			}
 		}
+		tensor.Recycle(msg)
 	}
 	return out, nil
 }
@@ -412,6 +417,7 @@ func ringReduceScatter[T interface {
 				break
 			}
 			combine(scratch[off:end], src[off:end], sl.data(msg))
+			tensor.Recycle(msg)
 		}
 		if err := <-errc; err != nil {
 			return nil, g.fatal(err)
@@ -493,6 +499,7 @@ func ringAllGatherV[T any](g *Group, key string, in *tensor.Tensor, sl slicer[T]
 				return nil, g.fatal(fmt.Errorf("collective: %q: negative shard size from rank %d", key, recvSeg))
 			}
 			leads[recvSeg] = int(got[0])
+			tensor.Recycle(msg)
 		}
 	}
 
@@ -549,6 +556,7 @@ func ringAllGatherV[T any](g *Group, key string, in *tensor.Tensor, sl slicer[T]
 				break
 			}
 			copy(data[off:end], sl.data(msg))
+			tensor.Recycle(msg)
 		}
 		if err := <-errc; err != nil {
 			return nil, g.fatal(err)

@@ -380,6 +380,7 @@ func ringAllReduce[T interface {
 				} else {
 					copy(data[off:end], got)
 				}
+				tensor.Recycle(msg)
 			}
 			// Always join the sender before surfacing any receive error.
 			if err := <-errc; err != nil {
@@ -472,6 +473,7 @@ func ringAllGather[T any](g *Group, key string, in *tensor.Tensor, sl slicer[T])
 				break
 			}
 			copy(data[off:end], sl.data(msg))
+			tensor.Recycle(msg)
 		}
 		if err := <-errc; err != nil {
 			return nil, g.fatal(err)
@@ -553,6 +555,9 @@ func (g *Group) ringBroadcast(key string, seq uint64, t *tensor.Tensor, root int
 			return nil, g.fatal(err)
 		}
 	}
+	// Send consumes its payload before returning, so the header (and below,
+	// each relayed chunk) can go back to the pool once forwarded.
+	tensor.Recycle(hdrT)
 	dt := out.DType()
 	flat, err := out.Reshape(out.NumElements())
 	if err != nil {
@@ -578,6 +583,7 @@ func (g *Group) ringBroadcast(key string, seq uint64, t *tensor.Tensor, root int
 				return nil, g.fatal(err)
 			}
 		}
+		tensor.Recycle(msg)
 	}
 	return out, nil
 }
@@ -622,6 +628,7 @@ func (g *Group) NaiveAllReduce(key string, t *tensor.Tensor, op string) (*tensor
 		if err := reduceTensor(acc, msg, op); err != nil {
 			return nil, g.fatal(err)
 		}
+		tensor.Recycle(msg)
 	}
 	for to := 1; to < p; to++ {
 		if err := g.tr.Send(to, key, tag(seq, phaseBroadcast, to, 0), acc); err != nil {

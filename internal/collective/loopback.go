@@ -71,7 +71,7 @@ func (l *Loopback) Send(to int, key string, tg uint64, t *tensor.Tensor) error {
 	if err := l.checkPeer("destination", to); err != nil {
 		return err
 	}
-	l.fabric.lanes[to][l.rank].put(message{key: key, tag: tg, t: t.Clone()})
+	l.fabric.lanes[to][l.rank].put(message{key: key, tag: tg, t: clonePooled(t)})
 	return nil
 }
 

@@ -1,9 +1,13 @@
 package collective
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
 	"io"
+	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"tfhpc/internal/rpc"
@@ -154,6 +158,28 @@ func (h *Hub) HandleSend(req []byte) ([]byte, error) {
 	return nil, nil
 }
 
+// deliver lands one message in the group's current incarnation: the lookup
+// runs per message because a CollInit replacement swaps the group object
+// out, and a lane cached at edge setup would feed the poisoned old one.
+// The lookup is two map hits under short mutexes — no allocation.
+func (h *Hub) deliver(group string, from int, m message) error {
+	g, err := h.group(group)
+	if err != nil {
+		return err
+	}
+	g.lane(from).put(m)
+	return nil
+}
+
+// failLane poisons the sender's lane in the group's current incarnation.
+func (h *Hub) failLane(group string, from int, err error) {
+	g, gerr := h.group(group)
+	if gerr != nil {
+		return
+	}
+	g.lane(from).fail(err)
+}
+
 func encodeSend(group string, from int, key string, tg uint64, t *tensor.Tensor) ([]byte, error) {
 	tb, err := t.Encode(nil)
 	if err != nil {
@@ -168,8 +194,253 @@ func encodeSend(group string, from int, key string, tg uint64, t *tensor.Tensor)
 	return e.Bytes(), nil
 }
 
-// TCPTransport is one rank's endpoint of a TCP group: it dials peers through
-// pooled internal/rpc clients and drains its own traffic from the task's Hub.
+// StreamMethod is the rpc stream method name for persistent collective
+// edges; register Hub.HandleStream under it next to "CollSend".
+const StreamMethod = "CollStream"
+
+// parseChunk decodes one relay record — the unit both stream edges and
+// shared-memory rings carry:
+//
+//	uvarint key length | key | uvarint tag | tensor encoding
+//
+// The returned key aliases b; the tensor comes from the rank-1 pool.
+func parseChunk(b []byte) ([]byte, uint64, *tensor.Tensor, error) {
+	kl, n := binary.Uvarint(b)
+	if n <= 0 || uint64(len(b)-n) < kl {
+		return nil, 0, nil, fmt.Errorf("collective: malformed chunk record key")
+	}
+	key := b[n : n+int(kl)]
+	b = b[n+int(kl):]
+	tg, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, 0, nil, fmt.Errorf("collective: malformed chunk record tag")
+	}
+	ten, rest, err := tensor.DecodePooled(b[n:])
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	if len(rest) != 0 {
+		tensor.Recycle(ten)
+		return nil, 0, nil, fmt.Errorf("collective: %d trailing bytes in chunk record", len(rest))
+	}
+	return key, tg, ten, nil
+}
+
+// appendChunk is parseChunk's inverse.
+func appendChunk(b []byte, key string, tg uint64, t *tensor.Tensor) ([]byte, error) {
+	b = binary.AppendUvarint(b, uint64(len(key)))
+	b = append(b, key...)
+	b = binary.AppendUvarint(b, tg)
+	return t.Encode(b)
+}
+
+// HandleStream is the rpc.StreamHandler for StreamMethod: one persistent
+// inbound edge from a peer rank. The first frame identifies the edge
+// (uvarint group length | group | uvarint sender rank); every later frame is
+// one chunk record. Chunks land in the same lanes CollSend fills, so
+// receivers are transport-agnostic. An edge that ends abnormally poisons the
+// sender's lane, cascading the failure to blocked receivers instead of
+// leaving them to wait out the receive timeout.
+//
+// The loop is allocation-free in the steady state: frames recycle through
+// the wire buffer pool, tensors through the rank-1 pool, and the interned
+// key string is reused while consecutive chunks carry the same key (they do,
+// within one collective).
+func (h *Hub) HandleStream(st *rpc.Stream) error {
+	buf, err := st.Recv(nil)
+	if err != nil {
+		return fmt.Errorf("collective: edge header: %w", err)
+	}
+	gl, n := binary.Uvarint(buf)
+	if n <= 0 || uint64(len(buf)-n) < gl {
+		return fmt.Errorf("collective: malformed edge header")
+	}
+	group := string(buf[n : n+int(gl)])
+	from64, k := binary.Uvarint(buf[n+int(gl):])
+	if k <= 0 {
+		return fmt.Errorf("collective: malformed edge header rank")
+	}
+	from := int(from64)
+	var keyBuf []byte
+	var key string
+	for {
+		b, err := st.Recv(buf)
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			h.failLane(group, from, fmt.Errorf("collective: edge from rank %d lost: %w", from, err))
+			return err
+		}
+		buf = b
+		kb, tg, ten, err := parseChunk(b)
+		if err != nil {
+			h.failLane(group, from, err)
+			return err
+		}
+		if !bytes.Equal(kb, keyBuf) {
+			keyBuf = append(keyBuf[:0], kb...)
+			key = string(kb)
+		}
+		if err := h.deliver(group, from, message{key: key, tag: tg, t: ten}); err != nil {
+			tensor.Recycle(ten)
+			return err
+		}
+	}
+}
+
+// clonePooled copies t into a pooled tensor when its shape allows, so the
+// receiving side can recycle the copy instead of allocating per message.
+func clonePooled(t *tensor.Tensor) *tensor.Tensor {
+	if t.Rank() != 1 {
+		return t.Clone()
+	}
+	c := tensor.GetPooled(t.DType(), t.NumElements())
+	if err := copyFlatRange(c, 0, t, 0, t.NumElements()); err != nil {
+		return t.Clone()
+	}
+	return c
+}
+
+// TransportMode selects how chunks leave a task over the network.
+type TransportMode int
+
+const (
+	// ModeStream ships chunks over one persistent rpc stream per edge — the
+	// default. The connection is dialed once at construction, frames flow
+	// under credit-based flow control, and the per-chunk cost is one framed
+	// write with no response round-trip.
+	ModeStream TransportMode = iota
+	// ModeCall round-trips one "CollSend" rpc per chunk — the legacy
+	// transport, kept as the baseline the streaming path is benchmarked
+	// against.
+	ModeCall
+)
+
+// TransportConfig tunes NewNetTransport beyond the defaults.
+type TransportConfig struct {
+	// Mode picks the network edge flavor (default ModeStream).
+	Mode TransportMode
+	// DisableShm forces network edges even to co-located peers. Set it for
+	// apples-to-apples network benchmarks; it must be uniform across the
+	// group (a mixed group would stream into rings nobody drains). The
+	// TFHPC_NO_SHM environment variable disables shm process-wide.
+	DisableShm bool
+}
+
+// edge is one rank's sending half of a peer link. key is the full
+// epoch-fenced key; the tensor is only read during the call.
+type edge interface {
+	send(key string, tg uint64, t *tensor.Tensor) error
+	close()
+}
+
+// streamEdge ships chunk records over one persistent rpc stream.
+type streamEdge struct {
+	c    *rpc.Client
+	addr string
+
+	mu  sync.Mutex
+	st  *rpc.Stream
+	buf []byte
+}
+
+func newStreamEdge(addr, group string, from int) (*streamEdge, error) {
+	e := &streamEdge{c: rpc.Dial(addr), addr: addr}
+	st, err := e.c.OpenStream(StreamMethod)
+	if err != nil {
+		e.c.Close()
+		return nil, fmt.Errorf("collective: open edge to %s: %w", addr, err)
+	}
+	hdr := binary.AppendUvarint(nil, uint64(len(group)))
+	hdr = append(hdr, group...)
+	hdr = binary.AppendUvarint(hdr, uint64(from))
+	if err := st.Send(hdr); err != nil {
+		st.Close()
+		e.c.Close()
+		return nil, fmt.Errorf("collective: edge header to %s: %w", addr, err)
+	}
+	e.st = st
+	return e, nil
+}
+
+func (e *streamEdge) send(key string, tg uint64, t *tensor.Tensor) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.st == nil {
+		return fmt.Errorf("collective: edge to %s closed", e.addr)
+	}
+	b, err := appendChunk(e.buf[:0], key, tg, t)
+	if cap(b) > cap(e.buf) {
+		e.buf = b
+	}
+	if err != nil {
+		return err
+	}
+	if err := e.st.Send(b); err != nil {
+		return fmt.Errorf("collective: stream send to %s: %w", e.addr, err)
+	}
+	return nil
+}
+
+func (e *streamEdge) close() {
+	e.mu.Lock()
+	st := e.st
+	e.st = nil
+	e.mu.Unlock()
+	if st != nil {
+		st.CloseSend()
+		st.Close()
+	}
+	e.c.Close()
+}
+
+// callEdge round-trips one rpc per chunk (ModeCall).
+type callEdge struct {
+	c     *rpc.Client
+	addr  string
+	group string
+	from  int
+}
+
+func (e *callEdge) send(key string, tg uint64, t *tensor.Tensor) error {
+	req, err := encodeSend(e.group, e.from, key, tg, t)
+	if err != nil {
+		return err
+	}
+	if _, err := e.c.Call("CollSend", req); err != nil {
+		return fmt.Errorf("collective: send to %s: %w", e.addr, err)
+	}
+	return nil
+}
+
+func (e *callEdge) close() { e.c.Close() }
+
+// selfEdge hands chunks straight to the local hub.
+type selfEdge struct {
+	hub   *Hub
+	group string
+	from  int
+}
+
+func (e *selfEdge) send(key string, tg uint64, t *tensor.Tensor) error {
+	g, err := e.hub.group(e.group)
+	if err != nil {
+		return err
+	}
+	g.lane(e.from).put(message{key: key, tag: tg, t: clonePooled(t)})
+	return nil
+}
+
+func (e *selfEdge) close() {}
+
+// TCPTransport is one rank's endpoint of a networked group. Every peer edge
+// is established eagerly and concurrently at construction — there is no
+// lazy dial under a lock on the send path — and each edge picks the fastest
+// available fabric: in-process shared memory when the peer's address is
+// registered in this process, a persistent rpc stream otherwise (or one rpc
+// call per chunk in ModeCall). Inbound traffic from all fabrics drains into
+// the task Hub's lanes, so Recv never cares how a chunk arrived.
 type TCPTransport struct {
 	group   string
 	rank    int
@@ -180,33 +451,145 @@ type TCPTransport struct {
 	// chunk still in flight from an aborted run can never match a collective
 	// of the membership that replaced it (all ranks of one incarnation must
 	// share the epoch — CollInit distributes it).
-	epoch string
+	epoch  string
+	epochN uint64
 
-	mu      sync.Mutex
-	clients map[int]*rpc.Client
-	closed  bool
+	// keys interns epoch-prefixed keys so the per-chunk Send/Recv path does
+	// not re-concatenate (and so re-allocate) the same string.
+	keys struct {
+		sync.Mutex
+		m map[string]string
+	}
+
+	edges    []edge
+	closed   atomic.Bool
+	myInbox  *ShmInbox
+	shmFroms []int
+	drains   sync.WaitGroup
 }
 
 // NewTCPTransport builds rank's endpoint for the named group over the given
-// task addresses (one per rank, e.g. a cluster.Spec job). timeout bounds each
-// Recv; 0 applies DefaultRecvTimeout. epoch identifies the group incarnation
-// and must be identical on every rank.
+// task addresses (one per rank, e.g. a cluster.Spec job) with the default
+// configuration: streaming edges, shared-memory fast path to co-located
+// peers. timeout bounds each Recv; 0 applies DefaultRecvTimeout. epoch
+// identifies the group incarnation and must be identical on every rank.
 func NewTCPTransport(group string, rank int, addrs []string, hub *Hub, timeout time.Duration, epoch uint64) (*TCPTransport, error) {
+	return NewNetTransport(group, rank, addrs, hub, timeout, epoch, TransportConfig{})
+}
+
+// NewNetTransport is NewTCPTransport with explicit edge configuration.
+func NewNetTransport(group string, rank int, addrs []string, hub *Hub, timeout time.Duration, epoch uint64, cfg TransportConfig) (*TCPTransport, error) {
 	if rank < 0 || rank >= len(addrs) {
 		return nil, fmt.Errorf("collective: rank %d outside %d addresses", rank, len(addrs))
 	}
 	if timeout <= 0 {
 		timeout = DefaultRecvTimeout
 	}
-	return &TCPTransport{
+	t := &TCPTransport{
 		group:   group,
 		rank:    rank,
 		addrs:   append([]string(nil), addrs...),
 		hub:     hub,
 		timeout: timeout,
 		epoch:   fmt.Sprintf("%d\x00", epoch),
-		clients: make(map[int]*rpc.Client),
-	}, nil
+		epochN:  epoch,
+		edges:   make([]edge, len(addrs)),
+	}
+	t.keys.m = make(map[string]string)
+
+	shmOK := !cfg.DisableShm && os.Getenv("TFHPC_NO_SHM") == ""
+	var ownInbox *ShmInbox
+	if shmOK {
+		ownInbox = lookupShm(t.addrs[rank])
+	}
+
+	// Establish all edges up front, dialing network peers concurrently.
+	var wg sync.WaitGroup
+	errs := make([]error, len(t.addrs))
+	for to := range t.addrs {
+		if to == rank {
+			t.edges[to] = &selfEdge{hub: hub, group: group, from: rank}
+			continue
+		}
+		if ownInbox != nil {
+			if peer := lookupShm(t.addrs[to]); peer != nil {
+				ring, err := peer.ring(group, epoch, rank)
+				if err != nil {
+					errs[to] = err
+					continue
+				}
+				t.edges[to] = &shmEdge{ring: ring}
+				continue
+			}
+		}
+		wg.Add(1)
+		go func(to int) {
+			defer wg.Done()
+			if cfg.Mode == ModeCall {
+				t.edges[to] = &callEdge{c: rpc.Dial(t.addrs[to]), addr: t.addrs[to], group: group, from: rank}
+				return
+			}
+			t.edges[to], errs[to] = newStreamEdge(t.addrs[to], group, rank)
+		}(to)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.teardown()
+			return nil, err
+		}
+	}
+
+	// Receiving side of the shm fast path: drain a ring per co-located peer
+	// into the hub lanes. Peers choose shm by the same registry lookup, so
+	// "its address is registered here" predicts "it will write to our ring".
+	if ownInbox != nil {
+		t.myInbox = ownInbox
+		for from := range t.addrs {
+			if from == rank || lookupShm(t.addrs[from]) == nil {
+				continue
+			}
+			ring, err := ownInbox.ring(group, epoch, from)
+			if err != nil {
+				t.teardown()
+				return nil, err
+			}
+			t.shmFroms = append(t.shmFroms, from)
+			t.drains.Add(1)
+			go t.drainShm(from, ring)
+		}
+	}
+	return t, nil
+}
+
+// drainShm pumps one co-located peer's ring into its hub lane.
+func (t *TCPTransport) drainShm(from int, ring *shmRing) {
+	defer t.drains.Done()
+	var rec, keyBuf []byte
+	var key string
+	for {
+		var err error
+		rec, err = ring.pop(rec)
+		if err != nil {
+			// The ring only fails when one side closed; the closing
+			// transport poisons the group by name itself, so a stale fail
+			// into a replacement incarnation is not needed (or wanted).
+			return
+		}
+		kb, tg, ten, err := parseChunk(rec)
+		if err != nil {
+			t.hub.failLane(t.group, from, fmt.Errorf("collective: bad shm record from rank %d: %w", from, err))
+			return
+		}
+		if !bytes.Equal(kb, keyBuf) {
+			keyBuf = append(keyBuf[:0], kb...)
+			key = string(kb)
+		}
+		if err := t.hub.deliver(t.group, from, message{key: key, tag: tg, t: ten}); err != nil {
+			tensor.Recycle(ten)
+			return
+		}
+	}
 }
 
 // Rank returns this endpoint's position in the group.
@@ -215,35 +598,28 @@ func (t *TCPTransport) Rank() int { return t.rank }
 // Size returns the group size.
 func (t *TCPTransport) Size() int { return len(t.addrs) }
 
-func (t *TCPTransport) client(to int) (*rpc.Client, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.closed {
-		return nil, fmt.Errorf("collective: rank %d is closed", t.rank)
-	}
-	c, ok := t.clients[to]
+// fullKey returns the interned epoch-prefixed key.
+func (t *TCPTransport) fullKey(key string) string {
+	t.keys.Lock()
+	full, ok := t.keys.m[key]
 	if !ok {
-		c = rpc.Dial(t.addrs[to])
-		t.clients[to] = c
+		full = t.epoch + key
+		t.keys.m[key] = full
 	}
-	return c, nil
+	t.keys.Unlock()
+	return full
 }
 
-// Send ships one chunk to the peer's hub.
+// Send ships one chunk to the peer over its edge.
 func (t *TCPTransport) Send(to int, key string, tg uint64, ten *tensor.Tensor) error {
 	if to < 0 || to >= len(t.addrs) {
 		return fmt.Errorf("collective: destination rank %d out of %d", to, len(t.addrs))
 	}
-	c, err := t.client(to)
-	if err != nil {
-		return err
+	if t.closed.Load() {
+		return fmt.Errorf("collective: rank %d is closed", t.rank)
 	}
-	req, err := encodeSend(t.group, t.rank, t.epoch+key, tg, ten)
-	if err != nil {
-		return err
-	}
-	if _, err := c.Call("CollSend", req); err != nil {
-		return fmt.Errorf("collective: send to rank %d (%s): %w", to, t.addrs[to], err)
+	if err := t.edges[to].send(t.fullKey(key), tg, ten); err != nil {
+		return fmt.Errorf("collective: send to rank %d: %w", to, err)
 	}
 	return nil
 }
@@ -258,23 +634,31 @@ func (t *TCPTransport) Recv(from int, key string, tg uint64) (*tensor.Tensor, er
 	if err != nil {
 		return nil, err
 	}
-	return g.lane(from).take(t.epoch+key, tg, t.timeout)
+	return g.lane(from).take(t.fullKey(key), tg, t.timeout)
 }
 
-// Close releases peer connections and poisons the local group inbox.
+func (t *TCPTransport) teardown() {
+	for _, e := range t.edges {
+		if e != nil {
+			e.close()
+		}
+	}
+	if t.myInbox != nil {
+		for _, from := range t.shmFroms {
+			t.myInbox.dropRing(t.group, t.epochN, from,
+				fmt.Errorf("collective: group %q rank %d closed", t.group, t.rank))
+		}
+	}
+	t.drains.Wait()
+}
+
+// Close releases peer edges, stops the shm drainers, and poisons the local
+// group inbox.
 func (t *TCPTransport) Close() error {
-	t.mu.Lock()
-	if t.closed {
-		t.mu.Unlock()
+	if t.closed.Swap(true) {
 		return nil
 	}
-	t.closed = true
-	clients := t.clients
-	t.clients = nil
-	t.mu.Unlock()
-	for _, c := range clients {
-		c.Close()
-	}
+	t.teardown()
 	t.hub.CloseGroup(t.group)
 	return nil
 }

@@ -68,6 +68,11 @@ type lane struct {
 	cond *sync.Cond
 	msgs []message
 	err  error
+	// timer is the lane's single reusable timeout timer: take re-arms it
+	// instead of allocating one per wait, keeping the timed receive path
+	// allocation-free. timerAt is when it is armed to fire (zero = unarmed).
+	timer   *time.Timer
+	timerAt time.Time
 }
 
 func newLane() *lane {
@@ -96,17 +101,13 @@ func (l *lane) fail(err error) {
 }
 
 // take removes and returns the message matching (key, tag), waiting up to
-// timeout (0 = wait forever).
+// timeout (0 = wait forever). Waiters share the lane's one timer: each
+// checks its own deadline against the wall clock on wakeup and keeps the
+// timer pointed at the earliest outstanding deadline.
 func (l *lane) take(key string, tg uint64, timeout time.Duration) (*tensor.Tensor, error) {
-	timedOut := false
+	var deadline time.Time
 	if timeout > 0 {
-		timer := time.AfterFunc(timeout, func() {
-			l.mu.Lock()
-			timedOut = true
-			l.mu.Unlock()
-			l.cond.Broadcast()
-		})
-		defer timer.Stop()
+		deadline = time.Now().Add(timeout)
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -120,9 +121,36 @@ func (l *lane) take(key string, tg uint64, timeout time.Duration) (*tensor.Tenso
 		if l.err != nil {
 			return nil, l.err
 		}
-		if timedOut {
-			return nil, fmt.Errorf("collective: timed out after %v waiting for %q tag %#x", timeout, key, tg)
+		if !deadline.IsZero() {
+			now := time.Now()
+			if !now.Before(deadline) {
+				return nil, fmt.Errorf("collective: timed out after %v waiting for %q tag %#x", timeout, key, tg)
+			}
+			l.armLocked(now, deadline)
 		}
 		l.cond.Wait()
 	}
+}
+
+// armLocked points the lane timer at deadline unless it is already armed to
+// fire no later.
+func (l *lane) armLocked(now time.Time, deadline time.Time) {
+	if !l.timerAt.IsZero() && l.timerAt.After(now) && !l.timerAt.After(deadline) {
+		return
+	}
+	l.timerAt = deadline
+	if l.timer == nil {
+		l.timer = time.AfterFunc(deadline.Sub(now), l.onTimer)
+	} else {
+		l.timer.Reset(deadline.Sub(now))
+	}
+}
+
+// onTimer wakes every waiter; each re-checks its own deadline and re-arms
+// as needed.
+func (l *lane) onTimer() {
+	l.mu.Lock()
+	l.timerAt = time.Time{}
+	l.mu.Unlock()
+	l.cond.Broadcast()
 }

@@ -1,0 +1,337 @@
+package collective_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"tfhpc/internal/collective"
+	"tfhpc/internal/rpc"
+	"tfhpc/internal/tensor"
+)
+
+// netGroups boots p rpc servers hosting hubs and returns groups over
+// NewNetTransport with the given config. When register is true every task's
+// address is published in the shm registry, so all peer edges take the
+// shared-memory fast path; ranks listed in netOnly stay unregistered and
+// keep network edges (mixed-fabric coverage).
+func netGroups(t *testing.T, p int, opts collective.Options, cfg collective.TransportConfig, register bool, netOnly map[int]bool) []*collective.Group {
+	t.Helper()
+	hubs := make([]*collective.Hub, p)
+	servers := make([]*rpc.Server, p)
+	inboxes := make([]*collective.ShmInbox, p)
+	addrs := make([]string, p)
+	for i := 0; i < p; i++ {
+		hubs[i] = collective.NewHub()
+		servers[i] = rpc.NewServer()
+		servers[i].Handle("CollSend", hubs[i].HandleSend)
+		servers[i].HandleStream(collective.StreamMethod, hubs[i].HandleStream)
+		addr, err := servers[i].Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = addr
+		if register && !netOnly[i] {
+			inboxes[i] = collective.NewShmInbox()
+			collective.RegisterShm(addr, inboxes[i])
+		}
+	}
+	groups := make([]*collective.Group, p)
+	for i := 0; i < p; i++ {
+		tr, err := collective.NewNetTransport("test", i, addrs, hubs[i], 10*time.Second, 1, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		groups[i] = collective.NewGroup(tr, opts)
+	}
+	t.Cleanup(func() {
+		for _, g := range groups {
+			g.Close()
+		}
+		for i := 0; i < p; i++ {
+			if inboxes[i] != nil {
+				collective.UnregisterShm(addrs[i], inboxes[i])
+				inboxes[i].Close()
+			}
+			servers[i].Close()
+		}
+	})
+	return groups
+}
+
+func skipIfNoShm(t *testing.T) {
+	t.Helper()
+	if os.Getenv("TFHPC_NO_SHM") != "" {
+		t.Skip("TFHPC_NO_SHM set")
+	}
+}
+
+// transportVariants runs the same property over every edge fabric the net
+// transport can assemble.
+func transportVariants(t *testing.T, opts collective.Options, fn func(t *testing.T, groups []*collective.Group, p int)) {
+	variants := []struct {
+		name     string
+		register bool
+		netOnly  map[int]bool
+		cfg      collective.TransportConfig
+	}{
+		{name: "stream"},
+		{name: "call", cfg: collective.TransportConfig{Mode: collective.ModeCall}},
+		{name: "shm", register: true},
+		{name: "mixed", register: true, netOnly: map[int]bool{1: true, 3: true}},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			if v.register {
+				skipIfNoShm(t)
+			}
+			for _, p := range []int{2, 4} {
+				groups := netGroups(t, p, opts, v.cfg, v.register, v.netOnly)
+				fn(t, groups, p)
+			}
+		})
+	}
+}
+
+// TestTransportFabricsMatch checks allreduce, allgather, and broadcast over
+// every fabric against the loopback reference.
+func TestTransportFabricsMatch(t *testing.T) {
+	opts := collective.Options{ChunkBytes: 512, Algorithm: collective.AlgoRing}
+	transportVariants(t, opts, func(t *testing.T, groups []*collective.Group, p int) {
+		n := 1023
+		ins := make([]*tensor.Tensor, p)
+		for r := 0; r < p; r++ {
+			ins[r] = randVec(uint64(4000*p+r), n)
+		}
+		ref := collective.NewLoopbackGroups(p, opts)
+		want := runAll(t, ref, func(g *collective.Group) (*tensor.Tensor, error) {
+			return g.AllReduce("ar", ins[g.Rank()], collective.OpSum)
+		})
+		got := runAll(t, groups, func(g *collective.Group) (*tensor.Tensor, error) {
+			return g.AllReduce("ar", ins[g.Rank()], collective.OpSum)
+		})
+		for r := 0; r < p; r++ {
+			requireSameF64(t, fmt.Sprintf("allreduce p=%d rank %d", p, r), want[r], got[r])
+		}
+
+		wantG := runAll(t, ref, func(g *collective.Group) (*tensor.Tensor, error) {
+			return g.AllGather("ag", ins[g.Rank()])
+		})
+		gotG := runAll(t, groups, func(g *collective.Group) (*tensor.Tensor, error) {
+			return g.AllGather("ag", ins[g.Rank()])
+		})
+		for r := 0; r < p; r++ {
+			requireSameF64(t, fmt.Sprintf("allgather p=%d rank %d", p, r), wantG[r], gotG[r])
+		}
+
+		gotB := runAll(t, groups, func(g *collective.Group) (*tensor.Tensor, error) {
+			var in *tensor.Tensor
+			if g.Rank() == 0 {
+				in = ins[0]
+			}
+			return g.Broadcast("bc", in, 0)
+		})
+		for r := 0; r < p; r++ {
+			requireSameF64(t, fmt.Sprintf("broadcast p=%d rank %d", p, r), ins[0], gotB[r])
+		}
+
+		_, errs := runAllErr(groups, func(g *collective.Group) (*tensor.Tensor, error) {
+			return nil, g.Barrier("bar")
+		})
+		for r, err := range errs {
+			if err != nil {
+				t.Fatalf("barrier p=%d rank %d: %v", p, r, err)
+			}
+		}
+	})
+}
+
+// requireSameF64 asserts bit-identical float64 payloads.
+func requireSameF64(t *testing.T, label string, want, got *tensor.Tensor) {
+	t.Helper()
+	if got == nil {
+		t.Fatalf("%s: nil result", label)
+	}
+	w, g := want.F64(), got.F64()
+	if len(w) != len(g) {
+		t.Fatalf("%s: length %d, want %d", label, len(g), len(w))
+	}
+	for i := range w {
+		if w[i] != g[i] {
+			t.Fatalf("%s: element %d = %v, want %v", label, i, g[i], w[i])
+		}
+	}
+}
+
+// TestShmSenderFailsAfterReceiverClose checks shm back-pressure poisoning:
+// once the receiving transport goes away, a blocked or future shm send
+// errors instead of hanging.
+func TestShmSenderFailsAfterReceiverClose(t *testing.T) {
+	skipIfNoShm(t)
+	opts := collective.Options{ChunkBytes: 1 << 20}
+	groups := netGroups(t, 2, opts, collective.TransportConfig{}, true, nil)
+	// Receiver leaves.
+	if err := groups[1].Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr := groups[0].Transport()
+	payload := randVec(1, 1<<16)
+	deadline := time.After(5 * time.Second)
+	done := make(chan error, 1)
+	go func() {
+		// The ring holds 1 MiB; pushing past it must fail once poisoned, and
+		// the first send may still succeed into the buffered ring.
+		var err error
+		for i := 0; i < 8 && err == nil; i++ {
+			err = tr.Send(1, "k", uint64(i), payload)
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("send to closed shm receiver succeeded")
+		}
+	case <-deadline:
+		t.Fatal("send to closed shm receiver hung")
+	}
+}
+
+// TestShmJumboRecord pushes a tensor bigger than the ring through it: the
+// record must stream through in pieces rather than deadlock or truncate.
+func TestShmJumboRecord(t *testing.T) {
+	skipIfNoShm(t)
+	opts := collective.Options{ChunkBytes: 64 << 20} // one chunk: 2 MiB record through a 1 MiB ring
+	groups := netGroups(t, 2, opts, collective.TransportConfig{}, true, nil)
+	n := (2 << 20) / 8
+	in := randVec(99, n)
+	done := make(chan error, 1)
+	go func() {
+		done <- groups[0].Transport().Send(1, "jumbo", 1, in)
+	}()
+	got, err := groups[1].Transport().Recv(0, "jumbo", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	requireSameF64(t, "jumbo", in, got)
+}
+
+// TestChunkRelayAllocs is the transport-tier allocation gate: a steady-state
+// send → stream → hub → recv round trip may not allocate. Frames recycle
+// through the wire buffer pool, tensors through the rank-1 pool, keys are
+// interned, and the lane timer is reused — one allocation anywhere on the
+// path fails this test.
+func TestChunkRelayAllocs(t *testing.T) {
+	opts := collective.Options{}
+	groups := netGroups(t, 2, opts, collective.TransportConfig{}, false, nil)
+	send, recv := groups[0].Transport(), groups[1].Transport()
+	payload := randVec(7, 512)
+	relay := func() {
+		if err := send.Send(1, "k", 7, payload); err != nil {
+			t.Fatal(err)
+		}
+		got, err := recv.Recv(0, "k", 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tensor.Recycle(got)
+	}
+	for i := 0; i < 200; i++ {
+		relay()
+	}
+	if avg := testing.AllocsPerRun(300, relay); avg != 0 {
+		t.Fatalf("chunk relay allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// TestShmRelayAllocs is the same gate over the shared-memory fast path.
+func TestShmRelayAllocs(t *testing.T) {
+	skipIfNoShm(t)
+	groups := netGroups(t, 2, collective.Options{}, collective.TransportConfig{}, true, nil)
+	send, recv := groups[0].Transport(), groups[1].Transport()
+	payload := randVec(8, 512)
+	relay := func() {
+		if err := send.Send(1, "k", 9, payload); err != nil {
+			t.Fatal(err)
+		}
+		got, err := recv.Recv(0, "k", 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tensor.Recycle(got)
+	}
+	for i := 0; i < 200; i++ {
+		relay()
+	}
+	if avg := testing.AllocsPerRun(300, relay); avg != 0 {
+		t.Fatalf("shm relay allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// BenchmarkChunkRelay measures the one-chunk round trip per fabric.
+func BenchmarkChunkRelay(b *testing.B) {
+	for _, mode := range []string{"stream", "call", "shm"} {
+		b.Run(mode, func(b *testing.B) {
+			p := 2
+			hubs := make([]*collective.Hub, p)
+			servers := make([]*rpc.Server, p)
+			inboxes := make([]*collective.ShmInbox, p)
+			addrs := make([]string, p)
+			for i := 0; i < p; i++ {
+				hubs[i] = collective.NewHub()
+				servers[i] = rpc.NewServer()
+				servers[i].Handle("CollSend", hubs[i].HandleSend)
+				servers[i].HandleStream(collective.StreamMethod, hubs[i].HandleStream)
+				addr, err := servers[i].Listen("127.0.0.1:0")
+				if err != nil {
+					b.Fatal(err)
+				}
+				addrs[i] = addr
+				if mode == "shm" {
+					inboxes[i] = collective.NewShmInbox()
+					collective.RegisterShm(addr, inboxes[i])
+				}
+			}
+			cfg := collective.TransportConfig{DisableShm: mode != "shm"}
+			if mode == "call" {
+				cfg.Mode = collective.ModeCall
+			}
+			trs := make([]*collective.TCPTransport, p)
+			for i := 0; i < p; i++ {
+				tr, err := collective.NewNetTransport("bench", i, addrs, hubs[i], 10*time.Second, 1, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				trs[i] = tr
+			}
+			defer func() {
+				for i := 0; i < p; i++ {
+					trs[i].Close()
+					if inboxes[i] != nil {
+						collective.UnregisterShm(addrs[i], inboxes[i])
+						inboxes[i].Close()
+					}
+					servers[i].Close()
+				}
+			}()
+			payload := randVec(3, 4096/8)
+			b.SetBytes(4096)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := trs[0].Send(1, "k", uint64(i), payload); err != nil {
+					b.Fatal(err)
+				}
+				got, err := trs[1].Recv(0, "k", uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				tensor.Recycle(got)
+			}
+		})
+	}
+}

@@ -1,0 +1,37 @@
+// Package pprofsrv exposes the net/http/pprof profiling endpoints on a
+// dedicated listener, so the long-running servers (tfserver, tfserve) can
+// opt into heap/CPU/goroutine profiling with a flag — the alloc sweeps CI
+// gates are then reproducible against a live process:
+//
+//	tfserve -listen :8500 -synthetic demo -pprof 127.0.0.1:6060
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/allocs
+//
+// The handlers are mounted on their own mux, never the default one: the
+// serving HTTP front end must not grow debug routes as a side effect of
+// an import.
+package pprofsrv
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Serve starts the profiling listener on addr (host:port, port 0 picks)
+// and returns the bound address. The server runs until process exit —
+// profiling endpoints have no graceful-shutdown story worth the plumbing.
+func Serve(addr string) (string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck // exits with the process
+	return ln.Addr().String(), nil
+}

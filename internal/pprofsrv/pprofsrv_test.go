@@ -1,0 +1,36 @@
+package pprofsrv
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeExposesProfiles(t *testing.T) {
+	addr, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/debug/pprof/goroutine?debug=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("goroutine profile status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("goroutine profile body looks wrong: %.80s", body)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.0.0.1:bad"); err == nil {
+		t.Fatal("nonsense address should fail")
+	}
+}

@@ -30,6 +30,7 @@ type CtxHandler func(ctx context.Context, req []byte) ([]byte, error)
 type Server struct {
 	mu       sync.Mutex
 	handlers map[string]CtxHandler
+	streams  map[string]StreamHandler
 	ln       net.Listener
 	closed   bool
 	wg       sync.WaitGroup
@@ -39,7 +40,11 @@ type Server struct {
 
 // NewServer returns a server with no handlers registered.
 func NewServer() *Server {
-	return &Server{handlers: make(map[string]CtxHandler), conns: make(map[net.Conn]struct{})}
+	return &Server{
+		handlers: make(map[string]CtxHandler),
+		streams:  make(map[string]StreamHandler),
+		conns:    make(map[net.Conn]struct{}),
+	}
 }
 
 // Handle registers a method. Must be called before Serve.
@@ -127,6 +132,16 @@ func (s *Server) serveConn(conn net.Conn) {
 			method, req, budget, err := decodeRequest(frame)
 			if err != nil {
 				callErr = err
+			} else if method == muxMethod {
+				// Stream handshake: acknowledge, then hand the connection to
+				// the multiplexer for the rest of its life.
+				werr := wire.WriteFrame(conn, encodeResponse(nil, nil))
+				s.inflight.Done()
+				if werr != nil {
+					return
+				}
+				newMux(conn, s).readLoop()
+				return
 			} else {
 				s.mu.Lock()
 				h, ok := s.handlers[method]
@@ -314,6 +329,7 @@ type Client struct {
 	mu   sync.Mutex
 	idle []net.Conn
 	live map[net.Conn]struct{}
+	smux *mux // lazily established stream multiplexer (stream.go)
 	down bool
 }
 
@@ -352,7 +368,10 @@ func (c *Client) CallContext(ctx context.Context, method string, req []byte) ([]
 	// I/O deadline is race-free (closing it would race with the pool). A
 	// watcher pokes the deadline into the past on early cancellation.
 	if budget > 0 {
-		conn.SetDeadline(time.Now().Add(budget))
+		if err := conn.SetDeadline(time.Now().Add(budget)); err != nil {
+			c.discard(conn)
+			return nil, fmt.Errorf("rpc: arm call deadline: %w", err)
+		}
 	}
 	var stop, wdone chan struct{}
 	if ctx.Done() != nil {
@@ -361,7 +380,11 @@ func (c *Client) CallContext(ctx context.Context, method string, req []byte) ([]
 			defer close(wdone)
 			select {
 			case <-ctx.Done():
-				conn.SetDeadline(time.Unix(1, 0))
+				if err := conn.SetDeadline(time.Unix(1, 0)); err != nil {
+					// Can't interrupt via deadline (conn already dying);
+					// close it so the blocked read unblocks regardless.
+					conn.Close()
+				}
 			case <-stop:
 			}
 		}()
@@ -389,8 +412,13 @@ func (c *Client) CallContext(ctx context.Context, method string, req []byte) ([]
 		}
 		return nil, ioErr
 	}
-	conn.SetDeadline(time.Time{}) // clear before pooling
-	c.put(conn)
+	if err := conn.SetDeadline(time.Time{}); err != nil {
+		// The response is in hand but the conn can't be re-armed: answer the
+		// call, just don't pool the connection.
+		c.discard(conn)
+	} else {
+		c.put(conn)
+	}
 	return decodeResponse(frame)
 }
 
@@ -454,8 +482,13 @@ func (c *Client) Close() {
 	live := c.live
 	c.live = make(map[net.Conn]struct{})
 	c.idle = nil
+	m := c.smux
+	c.smux = nil
 	c.mu.Unlock()
 	for conn := range live {
 		conn.Close()
+	}
+	if m != nil {
+		m.fail(errors.New("rpc: client closed"))
 	}
 }

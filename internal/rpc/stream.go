@@ -1,0 +1,681 @@
+// Streaming edges: persistent, multiplexed, credit-flow-controlled byte
+// streams over the same length-framed connections the call layer uses. A
+// client switches one dedicated connection into mux mode with a reserved
+// handshake call; after that every wire frame on the connection carries a
+// stream id and a kind byte, so many streams (collective ring edges,
+// serving predict channels) share the connection without per-message
+// request/response round-trips — the persistent-channel design the
+// TensorFlow whitepaper adopts for tensor traffic.
+//
+// Flow control is credit-based per stream and direction: a sender may have
+// streamWindow data frames outstanding; the receiver re-grants credit as
+// the application consumes frames, so one slow stream backpressures its
+// sender without stalling the connection for its siblings.
+//
+// Buffer ownership: frames are read into pooled buffers (wire.GetBuf) owned
+// by the mux until delivery; Stream.Recv copies the payload into the
+// caller's buffer and recycles the frame immediately, so callers own what
+// Recv returns and must not retain transport buffers. Send fully writes the
+// payload before returning, so callers may reuse their buffer at once.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"tfhpc/internal/wire"
+)
+
+// muxMethod is the reserved method name whose call switches a connection
+// from call/response framing into stream multiplexing.
+const muxMethod = "_stream.mux"
+
+// Stream frame layout, inside one wire length-prefixed frame:
+//
+//	uvarint stream id | kind byte | payload
+const (
+	kindOpen   = 1 // payload = method name; client opens a stream
+	kindData   = 2 // payload = application bytes
+	kindClose  = 3 // graceful end of the sender's direction
+	kindReset  = 4 // payload = error text; aborts both directions
+	kindCredit = 5 // payload = uvarint count of data frames granted
+)
+
+// streamWindow is the per-stream, per-direction flow-control window in data
+// frames. Receivers re-grant after consuming half a window, so a steadily
+// drained stream never stalls.
+const streamWindow = 64
+
+// ErrStreamTimeout reports an expired Recv deadline. The frame may still
+// arrive later, so after a timeout the caller should either keep receiving
+// or tear the stream down — not treat the stream as positioned.
+var ErrStreamTimeout = errors.New("rpc: stream receive timed out")
+
+// ErrStreamClosed reports use of a stream after local close.
+var ErrStreamClosed = errors.New("rpc: stream closed")
+
+// StreamHandler serves one inbound stream. Returning nil ends the server
+// side gracefully (the peer's Recv sees io.EOF); returning an error resets
+// the stream, surfacing the text to the peer.
+type StreamHandler func(s *Stream) error
+
+// HandleStream registers a streaming method. Must be called before clients
+// open streams for it.
+func (s *Server) HandleStream(method string, h StreamHandler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.streams[method]; dup {
+		panic(fmt.Sprintf("rpc: duplicate stream handler %q", method))
+	}
+	s.streams[method] = h
+}
+
+func (s *Server) streamHandler(method string) StreamHandler {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.streams[method]
+}
+
+// OpenStream opens a stream to the server's handler for method. All of a
+// client's streams multiplex over one dedicated connection, dialed and
+// switched to mux mode on first use (and re-dialed after a failure).
+func (c *Client) OpenStream(method string) (*Stream, error) {
+	m, err := c.streamMux()
+	if err != nil {
+		return nil, err
+	}
+	st, err := m.open(method)
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// streamMux returns the client's live multiplexer, establishing one if
+// needed: dial, handshake via the reserved method, then start the read
+// loop.
+func (c *Client) streamMux() (*mux, error) {
+	c.mu.Lock()
+	if c.down {
+		c.mu.Unlock()
+		return nil, errors.New("rpc: client closed")
+	}
+	if m := c.smux; m != nil && m.alive() {
+		c.mu.Unlock()
+		return m, nil
+	}
+	c.mu.Unlock()
+
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.WriteFrame(conn, encodeRequest(muxMethod, nil, 0)); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	frame, err := wire.ReadFrame(conn)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if _, err := decodeResponse(frame); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("rpc: stream handshake rejected: %w", err)
+	}
+	m := newMux(conn, nil)
+
+	c.mu.Lock()
+	if c.down {
+		c.mu.Unlock()
+		conn.Close()
+		return nil, errors.New("rpc: client closed")
+	}
+	if prev := c.smux; prev != nil && prev.alive() {
+		// Lost the establishment race; use the winner.
+		c.mu.Unlock()
+		conn.Close()
+		return prev, nil
+	}
+	c.smux = m
+	c.mu.Unlock()
+	go m.readLoop()
+	return m, nil
+}
+
+// mux multiplexes streams over one connection. The server side (srv != nil)
+// accepts OPEN frames and spawns handlers; the client side originates them.
+type mux struct {
+	conn net.Conn
+	srv  *Server
+
+	// Write path: one frame at a time under wmu. whdr and warr are
+	// persistent scratch so the vectored write allocates nothing.
+	wmu   sync.Mutex
+	whdr  []byte
+	warr  [2][]byte
+	wbufs net.Buffers
+
+	mu      sync.Mutex
+	streams map[uint64]*Stream
+	nextID  uint64
+	failed  error
+}
+
+func newMux(conn net.Conn, srv *Server) *mux {
+	return &mux{conn: conn, srv: srv, streams: make(map[uint64]*Stream)}
+}
+
+func (m *mux) alive() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.failed == nil
+}
+
+func (m *mux) open(method string) (*Stream, error) {
+	m.mu.Lock()
+	if m.failed != nil {
+		err := m.failed
+		m.mu.Unlock()
+		return nil, err
+	}
+	m.nextID++
+	st := newStream(m, m.nextID, method)
+	m.streams[st.id] = st
+	m.mu.Unlock()
+	if err := m.writeFrame(st.id, kindOpen, []byte(method)); err != nil {
+		m.fail(err)
+		return nil, err
+	}
+	return st, nil
+}
+
+// writeFrame frames and writes one stream frame: wire length prefix, then
+// uvarint id, kind byte, payload. Header and payload go out in one vectored
+// write through persistent buffers.
+func (m *mux) writeFrame(id uint64, kind byte, payload []byte) error {
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	hdr := append(m.whdr[:0], 0, 0, 0, 0)
+	hdr = binary.AppendUvarint(hdr, id)
+	hdr = append(hdr, kind)
+	m.whdr = hdr[:0]
+	n := int64(len(hdr) - 4 + len(payload))
+	if n > wire.MaxMessageSize {
+		return wire.ErrMessageTooLarge
+	}
+	binary.BigEndian.PutUint32(hdr, uint32(n))
+	if len(payload) == 0 {
+		_, err := m.conn.Write(hdr)
+		return err
+	}
+	m.warr[0], m.warr[1] = hdr, payload
+	m.wbufs = net.Buffers(m.warr[:2])
+	_, err := m.wbufs.WriteTo(m.conn)
+	m.warr[0], m.warr[1] = nil, nil
+	return err
+}
+
+// writeCredit builds the whole credit frame in the persistent header
+// scratch (a stack-side payload would escape through the vectored-write
+// fields and put an allocation on the steady-state receive path).
+func (m *mux) writeCredit(id uint64, grant int) error {
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	hdr := append(m.whdr[:0], 0, 0, 0, 0)
+	hdr = binary.AppendUvarint(hdr, id)
+	hdr = append(hdr, kindCredit)
+	hdr = binary.AppendUvarint(hdr, uint64(grant))
+	m.whdr = hdr[:0]
+	binary.BigEndian.PutUint32(hdr, uint32(len(hdr)-4))
+	_, err := m.conn.Write(hdr)
+	return err
+}
+
+func (m *mux) lookup(id uint64) *Stream {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.streams[id]
+}
+
+func (m *mux) remove(id uint64) {
+	m.mu.Lock()
+	delete(m.streams, id)
+	m.mu.Unlock()
+}
+
+// fail marks the connection dead and aborts every stream on it.
+func (m *mux) fail(err error) {
+	m.mu.Lock()
+	if m.failed != nil {
+		m.mu.Unlock()
+		return
+	}
+	m.failed = err
+	streams := make([]*Stream, 0, len(m.streams))
+	for _, st := range m.streams {
+		streams = append(streams, st)
+	}
+	m.mu.Unlock()
+	m.conn.Close()
+	for _, st := range streams {
+		st.remoteClose(err)
+	}
+}
+
+// readLoop pulls frames off the connection and routes them until the
+// connection dies. Runs on the serveConn goroutine server-side and on a
+// dedicated goroutine client-side.
+func (m *mux) readLoop() {
+	for {
+		buf, err := wire.ReadFramePooled(m.conn)
+		if err != nil {
+			m.fail(fmt.Errorf("rpc: stream connection lost: %w", err))
+			return
+		}
+		if err := m.dispatch(buf); err != nil {
+			m.fail(err)
+			return
+		}
+	}
+}
+
+// dispatch routes one frame. It takes ownership of buf (pooled).
+func (m *mux) dispatch(buf []byte) error {
+	id, n := binary.Uvarint(buf)
+	if n <= 0 || n >= len(buf) {
+		wire.PutBuf(buf)
+		return errors.New("rpc: malformed stream frame")
+	}
+	kind := buf[n]
+	payload := buf[n+1:]
+	switch kind {
+	case kindOpen:
+		method := string(payload)
+		wire.PutBuf(buf)
+		return m.accept(id, method)
+	case kindData:
+		if st := m.lookup(id); st != nil {
+			st.deliver(buf, payload)
+		} else {
+			wire.PutBuf(buf) // stream already gone; drop
+		}
+	case kindCredit:
+		grant, k := binary.Uvarint(payload)
+		wire.PutBuf(buf)
+		if k <= 0 {
+			return errors.New("rpc: malformed stream credit frame")
+		}
+		if st := m.lookup(id); st != nil {
+			st.addCredit(int(grant))
+		}
+	case kindClose:
+		st := m.lookup(id)
+		wire.PutBuf(buf)
+		if st != nil {
+			st.remoteClose(nil)
+		}
+	case kindReset:
+		var err error
+		if len(payload) > 0 {
+			err = fmt.Errorf("rpc: stream reset by peer: %s", payload)
+		} else {
+			err = errors.New("rpc: stream reset by peer")
+		}
+		wire.PutBuf(buf)
+		if st := m.lookup(id); st != nil {
+			st.remoteClose(err)
+		}
+	default:
+		wire.PutBuf(buf)
+		return fmt.Errorf("rpc: unknown stream frame kind %d", kind)
+	}
+	return nil
+}
+
+// accept handles an OPEN on the server side: register the stream and run
+// its handler on its own goroutine (tracked by the server waitgroup — the
+// goroutine calling Add holds the connection's own count, so it cannot race
+// a finishing Close.Wait).
+func (m *mux) accept(id uint64, method string) error {
+	if m.srv == nil {
+		return errors.New("rpc: unexpected stream OPEN from server")
+	}
+	h := m.srv.streamHandler(method)
+	m.mu.Lock()
+	if m.failed != nil {
+		m.mu.Unlock()
+		return nil
+	}
+	if _, dup := m.streams[id]; dup {
+		m.mu.Unlock()
+		return fmt.Errorf("rpc: duplicate stream id %d", id)
+	}
+	st := newStream(m, id, method)
+	m.streams[id] = st
+	m.mu.Unlock()
+	if h == nil {
+		st.finish(fmt.Errorf("rpc: no stream handler for %q", method))
+		return nil
+	}
+	m.srv.wg.Add(1)
+	go func() {
+		defer m.srv.wg.Done()
+		st.finish(invokeStream(h, st))
+	}()
+	return nil
+}
+
+// invokeStream runs a stream handler, converting panics into resets.
+func invokeStream(h StreamHandler, st *Stream) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("rpc: stream handler panic: %v", r)
+		}
+	}()
+	return h(st)
+}
+
+// rframe is one delivered data frame: the pooled backing buffer plus the
+// payload view into it.
+type rframe struct{ buf, payload []byte }
+
+// Stream is one bidirectional byte-message stream over a mux.
+type Stream struct {
+	m      *mux
+	id     uint64
+	method string
+
+	mu    sync.Mutex
+	rcond sync.Cond // receive side: frame arrival, close, deadline
+	scond sync.Cond // send side: credit arrival, close
+
+	// Receive state. rq[rhead:] are undelivered frames.
+	rq         []rframe
+	rhead      int
+	consumed   int // frames consumed since the last credit re-grant
+	recvErr    error
+	recvEOF    bool
+	recvClosed bool // peer finished its direction (CLOSE, RESET or conn loss)
+	deadline   time.Time
+	dlTimer    *time.Timer
+
+	// Send state.
+	credit    int
+	sendErr   error
+	sentClose bool
+	removed   bool
+}
+
+func newStream(m *mux, id uint64, method string) *Stream {
+	st := &Stream{m: m, id: id, method: method, credit: streamWindow}
+	st.rcond.L = &st.mu
+	st.scond.L = &st.mu
+	return st
+}
+
+// Method returns the stream's method name.
+func (s *Stream) Method() string { return s.method }
+
+// Send ships one data frame, blocking while the peer's flow-control window
+// is exhausted. The payload is fully written before return; the caller may
+// reuse p immediately.
+func (s *Stream) Send(p []byte) error {
+	s.mu.Lock()
+	for s.credit == 0 && s.sendErr == nil && !s.sentClose {
+		s.scond.Wait()
+	}
+	if s.sendErr != nil {
+		err := s.sendErr
+		s.mu.Unlock()
+		return err
+	}
+	if s.sentClose {
+		s.mu.Unlock()
+		return ErrStreamClosed
+	}
+	s.credit--
+	s.mu.Unlock()
+	if err := s.m.writeFrame(s.id, kindData, p); err != nil {
+		s.m.fail(err)
+		return err
+	}
+	return nil
+}
+
+// Recv waits for the next data frame and returns its payload copied into
+// buf (grown as needed); the caller owns the result, the transport recycles
+// its frame buffer before returning. io.EOF reports a graceful close by the
+// peer.
+func (s *Stream) Recv(buf []byte) ([]byte, error) {
+	s.mu.Lock()
+	for s.rhead == len(s.rq) {
+		if s.recvErr != nil {
+			err := s.recvErr
+			s.mu.Unlock()
+			return nil, err
+		}
+		if s.recvEOF {
+			s.mu.Unlock()
+			return nil, io.EOF
+		}
+		if !s.deadline.IsZero() {
+			if !time.Now().Before(s.deadline) {
+				s.mu.Unlock()
+				return nil, ErrStreamTimeout
+			}
+			s.armTimerLocked()
+		}
+		s.rcond.Wait()
+	}
+	f := s.rq[s.rhead]
+	s.rq[s.rhead] = rframe{}
+	s.rhead++
+	if s.rhead == len(s.rq) {
+		s.rq = s.rq[:0]
+		s.rhead = 0
+	}
+	s.consumed++
+	grant := 0
+	if s.consumed >= streamWindow/2 {
+		grant, s.consumed = s.consumed, 0
+	}
+	s.mu.Unlock()
+
+	out := append(buf[:0], f.payload...)
+	wire.PutBuf(f.buf)
+	if grant > 0 {
+		if err := s.m.writeCredit(s.id, grant); err != nil {
+			s.m.fail(err)
+		}
+	}
+	return out, nil
+}
+
+// SetRecvDeadline bounds subsequent Recv calls; the zero time clears the
+// bound.
+func (s *Stream) SetRecvDeadline(t time.Time) {
+	s.mu.Lock()
+	s.deadline = t
+	if t.IsZero() && s.dlTimer != nil {
+		s.dlTimer.Stop()
+	}
+	s.mu.Unlock()
+	if !t.IsZero() {
+		s.rcond.Broadcast() // waiters re-arm against the new deadline
+	}
+}
+
+// armTimerLocked (re)points the stream's single reusable timer at the
+// current deadline, so waiting never allocates a timer per call.
+func (s *Stream) armTimerLocked() {
+	d := time.Until(s.deadline)
+	if s.dlTimer == nil {
+		s.dlTimer = time.AfterFunc(d, s.onDeadline)
+	} else {
+		s.dlTimer.Reset(d)
+	}
+}
+
+func (s *Stream) onDeadline() {
+	s.rcond.Broadcast() // waiters check the wall clock themselves
+}
+
+// deliver hands an arrived data frame to the stream, taking ownership of
+// the pooled buf.
+func (s *Stream) deliver(buf, payload []byte) {
+	s.mu.Lock()
+	if s.recvErr != nil || s.recvEOF {
+		s.mu.Unlock()
+		wire.PutBuf(buf) // receiver gone; drop
+		return
+	}
+	if s.rhead > 0 && s.rhead == len(s.rq) {
+		s.rq = s.rq[:0]
+		s.rhead = 0
+	} else if s.rhead > 4*streamWindow {
+		n := copy(s.rq, s.rq[s.rhead:])
+		s.rq = s.rq[:n]
+		s.rhead = 0
+	}
+	s.rq = append(s.rq, rframe{buf: buf, payload: payload})
+	s.mu.Unlock()
+	s.rcond.Signal()
+}
+
+func (s *Stream) addCredit(n int) {
+	s.mu.Lock()
+	s.credit += n
+	s.mu.Unlock()
+	s.scond.Broadcast()
+}
+
+// CloseSend half-closes the stream: the peer's Recv sees io.EOF once the
+// frames in flight drain. Receiving stays possible.
+func (s *Stream) CloseSend() error {
+	s.mu.Lock()
+	if s.sentClose || s.sendErr != nil {
+		s.mu.Unlock()
+		return nil
+	}
+	s.sentClose = true
+	s.mu.Unlock()
+	s.scond.Broadcast()
+	err := s.m.writeFrame(s.id, kindClose, nil)
+	s.maybeRemove()
+	return err
+}
+
+var resetByCaller = []byte("closed by caller")
+
+// Close aborts the stream in both directions: the peer sees a reset, local
+// Send and Recv fail with ErrStreamClosed.
+func (s *Stream) Close() error {
+	s.mu.Lock()
+	sendReset := !s.sentClose && s.sendErr == nil
+	s.sentClose = true
+	if s.recvErr == nil {
+		s.recvErr = ErrStreamClosed
+	}
+	s.drainLocked()
+	s.mu.Unlock()
+	s.rcond.Broadcast()
+	s.scond.Broadcast()
+	var err error
+	if sendReset {
+		err = s.m.writeFrame(s.id, kindReset, resetByCaller)
+	}
+	s.maybeRemove()
+	return err
+}
+
+// remoteClose records the peer finishing its direction: gracefully
+// (err == nil, Recv drains then reports io.EOF) or abnormally (both
+// directions fail with err).
+func (s *Stream) remoteClose(err error) {
+	s.mu.Lock()
+	s.recvClosed = true
+	switch {
+	case err == nil:
+		s.recvEOF = true
+	case s.recvEOF:
+		// The peer already half-closed gracefully; a later error (the
+		// connection being torn down after the CLOSE) must not clobber the
+		// clean EOF or drop frames still queued ahead of it. Only sending is
+		// dead.
+		if s.sendErr == nil {
+			s.sendErr = err
+		}
+	default:
+		if s.recvErr == nil {
+			s.recvErr = err
+		}
+		if s.sendErr == nil {
+			s.sendErr = err
+		}
+		s.drainLocked()
+	}
+	s.mu.Unlock()
+	s.rcond.Broadcast()
+	s.scond.Broadcast()
+	s.maybeRemove()
+}
+
+// finish ends the server side after its handler returns: nil closes
+// gracefully, an error resets with its text. Inbound frames still queued
+// are dropped.
+func (s *Stream) finish(err error) {
+	s.mu.Lock()
+	var needClose, needReset bool
+	if !s.sentClose && s.sendErr == nil {
+		if err != nil {
+			needReset = true
+		} else {
+			needClose = true
+		}
+	}
+	s.sentClose = true
+	if s.recvErr == nil {
+		s.recvErr = ErrStreamClosed
+	}
+	s.drainLocked()
+	s.mu.Unlock()
+	s.rcond.Broadcast()
+	s.scond.Broadcast()
+	if needReset {
+		_ = s.m.writeFrame(s.id, kindReset, []byte(err.Error()))
+	} else if needClose {
+		_ = s.m.writeFrame(s.id, kindClose, nil)
+	}
+	s.maybeRemove()
+}
+
+// drainLocked recycles every undelivered frame.
+func (s *Stream) drainLocked() {
+	for i := s.rhead; i < len(s.rq); i++ {
+		wire.PutBuf(s.rq[i].buf)
+		s.rq[i] = rframe{}
+	}
+	s.rq = s.rq[:0]
+	s.rhead = 0
+}
+
+// maybeRemove unregisters the stream from the mux once both directions are
+// finished, so ids don't leak on long-lived connections.
+func (s *Stream) maybeRemove() {
+	s.mu.Lock()
+	done := (s.sentClose || s.sendErr != nil) && (s.recvClosed || s.recvErr != nil)
+	already := s.removed
+	if done {
+		s.removed = true
+	}
+	s.mu.Unlock()
+	if done && !already {
+		s.m.remove(s.id)
+	}
+}

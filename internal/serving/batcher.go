@@ -57,6 +57,16 @@ type request struct {
 	resp     chan result // buffered(1): a late runner response never blocks
 }
 
+// reqPool recycles request envelopes (struct + its buffered channel).
+// A request may be recycled only when no runner can still answer it: after
+// its response was received, or when it was never enqueued. On a deadline
+// expiry it is NOT recycled — the runner may yet send into resp — and is
+// left for the GC, which is exactly the old per-request cost, paid only on
+// the timeout edge.
+var reqPool = sync.Pool{New: func() any {
+	return &request{resp: make(chan result, 1)}
+}}
+
 // Batcher coalesces single-row predictions for one model into batched
 // session runs. Admission is a bounded queue (reject > queue > time out):
 // a full queue rejects instantly, queued rows carry deadlines, and expired
@@ -118,11 +128,14 @@ func (b *Batcher) Predict(row *tensor.Tensor, deadline time.Time) (*tensor.Tenso
 	if deadline.IsZero() {
 		deadline = time.Now().Add(b.opts.DefaultDeadline)
 	}
-	r := &request{row: row, deadline: deadline, resp: make(chan result, 1)}
+	r := reqPool.Get().(*request)
+	r.row, r.deadline = row, deadline
 
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()
+		r.row = nil
+		reqPool.Put(r)
 		return nil, ErrClosed
 	}
 	select {
@@ -131,6 +144,8 @@ func (b *Batcher) Predict(row *tensor.Tensor, deadline time.Time) (*tensor.Tenso
 	default:
 		b.mu.Unlock()
 		b.stats.rejected.Add(1)
+		r.row = nil
+		reqPool.Put(r)
 		return nil, ErrOverloaded
 	}
 
@@ -138,6 +153,8 @@ func (b *Batcher) Predict(row *tensor.Tensor, deadline time.Time) (*tensor.Tenso
 	defer timer.Stop()
 	select {
 	case res := <-r.resp:
+		r.row = nil
+		reqPool.Put(r) // answered: no runner holds it anymore
 		switch {
 		case res.err == nil:
 			return res.out, nil
@@ -149,7 +166,7 @@ func (b *Batcher) Predict(row *tensor.Tensor, deadline time.Time) (*tensor.Tenso
 		return nil, res.err
 	case <-timer.C:
 		// The runner may still answer into the buffered chan; the compute
-		// is wasted but nothing leaks or blocks.
+		// is wasted but nothing leaks or blocks. The request is NOT pooled.
 		b.stats.expired.Add(1)
 		return nil, ErrDeadline
 	}
@@ -157,15 +174,21 @@ func (b *Batcher) Predict(row *tensor.Tensor, deadline time.Time) (*tensor.Tenso
 
 func (b *Batcher) runner() {
 	defer b.wg.Done()
+	var scratch []*request // reused batch backing across flushes
 	for first := range b.ch {
-		b.flush(b.collect(first))
+		scratch = b.collect(scratch[:0], first)
+		b.flush(scratch)
+		for i := range scratch {
+			scratch[i] = nil // drop request refs until the next batch
+		}
 	}
 }
 
-// collect forms one batch: it has the first row and keeps pulling until the
-// batch is full or the coalescing window closes.
-func (b *Batcher) collect(first *request) []*request {
-	batch := []*request{first}
+// collect forms one batch in the caller's scratch slice: it has the first
+// row and keeps pulling until the batch is full or the coalescing window
+// closes.
+func (b *Batcher) collect(batch []*request, first *request) []*request {
+	batch = append(batch, first)
 	if b.opts.MaxBatch <= 1 {
 		return batch
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tfhpc/internal/checkpoint"
+	"tfhpc/internal/gemm"
 	"tfhpc/internal/graph"
 	"tfhpc/internal/tensor"
 	"tfhpc/internal/vars"
@@ -26,7 +27,27 @@ func NewLinear(model string, version int, w *tensor.Tensor) (*ModelVersion, erro
 	wv := g.AddNamedOp("w", "Variable", graph.Attrs{"var_name": "w"})
 	g.AddNamedOp("output", "MatVec", nil, in, wv)
 	sig := Signature{InputName: "input", OutputName: "output", Features: w.Shape()[0], DType: w.DType()}
-	return NewModelVersion(model, version, g, sig, map[string]*tensor.Tensor{"w": w})
+	mv, err := NewModelVersion(model, version, g, sig, map[string]*tensor.Tensor{"w": w})
+	if err != nil {
+		return nil, err
+	}
+	// Streaming fast path: one row is one dot product. Dot32/Dot64 use the
+	// exact split-accumulator reduction MatVec32/MatVec64 apply per row, so
+	// this is bitwise the same answer a 1-row (or coalesced) batch produces.
+	mv.rowOutShape = tensor.Shape{}
+	switch w.DType() {
+	case tensor.Float32:
+		wd := append([]float32(nil), w.F32()...)
+		mv.rowKernel = func(row, out *tensor.Tensor) {
+			out.F32()[0] = float32(gemm.Dot32(row.F32(), wd))
+		}
+	default:
+		wd := append([]float64(nil), w.F64()...)
+		mv.rowKernel = func(row, out *tensor.Tensor) {
+			out.F64()[0] = gemm.Dot64(row.F64(), wd)
+		}
+	}
+	return mv, nil
 }
 
 // SaveLinear checkpoints a trained weight vector in the servable linear

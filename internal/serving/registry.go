@@ -85,18 +85,29 @@ func (r *Registry) Active(model string) *ModelVersion {
 // version between lookup and pin, so the lookup retries onto the fresh
 // active version (bounded: each retry means another swap won the race).
 func (r *Registry) Acquire(model string) (*ModelVersion, func(), error) {
+	mv, err := r.acquireRef(model)
+	if err != nil {
+		return nil, nil, err
+	}
+	return mv, func() { mv.release() }, nil
+}
+
+// acquireRef is Acquire without the release closure: the caller must call
+// mv.release() itself. The streaming fast path uses this form because the
+// closure would be its only per-request allocation.
+func (r *Registry) acquireRef(model string) (*ModelVersion, error) {
 	for attempt := 0; attempt < 8; attempt++ {
 		r.mu.RLock()
 		mv := r.active[model]
 		r.mu.RUnlock()
 		if mv == nil {
-			return nil, nil, ErrNotFound
+			return nil, ErrNotFound
 		}
 		if mv.acquire() {
-			return mv, func() { mv.release() }, nil
+			return mv, nil
 		}
 	}
-	return nil, nil, ErrNotFound
+	return nil, ErrNotFound
 }
 
 // Models lists every model's active version status, sorted by name.

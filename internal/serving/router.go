@@ -20,6 +20,14 @@ type RouterOptions struct {
 	FailBackoff time.Duration
 	// MaxAttempts bounds the replicas tried per request (default: all).
 	MaxAttempts int
+	// DisableStreaming forces the per-call predict path. By default the
+	// router keeps a small pool of persistent predict streams per replica
+	// and falls back to calls only for replicas without the streaming
+	// endpoint.
+	DisableStreaming bool
+	// StreamsPerReplica caps the pooled predict streams kept per replica
+	// (default 8). Bursts beyond it open short-lived extra streams.
+	StreamsPerReplica int
 }
 
 func (o RouterOptions) withDefaults(replicas int) RouterOptions {
@@ -32,6 +40,9 @@ func (o RouterOptions) withDefaults(replicas int) RouterOptions {
 	if o.MaxAttempts <= 0 || o.MaxAttempts > replicas {
 		o.MaxAttempts = replicas
 	}
+	if o.StreamsPerReplica <= 0 {
+		o.StreamsPerReplica = 8
+	}
 	return o
 }
 
@@ -41,6 +52,35 @@ type replica struct {
 	client      *rpc.Client
 	outstanding atomic.Int64
 	failUntil   atomic.Int64 // unixnano; 0 = healthy
+
+	// streams pools idle predict streams; noStream marks a replica whose
+	// server lacks the streaming endpoint, pinning it to the call path.
+	streams  chan *PredictStream
+	noStream atomic.Bool
+}
+
+// getStream reuses a pooled predict stream or opens a new one.
+func (rep *replica) getStream() (*PredictStream, error) {
+	select {
+	case ps := <-rep.streams:
+		return ps, nil
+	default:
+		return OpenPredictStream(rep.client)
+	}
+}
+
+// putStream returns a healthy stream to the pool; broken or surplus ones
+// close.
+func (rep *replica) putStream(ps *PredictStream) {
+	if ps.Broken() {
+		ps.Close()
+		return
+	}
+	select {
+	case rep.streams <- ps:
+	default:
+		ps.Close()
+	}
 }
 
 func (r *replica) healthyAt(now time.Time) bool {
@@ -69,14 +109,27 @@ func NewRouter(addrs []string, opts RouterOptions) (*Router, error) {
 	}
 	r := &Router{opts: opts.withDefaults(len(addrs))}
 	for _, a := range addrs {
-		r.replicas = append(r.replicas, &replica{addr: a, client: rpc.Dial(a)})
+		r.replicas = append(r.replicas, &replica{
+			addr:    a,
+			client:  rpc.Dial(a),
+			streams: make(chan *PredictStream, r.opts.StreamsPerReplica),
+		})
 	}
 	return r, nil
 }
 
-// Close releases every replica connection.
+// Close releases every replica connection and its pooled streams.
 func (r *Router) Close() {
 	for _, rep := range r.replicas {
+		for {
+			select {
+			case ps := <-rep.streams:
+				ps.Close()
+				continue
+			default:
+			}
+			break
+		}
 		rep.client.Close()
 	}
 }
@@ -127,7 +180,7 @@ func (r *Router) Predict(model string, in *tensor.Tensor, deadline time.Time) (*
 			r.retries.Add(1)
 		}
 		rep.outstanding.Add(1)
-		out, err := PredictRemote(ctx, rep.client, model, in)
+		out, err := r.predictOn(ctx, rep, model, in, deadline)
 		rep.outstanding.Add(-1)
 		if err == nil {
 			r.routed.Add(1)
@@ -147,6 +200,28 @@ func (r *Router) Predict(model string, in *tensor.Tensor, deadline time.Time) (*
 		lastErr = fmt.Errorf("serving: no replica available")
 	}
 	return nil, fmt.Errorf("serving: all replicas failed: %w", lastErr)
+}
+
+// predictOn sends one request to one replica, over a pooled predict stream
+// when possible, else over the call path. A replica without the streaming
+// endpoint is remembered and served by calls from then on.
+func (r *Router) predictOn(ctx context.Context, rep *replica, model string, in *tensor.Tensor, deadline time.Time) (*tensor.Tensor, error) {
+	if !r.opts.DisableStreaming && !rep.noStream.Load() {
+		ps, err := rep.getStream()
+		if err == nil {
+			out, perr := ps.Predict(model, in, deadline)
+			if isNoStreamHandlerErr(perr) {
+				rep.noStream.Store(true)
+				rep.putStream(ps)
+				return PredictRemote(ctx, rep.client, model, in)
+			}
+			rep.putStream(ps)
+			return out, perr
+		}
+		// Opening the stream failed (dial-level): the call path shares the
+		// transport, so let it produce the canonical failure.
+	}
+	return PredictRemote(ctx, rep.client, model, in)
 }
 
 // Models implements Predictor by asking the first answering replica — the

@@ -53,6 +53,13 @@ func Attach(mux RPCMux, p Predictor) {
 	mux.HandleCtx("ServingStats", func(context.Context, []byte) ([]byte, error) {
 		return p.StatsJSON()
 	})
+	// Muxes that can host streams also get the persistent streaming predict
+	// endpoint (ServingPredictStream); call-only muxes keep working without.
+	if sm, ok := mux.(StreamRPCMux); ok {
+		sm.HandleStream(PredictStreamMethod, func(st *rpc.Stream) error {
+			return servePredictStream(p, st)
+		})
+	}
 }
 
 // EncodePredict builds a ServingPredict request frame.

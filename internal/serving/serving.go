@@ -73,6 +73,15 @@ type ModelVersion struct {
 	sig     Signature
 	sess    *session.Session
 
+	// rowKernel, when set, computes one row's outputs directly into a
+	// caller-owned tensor of shape rowOutShape — the streaming front-end's
+	// allocation-free fast path. It must be bit-identical to a 1-row batch
+	// through the session (the linear model's dot product is the MatVec
+	// kernel's own per-row reduction). Versions without one serve rows
+	// through the batcher only.
+	rowKernel   func(row, out *tensor.Tensor)
+	rowOutShape tensor.Shape
+
 	mu       sync.Mutex
 	inflight int
 	draining bool

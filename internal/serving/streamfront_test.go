@@ -1,0 +1,306 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"tfhpc/internal/rpc"
+	"tfhpc/internal/tensor"
+)
+
+// startStreamServer hosts one Service behind a plain rpc.Server with both
+// the call and streaming predict endpoints attached.
+func startStreamServer(t testing.TB, d int, scale float64) (string, *Service) {
+	t.Helper()
+	srv := rpc.NewServer()
+	svc := NewService(NewRegistry(), BatchOptions{MaxBatch: 8, Timeout: time.Millisecond})
+	mv, err := NewLinear("lin", 1, linearWeights(d, scale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.ServeModel(mv); err != nil {
+		t.Fatal(err)
+	}
+	Attach(srv, svc)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		svc.Close()
+		srv.Close()
+	})
+	return addr, svc
+}
+
+// TestStreamPredictMatchesLocal drives rows and a batch through the
+// streaming endpoint and checks bit-identity with the local batcher path.
+func TestStreamPredictMatchesLocal(t *testing.T) {
+	const d = 32
+	addr, svc := startStreamServer(t, d, 1)
+	c := rpc.Dial(addr)
+	defer c.Close()
+	ps, err := OpenPredictStream(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+
+	for k := 0; k < 20; k++ {
+		row := sliceRow(randRows(1, d, uint64(100+k)), 0)
+		got, err := ps.Predict("lin", row, time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := svc.Predict("lin", row, time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.F64()[0] != want.F64()[0] {
+			t.Fatalf("row %d: stream %v != local %v", k, got.F64()[0], want.F64()[0])
+		}
+	}
+
+	// A rank-2 batch rides the same stream through the general path.
+	batch := randRows(5, d, 777)
+	got, err := ps.Predict("lin", batch, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := svc.Predict("lin", batch, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.F64()) != 5 {
+		t.Fatalf("batch result length %d, want 5", len(got.F64()))
+	}
+	for i := range want.F64() {
+		if got.F64()[i] != want.F64()[i] {
+			t.Fatalf("batch row %d: stream %v != local %v", i, got.F64()[i], want.F64()[i])
+		}
+	}
+
+	// Float32 rows take the same fast path in the model's native dtype.
+	mv32, err := NewLinear("lin32", 1, tensor.RandomUniform(tensor.Float32, 5, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.ServeModel(mv32); err != nil {
+		t.Fatal(err)
+	}
+	row32 := tensor.RandomUniform(tensor.Float32, 9, d)
+	got32, err := ps.Predict("lin32", row32, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want32, err := svc.Predict("lin32", row32, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got32.F32()[0] != want32.F32()[0] {
+		t.Fatalf("f32 row: stream %v != local %v", got32.F32()[0], want32.F32()[0])
+	}
+}
+
+// TestStreamPredictErrors checks the canonical outcomes cross the stream as
+// their exact error values.
+func TestStreamPredictErrors(t *testing.T) {
+	const d = 8
+	addr, _ := startStreamServer(t, d, 1)
+	c := rpc.Dial(addr)
+	defer c.Close()
+	ps, err := OpenPredictStream(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+
+	if _, err := ps.Predict("nosuch", sliceRow(randRows(1, d, 1), 0), time.Time{}); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown model: %v, want ErrNotFound", err)
+	}
+	if _, err := ps.Predict("lin", sliceRow(randRows(1, d+3, 2), 0), time.Time{}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("wrong width: %v, want ErrBadInput", err)
+	}
+	if _, err := ps.Predict("lin", tensor.New(tensor.Int32, d), time.Time{}); !errors.Is(err, ErrBadInput) {
+		t.Fatalf("non-float row: %v, want ErrBadInput", err)
+	}
+	// A spent budget resolves client-side, before any frame goes out.
+	if _, err := ps.Predict("lin", sliceRow(randRows(1, d, 3), 0), time.Now().Add(-time.Millisecond)); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("expired deadline: %v, want ErrDeadline", err)
+	}
+	// The stream survives all of the above.
+	if _, err := ps.Predict("lin", sliceRow(randRows(1, d, 4), 0), time.Time{}); err != nil {
+		t.Fatalf("stream broken after application errors: %v", err)
+	}
+}
+
+// TestStreamPredictStatusRoundTrip pins the status-byte mapping: every
+// canonical error survives the wire exactly.
+func TestStreamPredictStatusRoundTrip(t *testing.T) {
+	for _, canon := range []error{ErrNotFound, ErrOverloaded, ErrDeadline, ErrBadInput, ErrClosed} {
+		st := statusOf(fmt.Errorf("wrapped: %w", canon))
+		back := errOfStatus(st, nil)
+		if !errors.Is(back, canon) {
+			t.Fatalf("status %d decoded to %v, want %v", st, back, canon)
+		}
+		if isTransportErr(back) {
+			t.Fatalf("%v classified as transport error", back)
+		}
+	}
+	other := errors.New("kernel exploded")
+	back := errOfStatus(statusOf(other), []byte(other.Error()))
+	if back == nil || back.Error() != "serving: remote predict error: kernel exploded" {
+		t.Fatalf("opaque error round trip: %v", back)
+	}
+}
+
+// TestStreamPredictHotSwap checks that an open stream tracks a hot-swap: the
+// fast-path kernel must come from the swapped-in version.
+func TestStreamPredictHotSwap(t *testing.T) {
+	const d = 16
+	addr, svc := startStreamServer(t, d, 1)
+	c := rpc.Dial(addr)
+	defer c.Close()
+	ps, err := OpenPredictStream(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+
+	row := sliceRow(randRows(1, d, 42), 0)
+	before, err := ps.Predict("lin", row, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mv2, err := NewLinear("lin", 2, linearWeights(d, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.ServeModel(mv2); err != nil {
+		t.Fatal(err)
+	}
+	after, err := ps.Predict("lin", row, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.F64()[0] == before.F64()[0] {
+		t.Fatal("stream still answers with the retired version after a hot-swap")
+	}
+	want, err := svc.Predict("lin", row, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.F64()[0] != want.F64()[0] {
+		t.Fatalf("post-swap result %v, want %v", after.F64()[0], want.F64()[0])
+	}
+}
+
+// TestRouterStreamingMatchesCalls runs the same traffic through a streaming
+// router and a call-only router: identical results, and the streaming one
+// must actually have pooled streams afterwards.
+func TestRouterStreamingMatchesCalls(t *testing.T) {
+	const replicas, d = 2, 24
+	l, _ := startReplicaFleet(t, replicas, d)
+	stream, err := NewRouter(l.Spec()["worker"], RouterOptions{DefaultDeadline: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	calls, err := NewRouter(l.Spec()["worker"], RouterOptions{DefaultDeadline: 5 * time.Second, DisableStreaming: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer calls.Close()
+
+	for k := 0; k < 30; k++ {
+		row := sliceRow(randRows(1, d, uint64(900+k)), 0)
+		a, err := stream.Predict("lin", row, time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := calls.Predict("lin", row, time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.F64()[0] != b.F64()[0] {
+			t.Fatalf("row %d: streaming %v != calls %v", k, a.F64()[0], b.F64()[0])
+		}
+	}
+	pooled := 0
+	for _, rep := range stream.replicas {
+		pooled += len(rep.streams)
+	}
+	if pooled == 0 {
+		t.Fatal("streaming router pooled no predict streams")
+	}
+}
+
+// TestStreamPredictAllocs is the serving-tier allocation gate: a steady-state
+// streaming predict round trip — client encode, stream frames both ways, the
+// server's decode + row kernel + response encode — may not allocate on
+// either side.
+func TestStreamPredictAllocs(t *testing.T) {
+	const d = 256
+	addr, _ := startStreamServer(t, d, 1)
+	c := rpc.Dial(addr)
+	defer c.Close()
+	ps, err := OpenPredictStream(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+
+	row := sliceRow(randRows(1, d, 5), 0)
+	predict := func() {
+		out, err := ps.Predict("lin", row, time.Time{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tensor.Recycle(out)
+	}
+	for i := 0; i < 200; i++ {
+		predict()
+	}
+	if avg := testing.AllocsPerRun(300, predict); avg != 0 {
+		t.Fatalf("streaming predict allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// BenchmarkPredictTransport compares the per-call and streaming predict
+// paths over real TCP loopback.
+func BenchmarkPredictTransport(b *testing.B) {
+	const d = 64
+	addr, _ := startStreamServer(b, d, 1)
+	row := sliceRow(randRows(1, d, 6), 0)
+
+	b.Run("call", func(b *testing.B) {
+		c := rpc.Dial(addr)
+		defer c.Close()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := PredictRemote(context.Background(), c, "lin", row); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("stream", func(b *testing.B) {
+		c := rpc.Dial(addr)
+		defer c.Close()
+		ps, err := OpenPredictStream(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ps.Close()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			out, err := ps.Predict("lin", row, time.Time{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tensor.Recycle(out)
+		}
+	})
+}

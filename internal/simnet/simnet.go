@@ -30,9 +30,18 @@ const (
 	GRPC Protocol = iota
 	MPI
 	RDMA
+	// SHM models the same-host shared-memory ring the real transport tier
+	// auto-selects for co-located tasks: sender memcpy into the ring,
+	// receiver memcpy out. The copies pipeline through the ring but share
+	// the node's memory system.
+	SHM
+	// SHMDirect is the RDMA-style zero-copy variant: the payload is handed
+	// over by mapping, one effective traversal of host memory bandwidth —
+	// the same single-copy discipline the verbs path applies to the wire.
+	SHMDirect
 )
 
-var protoNames = [...]string{"grpc", "mpi", "rdma"}
+var protoNames = [...]string{"grpc", "mpi", "rdma", "shm", "shmdirect"}
 
 func (p Protocol) String() string {
 	if int(p) < len(protoNames) {
@@ -48,7 +57,7 @@ func ParseProtocol(s string) (Protocol, error) {
 			return Protocol(i), nil
 		}
 	}
-	return 0, fmt.Errorf("simnet: unknown protocol %q (want grpc|mpi|rdma)", s)
+	return 0, fmt.Errorf("simnet: unknown protocol %q (want grpc|mpi|rdma|shm|shmdirect)", s)
 }
 
 // Placement says which memory a tensor endpoint lives in.
@@ -142,6 +151,38 @@ func TransferPath(c *hw.Cluster, nt *hw.NodeType, proto Protocol, src, dst Place
 	}
 
 	switch proto {
+	case SHM:
+		if src == OnGPU {
+			stageOut("src")
+		}
+		// Both ring copies run concurrently in steady state and contend for
+		// the one memory controller, so each sustains about half the node's
+		// memory bandwidth. Latency is a futex-style wakeup, not a NIC.
+		path = append(path, Segment{
+			Name:    "shm ring write",
+			Latency: 1e-6,
+			BW:      nt.HostMemBW / 2,
+		})
+		path = append(path, Segment{
+			Name:    "shm ring read",
+			Latency: 1e-6,
+			BW:      nt.HostMemBW / 2,
+		})
+		if dst == OnGPU {
+			stageIn("dst")
+		}
+	case SHMDirect:
+		if src == OnGPU {
+			stageOut("src")
+		}
+		path = append(path, Segment{
+			Name:    "shm zero-copy handoff",
+			Latency: 2e-6,
+			BW:      nt.HostMemBW,
+		})
+		if dst == OnGPU {
+			stageIn("dst")
+		}
 	case RDMA:
 		if src == OnGPU {
 			stageOut("src")
@@ -198,11 +239,12 @@ func TransferPath(c *hw.Cluster, nt *hw.NodeType, proto Protocol, src, dst Place
 }
 
 // TransferTime returns the modelled duration of one tensor transfer. RDMA
-// pipelines its hops (chunked zero-copy staging); MPI and gRPC are
-// store-and-forward through host serialization buffers.
+// and the shared-memory paths pipeline their hops (chunked staging through
+// ring or registered buffers); MPI and gRPC are store-and-forward through
+// host serialization buffers.
 func TransferTime(c *hw.Cluster, nt *hw.NodeType, proto Protocol, src, dst Placement, bytes int64) float64 {
 	p := TransferPath(c, nt, proto, src, dst)
-	if proto == RDMA {
+	if proto == RDMA || proto == SHM || proto == SHMDirect {
 		return p.PipelinedTime(bytes)
 	}
 	return p.SerialTime(bytes)

@@ -108,7 +108,7 @@ func TestParseProtocol(t *testing.T) {
 	for _, c := range []struct {
 		s    string
 		want Protocol
-	}{{"grpc", GRPC}, {"mpi", MPI}, {"rdma", RDMA}} {
+	}{{"grpc", GRPC}, {"mpi", MPI}, {"rdma", RDMA}, {"shm", SHM}, {"shmdirect", SHMDirect}} {
 		got, err := ParseProtocol(c.s)
 		if err != nil || got != c.want {
 			t.Fatalf("ParseProtocol(%q) = %v, %v", c.s, got, err)
@@ -119,6 +119,43 @@ func TestParseProtocol(t *testing.T) {
 	}
 	if _, err := ParseProtocol("tcp"); err == nil {
 		t.Fatal("bad protocol should error")
+	}
+}
+
+// TestShmBeatsEveryWireOnHost checks the same-host model: a shared-memory
+// hop must outrun every network protocol at every size — the property the
+// real transport tier's auto-selection relies on — and the zero-copy
+// variant must beat the two-copy ring.
+func TestShmBeatsEveryWireOnHost(t *testing.T) {
+	for _, c := range []*hw.Cluster{hw.Tegner, hw.Kebnekaise} {
+		for name := range c.NodeTypes {
+			for _, size := range []int64{4 << 10, 64 << 10, 2 * mb, 128 * mb} {
+				shm := bwFor(c, name, SHM, OnCPU, size)
+				direct := bwFor(c, name, SHMDirect, OnCPU, size)
+				for _, wire := range []Protocol{GRPC, MPI, RDMA} {
+					if net := bwFor(c, name, wire, OnCPU, size); shm <= net {
+						t.Fatalf("%s/%s %dB: shm %.0f MB/s <= %v %.0f MB/s",
+							c.Name, name, size, shm, wire, net)
+					}
+				}
+				if direct <= shm {
+					t.Fatalf("%s/%s %dB: zero-copy %.0f MB/s <= ring %.0f MB/s",
+						c.Name, name, size, direct, shm)
+				}
+			}
+		}
+	}
+}
+
+// TestShmRingBottleneckIsHalfHostBW pins the two-copy contention model.
+func TestShmRingBottleneckIsHalfHostBW(t *testing.T) {
+	nt := hw.Tegner.NodeTypes["k420"]
+	p := TransferPath(hw.Tegner, nt, SHM, OnCPU, OnCPU)
+	if len(p) != 2 {
+		t.Fatalf("shm CPU path has %d hops, want 2", len(p))
+	}
+	if p.Bottleneck() != nt.HostMemBW/2 {
+		t.Fatalf("shm bottleneck %.0f, want HostMemBW/2 = %.0f", p.Bottleneck(), nt.HostMemBW/2)
 	}
 }
 

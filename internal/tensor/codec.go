@@ -88,7 +88,15 @@ func (t *Tensor) Encode(dst []byte) ([]byte, error) {
 
 // Decode parses one tensor from the front of src and returns it along with
 // the remaining bytes.
-func Decode(src []byte) (*Tensor, []byte, error) {
+func Decode(src []byte) (*Tensor, []byte, error) { return decode(src, false) }
+
+// DecodePooled parses one tensor like Decode but draws rank-1 outputs from
+// the tensor pool — the shape every transport chunk has — so the decode
+// itself allocates nothing in steady state. The caller owns the result and
+// should Recycle it once consumed.
+func DecodePooled(src []byte) (*Tensor, []byte, error) { return decode(src, true) }
+
+func decode(src []byte, pooled bool) (*Tensor, []byte, error) {
 	if len(src) < 1 {
 		return nil, src, fmt.Errorf("tensor: truncated header")
 	}
@@ -105,24 +113,57 @@ func Decode(src []byte) (*Tensor, []byte, error) {
 	if rank > 32 {
 		return nil, src, fmt.Errorf("tensor: implausible rank %d", rank)
 	}
-	shape := make(Shape, rank)
-	for i := range shape {
+	var t *Tensor
+	var elems int
+	if rank == 0 {
+		// Scalars are the streaming-predict per-row result shape; pool them
+		// like flat chunks so that decode path stays allocation-free too.
+		elems = 1
+		if pooled {
+			t = GetPooledScalar(dt)
+		} else {
+			t = New(dt)
+		}
+	} else if rank == 1 {
+		// Flat tensors skip the Shape allocation entirely and may come from
+		// the pool: this is the chunk-relay fast path.
 		d, n := binary.Uvarint(src)
 		if n <= 0 {
 			return nil, src, fmt.Errorf("tensor: truncated shape")
 		}
-		shape[i] = int(d)
 		src = src[n:]
+		if d > uint64(MaxEncodedBytes)/uint64(dt.Size()) {
+			return nil, src, ErrTooLarge
+		}
+		elems = int(d)
+		if pooled {
+			t = GetPooled(dt, elems)
+		} else {
+			t = New(dt, elems)
+		}
+	} else {
+		shape := make(Shape, rank)
+		for i := range shape {
+			d, n := binary.Uvarint(src)
+			if n <= 0 {
+				return nil, src, fmt.Errorf("tensor: truncated shape")
+			}
+			shape[i] = int(d)
+			src = src[n:]
+		}
+		elems = shape.NumElements()
+		if int64(elems)*int64(dt.Size()) > MaxEncodedBytes {
+			return nil, src, ErrTooLarge
+		}
+		t = New(dt, shape...)
 	}
-	elems := shape.NumElements()
 	need := elems * dt.Size()
-	if int64(need) > MaxEncodedBytes {
-		return nil, src, ErrTooLarge
-	}
 	if len(src) < need {
+		if pooled {
+			Recycle(t)
+		}
 		return nil, src, fmt.Errorf("tensor: payload truncated: need %d bytes, have %d", need, len(src))
 	}
-	t := New(dt, shape...)
 	buf := src[:need]
 	switch dt {
 	case Float32:

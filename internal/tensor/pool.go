@@ -1,0 +1,80 @@
+package tensor
+
+import "sync"
+
+// Rank-1 tensor pool for the transport hot paths. Collective chunk relay
+// and streaming predict decode one tensor per message; recycling them keeps
+// the steady state allocation-free. Pooling is exact-size (dtype, elems)
+// keyed — transport chunks repeat the same few sizes thousands of times —
+// and guarded by a plain mutex for the same escape-analysis reason the wire
+// buffer pool avoids sync.Pool.
+//
+// Ownership contract: GetPooled transfers ownership to the caller; contents
+// are unspecified and must be fully overwritten. Recycle transfers it back;
+// the tensor (and any view of its backing slice) must not be used after.
+// Recycling is always optional — a tensor that escapes to application code
+// is simply left to the GC.
+
+type poolKey struct {
+	dt DType
+	n  int // rank-1 length; -1 keys rank-0 scalars (which also hold 1 element)
+}
+
+const (
+	maxPooledPerClass = 64
+	maxPooledBytes    = 8 << 20
+)
+
+var tpool = struct {
+	mu   sync.Mutex
+	free map[poolKey][]*Tensor
+}{free: make(map[poolKey][]*Tensor)}
+
+// GetPooled returns a rank-1 [n] tensor of dt with unspecified contents,
+// reusing a recycled one when available.
+func GetPooled(dt DType, n int) *Tensor {
+	k := poolKey{dt: dt, n: n}
+	tpool.mu.Lock()
+	if s := tpool.free[k]; len(s) > 0 {
+		t := s[len(s)-1]
+		s[len(s)-1] = nil
+		tpool.free[k] = s[:len(s)-1]
+		tpool.mu.Unlock()
+		return t
+	}
+	tpool.mu.Unlock()
+	return New(dt, n)
+}
+
+// GetPooledScalar returns a rank-0 scalar tensor of dt with unspecified
+// contents — the per-row result shape of streaming predict.
+func GetPooledScalar(dt DType) *Tensor {
+	k := poolKey{dt: dt, n: -1}
+	tpool.mu.Lock()
+	if s := tpool.free[k]; len(s) > 0 {
+		t := s[len(s)-1]
+		s[len(s)-1] = nil
+		tpool.free[k] = s[:len(s)-1]
+		tpool.mu.Unlock()
+		return t
+	}
+	tpool.mu.Unlock()
+	return New(dt)
+}
+
+// Recycle offers t back to the pool. Only rank-0 and rank-1 tensors of
+// modest size are retained; anything else is dropped for the GC to take.
+func Recycle(t *Tensor) {
+	if t == nil || len(t.shape) > 1 || t.ByteSize() > maxPooledBytes {
+		return
+	}
+	k := poolKey{dt: t.dtype, n: -1}
+	if len(t.shape) == 1 {
+		k.n = t.shape[0]
+	}
+	tpool.mu.Lock()
+	if len(tpool.free[k]) < maxPooledPerClass {
+		tpool.free[k] = append(tpool.free[k], t)
+	}
+	tpool.mu.Unlock()
+}

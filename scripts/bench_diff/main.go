@@ -11,14 +11,25 @@
 // (a silently vanished benchmark is itself a regression); new metrics pass
 // with a note — commit a refreshed baseline to start gating them.
 // -update rewrites the baseline from the current report instead of diffing.
+//
+// -allocs switches to the allocation-regression gate: -current is then raw
+// `go test -bench -benchmem` output and -baseline a committed JSON map of
+// benchmark name → allocs/op. Any growth fails — the zero-alloc hot loops
+// are an invariant, not a trend, so there is no tolerance band:
+//
+//	go test -run='^$' -bench=... -benchmem ./... > BENCH_allocs.txt
+//	go run ./scripts/bench_diff -allocs -baseline scripts/alloc_baseline.json -current BENCH_allocs.txt
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"encoding/json"
 
@@ -76,11 +87,12 @@ func extract(r *bench.Report) []metric {
 		}
 	}
 	for _, s := range r.Serving {
-		key := fmt.Sprintf("serving/%s/b%d", s.Mode, s.MaxBatch)
+		key := fmt.Sprintf("serving/%s/c%d/b%d", s.Mode, s.Clients, s.MaxBatch)
 		add(key+"/throughput_rps", s.ThroughputRps, false)
-		if s.Mode == "closed" {
-			add(key+"/p99_ms", s.Latency.P99Ms, true)
-		}
+		// p99 is gated in both modes: closed-loop catches "batching broke",
+		// the high-fan-in open-loop row catches "the transport tier stopped
+		// holding tail latency at 4x the closed-loop connection count".
+		add(key+"/p99_ms", s.Latency.P99Ms, true)
 	}
 	return ms
 }
@@ -117,8 +129,14 @@ func main() {
 	// gate reserves its teeth for "batching broke, p99 went to 30ms".
 	latSlack := flag.Float64("latency-slack-ms", 1.0, "absolute ms a latency metric may rise regardless of percentage")
 	update := flag.Bool("update", false, "rewrite the baseline from the current report")
+	allocs := flag.Bool("allocs", false, "gate -benchmem allocs/op instead of the perf report (baseline is a JSON name->allocs map)")
+	allocSlack := flag.Float64("allocs-slack", 2, "allocs/op a nonzero-baseline benchmark may grow by (zero baselines are exact: the first allocation fails)")
 	flag.Parse()
 
+	if *allocs {
+		allocsGate(*baselinePath, *currentPath, *allocSlack, *update)
+		return
+	}
 	cur, err := load(*currentPath)
 	if err != nil {
 		fatal(err)
@@ -198,6 +216,120 @@ func main() {
 		fatal(fmt.Errorf("%d metric(s) regressed beyond %.0f%%", regressions, *tol*100))
 	}
 	fmt.Printf("bench_diff: %d metrics within %.0f%% of baseline\n", len(names), *tol*100)
+}
+
+// allocsGate compares allocs/op from raw `go test -benchmem` output
+// against the committed JSON baseline. A zero-alloc baseline is an exact
+// invariant — its first allocation fails; nonzero baselines (the legacy
+// call paths kept for comparison) may drift by the slack before failing.
+// A vanished benchmark always fails; shrinkage passes (refresh the
+// baseline with -update to lock the improvement in).
+func allocsGate(baselinePath, currentPath string, slack float64, update bool) {
+	cur, err := parseBenchAllocs(currentPath)
+	if err != nil {
+		fatal(err)
+	}
+	if len(cur) == 0 {
+		fatal(fmt.Errorf("%s: no 'allocs/op' benchmark lines found", currentPath))
+	}
+	if update {
+		buf, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(baselinePath, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("bench_diff: alloc baseline %s updated from %s\n", baselinePath, currentPath)
+		return
+	}
+	buf, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	base := map[string]float64{}
+	if err := json.Unmarshal(buf, &base); err != nil {
+		fatal(fmt.Errorf("%s: %w", baselinePath, err))
+	}
+
+	names := make([]string, 0, len(base))
+	for n := range base {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	regressions := 0
+	fmt.Printf("%-52s %10s %10s\n", "benchmark", "base a/op", "cur a/op")
+	for _, n := range names {
+		c, ok := cur[n]
+		if !ok {
+			fmt.Printf("%-52s %10.0f %10s  REGRESSION (benchmark vanished)\n", n, base[n], "-")
+			regressions++
+			continue
+		}
+		bound := base[n]
+		if bound > 0 {
+			bound += slack
+		}
+		verdict := ""
+		if c > bound {
+			verdict = "  REGRESSION (allocs/op grew)"
+			regressions++
+		}
+		fmt.Printf("%-52s %10.0f %10.0f%s\n", n, base[n], c, verdict)
+	}
+	for _, n := range sortedNewAllocs(base, cur) {
+		fmt.Printf("%-52s %10s %10.0f  (new, not gated)\n", n, "-", cur[n])
+	}
+	if regressions > 0 {
+		fatal(fmt.Errorf("%d benchmark(s) regressed on allocs/op", regressions))
+	}
+	fmt.Printf("bench_diff: %d benchmarks at or below their alloc baseline\n", len(names))
+}
+
+// parseBenchAllocs extracts name → allocs/op from `go test -benchmem`
+// output. The -procs suffix is stripped so baselines travel across runner
+// core counts.
+func parseBenchAllocs(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasSuffix(line, "allocs/op") || !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[len(fields)-2], 64)
+		if err != nil {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		out[name] = v
+	}
+	return out, sc.Err()
+}
+
+func sortedNewAllocs(base, cur map[string]float64) []string {
+	var out []string
+	for n := range cur {
+		if _, ok := base[n]; !ok {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // sortedNew lists metrics present only in the current report.
