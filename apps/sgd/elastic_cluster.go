@@ -1,0 +1,142 @@
+package sgd
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"tfhpc/internal/cluster"
+	"tfhpc/internal/graph"
+	"tfhpc/internal/session"
+	"tfhpc/internal/tensor"
+)
+
+// Cluster elastic deployment: one collective group name ("sgd") across all
+// generations, rebuilt by the coordinator with a strictly increasing epoch —
+// the transports' epoch fences are what keep a zombie incarnation's traffic
+// out of the rebuilt group. Liveness is real (Health RPCs with retry), so a
+// kill -9'd task that restarts on its old address is folded back in at the
+// next checkpoint boundary without any driver-side simulation.
+
+const elasticClusterGroup = "sgd"
+
+type clusterElastic struct {
+	cfg   Config
+	copts ClusterOptions
+	eopts ElasticOptions
+	peers *cluster.Peers
+	job   string
+	coord *cluster.Coordinator
+
+	mu   sync.Mutex
+	down map[int]bool // tasks the driver killed itself (simulated crash)
+}
+
+func newClusterElastic(cfg Config, peers *cluster.Peers, copts ClusterOptions, eopts ElasticOptions) *clusterElastic {
+	job := copts.Job
+	if job == "" {
+		job = "worker"
+	}
+	return &clusterElastic{
+		cfg:   cfg,
+		copts: copts,
+		eopts: eopts,
+		peers: peers,
+		job:   job,
+		coord: cluster.NewCoordinator(peers, job),
+		down:  make(map[int]bool),
+	}
+}
+
+func (b *clusterElastic) setup(active []int, gen int) ([]*session.Session, error) {
+	if _, err := b.coord.Init(elasticClusterGroup, active, cluster.CollectiveOptions{
+		ChunkBytes: b.copts.ChunkBytes,
+		Fusion:     b.cfg.fusionOptions(),
+	}); err != nil {
+		return nil, err
+	}
+	sessions := make([]*session.Session, len(active))
+	for slot, task := range active {
+		g := buildWorkerPre(b.cfg, elasticPre(gen, slot), elasticClusterGroup,
+			fmt.Sprintf("/job:%s/task:%d", b.job, task))
+		sess, err := session.New(g, nil, session.Options{LocalJob: "client", Remote: b.peers})
+		if err != nil {
+			return nil, err
+		}
+		sessions[slot] = sess
+	}
+	return sessions, nil
+}
+
+func (b *clusterElastic) assign(active []int, slot int, name string, val *tensor.Tensor) error {
+	dev := graph.DeviceSpec{Job: b.job, Task: active[slot]}
+	_, err := b.peers.RunRemoteOp(dev, "Assign", "init/"+name,
+		graph.Attrs{"var_name": name}, []string{"value"}, []*tensor.Tensor{val})
+	return err
+}
+
+func (b *clusterElastic) read(active []int, slot int, name string) (*tensor.Tensor, error) {
+	return b.peers.RunRemoteOp(graph.DeviceSpec{Job: b.job, Task: active[slot]},
+		"Variable", "read/w", graph.Attrs{"var_name": name}, nil, nil)
+}
+
+func (b *clusterElastic) abort(int) { b.coord.Abort(elasticClusterGroup) }
+
+func (b *clusterElastic) probe(task int) error {
+	b.mu.Lock()
+	if b.down[task] {
+		// The driver killed this task itself; don't let the probe's retry
+		// window race the (test-orchestrated) restart into a no-op shrink.
+		b.mu.Unlock()
+		return fmt.Errorf("sgd: task %d was crash-injected", task)
+	}
+	b.mu.Unlock()
+	return b.coord.Probe(task)
+}
+
+func (b *clusterElastic) announced(task int) bool {
+	if b.coord.ProbeOnce(task) != nil {
+		return false
+	}
+	b.mu.Lock()
+	delete(b.down, task)
+	b.mu.Unlock()
+	return true
+}
+
+func (b *clusterElastic) kill(task int) {
+	if b.eopts.Kill == nil {
+		return // real deployments crash tasks from outside (CI: kill -9)
+	}
+	b.mu.Lock()
+	b.down[task] = true
+	b.mu.Unlock()
+	b.eopts.Kill(task)
+}
+
+func (b *clusterElastic) close() {}
+
+// RunElasticCluster trains elastically over an already-running cluster. The
+// task count of the job is the full width; the run starts over every task
+// that answers health probes and survives losing all but MinWorkers of them.
+func RunElasticCluster(cfg Config, peers *cluster.Peers, copts ClusterOptions, eopts ElasticOptions) (*ElasticResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	job := copts.Job
+	if job == "" {
+		job = "worker"
+	}
+	if got := peers.Spec().NumTasks(job); got != cfg.Workers {
+		return nil, fmt.Errorf("sgd: %d workers requested but job %q has %d tasks (counts must match)", cfg.Workers, job, got)
+	}
+	wait := copts.HealthWait
+	if wait <= 0 {
+		wait = 10 * time.Second
+	}
+	if err := peers.WaitHealthy(job, wait); err != nil {
+		return nil, err
+	}
+	be := newClusterElastic(cfg, peers, copts, eopts)
+	return runElastic(cfg, be, eopts)
+}

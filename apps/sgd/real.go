@@ -68,7 +68,11 @@ func (c Config) fusionOptions() collective.FusionOptions {
 
 // concatWeights reassembles the flat weight vector from per-tensor reads.
 func concatWeights(cfg Config, read func(name string) (*tensor.Tensor, error), w int) (*tensor.Tensor, error) {
-	pre := fmt.Sprintf("w%d/", w)
+	return concatWeightsPre(cfg, read, fmt.Sprintf("w%d/", w))
+}
+
+// concatWeightsPre is concatWeights under an explicit variable prefix.
+func concatWeightsPre(cfg Config, read func(name string) (*tensor.Tensor, error), pre string) (*tensor.Tensor, error) {
 	if !cfg.multiTensor() {
 		return read(pre + "w")
 	}

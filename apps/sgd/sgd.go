@@ -132,9 +132,24 @@ func Shard(cfg Config, w int) (x, y *tensor.Tensor) {
 // driver fetches each loss one step late and drains the last after the
 // loop.
 func buildWorker(cfg Config, w int, group, device string) *graph.Graph {
-	pre := fmt.Sprintf("w%d/", w)
+	return buildWorkerPre(cfg, fmt.Sprintf("w%d/", w), group, device)
+}
+
+// buildWorkerPre is buildWorker with an explicit variable-name prefix. The
+// elastic runner uses generation-qualified prefixes (g<gen>/w<slot>/) so a
+// task that hosts different shard sizes across memberships never collides
+// with its own earlier variables.
+//
+// Every graph also carries a "ckpt_barrier" node — a scalar allreduce the
+// driver targets in its own Run to bracket checkpoints: when it completes on
+// rank 0, every rank has finished the step, so the weights read for the
+// checkpoint are the group-wide consistent state. Unfetched it is pruned.
+func buildWorkerPre(cfg Config, pre, group, device string) *graph.Graph {
 	g := graph.New()
 	build := func() {
+		g.AddNamedOp("ckpt_barrier", "AllReduce",
+			graph.Attrs{"group": group, "key": "ckpt_barrier"},
+			g.Const(tensor.ScalarF64(1)))
 		if cfg.multiTensor() {
 			buildMultiTensor(cfg, g, pre, group)
 			return
@@ -210,6 +225,7 @@ func buildMultiTensor(cfg Config, g *graph.Graph, pre, group string) {
 	}
 	gradScale := g.Const(tensor.ScalarF64(2.0 / float64(cfg.TotalRows())))
 	negLR := g.AddNamedOp("neg_lr", "Neg", nil, lrPH)
+	gSums := make([]*graph.Node, T)
 	for t := 0; t < T; t++ {
 		var gLocal *graph.Node
 		g.WithDevice("/device:GPU:0", func() {
@@ -217,6 +233,7 @@ func buildMultiTensor(cfg Config, g *graph.Graph, pre, group string) {
 		})
 		gSum := g.AddNamedOp(fmt.Sprintf("g_sum%d", t), gradOp,
 			graph.Attrs{"group": group, "key": fmt.Sprintf("g_sum%d", t)}, gLocal)
+		gSums[t] = gSum
 		gAvg := g.AddNamedOp(fmt.Sprintf("g_avg%d", t), "Scale", nil, gradScale, gSum)
 		wNew := g.AddNamedOp(fmt.Sprintf("w_new%d", t), "Axpy", nil, negLR, gAvg, wVars[t])
 		g.AddNamedOp(saveTarget(t), "Assign", graph.Attrs{"var_name": weightVarName(pre, t)}, wNew)
@@ -227,6 +244,18 @@ func buildMultiTensor(cfg Config, g *graph.Graph, pre, group string) {
 	// in-flight collectives within one Run.
 	partialLoss := g.AddNamedOp("partial_loss", "Dot", nil, resid, resid)
 	invM := g.Const(tensor.ScalarF64(1.0 / float64(cfg.TotalRows())))
+
+	// Synchronous loss alongside the async pair, for drivers that cannot
+	// carry an in-flight handle across a membership change (the elastic
+	// runner): same reduction, ordered after every gradient allreduce, pruned
+	// when unfetched.
+	lossSync := g.AddNamedOp("loss_sum", "AllReduce",
+		graph.Attrs{"group": group, "key": "loss_sum"}, partialLoss)
+	for _, gSum := range gSums {
+		lossSync.AddControlDep(gSum)
+	}
+	g.AddNamedOp("loss", "Scale", nil, invM, lossSync)
+
 	for _, par := range []string{"even", "odd"} {
 		g.AddNamedOp("loss_start_"+par, "AllReduceStart",
 			graph.Attrs{"group": group, "key": "loss_" + par, "handle": "loss_" + par}, partialLoss)

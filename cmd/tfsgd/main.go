@@ -12,9 +12,15 @@
 // through async handles) and -fuse coalesces those allreduces through the
 // fusion buffer — bit-identical results, one collective pass per step.
 //
+// Elastic mode is cluster mode that survives rank loss: checkpoints every
+// -ckpt-every steps, shrinks the group around a dead task, resumes from the
+// checkpoint, and folds a restarted task back in at the next boundary. It
+// prints a machine-parseable summary line for CI.
+//
 //	tfsgd -mode real -features 4096 -rows 1024 -workers 4 -steps 50
 //	tfsgd -mode cluster -spec 127.0.0.1:7000,127.0.0.1:7001 -workers 2
 //	tfsgd -mode cluster -spec ... -workers 4 -param-tensors 8 -fuse
+//	tfsgd -mode elastic -spec ... -workers 4 -ckpt-file sgd.ckpt -step-delay 50ms
 //	tfsgd -mode sim -cluster kebnekaise -node v100 -proto rdma -features 1048576
 //	tfsgd -mode real -features 256 -checkpoint model.ckpt   # then: tfserve -model m=model.ckpt
 package main
@@ -34,7 +40,7 @@ import (
 )
 
 func main() {
-	mode := flag.String("mode", "real", "real|cluster|sim")
+	mode := flag.String("mode", "real", "real|cluster|elastic|sim")
 	features := flag.Int("features", 1024, "model dimension")
 	rows := flag.Int("rows", 512, "samples per worker shard")
 	workers := flag.Int("workers", 4, "data-parallel replicas")
@@ -50,6 +56,10 @@ func main() {
 	ckpt := flag.String("checkpoint", "", "save the trained weights as a servable linear-model checkpoint (tfserve -model)")
 	paramTensors := flag.Int("param-tensors", 1, "split the weights into this many parameter tensors (Horovod shape: one gradient allreduce each, loss double-buffered async)")
 	fuse := flag.Bool("fuse", false, "coalesce the per-tensor gradient allreduces through the fusion buffer (bit-identical to unfused)")
+	ckptFile := flag.String("ckpt-file", "", "elastic: training checkpoint path (atomic, CRC-trailered; resume source after rank loss)")
+	ckptEvery := flag.Int("ckpt-every", 5, "elastic: checkpoint every K steps")
+	minWorkers := flag.Int("min-workers", 1, "elastic: fail the run when live tasks drop below this")
+	stepDelay := flag.Duration("step-delay", 0, "elastic: sleep before each step (widens the window an external kill must land in)")
 	flag.Parse()
 
 	cfg := sgd.Config{
@@ -87,6 +97,31 @@ func main() {
 		report("cluster", cfg, res)
 		check(res)
 		saveCheckpoint(*ckpt, cfg, res)
+	case "elastic":
+		if *spec == "" {
+			fatal(fmt.Errorf("elastic mode needs -spec host:port,host:port,..."))
+		}
+		addrs := strings.Split(*spec, ",")
+		peers := cluster.NewPeers(cluster.Spec{*job: addrs})
+		defer peers.Close()
+		res, err := sgd.RunElasticCluster(cfg, peers, sgd.ClusterOptions{Job: *job}, sgd.ElasticOptions{
+			CkptPath:   *ckptFile,
+			CkptEvery:  *ckptEvery,
+			MinWorkers: *minWorkers,
+			StepDelay:  *stepDelay,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		report("elastic", cfg, &res.Result)
+		check(&res.Result)
+		// Machine-parseable for the CI smoke harness.
+		fmt.Printf("sgd elastic: final_loss=%.9g shrinks=%d grows=%d rebuilds=%d resumes=%d workers=%d\n",
+			res.FinalLoss, res.Shrinks, res.Grows, res.Rebuilds, res.Resumes, res.FinalWorkers)
+		saveCheckpoint(*ckpt, cfg, &res.Result)
 	case "sim":
 		c, nt, err := hw.NodeTypeByName(*clusterName, *node)
 		if err != nil {

@@ -6,14 +6,33 @@
 package checkpoint
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
+	"path/filepath"
 
 	"tfhpc/internal/tensor"
 	"tfhpc/internal/vars"
 	"tfhpc/internal/wire"
 )
+
+// ErrCorrupt marks integrity failures: truncated files, missing trailers,
+// CRC mismatches. Every such error wraps it, so callers distinguish "this
+// checkpoint is damaged — fall back to an older one or fail the restore"
+// from transient I/O errors with errors.Is(err, ErrCorrupt).
+var ErrCorrupt = errors.New("checkpoint: corrupt")
+
+// Trailer layout appended to every encoded checkpoint: CRC32-Castagnoli of
+// the payload (4 bytes little-endian) followed by a magic tag. A crash
+// mid-write leaves either no file (saves are temp+rename) or — if an
+// external copy truncates — a payload whose trailer is missing or whose CRC
+// disagrees; both fail loudly at Decode.
+const trailerMagic = "TFCK"
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Checkpoint is an in-memory snapshot.
 type Checkpoint struct {
@@ -41,6 +60,8 @@ func (c *Checkpoint) Apply(store *vars.Store) error {
 //	field 1: graph id (string)
 //	field 2: step (varint)
 //	field 3: repeated entry { 1: name, 2: tensor bytes }
+//
+// followed by the integrity trailer (payload CRC32C + magic).
 func (c *Checkpoint) Encode() ([]byte, error) {
 	e := wire.NewEncoder()
 	e.String(1, c.GraphID)
@@ -65,11 +86,28 @@ func (c *Checkpoint) Encode() ([]byte, error) {
 			ve.BytesField(2, buf)
 		})
 	}
-	return e.Bytes(), nil
+	payload := e.Bytes()
+	out := make([]byte, len(payload), len(payload)+8)
+	copy(out, payload)
+	out = binary.LittleEndian.AppendUint32(out, crc32.Checksum(payload, crcTable))
+	return append(out, trailerMagic...), nil
 }
 
-// Decode parses an encoded checkpoint.
+// Decode verifies the integrity trailer and parses the payload. Trailer
+// failures wrap ErrCorrupt.
 func Decode(buf []byte) (*Checkpoint, error) {
+	if len(buf) < 8 {
+		return nil, fmt.Errorf("%w: %d bytes, shorter than the trailer", ErrCorrupt, len(buf))
+	}
+	if string(buf[len(buf)-4:]) != trailerMagic {
+		return nil, fmt.Errorf("%w: missing %q trailer (truncated or not a checkpoint)", ErrCorrupt, trailerMagic)
+	}
+	payload := buf[:len(buf)-8]
+	want := binary.LittleEndian.Uint32(buf[len(buf)-8:])
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return nil, fmt.Errorf("%w: crc mismatch (file %08x, payload %08x)", ErrCorrupt, want, got)
+	}
+	buf = payload
 	c := &Checkpoint{Vars: make(map[string]*tensor.Tensor)}
 	d := wire.NewDecoder(buf)
 	for {
@@ -139,17 +177,36 @@ func Decode(buf []byte) (*Checkpoint, error) {
 	return c, nil
 }
 
-// Save writes the checkpoint to path atomically (temp file + rename).
+// Save writes the checkpoint to path atomically: encode, write to a fresh
+// temp file in the same directory, fsync, rename. A crash at any point
+// leaves either the previous checkpoint or the new one — never a partial
+// file under the final name.
 func (c *Checkpoint) Save(path string) error {
 	buf, err := c.Encode()
 	if err != nil {
 		return err
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
+	}
+	f, err := os.CreateTemp(dir, base+".tmp*")
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	tmp := f.Name()
+	_, werr := f.Write(buf)
+	serr := f.Sync()
+	cerr := f.Close()
+	if err := errors.Join(werr, serr, cerr); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
 }
 
 // Load reads a checkpoint from path.

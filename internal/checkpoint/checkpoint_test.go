@@ -1,7 +1,10 @@
 package checkpoint
 
 import (
+	"errors"
+	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"tfhpc/internal/tensor"
@@ -121,5 +124,99 @@ func TestRestartContinuesBitExact(t *testing.T) {
 func TestDecodeGarbage(t *testing.T) {
 	if _, err := Decode([]byte{0xFF, 0xFF, 0x01}); err == nil {
 		t.Fatal("garbage should error")
+	}
+}
+
+func TestDecodeCorruptTyped(t *testing.T) {
+	buf, err := Capture("cg:v1", 7, populated()).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A single flipped payload bit must trip the CRC with the typed error.
+	for _, pos := range []int{0, len(buf) / 2, len(buf) - 9} {
+		bad := append([]byte(nil), buf...)
+		bad[pos] ^= 0x40
+		_, err := Decode(bad)
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("bit flip at %d: err = %v, want ErrCorrupt", pos, err)
+		}
+	}
+
+	// Truncation anywhere — inside the payload or the trailer — is corrupt.
+	for _, n := range []int{0, 3, 7, len(buf) - 1, len(buf) - 4, len(buf) / 2} {
+		_, err := Decode(buf[:n])
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncated to %d bytes: err = %v, want ErrCorrupt", n, err)
+		}
+	}
+
+	// The intact encoding still decodes.
+	if _, err := Decode(buf); err != nil {
+		t.Fatalf("intact checkpoint: %v", err)
+	}
+}
+
+func TestRestoreCorruptFileFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ckpt")
+	if err := Capture("cg:v1", 42, populated()).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/3] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Restore(path, "cg:v1", vars.NewStore())
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("restore of corrupt file: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestSaveLeavesNoTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ckpt")
+	for i := 0; i < 3; i++ {
+		if err := Capture("cg:v1", int64(i), populated()).Save(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name() != "model.ckpt" {
+			t.Fatalf("stray file %q after save", e.Name())
+		}
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file %q left behind", e.Name())
+		}
+	}
+	if len(ents) != 1 {
+		t.Fatalf("%d files in checkpoint dir, want 1", len(ents))
+	}
+}
+
+func TestSaveRelativePath(t *testing.T) {
+	// A bare filename (no directory component) must still save atomically.
+	dir := t.TempDir()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(old)
+	if err := Capture("cg:v1", 1, populated()).Save("bare.ckpt"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore("bare.ckpt", "cg:v1", vars.NewStore()); err != nil {
+		t.Fatal(err)
 	}
 }

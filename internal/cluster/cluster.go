@@ -6,6 +6,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -489,21 +490,29 @@ func (p *Peers) Health(job string, task int) error {
 	return err
 }
 
-// WaitHealthy polls every task of a job until it answers Health or the
-// deadline passes — the client-side readiness gate for clusters whose tasks
-// are separate processes racing the driver (CI boots them with &).
+// HealthRetry pings a task under a retry policy: transient connection
+// failures (the task is mid-restart) back off and retry, handler errors and
+// context expiry are final. The elastic coordinator's liveness probe.
+func (p *Peers) HealthRetry(ctx context.Context, job string, task int, pol rpc.RetryPolicy) error {
+	c, err := p.client(job, task)
+	if err != nil {
+		return err
+	}
+	_, err = c.CallRetry(ctx, "Health", nil, pol)
+	return err
+}
+
+// WaitHealthy waits for every task of a job to answer Health, retrying
+// transient failures with exponential backoff + jitter until the deadline —
+// the client-side readiness gate for clusters whose tasks are separate
+// processes racing the driver (CI boots them with &).
 func (p *Peers) WaitHealthy(job string, deadline time.Duration) error {
-	until := time.Now().Add(deadline)
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	defer cancel()
+	pol := rpc.RetryPolicy{Attempts: 1 << 20, Base: 20 * time.Millisecond, Max: 500 * time.Millisecond}
 	for task := 0; task < p.spec.NumTasks(job); task++ {
-		for {
-			err := p.Health(job, task)
-			if err == nil {
-				break
-			}
-			if time.Now().After(until) {
-				return fmt.Errorf("cluster: task /job:%s/task:%d not healthy after %v: %w", job, task, deadline, err)
-			}
-			time.Sleep(50 * time.Millisecond)
+		if err := p.HealthRetry(ctx, job, task, pol); err != nil {
+			return fmt.Errorf("cluster: task /job:%s/task:%d not healthy after %v: %w", job, task, deadline, err)
 		}
 	}
 	return nil
@@ -530,20 +539,44 @@ type CollectiveOptions struct {
 // an existing group name replaces (and closes) the old membership, so a
 // restarted driver can rebuild its rings.
 func (p *Peers) InitCollective(job, group string, opts CollectiveOptions) error {
-	addrs, ok := p.spec[job]
-	if !ok {
+	if _, ok := p.spec[job]; !ok {
 		return fmt.Errorf("cluster: unknown job %q", job)
 	}
-	// One epoch per incarnation: every rank's transport fences its message
-	// keys with it, so chunks still in flight from an aborted predecessor
-	// can never be reduced into this membership's collectives.
-	epoch := uint64(time.Now().UnixNano())
-	for task := range addrs {
+	tasks := make([]int, p.spec.NumTasks(job))
+	for i := range tasks {
+		tasks[i] = i
+	}
+	// One epoch per incarnation: every rank's transport fences its traffic
+	// with it, so chunks still in flight from an aborted predecessor can
+	// never be reduced into this membership's collectives.
+	return p.InitCollectiveTasks(job, group, tasks, opts, uint64(time.Now().UnixNano()))
+}
+
+// InitCollectiveTasks joins a subset of a job's tasks into one collective
+// group: the i-th entry of tasks becomes rank i, over that subset's
+// addresses. This is the elastic rebuild primitive — after a task loss the
+// coordinator re-runs it over the survivors with a higher epoch (shrink),
+// and again over the full set when a replacement answers probes (grow).
+// The epoch must be strictly greater than the group's previous one; every
+// task's transport fences out traffic from older incarnations.
+func (p *Peers) InitCollectiveTasks(job, group string, tasks []int, opts CollectiveOptions, epoch uint64) error {
+	if len(tasks) == 0 {
+		return fmt.Errorf("cluster: InitCollectiveTasks %q with no tasks", group)
+	}
+	addrs := make([]string, len(tasks))
+	for i, task := range tasks {
+		a, err := p.spec.Address(job, task)
+		if err != nil {
+			return err
+		}
+		addrs[i] = a
+	}
+	for i, task := range tasks {
 		c, err := p.client(job, task)
 		if err != nil {
 			return err
 		}
-		req := encodeCollInit(group, task, addrs, opts, epoch)
+		req := encodeCollInit(group, i, addrs, opts, epoch)
 		if _, err := c.Call("CollInit", req); err != nil {
 			return fmt.Errorf("cluster: CollInit on /job:%s/task:%d: %w", job, task, err)
 		}

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"tfhpc/internal/rpc"
+)
+
+// Elastic membership. The coordinator is the driver-side half of the
+// Horovod-elastic protocol on our own engine: it probes task liveness,
+// decides the current membership, and rebuilds collective groups over the
+// survivors with a strictly increasing epoch. The transports do the other
+// half — every tier fences traffic from older epochs with a typed
+// StaleEpochError — so a zombie rank that missed its own eviction cannot
+// corrupt the group that replaced it. Checkpoint-resume and data resharding
+// live with the workload (apps/sgd); this type only answers "who is alive"
+// and "rebuild the group around them".
+
+// Coordinator tracks live tasks of one job and issues epoch-fenced group
+// rebuilds. Safe for use from one driver goroutine; the epoch counter is
+// internally locked so probes may run concurrently.
+type Coordinator struct {
+	peers *Peers
+	job   string
+
+	// ProbePolicy bounds each liveness probe (HealthRetry). The zero value
+	// applies a short default suited to in-process restarts; CI-scale
+	// process restarts want a longer Max.
+	ProbePolicy rpc.RetryPolicy
+	// ProbeTimeout caps one Probe call end to end.
+	ProbeTimeout time.Duration
+
+	mu    sync.Mutex
+	epoch uint64
+}
+
+// NewCoordinator tracks the given job's tasks. The epoch sequence is seeded
+// from the wall clock so a restarted driver still supersedes groups built by
+// its predecessor.
+func NewCoordinator(peers *Peers, job string) *Coordinator {
+	return &Coordinator{
+		peers:        peers,
+		job:          job,
+		ProbePolicy:  rpc.RetryPolicy{Attempts: 4, Base: 25 * time.Millisecond, Max: 250 * time.Millisecond},
+		ProbeTimeout: 3 * time.Second,
+		epoch:        uint64(time.Now().UnixNano()),
+	}
+}
+
+// Epoch returns the last epoch issued by Init.
+func (c *Coordinator) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// nextEpoch returns a fresh epoch, strictly greater than every previous one
+// and never behind the wall clock (so it also supersedes groups built by
+// plain InitCollective, which stamps UnixNano directly).
+func (c *Coordinator) nextEpoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := uint64(time.Now().UnixNano())
+	if e <= c.epoch {
+		e = c.epoch + 1
+	}
+	c.epoch = e
+	return e
+}
+
+// Probe checks one task's liveness, retrying transient connection failures
+// under ProbePolicy within ProbeTimeout. nil means the task answered.
+func (c *Coordinator) Probe(task int) error {
+	ctx, cancel := context.WithTimeout(context.Background(), c.ProbeTimeout)
+	defer cancel()
+	return c.peers.HealthRetry(ctx, c.job, task, c.ProbePolicy)
+}
+
+// ProbeOnce checks one task's liveness with a single ping and no retries —
+// the cheap form for "has the dead task come back yet" polling, where a
+// refused connection is the expected answer, not a transient to ride out.
+func (c *Coordinator) ProbeOnce(task int) error {
+	return c.peers.Health(c.job, task)
+}
+
+// Survivors probes every listed task and returns the ones that answered, in
+// the given order. The complement of the result is the casualty list.
+func (c *Coordinator) Survivors(tasks []int) []int {
+	alive := make([]int, 0, len(tasks))
+	for _, t := range tasks {
+		if c.Probe(t) == nil {
+			alive = append(alive, t)
+		}
+	}
+	return alive
+}
+
+// Init (re)builds the named collective group over the given tasks — the
+// i-th becomes rank i — under a fresh epoch, which it returns. Stale
+// incarnations on every member are superseded and fenced as a side effect
+// of the epoch bump.
+func (c *Coordinator) Init(group string, tasks []int, opts CollectiveOptions) (uint64, error) {
+	if len(tasks) == 0 {
+		return 0, fmt.Errorf("cluster: elastic init of %q with no live tasks", group)
+	}
+	epoch := c.nextEpoch()
+	if err := c.peers.InitCollectiveTasks(c.job, group, tasks, opts, epoch); err != nil {
+		return 0, err
+	}
+	return epoch, nil
+}
+
+// Abort poisons the named group on every reachable task, unblocking ranks
+// stuck inside a collective whose peer died. Best-effort.
+func (c *Coordinator) Abort(group string) {
+	c.peers.AbortCollective(c.job, group)
+}

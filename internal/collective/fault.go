@@ -19,6 +19,7 @@ type Faulty struct {
 
 	mu    sync.Mutex
 	sends int
+	recvs int
 }
 
 // NewFaulty wraps inner under the given plan.
@@ -49,8 +50,18 @@ func (f *Faulty) Send(to int, key string, tg uint64, t *tensor.Tensor) error {
 	return f.inner.Send(to, key, tg, t)
 }
 
-// Recv delegates to the inner endpoint.
+// Recv delegates to the inner endpoint unless the plan's recv-side drop
+// budget is spent, in which case the endpoint closes itself and fails —
+// modelling a task that dies while waiting on inbound traffic.
 func (f *Faulty) Recv(from int, key string, tg uint64) (*tensor.Tensor, error) {
+	f.mu.Lock()
+	f.recvs++
+	n := f.recvs
+	f.mu.Unlock()
+	if f.plan.ShouldDropRecv(f.Rank(), n) {
+		f.inner.Close()
+		return nil, fmt.Errorf("collective: injected fault: rank %d dropped after %d recvs", f.Rank(), n-1)
+	}
 	return f.inner.Recv(from, key, tg)
 }
 

@@ -13,8 +13,9 @@ type loopbackFabric struct {
 	size  int
 	lanes [][]*lane // lanes[to][from]
 
-	mu   sync.Mutex
-	down []bool
+	mu     sync.Mutex
+	down   []bool
+	fenced error // non-nil once a newer incarnation superseded this fabric
 }
 
 // Loopback is one rank's endpoint of an in-process group.
@@ -57,6 +58,9 @@ func (l *Loopback) checkPeer(peer string, r int) error {
 	}
 	l.fabric.mu.Lock()
 	defer l.fabric.mu.Unlock()
+	if l.fabric.fenced != nil {
+		return l.fabric.fenced
+	}
 	if l.fabric.down[l.rank] {
 		return fmt.Errorf("collective: rank %d is closed", l.rank)
 	}
@@ -103,4 +107,26 @@ func (l *Loopback) Close() error {
 		f.lanes[l.rank][from].fail(err)
 	}
 	return nil
+}
+
+// Fence marks the whole fabric superseded by a newer group incarnation:
+// every endpoint's Send and Recv — including sends into still-healthy lanes,
+// which would otherwise be dropped silently — fails with the typed
+// StaleEpochError from now on, and blocked receivers wake with it. Calling
+// Fence on any endpoint fences all of them; they share one fabric.
+func (l *Loopback) Fence(group string, have, current uint64) {
+	f := l.fabric
+	f.mu.Lock()
+	if f.fenced != nil {
+		f.mu.Unlock()
+		return
+	}
+	err := &StaleEpochError{Group: group, Have: have, Current: current}
+	f.fenced = err
+	f.mu.Unlock()
+	for to := range f.lanes {
+		for from := range f.lanes[to] {
+			f.lanes[to][from].fail(err)
+		}
+	}
 }

@@ -175,24 +175,32 @@ type shmKey struct {
 // ShmInbox is the receiving side of a task's shared-memory fast path: one
 // ring per (group, epoch, sender). Senders create rings on demand — a peer
 // may construct its transport before ours exists — and the owning
-// transport's drainers pump them into hub lanes.
+// transport's drainers pump them into hub lanes. A per-group epoch fence
+// (Fence, raised when a newer incarnation's transport constructs) rejects
+// stale senders with the typed StaleEpochError.
 type ShmInbox struct {
 	mu     sync.Mutex
 	rings  map[shmKey]*shmRing
+	min    map[string]uint64 // per-group minimum admissible epoch
 	closed bool
 }
 
 // NewShmInbox returns an empty inbox.
 func NewShmInbox() *ShmInbox {
-	return &ShmInbox{rings: make(map[shmKey]*shmRing)}
+	return &ShmInbox{rings: make(map[shmKey]*shmRing), min: make(map[string]uint64)}
 }
 
 // ring returns the ring for (group, epoch, from), creating it on first use.
+// Epochs below the group's fence are rejected, so a zombie sender can
+// neither reach nor silently re-create a superseded incarnation's ring.
 func (ib *ShmInbox) ring(group string, epoch uint64, from int) (*shmRing, error) {
 	ib.mu.Lock()
 	defer ib.mu.Unlock()
 	if ib.closed {
 		return nil, fmt.Errorf("collective: shm inbox is closed")
+	}
+	if minE := ib.min[group]; epoch < minE {
+		return nil, &StaleEpochError{Group: group, Have: epoch, Current: minE}
 	}
 	k := shmKey{group: group, epoch: epoch, from: from}
 	r, ok := ib.rings[k]
@@ -201,6 +209,34 @@ func (ib *ShmInbox) ring(group string, epoch uint64, from int) (*shmRing, error)
 		ib.rings[k] = r
 	}
 	return r, nil
+}
+
+// Fence raises the group's minimum admissible epoch: rings of older
+// incarnations are poisoned with a StaleEpochError — blocked zombie writers
+// fail with the typed rejection — and forgotten, and ring() refuses to
+// re-create them.
+func (ib *ShmInbox) Fence(group string, epoch uint64) {
+	ib.mu.Lock()
+	if ib.closed || ib.min[group] >= epoch {
+		ib.mu.Unlock()
+		return
+	}
+	ib.min[group] = epoch
+	type staleRing struct {
+		r    *shmRing
+		have uint64
+	}
+	var stale []staleRing
+	for k, r := range ib.rings {
+		if k.group == group && k.epoch < epoch {
+			stale = append(stale, staleRing{r: r, have: k.epoch})
+			delete(ib.rings, k)
+		}
+	}
+	ib.mu.Unlock()
+	for _, s := range stale {
+		s.r.fail(&StaleEpochError{Group: group, Have: s.have, Current: epoch})
+	}
 }
 
 // dropRing poisons and forgets one ring.

@@ -30,6 +30,7 @@ type Hub struct {
 }
 
 type hubGroup struct {
+	epoch uint64
 	mu    sync.Mutex
 	lanes map[int]*lane
 }
@@ -58,23 +59,41 @@ func NewHub() *Hub {
 	return &Hub{groups: make(map[string]*hubGroup)}
 }
 
-// group returns the named group's inbox, creating it on first use — a peer's
-// first chunk may arrive before the local transport is constructed.
-func (h *Hub) group(name string) (*hubGroup, error) {
+// groupAt returns the named group's inbox for one epoch, creating it on
+// first use — a peer's first chunk may arrive before the local transport is
+// constructed. Epochs fence incarnations: a caller carrying an older epoch
+// than the group's current one gets a StaleEpochError, and a caller carrying
+// a newer one supersedes the group — the old inbox is poisoned with the
+// typed rejection (so its blocked receivers fail fast) and a fresh one is
+// installed at the new epoch.
+func (h *Hub) groupAt(name string, epoch uint64) (*hubGroup, error) {
 	h.mu.Lock()
-	defer h.mu.Unlock()
 	if h.closed {
+		h.mu.Unlock()
 		return nil, fmt.Errorf("collective: hub is closed")
 	}
 	g, ok := h.groups[name]
-	if !ok {
-		g = &hubGroup{lanes: make(map[int]*lane)}
-		h.groups[name] = g
+	if ok && epoch == g.epoch {
+		h.mu.Unlock()
+		return g, nil
+	}
+	if ok && epoch < g.epoch {
+		cur := g.epoch
+		h.mu.Unlock()
+		return nil, &StaleEpochError{Group: name, Have: epoch, Current: cur}
+	}
+	old := g // nil unless superseding
+	g = &hubGroup{epoch: epoch, lanes: make(map[int]*lane)}
+	h.groups[name] = g
+	h.mu.Unlock()
+	if old != nil {
+		old.fail(&StaleEpochError{Group: name, Have: old.epoch, Current: epoch})
 	}
 	return g, nil
 }
 
-// CloseGroup poisons one group's lanes (receivers fail fast) and forgets it.
+// CloseGroup poisons one group's lanes (receivers fail fast) and forgets it,
+// whatever its epoch — the abort path.
 func (h *Hub) CloseGroup(name string) {
 	h.mu.Lock()
 	g := h.groups[name]
@@ -83,6 +102,22 @@ func (h *Hub) CloseGroup(name string) {
 	if g != nil {
 		g.fail(fmt.Errorf("collective: group %q closed", name))
 	}
+}
+
+// CloseGroupEpoch poisons and forgets the group only while it is still at
+// the given epoch. Transports close through this so a superseded
+// incarnation's Close — CollInit replacement installs the new membership
+// before closing the old — cannot tear down the group that replaced it.
+func (h *Hub) CloseGroupEpoch(name string, epoch uint64) {
+	h.mu.Lock()
+	g := h.groups[name]
+	if g == nil || g.epoch != epoch {
+		h.mu.Unlock()
+		return
+	}
+	delete(h.groups, name)
+	h.mu.Unlock()
+	g.fail(fmt.Errorf("collective: group %q closed", name))
 }
 
 // Close poisons every group; registered after-the-fact groups fail too.
@@ -99,11 +134,15 @@ func (h *Hub) Close() {
 
 // HandleSend is the rpc.Handler for incoming chunks. Request encoding:
 //
-//	1 group, 2 from rank, 3 key, 4 tag, 5 tensor bytes
+//	1 group, 2 from rank, 3 key, 4 tag, 5 tensor bytes, 6 epoch
+//
+// A chunk carrying an older epoch than the group's current incarnation is
+// rejected with a StaleEpochError; its text crosses the wire as the rpc
+// remote error, so the zombie sender sees the typed rejection.
 func (h *Hub) HandleSend(req []byte) ([]byte, error) {
 	var group, key string
 	var from int
-	var tg uint64
+	var tg, epoch uint64
 	var t *tensor.Tensor
 	d := wire.NewDecoder(req)
 	for {
@@ -141,6 +180,10 @@ func (h *Hub) HandleSend(req []byte) ([]byte, error) {
 			if t, _, err = tensor.Decode(tb); err != nil {
 				return nil, err
 			}
+		case 6:
+			if epoch, err = d.Uint(); err != nil {
+				return nil, err
+			}
 		default:
 			if err := d.Skip(wt); err != nil {
 				return nil, err
@@ -150,20 +193,15 @@ func (h *Hub) HandleSend(req []byte) ([]byte, error) {
 	if group == "" || t == nil {
 		return nil, fmt.Errorf("collective: malformed CollSend")
 	}
-	g, err := h.group(group)
-	if err != nil {
-		return nil, err
-	}
-	g.lane(from).put(message{key: key, tag: tg, t: t})
-	return nil, nil
+	return nil, h.deliver(group, epoch, from, message{key: key, tag: tg, t: t})
 }
 
-// deliver lands one message in the group's current incarnation: the lookup
+// deliver lands one message in the group's epoch incarnation: the lookup
 // runs per message because a CollInit replacement swaps the group object
 // out, and a lane cached at edge setup would feed the poisoned old one.
 // The lookup is two map hits under short mutexes — no allocation.
-func (h *Hub) deliver(group string, from int, m message) error {
-	g, err := h.group(group)
+func (h *Hub) deliver(group string, epoch uint64, from int, m message) error {
+	g, err := h.groupAt(group, epoch)
 	if err != nil {
 		return err
 	}
@@ -171,16 +209,18 @@ func (h *Hub) deliver(group string, from int, m message) error {
 	return nil
 }
 
-// failLane poisons the sender's lane in the group's current incarnation.
-func (h *Hub) failLane(group string, from int, err error) {
-	g, gerr := h.group(group)
+// failLane poisons the sender's lane in the group's epoch incarnation. A
+// stale epoch is a no-op: a dying zombie edge must not poison the lane of
+// the membership that replaced it.
+func (h *Hub) failLane(group string, epoch uint64, from int, err error) {
+	g, gerr := h.groupAt(group, epoch)
 	if gerr != nil {
 		return
 	}
 	g.lane(from).fail(err)
 }
 
-func encodeSend(group string, from int, key string, tg uint64, t *tensor.Tensor) ([]byte, error) {
+func encodeSend(group string, epoch uint64, from int, key string, tg uint64, t *tensor.Tensor) ([]byte, error) {
 	tb, err := t.Encode(nil)
 	if err != nil {
 		return nil, err
@@ -191,6 +231,7 @@ func encodeSend(group string, from int, key string, tg uint64, t *tensor.Tensor)
 	e.String(3, key)
 	e.Uint(4, tg)
 	e.BytesField(5, tb)
+	e.Uint(6, epoch)
 	return e.Bytes(), nil
 }
 
@@ -236,11 +277,14 @@ func appendChunk(b []byte, key string, tg uint64, t *tensor.Tensor) ([]byte, err
 
 // HandleStream is the rpc.StreamHandler for StreamMethod: one persistent
 // inbound edge from a peer rank. The first frame identifies the edge
-// (uvarint group length | group | uvarint sender rank); every later frame is
-// one chunk record. Chunks land in the same lanes CollSend fills, so
-// receivers are transport-agnostic. An edge that ends abnormally poisons the
-// sender's lane, cascading the failure to blocked receivers instead of
-// leaving them to wait out the receive timeout.
+// (uvarint group length | group | uvarint sender rank | uvarint epoch);
+// every later frame is one chunk record. Chunks land in the same lanes
+// CollSend fills, so receivers are transport-agnostic. An edge that ends
+// abnormally poisons the sender's lane, cascading the failure to blocked
+// receivers instead of leaving them to wait out the receive timeout. An edge
+// whose epoch has been superseded gets a StaleEpochError back instead: the
+// handler error resets the stream, the zombie's next Send fails with the
+// rejection text, and the new incarnation's lanes are left alone.
 //
 // The loop is allocation-free in the steady state: frames recycle through
 // the wire buffer pool, tensors through the rank-1 pool, and the interned
@@ -256,11 +300,16 @@ func (h *Hub) HandleStream(st *rpc.Stream) error {
 		return fmt.Errorf("collective: malformed edge header")
 	}
 	group := string(buf[n : n+int(gl)])
-	from64, k := binary.Uvarint(buf[n+int(gl):])
+	rest := buf[n+int(gl):]
+	from64, k := binary.Uvarint(rest)
 	if k <= 0 {
 		return fmt.Errorf("collective: malformed edge header rank")
 	}
 	from := int(from64)
+	epoch, k2 := binary.Uvarint(rest[k:])
+	if k2 <= 0 {
+		return fmt.Errorf("collective: malformed edge header epoch")
+	}
 	var keyBuf []byte
 	var key string
 	for {
@@ -269,20 +318,20 @@ func (h *Hub) HandleStream(st *rpc.Stream) error {
 			if err == io.EOF {
 				return nil
 			}
-			h.failLane(group, from, fmt.Errorf("collective: edge from rank %d lost: %w", from, err))
+			h.failLane(group, epoch, from, fmt.Errorf("collective: edge from rank %d lost: %w", from, err))
 			return err
 		}
 		buf = b
 		kb, tg, ten, err := parseChunk(b)
 		if err != nil {
-			h.failLane(group, from, err)
+			h.failLane(group, epoch, from, err)
 			return err
 		}
 		if !bytes.Equal(kb, keyBuf) {
 			keyBuf = append(keyBuf[:0], kb...)
 			key = string(kb)
 		}
-		if err := h.deliver(group, from, message{key: key, tag: tg, t: ten}); err != nil {
+		if err := h.deliver(group, epoch, from, message{key: key, tag: tg, t: ten}); err != nil {
 			tensor.Recycle(ten)
 			return err
 		}
@@ -345,7 +394,7 @@ type streamEdge struct {
 	buf []byte
 }
 
-func newStreamEdge(addr, group string, from int) (*streamEdge, error) {
+func newStreamEdge(addr, group string, from int, epoch uint64) (*streamEdge, error) {
 	e := &streamEdge{c: rpc.Dial(addr), addr: addr}
 	st, err := e.c.OpenStream(StreamMethod)
 	if err != nil {
@@ -355,6 +404,7 @@ func newStreamEdge(addr, group string, from int) (*streamEdge, error) {
 	hdr := binary.AppendUvarint(nil, uint64(len(group)))
 	hdr = append(hdr, group...)
 	hdr = binary.AppendUvarint(hdr, uint64(from))
+	hdr = binary.AppendUvarint(hdr, epoch)
 	if err := st.Send(hdr); err != nil {
 		st.Close()
 		e.c.Close()
@@ -401,10 +451,11 @@ type callEdge struct {
 	addr  string
 	group string
 	from  int
+	epoch uint64
 }
 
 func (e *callEdge) send(key string, tg uint64, t *tensor.Tensor) error {
-	req, err := encodeSend(e.group, e.from, key, tg, t)
+	req, err := encodeSend(e.group, e.epoch, e.from, key, tg, t)
 	if err != nil {
 		return err
 	}
@@ -421,14 +472,15 @@ type selfEdge struct {
 	hub   *Hub
 	group string
 	from  int
+	epoch uint64
 }
 
 func (e *selfEdge) send(key string, tg uint64, t *tensor.Tensor) error {
-	g, err := e.hub.group(e.group)
-	if err != nil {
+	c := clonePooled(t)
+	if err := e.hub.deliver(e.group, e.epoch, e.from, message{key: key, tag: tg, t: c}); err != nil {
+		tensor.Recycle(c)
 		return err
 	}
-	g.lane(e.from).put(message{key: key, tag: tg, t: clonePooled(t)})
 	return nil
 }
 
@@ -497,10 +549,23 @@ func NewNetTransport(group string, rank int, addrs []string, hub *Hub, timeout t
 	}
 	t.keys.m = make(map[string]string)
 
+	// Install this incarnation in the hub up front: a newer epoch supersedes
+	// (and poisons) the previous one, and a stale re-init fails fast here
+	// instead of producing an endpoint every peer would reject.
+	if _, err := hub.groupAt(group, epoch); err != nil {
+		return nil, err
+	}
+
 	shmOK := !cfg.DisableShm && os.Getenv("TFHPC_NO_SHM") == ""
 	var ownInbox *ShmInbox
 	if shmOK {
 		ownInbox = lookupShm(t.addrs[rank])
+	}
+	if ownInbox != nil {
+		// Fence the inbox: rings of older incarnations are poisoned with the
+		// typed stale-epoch rejection and can never be re-created, so a
+		// zombie sender cannot write into (or silently re-open) them.
+		ownInbox.Fence(group, epoch)
 	}
 
 	// Establish all edges up front, dialing network peers concurrently.
@@ -508,7 +573,7 @@ func NewNetTransport(group string, rank int, addrs []string, hub *Hub, timeout t
 	errs := make([]error, len(t.addrs))
 	for to := range t.addrs {
 		if to == rank {
-			t.edges[to] = &selfEdge{hub: hub, group: group, from: rank}
+			t.edges[to] = &selfEdge{hub: hub, group: group, from: rank, epoch: epoch}
 			continue
 		}
 		if ownInbox != nil {
@@ -526,10 +591,10 @@ func NewNetTransport(group string, rank int, addrs []string, hub *Hub, timeout t
 		go func(to int) {
 			defer wg.Done()
 			if cfg.Mode == ModeCall {
-				t.edges[to] = &callEdge{c: rpc.Dial(t.addrs[to]), addr: t.addrs[to], group: group, from: rank}
+				t.edges[to] = &callEdge{c: rpc.Dial(t.addrs[to]), addr: t.addrs[to], group: group, from: rank, epoch: epoch}
 				return
 			}
-			t.edges[to], errs[to] = newStreamEdge(t.addrs[to], group, rank)
+			t.edges[to], errs[to] = newStreamEdge(t.addrs[to], group, rank, epoch)
 		}(to)
 	}
 	wg.Wait()
@@ -578,14 +643,14 @@ func (t *TCPTransport) drainShm(from int, ring *shmRing) {
 		}
 		kb, tg, ten, err := parseChunk(rec)
 		if err != nil {
-			t.hub.failLane(t.group, from, fmt.Errorf("collective: bad shm record from rank %d: %w", from, err))
+			t.hub.failLane(t.group, t.epochN, from, fmt.Errorf("collective: bad shm record from rank %d: %w", from, err))
 			return
 		}
 		if !bytes.Equal(kb, keyBuf) {
 			keyBuf = append(keyBuf[:0], kb...)
 			key = string(kb)
 		}
-		if err := t.hub.deliver(t.group, from, message{key: key, tag: tg, t: ten}); err != nil {
+		if err := t.hub.deliver(t.group, t.epochN, from, message{key: key, tag: tg, t: ten}); err != nil {
 			tensor.Recycle(ten)
 			return
 		}
@@ -625,12 +690,14 @@ func (t *TCPTransport) Send(to int, key string, tg uint64, ten *tensor.Tensor) e
 }
 
 // Recv blocks for the matching chunk from the given sender, up to the
-// transport's receive timeout.
+// transport's receive timeout. Once a newer incarnation has superseded this
+// endpoint's epoch, Recv fails fast with the typed stale-epoch rejection
+// instead of waiting out the timeout.
 func (t *TCPTransport) Recv(from int, key string, tg uint64) (*tensor.Tensor, error) {
 	if from < 0 || from >= len(t.addrs) {
 		return nil, fmt.Errorf("collective: source rank %d out of %d", from, len(t.addrs))
 	}
-	g, err := t.hub.group(t.group)
+	g, err := t.hub.groupAt(t.group, t.epochN)
 	if err != nil {
 		return nil, err
 	}
@@ -653,12 +720,14 @@ func (t *TCPTransport) teardown() {
 }
 
 // Close releases peer edges, stops the shm drainers, and poisons the local
-// group inbox.
+// group inbox — but only this epoch's incarnation of it: when a CollInit
+// replacement has already installed a newer membership under the same name,
+// closing the superseded transport must leave the new inbox untouched.
 func (t *TCPTransport) Close() error {
 	if t.closed.Swap(true) {
 		return nil
 	}
 	t.teardown()
-	t.hub.CloseGroup(t.group)
+	t.hub.CloseGroupEpoch(t.group, t.epochN)
 	return nil
 }

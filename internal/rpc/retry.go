@@ -1,0 +1,109 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand/v2"
+	"net"
+	"syscall"
+	"time"
+)
+
+// Bounded retry with exponential backoff for transient transport errors.
+// The elastic training path leans on this: a task that was kill -9'd and
+// restarted answers on its old address after a short gap, during which every
+// dial gets ECONNREFUSED. Retrying those — and only those — lets health
+// probes and re-init RPCs ride through the gap without masking real
+// failures: a handler error (RemoteError) or a cancelled context is final on
+// the first attempt.
+
+// RetryPolicy bounds a retry loop: at most Attempts tries, sleeping an
+// exponentially growing, jittered backoff (Base doubling per attempt, capped
+// at Max) between them.
+type RetryPolicy struct {
+	Attempts int
+	Base     time.Duration
+	Max      time.Duration
+}
+
+// DefaultRetry is the policy used when a zero RetryPolicy is supplied:
+// 5 attempts spanning roughly half a second of backoff.
+var DefaultRetry = RetryPolicy{Attempts: 5, Base: 25 * time.Millisecond, Max: 2 * time.Second}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = DefaultRetry.Attempts
+	}
+	if p.Base <= 0 {
+		p.Base = DefaultRetry.Base
+	}
+	if p.Max <= 0 {
+		p.Max = DefaultRetry.Max
+	}
+	return p
+}
+
+// Backoff returns the sleep before retry `attempt` (1-based: the sleep after
+// the attempt-th failure): Base << (attempt-1), capped at Max, with uniform
+// jitter in [0.5, 1.0) of the capped value so synchronised probers de-phase.
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	p = p.withDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := p.Base
+	for i := 1; i < attempt && d < p.Max; i++ {
+		d *= 2
+	}
+	if d > p.Max {
+		d = p.Max
+	}
+	return d/2 + rand.N(d/2)
+}
+
+// IsTransient reports whether err is worth retrying: connection-level
+// failures that a restarting peer produces (refused, reset, broken pipe,
+// timeouts, torn connections). Handler-level errors (RemoteError) and
+// context cancellation are never transient — the call reached a live server
+// or the caller gave up.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if IsRemote(err) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, syscall.ECONNREFUSED) || errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	var oe *net.OpError
+	return errors.As(err, &oe)
+}
+
+// CallRetry issues CallContext under the policy, retrying transient errors
+// with backoff until the attempts run out or ctx ends. The last error is
+// returned; non-transient errors return immediately.
+func (c *Client) CallRetry(ctx context.Context, method string, req []byte, pol RetryPolicy) ([]byte, error) {
+	pol = pol.withDefaults()
+	var err error
+	for attempt := 1; ; attempt++ {
+		var resp []byte
+		resp, err = c.CallContext(ctx, method, req)
+		if err == nil || !IsTransient(err) || attempt >= pol.Attempts {
+			return resp, err
+		}
+		select {
+		case <-time.After(pol.Backoff(attempt)):
+		case <-ctx.Done():
+			return nil, err
+		}
+	}
+}

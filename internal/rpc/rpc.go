@@ -360,9 +360,22 @@ func (c *Client) CallContext(ctx context.Context, method string, req []byte) ([]
 			return nil, context.DeadlineExceeded
 		}
 	}
-	conn, err := c.conn(ctx)
+	for {
+		resp, retry, err := c.callOnce(ctx, method, req, budget)
+		if retry && ctx.Err() == nil {
+			continue
+		}
+		return resp, err
+	}
+}
+
+// callOnce performs one request exchange. retry=true means the request never
+// left this process because a pooled connection turned out dead (its peer
+// restarted since the pool filled) — the caller re-issues on a fresh dial.
+func (c *Client) callOnce(ctx context.Context, method string, req []byte, budget time.Duration) (resp []byte, retry bool, err error) {
+	conn, pooled, err := c.conn(ctx)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	// The exchange owns conn exclusively, so interrupting it via the conn's
 	// I/O deadline is race-free (closing it would race with the pool). A
@@ -370,7 +383,7 @@ func (c *Client) CallContext(ctx context.Context, method string, req []byte) ([]
 	if budget > 0 {
 		if err := conn.SetDeadline(time.Now().Add(budget)); err != nil {
 			c.discard(conn)
-			return nil, fmt.Errorf("rpc: arm call deadline: %w", err)
+			return nil, false, fmt.Errorf("rpc: arm call deadline: %w", err)
 		}
 	}
 	var stop, wdone chan struct{}
@@ -389,10 +402,12 @@ func (c *Client) CallContext(ctx context.Context, method string, req []byte) ([]
 			}
 		}()
 	}
+	wrote := false
 	frame, ioErr := func() ([]byte, error) {
 		if err := wire.WriteFrame(conn, encodeRequest(method, req, budget)); err != nil {
 			return nil, err
 		}
+		wrote = true
 		return wire.ReadFrame(conn)
 	}()
 	if stop != nil {
@@ -402,15 +417,22 @@ func (c *Client) CallContext(ctx context.Context, method string, req []byte) ([]
 	if ioErr != nil {
 		// A half-done stream cannot be reused.
 		c.discard(conn)
+		if pooled {
+			// A dead pooled conn means the peer went away since the pool
+			// filled; its siblings in the pool are from the same incarnation
+			// and just as dead. Flush them so the next attempt dials fresh
+			// instead of burning one corpse per call.
+			c.flushIdle()
+		}
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if budget > 0 {
 			if ne, ok := ioErr.(net.Error); ok && ne.Timeout() {
-				return nil, context.DeadlineExceeded
+				return nil, false, context.DeadlineExceeded
 			}
 		}
-		return nil, ioErr
+		return nil, pooled && !wrote, ioErr
 	}
 	if err := conn.SetDeadline(time.Time{}); err != nil {
 		// The response is in hand but the conn can't be re-armed: answer the
@@ -419,20 +441,21 @@ func (c *Client) CallContext(ctx context.Context, method string, req []byte) ([]
 	} else {
 		c.put(conn)
 	}
-	return decodeResponse(frame)
+	resp, err = decodeResponse(frame)
+	return resp, false, err
 }
 
-func (c *Client) conn(ctx context.Context) (net.Conn, error) {
+func (c *Client) conn(ctx context.Context) (net.Conn, bool, error) {
 	c.mu.Lock()
 	if c.down {
 		c.mu.Unlock()
-		return nil, errors.New("rpc: client closed")
+		return nil, false, errors.New("rpc: client closed")
 	}
 	if n := len(c.idle); n > 0 {
 		conn := c.idle[n-1]
 		c.idle = c.idle[:n-1]
 		c.mu.Unlock()
-		return conn, nil
+		return conn, true, nil
 	}
 	c.mu.Unlock()
 	// DialContext so the per-call deadline bounds connection establishment
@@ -441,17 +464,32 @@ func (c *Client) conn(ctx context.Context) (net.Conn, error) {
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	c.mu.Lock()
 	if c.down {
 		c.mu.Unlock()
 		conn.Close()
-		return nil, errors.New("rpc: client closed")
+		return nil, false, errors.New("rpc: client closed")
 	}
 	c.live[conn] = struct{}{}
 	c.mu.Unlock()
-	return conn, nil
+	return conn, false, nil
+}
+
+// flushIdle closes every pooled connection. Called when one of them turns
+// out dead mid-call: the rest were opened to the same (gone) incarnation.
+func (c *Client) flushIdle() {
+	c.mu.Lock()
+	idle := c.idle
+	c.idle = nil
+	for _, conn := range idle {
+		delete(c.live, conn)
+	}
+	c.mu.Unlock()
+	for _, conn := range idle {
+		conn.Close()
+	}
 }
 
 // discard drops a broken connection from tracking and closes it.

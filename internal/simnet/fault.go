@@ -26,14 +26,25 @@ type FaultPlan struct {
 	// task dying mid-collective. NoRank disables.
 	DropRank       int
 	DropAfterSends int
+	// RecvDropRank's endpoint closes after RecvDropAfter receives — the
+	// recv-side mirror of DropRank, so tests can kill a rank while it is
+	// blocked waiting on inbound traffic. NoRank disables.
+	RecvDropRank  int
+	RecvDropAfter int
+	// CrashRank's task crashes at the start of training step CrashAtStep
+	// (0-based), for deterministic crash-at-step elastic tests. Consumed by
+	// training drivers via CrashTaskAt, not by transport wrappers. NoRank
+	// disables.
+	CrashRank   int
+	CrashAtStep int
 }
 
 // NoRank marks a fault's rank field as unused.
 const NoRank = -1
 
-// NewFaultPlan returns an inactive plan (both rank fields NoRank).
+// NewFaultPlan returns an inactive plan (every rank field NoRank).
 func NewFaultPlan() FaultPlan {
-	return FaultPlan{SlowRank: NoRank, DropRank: NoRank}
+	return FaultPlan{SlowRank: NoRank, DropRank: NoRank, RecvDropRank: NoRank, CrashRank: NoRank}
 }
 
 // SendDelay is the injected latency for one send by `rank`.
@@ -48,6 +59,21 @@ func (f FaultPlan) SendDelay(rank int) time.Duration {
 // ShouldDrop reports whether `rank` must fail its sendCount-th send (1-based).
 func (f FaultPlan) ShouldDrop(rank, sendCount int) bool {
 	return rank == f.DropRank && sendCount > f.DropAfterSends
+}
+
+// ShouldDropRecv reports whether `rank` must fail its recvCount-th receive
+// (1-based).
+func (f FaultPlan) ShouldDropRecv(rank, recvCount int) bool {
+	return rank == f.RecvDropRank && recvCount > f.RecvDropAfter
+}
+
+// CrashTaskAt returns the task that must crash at the start of `step`
+// (0-based), or NoRank when none does.
+func (f FaultPlan) CrashTaskAt(step int) int {
+	if f.CrashRank != NoRank && step == f.CrashAtStep {
+		return f.CrashRank
+	}
+	return NoRank
 }
 
 // ModelLinkDelay derives a per-message delay from the platform model: the

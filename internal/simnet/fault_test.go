@@ -1,0 +1,52 @@
+package simnet
+
+import "testing"
+
+func TestFaultPlanInactiveByDefault(t *testing.T) {
+	plan := NewFaultPlan()
+	for rank := 0; rank < 4; rank++ {
+		for n := 0; n < 10; n++ {
+			if plan.ShouldDrop(rank, n) || plan.ShouldDropRecv(rank, n) {
+				t.Fatalf("inactive plan drops rank %d at count %d", rank, n)
+			}
+		}
+	}
+	for step := 0; step < 10; step++ {
+		if plan.CrashTaskAt(step) != NoRank {
+			t.Fatalf("inactive plan crashes a task at step %d", step)
+		}
+	}
+}
+
+func TestFaultPlanRecvDrop(t *testing.T) {
+	plan := NewFaultPlan()
+	plan.RecvDropRank = 2
+	plan.RecvDropAfter = 3
+	if plan.ShouldDropRecv(2, 3) {
+		t.Fatal("dropped within budget")
+	}
+	if !plan.ShouldDropRecv(2, 4) {
+		t.Fatal("did not drop past budget")
+	}
+	if plan.ShouldDropRecv(1, 100) {
+		t.Fatal("dropped the wrong rank")
+	}
+	if plan.ShouldDrop(2, 100) {
+		t.Fatal("recv-side plan leaked into the send-side budget")
+	}
+}
+
+func TestFaultPlanCrashAtStep(t *testing.T) {
+	plan := NewFaultPlan()
+	plan.CrashRank = 1
+	plan.CrashAtStep = 5
+	for step := 0; step < 10; step++ {
+		want := NoRank
+		if step == 5 {
+			want = 1
+		}
+		if got := plan.CrashTaskAt(step); got != want {
+			t.Fatalf("step %d: crash task %d, want %d", step, got, want)
+		}
+	}
+}

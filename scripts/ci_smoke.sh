@@ -1,15 +1,24 @@
 #!/usr/bin/env bash
-# Distributed smoke test: build the binaries, boot a 4-task localhost cluster
-# as real processes, run a CG solve and an SGD epoch over TCP (collectives
-# ring between the tfserver tasks), a fused multi-tensor SGD epoch over the
-# same cluster, and fail on nonzero exit — tfcg enforces the residual
-# tolerance itself and tfsgd enforces loss decrease and replica consistency.
-# The fusion leg additionally asserts the engine's numerics contract: a
-# fused run's final weights must be bit-identical to the unfused run's
-# (both reduce through the same doubling tree), compared via checkpoint
-# files. Then the serving smoke: tfsgd checkpoints its trained model,
-# tfserve serves it, and concurrent HTTP predicts must coalesce while
-# staying bit-identical to single-request answers.
+# Distributed smoke tests over real processes. Two legs, gated by SMOKE_ONLY
+# (core|elastic|all, default all):
+#
+# core — build the binaries, boot a 4-task localhost cluster as real
+# processes, run a CG solve and an SGD epoch over TCP (collectives ring
+# between the tfserver tasks), a fused multi-tensor SGD epoch over the same
+# cluster, and fail on nonzero exit — tfcg enforces the residual tolerance
+# itself and tfsgd enforces loss decrease and replica consistency. The fusion
+# leg additionally asserts the engine's numerics contract: a fused run's
+# final weights must be bit-identical to the unfused run's (both reduce
+# through the same doubling tree), compared via checkpoint files. Then the
+# serving smoke: tfsgd checkpoints its trained model, tfserve serves it, and
+# concurrent HTTP predicts must coalesce while staying bit-identical to
+# single-request answers.
+#
+# elastic — the fault-tolerance contract: boot 4 tfservers, kill -9 one of
+# them mid-epoch, restart it, and require the training run to shrink around
+# the casualty, resume from its checkpoint, grow back to full width when the
+# task returns, and land within tolerance of an uninterrupted run — without
+# the driver restarting.
 #
 # Server processes log to $BIN/logs/ so CI can upload them when a leg fails.
 set -euo pipefail
@@ -25,8 +34,7 @@ go build -o "$BIN/tfserve" ./cmd/tfserve
 go build -o "$BIN/serving_smoke" ./scripts/serving_smoke
 
 BASE_PORT=${BASE_PORT:-17841}
-TASKS=4
-SPEC=""
+SMOKE_ONLY=${SMOKE_ONLY:-all}
 pids=()
 cleanup() {
   for pid in "${pids[@]:-}"; do
@@ -36,57 +44,162 @@ cleanup() {
 }
 trap cleanup EXIT
 
-# Bind the wildcard address but dial loopback: the listen and advertised
-# addresses genuinely differ, exercising tfserver -advertise.
-for i in $(seq 0 $((TASKS - 1))); do
-  port=$((BASE_PORT + i))
-  addr="127.0.0.1:${port}"
-  SPEC="${SPEC:+$SPEC,}$addr"
-  "$BIN/tfserver" -job worker -task "$i" -listen "0.0.0.0:${port}" -advertise "$addr" \
-    >"$LOGDIR/tfserver-$i.log" 2>&1 &
+run_core() {
+  local TASKS=4
+  local SPEC=""
+  # Bind the wildcard address but dial loopback: the listen and advertised
+  # addresses genuinely differ, exercising tfserver -advertise.
+  for i in $(seq 0 $((TASKS - 1))); do
+    local port=$((BASE_PORT + i))
+    local addr="127.0.0.1:${port}"
+    SPEC="${SPEC:+$SPEC,}$addr"
+    "$BIN/tfserver" -job worker -task "$i" -listen "0.0.0.0:${port}" -advertise "$addr" \
+      >"$LOGDIR/tfserver-$i.log" 2>&1 &
+    pids+=($!)
+  done
+  echo "smoke: booted $TASKS tfserver tasks: $SPEC (logs in $LOGDIR)"
+
+  echo "smoke: CG solve over TCP"
+  "$BIN/tfcg" -mode cluster -spec "$SPEC" -workers $TASKS -n 256 -iters 300 -tol 1e-6
+
+  echo "smoke: SGD training over TCP"
+  "$BIN/tfsgd" -mode cluster -spec "$SPEC" -workers $TASKS -features 128 -rows 256 -steps 25 -lr 0.3
+
+  echo "smoke: fused multi-tensor SGD over TCP (AllReduceFused + async loss handles)"
+  "$BIN/tfsgd" -mode cluster -spec "$SPEC" -workers $TASKS -features 128 -rows 256 -steps 25 -lr 0.3 \
+    -param-tensors 4 -fuse
+
+  # --- fusion bit-identity: fused and unfused runs must end on the same bits
+  local CKPT_UNFUSED CKPT_FUSED
+  CKPT_UNFUSED=$(mktemp -t tfhpc_smoke_unfused_XXXX.ckpt)
+  CKPT_FUSED=$(mktemp -t tfhpc_smoke_fused_XXXX.ckpt)
+  echo "smoke: fused-vs-unfused bit-identity on final weights"
+  "$BIN/tfsgd" -mode real -features 64 -rows 128 -workers 2 -steps 20 \
+    -param-tensors 4 -checkpoint "$CKPT_UNFUSED"
+  "$BIN/tfsgd" -mode real -features 64 -rows 128 -workers 2 -steps 20 \
+    -param-tensors 4 -fuse -checkpoint "$CKPT_FUSED"
+  if ! cmp -s "$CKPT_UNFUSED" "$CKPT_FUSED"; then
+    echo "smoke: FAIL — fused SGD checkpoint differs from unfused (fusion broke bit-identity)"
+    exit 1
+  fi
+  rm -f "$CKPT_UNFUSED" "$CKPT_FUSED"
+
+  # --- serving smoke: train -> checkpoint -> serve -> predict ---------------
+  local CKPT SERVE_PORT SERVE_ADDR
+  CKPT=$(mktemp -t tfhpc_smoke_XXXX.ckpt)
+  SERVE_PORT=$((BASE_PORT + 100))
+  SERVE_ADDR="127.0.0.1:${SERVE_PORT}"
+
+  echo "smoke: training + checkpointing the serving model"
+  "$BIN/tfsgd" -mode real -features 64 -rows 256 -workers 2 -steps 30 -checkpoint "$CKPT"
+
+  echo "smoke: booting tfserve on $SERVE_ADDR"
+  "$BIN/tfserve" -listen "$SERVE_ADDR" -model "smoke=$CKPT" -max-batch 32 -batch-timeout 5ms \
+    >"$LOGDIR/tfserve.log" 2>&1 &
   pids+=($!)
-done
-echo "smoke: booted $TASKS tfserver tasks: $SPEC (logs in $LOGDIR)"
 
-echo "smoke: CG solve over TCP"
-"$BIN/tfcg" -mode cluster -spec "$SPEC" -workers $TASKS -n 256 -iters 300 -tol 1e-6
+  echo "smoke: concurrent HTTP predicts (batched must equal single, bit-for-bit)"
+  "$BIN/serving_smoke" -addr "http://$SERVE_ADDR" -model smoke -features 64
+  rm -f "$CKPT"
+}
 
-echo "smoke: SGD training over TCP"
-"$BIN/tfsgd" -mode cluster -spec "$SPEC" -workers $TASKS -features 128 -rows 256 -steps 25 -lr 0.3
+run_elastic() {
+  local TASKS=4 VICTIM=2
+  local EBASE=$((BASE_PORT + 20))
+  local ESPEC=""
+  local -a epids=()
+  for i in $(seq 0 $((TASKS - 1))); do
+    local port=$((EBASE + i))
+    local addr="127.0.0.1:${port}"
+    ESPEC="${ESPEC:+$ESPEC,}$addr"
+    "$BIN/tfserver" -job worker -task "$i" -listen "0.0.0.0:${port}" -advertise "$addr" \
+      >"$LOGDIR/elastic-tfserver-$i.log" 2>&1 &
+    epids[$i]=$!
+    pids+=($!)
+  done
+  echo "smoke: elastic leg booted $TASKS tfserver tasks: $ESPEC"
 
-echo "smoke: fused multi-tensor SGD over TCP (AllReduceFused + async loss handles)"
-"$BIN/tfsgd" -mode cluster -spec "$SPEC" -workers $TASKS -features 128 -rows 256 -steps 25 -lr 0.3 \
-  -param-tensors 4 -fuse
+  local SGD_ARGS=(-spec "$ESPEC" -workers $TASKS -features 64 -rows 128 -steps 40 -lr 0.3 -ckpt-every 3)
 
-# --- fusion bit-identity: fused and unfused runs must end on the same bits -
-CKPT_UNFUSED=$(mktemp -t tfhpc_smoke_unfused_XXXX.ckpt)
-CKPT_FUSED=$(mktemp -t tfhpc_smoke_fused_XXXX.ckpt)
-echo "smoke: fused-vs-unfused bit-identity on final weights"
-"$BIN/tfsgd" -mode real -features 64 -rows 128 -workers 2 -steps 20 \
-  -param-tensors 4 -checkpoint "$CKPT_UNFUSED"
-"$BIN/tfsgd" -mode real -features 64 -rows 128 -workers 2 -steps 20 \
-  -param-tensors 4 -fuse -checkpoint "$CKPT_FUSED"
-if ! cmp -s "$CKPT_UNFUSED" "$CKPT_FUSED"; then
-  echo "smoke: FAIL — fused SGD checkpoint differs from unfused (fusion broke bit-identity)"
-  exit 1
-fi
-rm -f "$CKPT_UNFUSED" "$CKPT_FUSED"
+  echo "smoke: elastic baseline (uninterrupted)"
+  "$BIN/tfsgd" -mode elastic "${SGD_ARGS[@]}" >"$LOGDIR/elastic-baseline.log" 2>&1
+  cat "$LOGDIR/elastic-baseline.log"
+  local BASE_LOSS
+  BASE_LOSS=$(sed -n 's/.*final_loss=\([^ ]*\).*/\1/p' "$LOGDIR/elastic-baseline.log")
+  if [ -z "$BASE_LOSS" ]; then
+    echo "smoke: FAIL — elastic baseline printed no final_loss"
+    exit 1
+  fi
 
-# --- serving smoke: train -> checkpoint -> serve -> predict ---------------
-CKPT=$(mktemp -t tfhpc_smoke_XXXX.ckpt)
-SERVE_PORT=$((BASE_PORT + 100))
-SERVE_ADDR="127.0.0.1:${SERVE_PORT}"
+  local CKPT
+  CKPT=$(mktemp -u -t tfhpc_elastic_XXXX.ckpt)
+  echo "smoke: elastic run with kill -9 of task $VICTIM mid-epoch"
+  # -step-delay paces the run so the kill lands mid-training and the restart
+  # is back before the final checkpoint boundaries.
+  "$BIN/tfsgd" -mode elastic "${SGD_ARGS[@]}" -ckpt-file "$CKPT" -step-delay 50ms \
+    >"$LOGDIR/elastic-run.log" 2>&1 &
+  local run_pid=$!
+  sleep 0.8
+  echo "smoke: kill -9 tfserver task $VICTIM (pid ${epids[$VICTIM]})"
+  kill -9 "${epids[$VICTIM]}"
+  sleep 0.4
+  local vport=$((EBASE + VICTIM))
+  local vaddr="127.0.0.1:${vport}"
+  echo "smoke: restarting tfserver task $VICTIM on $vaddr"
+  "$BIN/tfserver" -job worker -task "$VICTIM" -listen "0.0.0.0:${vport}" -advertise "$vaddr" \
+    >"$LOGDIR/elastic-tfserver-$VICTIM-restarted.log" 2>&1 &
+  pids+=($!)
 
-echo "smoke: training + checkpointing the serving model"
-"$BIN/tfsgd" -mode real -features 64 -rows 256 -workers 2 -steps 30 -checkpoint "$CKPT"
+  if ! wait "$run_pid"; then
+    echo "smoke: FAIL — elastic run exited nonzero"
+    cat "$LOGDIR/elastic-run.log"
+    exit 1
+  fi
+  cat "$LOGDIR/elastic-run.log"
+  rm -f "$CKPT"
 
-echo "smoke: booting tfserve on $SERVE_ADDR"
-"$BIN/tfserve" -listen "$SERVE_ADDR" -model "smoke=$CKPT" -max-batch 32 -batch-timeout 5ms \
-  >"$LOGDIR/tfserve.log" 2>&1 &
-pids+=($!)
+  local SUMMARY LOSS SHRINKS GROWS WORKERS
+  SUMMARY=$(grep 'final_loss=' "$LOGDIR/elastic-run.log")
+  LOSS=$(sed -n 's/.*final_loss=\([^ ]*\).*/\1/p' <<<"$SUMMARY")
+  SHRINKS=$(sed -n 's/.*shrinks=\([0-9]*\).*/\1/p' <<<"$SUMMARY")
+  GROWS=$(sed -n 's/.*grows=\([0-9]*\).*/\1/p' <<<"$SUMMARY")
+  WORKERS=$(sed -n 's/.*workers=\([0-9]*\).*/\1/p' <<<"$SUMMARY")
+  if [ "${SHRINKS:-0}" -lt 1 ]; then
+    echo "smoke: FAIL — run never shrank (the kill missed the training window)"
+    exit 1
+  fi
+  if [ "${GROWS:-0}" -lt 1 ]; then
+    echo "smoke: FAIL — restarted task never rejoined"
+    exit 1
+  fi
+  if [ "${WORKERS:-0}" -ne $TASKS ]; then
+    echo "smoke: FAIL — finished at width ${WORKERS:-0}, want $TASKS"
+    exit 1
+  fi
+  awk -v got="$LOSS" -v base="$BASE_LOSS" 'BEGIN {
+    d = got - base; if (d < 0) d = -d
+    b = base; if (b < 0) b = -b
+    if (b == 0) { print "smoke: FAIL — degenerate baseline loss 0"; exit 1 }
+    rel = d / b
+    if (rel > 1e-3) {
+      printf "smoke: FAIL — elastic loss %g vs baseline %g (relative diff %g > 1e-3)\n", got, base, rel
+      exit 1
+    }
+    printf "smoke: elastic loss %g vs baseline %g (relative diff %g) OK\n", got, base, rel
+  }'
+}
 
-echo "smoke: concurrent HTTP predicts (batched must equal single, bit-for-bit)"
-"$BIN/serving_smoke" -addr "http://$SERVE_ADDR" -model smoke -features 64
-rm -f "$CKPT"
+case "$SMOKE_ONLY" in
+  core) run_core ;;
+  elastic) run_elastic ;;
+  all)
+    run_core
+    run_elastic
+    ;;
+  *)
+    echo "smoke: unknown SMOKE_ONLY=$SMOKE_ONLY (want core|elastic|all)" >&2
+    exit 1
+    ;;
+esac
 
 echo "smoke: OK"
