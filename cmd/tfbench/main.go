@@ -9,8 +9,10 @@
 //	tfbench -exp gemm,fft,collective          # several, in order
 //	tfbench -exp collective -json out.json    # also write machine-readable results
 //	tfbench -exp serving                      # micro-batching throughput/latency sweep
+//	tfbench -exp rollout                      # canary rollout under open-loop load
 //
-// Experiments: table1 fig7 fig8 fig9 fig10 fig11 gemm fft collective serving.
+// Experiments: table1 fig7 fig8 fig9 fig10 fig11 gemm fft collective serving
+// rollout.
 package main
 
 import (
@@ -23,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: all|figures|table1|fig7|fig8|fig9|fig10|fig11|gemm|fft|collective|serving")
+	exp := flag.String("exp", "all", "comma-separated experiments: all|figures|table1|fig7|fig8|fig9|fig10|fig11|gemm|fft|collective|serving|rollout")
 	jsonPath := flag.String("json", "", "also write a machine-readable report (tfhpc-bench/v1) to this path")
 	flag.Parse()
 

@@ -1,0 +1,208 @@
+// Control-plane wiring: -autoscale turns tfserve from a single process into
+// a self-managed fleet — an in-process replica set behind the router, an
+// autoscaler closing the loop from live load to replica count, and (with
+// -canary) a rollout controller driving SLO-gated traffic splits. The
+// /controlz endpoints expose status and accept rollout requests.
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"tfhpc/internal/serving"
+	"tfhpc/internal/serving/controlplane"
+)
+
+// splitKVs parses "k1=v1,k2=v2,..." flag specs.
+func splitKVs(flagName, spec string) ([][2]string, error) {
+	var out [][2]string
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok || k == "" || v == "" {
+			return nil, fmt.Errorf("-%s: want key=value, got %q", flagName, part)
+		}
+		out = append(out, [2]string{k, v})
+	}
+	return out, nil
+}
+
+// parseAutoscale reads the -autoscale spec:
+//
+//	min=1,max=4,target=8,tick=250ms,up-cooldown=250ms,down-cooldown=3s,
+//	p99-ceiling=100ms,hysteresis=0.25,ewma=0.3
+//
+// Unset keys take the autoscaler's defaults.
+func parseAutoscale(spec string) (controlplane.AutoscalerConfig, error) {
+	var cfg controlplane.AutoscalerConfig
+	kvs, err := splitKVs("autoscale", spec)
+	if err != nil {
+		return cfg, err
+	}
+	for _, kv := range kvs {
+		k, v := kv[0], kv[1]
+		switch k {
+		case "min":
+			cfg.Min, err = strconv.Atoi(v)
+		case "max":
+			cfg.Max, err = strconv.Atoi(v)
+		case "target":
+			cfg.TargetOutstanding, err = strconv.ParseFloat(v, 64)
+		case "tick":
+			cfg.Tick, err = time.ParseDuration(v)
+		case "up-cooldown":
+			cfg.UpCooldown, err = time.ParseDuration(v)
+		case "down-cooldown":
+			cfg.DownCooldown, err = time.ParseDuration(v)
+		case "p99-ceiling":
+			cfg.P99Ceiling, err = time.ParseDuration(v)
+		case "hysteresis":
+			cfg.Hysteresis, err = strconv.ParseFloat(v, 64)
+		case "ewma":
+			cfg.EwmaAlpha, err = strconv.ParseFloat(v, 64)
+		default:
+			return cfg, fmt.Errorf("-autoscale: unknown key %q", k)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("-autoscale: bad %s=%s: %v", k, v, err)
+		}
+	}
+	return cfg, nil
+}
+
+// parseCanary reads the -canary spec:
+//
+//	steps=10;50;100,hold=2s,maxp99=250ms,maxerr=0.01,min-samples=20,
+//	grace=6s,remove-grace=500ms
+//
+// steps are semicolon-separated percentages ending the rollout at 100.
+func parseCanary(spec string) (controlplane.RolloutConfig, error) {
+	var cfg controlplane.RolloutConfig
+	kvs, err := splitKVs("canary", spec)
+	if err != nil {
+		return cfg, err
+	}
+	for _, kv := range kvs {
+		k, v := kv[0], kv[1]
+		switch k {
+		case "steps":
+			for _, s := range strings.Split(v, ";") {
+				pct, perr := strconv.Atoi(strings.TrimSpace(s))
+				if perr != nil || pct <= 0 || pct > 100 {
+					return cfg, fmt.Errorf("-canary: bad step %q (want 1..100)", s)
+				}
+				cfg.Steps = append(cfg.Steps, pct)
+			}
+		case "hold":
+			cfg.Hold, err = time.ParseDuration(v)
+		case "maxp99":
+			cfg.MaxP99, err = time.ParseDuration(v)
+		case "maxerr":
+			cfg.MaxErrorRate, err = strconv.ParseFloat(v, 64)
+		case "min-samples":
+			cfg.MinSamples, err = strconv.Atoi(v)
+		case "grace":
+			cfg.SampleGrace, err = time.ParseDuration(v)
+		case "remove-grace":
+			cfg.RemoveGrace, err = time.ParseDuration(v)
+		default:
+			return cfg, fmt.Errorf("-canary: unknown key %q", k)
+		}
+		if err != nil {
+			return cfg, fmt.Errorf("-canary: bad %s=%s: %v", k, v, err)
+		}
+	}
+	return cfg, nil
+}
+
+// startControlPlane assembles and boots the fleet: parse the pacing specs,
+// install every -model/-synthetic deployment, scale to the floor and start
+// the autoscaler loop.
+func startControlPlane(models modelFlags, synthetic string, features, steps int,
+	batch serving.BatchOptions, deadline, window time.Duration,
+	autoscaleSpec, canarySpec string) (*controlplane.ControlPlane, error) {
+
+	ascfg, err := parseAutoscale(autoscaleSpec)
+	if err != nil {
+		return nil, err
+	}
+	rocfg := controlplane.RolloutConfig{}
+	if canarySpec != "" {
+		if rocfg, err = parseCanary(canarySpec); err != nil {
+			return nil, err
+		}
+	}
+	cp, err := controlplane.New(controlplane.Config{
+		Batch:      batch,
+		Router:     serving.RouterOptions{DefaultDeadline: deadline},
+		Autoscaler: ascfg,
+		Rollout:    rocfg,
+		Window:     window,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, m := range models {
+		// Load once up front: it validates the checkpoint and pins the
+		// served version to its step, so every backend agrees.
+		mv, lerr := serving.LoadLinear(m.name, 0, m.path)
+		if lerr != nil {
+			cp.Close()
+			return nil, lerr
+		}
+		if serr := cp.Fleet().SetModel(m.name, mv.Version(), controlplane.CheckpointSource(m.path)); serr != nil {
+			cp.Close()
+			return nil, serr
+		}
+		fmt.Printf("tfserve: fleet model %s v%d from %s (d=%d)\n",
+			m.name, mv.Version(), m.path, mv.Signature().Features)
+	}
+	if synthetic != "" {
+		w, terr := trainSyntheticWeights(features, steps)
+		if terr != nil {
+			cp.Close()
+			return nil, terr
+		}
+		if serr := cp.Fleet().SetModel(synthetic, steps, controlplane.LinearSource(w)); serr != nil {
+			cp.Close()
+			return nil, serr
+		}
+		fmt.Printf("tfserve: fleet synthetic %s v%d (d=%d)\n", synthetic, steps, features)
+	}
+	if len(models) == 0 && synthetic == "" {
+		cp.Close()
+		return nil, fmt.Errorf("-autoscale needs at least one -model or -synthetic deployment")
+	}
+	if err := cp.Start(); err != nil {
+		cp.Close()
+		return nil, err
+	}
+	return cp, nil
+}
+
+// checkpointLoader validates a rollout request's checkpoint eagerly (a bad
+// path fails the POST, not the fleet) and hands back the per-backend source.
+func checkpointLoader(path string) (controlplane.ModelSource, error) {
+	if _, err := serving.LoadLinear("canary-probe", 0, path); err != nil {
+		return nil, err
+	}
+	return controlplane.CheckpointSource(path), nil
+}
+
+// controlPlaneMux composes the serving front-end with the control-plane
+// endpoints: /controlz[...] hits the control plane, everything else the
+// router's predict surface.
+func controlPlaneMux(cp *controlplane.ControlPlane) http.Handler {
+	h := cp.Handler(checkpointLoader)
+	mux := http.NewServeMux()
+	mux.Handle("/controlz", h)
+	mux.Handle("/controlz/", h)
+	mux.Handle("/", serving.NewHTTPHandler(cp.Router()))
+	return mux
+}

@@ -8,12 +8,17 @@
 //	tfserve -listen 127.0.0.1:8500 -rpc 127.0.0.1:8501 -model a=a.ckpt -model b=b.ckpt
 //	tfserve -listen 127.0.0.1:8500 -synthetic demo -features 256
 //	tfserve -listen 127.0.0.1:8500 -route 127.0.0.1:8501,127.0.0.1:8502
+//	tfserve -listen 127.0.0.1:8500 -model prices=model.ckpt \
+//	        -autoscale min=1,max=4,target=8 -canary steps=10;50;100,hold=2s
 //
 // -model name=path serves a checkpoint written by tfsgd -checkpoint (or any
 // servable linear checkpoint). -synthetic trains a small SGD linear model
 // in-process and serves it — the zero-setup demo. -route makes this process
 // a front router spreading requests over replica tfserve/tfserver tasks
 // (least-loaded, failure-aware) instead of hosting models itself.
+// -autoscale runs the serving control plane: an in-process replica fleet
+// behind the router, sized by live load, with /controlz status and (with
+// -canary) SLO-gated canary rollouts via POST /controlz/rollout.
 //
 //	curl -s localhost:8500/v1/models
 //	curl -s -X POST localhost:8500/v1/models/demo:predict \
@@ -36,6 +41,7 @@ import (
 	"tfhpc/internal/pprofsrv"
 	"tfhpc/internal/rpc"
 	"tfhpc/internal/serving"
+	"tfhpc/internal/tensor"
 )
 
 // modelFlags collects repeated -model name=path pairs.
@@ -61,6 +67,9 @@ func main() {
 	features := flag.Int("features", 256, "synthetic model dimension")
 	steps := flag.Int("steps", 40, "synthetic model training steps")
 	route := flag.String("route", "", "route to replica addresses host:port,... instead of hosting models")
+	autoscale := flag.String("autoscale", "", `run the serving control plane over an in-process replica fleet: "min=1,max=4,target=8[,tick=250ms,up-cooldown=...,down-cooldown=...,p99-ceiling=...,hysteresis=...,ewma=...]"`)
+	canary := flag.String("canary", "", `canary rollout pacing (needs -autoscale): "steps=10;50;100[,hold=2s,maxp99=250ms,maxerr=0.01,min-samples=20,grace=...,remove-grace=...]"`)
+	sloWindow := flag.Duration("slo-window", 30*time.Second, "SLO monitor window for autoscale/canary decisions")
 	maxBatch := flag.Int("max-batch", 32, "micro-batcher flush threshold (1 disables batching)")
 	batchTimeout := flag.Duration("batch-timeout", 2*time.Millisecond, "micro-batcher coalescing window")
 	queueDepth := flag.Int("queue", 1024, "per-model admission queue depth")
@@ -77,9 +86,35 @@ func main() {
 		fmt.Printf("tfserve: pprof on http://%s/debug/pprof/\n", bound)
 	}
 
+	batch := serving.BatchOptions{
+		MaxBatch:        *maxBatch,
+		Timeout:         *batchTimeout,
+		QueueDepth:      *queueDepth,
+		DefaultDeadline: *deadline,
+		Runners:         *runners,
+	}
+
 	var predictor serving.Predictor
 	var cleanup func()
-	if *route != "" {
+	var handler http.Handler
+	if *canary != "" && *autoscale == "" {
+		fatal(fmt.Errorf("-canary needs -autoscale (the rollout controller lives in the control plane)"))
+	}
+	if *autoscale != "" {
+		if *route != "" {
+			fatal(fmt.Errorf("-autoscale excludes -route (the control plane runs its own router)"))
+		}
+		cp, err := startControlPlane(models, *synthetic, *features, *steps,
+			batch, *deadline, *sloWindow, *autoscale, *canary)
+		if err != nil {
+			fatal(err)
+		}
+		predictor = cp.Router()
+		cleanup = cp.Close
+		handler = controlPlaneMux(cp)
+		fmt.Printf("tfserve: control plane up, replicas %s\n",
+			strings.Join(cp.Fleet().Addrs(), ","))
+	} else if *route != "" {
 		if len(models) > 0 || *synthetic != "" {
 			fatal(fmt.Errorf("-route excludes -model/-synthetic (a router hosts no models)"))
 		}
@@ -93,13 +128,7 @@ func main() {
 		cleanup = r.Close
 		fmt.Printf("tfserve: routing over replicas %s\n", *route)
 	} else {
-		svc := serving.NewService(serving.NewRegistry(), serving.BatchOptions{
-			MaxBatch:        *maxBatch,
-			Timeout:         *batchTimeout,
-			QueueDepth:      *queueDepth,
-			DefaultDeadline: *deadline,
-			Runners:         *runners,
-		})
+		svc := serving.NewService(serving.NewRegistry(), batch)
 		for _, m := range models {
 			mv, err := serving.LoadLinear(m.name, 0, m.path)
 			if err != nil {
@@ -129,10 +158,13 @@ func main() {
 		cleanup = svc.Close
 	}
 
-	// Binary endpoint (the router's replica-facing surface).
+	// Binary endpoint (the router's replica-facing surface). Health answers
+	// the cluster liveness probe — a fleet's ReapDead/UnbenchRecovered can
+	// treat a plain tfserve replica like any cluster task.
 	var rpcSrv *rpc.Server
 	if *rpcAddr != "" {
 		rpcSrv = rpc.NewServer()
+		rpcSrv.Handle("Health", func([]byte) ([]byte, error) { return []byte("ok"), nil })
 		serving.Attach(rpcSrv, predictor)
 		bound, err := rpcSrv.Listen(*rpcAddr)
 		if err != nil {
@@ -145,7 +177,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	httpSrv := &http.Server{Handler: serving.NewHTTPHandler(predictor)}
+	if handler == nil {
+		handler = serving.NewHTTPHandler(predictor)
+	}
+	httpSrv := &http.Server{Handler: handler}
 	go httpSrv.Serve(ln)
 	fmt.Printf("tfserve: HTTP predictor on %s\n", ln.Addr())
 
@@ -164,6 +199,16 @@ func main() {
 // learned weights as a servable version — train → serve with no file in
 // between.
 func trainSynthetic(name string, features, steps int) (*serving.ModelVersion, error) {
+	w, err := trainSyntheticWeights(features, steps)
+	if err != nil {
+		return nil, err
+	}
+	return serving.NewLinear(name, steps, w)
+}
+
+// trainSyntheticWeights is the trainable half of -synthetic: the control
+// plane reuses the learned weights as a ModelSource for every backend.
+func trainSyntheticWeights(features, steps int) (*tensor.Tensor, error) {
 	res, err := sgd.RunReal(sgd.Config{
 		Features:      features,
 		RowsPerWorker: 4 * features,
@@ -176,7 +221,7 @@ func trainSynthetic(name string, features, steps int) (*serving.ModelVersion, er
 	if err != nil {
 		return nil, err
 	}
-	return serving.NewLinear(name, steps, res.Weights)
+	return res.Weights, nil
 }
 
 func fatal(err error) {

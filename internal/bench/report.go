@@ -24,6 +24,7 @@ type Report struct {
 	Fft        *FftResult        `json:"fft,omitempty"`
 	Collective *CollectiveResult `json:"collective,omitempty"`
 	Serving    []ServingRow      `json:"serving,omitempty"`
+	Rollout    *RolloutResult    `json:"rollout,omitempty"`
 	// Figures holds the rendered text of the paper-figure experiments,
 	// which have no natural tabular schema beyond their printed form.
 	Figures map[string]string `json:"figures,omitempty"`
@@ -34,7 +35,7 @@ type Report struct {
 // sweeps. "figures" and "all" expand to them respectively.
 var (
 	FigureNames     = []string{"table1", "fig7", "fig8", "fig9", "fig10", "fig11"}
-	ExperimentNames = append(append([]string{}, FigureNames...), "gemm", "fft", "collective", "serving")
+	ExperimentNames = append(append([]string{}, FigureNames...), "gemm", "fft", "collective", "serving", "rollout")
 )
 
 // Run executes the named experiments in order and returns the combined
@@ -100,6 +101,10 @@ func Run(exps []string) (*Report, string, error) {
 		case "serving":
 			if rep.Serving, err = ServingRows(); err == nil {
 				text = renderServing(rep.Serving)
+			}
+		case "rollout":
+			if rep.Rollout, err = RolloutRun(); err == nil {
+				text = renderRollout(rep.Rollout)
 			}
 		default:
 			err = fmt.Errorf("bench: unknown experiment %q (want all|figures|%s)",

@@ -1,0 +1,322 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tfhpc/internal/serving"
+	"tfhpc/internal/serving/controlplane"
+	"tfhpc/internal/tensor"
+)
+
+// RolloutResult measures the serving control plane end to end: a full canary
+// rollout (deploy → stepped traffic split → promote) executed under
+// sustained open-loop load while the autoscaler grows and shrinks the fleet.
+// The claims the CI gate stands on: Drops stays exactly zero (no control
+// action ever costs a request) and Latency.P99Ms stays bounded through every
+// transition. ColdFirstMs vs WarmFirstMs isolates what the warmup stage buys
+// the first real request.
+type RolloutResult struct {
+	Clients       int            `json:"clients"`
+	TargetRps     float64        `json:"target_rps"`
+	Seconds       float64        `json:"seconds"`
+	Requests      int64          `json:"requests"`
+	Drops         int64          `json:"drops"`
+	Latency       LatencySummary `json:"latency"`
+	CanaryLatency LatencySummary `json:"canary_latency"`
+	ScaleUps      int64          `json:"scale_ups"`
+	ScaleDowns    int64          `json:"scale_downs"`
+	Flaps         int64          `json:"flaps"`
+	MaxReplicas   int            `json:"max_replicas"`
+	MinReplicas   int            `json:"min_replicas"`
+	RolloutState  string         `json:"rollout_state"`
+	ColdFirstMs   float64        `json:"cold_first_ms"`
+	WarmFirstMs   float64        `json:"warm_first_ms"`
+}
+
+// rolloutLoad is a stoppable open-loop generator: arrivals at a fixed rate
+// dispatched over a pool of persistent workers, latency charged from the
+// scheduled arrival. Any per-request error is a drop — the scenario has no
+// acceptable failure mode.
+type rolloutLoad struct {
+	router *serving.Router
+	rows   []*tensor.Tensor
+	hist   *LatencyHist
+
+	stop  chan struct{}
+	wg    sync.WaitGroup
+	sent  atomic.Int64
+	drops atomic.Int64
+}
+
+func startRolloutLoad(router *serving.Router, d, clients int, rate float64) *rolloutLoad {
+	rows := make([]*tensor.Tensor, 64)
+	r := tensor.NewRNG(11)
+	for i := range rows {
+		buf := make([]float64, d)
+		for j := range buf {
+			buf[j] = r.Float64()*2 - 1
+		}
+		rows[i] = tensor.FromF64(tensor.Shape{d}, buf)
+	}
+	l := &rolloutLoad{
+		router: router,
+		rows:   rows,
+		hist:   NewLatencyHist(),
+		stop:   make(chan struct{}),
+	}
+	type arrival struct {
+		t0 time.Time
+		i  int
+	}
+	arrivals := make(chan arrival, 4*clients)
+	for c := 0; c < clients; c++ {
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			for a := range arrivals {
+				_, err := l.router.Predict("bench", l.rows[a.i%len(l.rows)], a.t0.Add(2*time.Second))
+				if err != nil {
+					l.drops.Add(1)
+					continue
+				}
+				l.hist.Record(time.Since(a.t0))
+			}
+		}()
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	l.wg.Add(1)
+	go func() {
+		defer l.wg.Done()
+		defer close(arrivals)
+		start := time.Now()
+		for i := 0; ; i++ {
+			slot := start.Add(time.Duration(i) * interval)
+			if d := time.Until(slot); d > 0 {
+				select {
+				case <-l.stop:
+					return
+				case <-time.After(d):
+				}
+			} else {
+				select {
+				case <-l.stop:
+					return
+				default:
+				}
+			}
+			select {
+			case arrivals <- arrival{t0: time.Now(), i: i}:
+				l.sent.Add(1)
+			case <-l.stop:
+				return
+			}
+		}
+	}()
+	return l
+}
+
+// halt stops arrivals and waits for every in-flight request to answer.
+func (l *rolloutLoad) halt() {
+	close(l.stop)
+	l.wg.Wait()
+}
+
+// firstRequestMs times the very first Predict on a freshly built version —
+// cold (straight from build) or warmed (after the control plane's warmup
+// ladder) — isolating the session/buffer costs warmup pre-pays.
+func firstRequestMs(d int, warm bool) (float64, error) {
+	w := make([]float64, d)
+	for i := range w {
+		w[i] = 0.5 + float64(i%17)*0.03125
+	}
+	mv, err := serving.NewLinear("first", 1, tensor.FromF64(tensor.Shape{d}, w))
+	if err != nil {
+		return 0, err
+	}
+	if warm {
+		if _, err := controlplane.Warm(mv, controlplane.WarmupConfig{}); err != nil {
+			return 0, err
+		}
+	}
+	row := make([]float64, d)
+	for i := range row {
+		row[i] = 0.1 * float64(i%7)
+	}
+	batch := tensor.FromF64(tensor.Shape{1, d}, row)
+	t0 := time.Now()
+	if _, err := mv.Predict(batch); err != nil {
+		return 0, err
+	}
+	return float64(time.Since(t0)) / float64(time.Millisecond), nil
+}
+
+// RolloutRun drives the scenario: boot a control plane at its floor, put it
+// under sustained open-loop load, let the autoscaler grow the fleet, run a
+// full stepped canary rollout to promotion, stop the load and wait out the
+// scale-down — measuring requests, drops, latency by arm, and the
+// autoscaler's trajectory throughout.
+func RolloutRun() (*RolloutResult, error) {
+	const (
+		d       = 256
+		clients = 256
+		rate    = 2000.0
+	)
+	canaryHist := NewLatencyHist()
+	cp, err := controlplane.New(controlplane.Config{
+		Batch: serving.BatchOptions{
+			MaxBatch:        32,
+			Timeout:         2 * time.Millisecond,
+			QueueDepth:      4096,
+			Runners:         2,
+			DefaultDeadline: 2 * time.Second,
+		},
+		Router: serving.RouterOptions{
+			DefaultDeadline: 2 * time.Second,
+			Observer: func(model string, canary bool, latency time.Duration, err error) {
+				if canary && err == nil {
+					canaryHist.Record(latency)
+				}
+			},
+		},
+		Warmup: controlplane.WarmupConfig{Rounds: 1, MaxBatch: 32},
+		Autoscaler: controlplane.AutoscalerConfig{
+			Min: 1, Max: 4,
+			// Target 1 outstanding per replica: at 2000 rps the line builds
+			// several in-flight requests, so growth is guaranteed and the
+			// rollout runs against a multi-replica fleet.
+			TargetOutstanding: 1,
+			Tick:              100 * time.Millisecond,
+			DownCooldown:      time.Second,
+		},
+		Window: 10 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cp.Close()
+
+	w1 := make([]float64, d)
+	w2 := make([]float64, d)
+	for i := range w1 {
+		w1[i] = 0.25 + float64(i%31)*0.0625
+		w2[i] = w1[i] * 1.01
+	}
+	if err := cp.Fleet().SetModel("bench", 1, controlplane.LinearSource(tensor.FromF64(tensor.Shape{d}, w1))); err != nil {
+		return nil, err
+	}
+	if err := cp.Start(); err != nil {
+		return nil, err
+	}
+
+	// Track the replica-count envelope while the scenario runs.
+	maxReplicas := cp.Fleet().Size()
+	sizeStop := make(chan struct{})
+	sizeDone := make(chan struct{})
+	go func() {
+		defer close(sizeDone)
+		t := time.NewTicker(25 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-sizeStop:
+				return
+			case <-t.C:
+				if n := cp.Fleet().Size(); n > maxReplicas {
+					maxReplicas = n
+				}
+			}
+		}
+	}()
+
+	start := time.Now()
+	load := startRolloutLoad(cp.Router(), d, clients, rate)
+
+	// Give the autoscaler a few ticks to see the load before the rollout.
+	time.Sleep(600 * time.Millisecond)
+
+	ro, err := cp.StartRollout("bench", 2,
+		controlplane.LinearSource(tensor.FromF64(tensor.Shape{d}, w2)),
+		controlplane.RolloutConfig{
+			Steps:      []int{25, 50, 100},
+			Hold:       500 * time.Millisecond,
+			MinSamples: 50,
+			MaxP99:     time.Second,
+		})
+	if err != nil {
+		load.halt()
+		close(sizeStop)
+		<-sizeDone
+		return nil, err
+	}
+	<-ro.Done()
+
+	// Hold the load briefly past promotion (the promoted version serves the
+	// same traffic), then stop and wait out the scale-down.
+	time.Sleep(300 * time.Millisecond)
+	load.halt()
+	elapsed := time.Since(start).Seconds()
+
+	deadline := time.Now().Add(8 * time.Second)
+	for cp.Fleet().Size() > 1 && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	close(sizeStop)
+	<-sizeDone
+
+	coldMs, err := firstRequestMs(d, false)
+	if err != nil {
+		return nil, err
+	}
+	warmMs, err := firstRequestMs(d, true)
+	if err != nil {
+		return nil, err
+	}
+
+	st := cp.Autoscaler().Status()
+	roState, _ := ro.Terminal()
+	return &RolloutResult{
+		Clients:       clients,
+		TargetRps:     rate,
+		Seconds:       elapsed,
+		Requests:      load.sent.Load(),
+		Drops:         load.drops.Load(),
+		Latency:       load.hist.Summary(),
+		CanaryLatency: canaryHist.Summary(),
+		ScaleUps:      st.ScaleUps,
+		ScaleDowns:    st.ScaleDowns,
+		Flaps:         st.Flaps,
+		MaxReplicas:   maxReplicas,
+		MinReplicas:   cp.Fleet().Size(),
+		RolloutState:  roState,
+		ColdFirstMs:   coldMs,
+		WarmFirstMs:   warmMs,
+	}, nil
+}
+
+// Rollout renders the control-plane rollout benchmark.
+func Rollout() (string, error) {
+	res, err := RolloutRun()
+	if err != nil {
+		return "", err
+	}
+	return renderRollout(res), nil
+}
+
+func renderRollout(r *RolloutResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Control plane: canary rollout under %d-conn open loop @ %.0f rps (%.1fs)\n",
+		r.Clients, r.TargetRps, r.Seconds)
+	fmt.Fprintf(&sb, "  requests %d  drops %d  rollout %s  replicas %d..%d  scale +%d/-%d  flaps %d\n",
+		r.Requests, r.Drops, r.RolloutState, r.MinReplicas, r.MaxReplicas,
+		r.ScaleUps, r.ScaleDowns, r.Flaps)
+	fmt.Fprintf(&sb, "  latency   p50 %.3fms  p95 %.3fms  p99 %.3fms  max %.2fms\n",
+		r.Latency.P50Ms, r.Latency.P95Ms, r.Latency.P99Ms, r.Latency.MaxMs)
+	fmt.Fprintf(&sb, "  canary    p50 %.3fms  p95 %.3fms  p99 %.3fms  max %.2fms\n",
+		r.CanaryLatency.P50Ms, r.CanaryLatency.P95Ms, r.CanaryLatency.P99Ms, r.CanaryLatency.MaxMs)
+	fmt.Fprintf(&sb, "  first request: cold %.3fms  warmed %.3fms\n", r.ColdFirstMs, r.WarmFirstMs)
+	return sb.String()
+}

@@ -1,0 +1,307 @@
+package controlplane
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// AutoscalerConfig bounds and paces the replica-count loop.
+type AutoscalerConfig struct {
+	// Min/Max bound the replica count (defaults 1 and 4). The fleet never
+	// leaves [Min, Max] on the autoscaler's account.
+	Min, Max int
+	// TargetOutstanding is the desired mean in-flight requests per replica
+	// (default 4): desired = ceil(load / target).
+	TargetOutstanding float64
+	// P99Ceiling, when set, adds a latency trigger: aggregate window p99
+	// above it requests one more replica even if outstanding looks fine.
+	P99Ceiling time.Duration
+	// Tick is the control-loop period (default 250ms).
+	Tick time.Duration
+	// UpCooldown is the minimum gap between scale-ups (default one tick):
+	// growth should be fast.
+	UpCooldown time.Duration
+	// DownCooldown is the minimum gap between scale-downs (default 3s):
+	// shrink should be deliberate — a retire costs a drain and a respawn
+	// costs a warmup.
+	DownCooldown time.Duration
+	// Hysteresis widens the scale-down band (default 0.25): shrink only if
+	// the load would still fit with (1+Hysteresis) headroom at the smaller
+	// size. It is what keeps a load sitting on a replica boundary from
+	// flapping the fleet.
+	Hysteresis float64
+	// EwmaAlpha smooths the sampled load (default 0.3, 1 disables
+	// smoothing).
+	EwmaAlpha float64
+	// FlapWindow and FlapLoadDelta define a flap: a scale reversing the
+	// previous scale's direction within FlapWindow while the smoothed load
+	// moved less than FlapLoadDelta (relative, default 10s / 0.2). Flaps are
+	// counted, surfaced in status, and asserted zero by the CI smoke.
+	FlapWindow    time.Duration
+	FlapLoadDelta float64
+}
+
+func (c AutoscalerConfig) withDefaults() AutoscalerConfig {
+	if c.Min <= 0 {
+		c.Min = 1
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+		if c.Max < 4 {
+			c.Max = 4
+		}
+	}
+	if c.TargetOutstanding <= 0 {
+		c.TargetOutstanding = 4
+	}
+	if c.Tick <= 0 {
+		c.Tick = 250 * time.Millisecond
+	}
+	if c.UpCooldown <= 0 {
+		c.UpCooldown = c.Tick
+	}
+	if c.DownCooldown <= 0 {
+		c.DownCooldown = 3 * time.Second
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = 0.25
+	}
+	if c.EwmaAlpha <= 0 || c.EwmaAlpha > 1 {
+		c.EwmaAlpha = 0.3
+	}
+	if c.FlapWindow <= 0 {
+		c.FlapWindow = 10 * time.Second
+	}
+	if c.FlapLoadDelta <= 0 {
+		c.FlapLoadDelta = 0.2
+	}
+	return c
+}
+
+// Autoscaler closes the loop from the router's load signals to the fleet's
+// size: each tick it reaps dead members, paroles recovered benched replicas,
+// samples total outstanding requests, and resizes the fleet toward
+// ceil(load/target) within [Min, Max] — scale-ups after UpCooldown,
+// scale-downs after DownCooldown and only with hysteresis headroom.
+type Autoscaler struct {
+	cfg   AutoscalerConfig
+	fleet *Fleet
+
+	// load and p99 are the sampled signals; injectable for deterministic
+	// tests. Defaults: router total outstanding, monitor aggregate p99.
+	load func() float64
+	p99  func() time.Duration
+
+	mu          sync.Mutex
+	ewma        float64
+	havePrev    bool
+	lastUp      time.Time
+	lastDown    time.Time
+	lastDir     int // +1 up, -1 down, 0 none yet
+	lastDirAt   time.Time
+	lastDirLoad float64
+	scaleUps    int64
+	scaleDowns  int64
+	flaps       int64
+	lastErr     string
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewAutoscaler wires an autoscaler over a fleet. monitor may be nil when no
+// latency ceiling is configured.
+func NewAutoscaler(fleet *Fleet, monitor *Monitor, cfg AutoscalerConfig) *Autoscaler {
+	a := &Autoscaler{cfg: cfg.withDefaults(), fleet: fleet}
+	a.load = func() float64 { return float64(fleet.Router().Outstanding()) }
+	if monitor != nil {
+		a.p99 = monitor.P99
+	} else {
+		a.p99 = func() time.Duration { return 0 }
+	}
+	return a
+}
+
+// Start launches the control loop. Stop with Close.
+func (a *Autoscaler) Start() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.stop != nil {
+		return
+	}
+	a.stop = make(chan struct{})
+	a.done = make(chan struct{})
+	go a.run(a.stop, a.done)
+}
+
+func (a *Autoscaler) run(stop, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(a.cfg.Tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case now := <-t.C:
+			a.tick(now)
+		}
+	}
+}
+
+// Close stops the loop (the fleet is left at its current size).
+func (a *Autoscaler) Close() {
+	a.mu.Lock()
+	stop, done := a.stop, a.done
+	a.stop, a.done = nil, nil
+	a.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// tick runs one control iteration at the given time.
+func (a *Autoscaler) tick(now time.Time) {
+	// Membership health first: replace dead members and parole recovered
+	// benched ones, so the size decision acts on a truthful replica view.
+	if _, err := a.fleet.ReapDead(); err != nil {
+		a.setErr(fmt.Sprintf("reap: %v", err))
+	}
+	a.fleet.UnbenchRecovered()
+
+	load := a.load()
+	a.mu.Lock()
+	if !a.havePrev {
+		a.ewma, a.havePrev = load, true
+	} else {
+		a.ewma = a.cfg.EwmaAlpha*load + (1-a.cfg.EwmaAlpha)*a.ewma
+	}
+	ewma := a.ewma
+	a.mu.Unlock()
+
+	cur := a.fleet.Size()
+	if cur == 0 && a.cfg.Min > 0 {
+		// Bootstrapping (or everything died and reap could not respawn):
+		// force the floor.
+		a.resize(now, a.cfg.Min, ewma)
+		return
+	}
+
+	desiredUp := int(math.Ceil(ewma / a.cfg.TargetOutstanding))
+	if a.cfg.P99Ceiling > 0 && a.p99() > a.cfg.P99Ceiling && desiredUp <= cur {
+		desiredUp = cur + 1
+	}
+	// The shrink target answers a stricter question: would the load still
+	// fit with hysteresis headroom at the smaller size?
+	desiredDown := int(math.Ceil(ewma * (1 + a.cfg.Hysteresis) / a.cfg.TargetOutstanding))
+	desiredUp = clamp(desiredUp, a.cfg.Min, a.cfg.Max)
+	desiredDown = clamp(desiredDown, a.cfg.Min, a.cfg.Max)
+
+	switch {
+	case desiredUp > cur && now.Sub(a.last(+1)) >= a.cfg.UpCooldown:
+		a.resize(now, desiredUp, ewma)
+	case desiredDown < cur && now.Sub(a.last(-1)) >= a.cfg.DownCooldown:
+		a.resize(now, desiredDown, ewma)
+	}
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// last returns the reference time the cooldown for direction dir measures
+// from: scale-ups pace against the previous up only (growth stays fast even
+// right after a shrink), while scale-downs pace against the most recent
+// scale of either direction — a shrink right after a growth is the
+// definition of a flap, so the down-cooldown must gate it.
+func (a *Autoscaler) last(dir int) time.Time {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if dir > 0 {
+		return a.lastUp
+	}
+	if a.lastUp.After(a.lastDown) {
+		return a.lastUp
+	}
+	return a.lastDown
+}
+
+// resize moves the fleet to n and books the direction, cooldown stamp and —
+// when this scale reverses the previous one on an unchanged load — a flap.
+func (a *Autoscaler) resize(now time.Time, n int, ewma float64) {
+	cur := a.fleet.Size()
+	if n == cur {
+		return
+	}
+	dir := +1
+	if n < cur {
+		dir = -1
+	}
+	if err := a.fleet.ScaleTo(n); err != nil {
+		a.setErr(fmt.Sprintf("scale to %d: %v", n, err))
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if dir > 0 {
+		a.lastUp = now
+		a.scaleUps++
+	} else {
+		a.lastDown = now
+		a.scaleDowns++
+	}
+	if a.lastDir == -dir && now.Sub(a.lastDirAt) <= a.cfg.FlapWindow {
+		ref := math.Max(math.Abs(a.lastDirLoad), 1)
+		if math.Abs(ewma-a.lastDirLoad)/ref < a.cfg.FlapLoadDelta {
+			a.flaps++
+		}
+	}
+	a.lastDir, a.lastDirAt, a.lastDirLoad = dir, now, ewma
+}
+
+func (a *Autoscaler) setErr(msg string) {
+	a.mu.Lock()
+	a.lastErr = msg
+	a.mu.Unlock()
+}
+
+// AutoscalerStatus is the loop's live view for the status endpoint.
+type AutoscalerStatus struct {
+	Min               int     `json:"min"`
+	Max               int     `json:"max"`
+	Size              int     `json:"size"`
+	TargetOutstanding float64 `json:"target_outstanding"`
+	EwmaOutstanding   float64 `json:"ewma_outstanding"`
+	P99Ms             float64 `json:"p99_ms"`
+	ScaleUps          int64   `json:"scale_ups"`
+	ScaleDowns        int64   `json:"scale_downs"`
+	Flaps             int64   `json:"flaps"`
+	LastError         string  `json:"last_error,omitempty"`
+}
+
+// Status snapshots the loop.
+func (a *Autoscaler) Status() AutoscalerStatus {
+	p99 := a.p99()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AutoscalerStatus{
+		Min:               a.cfg.Min,
+		Max:               a.cfg.Max,
+		Size:              a.fleet.Size(),
+		TargetOutstanding: a.cfg.TargetOutstanding,
+		EwmaOutstanding:   a.ewma,
+		P99Ms:             float64(p99) / float64(time.Millisecond),
+		ScaleUps:          a.scaleUps,
+		ScaleDowns:        a.scaleDowns,
+		Flaps:             a.flaps,
+		LastError:         a.lastErr,
+	}
+}

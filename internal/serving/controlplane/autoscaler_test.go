@@ -1,0 +1,151 @@
+package controlplane
+
+import (
+	"testing"
+	"time"
+
+	"tfhpc/internal/serving"
+)
+
+// scalerHarness builds a real fleet (no models — the load signal is
+// injected) plus an un-started autoscaler ticked by hand with synthetic
+// clock times, so every decision is deterministic.
+func scalerHarness(t *testing.T, cfg AutoscalerConfig) (*Autoscaler, *Fleet, func(load float64)) {
+	t.Helper()
+	fleet, _ := testFleetNoModel(t)
+	if err := fleet.ScaleTo(cfg.Min); err != nil {
+		t.Fatal(err)
+	}
+	a := NewAutoscaler(fleet, nil, cfg)
+	load := 0.0
+	a.load = func() float64 { return load }
+	return a, fleet, func(l float64) { load = l }
+}
+
+func testFleetNoModel(t *testing.T) (*Fleet, func()) {
+	t.Helper()
+	router, err := serving.NewRouter(nil, serving.RouterOptions{BenchUntilHealthy: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := NewFleet(router, &ClusterSpawner{}, FleetOptions{DrainTimeout: time.Second})
+	cleanup := func() { fleet.Close(); router.Close() }
+	t.Cleanup(cleanup)
+	return fleet, cleanup
+}
+
+func TestAutoscalerScalesUpAndDownWithinBounds(t *testing.T) {
+	cfg := AutoscalerConfig{
+		Min: 1, Max: 3, TargetOutstanding: 4, EwmaAlpha: 1,
+		UpCooldown: 100 * time.Millisecond, DownCooldown: time.Second,
+		Hysteresis: 0.25,
+	}
+	a, fleet, setLoad := scalerHarness(t, cfg)
+
+	now := time.Unix(1000, 0)
+	// Load for 5 replicas, but Max caps at 3.
+	setLoad(20)
+	a.tick(now)
+	if fleet.Size() != 3 {
+		t.Fatalf("size=%d after load 20, want 3 (Max)", fleet.Size())
+	}
+	// Load vanishes: no shrink before DownCooldown...
+	setLoad(0)
+	a.tick(now.Add(200 * time.Millisecond))
+	if fleet.Size() != 3 {
+		t.Fatalf("shrank before DownCooldown: size=%d", fleet.Size())
+	}
+	// ...then all the way to Min after it.
+	a.tick(now.Add(2 * time.Second))
+	if fleet.Size() != 1 {
+		t.Fatalf("size=%d after idle cooldown, want 1 (Min)", fleet.Size())
+	}
+	st := a.Status()
+	if st.ScaleUps < 1 || st.ScaleDowns < 1 {
+		t.Fatalf("counters: ups=%d downs=%d", st.ScaleUps, st.ScaleDowns)
+	}
+	if st.Flaps != 0 {
+		t.Fatalf("flaps=%d on a load change of 20→0 (should not count)", st.Flaps)
+	}
+}
+
+// A load sitting on a replica boundary must not bounce the fleet: the
+// hysteresis band keeps the larger size.
+func TestAutoscalerHysteresisHoldsBoundaryLoad(t *testing.T) {
+	cfg := AutoscalerConfig{
+		Min: 1, Max: 4, TargetOutstanding: 4, EwmaAlpha: 1,
+		UpCooldown: 50 * time.Millisecond, DownCooldown: 50 * time.Millisecond,
+		Hysteresis: 0.25,
+	}
+	a, fleet, setLoad := scalerHarness(t, cfg)
+
+	now := time.Unix(1000, 0)
+	setLoad(4.4) // ceil(4.4/4) = 2
+	a.tick(now)
+	if fleet.Size() != 2 {
+		t.Fatalf("size=%d after load 4.4, want 2", fleet.Size())
+	}
+	// Dips just under the boundary: 3.9*(1.25)/4 = 1.22 → still needs 2.
+	setLoad(3.9)
+	for i := 1; i <= 5; i++ {
+		a.tick(now.Add(time.Duration(i) * time.Second))
+	}
+	if fleet.Size() != 2 {
+		t.Fatalf("hysteresis failed: size=%d after boundary dip, want 2", fleet.Size())
+	}
+	if st := a.Status(); st.Flaps != 0 {
+		t.Fatalf("flaps=%d, want 0", st.Flaps)
+	}
+}
+
+// With the hysteresis band shrunk to nothing, a boundary dip does reverse
+// the previous scale on an unchanged load — which is exactly what the flap
+// counter must book.
+func TestAutoscalerFlapCounter(t *testing.T) {
+	cfg := AutoscalerConfig{
+		Min: 1, Max: 4, TargetOutstanding: 4, EwmaAlpha: 1,
+		UpCooldown: 50 * time.Millisecond, DownCooldown: 50 * time.Millisecond,
+		Hysteresis: 0.001, FlapWindow: 10 * time.Second, FlapLoadDelta: 0.2,
+	}
+	a, fleet, setLoad := scalerHarness(t, cfg)
+
+	now := time.Unix(1000, 0)
+	setLoad(4.1)
+	a.tick(now)
+	if fleet.Size() != 2 {
+		t.Fatalf("size=%d after load 4.1, want 2", fleet.Size())
+	}
+	setLoad(3.9) // |3.9-4.1|/4.1 < 0.2: same load, reversed direction
+	a.tick(now.Add(time.Second))
+	if fleet.Size() != 1 {
+		t.Fatalf("size=%d after dip with no hysteresis, want 1", fleet.Size())
+	}
+	if st := a.Status(); st.Flaps != 1 {
+		t.Fatalf("flaps=%d, want 1", st.Flaps)
+	}
+}
+
+// The p99 ceiling is an independent trigger: outstanding within target but
+// latency over the ceiling still grows the fleet.
+func TestAutoscalerP99CeilingTriggersGrowth(t *testing.T) {
+	cfg := AutoscalerConfig{
+		Min: 1, Max: 3, TargetOutstanding: 100, EwmaAlpha: 1,
+		P99Ceiling: 50 * time.Millisecond,
+		UpCooldown: 50 * time.Millisecond, DownCooldown: time.Hour,
+	}
+	a, fleet, setLoad := scalerHarness(t, cfg)
+	p99 := time.Duration(0)
+	a.p99 = func() time.Duration { return p99 }
+
+	now := time.Unix(1000, 0)
+	setLoad(1)
+	a.tick(now)
+	if fleet.Size() != 1 {
+		t.Fatalf("size=%d with cool p99, want 1", fleet.Size())
+	}
+	p99 = 200 * time.Millisecond
+	a.tick(now.Add(time.Second))
+	if fleet.Size() != 2 {
+		t.Fatalf("size=%d with p99 over ceiling, want 2", fleet.Size())
+	}
+}

@@ -1,0 +1,255 @@
+// Package controlplane is the serving fleet's self-management layer: an
+// autoscaler that closes the loop from the router's live load signals to the
+// replica count, a canary rollout controller that steps a traffic-split on
+// SLO hold and auto-rolls back on breach, and a warmup stage that keeps cold
+// costs off the first real request. It is the operability tier production
+// model servers (TF-Serving, KServe) put on top of a static deployment:
+//
+//	         ┌───────────── ControlPlane ─────────────┐
+//	         │  Autoscaler ──ScaleTo──▶ Fleet          │
+//	         │      ▲                   │ spawn/drain  │
+//	         │      │ load, p99         ▼              │
+//	traffic ─┼─▶ Router ◀──add/remove── backends       │
+//	         │      │ Observer                         │
+//	         │      ▼                                  │
+//	         │  Monitor ──SLO window──▶ Rollout        │
+//	         │                           │ split %     │
+//	         │                           ▼             │
+//	         │                        Router.SetSplit  │
+//	         └─────────────────────────────────────────┘
+//
+// The contract under all of it: no request is ever dropped by a control
+// action. Retire drains through the router, canary detach waits out rewritten
+// requests before unload, and promote is the registry's hot-swap.
+package controlplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"tfhpc/internal/serving"
+)
+
+// Config assembles a control plane.
+type Config struct {
+	// Batch applies to every replica's micro-batchers.
+	Batch serving.BatchOptions
+	// Router tunes the fronting router. BenchUntilHealthy is forced on —
+	// the control plane owns health probing — and Observer is chained onto
+	// the monitor.
+	Router serving.RouterOptions
+	// Warmup applies to every version before traffic-attach.
+	Warmup WarmupConfig
+	// Autoscaler bounds and paces the replica loop.
+	Autoscaler AutoscalerConfig
+	// Rollout defaults apply to StartRollout calls.
+	Rollout RolloutConfig
+	// Window is the SLO window span (default 30s; smokes use shorter).
+	Window time.Duration
+	// Job names the replica tasks (default "replica").
+	Job string
+	// DrainTimeout bounds replica retirement (default 5s).
+	DrainTimeout time.Duration
+	// Spawner overrides replica creation (default: in-process
+	// ClusterSpawner — loopback cluster tasks).
+	Spawner Spawner
+}
+
+// ControlPlane owns a router, the fleet behind it, the SLO monitor and the
+// autoscaler, and runs at most one rollout at a time.
+type ControlPlane struct {
+	router          *serving.Router
+	fleet           *Fleet
+	monitor         *Monitor
+	autoscaler      *Autoscaler
+	rolloutDefaults RolloutConfig
+
+	mu      sync.Mutex
+	rollout *Rollout
+	started bool
+	closed  bool
+}
+
+// New assembles a control plane; Start boots the fleet and control loop.
+func New(cfg Config) (*ControlPlane, error) {
+	monitor := NewMonitor(cfg.Window)
+	ropts := cfg.Router
+	ropts.BenchUntilHealthy = true
+	userObs := ropts.Observer
+	ropts.Observer = func(model string, canary bool, latency time.Duration, err error) {
+		monitor.Observe(model, canary, latency, err)
+		if userObs != nil {
+			userObs(model, canary, latency, err)
+		}
+	}
+	router, err := serving.NewRouter(nil, ropts)
+	if err != nil {
+		return nil, err
+	}
+	spawner := cfg.Spawner
+	if spawner == nil {
+		spawner = &ClusterSpawner{Job: cfg.Job, Batch: cfg.Batch}
+	}
+	fleet := NewFleet(router, spawner, FleetOptions{
+		Warmup:       cfg.Warmup,
+		DrainTimeout: cfg.DrainTimeout,
+	})
+	cp := &ControlPlane{
+		router:  router,
+		fleet:   fleet,
+		monitor: monitor,
+	}
+	cp.autoscaler = NewAutoscaler(fleet, monitor, cfg.Autoscaler)
+	cp.rolloutDefaults = cfg.Rollout
+	return cp, nil
+}
+
+// Router is the control plane's Predictor — put it behind the HTTP/binary
+// front-ends.
+func (cp *ControlPlane) Router() *serving.Router { return cp.router }
+
+// Fleet exposes the replica set (deploys, manual scaling).
+func (cp *ControlPlane) Fleet() *Fleet { return cp.fleet }
+
+// Monitor exposes the SLO windows.
+func (cp *ControlPlane) Monitor() *Monitor { return cp.monitor }
+
+// Autoscaler exposes the scaling loop.
+func (cp *ControlPlane) Autoscaler() *Autoscaler { return cp.autoscaler }
+
+// Start boots the fleet to the autoscaler's floor and starts the control
+// loop. Deploy models (Fleet().SetModel) before or after — future backends
+// pick up deployments either way.
+func (cp *ControlPlane) Start() error {
+	cp.mu.Lock()
+	if cp.started || cp.closed {
+		cp.mu.Unlock()
+		return fmt.Errorf("controlplane: already started or closed")
+	}
+	cp.started = true
+	cp.mu.Unlock()
+	if err := cp.fleet.ScaleTo(cp.autoscaler.cfg.Min); err != nil {
+		return err
+	}
+	cp.autoscaler.Start()
+	return nil
+}
+
+// StartRollout begins a canary rollout of (version, src) for model, paced by
+// the config defaults overlaid with cfg's non-zero fields. One rollout at a
+// time: a second call while one is live returns an error.
+func (cp *ControlPlane) StartRollout(model string, version int, src ModelSource, cfg RolloutConfig) (*Rollout, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if cp.closed {
+		return nil, fmt.Errorf("controlplane: closed")
+	}
+	if cp.rollout != nil {
+		if _, terminal := cp.rollout.Terminal(); !terminal {
+			return nil, fmt.Errorf("controlplane: a rollout of %s is already in flight", cp.rollout.model)
+		}
+	}
+	merged := mergeRollout(cp.rolloutDefaults, cfg)
+	ro := newRollout(cp.fleet, cp.monitor, model, version, src, merged)
+	cp.rollout = ro
+	go ro.run()
+	return ro, nil
+}
+
+// mergeRollout overlays override's non-zero fields onto base.
+func mergeRollout(base, override RolloutConfig) RolloutConfig {
+	out := base
+	if len(override.Steps) > 0 {
+		out.Steps = override.Steps
+	}
+	if override.Hold > 0 {
+		out.Hold = override.Hold
+	}
+	if override.MinSamples > 0 {
+		out.MinSamples = override.MinSamples
+	}
+	if override.SampleGrace > 0 {
+		out.SampleGrace = override.SampleGrace
+	}
+	if override.MaxP99 > 0 {
+		out.MaxP99 = override.MaxP99
+	}
+	if override.MaxErrorRate > 0 {
+		out.MaxErrorRate = override.MaxErrorRate
+	}
+	if override.RemoveGrace > 0 {
+		out.RemoveGrace = override.RemoveGrace
+	}
+	if override.Poll > 0 {
+		out.Poll = override.Poll
+	}
+	return out
+}
+
+// Rollout returns the most recent rollout (live or terminal), if any.
+func (cp *ControlPlane) Rollout() *Rollout {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.rollout
+}
+
+// Status is the control plane's aggregate live view.
+type Status struct {
+	Autoscaler AutoscalerStatus `json:"autoscaler"`
+	Replicas   []string         `json:"replicas"`
+	Benched    []string         `json:"benched,omitempty"`
+	Spawned    int64            `json:"spawned"`
+	Retired    int64            `json:"retired"`
+	Replaced   int64            `json:"replaced"`
+	Requests   int64            `json:"requests"`
+	Errors     int64            `json:"errors"`
+	Rollout    *RolloutStatus   `json:"rollout,omitempty"`
+}
+
+// Status snapshots the whole control plane.
+func (cp *ControlPlane) Status() Status {
+	spawned, retired, replaced := cp.fleet.Counters()
+	total, _, _, errs := cp.monitor.Totals()
+	st := Status{
+		Autoscaler: cp.autoscaler.Status(),
+		Replicas:   cp.router.ReplicaAddrs(),
+		Benched:    cp.router.Benched(),
+		Spawned:    spawned,
+		Retired:    retired,
+		Replaced:   replaced,
+		Requests:   total,
+		Errors:     errs,
+	}
+	if ro := cp.Rollout(); ro != nil {
+		rs := ro.Status()
+		st.Rollout = &rs
+	}
+	return st
+}
+
+// StatusJSON renders Status.
+func (cp *ControlPlane) StatusJSON() ([]byte, error) {
+	return json.Marshal(cp.Status())
+}
+
+// Close stops the autoscaler, waits out a live rollout's terminal state (it
+// finishes its current action and the canary detaches), and retires the
+// fleet with drains.
+func (cp *ControlPlane) Close() {
+	cp.mu.Lock()
+	if cp.closed {
+		cp.mu.Unlock()
+		return
+	}
+	cp.closed = true
+	ro := cp.rollout
+	cp.mu.Unlock()
+	cp.autoscaler.Close()
+	if ro != nil {
+		<-ro.Done()
+	}
+	cp.fleet.Close()
+	cp.router.Close()
+}

@@ -1,0 +1,79 @@
+package controlplane
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// RolloutLoader turns a rollout request's checkpoint path into a model
+// source — the deployment format is the caller's business (tfserve wires the
+// linear-checkpoint loader).
+type RolloutLoader func(path string) (ModelSource, error)
+
+// rolloutRequest is the POST /controlz/rollout body.
+type rolloutRequest struct {
+	Model string `json:"model"`
+	// Path is the checkpoint handed to the RolloutLoader.
+	Path string `json:"path"`
+	// Version tags the canary (<= 0: the loader's choice, e.g. the
+	// checkpoint step).
+	Version int `json:"version"`
+}
+
+// Handler serves the control-plane endpoints:
+//
+//	GET  /controlz          — aggregate status (autoscaler, fleet, rollout)
+//	POST /controlz/rollout  — start a canary rollout from a checkpoint
+//
+// Mount it next to the serving front-end. loader may be nil, which disables
+// the rollout endpoint (status-only control plane).
+func (cp *ControlPlane) Handler(loader RolloutLoader) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/controlz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		b, err := cp.StatusJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	})
+	mux.HandleFunc("/controlz/rollout", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if loader == nil {
+			http.Error(w, "rollouts not enabled", http.StatusNotImplemented)
+			return
+		}
+		var req rolloutRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, fmt.Sprintf("bad rollout request: %v", err), http.StatusBadRequest)
+			return
+		}
+		if req.Model == "" || req.Path == "" {
+			http.Error(w, "rollout needs model and path", http.StatusBadRequest)
+			return
+		}
+		src, err := loader(req.Path)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("load %s: %v", req.Path, err), http.StatusBadRequest)
+			return
+		}
+		ro, err := cp.StartRollout(req.Model, req.Version, src, RolloutConfig{})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(ro.Status())
+	})
+	return mux
+}

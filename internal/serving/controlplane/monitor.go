@@ -1,0 +1,186 @@
+package controlplane
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// maxWindowSamples bounds one arm window's retained samples; beyond it the
+// oldest halves are dropped. At serving rates the window duration is the
+// real bound — this is a memory backstop.
+const maxWindowSamples = 16384
+
+// sample is one observed request outcome.
+type sample struct {
+	at      time.Time
+	latency time.Duration
+	err     bool
+}
+
+// armWindow is a sliding window of outcomes for one traffic arm (a model's
+// default or canary side).
+type armWindow struct {
+	samples []sample
+}
+
+func (w *armWindow) add(s sample) {
+	if len(w.samples) >= maxWindowSamples {
+		w.samples = append(w.samples[:0], w.samples[len(w.samples)/2:]...)
+	}
+	w.samples = append(w.samples, s)
+}
+
+func (w *armWindow) prune(cutoff time.Time) {
+	i := 0
+	for i < len(w.samples) && w.samples[i].at.Before(cutoff) {
+		i++
+	}
+	if i > 0 {
+		w.samples = append(w.samples[:0], w.samples[i:]...)
+	}
+}
+
+// ArmStats is one traffic arm's sliding-window view.
+type ArmStats struct {
+	Count  int           `json:"count"`
+	Errors int           `json:"errors"`
+	P50    time.Duration `json:"-"`
+	P99    time.Duration `json:"-"`
+}
+
+// ErrorRate is Errors/Count (0 with no samples).
+func (a ArmStats) ErrorRate() float64 {
+	if a.Count == 0 {
+		return 0
+	}
+	return float64(a.Errors) / float64(a.Count)
+}
+
+func (w *armWindow) stats() ArmStats {
+	st := ArmStats{Count: len(w.samples)}
+	if st.Count == 0 {
+		return st
+	}
+	lats := make([]time.Duration, 0, st.Count)
+	for _, s := range w.samples {
+		if s.err {
+			st.Errors++
+		}
+		lats = append(lats, s.latency)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	st.P50 = lats[(st.Count-1)*50/100]
+	st.P99 = lats[(st.Count-1)*99/100]
+	return st
+}
+
+// armKey identifies one model arm.
+type armKey struct {
+	model  string
+	canary bool
+}
+
+// Monitor is the control plane's SLO window store. It hangs off the router's
+// Observer hook, so it sees exactly one outcome per Predict — which is what
+// makes the request accounting exact: total requests in equals outcomes
+// observed, with nothing double-counted across a rollback. Per-arm sliding
+// windows answer "is the canary within SLO right now"; the aggregate window
+// is the autoscaler's p99 signal.
+type Monitor struct {
+	window time.Duration
+
+	mu   sync.Mutex
+	arms map[armKey]*armWindow
+
+	// Totals are monotonic (never windowed): the accounting ledger.
+	total, errs           int64
+	defaultOK, canaryOK   int64
+	defaultErr, canaryErr int64
+}
+
+// NewMonitor builds a monitor with the given sliding-window span
+// (default 30s).
+func NewMonitor(window time.Duration) *Monitor {
+	if window <= 0 {
+		window = 30 * time.Second
+	}
+	return &Monitor{window: window, arms: make(map[armKey]*armWindow)}
+}
+
+// Observe records one request outcome; wire it as the router's Observer.
+func (m *Monitor) Observe(model string, canary bool, latency time.Duration, err error) {
+	now := time.Now()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	k := armKey{model, canary}
+	w := m.arms[k]
+	if w == nil {
+		w = &armWindow{}
+		m.arms[k] = w
+	}
+	w.add(sample{at: now, latency: latency, err: err != nil})
+	m.total++
+	switch {
+	case err != nil && canary:
+		m.errs++
+		m.canaryErr++
+	case err != nil:
+		m.errs++
+		m.defaultErr++
+	case canary:
+		m.canaryOK++
+	default:
+		m.defaultOK++
+	}
+}
+
+// Arm returns the sliding-window stats of one model arm.
+func (m *Monitor) Arm(model string, canary bool) ArmStats {
+	cutoff := time.Now().Add(-m.window)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w := m.arms[armKey{model, canary}]
+	if w == nil {
+		return ArmStats{}
+	}
+	w.prune(cutoff)
+	return w.stats()
+}
+
+// ResetArm clears one arm's window — a rollout controller resets the canary
+// window at each step so the SLO verdict covers only the current percentage.
+func (m *Monitor) ResetArm(model string, canary bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.arms, armKey{model, canary})
+}
+
+// P99 is the aggregate window p99 across every arm — the autoscaler's
+// latency-ceiling signal.
+func (m *Monitor) P99() time.Duration {
+	cutoff := time.Now().Add(-m.window)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var lats []time.Duration
+	for _, w := range m.arms {
+		w.prune(cutoff)
+		for _, s := range w.samples {
+			lats = append(lats, s.latency)
+		}
+	}
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return lats[(len(lats)-1)*99/100]
+}
+
+// Totals is the monotonic ledger: every outcome ever observed, split by arm.
+// total == defaultOK + canaryOK + errs always holds; tests assert it against
+// their own sent counter to prove no request is lost or double-counted.
+func (m *Monitor) Totals() (total, defaultOK, canaryOK, errs int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total, m.defaultOK, m.canaryOK, m.errs
+}

@@ -1,0 +1,251 @@
+package controlplane
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Rollout states. The machine only moves forward:
+//
+//	Pending → Warming → Holding(p₀) → … → Holding(pₙ) → Promoting → Promoted
+//	                        │breach                  │breach
+//	                        └────── RollingBack ─────┘→ RolledBack
+//
+// plus Failed for deploy-time errors (nothing was attached to traffic yet).
+const (
+	StatePending     = "pending"
+	StateWarming     = "warming"
+	StateHolding     = "holding"
+	StatePromoting   = "promoting"
+	StatePromoted    = "promoted"
+	StateRollingBack = "rolling-back"
+	StateRolledBack  = "rolled-back"
+	StateFailed      = "failed"
+)
+
+// RolloutConfig paces one canary rollout.
+type RolloutConfig struct {
+	// Steps are the canary traffic percentages walked in order
+	// (default 10, 50, 100). The last step's verdict decides promotion.
+	Steps []int
+	// Hold is how long each step must stay within SLO (default 2s).
+	Hold time.Duration
+	// MinSamples is the smallest canary window that can produce a verdict
+	// (default 20). A step starving below it past SampleGrace rolls back —
+	// an unmeasurable canary is an unsafe canary.
+	MinSamples int
+	// SampleGrace extends a starving step beyond Hold (default 3×Hold).
+	SampleGrace time.Duration
+	// MaxP99 is the canary window's p99 ceiling (default 250ms).
+	MaxP99 time.Duration
+	// MaxErrorRate is the canary window's error-rate ceiling (default 0.01).
+	MaxErrorRate float64
+	// RemoveGrace separates clearing the traffic-split from unloading the
+	// canary alias (default 500ms): requests the split already rewrote must
+	// land on a still-loaded version — unloading eagerly would turn them
+	// into not-found errors, i.e. dropped requests.
+	RemoveGrace time.Duration
+	// Poll is the SLO re-check period within a hold (default Hold/8,
+	// floored at 10ms): a breach mid-hold rolls back immediately.
+	Poll time.Duration
+}
+
+func (c RolloutConfig) withDefaults() RolloutConfig {
+	if len(c.Steps) == 0 {
+		c.Steps = []int{10, 50, 100}
+	}
+	if c.Hold <= 0 {
+		c.Hold = 2 * time.Second
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 20
+	}
+	if c.SampleGrace <= 0 {
+		c.SampleGrace = 3 * c.Hold
+	}
+	if c.MaxP99 <= 0 {
+		c.MaxP99 = 250 * time.Millisecond
+	}
+	if c.MaxErrorRate <= 0 {
+		c.MaxErrorRate = 0.01
+	}
+	if c.RemoveGrace <= 0 {
+		c.RemoveGrace = 500 * time.Millisecond
+	}
+	if c.Poll <= 0 {
+		c.Poll = c.Hold / 8
+		if c.Poll < 10*time.Millisecond {
+			c.Poll = 10 * time.Millisecond
+		}
+	}
+	return c
+}
+
+// RolloutStatus is one rollout's live view.
+type RolloutStatus struct {
+	Model   string `json:"model"`
+	Version int    `json:"version"`
+	State   string `json:"state"`
+	Percent int    `json:"percent"`
+	// Window is the canary arm's current SLO window.
+	WindowCount   int     `json:"window_count"`
+	WindowP99Ms   float64 `json:"window_p99_ms"`
+	WindowErrRate float64 `json:"window_err_rate"`
+	Reason        string  `json:"reason,omitempty"`
+}
+
+// Rollout walks one canary through the traffic-split ladder: deploy warmed
+// canary on every backend, step the split percentage, hold each step against
+// the canary arm's SLO window (p99 + error rate), and either promote via the
+// registry hot-swap or roll back to 100% default traffic. A breach rolls
+// back from any step, immediately.
+type Rollout struct {
+	cfg     RolloutConfig
+	fleet   *Fleet
+	monitor *Monitor
+	model   string
+	version int
+	src     ModelSource
+
+	mu      sync.Mutex
+	state   string
+	percent int
+	reason  string
+
+	done chan struct{}
+}
+
+// newRollout builds (but does not start) a rollout.
+func newRollout(fleet *Fleet, monitor *Monitor, model string, version int, src ModelSource, cfg RolloutConfig) *Rollout {
+	return &Rollout{
+		cfg: cfg.withDefaults(), fleet: fleet, monitor: monitor,
+		model: model, version: version, src: src,
+		state: StatePending, done: make(chan struct{}),
+	}
+}
+
+// Done closes when the rollout reached a terminal state.
+func (ro *Rollout) Done() <-chan struct{} { return ro.done }
+
+// Status snapshots the rollout (including the live canary SLO window).
+func (ro *Rollout) Status() RolloutStatus {
+	win := ro.monitor.Arm(ro.model, true)
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	return RolloutStatus{
+		Model:         ro.model,
+		Version:       ro.version,
+		State:         ro.state,
+		Percent:       ro.percent,
+		WindowCount:   win.Count,
+		WindowP99Ms:   float64(win.P99) / float64(time.Millisecond),
+		WindowErrRate: win.ErrorRate(),
+		Reason:        ro.reason,
+	}
+}
+
+// Terminal reports whether the rollout has finished, and in which state.
+func (ro *Rollout) Terminal() (string, bool) {
+	ro.mu.Lock()
+	defer ro.mu.Unlock()
+	switch ro.state {
+	case StatePromoted, StateRolledBack, StateFailed:
+		return ro.state, true
+	}
+	return ro.state, false
+}
+
+func (ro *Rollout) set(state string, percent int, reason string) {
+	ro.mu.Lock()
+	ro.state, ro.percent = state, percent
+	if reason != "" {
+		ro.reason = reason
+	}
+	ro.mu.Unlock()
+}
+
+// run drives the machine to a terminal state. It is the controller
+// goroutine; ControlPlane.StartRollout launches it.
+func (ro *Rollout) run() {
+	defer close(ro.done)
+
+	ro.set(StateWarming, 0, "")
+	if err := ro.fleet.DeployCanary(ro.model, ro.version, ro.src); err != nil {
+		// Nothing attached to traffic yet: unload whatever partially
+		// deployed and fail without touching the default arm.
+		ro.fleet.RemoveCanary(ro.model)
+		ro.set(StateFailed, 0, err.Error())
+		return
+	}
+
+	router := ro.fleet.Router()
+	for _, pct := range ro.cfg.Steps {
+		// Each step gets a fresh canary window: the verdict must measure
+		// this percentage, not echoes of the previous one.
+		ro.monitor.ResetArm(ro.model, true)
+		if err := router.SetSplit(ro.model, CanaryName(ro.model), pct); err != nil {
+			ro.rollback(fmt.Sprintf("set split %d%%: %v", pct, err))
+			return
+		}
+		ro.set(StateHolding, pct, "")
+		if reason, ok := ro.hold(); !ok {
+			ro.rollback(reason)
+			return
+		}
+	}
+
+	ro.set(StatePromoting, 100, "")
+	if err := ro.fleet.PromoteCanary(ro.model); err != nil {
+		ro.rollback(fmt.Sprintf("promote: %v", err))
+		return
+	}
+	ro.detachCanary()
+	ro.set(StatePromoted, 100, "")
+}
+
+// hold watches the canary window for one step: breach → (reason, false),
+// SLO held for Hold with enough samples → ("", true). A starving window
+// waits up to SampleGrace past the hold before giving up.
+func (ro *Rollout) hold() (string, bool) {
+	start := time.Now()
+	for {
+		time.Sleep(ro.cfg.Poll)
+		win := ro.monitor.Arm(ro.model, true)
+		// A breach needs MinSamples too: one slow request out of three is
+		// noise, out of fifty is a signal.
+		if win.Count >= ro.cfg.MinSamples {
+			if win.P99 > ro.cfg.MaxP99 {
+				return fmt.Sprintf("canary p99 %v > ceiling %v (%d samples)", win.P99, ro.cfg.MaxP99, win.Count), false
+			}
+			if rate := win.ErrorRate(); rate > ro.cfg.MaxErrorRate {
+				return fmt.Sprintf("canary error rate %.3f > ceiling %.3f (%d samples)", rate, ro.cfg.MaxErrorRate, win.Count), false
+			}
+		}
+		held := time.Since(start)
+		if held >= ro.cfg.Hold {
+			if win.Count >= ro.cfg.MinSamples {
+				return "", true
+			}
+			if held >= ro.cfg.Hold+ro.cfg.SampleGrace {
+				return fmt.Sprintf("canary starved: %d samples < %d after %v", win.Count, ro.cfg.MinSamples, held.Round(time.Millisecond)), false
+			}
+		}
+	}
+}
+
+// detachCanary clears the split, waits out requests the split already
+// rewrote, then unloads the canary alias. Both promote and rollback end
+// through here — it is the zero-drop detach.
+func (ro *Rollout) detachCanary() {
+	ro.fleet.Router().ClearSplit(ro.model)
+	time.Sleep(ro.cfg.RemoveGrace)
+	ro.fleet.RemoveCanary(ro.model)
+}
+
+// rollback restores 100% default traffic and retires the canary.
+func (ro *Rollout) rollback(reason string) {
+	ro.set(StateRollingBack, 0, reason)
+	ro.detachCanary()
+	ro.set(StateRolledBack, 0, "")
+}

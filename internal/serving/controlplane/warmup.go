@@ -1,0 +1,78 @@
+package controlplane
+
+import (
+	"fmt"
+	"time"
+
+	"tfhpc/internal/serving"
+	"tfhpc/internal/tensor"
+)
+
+// WarmupConfig sizes the synthetic traffic pushed through a version between
+// load and traffic-attach.
+type WarmupConfig struct {
+	// Rounds repeats the batch-size ladder (default 2): the first round pays
+	// every cold cost, the second proves the paths are warm.
+	Rounds int
+	// MaxBatch is the top of the geometric batch-size ladder 1,2,4,...
+	// (default 32 — the batcher's default flush threshold, so the largest
+	// shape real traffic coalesces into is pre-run too).
+	MaxBatch int
+	// Disable skips warmup entirely (tests, or models too large to warm).
+	Disable bool
+}
+
+func (c WarmupConfig) withDefaults() WarmupConfig {
+	if c.Rounds <= 0 {
+		c.Rounds = 2
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	return c
+}
+
+// Warm runs synthetic batches through mv before it is attached to traffic,
+// so the first real request never pays cold-start costs (plan construction,
+// pool population, lazily-built kernels). The rows are deterministic
+// pseudo-random values in [0,1): warmup must exercise the arithmetic paths,
+// and the outputs are discarded — a version's numerics are immutable, so
+// warming cannot perturb later answers (asserted by tests). Returns the
+// wall time spent.
+func Warm(mv *serving.ModelVersion, cfg WarmupConfig) (time.Duration, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Disable {
+		return 0, nil
+	}
+	sig := mv.Signature()
+	start := time.Now()
+	for round := 0; round < cfg.Rounds; round++ {
+		for n := 1; n <= cfg.MaxBatch; n *= 2 {
+			in := warmupBatch(sig, n, uint64(round+1))
+			if _, err := mv.Predict(in); err != nil {
+				return time.Since(start), fmt.Errorf("controlplane: warmup %s v%d batch %d: %w",
+					mv.Model(), mv.Version(), n, err)
+			}
+		}
+	}
+	return time.Since(start), nil
+}
+
+// warmupBatch builds a deterministic [n, features] tensor of the signature's
+// dtype.
+func warmupBatch(sig serving.Signature, n int, seed uint64) *tensor.Tensor {
+	rng := tensor.NewRNG(0x3fb9c1d0 + seed)
+	shape := tensor.Shape{n, sig.Features}
+	if sig.DType == tensor.Float64 {
+		vals := make([]float64, n*sig.Features)
+		for i := range vals {
+			vals[i] = rng.Float64()
+		}
+		return tensor.FromF64(shape, vals)
+	}
+	vals := make([]float32, n*sig.Features)
+	for i := range vals {
+		vals[i] = rng.Float32()
+	}
+	return tensor.FromF32(shape, vals)
+}

@@ -1,0 +1,86 @@
+package controlplane
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"tfhpc/internal/serving"
+	"tfhpc/internal/tensor"
+)
+
+func testWeights(d int, scale float32) *tensor.Tensor {
+	vals := make([]float32, d)
+	for i := range vals {
+		vals[i] = scale * float32(i+1) / float32(d)
+	}
+	return tensor.FromF32(tensor.Shape{d}, vals)
+}
+
+func testBatch(n, d int) *tensor.Tensor {
+	rng := tensor.NewRNG(7)
+	vals := make([]float32, n*d)
+	for i := range vals {
+		vals[i] = rng.Float32()
+	}
+	return tensor.FromF32(tensor.Shape{n, d}, vals)
+}
+
+// Warmup must be pure heat: a warmed version answers bit-identically to a
+// cold one — versions are immutable, synthetic traffic cannot perturb them.
+func TestWarmDoesNotPerturbNumerics(t *testing.T) {
+	w := testWeights(32, 1)
+	in := testBatch(8, 32)
+
+	cold, err := serving.NewLinear("m", 1, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cold.Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warmed, err := serving.NewLinear("m", 1, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Warm(warmed, WarmupConfig{Rounds: 3, MaxBatch: 64})
+	if err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	if d <= 0 {
+		t.Fatalf("warmup reported no elapsed time")
+	}
+	got, err := warmed.Predict(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(tensorBytes(t, got), tensorBytes(t, want)) {
+		t.Fatalf("warmed model output differs from cold model output")
+	}
+}
+
+// tensorBytes renders the exact bit patterns, so equality means bitwise
+// identity, not a decimal rendering's idea of it.
+func tensorBytes(t *testing.T, ts *tensor.Tensor) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, v := range ts.F32() {
+		bits := math.Float32bits(v)
+		buf.Write([]byte{byte(bits), byte(bits >> 8), byte(bits >> 16), byte(bits >> 24)})
+	}
+	return buf.Bytes()
+}
+
+func TestWarmDisabled(t *testing.T) {
+	w := testWeights(8, 1)
+	mv, err := serving.NewLinear("m", 1, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Warm(mv, WarmupConfig{Disable: true})
+	if err != nil || d != 0 {
+		t.Fatalf("disabled warmup ran: d=%v err=%v", d, err)
+	}
+}

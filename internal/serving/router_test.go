@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -210,5 +211,211 @@ func TestRouterAllReplicasDown(t *testing.T) {
 	in := tensor.New(tensor.Float64, 8)
 	if _, err := r.Predict("lin", in, time.Time{}); err == nil {
 		t.Fatal("predict succeeded with every replica down")
+	}
+}
+
+// The split is a deterministic stride, so over whole cycles of 100 the
+// canary arm takes exactly its percentage — no sampling error for the
+// rollout controller's SLO window to argue with.
+func TestRouterSplitExactProportions(t *testing.T) {
+	const d = 8
+	l, svcs := startReplicaFleet(t, 1, d)
+	mv, err := NewLinear("lin2", 2, linearWeights(d, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svcs[0].ServeModel(mv); err != nil {
+		t.Fatal(err)
+	}
+
+	var def, canary int
+	r, err := NewRouter(l.Spec()["worker"], RouterOptions{
+		DefaultDeadline: 5 * time.Second,
+		Observer: func(model string, isCanary bool, latency time.Duration, err error) {
+			if model != "lin" {
+				t.Errorf("observer saw model %q, want the requested name lin", model)
+			}
+			if err != nil {
+				t.Errorf("observer saw error: %v", err)
+			}
+			if isCanary {
+				canary++
+			} else {
+				def++
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	if err := r.SetSplit("lin", "lin2", 30); err != nil {
+		t.Fatal(err)
+	}
+	if c, pct, ok := r.SplitOf("lin"); !ok || c != "lin2" || pct != 30 {
+		t.Fatalf("SplitOf = (%q, %d, %v)", c, pct, ok)
+	}
+	row := sliceRow(randRows(1, d, 3), 0)
+	for k := 0; k < 200; k++ {
+		if _, err := r.Predict("lin", row, time.Time{}); err != nil {
+			t.Fatalf("predict %d: %v", k, err)
+		}
+	}
+	if canary != 60 || def != 140 {
+		t.Fatalf("30%% split over 200 requests gave canary=%d default=%d, want exactly 60/140", canary, def)
+	}
+
+	r.ClearSplit("lin")
+	for k := 0; k < 100; k++ {
+		if _, err := r.Predict("lin", row, time.Time{}); err != nil {
+			t.Fatalf("post-clear predict %d: %v", k, err)
+		}
+	}
+	if canary != 60 {
+		t.Fatalf("canary arm still taking traffic after ClearSplit: %d", canary)
+	}
+
+	// Guardrails: invalid percents and degenerate names are refused.
+	if err := r.SetSplit("lin", "lin", 10); err == nil {
+		t.Fatal("split onto itself was accepted")
+	}
+	if err := r.SetSplit("lin", "lin2", 101); err == nil {
+		t.Fatal("percent 101 was accepted")
+	}
+}
+
+// Membership is dynamic under live traffic: added replicas start serving,
+// removed ones drain first — nothing fails over or drops on either edge.
+func TestRouterDynamicMembership(t *testing.T) {
+	const d = 8
+	l, svcs := startReplicaFleet(t, 3, d)
+	addrs := l.Spec()["worker"]
+	r, err := NewRouter(addrs[:1], RouterOptions{DefaultDeadline: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	if err := r.AddReplica(addrs[0]); err == nil {
+		t.Fatal("duplicate AddReplica was accepted")
+	}
+	if _, err := r.RemoveReplica("127.0.0.1:1", time.Millisecond); err == nil {
+		t.Fatal("removing a non-member was accepted")
+	}
+
+	var stop, failed int32
+	var wg sync.WaitGroup
+	row := sliceRow(randRows(1, d, 5), 0)
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for atomic.LoadInt32(&stop) == 0 {
+				if _, err := r.Predict("lin", row, time.Now().Add(2*time.Second)); err != nil {
+					atomic.AddInt32(&failed, 1)
+					return
+				}
+			}
+		}()
+	}
+
+	for _, a := range addrs[1:] {
+		if err := r.AddReplica(a); err != nil {
+			t.Fatalf("add %s: %v", a, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n := r.NumReplicas(); n != 3 {
+		t.Fatalf("NumReplicas = %d, want 3", n)
+	}
+	clean, err := r.RemoveReplica(addrs[0], 2*time.Second)
+	if err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if !clean {
+		t.Fatal("drain did not complete cleanly")
+	}
+	time.Sleep(20 * time.Millisecond)
+	atomic.StoreInt32(&stop, 1)
+	wg.Wait()
+	if failed != 0 {
+		t.Fatalf("%d requests failed across membership changes", failed)
+	}
+	// The removed replica must get no traffic after its drain: its rows
+	// counter freezes.
+	frozen := svcs[0].Snapshots()[0].Rows
+	for k := 0; k < 50; k++ {
+		if _, err := r.Predict("lin", row, time.Time{}); err != nil {
+			t.Fatalf("predict after removal: %v", err)
+		}
+	}
+	if got := svcs[0].Snapshots()[0].Rows; got != frozen {
+		t.Fatalf("removed replica served %d more rows", got-frozen)
+	}
+}
+
+// BenchUntilHealthy pins a failed replica on the bench past any backoff;
+// only Unbench — the health-probe path — paroles it, after which it serves
+// again.
+func TestRouterBenchUntilHealthyAndUnbench(t *testing.T) {
+	const d = 8
+	l, _ := startReplicaFleet(t, 2, d)
+	addrs := l.Spec()["worker"]
+	r, err := NewRouter(addrs, RouterOptions{
+		DefaultDeadline:   5 * time.Second,
+		FailBackoff:       10 * time.Millisecond,
+		BenchUntilHealthy: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	row := sliceRow(randRows(1, d, 7), 0)
+	l.Server("worker", 0).Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(r.Benched()) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("dead replica never benched")
+		}
+		if _, err := r.Predict("lin", row, time.Time{}); err != nil {
+			t.Fatalf("failover predict: %v", err)
+		}
+	}
+	// Far past FailBackoff, the bench must hold: recovery is health-driven.
+	time.Sleep(50 * time.Millisecond)
+	if got := r.Benched(); len(got) != 1 || got[0] != addrs[0] {
+		t.Fatalf("bench did not hold: %v", got)
+	}
+
+	// Bring a fresh server up on the same address and parole the replica.
+	srv := cluster.NewServer("worker", 0)
+	if _, err := srv.Start(addrs[0]); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	defer srv.Close()
+	svc := NewService(NewRegistry(), BatchOptions{MaxBatch: 8, Timeout: time.Millisecond})
+	defer svc.Close()
+	mv, err := NewLinear("lin", 1, linearWeights(d, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.ServeModel(mv); err != nil {
+		t.Fatal(err)
+	}
+	Attach(srv, svc)
+
+	r.Unbench(addrs[0])
+	if len(r.Benched()) != 0 {
+		t.Fatalf("still benched after Unbench: %v", r.Benched())
+	}
+	for k := 0; k < 100; k++ {
+		if _, err := r.Predict("lin", row, time.Time{}); err != nil {
+			t.Fatalf("predict after parole: %v", err)
+		}
+	}
+	if rows := svc.Snapshots()[0].Rows; rows == 0 {
+		t.Fatal("paroled replica got no traffic")
 	}
 }

@@ -1,8 +1,10 @@
 // bench_diff is the perf-trajectory gate: it compares a freshly generated
 // tfbench report (BENCH_ci.json) against the committed baseline and fails
 // on regressions beyond the tolerance — >20% by default — of the metrics
-// the ROADMAP tracks: gemm/fft Gflop/s, collective ring bus bandwidth, and
-// serving throughput + p99 latency.
+// the ROADMAP tracks: gemm/fft Gflop/s, collective ring bus bandwidth,
+// serving throughput + p99 latency, and the control-plane rollout rows
+// (p99 under rollout, warm/cold first-request, and the exact-zero drop
+// count).
 //
 //	go run ./scripts/bench_diff -baseline scripts/bench_baseline.json -current BENCH_ci.json
 //
@@ -39,12 +41,15 @@ import (
 // metric is one gated scalar. For latency metrics (lowerBetter) the
 // regression direction flips; noisy metrics (microsecond-scale
 // micro-measurements whose run-to-run variance approaches the normal
-// tolerance) get the wider noisy gate.
+// tolerance) get the wider noisy gate. Exact metrics are invariants, not
+// trends — like the alloc gate, any growth over the baseline fails with no
+// tolerance band (rollout drops must stay exactly zero).
 type metric struct {
 	name        string
 	value       float64
 	lowerBetter bool
 	noisy       bool
+	exact       bool
 }
 
 // extract flattens a report into its gated metrics.
@@ -93,6 +98,20 @@ func extract(r *bench.Report) []metric {
 		// the high-fan-in open-loop row catches "the transport tier stopped
 		// holding tail latency at 4x the closed-loop connection count".
 		add(key+"/p99_ms", s.Latency.P99Ms, true)
+	}
+	if ro := r.Rollout; ro != nil {
+		if ro.Seconds > 0 {
+			add("serving/rollout/throughput_rps", float64(ro.Requests)/ro.Seconds, false)
+		}
+		add("serving/rollout/p99_ms", ro.Latency.P99Ms, true)
+		// Warm-vs-cold first request: the warmup stage's whole point is that
+		// the warmed number stays small; both are tracked as latency rows.
+		add("serving/rollout/cold_first_ms", ro.ColdFirstMs, true)
+		add("serving/rollout/warm_first_ms", ro.WarmFirstMs, true)
+		// Drops is an exact-zero invariant appended directly: add() skips
+		// non-positive values, and zero is precisely the requirement — the
+		// row must exist in the baseline so growth to any value fails.
+		ms = append(ms, metric{name: "serving/rollout/drops", value: float64(ro.Drops), lowerBetter: true, exact: true})
 	}
 	return ms
 }
@@ -192,7 +211,10 @@ func main() {
 			regressions++
 			continue
 		}
-		delta := (c.value - b.value) / b.value
+		delta := 0.0
+		if b.value != 0 {
+			delta = (c.value - b.value) / b.value
+		}
 		verdict := ""
 		bound := *tol
 		if b.noisy {
@@ -203,8 +225,15 @@ func main() {
 			bound = *latTol
 			worse = delta > bound && c.value-b.value > *latSlack
 		}
+		if b.exact {
+			// Invariant metric: any growth over the baseline fails, exactly.
+			worse = c.value > b.value
+		}
 		if worse {
 			verdict = fmt.Sprintf("  REGRESSION (>%.0f%%)", bound*100)
+			if b.exact {
+				verdict = "  REGRESSION (exact metric grew)"
+			}
 			regressions++
 		}
 		fmt.Printf("%-44s %12.2f %12.2f %+7.1f%%%s\n", n, b.value, c.value, delta*100, verdict)

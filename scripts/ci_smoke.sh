@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Distributed smoke tests over real processes. Two legs, gated by SMOKE_ONLY
-# (core|elastic|all, default all):
+# Distributed smoke tests over real processes. Three legs, gated by
+# SMOKE_ONLY (core|elastic|rollout|all, default all):
 #
 # core — build the binaries, boot a 4-task localhost cluster as real
 # processes, run a CG solve and an SGD epoch over TCP (collectives ring
@@ -20,8 +20,20 @@
 # task returns, and land within tolerance of an uninterrupted run — without
 # the driver restarting.
 #
+# rollout — the control-plane contract: boot a tfserve fleet with
+# -autoscale/-canary, put it under sustained HTTP load, and require a full
+# lifecycle — autoscaler scale-up, canary rollout stepped to promotion,
+# scale-down after the load stops — with zero dropped requests and zero
+# autoscaler flaps (rollout_smoke fails on any non-2xx or flap).
+#
+# Every leg runs under a timeout(1) wrapper: a hung leg exits with the
+# distinct code 97 instead of stalling the CI job to its global limit.
+#
 # Server processes log to $BIN/logs/ so CI can upload them when a leg fails.
 set -euo pipefail
+# Absolute self-path, captured before the cd: the timeout wrapper re-execs
+# this script for each leg.
+SELF="$(cd "$(dirname "$0")" && pwd)/$(basename "$0")"
 cd "$(dirname "$0")/.."
 
 BIN=${BIN:-bin}
@@ -32,6 +44,7 @@ go build -o "$BIN/tfcg" ./cmd/tfcg
 go build -o "$BIN/tfsgd" ./cmd/tfsgd
 go build -o "$BIN/tfserve" ./cmd/tfserve
 go build -o "$BIN/serving_smoke" ./scripts/serving_smoke
+go build -o "$BIN/rollout_smoke" ./scripts/rollout_smoke
 
 BASE_PORT=${BASE_PORT:-17841}
 SMOKE_ONLY=${SMOKE_ONLY:-all}
@@ -43,6 +56,9 @@ cleanup() {
   wait 2>/dev/null || true
 }
 trap cleanup EXIT
+# timeout(1) TERMs the leg process; without this the EXIT trap would not run
+# and booted servers would leak past the leg.
+trap 'cleanup; exit 143' TERM INT
 
 run_core() {
   local TASKS=4
@@ -189,15 +205,63 @@ run_elastic() {
   }'
 }
 
+run_rollout() {
+  local RPORT=$((BASE_PORT + 60))
+  local RADDR="127.0.0.1:${RPORT}"
+  local CKPT_V1 CKPT_V2
+  CKPT_V1=$(mktemp -t tfhpc_rollout_v1_XXXX.ckpt)
+  CKPT_V2=$(mktemp -t tfhpc_rollout_v2_XXXX.ckpt)
+
+  echo "smoke: training rollout checkpoints (v1: 30 steps, v2: 60 steps)"
+  "$BIN/tfsgd" -mode real -features 64 -rows 256 -workers 2 -steps 30 -checkpoint "$CKPT_V1"
+  "$BIN/tfsgd" -mode real -features 64 -rows 256 -workers 2 -steps 60 -checkpoint "$CKPT_V2"
+
+  echo "smoke: booting tfserve control plane on $RADDR"
+  "$BIN/tfserve" -listen "$RADDR" -model "smoke=$CKPT_V1" -batch-timeout 1ms \
+    -autoscale "min=1,max=3,target=3,tick=100ms,down-cooldown=1500ms" \
+    -canary "steps=25;100,hold=1200ms,maxp99=500ms,maxerr=0.02,min-samples=10" \
+    -slo-window 10s \
+    >"$LOGDIR/tfserve-rollout.log" 2>&1 &
+  pids+=($!)
+
+  echo "smoke: full lifecycle under load (scale-up -> canary -> promote -> scale-down)"
+  "$BIN/rollout_smoke" -addr "http://$RADDR" -model smoke \
+    -canary-ckpt "$CKPT_V2" -version 60 -features 64 -clients 16
+  rm -f "$CKPT_V1" "$CKPT_V2"
+}
+
+# Internal re-entry point: `ci_smoke.sh --leg <name>` runs one leg directly
+# (no timeout wrapper) — it is what the wrapper execs under timeout(1).
+if [ "${1:-}" = "--leg" ]; then
+  "run_${2:?--leg needs a leg name}"
+  exit 0
+fi
+
+LEG_TIMEOUT=${LEG_TIMEOUT:-420}
+run_leg() {
+  local leg=$1 rc=0
+  echo "smoke: leg '$leg' (timeout ${LEG_TIMEOUT}s)"
+  timeout --kill-after=20 "$LEG_TIMEOUT" "$SELF" --leg "$leg" || rc=$?
+  if [ "$rc" -eq 124 ] || [ "$rc" -eq 137 ]; then
+    echo "smoke: FAIL — leg '$leg' exceeded its ${LEG_TIMEOUT}s timeout" >&2
+    exit 97
+  elif [ "$rc" -ne 0 ]; then
+    echo "smoke: FAIL — leg '$leg' exited $rc" >&2
+    exit "$rc"
+  fi
+}
+
 case "$SMOKE_ONLY" in
-  core) run_core ;;
-  elastic) run_elastic ;;
+  core) run_leg core ;;
+  elastic) run_leg elastic ;;
+  rollout) run_leg rollout ;;
   all)
-    run_core
-    run_elastic
+    run_leg core
+    run_leg elastic
+    run_leg rollout
     ;;
   *)
-    echo "smoke: unknown SMOKE_ONLY=$SMOKE_ONLY (want core|elastic|all)" >&2
+    echo "smoke: unknown SMOKE_ONLY=$SMOKE_ONLY (want core|elastic|rollout|all)" >&2
     exit 1
     ;;
 esac

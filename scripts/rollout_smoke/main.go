@@ -1,0 +1,303 @@
+// rollout_smoke is the CI client for the control-plane smoke: against a
+// tfserve running with -autoscale/-canary it (1) puts the fleet under
+// sustained concurrent HTTP load, (2) waits for the autoscaler to scale up,
+// (3) POSTs a canary rollout and waits for promotion, (4) verifies the
+// promoted version is live, (5) stops the load and waits for the scale-down
+// — failing on any non-2xx response (a dropped request) or any autoscaler
+// flap along the way.
+//
+//	go run ./scripts/rollout_smoke -addr http://127.0.0.1:17901 \
+//	    -model smoke -canary-ckpt v2.ckpt -version 60
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tfhpc/internal/tensor"
+)
+
+// controlz mirrors the /controlz status document (the fields the smoke
+// asserts on).
+type controlz struct {
+	Autoscaler struct {
+		Min        int   `json:"min"`
+		Size       int   `json:"size"`
+		ScaleUps   int64 `json:"scale_ups"`
+		ScaleDowns int64 `json:"scale_downs"`
+		Flaps      int64 `json:"flaps"`
+	} `json:"autoscaler"`
+	Requests int64 `json:"requests"`
+	Errors   int64 `json:"errors"`
+	Rollout  *struct {
+		State   string `json:"state"`
+		Percent int    `json:"percent"`
+		Version int    `json:"version"`
+		Reason  string `json:"reason,omitempty"`
+	} `json:"rollout,omitempty"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:17901", "tfserve HTTP base URL")
+	model := flag.String("model", "smoke", "model name to roll out")
+	canaryCkpt := flag.String("canary-ckpt", "", "checkpoint path for the canary version")
+	version := flag.Int("version", 0, "expected canary version (the checkpoint's step)")
+	features := flag.Int("features", 64, "model feature dimension")
+	clients := flag.Int("clients", 16, "concurrent load clients")
+	wait := flag.Duration("wait", 20*time.Second, "readiness wait budget")
+	rolloutWait := flag.Duration("rollout-wait", 90*time.Second, "rollout completion budget")
+	flag.Parse()
+	if *canaryCkpt == "" {
+		fatal(fmt.Errorf("-canary-ckpt is required"))
+	}
+
+	if err := waitReady(*addr, *wait); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("rollout_smoke: %s ready\n", *addr)
+
+	// Sustained closed-loop load: every client fires its next request as
+	// soon as the previous answers. Any non-2xx is a dropped request and
+	// fails the smoke — control actions must be invisible to callers.
+	rows := make([][][]float64, *clients)
+	r := tensor.NewRNG(99)
+	for c := range rows {
+		row := make([]float64, *features)
+		for j := range row {
+			row[j] = r.Float64()*2 - 1
+		}
+		rows[c] = [][]float64{row}
+	}
+	var stop, sent, failed atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for stop.Load() == 0 {
+				sent.Add(1)
+				if err := predict(*addr, *model, rows[c]); err != nil {
+					failed.Add(1)
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}(c)
+	}
+	haltLoad := func() {
+		stop.Store(1)
+		wg.Wait()
+	}
+
+	// 1. The autoscaler must grow the fleet under this load.
+	st, err := pollControlz(*addr, *wait, func(s *controlz) bool {
+		return s.Autoscaler.Size >= 2
+	})
+	if err != nil {
+		haltLoad()
+		fatal(fmt.Errorf("scale-up: %w (last: %+v)", err, st))
+	}
+	fmt.Printf("rollout_smoke: scaled up to %d replicas (ups=%d)\n",
+		st.Autoscaler.Size, st.Autoscaler.ScaleUps)
+
+	// 2. Start the canary rollout and ride it to promotion. A rolled-back
+	// or failed state is a hard failure — the canary checkpoint is healthy,
+	// so the only correct terminal state is promoted.
+	if err := postRollout(*addr, *model, *canaryCkpt, *version); err != nil {
+		haltLoad()
+		fatal(err)
+	}
+	fmt.Printf("rollout_smoke: rollout of %s v%d started\n", *model, *version)
+	var terminalErr error
+	st, err = pollControlz(*addr, *rolloutWait, func(s *controlz) bool {
+		ro := s.Rollout
+		if ro == nil {
+			return false
+		}
+		switch ro.State {
+		case "rolled-back", "failed":
+			terminalErr = fmt.Errorf("rollout ended %s (reason %q) — the canary was healthy", ro.State, ro.Reason)
+			return true
+		}
+		return ro.State == "promoted"
+	})
+	if terminalErr != nil {
+		haltLoad()
+		fatal(terminalErr)
+	}
+	if err != nil {
+		haltLoad()
+		fatal(fmt.Errorf("rollout: %w (last: %+v)", err, st))
+	}
+	fmt.Printf("rollout_smoke: rollout promoted at %d%%\n", st.Rollout.Percent)
+
+	// 3. The promoted version must be what /v1/models now serves.
+	if *version > 0 {
+		if err := checkServedVersion(*addr, *model, *version); err != nil {
+			haltLoad()
+			fatal(err)
+		}
+		fmt.Printf("rollout_smoke: %s now serves v%d\n", *model, *version)
+	}
+
+	// 4. Stop the load: zero drops end to end, client- and server-side.
+	haltLoad()
+	if err, ok := firstErr.Load().(error); ok {
+		fatal(fmt.Errorf("dropped request under rollout: %w", err))
+	}
+	if failed.Load() != 0 || sent.Load() == 0 {
+		fatal(fmt.Errorf("load summary broken: sent=%d failed=%d", sent.Load(), failed.Load()))
+	}
+	st, err = getControlz(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	if st.Errors != 0 {
+		fatal(fmt.Errorf("control plane booked %d request errors (want 0)", st.Errors))
+	}
+
+	// 5. Idle now: the fleet must come back down to its floor.
+	st, err = pollControlz(*addr, *rolloutWait, func(s *controlz) bool {
+		return s.Autoscaler.Size <= s.Autoscaler.Min
+	})
+	if err != nil {
+		fatal(fmt.Errorf("scale-down: %w (last: %+v)", err, st))
+	}
+	if st.Autoscaler.ScaleUps < 1 || st.Autoscaler.ScaleDowns < 1 {
+		fatal(fmt.Errorf("autoscaler never cycled: ups=%d downs=%d",
+			st.Autoscaler.ScaleUps, st.Autoscaler.ScaleDowns))
+	}
+	if st.Autoscaler.Flaps != 0 {
+		fatal(fmt.Errorf("autoscaler flapped %d time(s) (want 0)", st.Autoscaler.Flaps))
+	}
+	fmt.Printf("rollout_smoke: OK — %d requests, 0 drops, rollout promoted, scale +%d/-%d, flaps 0\n",
+		sent.Load(), st.Autoscaler.ScaleUps, st.Autoscaler.ScaleDowns)
+}
+
+func waitReady(addr string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := http.Get(addr + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not ready after %v (last err %v)", addr, budget, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func predict(addr, model string, rows [][]float64) error {
+	body, err := json.Marshal(map[string]any{"instances": rows})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(fmt.Sprintf("%s/v1/models/%s:predict", addr, model),
+		"application/json", bytes.NewBuffer(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("status %d: %s", resp.StatusCode, e["error"])
+	}
+	return nil
+}
+
+func getControlz(addr string) (*controlz, error) {
+	resp, err := http.Get(addr + "/controlz")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/controlz status %d", resp.StatusCode)
+	}
+	var st controlz
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// pollControlz polls /controlz until ok(status) or the budget runs out,
+// returning the last status either way.
+func pollControlz(addr string, budget time.Duration, ok func(*controlz) bool) (*controlz, error) {
+	deadline := time.Now().Add(budget)
+	var last *controlz
+	for {
+		st, err := getControlz(addr)
+		if err == nil {
+			last = st
+			if ok(st) {
+				return st, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return last, fmt.Errorf("condition not reached after %v", budget)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func postRollout(addr, model, path string, version int) error {
+	body, err := json.Marshal(map[string]any{"model": model, "path": path, "version": version})
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(addr+"/controlz/rollout", "application/json", bytes.NewBuffer(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		buf := new(bytes.Buffer)
+		buf.ReadFrom(resp.Body)
+		return fmt.Errorf("rollout POST status %d: %s", resp.StatusCode, buf.String())
+	}
+	return nil
+}
+
+// checkServedVersion asserts /v1/models reports the model at the promoted
+// version.
+func checkServedVersion(addr, model string, version int) error {
+	resp, err := http.Get(addr + "/v1/models")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Models []struct {
+			Name    string `json:"name"`
+			Version int    `json:"version"`
+		} `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return err
+	}
+	for _, m := range out.Models {
+		if m.Name == model && m.Version == version {
+			return nil
+		}
+	}
+	return fmt.Errorf("model %s v%d missing from /v1/models (got %+v)", model, version, out.Models)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "rollout_smoke: FAIL: %v\n", err)
+	os.Exit(1)
+}
