@@ -41,6 +41,7 @@ import (
 	"tfhpc/internal/pprofsrv"
 	"tfhpc/internal/rpc"
 	"tfhpc/internal/serving"
+	"tfhpc/internal/telemetry"
 	"tfhpc/internal/tensor"
 )
 
@@ -75,15 +76,20 @@ func main() {
 	queueDepth := flag.Int("queue", 1024, "per-model admission queue depth")
 	deadline := flag.Duration("deadline", time.Second, "default per-request deadline")
 	runners := flag.Int("runners", 2, "concurrent batch executors per model")
-	pprofAddr := flag.String("pprof", "", "expose net/http/pprof on this address (off when empty)")
+	pprofAddr := flag.String("pprof", "", "expose net/http/pprof and /metricz on this address (off when empty)")
+	traceOut := flag.String("trace-out", "", "record spans and write a Chrome/Perfetto trace here at shutdown (TFHPC_TRACE_OUT also works)")
 	flag.Parse()
 
+	telemetry.SetProcessName("tfserve")
+	if *traceOut != "" {
+		telemetry.SetTraceOut(*traceOut)
+	}
 	if *pprofAddr != "" {
 		bound, err := pprofsrv.Serve(*pprofAddr)
 		if err != nil {
 			fatal(fmt.Errorf("pprof: %w", err))
 		}
-		fmt.Printf("tfserve: pprof on http://%s/debug/pprof/\n", bound)
+		fmt.Printf("tfserve: debug server on http://%s (pprof, /metricz)\n", bound)
 	}
 
 	batch := serving.BatchOptions{
@@ -192,6 +198,11 @@ func main() {
 		rpcSrv.Close()
 	}
 	cleanup()
+	if path, err := telemetry.DumpConfigured(); err != nil {
+		fmt.Fprintf(os.Stderr, "tfserve: trace dump: %v\n", err)
+	} else if path != "" {
+		fmt.Printf("tfserve: trace written to %s\n", path)
+	}
 	fmt.Println("tfserve: shut down")
 }
 

@@ -19,6 +19,7 @@ import (
 
 	"tfhpc/internal/cluster"
 	"tfhpc/internal/pprofsrv"
+	"tfhpc/internal/telemetry"
 )
 
 func main() {
@@ -26,16 +27,21 @@ func main() {
 	task := flag.Int("task", 0, "task index within the job")
 	listen := flag.String("listen", "127.0.0.1:8888", "listen address")
 	advertise := flag.String("advertise", "", "address peers should dial (default: the bound listen address)")
-	pprofAddr := flag.String("pprof", "", "expose net/http/pprof on this address (off when empty)")
+	pprofAddr := flag.String("pprof", "", "expose net/http/pprof and /metricz on this address (off when empty)")
+	traceOut := flag.String("trace-out", "", "record spans and write a Chrome/Perfetto trace here at shutdown (TFHPC_TRACE_OUT also works)")
 	flag.Parse()
 
+	telemetry.SetProcessName(fmt.Sprintf("tfserver-%s-%d", *job, *task))
+	if *traceOut != "" {
+		telemetry.SetTraceOut(*traceOut)
+	}
 	if *pprofAddr != "" {
 		bound, err := pprofsrv.Serve(*pprofAddr)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tfserver: pprof: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("tfserver: pprof on http://%s/debug/pprof/\n", bound)
+		fmt.Printf("tfserver: debug server on http://%s (pprof, /metricz)\n", bound)
 	}
 
 	srv := cluster.NewServer(*job, *task)
@@ -51,5 +57,10 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	srv.Close()
+	if path, err := telemetry.DumpConfigured(); err != nil {
+		fmt.Fprintf(os.Stderr, "tfserver: trace dump: %v\n", err)
+	} else if path != "" {
+		fmt.Printf("tfserver: trace written to %s\n", path)
+	}
 	fmt.Println("tfserver: shut down")
 }

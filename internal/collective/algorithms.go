@@ -2,7 +2,10 @@ package collective
 
 import (
 	"fmt"
+	"strconv"
+	"time"
 
+	"tfhpc/internal/telemetry"
 	"tfhpc/internal/tensor"
 )
 
@@ -58,18 +61,49 @@ func (g *Group) AllReduceAlg(key string, t *tensor.Tensor, op, alg string) (*ten
 // allReduceSeq dispatches one already-sequenced allreduce. Separating seq
 // reservation from execution lets AllReduceAsync fix the cross-rank issue
 // order at call time even though the collective itself runs on a goroutine.
+//
+// Every completed pass updates the per-algorithm registry handles, and under
+// tracing each pass is one span per rank, stitched across ranks by flow
+// events whose ids every rank derives from (key, seq, rank) — rank r's
+// outgoing arrow terminates in its ring successor's span, so the p per-rank
+// (per-process) spans render as one connected allreduce in Perfetto.
 func (g *Group) allReduceSeq(key string, seq uint64, t *tensor.Tensor, op, alg string) (*tensor.Tensor, error) {
+	start := time.Now()
+	span := telemetry.StartRoot("collective_allreduce")
+	if span != nil {
+		span.Arg("algo", alg).Arg("key", key).Arg("bytes", strconv.FormatInt(t.ByteSize(), 10))
+		if g.Size() > 1 {
+			span.FlowOut(telemetry.FlowID(telemetry.HashString(key), seq, uint64(g.Rank())))
+		}
+	}
+	out, err := g.allReduceDispatch(key, seq, t, op, alg, span)
+	if err == nil {
+		if span != nil && g.Size() > 1 {
+			prev := (g.Rank() - 1 + g.Size()) % g.Size()
+			span.FlowIn(telemetry.FlowID(telemetry.HashString(key), seq, uint64(prev)))
+		}
+		if m := mAllReduce[alg]; m != nil {
+			m.ops.Inc()
+			m.bytes.Add(t.ByteSize())
+			m.secs.ObserveSince(start)
+		}
+	}
+	span.End()
+	return out, err
+}
+
+func (g *Group) allReduceDispatch(key string, seq uint64, t *tensor.Tensor, op, alg string, span *telemetry.Span) (*tensor.Tensor, error) {
 	switch alg {
 	case AlgoRing:
 		switch t.DType() {
 		case tensor.Float32:
-			return ringAllReduce(g, key, seq, t, slF32, op)
+			return ringAllReduce(g, key, seq, t, slF32, op, span)
 		case tensor.Float64:
-			return ringAllReduce(g, key, seq, t, slF64, op)
+			return ringAllReduce(g, key, seq, t, slF64, op, span)
 		case tensor.Int32:
-			return ringAllReduce(g, key, seq, t, slI32, op)
+			return ringAllReduce(g, key, seq, t, slI32, op, span)
 		case tensor.Int64:
-			return ringAllReduce(g, key, seq, t, slI64, op)
+			return ringAllReduce(g, key, seq, t, slI64, op, span)
 		}
 	case AlgoDoubling:
 		switch t.DType() {

@@ -3,8 +3,10 @@ package collective
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"tfhpc/internal/gemm"
+	"tfhpc/internal/telemetry"
 	"tfhpc/internal/tensor"
 )
 
@@ -300,7 +302,7 @@ func (g *Group) Fusion() *Fusion {
 
 func ringAllReduce[T interface {
 	~float32 | ~float64 | ~int32 | ~int64
-}](g *Group, key string, seq uint64, in *tensor.Tensor, sl slicer[T], op string) (*tensor.Tensor, error) {
+}](g *Group, key string, seq uint64, in *tensor.Tensor, sl slicer[T], op string, span *telemetry.Span) (*tensor.Tensor, error) {
 	combine, err := combinerFor[T](op)
 	if err != nil {
 		return nil, err
@@ -317,6 +319,11 @@ func ringAllReduce[T interface {
 	chunk := g.chunkElems(in.DType())
 
 	for phase := 0; phase < 2; phase++ {
+		phaseName := "reduce_scatter"
+		if phase != phaseReduceScatter {
+			phaseName = "allgather"
+		}
+		phaseSpan := span.Child(phaseName)
 		for step := 0; step < p-1; step++ {
 			var sendSeg, recvSeg int
 			if phase == phaseReduceScatter {
@@ -390,6 +397,7 @@ func ringAllReduce[T interface {
 				return nil, g.fatal(recvErr)
 			}
 		}
+		phaseSpan.End()
 	}
 	return out, nil
 }
@@ -604,6 +612,21 @@ func (g *Group) Barrier(key string) error {
 // the semantic reference for the ring (left-fold in rank order) and the
 // bandwidth strawman tfbench compares against.
 func (g *Group) NaiveAllReduce(key string, t *tensor.Tensor, op string) (*tensor.Tensor, error) {
+	start := time.Now()
+	span := telemetry.StartRoot("collective_allreduce")
+	span.Arg("algo", "naive").Arg("key", key)
+	defer span.End()
+	out, err := g.naiveAllReduce(key, t, op)
+	if err == nil {
+		m := mAllReduce["naive"]
+		m.ops.Inc()
+		m.bytes.Add(t.ByteSize())
+		m.secs.ObserveSince(start)
+	}
+	return out, err
+}
+
+func (g *Group) naiveAllReduce(key string, t *tensor.Tensor, op string) (*tensor.Tensor, error) {
 	p, r := g.Size(), g.Rank()
 	if p == 1 {
 		return t.Clone(), nil

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"tfhpc/internal/telemetry"
 	"tfhpc/internal/tensor"
 )
 
@@ -173,14 +174,20 @@ func (f *Fusion) AllReduce(key string, t *tensor.Tensor, op string) (*tensor.Ten
 	}
 	f.pending[key] = w
 	f.bytes += t.ByteSize()
-	trigger := f.bytes >= f.opts.FlushBytes ||
-		(f.opts.FlushTensors > 0 && len(f.pending) >= f.opts.FlushTensors)
+	mFusionPendingBytes.Add(t.ByteSize())
+	byBytes := f.bytes >= f.opts.FlushBytes
+	byCount := f.opts.FlushTensors > 0 && len(f.pending) >= f.opts.FlushTensors
 	if f.timer == nil {
-		f.timer = time.AfterFunc(f.opts.FlushInterval, f.kickFlush)
+		f.timer = time.AfterFunc(f.opts.FlushInterval, f.timerFlush)
 	}
 	f.mu.Unlock()
 
-	if trigger {
+	if byBytes || byCount {
+		if byBytes {
+			mFusionTriggerBytes.Inc()
+		} else {
+			mFusionTriggerCount.Inc()
+		}
 		f.kickFlush()
 	}
 	res := <-w.done
@@ -191,7 +198,14 @@ func (f *Fusion) AllReduce(key string, t *tensor.Tensor, op string) (*tensor.Ten
 // It must be called from a goroutine that has no post of its own blocked in
 // AllReduce (the pass would wait for itself).
 func (f *Fusion) Flush() {
+	mFusionTriggerExplicit.Inc()
 	f.flushRound()
+}
+
+// timerFlush is the deadline-expiry kick, counted under its own cause.
+func (f *Fusion) timerFlush() {
+	mFusionTriggerTimer.Inc()
+	f.kickFlush()
 }
 
 // Close fails every pending waiter and rejects future posts. The group
@@ -204,6 +218,7 @@ func (f *Fusion) Close() {
 	err := f.closed
 	waiters := f.pending
 	f.pending = make(map[string]*fusionWaiter)
+	mFusionPendingBytes.Add(-f.bytes)
 	f.bytes = 0
 	if f.timer != nil {
 		f.timer.Stop()
@@ -248,6 +263,7 @@ func (f *Fusion) fail(err error) {
 	}
 	waiters := f.pending
 	f.pending = make(map[string]*fusionWaiter)
+	mFusionPendingBytes.Add(-f.bytes)
 	f.bytes = 0
 	if f.timer != nil {
 		f.timer.Stop()
@@ -283,6 +299,9 @@ func (f *Fusion) flushRound() {
 
 	sort.Slice(snapshot, func(i, j int) bool { return snapshot[i].hash < snapshot[j].hash })
 
+	span := telemetry.StartRoot("fusion_round")
+	defer span.End()
+
 	// Negotiation: allgather every rank's pending set as (hash, dtype,
 	// elems, op) quadruples. Keys are unique per rank, so a quadruple seen
 	// p times is pending everywhere and may fuse; the rest wait.
@@ -291,7 +310,9 @@ func (f *Fusion) flushRound() {
 		opCode, _ := fusionOpCode(w.op)
 		neg = append(neg, int64(w.hash), int64(w.t.DType()), int64(w.t.NumElements()), opCode)
 	}
+	negSpan := span.Child("fusion_negotiate")
 	all, err := f.g.AllGatherV(fusionReserved+"neg", tensor.FromI64(tensor.Shape{len(neg)}, neg))
+	negSpan.End()
 	if err != nil {
 		f.fail(err)
 		return
@@ -334,6 +355,12 @@ func (f *Fusion) flushRound() {
 		f.rearmIfPending()
 		return
 	}
+	var passBytes int64
+	for _, w := range members {
+		passBytes += w.t.ByteSize()
+	}
+	mFusionFlushBytes.Observe(float64(passBytes))
+	mFusionFusedTensors.Add(int64(len(members)))
 
 	// One packed allreduce per (dtype, op) bucket, buckets and members in
 	// deterministic order so every rank issues identical collectives.
@@ -397,6 +424,7 @@ func (f *Fusion) flushRound() {
 			f.mu.Lock()
 			delete(f.pending, w.key)
 			f.bytes -= w.t.ByteSize()
+			mFusionPendingBytes.Add(-w.t.ByteSize())
 			f.mu.Unlock()
 			w.done <- pendingResult{out, nil}
 		}
@@ -409,7 +437,7 @@ func (f *Fusion) flushRound() {
 func (f *Fusion) rearmIfPending() {
 	f.mu.Lock()
 	if f.closed == nil && len(f.pending) > 0 && f.timer == nil {
-		f.timer = time.AfterFunc(f.opts.FlushInterval, f.kickFlush)
+		f.timer = time.AfterFunc(f.opts.FlushInterval, f.timerFlush)
 	}
 	f.mu.Unlock()
 }

@@ -1,0 +1,48 @@
+package collective
+
+import "tfhpc/internal/telemetry"
+
+// allReduceMetrics is one algorithm's registry view: calls, payload bytes
+// and end-to-end duration. One handle set per algorithm label — static
+// labels keep the hot-path update a single atomic op.
+type allReduceMetrics struct {
+	ops   *telemetry.Counter
+	bytes *telemetry.Counter
+	secs  *telemetry.Histogram
+}
+
+func newAllReduceMetrics(algo string) *allReduceMetrics {
+	return &allReduceMetrics{
+		ops: telemetry.NewCounter("tfhpc_collective_allreduce_total",
+			"Allreduce passes completed, by algorithm.", "algo", algo),
+		bytes: telemetry.NewCounter("tfhpc_collective_allreduce_bytes",
+			"Payload bytes carried by completed allreduces, by algorithm.", "algo", algo),
+		secs: telemetry.NewHistogram("tfhpc_collective_allreduce_seconds",
+			"End-to-end allreduce duration, by algorithm.", telemetry.DurationBuckets, "algo", algo),
+	}
+}
+
+var mAllReduce = map[string]*allReduceMetrics{
+	AlgoRing:     newAllReduceMetrics(AlgoRing),
+	AlgoDoubling: newAllReduceMetrics(AlgoDoubling),
+	"naive":      newAllReduceMetrics("naive"),
+}
+
+func newFusionTrigger(cause string) *telemetry.Counter {
+	return telemetry.NewCounter("tfhpc_fusion_flush_triggers_total",
+		"Fusion-buffer flush triggers, by cause.", "cause", cause)
+}
+
+var (
+	mFusionTriggerBytes    = newFusionTrigger("bytes")
+	mFusionTriggerCount    = newFusionTrigger("count")
+	mFusionTriggerTimer    = newFusionTrigger("timer")
+	mFusionTriggerExplicit = newFusionTrigger("explicit")
+
+	mFusionPendingBytes = telemetry.NewGauge("tfhpc_fusion_pending_bytes",
+		"Payload bytes buffered in the fusion buffer right now.")
+	mFusionFlushBytes = telemetry.NewHistogram("tfhpc_fusion_flush_bytes",
+		"Packed payload bytes per fused pass.", telemetry.SizeBuckets)
+	mFusionFusedTensors = telemetry.NewCounter("tfhpc_fusion_fused_tensors_total",
+		"Tensors carried by fused passes.")
+)

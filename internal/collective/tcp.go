@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"tfhpc/internal/rpc"
+	"tfhpc/internal/telemetry"
 	"tfhpc/internal/tensor"
 	"tfhpc/internal/wire"
 )
@@ -310,6 +312,23 @@ func (h *Hub) HandleStream(st *rpc.Stream) error {
 	if k2 <= 0 {
 		return fmt.Errorf("collective: malformed edge header epoch")
 	}
+	// Optional trailing trace/span ids (absent on headers from older
+	// senders): under tracing, accepting an edge records a span in the
+	// dialing rank's trace, joined by a flow arrow across the processes.
+	if tail := rest[k+k2:]; len(tail) > 0 {
+		if tr, n3 := binary.Uvarint(tail); n3 > 0 {
+			if spn, n4 := binary.Uvarint(tail[n3:]); n4 > 0 {
+				esc := telemetry.SpanContext{Trace: tr, Span: spn}
+				if esc.Valid() {
+					if s := telemetry.StartChild(esc, "collective_edge_accept"); s != nil {
+						s.Arg("group", group).Arg("from", strconv.Itoa(from))
+						s.FlowIn(telemetry.FlowID(esc.Trace, esc.Span))
+						s.End()
+					}
+				}
+			}
+		}
+	}
 	var keyBuf []byte
 	var key string
 	for {
@@ -401,15 +420,25 @@ func newStreamEdge(addr, group string, from int, epoch uint64) (*streamEdge, err
 		e.c.Close()
 		return nil, fmt.Errorf("collective: open edge to %s: %w", addr, err)
 	}
+	span := telemetry.StartRoot("collective_edge_open")
+	span.Arg("peer", addr).Arg("group", group)
+	sc := span.Context()
 	hdr := binary.AppendUvarint(nil, uint64(len(group)))
 	hdr = append(hdr, group...)
 	hdr = binary.AppendUvarint(hdr, uint64(from))
 	hdr = binary.AppendUvarint(hdr, epoch)
+	// Trailing trace/span ids (zero bytes when untraced): the accepting
+	// rank's edge-accept span joins this trace.
+	hdr = binary.AppendUvarint(hdr, sc.Trace)
+	hdr = binary.AppendUvarint(hdr, sc.Span)
 	if err := st.Send(hdr); err != nil {
+		span.End()
 		st.Close()
 		e.c.Close()
 		return nil, fmt.Errorf("collective: edge header to %s: %w", addr, err)
 	}
+	span.FlowOut(telemetry.FlowID(sc.Trace, sc.Span))
+	span.End()
 	e.st = st
 	return e, nil
 }

@@ -1,10 +1,11 @@
-// Package pprofsrv exposes the net/http/pprof profiling endpoints on a
+// Package pprofsrv exposes the process debug surface — the net/http/pprof
+// profiling endpoints plus the telemetry registry's /metricz — on a
 // dedicated listener, so the long-running servers (tfserver, tfserve) can
-// opt into heap/CPU/goroutine profiling with a flag — the alloc sweeps CI
-// gates are then reproducible against a live process:
+// opt into heap/CPU/goroutine profiling and metric scrapes with a flag:
 //
 //	tfserve -listen :8500 -synthetic demo -pprof 127.0.0.1:6060
 //	go tool pprof http://127.0.0.1:6060/debug/pprof/allocs
+//	curl http://127.0.0.1:6060/metricz
 //
 // The handlers are mounted on their own mux, never the default one: the
 // serving HTTP front end must not grow debug routes as a side effect of
@@ -15,11 +16,13 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+
+	"tfhpc/internal/telemetry"
 )
 
-// Serve starts the profiling listener on addr (host:port, port 0 picks)
+// Serve starts the debug listener on addr (host:port, port 0 picks)
 // and returns the bound address. The server runs until process exit —
-// profiling endpoints have no graceful-shutdown story worth the plumbing.
+// debug endpoints have no graceful-shutdown story worth the plumbing.
 func Serve(addr string) (string, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -27,6 +30,7 @@ func Serve(addr string) (string, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metricz", telemetry.Handler())
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err

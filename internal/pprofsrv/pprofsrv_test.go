@@ -2,35 +2,84 @@ package pprofsrv
 
 import (
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"testing"
+
+	"tfhpc/internal/telemetry"
 )
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
 
 func TestServeExposesProfiles(t *testing.T) {
 	addr, err := Serve("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	resp, err := http.Get("http://" + addr + "/debug/pprof/goroutine?debug=1")
-	if err != nil {
-		t.Fatal(err)
+	code, body := get(t, "http://"+addr+"/debug/pprof/goroutine?debug=1")
+	if code != http.StatusOK {
+		t.Fatalf("goroutine profile status %d", code)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("goroutine profile status %d", resp.StatusCode)
-	}
-	body, err := io.ReadAll(resp.Body)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !strings.Contains(string(body), "goroutine") {
+	if !strings.Contains(body, "goroutine") {
 		t.Fatalf("goroutine profile body looks wrong: %.80s", body)
+	}
+}
+
+func TestServeExposesMetricz(t *testing.T) {
+	c := telemetry.NewCounter("tfhpc_pprofsrv_test_total", "Test counter for the debug server.")
+	c.Inc()
+	addr, err := Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, body := get(t, "http://"+addr+"/metricz")
+	if code != http.StatusOK {
+		t.Fatalf("/metricz status %d", code)
+	}
+	if !strings.Contains(body, "# TYPE tfhpc_pprofsrv_test_total counter") {
+		t.Fatalf("/metricz missing TYPE line:\n%.200s", body)
+	}
+	if !strings.Contains(body, "tfhpc_pprofsrv_test_total 1") {
+		t.Fatalf("/metricz missing counter sample:\n%.200s", body)
 	}
 }
 
 func TestServeBadAddr(t *testing.T) {
 	if _, err := Serve("256.0.0.1:bad"); err == nil {
 		t.Fatal("nonsense address should fail")
+	}
+}
+
+// TestServeBindConflict proves a bind failure surfaces as an error return, not
+// a background panic: the debug server must refuse a port someone else holds.
+func TestServeBindConflict(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	if _, err := Serve(ln.Addr().String()); err == nil {
+		t.Fatalf("binding %s twice should fail", ln.Addr())
+	}
+}
+
+// TestServeUnroutableHost covers the resolver-level failure mode (a host that
+// is not an address on this machine) as distinct from a malformed port.
+func TestServeUnroutableHost(t *testing.T) {
+	if _, err := Serve("203.0.113.7:0"); err == nil {
+		t.Skip("environment allows binding TEST-NET-3; nothing to assert")
 	}
 }

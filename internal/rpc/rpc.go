@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"tfhpc/internal/telemetry"
 	"tfhpc/internal/wire"
 )
 
@@ -129,7 +130,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		if rejected {
 			callErr = errors.New("rpc: server shutting down")
 		} else {
-			method, req, budget, err := decodeRequest(frame)
+			method, req, budget, sc, err := decodeRequest(frame)
 			if err != nil {
 				callErr = err
 			} else if method == muxMethod {
@@ -149,7 +150,17 @@ func (s *Server) serveConn(conn net.Conn) {
 				if !ok {
 					callErr = fmt.Errorf("rpc: no handler for %q", method)
 				} else {
+					mServed.Inc()
 					ctx := context.Background()
+					// A caller that propagated trace ids gets a server-side
+					// span parented to its call span; the handler's context
+					// carries it so nested calls extend the same trace.
+					var span *telemetry.Span
+					if sc.Valid() {
+						span = telemetry.StartChild(sc, "rpc_serve").Arg("method", method)
+						span.FlowIn(sc.Span)
+						ctx = telemetry.ContextWith(ctx, span)
+					}
 					if budget > 0 {
 						var cancel context.CancelFunc
 						ctx, cancel = context.WithTimeout(ctx, budget)
@@ -158,6 +169,7 @@ func (s *Server) serveConn(conn net.Conn) {
 					} else {
 						resp, callErr = invoke(h, ctx, req)
 					}
+					span.End()
 				}
 			}
 		}
@@ -211,19 +223,26 @@ func (s *Server) Close() error {
 }
 
 // Request frame: field 1 = method, field 2 = payload, field 3 = remaining
-// per-call budget in microseconds (0/absent = no deadline). The budget is a
-// duration, not an absolute time, so peers need no clock agreement.
-func encodeRequest(method string, req []byte, budget time.Duration) []byte {
+// per-call budget in microseconds (0/absent = no deadline), fields 4/5 =
+// trace and span id of the caller's span (absent when untraced). The budget
+// is a duration, not an absolute time, so peers need no clock agreement;
+// the trace ids ride the frame the same way, so one request renders as one
+// cross-process trace.
+func encodeRequest(method string, req []byte, budget time.Duration, sc telemetry.SpanContext) []byte {
 	e := wire.NewEncoder()
 	e.String(1, method)
 	e.BytesField(2, req)
 	if budget > 0 {
 		e.Uint(3, uint64(budget/time.Microsecond))
 	}
+	if sc.Valid() {
+		e.Uint(4, sc.Trace)
+		e.Uint(5, sc.Span)
+	}
 	return e.Bytes()
 }
 
-func decodeRequest(frame []byte) (method string, req []byte, budget time.Duration, err error) {
+func decodeRequest(frame []byte) (method string, req []byte, budget time.Duration, sc telemetry.SpanContext, err error) {
 	d := wire.NewDecoder(frame)
 	for {
 		f, wt, err := d.Next()
@@ -231,33 +250,41 @@ func decodeRequest(frame []byte) (method string, req []byte, budget time.Duratio
 			break
 		}
 		if err != nil {
-			return "", nil, 0, err
+			return "", nil, 0, sc, err
 		}
 		switch f {
 		case 1:
 			if method, err = d.StringVal(); err != nil {
-				return "", nil, 0, err
+				return "", nil, 0, sc, err
 			}
 		case 2:
 			if req, err = d.Bytes(); err != nil {
-				return "", nil, 0, err
+				return "", nil, 0, sc, err
 			}
 		case 3:
 			us, err := d.Uint()
 			if err != nil {
-				return "", nil, 0, err
+				return "", nil, 0, sc, err
 			}
 			budget = time.Duration(us) * time.Microsecond
+		case 4:
+			if sc.Trace, err = d.Uint(); err != nil {
+				return "", nil, 0, sc, err
+			}
+		case 5:
+			if sc.Span, err = d.Uint(); err != nil {
+				return "", nil, 0, sc, err
+			}
 		default:
 			if err := d.Skip(wt); err != nil {
-				return "", nil, 0, err
+				return "", nil, 0, sc, err
 			}
 		}
 	}
 	if method == "" {
-		return "", nil, 0, errors.New("rpc: request missing method")
+		return "", nil, 0, sc, errors.New("rpc: request missing method")
 	}
-	return method, req, budget, nil
+	return method, req, budget, sc, nil
 }
 
 // Response frame: field 1 = error string (empty = ok), field 2 = payload.
@@ -373,6 +400,18 @@ func (c *Client) CallContext(ctx context.Context, method string, req []byte) ([]
 // left this process because a pooled connection turned out dead (its peer
 // restarted since the pool filled) — the caller re-issues on a fresh dial.
 func (c *Client) callOnce(ctx context.Context, method string, req []byte, budget time.Duration) (resp []byte, retry bool, err error) {
+	mCalls.Inc()
+	defer func() {
+		if err != nil {
+			mCallErrors.Inc()
+		}
+	}()
+	// When the caller's context carries a span, this attempt becomes a child
+	// whose ids ride the frame; the server parents its handler span to it,
+	// and the flow pair draws the cross-process arrow.
+	span := telemetry.SpanFromContext(ctx).Child("rpc_call").Arg("method", method)
+	defer span.End()
+	sc := span.Context()
 	conn, pooled, err := c.conn(ctx)
 	if err != nil {
 		return nil, false, err
@@ -403,8 +442,9 @@ func (c *Client) callOnce(ctx context.Context, method string, req []byte, budget
 		}()
 	}
 	wrote := false
+	span.FlowOut(sc.Span)
 	frame, ioErr := func() ([]byte, error) {
-		if err := wire.WriteFrame(conn, encodeRequest(method, req, budget)); err != nil {
+		if err := wire.WriteFrame(conn, encodeRequest(method, req, budget, sc)); err != nil {
 			return nil, err
 		}
 		wrote = true

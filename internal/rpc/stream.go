@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"tfhpc/internal/telemetry"
 	"tfhpc/internal/wire"
 )
 
@@ -115,7 +116,7 @@ func (c *Client) streamMux() (*mux, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := wire.WriteFrame(conn, encodeRequest(muxMethod, nil, 0)); err != nil {
+	if err := wire.WriteFrame(conn, encodeRequest(muxMethod, nil, 0, telemetry.SpanContext{})); err != nil {
 		conn.Close()
 		return nil, err
 	}
@@ -427,8 +428,17 @@ func (s *Stream) Method() string { return s.method }
 // reuse p immediately.
 func (s *Stream) Send(p []byte) error {
 	s.mu.Lock()
-	for s.credit == 0 && s.sendErr == nil && !s.sentClose {
-		s.scond.Wait()
+	if s.credit == 0 && s.sendErr == nil && !s.sentClose {
+		// The stall branch only: an unconstrained send costs nothing here,
+		// and the AllocsPerRun==0 chunk-relay gate covers that path.
+		mCreditStalls.Inc()
+		stallStart := time.Now()
+		span := telemetry.StartRoot("stream_credit_stall")
+		for s.credit == 0 && s.sendErr == nil && !s.sentClose {
+			s.scond.Wait()
+		}
+		span.End()
+		mCreditStallSeconds.ObserveSince(stallStart)
 	}
 	if s.sendErr != nil {
 		err := s.sendErr

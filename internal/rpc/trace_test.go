@@ -1,0 +1,139 @@
+package rpc
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"tfhpc/internal/telemetry"
+)
+
+// TestTraceIDsRideTheFrame round-trips the request encoding with and
+// without a span context (wire-format compatibility: untraced frames carry
+// no trace fields at all).
+func TestTraceIDsRideTheFrame(t *testing.T) {
+	sc := telemetry.SpanContext{Trace: 0xabc, Span: 0xdef}
+	frame := encodeRequest("M", []byte("payload"), 5*time.Millisecond, sc)
+	method, req, budget, got, err := decodeRequest(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if method != "M" || string(req) != "payload" || budget != 5*time.Millisecond {
+		t.Fatalf("frame fields corrupted: %q %q %v", method, req, budget)
+	}
+	if got != sc {
+		t.Fatalf("span context %+v, want %+v", got, sc)
+	}
+
+	bare := encodeRequest("M", nil, 0, telemetry.SpanContext{})
+	if len(bare) >= len(frame) {
+		t.Fatal("untraced frame is not smaller — trace fields written unconditionally")
+	}
+	if _, _, _, got, err = decodeRequest(bare); err != nil || got.Valid() {
+		t.Fatalf("untraced frame decoded sc=%+v err=%v", got, err)
+	}
+}
+
+// TestTracePropagationTwoProcesses proves the ids survive a real process
+// boundary: a helper process (this test binary re-exec'd) serves an rpc
+// method whose handler reports the span context it observed; the parent
+// calls it with tracing enabled and requires the handler's span to be in
+// the caller's trace with a non-zero parent.
+func TestTracePropagationTwoProcesses(t *testing.T) {
+	if os.Getenv("TFHPC_RPC_TRACE_HELPER") == "1" {
+		runTraceHelper()
+		return
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-test.run", "TestTracePropagationTwoProcesses$")
+	cmd.Env = append(os.Environ(), "TFHPC_RPC_TRACE_HELPER=1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		stdin.Close()
+		cmd.Wait()
+	}()
+
+	sc := bufio.NewScanner(stdout)
+	var addr string
+	for sc.Scan() {
+		if a, ok := strings.CutPrefix(sc.Text(), "HELPER_ADDR "); ok {
+			addr = a
+			break
+		}
+	}
+	if addr == "" {
+		t.Fatal("helper never reported its address")
+	}
+
+	telemetry.Enable()
+	root := telemetry.StartRoot("client_request")
+	defer root.End()
+	ctx, cancel := context.WithTimeout(telemetry.ContextWith(context.Background(), root), 5*time.Second)
+	defer cancel()
+
+	c := Dial(addr)
+	defer c.Close()
+	resp, err := c.CallContext(ctx, "TraceProbe", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotTrace, gotSpan, gotParent uint64
+	if _, err := fmt.Sscanf(string(resp), "%d %d %d", &gotTrace, &gotSpan, &gotParent); err != nil {
+		t.Fatalf("bad helper response %q: %v", resp, err)
+	}
+	if gotTrace != root.Context().Trace {
+		t.Fatalf("server saw trace %#x, caller's is %#x — ids did not cross the process boundary", gotTrace, root.Context().Trace)
+	}
+	if gotSpan == 0 || gotSpan == root.Context().Span {
+		t.Fatalf("server span id %#x invalid (root %#x)", gotSpan, root.Context().Span)
+	}
+	if gotParent == 0 {
+		t.Fatal("server span has no parent — the call span id was dropped on the wire")
+	}
+}
+
+// runTraceHelper is the child-process half: an rpc server whose handler
+// echoes the span context it received. It exits when stdin closes.
+func runTraceHelper() {
+	telemetry.Enable()
+	srv := NewServer()
+	srv.HandleCtx("TraceProbe", func(ctx context.Context, _ []byte) ([]byte, error) {
+		s := telemetry.SpanFromContext(ctx)
+		sc := s.Context()
+		return []byte(fmt.Sprintf("%d %d %d", sc.Trace, sc.Span, s.Parent())), nil
+	})
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "helper: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("HELPER_ADDR %s\n", addr)
+	// Block until the parent hangs up.
+	buf := make([]byte, 1)
+	for {
+		if _, err := os.Stdin.Read(buf); err != nil {
+			break
+		}
+	}
+	srv.Close()
+	os.Exit(0)
+}

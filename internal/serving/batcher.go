@@ -2,9 +2,11 @@ package serving
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
+	"tfhpc/internal/telemetry"
 	"tfhpc/internal/tensor"
 )
 
@@ -54,6 +56,7 @@ type result struct {
 type request struct {
 	row      *tensor.Tensor // [features]
 	deadline time.Time
+	enq      time.Time   // when the row entered the admission queue
 	resp     chan result // buffered(1): a late runner response never blocks
 }
 
@@ -138,12 +141,15 @@ func (b *Batcher) Predict(row *tensor.Tensor, deadline time.Time) (*tensor.Tenso
 		reqPool.Put(r)
 		return nil, ErrClosed
 	}
+	r.enq = time.Now()
 	select {
 	case b.ch <- r:
 		b.mu.Unlock()
+		mBatchQueueDepth.Add(1)
 	default:
 		b.mu.Unlock()
 		b.stats.rejected.Add(1)
+		mBatchRejected.Inc()
 		r.row = nil
 		reqPool.Put(r)
 		return nil, ErrOverloaded
@@ -160,14 +166,17 @@ func (b *Batcher) Predict(row *tensor.Tensor, deadline time.Time) (*tensor.Tenso
 			return res.out, nil
 		case res.err == ErrDeadline:
 			b.stats.expired.Add(1)
+			mBatchExpired.Inc()
 		default:
 			b.stats.errs.Add(1)
+			mBatchErrors.Inc()
 		}
 		return nil, res.err
 	case <-timer.C:
 		// The runner may still answer into the buffered chan; the compute
 		// is wasted but nothing leaks or blocks. The request is NOT pooled.
 		b.stats.expired.Add(1)
+		mBatchExpired.Inc()
 		return nil, ErrDeadline
 	}
 }
@@ -189,6 +198,7 @@ func (b *Batcher) runner() {
 // closes.
 func (b *Batcher) collect(batch []*request, first *request) []*request {
 	batch = append(batch, first)
+	mBatchQueueDepth.Add(-1)
 	if b.opts.MaxBatch <= 1 {
 		return batch
 	}
@@ -201,6 +211,7 @@ func (b *Batcher) collect(batch []*request, first *request) []*request {
 				return batch
 			}
 			batch = append(batch, r)
+			mBatchQueueDepth.Add(-1)
 		case <-timer.C:
 			return batch
 		}
@@ -212,6 +223,9 @@ func (b *Batcher) collect(batch []*request, first *request) []*request {
 // individually (they never poison their batch-mates), the remainder is
 // stacked along the leading dimension and run as a single session run.
 func (b *Batcher) flush(batch []*request) {
+	span := telemetry.StartRoot("batcher_flush").Arg("model", b.model)
+	defer span.End()
+
 	mv, release, err := b.reg.Acquire(b.model)
 	if err != nil {
 		for _, r := range batch {
@@ -225,6 +239,7 @@ func (b *Batcher) flush(batch []*request) {
 	now := time.Now()
 	live := batch[:0]
 	for _, r := range batch {
+		mBatchQueueWait.Observe(now.Sub(r.enq).Seconds())
 		switch {
 		case now.After(r.deadline):
 			r.resp <- result{err: ErrDeadline}
@@ -240,7 +255,9 @@ func (b *Batcher) flush(batch []*request) {
 	}
 
 	in := stackRows(live, sig)
+	runSpan := span.Child("session_run").Arg("rows", strconv.Itoa(len(live)))
 	out, err := mv.Predict(in)
+	runSpan.End()
 	if err != nil {
 		for _, r := range live {
 			r.resp <- result{err: err}
@@ -256,6 +273,9 @@ func (b *Batcher) flush(batch []*request) {
 		return
 	}
 	b.stats.recordBatch(len(live))
+	mBatchBatches.Inc()
+	mBatchRows.Add(int64(len(live)))
+	mBatchSizeRows.Observe(float64(len(live)))
 	for i, r := range live {
 		r.resp <- result{out: sliceRow(out, i)}
 	}

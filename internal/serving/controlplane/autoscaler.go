@@ -3,8 +3,11 @@ package controlplane
 import (
 	"fmt"
 	"math"
+	"strconv"
 	"sync"
 	"time"
+
+	"tfhpc/internal/telemetry"
 )
 
 // AutoscalerConfig bounds and paces the replica-count loop.
@@ -186,6 +189,8 @@ func (a *Autoscaler) tick(now time.Time) {
 		// Bootstrapping (or everything died and reap could not respawn):
 		// force the floor.
 		a.resize(now, a.cfg.Min, ewma)
+		mDesiredReplicas.Set(int64(a.cfg.Min))
+		mActualReplicas.Set(int64(a.fleet.Size()))
 		return
 	}
 
@@ -205,6 +210,8 @@ func (a *Autoscaler) tick(now time.Time) {
 	case desiredDown < cur && now.Sub(a.last(-1)) >= a.cfg.DownCooldown:
 		a.resize(now, desiredDown, ewma)
 	}
+	mDesiredReplicas.Set(int64(desiredUp))
+	mActualReplicas.Set(int64(a.fleet.Size()))
 }
 
 func clamp(v, lo, hi int) int {
@@ -251,17 +258,24 @@ func (a *Autoscaler) resize(now time.Time, n int, ewma float64) {
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	dirName := "up"
 	if dir > 0 {
 		a.lastUp = now
 		a.scaleUps++
+		mScaleUps.Inc()
 	} else {
 		a.lastDown = now
 		a.scaleDowns++
+		mScaleDowns.Inc()
+		dirName = "down"
 	}
+	telemetry.Instant("autoscaler_scale", "dir", dirName, "from", strconv.Itoa(cur), "to", strconv.Itoa(n))
 	if a.lastDir == -dir && now.Sub(a.lastDirAt) <= a.cfg.FlapWindow {
 		ref := math.Max(math.Abs(a.lastDirLoad), 1)
 		if math.Abs(ewma-a.lastDirLoad)/ref < a.cfg.FlapLoadDelta {
 			a.flaps++
+			mFlaps.Inc()
+			telemetry.Instant("autoscaler_flap", "to", strconv.Itoa(n))
 		}
 	}
 	a.lastDir, a.lastDirAt, a.lastDirLoad = dir, now, ewma

@@ -1,0 +1,44 @@
+package controlplane
+
+import "tfhpc/internal/telemetry"
+
+// armMetrics is one traffic arm's registry view — the monotonic complement
+// of the monitor's sliding windows: per-arm request/error counters and a
+// latency histogram /metricz consumers derive percentiles from (the windows
+// keep answering the rollout's "right now" question).
+type armMetrics struct {
+	requests *telemetry.Counter
+	errors   *telemetry.Counter
+	latency  *telemetry.Histogram
+}
+
+func newArmMetrics(arm string) *armMetrics {
+	return &armMetrics{
+		requests: telemetry.NewCounter("tfhpc_monitor_requests_total",
+			"Request outcomes observed by the SLO monitor, by traffic arm.", "arm", arm),
+		errors: telemetry.NewCounter("tfhpc_monitor_errors_total",
+			"Errored requests observed by the SLO monitor, by traffic arm.", "arm", arm),
+		latency: telemetry.NewHistogram("tfhpc_monitor_latency_seconds",
+			"End-to-end request latency observed by the SLO monitor, by traffic arm.",
+			telemetry.DurationBuckets, "arm", arm),
+	}
+}
+
+var (
+	mArmStable = newArmMetrics("stable")
+	mArmCanary = newArmMetrics("canary")
+
+	mScaleUps = telemetry.NewCounter("tfhpc_autoscaler_scale_ups_total",
+		"Fleet scale-up decisions taken by the autoscaler.")
+	mScaleDowns = telemetry.NewCounter("tfhpc_autoscaler_scale_downs_total",
+		"Fleet scale-down decisions taken by the autoscaler.")
+	mFlaps = telemetry.NewCounter("tfhpc_autoscaler_flaps_total",
+		"Direction reversals on an unchanged load within the flap window.")
+	mDesiredReplicas = telemetry.NewGauge("tfhpc_autoscaler_desired_replicas",
+		"Replica count the autoscaler last computed from the load signal.")
+	mActualReplicas = telemetry.NewGauge("tfhpc_autoscaler_actual_replicas",
+		"Fleet size after the autoscaler's last tick.")
+
+	mRolloutTransitions = telemetry.NewCounter("tfhpc_rollout_transitions_total",
+		"Rollout state-machine transitions.")
+)

@@ -119,6 +119,15 @@ func (m *Monitor) Observe(model string, canary bool, latency time.Duration, err 
 		w = &armWindow{}
 		m.arms[k] = w
 	}
+	am := mArmStable
+	if canary {
+		am = mArmCanary
+	}
+	am.requests.Inc()
+	am.latency.Observe(latency.Seconds())
+	if err != nil {
+		am.errors.Inc()
+	}
 	w.add(sample{at: now, latency: latency, err: err != nil})
 	m.total++
 	switch {

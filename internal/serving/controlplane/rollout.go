@@ -2,8 +2,11 @@ package controlplane
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
+
+	"tfhpc/internal/telemetry"
 )
 
 // Rollout states. The machine only moves forward:
@@ -163,6 +166,9 @@ func (ro *Rollout) set(state string, percent int, reason string) {
 		ro.reason = reason
 	}
 	ro.mu.Unlock()
+	mRolloutTransitions.Inc()
+	telemetry.Instant("rollout_transition",
+		"model", ro.model, "state", state, "percent", strconv.Itoa(percent))
 }
 
 // run drives the machine to a terminal state. It is the controller

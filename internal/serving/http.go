@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"tfhpc/internal/telemetry"
 	"tfhpc/internal/tensor"
 )
 
@@ -26,6 +27,7 @@ const maxBodyBytes = 64 << 20
 //	GET  /healthz                    process liveness
 //	GET  /readyz                     traffic readiness (503 until a model serves)
 //	GET  /statsz                     batching/admission counters
+//	GET  /metricz                    Prometheus text exposition (process-wide)
 //
 // A predict request may carry X-Deadline-Ms; otherwise the predictor's
 // default applies. Outcomes map to 200/400/404/429/503/504.
@@ -41,6 +43,7 @@ func NewHTTPHandler(p Predictor) http.Handler {
 		}
 		writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ready": false})
 	})
+	mux.Handle("/metricz", telemetry.Handler())
 	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
 		buf, err := p.StatsJSON()
 		if err != nil {

@@ -1,0 +1,42 @@
+package serving
+
+import "tfhpc/internal/telemetry"
+
+// Registry handles for the serving tier. These are process-global sums
+// (every batcher and router in the process feeds the same handle) and back
+// /metricz; the per-model Stats atomics stay as the per-instance view behind
+// /statsz. Every update below is a single atomic op, so the streaming
+// predict AllocsPerRun==0 gate holds with metrics enabled.
+var (
+	mBatchRows = telemetry.NewCounter("tfhpc_batcher_rows_total",
+		"Rows answered successfully through batched session runs.")
+	mBatchBatches = telemetry.NewCounter("tfhpc_batcher_batches_total",
+		"Coalesced batches executed.")
+	mBatchRejected = telemetry.NewCounter("tfhpc_batcher_rejected_total",
+		"Rows rejected at admission (queue full).")
+	mBatchExpired = telemetry.NewCounter("tfhpc_batcher_expired_total",
+		"Rows that missed their deadline before or during execution.")
+	mBatchErrors = telemetry.NewCounter("tfhpc_batcher_errors_total",
+		"Rows answered with a model or validation error.")
+	mBatchQueueDepth = telemetry.NewGauge("tfhpc_batcher_queue_depth",
+		"Rows sitting in admission queues right now (all models).")
+	mBatchQueueWait = telemetry.NewHistogram("tfhpc_batcher_queue_wait_seconds",
+		"Time rows waited in the admission queue before their batch formed.", telemetry.DurationBuckets)
+	mBatchSizeRows = telemetry.NewHistogram("tfhpc_batcher_batch_rows",
+		"Live rows per executed batch.", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256})
+
+	mRouted = telemetry.NewCounter("tfhpc_router_routed_total",
+		"Requests answered by a replica via the router.")
+	mRetries = telemetry.NewCounter("tfhpc_router_retries_total",
+		"Additional replica attempts after the first failed.")
+	mFailovers = telemetry.NewCounter("tfhpc_router_failovers_total",
+		"Transport failures that benched a replica and failed the request over.")
+	mUnbenches = telemetry.NewCounter("tfhpc_router_unbenches_total",
+		"Benched replicas returned to the pick set by health probes.")
+	mBenchEvents = telemetry.NewCounter("tfhpc_router_bench_events_total",
+		"Bench decisions taken against replicas (one per transport failure).")
+	mRouterOutstanding = telemetry.NewGauge("tfhpc_router_outstanding",
+		"Requests in flight to replicas right now.")
+	mRouterReplicas = telemetry.NewGauge("tfhpc_router_replicas",
+		"Replicas currently routed (including benched and draining).")
+)

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"tfhpc/internal/rpc"
+	"tfhpc/internal/telemetry"
 	"tfhpc/internal/tensor"
 )
 
@@ -199,6 +200,7 @@ func (r *Router) AddReplica(addr string) error {
 		client:  rpc.Dial(addr),
 		streams: make(chan *PredictStream, r.opts.StreamsPerReplica),
 	})
+	mRouterReplicas.Set(int64(len(r.replicas)))
 	return nil
 }
 
@@ -244,6 +246,7 @@ func (r *Router) RemoveReplica(addr string, drain time.Duration) (bool, error) {
 		}
 	}
 	r.replicas = next
+	mRouterReplicas.Set(int64(len(next)))
 	r.mu.Unlock()
 	rep.close()
 	return clean, nil
@@ -304,6 +307,7 @@ func (r *Router) Unbench(addr string) {
 		if rep.addr == addr && rep.failUntil.Load() > time.Now().UnixNano() {
 			rep.failUntil.Store(0)
 			r.unbenches.Add(1)
+			mUnbenches.Inc()
 		}
 	}
 }
@@ -311,6 +315,7 @@ func (r *Router) Unbench(addr string) {
 // bench sidelines a replica after a transport failure: until a health probe
 // clears it (BenchUntilHealthy) or for FailBackoff.
 func (r *Router) bench(rep *replica) {
+	mBenchEvents.Inc()
 	if r.opts.BenchUntilHealthy {
 		rep.failUntil.Store(benchForever)
 		return
@@ -369,6 +374,7 @@ func (r *Router) Close() {
 	r.mu.Lock()
 	reps := r.replicas
 	r.replicas = nil
+	mRouterReplicas.Set(0)
 	r.mu.Unlock()
 	for _, rep := range reps {
 		rep.close()
@@ -427,7 +433,12 @@ func (r *Router) route(model string, in *tensor.Tensor, deadline time.Time) (*te
 	if deadline.IsZero() {
 		deadline = time.Now().Add(r.opts.DefaultDeadline)
 	}
-	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	// The Predictor interface carries no context, so a routed predict is a
+	// trace root: every hop below (pick, stream send, remote serve span)
+	// hangs off this span via the ids on the wire.
+	span := telemetry.StartRoot("router_predict").Arg("model", model)
+	defer span.End()
+	ctx, cancel := context.WithDeadline(telemetry.ContextWith(context.Background(), span), deadline)
 	defer cancel()
 
 	reps := r.snapshot()
@@ -445,12 +456,18 @@ func (r *Router) route(model string, in *tensor.Tensor, deadline time.Time) (*te
 		tried[rep] = true
 		if attempt > 0 {
 			r.retries.Add(1)
+			mRetries.Inc()
 		}
 		rep.outstanding.Add(1)
-		out, err := r.predictOn(ctx, rep, model, in, deadline)
+		mRouterOutstanding.Add(1)
+		attemptSpan := span.Child("router_attempt").Arg("replica", rep.addr)
+		out, err := r.predictOn(telemetry.ContextWith(ctx, attemptSpan), rep, model, in, deadline)
+		attemptSpan.End()
 		rep.outstanding.Add(-1)
+		mRouterOutstanding.Add(-1)
 		if err == nil {
 			r.routed.Add(1)
+			mRouted.Inc()
 			return out, nil
 		}
 		lastErr = err
@@ -458,7 +475,9 @@ func (r *Router) route(model string, in *tensor.Tensor, deadline time.Time) (*te
 			return nil, err // deterministic application outcome: no failover
 		}
 		r.failovers.Add(1)
+		mFailovers.Inc()
 		r.bench(rep)
+		span.Arg("benched", rep.addr)
 		if ctx.Err() != nil {
 			return nil, mapRemoteErr(ctx.Err())
 		}
@@ -476,7 +495,7 @@ func (r *Router) predictOn(ctx context.Context, rep *replica, model string, in *
 	if !r.opts.DisableStreaming && !rep.noStream.Load() {
 		ps, err := rep.getStream()
 		if err == nil {
-			out, perr := ps.Predict(model, in, deadline)
+			out, perr := ps.PredictTraced(telemetry.SpanFromContext(ctx).Context(), model, in, deadline)
 			if isNoStreamHandlerErr(perr) {
 				rep.noStream.Store(true)
 				rep.putStream(ps)
@@ -522,12 +541,19 @@ func (r *Router) Ready() bool { return len(r.Models()) > 0 }
 
 // RouterStats is the router's own traffic view.
 type RouterStats struct {
-	Routed    int64          `json:"routed"`
-	Retries   int64          `json:"retries"`
-	Failovers int64          `json:"failovers"`
-	Unbenches int64          `json:"unbenches"`
-	Splits    []SplitStatus  `json:"splits,omitempty"`
-	Replicas  []ReplicaStats `json:"replicas"`
+	Routed    int64 `json:"routed"`
+	Retries   int64 `json:"retries"`
+	Failovers int64 `json:"failovers"`
+	Unbenches int64 `json:"unbenches"`
+	// Outstanding/Benched/ReplicaAddrs summarize the live replica view so a
+	// /statsz scrape in -route mode sees the routing state without walking
+	// the per-replica entries (which may be missing when replicas are
+	// unreachable).
+	Outstanding  int64          `json:"outstanding"`
+	Benched      []string       `json:"benched,omitempty"`
+	ReplicaAddrs []string       `json:"replica_addrs"`
+	Splits       []SplitStatus  `json:"splits,omitempty"`
+	Replicas     []ReplicaStats `json:"replicas"`
 }
 
 // SplitStatus is one model's live traffic-split.
@@ -552,10 +578,13 @@ type ReplicaStats struct {
 func (r *Router) StatsJSON() ([]byte, error) {
 	now := time.Now()
 	st := RouterStats{
-		Routed:    r.routed.Load(),
-		Retries:   r.retries.Load(),
-		Failovers: r.failovers.Load(),
-		Unbenches: r.unbenches.Load(),
+		Routed:       r.routed.Load(),
+		Retries:      r.retries.Load(),
+		Failovers:    r.failovers.Load(),
+		Unbenches:    r.unbenches.Load(),
+		Outstanding:  r.Outstanding(),
+		Benched:      r.Benched(),
+		ReplicaAddrs: r.ReplicaAddrs(),
 	}
 	r.mu.RLock()
 	reps := r.replicas

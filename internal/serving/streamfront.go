@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"tfhpc/internal/rpc"
+	"tfhpc/internal/telemetry"
 	"tfhpc/internal/tensor"
 )
 
@@ -22,7 +23,10 @@ import (
 //
 // Request frame:
 //
-//	uvarint reqID | uvarint budget µs (0 = none) | uvarint len(model) | model | tensor
+//	uvarint reqID | uvarint budget µs (0 = none) | uvarint trace | uvarint span | uvarint len(model) | model | tensor
+//
+// trace/span are the caller's telemetry ids (0 when untraced — one zero byte
+// each, so the untraced hot path stays allocation-free and cheap).
 //
 // Response frame:
 //
@@ -120,7 +124,7 @@ func servePredictStream(p Predictor, st *rpc.Stream) error {
 		if err != nil {
 			return err
 		}
-		reqID, budget, mb, tb, perr := parseStreamPredict(buf)
+		reqID, budget, tsc, mb, tb, perr := parseStreamPredict(buf)
 		if perr != nil {
 			return perr // protocol violation: reset the stream
 		}
@@ -132,6 +136,11 @@ func servePredictStream(p Predictor, st *rpc.Stream) error {
 		var deadline time.Time
 		if budget > 0 {
 			deadline = time.Now().Add(time.Duration(budget) * time.Microsecond)
+		}
+		var span *telemetry.Span
+		if tsc.Valid() {
+			span = telemetry.StartChild(tsc, "stream_predict_serve")
+			span.FlowIn(telemetry.FlowID(tsc.Trace, tsc.Span, reqID))
 		}
 
 		resp = binary.AppendUvarint(resp[:0], reqID)
@@ -164,7 +173,9 @@ func servePredictStream(p Predictor, st *rpc.Stream) error {
 				}
 			}
 		}
-		if err := st.Send(resp); err != nil {
+		err = st.Send(resp)
+		span.End()
+		if err != nil {
 			return err
 		}
 	}
@@ -204,23 +215,33 @@ func rowFastPath(rows RowPredictor, model string, in *tensor.Tensor, deadline ti
 }
 
 // parseStreamPredict splits one request frame; all byte slices alias b.
-func parseStreamPredict(b []byte) (reqID, budget uint64, model, tb []byte, err error) {
+func parseStreamPredict(b []byte) (reqID, budget uint64, tsc telemetry.SpanContext, model, tb []byte, err error) {
 	id, n := binary.Uvarint(b)
 	if n <= 0 {
-		return 0, 0, nil, nil, errors.New("serving: malformed stream predict id")
+		return 0, 0, tsc, nil, nil, errors.New("serving: malformed stream predict id")
 	}
 	b = b[n:]
 	bud, n := binary.Uvarint(b)
 	if n <= 0 {
-		return 0, 0, nil, nil, errors.New("serving: malformed stream predict budget")
+		return 0, 0, tsc, nil, nil, errors.New("serving: malformed stream predict budget")
+	}
+	b = b[n:]
+	tsc.Trace, n = binary.Uvarint(b)
+	if n <= 0 {
+		return 0, 0, tsc, nil, nil, errors.New("serving: malformed stream predict trace id")
+	}
+	b = b[n:]
+	tsc.Span, n = binary.Uvarint(b)
+	if n <= 0 {
+		return 0, 0, tsc, nil, nil, errors.New("serving: malformed stream predict span id")
 	}
 	b = b[n:]
 	ml, n := binary.Uvarint(b)
 	if n <= 0 || ml > uint64(len(b)-n) {
-		return 0, 0, nil, nil, errors.New("serving: malformed stream predict model")
+		return 0, 0, tsc, nil, nil, errors.New("serving: malformed stream predict model")
 	}
 	b = b[n:]
-	return id, bud, b[:ml], b[ml:], nil
+	return id, bud, tsc, b[:ml], b[ml:], nil
 }
 
 // appendStatus appends an error's status byte plus, for non-canonical
@@ -277,11 +298,25 @@ func (ps *PredictStream) Broken() bool {
 // escapes may Recycle it. Canonical serving errors come back as their
 // canonical values (exact status bytes, not string matching).
 func (ps *PredictStream) Predict(model string, in *tensor.Tensor, deadline time.Time) (*tensor.Tensor, error) {
+	return ps.PredictTraced(telemetry.SpanContext{}, model, in, deadline)
+}
+
+// PredictTraced is Predict with the caller's span context riding the request
+// frame: the server's per-request span joins the caller's trace, linked by a
+// flow id derived from (trace, span, reqID) on both ends. A zero context
+// costs two zero bytes on the wire and nothing else.
+func (ps *PredictStream) PredictTraced(tsc telemetry.SpanContext, model string, in *tensor.Tensor, deadline time.Time) (*tensor.Tensor, error) {
 	ps.mu.Lock()
 	defer ps.mu.Unlock()
 	if ps.broken {
 		return nil, errStreamGone
 	}
+	span := telemetry.StartChild(tsc, "stream_predict")
+	if !tsc.Valid() {
+		span = nil // untraced caller: no client-side span either
+	}
+	defer span.End()
+	tsc = span.Context()
 	ps.nextID++
 	id := ps.nextID
 	b := binary.AppendUvarint(ps.wbuf[:0], id)
@@ -294,6 +329,8 @@ func (ps *PredictStream) Predict(model string, in *tensor.Tensor, deadline time.
 		budget = uint64(us)
 	}
 	b = binary.AppendUvarint(b, budget)
+	b = binary.AppendUvarint(b, tsc.Trace)
+	b = binary.AppendUvarint(b, tsc.Span)
 	b = binary.AppendUvarint(b, uint64(len(model)))
 	b = append(b, model...)
 	b, err := in.Encode(b)
@@ -305,6 +342,7 @@ func (ps *PredictStream) Predict(model string, in *tensor.Tensor, deadline time.
 		ps.broken = true
 		return nil, err
 	}
+	span.FlowOut(telemetry.FlowID(tsc.Trace, tsc.Span, id))
 	ps.st.SetRecvDeadline(deadline)
 	for {
 		rb, err := ps.st.Recv(ps.rbuf)

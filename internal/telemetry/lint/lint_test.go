@@ -1,0 +1,106 @@
+// Package lint is the telemetry-lint CI gate: it blank-imports every
+// instrumented tier so each package's metric handles register, then walks the
+// live registry and re-asserts the naming contract. Registration-time
+// validation panics on a bad name, but only in processes that reach that
+// code path — this test makes the whole curated set load in one process and
+// face the regexp, so a rename or help-text regression fails `go test`.
+package lint
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"tfhpc/internal/telemetry"
+
+	_ "tfhpc/internal/collective"
+	_ "tfhpc/internal/pprofsrv"
+	_ "tfhpc/internal/rpc"
+	_ "tfhpc/internal/serving"
+	_ "tfhpc/internal/serving/controlplane"
+)
+
+func TestMetricNamesAndHelp(t *testing.T) {
+	nameRE := regexp.MustCompile(telemetry.MetricNamePattern)
+	ms := telemetry.Metrics()
+	if len(ms) == 0 {
+		t.Fatal("registry empty — instrumented packages did not register")
+	}
+	kinds := map[string]telemetry.MetricKind{}
+	helps := map[string]string{}
+	for _, m := range ms {
+		if !nameRE.MatchString(m.Name) {
+			t.Errorf("metric %q violates %s", m.Name, telemetry.MetricNamePattern)
+		}
+		if strings.TrimSpace(m.Help) == "" {
+			t.Errorf("metric %q has no help text", m.Name)
+		}
+		if k, ok := kinds[m.Name]; ok && k != m.Kind {
+			t.Errorf("metric %q registered as both %v and %v", m.Name, k, m.Kind)
+		}
+		kinds[m.Name] = m.Kind
+		if h, ok := helps[m.Name]; ok && h != m.Help {
+			t.Errorf("metric %q has two help strings: %q vs %q", m.Name, h, m.Help)
+		}
+		helps[m.Name] = m.Help
+		for _, l := range m.Labels {
+			if l.Key == "" || l.Value == "" {
+				t.Errorf("metric %q has empty label pair %q=%q", m.Name, l.Key, l.Value)
+			}
+		}
+	}
+}
+
+// TestCuratedSetPresent pins the cross-tier metric catalogue: if an
+// instrumentation site is deleted or renamed, the curated name disappears
+// from the registry and this list catches it.
+func TestCuratedSetPresent(t *testing.T) {
+	want := []string{
+		// batcher
+		"tfhpc_batcher_rows_total",
+		"tfhpc_batcher_batches_total",
+		"tfhpc_batcher_rejected_total",
+		"tfhpc_batcher_expired_total",
+		"tfhpc_batcher_queue_depth",
+		"tfhpc_batcher_queue_wait_seconds",
+		"tfhpc_batcher_batch_rows",
+		// router
+		"tfhpc_router_routed_total",
+		"tfhpc_router_retries_total",
+		"tfhpc_router_failovers_total",
+		"tfhpc_router_outstanding",
+		"tfhpc_router_replicas",
+		// collective + fusion
+		"tfhpc_collective_allreduce_total",
+		"tfhpc_collective_allreduce_bytes",
+		"tfhpc_collective_allreduce_seconds",
+		"tfhpc_fusion_flush_triggers_total",
+		"tfhpc_fusion_pending_bytes",
+		"tfhpc_fusion_flush_bytes",
+		// rpc transport
+		"tfhpc_rpc_calls_total",
+		"tfhpc_rpc_call_errors_total",
+		"tfhpc_rpc_served_total",
+		"tfhpc_stream_credit_stalls_total",
+		"tfhpc_stream_credit_stall_seconds",
+		// control plane
+		"tfhpc_autoscaler_scale_ups_total",
+		"tfhpc_autoscaler_scale_downs_total",
+		"tfhpc_autoscaler_flaps_total",
+		"tfhpc_autoscaler_desired_replicas",
+		"tfhpc_autoscaler_actual_replicas",
+		"tfhpc_monitor_requests_total",
+		"tfhpc_monitor_errors_total",
+		"tfhpc_monitor_latency_seconds",
+		"tfhpc_rollout_transitions_total",
+	}
+	have := map[string]bool{}
+	for _, m := range telemetry.Metrics() {
+		have[m.Name] = true
+	}
+	for _, name := range want {
+		if !have[name] {
+			t.Errorf("curated metric %q not registered", name)
+		}
+	}
+}

@@ -1,0 +1,405 @@
+// Package telemetry is the unified observability tier: a zero-alloc metrics
+// registry with Prometheus text exposition (GET /metricz on the server
+// binaries) and wire-propagated trace spans that render as one cross-process
+// Perfetto timeline (trace.go).
+//
+// Metrics are resolved to handles at registration time — typically a
+// package-level var in the instrumented package:
+//
+//	var rows = telemetry.NewCounter("tfhpc_batcher_rows_total",
+//	    "Rows admitted through the micro-batcher.")
+//
+// After that the hot path is one atomic op: no map lookup, no interface
+// dispatch, no allocation. The AllocsPerRun==0 gates on the chunk-relay and
+// streaming-predict paths hold with every counter in this package enabled,
+// and metrics_test.go pins Counter/Gauge/Histogram updates at zero
+// allocations themselves.
+//
+// Naming contract (enforced at registration, asserted again by the
+// telemetry-lint test): every metric matches
+// ^tfhpc_[a-z_]+(_total|_bytes|_seconds)?$ and carries non-empty help text.
+// No digits — percentiles are derived from histograms at query time, never
+// baked into names.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MetricNamePattern is the naming contract every registered metric must
+// match. The lint test re-asserts it over the live registry so a rename that
+// slips past registration-time validation still fails CI.
+const MetricNamePattern = `^tfhpc_[a-z_]+(_total|_bytes|_seconds)?$`
+
+var nameRE = regexp.MustCompile(MetricNamePattern)
+
+// MetricKind discriminates registry entries for exposition and the lint walk.
+type MetricKind int
+
+const (
+	KindCounter MetricKind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k MetricKind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// Label is one static key=value pair fixed at registration time. Dynamic
+// label values are deliberately unsupported: they would force a map lookup
+// (and an allocation) on the hot path, which is exactly what handles exist
+// to avoid. Register one handle per label value instead.
+type Label struct{ Key, Value string }
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n must be >= 0; negative deltas corrupt monotonicity and are
+// the caller's bug — Add does not check on the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the value by n (negative allowed).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution. Bounds are set at registration
+// and never change; Observe is a linear scan over a handful of float
+// compares plus two atomic ops — no allocation.
+type Histogram struct {
+	bounds []float64      // upper bounds, ascending; +Inf implicit
+	counts []atomic.Int64 // len(bounds)+1, non-cumulative
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start — the common latency
+// idiom.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the running sample sum.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// DurationBuckets spans 10µs..2.5s — wide enough for a shm chunk relay and a
+// cold serving request on the same scale.
+var DurationBuckets = []float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3, 1, 2.5,
+}
+
+// SizeBuckets spans 256 B..16 MiB in powers of four — the payload range the
+// collective benches sweep.
+var SizeBuckets = []float64{
+	256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20,
+}
+
+type entry struct {
+	name   string
+	help   string
+	kind   MetricKind
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+var reg struct {
+	sync.Mutex
+	byKey map[string]*entry
+	order []*entry
+}
+
+func regKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range labels {
+		b.WriteByte('|')
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+func parseLabels(name string, kv []string) []Label {
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: metric %q: odd label list %q", name, kv))
+	}
+	labels := make([]Label, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		if kv[i] == "" || kv[i+1] == "" {
+			panic(fmt.Sprintf("telemetry: metric %q: empty label key or value", name))
+		}
+		labels = append(labels, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	return labels
+}
+
+// register validates and installs (or fetches) one entry. Same name+labels
+// returns the existing handle — registration is idempotent so two packages
+// (or a test re-import) can share a metric without coordination.
+func register(name, help string, kind MetricKind, labels []Label) *entry {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("telemetry: metric name %q violates %s", name, MetricNamePattern))
+	}
+	if help == "" {
+		panic(fmt.Sprintf("telemetry: metric %q registered without help text", name))
+	}
+	reg.Lock()
+	defer reg.Unlock()
+	if reg.byKey == nil {
+		reg.byKey = make(map[string]*entry)
+	}
+	key := regKey(name, labels)
+	if e, ok := reg.byKey[key]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %q re-registered as %v (was %v)", name, kind, e.kind))
+		}
+		return e
+	}
+	// One name, one kind and one help string across all label sets.
+	for _, e := range reg.order {
+		if e.name == name && (e.kind != kind || e.help != help) {
+			panic(fmt.Sprintf("telemetry: metric %q registered twice with conflicting kind or help", name))
+		}
+	}
+	e := &entry{name: name, help: help, kind: kind, labels: labels}
+	reg.byKey[key] = e
+	reg.order = append(reg.order, e)
+	return e
+}
+
+// NewCounter registers (or fetches) a counter. labels are alternating
+// key, value pairs fixed for the handle's lifetime.
+func NewCounter(name, help string, labels ...string) *Counter {
+	e := register(name, help, KindCounter, parseLabels(name, labels))
+	if e.c == nil {
+		e.c = &Counter{}
+	}
+	return e.c
+}
+
+// NewGauge registers (or fetches) a gauge.
+func NewGauge(name, help string, labels ...string) *Gauge {
+	e := register(name, help, KindGauge, parseLabels(name, labels))
+	if e.g == nil {
+		e.g = &Gauge{}
+	}
+	return e.g
+}
+
+// NewHistogram registers (or fetches) a fixed-bucket histogram. bounds must
+// be ascending upper bounds; the +Inf bucket is implicit.
+func NewHistogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: metric %q: bounds not ascending", name))
+		}
+	}
+	e := register(name, help, KindHistogram, parseLabels(name, labels))
+	if e.h == nil {
+		e.h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Int64, len(bounds)+1),
+		}
+	}
+	return e.h
+}
+
+// MetricInfo is one registry row, as the lint test and exposition see it.
+type MetricInfo struct {
+	Name   string
+	Help   string
+	Kind   MetricKind
+	Labels []Label
+}
+
+// Metrics snapshots the registry (sorted by name, then label values) — the
+// surface the telemetry-lint test walks.
+func Metrics() []MetricInfo {
+	reg.Lock()
+	defer reg.Unlock()
+	out := make([]MetricInfo, 0, len(reg.order))
+	for _, e := range reg.order {
+		out = append(out, MetricInfo{Name: e.name, Help: e.help, Kind: e.kind, Labels: e.labels})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return regKey("", out[i].Labels) < regKey("", out[j].Labels)
+	})
+	return out
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func appendLabels(b []byte, labels []Label, extra ...Label) []byte {
+	all := labels
+	if len(extra) > 0 {
+		all = append(append([]Label(nil), labels...), extra...)
+	}
+	if len(all) == 0 {
+		return b
+	}
+	b = append(b, '{')
+	for i, l := range all {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, l.Key...)
+		b = append(b, '=', '"')
+		b = append(b, labelEscaper.Replace(l.Value)...)
+		b = append(b, '"')
+	}
+	return append(b, '}')
+}
+
+func appendFloat(b []byte, v float64) []byte {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.AppendInt(b, int64(v), 10)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// WriteTo renders the registry in Prometheus text exposition format, sorted
+// by metric name with one HELP/TYPE header per family.
+func WriteTo(w io.Writer) error {
+	reg.Lock()
+	entries := append([]*entry(nil), reg.order...)
+	reg.Unlock()
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].name != entries[j].name {
+			return entries[i].name < entries[j].name
+		}
+		return regKey("", entries[i].labels) < regKey("", entries[j].labels)
+	})
+	var b []byte
+	last := ""
+	for _, e := range entries {
+		if e.name != last {
+			b = append(b, "# HELP "...)
+			b = append(b, e.name...)
+			b = append(b, ' ')
+			b = append(b, e.help...)
+			b = append(b, "\n# TYPE "...)
+			b = append(b, e.name...)
+			b = append(b, ' ')
+			b = append(b, e.kind.String()...)
+			b = append(b, '\n')
+			last = e.name
+		}
+		switch e.kind {
+		case KindCounter:
+			b = append(b, e.name...)
+			b = appendLabels(b, e.labels)
+			b = append(b, ' ')
+			b = strconv.AppendInt(b, e.c.Value(), 10)
+			b = append(b, '\n')
+		case KindGauge:
+			b = append(b, e.name...)
+			b = appendLabels(b, e.labels)
+			b = append(b, ' ')
+			b = strconv.AppendInt(b, e.g.Value(), 10)
+			b = append(b, '\n')
+		case KindHistogram:
+			var cum int64
+			for i := range e.h.counts {
+				cum += e.h.counts[i].Load()
+				le := "+Inf"
+				if i < len(e.h.bounds) {
+					le = string(appendFloat(nil, e.h.bounds[i]))
+				}
+				b = append(b, e.name...)
+				b = append(b, "_bucket"...)
+				b = appendLabels(b, e.labels, Label{Key: "le", Value: le})
+				b = append(b, ' ')
+				b = strconv.AppendInt(b, cum, 10)
+				b = append(b, '\n')
+			}
+			b = append(b, e.name...)
+			b = append(b, "_sum"...)
+			b = appendLabels(b, e.labels)
+			b = append(b, ' ')
+			b = appendFloat(b, e.h.Sum())
+			b = append(b, '\n')
+			b = append(b, e.name...)
+			b = append(b, "_count"...)
+			b = appendLabels(b, e.labels)
+			b = append(b, ' ')
+			b = strconv.AppendInt(b, e.h.Count(), 10)
+			b = append(b, '\n')
+		}
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// Handler serves the registry as Prometheus text — mount it at /metricz.
+func Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "GET only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteTo(w)
+	})
+}

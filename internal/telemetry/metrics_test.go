@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRegistryHandlesAndExposition(t *testing.T) {
+	c := NewCounter("tfhpc_unittest_events_total", "Unit-test counter.")
+	c2 := NewCounter("tfhpc_unittest_events_total", "Unit-test counter.")
+	if c != c2 {
+		t.Fatalf("duplicate registration returned a different handle")
+	}
+	c.Inc()
+	c.Add(2)
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+
+	g := NewGauge("tfhpc_unittest_depth", "Unit-test gauge.")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+
+	h := NewHistogram("tfhpc_unittest_latency_seconds", "Unit-test histogram.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("histogram count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 5.555 {
+		t.Fatalf("histogram sum = %g, want 5.555", h.Sum())
+	}
+
+	lc := NewCounter("tfhpc_unittest_labeled_total", "Labeled unit-test counter.", "algo", "ring")
+	ld := NewCounter("tfhpc_unittest_labeled_total", "Labeled unit-test counter.", "algo", "doubling")
+	if lc == ld {
+		t.Fatalf("distinct label sets shared a handle")
+	}
+	lc.Inc()
+
+	var buf bytes.Buffer
+	if err := WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# HELP tfhpc_unittest_events_total Unit-test counter.",
+		"# TYPE tfhpc_unittest_events_total counter",
+		"tfhpc_unittest_events_total 3",
+		"# TYPE tfhpc_unittest_depth gauge",
+		"tfhpc_unittest_depth 5",
+		"# TYPE tfhpc_unittest_latency_seconds histogram",
+		`tfhpc_unittest_latency_seconds_bucket{le="0.01"} 1`,
+		`tfhpc_unittest_latency_seconds_bucket{le="0.1"} 2`,
+		`tfhpc_unittest_latency_seconds_bucket{le="1"} 3`,
+		`tfhpc_unittest_latency_seconds_bucket{le="+Inf"} 4`,
+		"tfhpc_unittest_latency_seconds_sum 5.555",
+		"tfhpc_unittest_latency_seconds_count 4",
+		`tfhpc_unittest_labeled_total{algo="ring"} 1`,
+		`tfhpc_unittest_labeled_total{algo="doubling"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q\n%s", want, text)
+		}
+	}
+	// One HELP header per family, whatever the label-set count.
+	if n := strings.Count(text, "# HELP tfhpc_unittest_labeled_total"); n != 1 {
+		t.Errorf("labeled family has %d HELP lines, want 1", n)
+	}
+}
+
+func TestRegistrationValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: registration did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("bad prefix", func() { NewCounter("batcher_rows_total", "help") })
+	mustPanic("digits", func() { NewCounter("tfhpc_p99_seconds", "help") })
+	mustPanic("uppercase", func() { NewCounter("tfhpc_Rows_total", "help") })
+	mustPanic("no help", func() { NewCounter("tfhpc_unittest_nohelp_total", "") })
+	mustPanic("odd labels", func() { NewCounter("tfhpc_unittest_odd_total", "help", "k") })
+	mustPanic("kind clash", func() {
+		NewGauge("tfhpc_unittest_kindclash_total", "help")
+		NewCounter("tfhpc_unittest_kindclash_total", "help")
+	})
+	mustPanic("unsorted bounds", func() {
+		NewHistogram("tfhpc_unittest_bounds_seconds", "help", []float64{1, 0.5})
+	})
+}
+
+func TestMetricUpdatesAllocationFree(t *testing.T) {
+	c := NewCounter("tfhpc_unittest_hot_total", "Alloc-gate counter.")
+	g := NewGauge("tfhpc_unittest_hot_depth", "Alloc-gate gauge.")
+	h := NewHistogram("tfhpc_unittest_hot_seconds", "Alloc-gate histogram.", DurationBuckets)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(4)
+		g.Add(-1)
+		h.Observe(0.0123)
+	}); n != 0 {
+		t.Fatalf("metric updates allocated %v per run, want 0", n)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	NewCounter("tfhpc_unittest_handler_total", "Handler test counter.").Inc()
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metricz", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /metricz = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "tfhpc_unittest_handler_total 1") {
+		t.Fatalf("handler output missing counter:\n%s", rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	Handler().ServeHTTP(rec, httptest.NewRequest("POST", "/metricz", nil))
+	if rec.Code != 405 {
+		t.Fatalf("POST /metricz = %d, want 405", rec.Code)
+	}
+}
+
+func TestMetricsWalk(t *testing.T) {
+	NewCounter("tfhpc_unittest_walk_total", "Walk test counter.")
+	found := false
+	for _, m := range Metrics() {
+		if m.Name == "tfhpc_unittest_walk_total" {
+			found = true
+			if m.Help == "" || m.Kind != KindCounter {
+				t.Fatalf("walk row corrupted: %+v", m)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("registered metric missing from Metrics()")
+	}
+}

@@ -1,0 +1,37 @@
+// Timeline unification: internal/timeline's per-op events (the paper's
+// Fig. 3 tool) become child spans of a distributed-trace parent, so a
+// session run's op schedule renders inside the request or training-step
+// span that caused it instead of in a disconnected single-process file.
+package telemetry
+
+import (
+	"time"
+
+	"tfhpc/internal/timeline"
+)
+
+// BindTimeline installs an Observer on tr that re-emits every op event as a
+// child span of parent. Trace-relative timestamps are rebased onto the
+// trace's wall-clock anchor, so virtual-clock (simulation) traces still
+// render — offset from the anchor rather than at their true wall time.
+// A nil parent (tracing disabled) leaves tr untouched.
+func BindTimeline(tr *timeline.Trace, parent *Span) {
+	if parent == nil || tr == nil {
+		return
+	}
+	anchor := tr.Start()
+	psc := parent.Context()
+	tr.Observer = func(ev timeline.Event) {
+		if !tracer.enabled.Load() {
+			return
+		}
+		start := anchor.Add(time.Duration(ev.Start * float64(time.Second)))
+		dur := time.Duration((ev.End - ev.Start) * float64(time.Second))
+		record(traceEvent{
+			name: ev.Name, ph: 'X', ts: start, dur: dur,
+			tid: lane(psc.Trace),
+			sc:  SpanContext{Trace: psc.Trace, Span: newID()}, parent: psc.Span,
+			args: [][2]string{{"op", ev.Op}, {"device", ev.Device}},
+		})
+	}
+}

@@ -1,0 +1,207 @@
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"tfhpc/internal/timeline"
+)
+
+// resetTracer empties the recorded event buffer between tests. Tracing
+// stays enabled once any test enables it — the tracer is process-global —
+// so tests assert on deltas over a drained buffer.
+func resetTracer() {
+	tracer.mu.Lock()
+	tracer.events = nil
+	tracer.dropped = 0
+	tracer.mu.Unlock()
+}
+
+func TestNilSpanSafety(t *testing.T) {
+	var s *Span
+	s.End()
+	s.Arg("k", "v")
+	s.FlowOut(1)
+	s.FlowIn(1)
+	if s.Child("x") != nil {
+		t.Fatal("nil span spawned a child")
+	}
+	if s.Context().Valid() {
+		t.Fatal("nil span has a valid context")
+	}
+	if ContextWith(context.Background(), nil) != context.Background() {
+		t.Fatal("nil span changed the context")
+	}
+}
+
+func TestDisabledFastPath(t *testing.T) {
+	if Enabled() {
+		t.Skip("tracer already enabled (TFHPC_TRACE_OUT or an earlier test)")
+	}
+	if s := StartRoot("x"); s != nil {
+		t.Fatal("disabled StartRoot returned a span")
+	}
+	if n := testing.AllocsPerRun(1000, func() {
+		s := StartRoot("hot")
+		s.Child("child").End()
+		s.End()
+		Instant("i")
+	}); n != 0 {
+		t.Fatalf("disabled tracing allocated %v per run, want 0", n)
+	}
+}
+
+func TestSpanHierarchyAndChrome(t *testing.T) {
+	Enable()
+	resetTracer()
+
+	root := StartRoot("request")
+	if !root.Context().Valid() {
+		t.Fatal("root has no context")
+	}
+	child := root.Child("batch").Arg("size", "4")
+	grand := child.Child("session_run")
+	time.Sleep(time.Millisecond)
+	grand.End()
+	child.End()
+	root.FlowOut(42)
+	root.End()
+	Instant("decision", "dir", "up")
+
+	if child.Context().Trace != root.Context().Trace {
+		t.Fatal("child switched trace id")
+	}
+	if child.Context().Span == root.Context().Span {
+		t.Fatal("child reused parent span id")
+	}
+
+	b, err := MarshalChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("chrome JSON does not parse: %v", err)
+	}
+	var phases = map[string]int{}
+	var batch map[string]any
+	for _, ev := range doc.TraceEvents {
+		phases[ev["ph"].(string)]++
+		if ev["name"] == "batch" {
+			batch = ev
+		}
+	}
+	if phases["X"] != 3 || phases["s"] != 1 || phases["i"] != 1 || phases["M"] != 1 {
+		t.Fatalf("phase counts %v, want 3 X / 1 s / 1 i / 1 M", phases)
+	}
+	args := batch["args"].(map[string]any)
+	if args["parent"] != hexID(root.Context().Span) {
+		t.Fatalf("batch parent arg %v, want %s", args["parent"], hexID(root.Context().Span))
+	}
+	if args["trace"] != hexID(root.Context().Trace) {
+		t.Fatalf("batch trace arg %v", args["trace"])
+	}
+	if args["size"] != "4" {
+		t.Fatalf("batch lost its Arg: %v", args)
+	}
+}
+
+func TestRemoteParentLinksAcrossProcesses(t *testing.T) {
+	Enable()
+	resetTracer()
+
+	// Client side: span + wire ids out.
+	cs := StartRoot("rpc_call")
+	sc := cs.Context()
+	cs.FlowOut(sc.Span)
+	cs.End()
+
+	// "Server" side: rebuild the parent from wire ids (as rpc's serveConn
+	// does) and terminate the flow.
+	ss := StartChild(SpanContext{Trace: sc.Trace, Span: sc.Span}, "rpc_serve")
+	ss.FlowIn(sc.Span)
+	ss.End()
+
+	if ss.Context().Trace != sc.Trace {
+		t.Fatal("server span not in the caller's trace")
+	}
+	if ss.parent != sc.Span {
+		t.Fatal("server span not parented to the caller's span")
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	Enable()
+	s := StartRoot("ctxspan")
+	defer s.End()
+	ctx := ContextWith(context.Background(), s)
+	if SpanFromContext(ctx) != s {
+		t.Fatal("span lost in context")
+	}
+	if SpanFromContext(context.Background()) != nil {
+		t.Fatal("empty context produced a span")
+	}
+}
+
+func TestFlowIDDeterministicNonzero(t *testing.T) {
+	a := FlowID(1, 2, 3)
+	if a != FlowID(1, 2, 3) {
+		t.Fatal("FlowID not deterministic")
+	}
+	if a == FlowID(3, 2, 1) {
+		t.Fatal("FlowID ignores order")
+	}
+	if FlowID(0) == 0 || FlowID() == 0 {
+		t.Fatal("FlowID minted the reserved zero id")
+	}
+}
+
+func TestBindTimeline(t *testing.T) {
+	Enable()
+	resetTracer()
+
+	tr := timeline.New()
+	parent := StartRoot("step")
+	BindTimeline(tr, parent)
+	tr.AddSpan("matmul", "MatMul", "/device:CPU:0", 0.001, 0.002)
+	parent.End()
+
+	b, err := MarshalChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev["name"] != "matmul" {
+			continue
+		}
+		found = true
+		args := ev["args"].(map[string]any)
+		if args["parent"] != hexID(parent.Context().Span) {
+			t.Fatalf("op span not a child of the step span: %v", args)
+		}
+		if args["op"] != "MatMul" || args["device"] != "/device:CPU:0" {
+			t.Fatalf("op annotations lost: %v", args)
+		}
+	}
+	if !found {
+		t.Fatal("timeline op never became a span")
+	}
+
+	// Nil parent must leave the trace untouched.
+	tr2 := timeline.New()
+	BindTimeline(tr2, nil)
+	if tr2.Observer != nil {
+		t.Fatal("BindTimeline installed an observer for a nil parent")
+	}
+}

@@ -29,12 +29,21 @@ type Trace struct {
 	// VirtualNow, when set, supplies timestamps from a simulation clock
 	// instead of the wall clock.
 	VirtualNow func() float64
+	// Observer, when set, sees every event as it is recorded (after it is
+	// stored; invoked outside the trace lock so it may call back into the
+	// trace). The telemetry tier binds one to lift op events into
+	// distributed-trace child spans. Set it before the first Add; it is
+	// only read under the trace lock.
+	Observer func(Event)
 }
 
 // New returns an empty trace anchored at the current wall time.
 func New() *Trace {
 	return &Trace{start: time.Now()}
 }
+
+// Start returns the wall-clock anchor trace-relative timestamps count from.
+func (t *Trace) Start() time.Time { return t.start }
 
 // Now returns the trace-relative timestamp in seconds.
 func (t *Trace) Now() float64 {
@@ -47,8 +56,12 @@ func (t *Trace) Now() float64 {
 // Add records one event.
 func (t *Trace) Add(ev Event) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	t.events = append(t.events, ev)
+	obs := t.Observer
+	t.mu.Unlock()
+	if obs != nil {
+		obs(ev)
+	}
 }
 
 // AddSpan records an op that ran from start to end (trace-relative seconds).

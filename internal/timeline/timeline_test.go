@@ -109,3 +109,126 @@ func TestConcurrentAdds(t *testing.T) {
 		t.Fatalf("lost events: %d", tr.Len())
 	}
 }
+
+// TestConcurrentSessionsShareTrace models several session.Run loops feeding
+// one shared trace from distinct device sets at once — the multi-session
+// shape the paper's Timeline figures come from. Every event must survive and
+// every device must get exactly one lane in the Chrome rendering.
+func TestConcurrentSessionsShareTrace(t *testing.T) {
+	tr := New()
+	const sessions, opsPer = 8, 200
+	var wg sync.WaitGroup
+	for s := 0; s < sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			dev := "/job:worker/task:" + string(rune('0'+s)) + "/device:CPU:0"
+			for i := 0; i < opsPer; i++ {
+				start := float64(s*opsPer + i)
+				tr.AddSpan("op", "MatMul", dev, start, start+0.5)
+			}
+		}(s)
+	}
+	wg.Wait()
+	if got := tr.Len(); got != sessions*opsPer {
+		t.Fatalf("lost events: %d of %d", got, sessions*opsPer)
+	}
+	buf, err := tr.MarshalChrome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	lanes := map[string]bool{}
+	spans := 0
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "M":
+			name := ev["args"].(map[string]any)["name"].(string)
+			if lanes[name] {
+				t.Fatalf("device %q got two lanes", name)
+			}
+			lanes[name] = true
+		case "X":
+			spans++
+		}
+	}
+	if len(lanes) != sessions || spans != sessions*opsPer {
+		t.Fatalf("lanes=%d spans=%d", len(lanes), spans)
+	}
+}
+
+// TestConcurrentVirtualAndWallTraces runs a virtual-clock trace and a
+// wall-clock trace side by side under concurrent writers: the clocks must not
+// bleed into each other (session isolation is per-Trace state, not global).
+func TestConcurrentVirtualAndWallTraces(t *testing.T) {
+	virt, wall := New(), New()
+	virt.VirtualNow = func() float64 { return 1000 }
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			now := virt.Now()
+			virt.AddSpan("v", "Add", "/device:CPU:0", now, now+1)
+			wall.AddSpan("w", "Add", "/device:CPU:0", wall.Now(), wall.Now())
+		}(i)
+	}
+	wg.Wait()
+	if virt.Len() != 50 || wall.Len() != 50 {
+		t.Fatalf("lost events: virt=%d wall=%d", virt.Len(), wall.Len())
+	}
+	for _, ev := range virt.Events() {
+		if ev.Start != 1000 {
+			t.Fatalf("virtual trace saw non-virtual timestamp %v", ev.Start)
+		}
+	}
+	for _, ev := range wall.Events() {
+		if ev.Start >= 1000 {
+			t.Fatalf("wall trace saw virtual timestamp %v", ev.Start)
+		}
+	}
+}
+
+// TestObserverUnderConcurrency pins the Observer contract: it sees exactly
+// one callback per Add, outside the trace lock (calling back into the trace
+// must not deadlock), even with many concurrent recorders.
+func TestObserverUnderConcurrency(t *testing.T) {
+	tr := New()
+	var seen sync.Map
+	var calls, reentrant int64
+	var mu sync.Mutex
+	tr.Observer = func(ev Event) {
+		mu.Lock()
+		calls++
+		reentrant = int64(tr.Len()) // would deadlock if invoked under tr.mu
+		mu.Unlock()
+		seen.Store(ev.Start, true)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr.AddSpan("op", "Add", "/device:CPU:0", float64(i), float64(i)+1)
+		}(i)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 100 {
+		t.Fatalf("observer called %d times, want 100", calls)
+	}
+	if reentrant == 0 {
+		t.Fatal("observer never re-entered the trace")
+	}
+	for i := 0; i < 100; i++ {
+		if _, ok := seen.Load(float64(i)); !ok {
+			t.Fatalf("observer missed event %d", i)
+		}
+	}
+}

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Distributed smoke tests over real processes. Three legs, gated by
-# SMOKE_ONLY (core|elastic|rollout|all, default all):
+# Distributed smoke tests over real processes. Four legs, gated by
+# SMOKE_ONLY (core|elastic|rollout|telemetry|all, default all):
 #
 # core — build the binaries, boot a 4-task localhost cluster as real
 # processes, run a CG solve and an SGD epoch over TCP (collectives ring
@@ -26,6 +26,15 @@
 # scale-down after the load stops — with zero dropped requests and zero
 # autoscaler flaps (rollout_smoke fails on any non-2xx or flap).
 #
+# telemetry — the observability contract: every serving leg above also
+# scrapes /metricz and fails on absent or non-monotonic counters; this leg
+# additionally runs two cross-process exercises with TFHPC_TRACE_OUT set —
+# a collective allreduce between two tfserver tasks and a routed predict
+# through a tfserve router over two replicas — and runs trace_check over the
+# per-process dumps: the merged document must parse, span >= 2 pids, carry an
+# s/f flow pair across pids, and keep every parent/child link resolvable.
+# The merged artifacts land in $BIN/logs/ ready for ui.perfetto.dev.
+#
 # Every leg runs under a timeout(1) wrapper: a hung leg exits with the
 # distinct code 97 instead of stalling the CI job to its global limit.
 #
@@ -45,6 +54,7 @@ go build -o "$BIN/tfsgd" ./cmd/tfsgd
 go build -o "$BIN/tfserve" ./cmd/tfserve
 go build -o "$BIN/serving_smoke" ./scripts/serving_smoke
 go build -o "$BIN/rollout_smoke" ./scripts/rollout_smoke
+go build -o "$BIN/trace_check" ./scripts/trace_check
 
 BASE_PORT=${BASE_PORT:-17841}
 SMOKE_ONLY=${SMOKE_ONLY:-all}
@@ -59,6 +69,34 @@ trap cleanup EXIT
 # timeout(1) TERMs the leg process; without this the EXIT trap would not run
 # and booted servers would leak past the leg.
 trap 'cleanup; exit 143' TERM INT
+
+# scrape_metric ADDR SERIES prints the value of one /metricz series (SERIES is
+# the exact exposition token, labels included), retrying while the server
+# comes up. Exits nonzero when the series never appears.
+scrape_metric() {
+  local addr=$1 series=$2 v
+  for _ in $(seq 1 50); do
+    v=$(curl -sf "http://$addr/metricz" | awk -v n="$series" '$1 == n { print $2; exit }')
+    if [ -n "$v" ]; then
+      echo "$v"
+      return 0
+    fi
+    sleep 0.1
+  done
+  echo "smoke: FAIL — metric $series never appeared on $addr/metricz" >&2
+  return 1
+}
+
+# assert_monotonic NAME BEFORE AFTER fails unless AFTER > BEFORE: the counter
+# must exist on both scrapes and move under load.
+assert_monotonic() {
+  local name=$1 before=$2 after=$3
+  if [ -z "$before" ] || [ -z "$after" ] || [ "$after" -le "$before" ]; then
+    echo "smoke: FAIL — counter $name not monotonic under load (before=$before after=$after)"
+    exit 1
+  fi
+  echo "smoke: counter $name $before -> $after OK"
+}
 
 run_core() {
   local TASKS=4
@@ -114,8 +152,19 @@ run_core() {
     >"$LOGDIR/tfserve.log" 2>&1 &
   pids+=($!)
 
+  local ROWS_BEFORE BATCHES_BEFORE
+  ROWS_BEFORE=$(scrape_metric "$SERVE_ADDR" tfhpc_batcher_rows_total)
+  BATCHES_BEFORE=$(scrape_metric "$SERVE_ADDR" tfhpc_batcher_batches_total)
+
   echo "smoke: concurrent HTTP predicts (batched must equal single, bit-for-bit)"
   "$BIN/serving_smoke" -addr "http://$SERVE_ADDR" -model smoke -features 64
+
+  echo "smoke: /metricz scrape after load"
+  local ROWS_AFTER BATCHES_AFTER
+  ROWS_AFTER=$(scrape_metric "$SERVE_ADDR" tfhpc_batcher_rows_total)
+  BATCHES_AFTER=$(scrape_metric "$SERVE_ADDR" tfhpc_batcher_batches_total)
+  assert_monotonic tfhpc_batcher_rows_total "$ROWS_BEFORE" "$ROWS_AFTER"
+  assert_monotonic tfhpc_batcher_batches_total "$BATCHES_BEFORE" "$BATCHES_AFTER"
   rm -f "$CKPT"
 }
 
@@ -224,10 +273,100 @@ run_rollout() {
     >"$LOGDIR/tfserve-rollout.log" 2>&1 &
   pids+=($!)
 
+  local REQ_BEFORE
+  REQ_BEFORE=$(scrape_metric "$RADDR" 'tfhpc_monitor_requests_total{arm="stable"}')
+
   echo "smoke: full lifecycle under load (scale-up -> canary -> promote -> scale-down)"
   "$BIN/rollout_smoke" -addr "http://$RADDR" -model smoke \
     -canary-ckpt "$CKPT_V2" -version 60 -features 64 -clients 16
+
+  echo "smoke: control-plane /metricz scrape after lifecycle"
+  local REQ_AFTER CANARY_REQ SCALE_UPS TRANSITIONS
+  REQ_AFTER=$(scrape_metric "$RADDR" 'tfhpc_monitor_requests_total{arm="stable"}')
+  CANARY_REQ=$(scrape_metric "$RADDR" 'tfhpc_monitor_requests_total{arm="canary"}')
+  SCALE_UPS=$(scrape_metric "$RADDR" tfhpc_autoscaler_scale_ups_total)
+  TRANSITIONS=$(scrape_metric "$RADDR" tfhpc_rollout_transitions_total)
+  assert_monotonic 'tfhpc_monitor_requests_total{arm="stable"}' "$REQ_BEFORE" "$REQ_AFTER"
+  if [ "${CANARY_REQ:-0}" -le 0 ] || [ "${SCALE_UPS:-0}" -le 0 ] || [ "${TRANSITIONS:-0}" -le 0 ]; then
+    echo "smoke: FAIL — control-plane counters flat (canary_req=$CANARY_REQ scale_ups=$SCALE_UPS transitions=$TRANSITIONS)"
+    exit 1
+  fi
+  echo "smoke: control-plane counters canary_req=$CANARY_REQ scale_ups=$SCALE_UPS transitions=$TRANSITIONS OK"
   rm -f "$CKPT_V1" "$CKPT_V2"
+}
+
+run_telemetry() {
+  # --- cross-process collective allreduce trace -----------------------------
+  local TBASE=$((BASE_PORT + 80))
+  local TSPEC="" i
+  local -a tpids=()
+  for i in 0 1; do
+    local port=$((TBASE + i))
+    local addr="127.0.0.1:${port}"
+    TSPEC="${TSPEC:+$TSPEC,}$addr"
+    TFHPC_TRACE_OUT="$LOGDIR/trace-coll-$i.json" "$BIN/tfserver" -job worker -task "$i" \
+      -listen "0.0.0.0:${port}" -advertise "$addr" \
+      >"$LOGDIR/telemetry-tfserver-$i.log" 2>&1 &
+    tpids+=($!)
+    pids+=($!)
+  done
+  echo "smoke: telemetry leg booted 2 traced tfserver tasks: $TSPEC"
+  "$BIN/tfcg" -mode cluster -spec "$TSPEC" -workers 2 -n 128 -iters 200 -tol 1e-6
+  for pid in "${tpids[@]}"; do kill "$pid" 2>/dev/null || true; done
+  for pid in "${tpids[@]}"; do wait "$pid" 2>/dev/null || true; done
+
+  echo "smoke: validating merged collective allreduce trace"
+  "$BIN/trace_check" -require-span collective_allreduce \
+    -merge "$LOGDIR/trace-collective-merged.json" \
+    "$LOGDIR/trace-coll-0.json" "$LOGDIR/trace-coll-1.json"
+
+  # --- cross-process routed predict trace -----------------------------------
+  local RTBASE=$((TBASE + 10))
+  local FRONT="127.0.0.1:$((RTBASE))"
+  local -a rpids=()
+  local REPLICAS=""
+  for i in 1 2; do
+    local haddr="127.0.0.1:$((RTBASE + 2 * i))"
+    local raddr="127.0.0.1:$((RTBASE + 2 * i + 1))"
+    REPLICAS="${REPLICAS:+$REPLICAS,}$raddr"
+    TFHPC_TRACE_OUT="$LOGDIR/trace-replica-$i.json" "$BIN/tfserve" -listen "$haddr" -rpc "$raddr" \
+      -synthetic routed -features 32 -steps 10 \
+      >"$LOGDIR/telemetry-replica-$i.log" 2>&1 &
+    rpids+=($!)
+    pids+=($!)
+  done
+  TFHPC_TRACE_OUT="$LOGDIR/trace-router.json" "$BIN/tfserve" -listen "$FRONT" -route "$REPLICAS" \
+    >"$LOGDIR/telemetry-router.log" 2>&1 &
+  rpids+=($!)
+  pids+=($!)
+
+  echo "smoke: routed predicts through the traced front"
+  local BODY='{"instances": [[0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1,0.1]]}'
+  local ok=0
+  for _ in $(seq 1 100); do
+    if curl -sf -X POST "http://$FRONT/v1/models/routed:predict" -d "$BODY" >/dev/null; then
+      ok=$((ok + 1))
+      [ "$ok" -ge 20 ] && break
+    fi
+    sleep 0.1
+  done
+  if [ "$ok" -lt 20 ]; then
+    echo "smoke: FAIL — only $ok/20 routed predicts succeeded"
+    exit 1
+  fi
+  local ROUTED
+  ROUTED=$(scrape_metric "$FRONT" tfhpc_router_routed_total)
+  if [ "${ROUTED:-0}" -lt 20 ]; then
+    echo "smoke: FAIL — router /metricz shows routed=$ROUTED, want >= 20"
+    exit 1
+  fi
+  for pid in "${rpids[@]}"; do kill "$pid" 2>/dev/null || true; done
+  for pid in "${rpids[@]}"; do wait "$pid" 2>/dev/null || true; done
+
+  echo "smoke: validating merged routed-predict trace"
+  "$BIN/trace_check" -require-span router_predict -require-span stream_predict_serve \
+    -merge "$LOGDIR/trace-routed-merged.json" \
+    "$LOGDIR/trace-router.json" "$LOGDIR/trace-replica-1.json" "$LOGDIR/trace-replica-2.json"
 }
 
 # Internal re-entry point: `ci_smoke.sh --leg <name>` runs one leg directly
@@ -255,13 +394,15 @@ case "$SMOKE_ONLY" in
   core) run_leg core ;;
   elastic) run_leg elastic ;;
   rollout) run_leg rollout ;;
+  telemetry) run_leg telemetry ;;
   all)
     run_leg core
     run_leg elastic
     run_leg rollout
+    run_leg telemetry
     ;;
   *)
-    echo "smoke: unknown SMOKE_ONLY=$SMOKE_ONLY (want core|elastic|rollout|all)" >&2
+    echo "smoke: unknown SMOKE_ONLY=$SMOKE_ONLY (want core|elastic|rollout|telemetry|all)" >&2
     exit 1
     ;;
 esac

@@ -1,0 +1,179 @@
+// trace_check validates (and optionally merges) the Chrome/Perfetto trace
+// documents the telemetry tier dumps, one file per process. The CI smoke runs
+// it over the dumps of a cross-process exercise and fails the build unless
+// the merged document is what Perfetto would render as one distributed trace:
+//
+//   - every file parses and contributes events;
+//   - the merged set spans at least -min-pids distinct processes;
+//   - at least one flow id appears as an 's' (start) in one process and an
+//     'f' (finish) in a different one — the cross-process arrow;
+//   - every span that claims a parent can find it: an 'X' event whose
+//     args.span equals the child's args.parent within the same args.trace,
+//     in any process;
+//   - every -require-span name occurs as an 'X' event somewhere.
+//
+// -merge writes the combined {"traceEvents": [...]} document so a failing
+// run leaves one artifact a human can drop straight into ui.perfetto.dev.
+//
+//	trace_check -require-span rpc_call -require-span rpc_serve \
+//	    -merge merged.json router.json replica0.json replica1.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type event struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	PID  int               `json:"pid"`
+	ID   string            `json:"id,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type doc struct {
+	TraceEvents []json.RawMessage `json:"traceEvents"`
+}
+
+// stringList is a repeatable -require-span flag.
+type stringList []string
+
+func (s *stringList) String() string { return strings.Join(*s, ",") }
+func (s *stringList) Set(v string) error {
+	*s = append(*s, v)
+	return nil
+}
+
+func main() {
+	var requireSpans stringList
+	minPIDs := flag.Int("min-pids", 2, "minimum distinct process ids in the merged trace")
+	requireFlow := flag.Bool("require-flow", true, "require an s/f flow pair linking two different pids")
+	mergeOut := flag.String("merge", "", "write the merged traceEvents document here")
+	flag.Var(&requireSpans, "require-span", "require an 'X' span with this name (repeatable)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fatalf("usage: trace_check [flags] trace.json...")
+	}
+
+	var events []event
+	var raw []json.RawMessage
+	for _, path := range flag.Args() {
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		var d doc
+		if err := json.Unmarshal(buf, &d); err != nil {
+			fatalf("%s: invalid trace JSON: %v", path, err)
+		}
+		if len(d.TraceEvents) == 0 {
+			fatalf("%s: no traceEvents (process recorded nothing)", path)
+		}
+		for _, r := range d.TraceEvents {
+			var ev event
+			if err := json.Unmarshal(r, &ev); err != nil {
+				fatalf("%s: bad event: %v", path, err)
+			}
+			events = append(events, ev)
+		}
+		raw = append(raw, d.TraceEvents...)
+	}
+
+	pids := map[int]bool{}
+	spanNames := map[string]bool{}
+	// spanIDs maps trace -> set of span ids seen, for the parent link check.
+	spanIDs := map[string]map[string]bool{}
+	type parentRef struct{ name, trace, parent string }
+	var parents []parentRef
+	flowStarts := map[string]map[int]bool{} // flow id -> pids emitting 's'
+	flowEnds := map[string]map[int]bool{}   // flow id -> pids emitting 'f'
+	for _, ev := range events {
+		pids[ev.PID] = true
+		switch ev.Ph {
+		case "X":
+			spanNames[ev.Name] = true
+			tr, sp := ev.Args["trace"], ev.Args["span"]
+			if tr == "" || sp == "" {
+				fatalf("span %q in pid %d lost its trace/span args", ev.Name, ev.PID)
+			}
+			if spanIDs[tr] == nil {
+				spanIDs[tr] = map[string]bool{}
+			}
+			spanIDs[tr][sp] = true
+			if p := ev.Args["parent"]; p != "" {
+				parents = append(parents, parentRef{ev.Name, tr, p})
+			}
+		case "s":
+			mark(flowStarts, ev.ID, ev.PID)
+		case "f":
+			mark(flowEnds, ev.ID, ev.PID)
+		}
+	}
+
+	if len(pids) < *minPIDs {
+		fatalf("merged trace covers %d process(es), want >= %d", len(pids), *minPIDs)
+	}
+	// A cross-process flow is an id whose 'f' lands in a pid that never
+	// emitted the matching 's' — the arrow genuinely crossed a boundary.
+	crossFlows := 0
+	for id, starts := range flowStarts {
+		for endPID := range flowEnds[id] {
+			if !starts[endPID] {
+				crossFlows++
+				break
+			}
+		}
+	}
+	if *requireFlow && crossFlows == 0 {
+		fatalf("no s/f flow pair links two different pids (cross-process arrow missing)")
+	}
+	broken := 0
+	for _, p := range parents {
+		if !spanIDs[p.trace][p.parent] {
+			fmt.Fprintf(os.Stderr, "trace_check: span %q (trace %s) references missing parent %s\n",
+				p.name, p.trace, p.parent)
+			broken++
+		}
+	}
+	if broken > 0 {
+		fatalf("%d span(s) with dangling parent links", broken)
+	}
+	for _, name := range requireSpans {
+		if !spanNames[name] {
+			fatalf("required span %q absent from the merged trace", name)
+		}
+	}
+
+	if *mergeOut != "" {
+		buf, err := json.Marshal(struct {
+			TraceEvents []json.RawMessage `json:"traceEvents"`
+		}{raw})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(*mergeOut, buf, 0o644); err != nil {
+			fatalf("%v", err)
+		}
+	}
+	fmt.Printf("trace_check: OK — %d events, %d pids, %d cross-process flow(s), %d parent link(s)\n",
+		len(events), len(pids), crossFlows, len(parents))
+}
+
+func mark(m map[string]map[int]bool, id string, pid int) {
+	if id == "" {
+		return
+	}
+	if m[id] == nil {
+		m[id] = map[int]bool{}
+	}
+	m[id][pid] = true
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "trace_check: FAIL — "+format+"\n", args...)
+	os.Exit(1)
+}
