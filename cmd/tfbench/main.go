@@ -10,9 +10,10 @@
 //	tfbench -exp collective -json out.json    # also write machine-readable results
 //	tfbench -exp serving                      # micro-batching throughput/latency sweep
 //	tfbench -exp rollout                      # canary rollout under open-loop load
+//	tfbench -exp generate                     # continuous batching vs flush-and-refill
 //
 // Experiments: table1 fig7 fig8 fig9 fig10 fig11 gemm fft collective serving
-// rollout.
+// rollout generate.
 package main
 
 import (
@@ -25,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "comma-separated experiments: all|figures|table1|fig7|fig8|fig9|fig10|fig11|gemm|fft|collective|serving|rollout")
+	exp := flag.String("exp", "all", "comma-separated experiments: all|figures|table1|fig7|fig8|fig9|fig10|fig11|gemm|fft|collective|serving|rollout|generate")
 	jsonPath := flag.String("json", "", "also write a machine-readable report (tfhpc-bench/v1) to this path")
 	flag.Parse()
 

@@ -5,6 +5,7 @@
 // every model.
 //
 //	tfserve -listen 127.0.0.1:8500 -model prices=model.ckpt
+//	tfserve -listen 127.0.0.1:8500 -genmodel gen=gen.ckpt   # POST /v1/models/gen:generate (SSE)
 //	tfserve -listen 127.0.0.1:8500 -rpc 127.0.0.1:8501 -model a=a.ckpt -model b=b.ckpt
 //	tfserve -listen 127.0.0.1:8500 -synthetic demo -features 256
 //	tfserve -listen 127.0.0.1:8500 -route 127.0.0.1:8501,127.0.0.1:8502
@@ -41,6 +42,7 @@ import (
 	"tfhpc/internal/pprofsrv"
 	"tfhpc/internal/rpc"
 	"tfhpc/internal/serving"
+	"tfhpc/internal/serving/generate"
 	"tfhpc/internal/telemetry"
 	"tfhpc/internal/tensor"
 )
@@ -60,10 +62,14 @@ func (m *modelFlags) Set(v string) error {
 }
 
 func main() {
-	var models modelFlags
+	var models, genModels modelFlags
 	listen := flag.String("listen", "127.0.0.1:8500", "HTTP predictor listen address")
 	rpcAddr := flag.String("rpc", "", "also serve the framed binary endpoint on this address (replicas need this)")
 	flag.Var(&models, "model", "serve a checkpoint: name=path (repeatable)")
+	flag.Var(&genModels, "genmodel", "serve a generative checkpoint (tfsgd -gen-checkpoint) with continuous batching: name=path (repeatable)")
+	genSlots := flag.Int("gen-slots", 8, "generative: concurrent decode slots per model")
+	genQueue := flag.Int("gen-queue", 64, "generative: admission queue depth per model")
+	genMaxTokens := flag.Int("gen-max-tokens", 4096, "generative: per-sequence token budget cap")
 	synthetic := flag.String("synthetic", "", "train a synthetic SGD linear model in-process and serve it under this name")
 	features := flag.Int("features", 256, "synthetic model dimension")
 	steps := flag.Int("steps", 40, "synthetic model training steps")
@@ -110,6 +116,9 @@ func main() {
 		if *route != "" {
 			fatal(fmt.Errorf("-autoscale excludes -route (the control plane runs its own router)"))
 		}
+		if len(genModels) > 0 {
+			fatal(fmt.Errorf("-autoscale does not host -genmodel (serve generative models directly or behind -route)"))
+		}
 		cp, err := startControlPlane(models, *synthetic, *features, *steps,
 			batch, *deadline, *sloWindow, *autoscale, *canary)
 		if err != nil {
@@ -121,8 +130,8 @@ func main() {
 		fmt.Printf("tfserve: control plane up, replicas %s\n",
 			strings.Join(cp.Fleet().Addrs(), ","))
 	} else if *route != "" {
-		if len(models) > 0 || *synthetic != "" {
-			fatal(fmt.Errorf("-route excludes -model/-synthetic (a router hosts no models)"))
+		if len(models) > 0 || len(genModels) > 0 || *synthetic != "" {
+			fatal(fmt.Errorf("-route excludes -model/-genmodel/-synthetic (a router hosts no models)"))
 		}
 		r, err := serving.NewRouter(strings.Split(*route, ","), serving.RouterOptions{
 			DefaultDeadline: *deadline,
@@ -146,6 +155,22 @@ func main() {
 			fmt.Printf("tfserve: serving %s v%d from %s (d=%d)\n",
 				m.name, mv.Version(), m.path, mv.Signature().Features)
 		}
+		for _, m := range genModels {
+			w, version, err := serving.LoadGenerative(m.path, 0)
+			if err != nil {
+				fatal(err)
+			}
+			if err := svc.ServeGenerative(m.name, version, w, generate.Options{
+				MaxSlots:        *genSlots,
+				QueueDepth:      *genQueue,
+				MaxTokens:       *genMaxTokens,
+				DefaultDeadline: *deadline,
+			}); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("tfserve: serving generative %s v%d from %s (d=%d, %d slots)\n",
+				m.name, version, m.path, w.Shape()[0], *genSlots)
+		}
 		if *synthetic != "" {
 			mv, err := trainSynthetic(*synthetic, *features, *steps)
 			if err != nil {
@@ -158,7 +183,7 @@ func main() {
 				*synthetic, mv.Version(), *features, *steps)
 		}
 		if len(svc.Models()) == 0 {
-			fatal(fmt.Errorf("nothing to serve: give -model, -synthetic or -route"))
+			fatal(fmt.Errorf("nothing to serve: give -model, -genmodel, -synthetic or -route"))
 		}
 		predictor = svc
 		cleanup = svc.Close

@@ -54,6 +54,7 @@ func main() {
 	node := flag.String("node", "v100", "sim: node type")
 	proto := flag.String("proto", "rdma", "sim: grpc|mpi|rdma")
 	ckpt := flag.String("checkpoint", "", "save the trained weights as a servable linear-model checkpoint (tfserve -model)")
+	genCkpt := flag.String("gen-checkpoint", "", "save the trained weights as a servable generative (autoregressive) checkpoint (tfserve -genmodel)")
 	paramTensors := flag.Int("param-tensors", 1, "split the weights into this many parameter tensors (Horovod shape: one gradient allreduce each, loss double-buffered async)")
 	fuse := flag.Bool("fuse", false, "coalesce the per-tensor gradient allreduces through the fusion buffer (bit-identical to unfused)")
 	ckptFile := flag.String("ckpt-file", "", "elastic: training checkpoint path (atomic, CRC-trailered; resume source after rank loss)")
@@ -82,7 +83,7 @@ func main() {
 		}
 		report("real", cfg, res)
 		check(res)
-		saveCheckpoint(*ckpt, cfg, res)
+		saveCheckpoint(*ckpt, *genCkpt, cfg, res)
 	case "cluster":
 		if *spec == "" {
 			fatal(fmt.Errorf("cluster mode needs -spec host:port,host:port,..."))
@@ -96,7 +97,7 @@ func main() {
 		}
 		report("cluster", cfg, res)
 		check(res)
-		saveCheckpoint(*ckpt, cfg, res)
+		saveCheckpoint(*ckpt, *genCkpt, cfg, res)
 	case "elastic":
 		if *spec == "" {
 			fatal(fmt.Errorf("elastic mode needs -spec host:port,host:port,..."))
@@ -121,7 +122,7 @@ func main() {
 		// Machine-parseable for the CI smoke harness.
 		fmt.Printf("sgd elastic: final_loss=%.9g shrinks=%d grows=%d rebuilds=%d resumes=%d workers=%d\n",
 			res.FinalLoss, res.Shrinks, res.Grows, res.Rebuilds, res.Resumes, res.FinalWorkers)
-		saveCheckpoint(*ckpt, cfg, &res.Result)
+		saveCheckpoint(*ckpt, *genCkpt, cfg, &res.Result)
 	case "sim":
 		c, nt, err := hw.NodeTypeByName(*clusterName, *node)
 		if err != nil {
@@ -170,20 +171,31 @@ func check(res *sgd.Result) {
 	}
 }
 
-// saveCheckpoint writes the trained weights in the servable linear format —
-// the handoff from training to tfserve (train → checkpoint → serve).
-func saveCheckpoint(path string, cfg sgd.Config, res *sgd.Result) {
-	if path == "" {
+// saveCheckpoint writes the trained weights in the requested servable
+// formats — the handoff from training to tfserve (train → checkpoint →
+// serve). The same weight vector serves both ways: as a one-shot linear
+// predictor, or as the autoregressive decode step of a generative model.
+func saveCheckpoint(path, genPath string, cfg sgd.Config, res *sgd.Result) {
+	if path == "" && genPath == "" {
 		return
 	}
 	if res.Weights == nil {
 		fatal(fmt.Errorf("no trained weights to checkpoint"))
 	}
-	if err := serving.SaveLinear(path, int64(cfg.Steps), res.Weights); err != nil {
-		fatal(err)
+	if path != "" {
+		if err := serving.SaveLinear(path, int64(cfg.Steps), res.Weights); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("sgd: checkpointed trained model to %s (d=%d, servable as a linear model)\n",
+			path, cfg.Features)
 	}
-	fmt.Printf("sgd: checkpointed trained model to %s (d=%d, servable as a linear model)\n",
-		path, cfg.Features)
+	if genPath != "" {
+		if err := serving.SaveGenerative(genPath, int64(cfg.Steps), res.Weights); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("sgd: checkpointed trained model to %s (d=%d, servable as a generative model)\n",
+			genPath, cfg.Features)
+	}
 }
 
 func fatal(err error) {

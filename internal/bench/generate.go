@@ -1,0 +1,456 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tfhpc/internal/serving/generate"
+	"tfhpc/internal/tensor"
+)
+
+// GenerateRow is one measured generative-serving configuration: a scheduler
+// mode (continuous = per-step admission into the in-flight batch; naive =
+// flush-and-refill, the whole batch decodes to completion before anything
+// new is admitted) under one load regime. Both modes run the same model,
+// the same prompts, and the same mixed sequence lengths, so every
+// difference is scheduling.
+//
+// On a serial compute-bound decoder both schedulers saturate the core, so
+// the continuous-batching win is not throughput — it is admission latency.
+// SpeedupVsNaive therefore means two different guarantees:
+//
+//   - closed-loop continuous row: continuous tokens/s over naive tokens/s.
+//     Expected ≈ 1.0 — the engine's per-step scheduling (admission checks,
+//     wakeups, histograms) costs nothing against a bare decode loop. The
+//     gate on this row is an overhead regression tripwire.
+//   - open-loop continuous row: naive TTFT p99 over continuous TTFT p99.
+//     Expected well above 1 — an arrival joins the in-flight batch at the
+//     next step instead of waiting out the current flush. This is the
+//     number the continuous-batching thesis stands on.
+type GenerateRow struct {
+	Mode           string         `json:"mode"` // "continuous" | "naive"
+	Load           string         `json:"load"` // "closed" | "open"
+	Slots          int            `json:"slots"`
+	Clients        int            `json:"clients,omitempty"`
+	TargetRps      float64        `json:"target_rps,omitempty"`
+	Features       int            `json:"features"`
+	Requests       int            `json:"requests"`
+	Tokens         int64          `json:"tokens"`
+	Seconds        float64        `json:"seconds"`
+	TokensPerSec   float64        `json:"tokens_per_sec"`
+	TTFT           LatencySummary `json:"ttft"`
+	InterToken     LatencySummary `json:"intertoken"`
+	SpeedupVsNaive float64        `json:"speedup_vs_naive,omitempty"`
+}
+
+// tokenStream is the consumed surface shared by both schedulers.
+type tokenStream interface {
+	Next() (generate.Token, bool)
+}
+
+// genBackend is one scheduler under test.
+type genBackend interface {
+	submit(prompt []float64, maxTokens int) (tokenStream, error)
+	close()
+}
+
+// continuousBackend is the real engine.
+type continuousBackend struct {
+	eng *generate.Engine
+}
+
+func newContinuousBackend(m *generate.Model, slots int) *continuousBackend {
+	return &continuousBackend{eng: generate.NewEngine(m, generate.Options{
+		MaxSlots:        slots,
+		QueueDepth:      4096,
+		DefaultDeadline: 30 * time.Second,
+	})}
+}
+
+func (b *continuousBackend) submit(prompt []float64, maxTokens int) (tokenStream, error) {
+	return b.eng.Submit(generate.Request{Prompt: prompt, MaxTokens: maxTokens})
+}
+
+func (b *continuousBackend) close() { b.eng.Close() }
+
+// naiveBackend is the batch-per-step baseline: collect up to `slots`
+// requests, decode the whole batch in lockstep until every member finishes,
+// then refill. A short sequence's slot idles until the batch's longest
+// member is done — the waste continuous admission removes.
+type naiveBackend struct {
+	m     *generate.Model
+	slots int
+	admit chan *naiveSeq
+	quit  chan struct{}
+	done  chan struct{}
+}
+
+type naiveSeq struct {
+	prompt    []float64
+	maxTokens int
+	tokens    chan generate.Token
+}
+
+func (s *naiveSeq) Next() (generate.Token, bool) {
+	t, ok := <-s.tokens
+	return t, ok
+}
+
+func newNaiveBackend(m *generate.Model, slots int) *naiveBackend {
+	b := &naiveBackend{
+		m:     m,
+		slots: slots,
+		admit: make(chan *naiveSeq, 4096),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+func (b *naiveBackend) submit(prompt []float64, maxTokens int) (tokenStream, error) {
+	s := &naiveSeq{
+		prompt:    prompt,
+		maxTokens: maxTokens,
+		// The buffer covers the whole sequence: the baseline models no
+		// backpressure, so a slow consumer cannot distort its timing.
+		tokens: make(chan generate.Token, maxTokens),
+	}
+	select {
+	case b.admit <- s:
+		return s, nil
+	default:
+		return nil, generate.ErrOverloaded
+	}
+}
+
+func (b *naiveBackend) close() {
+	close(b.quit)
+	<-b.done
+}
+
+func (b *naiveBackend) run() {
+	defer close(b.done)
+	var step uint64
+	for {
+		// Flush: wait for a first request, then fill the batch from what is
+		// already queued.
+		var batch []*naiveSeq
+		select {
+		case <-b.quit:
+			return
+		case s := <-b.admit:
+			batch = append(batch, s)
+		}
+	fill:
+		for len(batch) < b.slots {
+			select {
+			case s := <-b.admit:
+				batch = append(batch, s)
+			default:
+				break fill
+			}
+		}
+		// Decode the whole batch to completion before the next admission.
+		states := make([][]float64, len(batch))
+		emitted := make([]int, len(batch))
+		for i, s := range batch {
+			states[i] = append([]float64(nil), s.prompt...)
+		}
+		remaining := len(batch)
+		for remaining > 0 {
+			select {
+			case <-b.quit:
+				for i, s := range batch {
+					if s != nil {
+						close(s.tokens)
+						batch[i] = nil
+					}
+				}
+				return
+			default:
+			}
+			step++
+			for i, s := range batch {
+				if s == nil {
+					continue
+				}
+				y := b.m.Step(states[i])
+				s.tokens <- generate.Token{Index: emitted[i], Value: y, Step: step}
+				emitted[i]++
+				if emitted[i] >= s.maxTokens {
+					close(s.tokens)
+					batch[i] = nil
+					remaining--
+				}
+			}
+		}
+	}
+}
+
+// genPrompts builds a reusable prompt pool.
+func genPrompts(d, n int) [][]float64 {
+	r := tensor.NewRNG(11)
+	out := make([][]float64, n)
+	for i := range out {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = r.Float64()*2 - 1
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// drainTimed consumes one stream, recording TTFT against t0 and the gaps
+// between consecutive tokens.
+func drainTimed(st tokenStream, t0 time.Time, ttft, inter *LatencyHist) int64 {
+	var n int64
+	last := t0
+	for {
+		_, ok := st.Next()
+		if !ok {
+			return n
+		}
+		now := time.Now()
+		if n == 0 {
+			if ttft != nil {
+				ttft.Record(now.Sub(t0))
+			}
+		} else if inter != nil {
+			inter.Record(now.Sub(last))
+		}
+		last = now
+		n++
+	}
+}
+
+// genClosedLoop drives `clients` concurrent callers, each submitting its
+// next sequence as soon as the previous one finished, until `total`
+// sequences are done. Sequence lengths cycle through `lengths` by global
+// request index, so every backend sees the identical workload.
+func genClosedLoop(be genBackend, prompts [][]float64, lengths []int, clients, total int,
+	ttft, inter *LatencyHist) (tokens int64, elapsed float64, err error) {
+	var next atomic.Int64
+	var tok atomic.Int64
+	var firstErr atomic.Value
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				t0 := time.Now()
+				st, serr := be.submit(prompts[i%len(prompts)], lengths[i%len(lengths)])
+				if serr != nil {
+					firstErr.CompareAndSwap(nil, serr)
+					return
+				}
+				tok.Add(drainTimed(st, t0, ttft, inter))
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed = time.Since(start).Seconds()
+	if e, ok := firstErr.Load().(error); ok {
+		return 0, 0, e
+	}
+	return tok.Load(), elapsed, nil
+}
+
+// genOpenLoop fires sequence requests at a fixed arrival rate for dur,
+// regardless of completions — TTFT under this regime is where continuous
+// admission visibly beats flush-and-refill: an arrival joins the in-flight
+// batch at the next step instead of waiting out the current flush.
+func genOpenLoop(be genBackend, prompts [][]float64, lengths []int, rate float64, dur time.Duration,
+	ttft, inter *LatencyHist) (tokens int64, sent int, elapsed float64) {
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	var tok atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for t := time.Duration(0); t < dur; t += interval {
+		if d := time.Until(start.Add(t)); d > 0 {
+			time.Sleep(d)
+		}
+		i := sent
+		sent++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			st, err := be.submit(prompts[i%len(prompts)], lengths[i%len(lengths)])
+			if err != nil {
+				return // overload drops are not latency samples
+			}
+			tok.Add(drainTimed(st, t0, ttft, inter))
+		}()
+	}
+	wg.Wait()
+	return tok.Load(), sent, time.Since(start).Seconds()
+}
+
+// GenerateRows measures generative serving on this host: the continuous-
+// batching engine against the flush-and-refill baseline, closed loop for
+// sustained tokens/s and open loop for TTFT / inter-token tails. Mixed
+// sequence lengths (128..1024 tokens) are the regime where flush-and-refill
+// pays: a naive flush runs multiple milliseconds, and every arrival during
+// it waits the remainder out before its first token.
+func GenerateRows() ([]GenerateRow, error) {
+	const (
+		d        = 2048
+		slots    = 4
+		clients  = 16
+		requests = 96
+	)
+	lengths := []int{128, 256, 512, 1024}
+	avgLen := 0.0
+	for _, l := range lengths {
+		avgLen += float64(l)
+	}
+	avgLen /= float64(len(lengths))
+
+	w := make([]float64, d)
+	for i := range w {
+		w[i] = 0.1 + 0.05*float64(i%7)
+	}
+	model, err := generate.NewModel("bench", w)
+	if err != nil {
+		return nil, err
+	}
+	prompts := genPrompts(d, 64)
+
+	backends := func(mode string) genBackend {
+		if mode == "continuous" {
+			return newContinuousBackend(model, slots)
+		}
+		return newNaiveBackend(model, slots)
+	}
+
+	var rows []GenerateRow
+	closedTokensPerSec := map[string]float64{}
+	for _, mode := range []string{"naive", "continuous"} {
+		// Warmup (uncounted), then best-of-3 measured trials by tokens/s —
+		// sustained throughput on a shared single-core host is what the
+		// scheduler can reach, so the best trial is the signal and the
+		// others are host noise.
+		var best GenerateRow
+		for trial := 0; trial < 3; trial++ {
+			be := backends(mode)
+			if _, _, err := genClosedLoop(be, prompts, lengths, clients, requests/4, nil, nil); err != nil {
+				be.close()
+				return nil, err
+			}
+			ttft, inter := NewLatencyHist(), NewLatencyHist()
+			tokens, elapsed, err := genClosedLoop(be, prompts, lengths, clients, requests, ttft, inter)
+			be.close()
+			if err != nil {
+				return nil, err
+			}
+			row := GenerateRow{
+				Mode: mode, Load: "closed", Slots: slots, Clients: clients,
+				Features: d, Requests: requests, Tokens: tokens, Seconds: elapsed,
+				TokensPerSec: float64(tokens) / elapsed,
+				TTFT:         ttft.Summary(), InterToken: inter.Summary(),
+			}
+			if trial == 0 || row.TokensPerSec > best.TokensPerSec {
+				best = row
+			}
+		}
+		closedTokensPerSec[mode] = best.TokensPerSec
+		if mode == "continuous" && closedTokensPerSec["naive"] > 0 {
+			best.SpeedupVsNaive = best.TokensPerSec / closedTokensPerSec["naive"]
+		}
+		rows = append(rows, best)
+	}
+
+	// Open loop at ~45% of the closed-loop sequence capacity: a rate both
+	// schedulers sustain with headroom, so the TTFT difference is pure
+	// scheduling (join-next-step vs wait-out-the-flush), not queueing
+	// collapse. Each mode runs best-of-3 trials keeping the one with the
+	// lowest TTFT p99 — single-core tail measurements carry Go-scheduler
+	// jitter that one bad trial would otherwise smear into the gate, the
+	// same reason the collective rows measure best-of-N.
+	rate := 0.45 * closedTokensPerSec["continuous"] / avgLen
+	if rate < 20 {
+		rate = 20
+	}
+	naiveTTFTp99 := 0.0
+	for _, mode := range []string{"naive", "continuous"} {
+		var best GenerateRow
+		for trial := 0; trial < 3; trial++ {
+			be := backends(mode)
+			ttft, inter := NewLatencyHist(), NewLatencyHist()
+			tokens, sent, elapsed := genOpenLoop(be, prompts, lengths, rate, 1200*time.Millisecond, ttft, inter)
+			be.close()
+			row := GenerateRow{
+				Mode: mode, Load: "open", Slots: slots, TargetRps: rate,
+				Features: d, Requests: sent, Tokens: tokens, Seconds: elapsed,
+				TokensPerSec: float64(tokens) / elapsed,
+				TTFT:         ttft.Summary(), InterToken: inter.Summary(),
+			}
+			if trial == 0 || row.TTFT.P99Ms < best.TTFT.P99Ms {
+				best = row
+			}
+		}
+		if mode == "naive" {
+			naiveTTFTp99 = best.TTFT.P99Ms
+		} else if best.TTFT.P99Ms > 0 {
+			// Clamp both tails to a 1ms measurement floor before the ratio:
+			// sub-millisecond p99s on this host are scheduler-noise
+			// resolution (the same argument behind the diff gate's latency
+			// slack), and dividing by one would make the speedup a noise
+			// amplifier instead of a gateable number.
+			const ttftFloorMs = 1.0
+			best.SpeedupVsNaive = math.Max(naiveTTFTp99, ttftFloorMs) / math.Max(best.TTFT.P99Ms, ttftFloorMs)
+		}
+		rows = append(rows, best)
+	}
+	return rows, nil
+}
+
+// Generate renders the generative serving benchmark table.
+func Generate() (string, error) {
+	rows, err := GenerateRows()
+	if err != nil {
+		return "", err
+	}
+	return renderGenerate(rows), nil
+}
+
+func renderGenerate(rows []GenerateRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Generative serving: continuous batching vs flush-and-refill, %d features, %d slots, mixed lengths 128..1024\n",
+		rows[0].Features, rows[0].Slots)
+	sb.WriteString(fmt.Sprintf("%-11s %-7s %-8s %10s %10s %10s %10s %10s\n",
+		"mode", "load", "arrive", "tok/s", "ttft-p50", "ttft-p99", "itok-p50", "itok-p99"))
+	for _, r := range rows {
+		load := fmt.Sprintf("%dc", r.Clients)
+		if r.Load == "open" {
+			load = fmt.Sprintf("%.0f/s", r.TargetRps)
+		}
+		speed := ""
+		if r.SpeedupVsNaive > 0 {
+			what := "tok/s"
+			if r.Load == "open" {
+				what = "ttft"
+			}
+			speed = fmt.Sprintf("  %s %.2fx vs naive", what, r.SpeedupVsNaive)
+		}
+		sb.WriteString(fmt.Sprintf("%-11s %-7s %-8s %10.0f %9.3fms %9.3fms %9.3fms %9.3fms%s\n",
+			r.Mode, r.Load, load, r.TokensPerSec,
+			r.TTFT.P50Ms, r.TTFT.P99Ms, r.InterToken.P50Ms, r.InterToken.P99Ms, speed))
+	}
+	return sb.String()
+}

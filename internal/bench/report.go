@@ -25,6 +25,7 @@ type Report struct {
 	Collective *CollectiveResult `json:"collective,omitempty"`
 	Serving    []ServingRow      `json:"serving,omitempty"`
 	Rollout    *RolloutResult    `json:"rollout,omitempty"`
+	Generate   []GenerateRow     `json:"generate,omitempty"`
 	// Figures holds the rendered text of the paper-figure experiments,
 	// which have no natural tabular schema beyond their printed form.
 	Figures map[string]string `json:"figures,omitempty"`
@@ -35,7 +36,7 @@ type Report struct {
 // sweeps. "figures" and "all" expand to them respectively.
 var (
 	FigureNames     = []string{"table1", "fig7", "fig8", "fig9", "fig10", "fig11"}
-	ExperimentNames = append(append([]string{}, FigureNames...), "gemm", "fft", "collective", "serving", "rollout")
+	ExperimentNames = append(append([]string{}, FigureNames...), "gemm", "fft", "collective", "serving", "rollout", "generate")
 )
 
 // Run executes the named experiments in order and returns the combined
@@ -105,6 +106,10 @@ func Run(exps []string) (*Report, string, error) {
 		case "rollout":
 			if rep.Rollout, err = RolloutRun(); err == nil {
 				text = renderRollout(rep.Rollout)
+			}
+		case "generate":
+			if rep.Generate, err = GenerateRows(); err == nil {
+				text = renderGenerate(rep.Generate)
 			}
 		default:
 			err = fmt.Errorf("bench: unknown experiment %q (want all|figures|%s)",

@@ -1,0 +1,37 @@
+package generate
+
+import "tfhpc/internal/telemetry"
+
+// Registry handles for the generative engine: process-global sums across
+// every engine in the process, backing /metricz. Every hot-path update is a
+// single atomic op, so the decode loop's AllocsPerRun==0 gate holds with
+// metrics enabled. The per-engine Stats atomics stay the /statsz view.
+var (
+	mSequences = telemetry.NewCounter("tfhpc_generate_sequences_total",
+		"Generation requests admitted into the queue.")
+	mTokens = telemetry.NewCounter("tfhpc_generate_tokens_total",
+		"Tokens emitted across all sequences.")
+	mRejected = telemetry.NewCounter("tfhpc_generate_rejected_total",
+		"Generation requests rejected at admission (queue full).")
+	mExpired = telemetry.NewCounter("tfhpc_generate_expired_total",
+		"Queued requests whose deadline passed before a slot freed.")
+	mCancelled = telemetry.NewCounter("tfhpc_generate_cancelled_total",
+		"Sequences cancelled by their consumer (queued or mid-decode).")
+	mStalls = telemetry.NewCounter("tfhpc_generate_stalls_total",
+		"Decode steps a slot sat out because its consumer's token window was full.")
+	mSlotLeaks = telemetry.NewCounter("tfhpc_generate_slot_leaks_total",
+		"Slot bookkeeping violations. Exactly zero, always; CI asserts it.")
+	mInflight = telemetry.NewGauge("tfhpc_generate_inflight",
+		"Sequences decoding right now (all engines).")
+	mSlotsInUse = telemetry.NewGauge("tfhpc_generate_slots_in_use",
+		"Occupied decode slots right now (all engines).")
+	mQueueDepth = telemetry.NewGauge("tfhpc_generate_queue_depth",
+		"Requests waiting in admission queues right now.")
+	mTTFT = telemetry.NewHistogram("tfhpc_generate_ttft_seconds",
+		"Time from admission to a sequence's first token.", telemetry.DurationBuckets)
+	mInterToken = telemetry.NewHistogram("tfhpc_generate_intertoken_seconds",
+		"Gap between consecutive tokens of one sequence.", telemetry.DurationBuckets)
+	mStepSlots = telemetry.NewHistogram("tfhpc_generate_step_slots",
+		"Occupied slots per productive decode step (batch density).",
+		[]float64{1, 2, 4, 8, 16, 32, 64})
+)

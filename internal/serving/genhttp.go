@@ -1,0 +1,116 @@
+package serving
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"tfhpc/internal/serving/generate"
+)
+
+// generateRequest is the POST /v1/models/<name>:generate body.
+type generateRequest struct {
+	// Prompt is the initial sequence state (length = model feature width).
+	Prompt []float64 `json:"prompt"`
+	// MaxTokens caps the generated sequence; <=0 takes the server cap.
+	MaxTokens int `json:"max_tokens"`
+	// StopBelow, when positive, is the EOS threshold: |token| < StopBelow
+	// ends the sequence.
+	StopBelow float64 `json:"stop_below"`
+}
+
+// serveGenerate streams one generation as server-sent events. Each token is
+// one `data:` event; a final event carries the finish reason. Errors before
+// the first byte map to the usual JSON error + status; once streaming, an
+// `event: error` frame ends the stream instead (the status line is spent).
+// A client disconnect cancels the sequence, freeing its decode slot.
+func serveGenerate(w http.ResponseWriter, r *http.Request, g Generator, model string) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes+1))
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadInput, err))
+		return
+	}
+	if len(body) > maxBodyBytes {
+		writeError(w, fmt.Errorf("%w: body over %d bytes", ErrOverloaded, maxBodyBytes))
+		return
+	}
+	var req generateRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadInput, err))
+		return
+	}
+	if len(req.Prompt) == 0 {
+		writeError(w, fmt.Errorf("%w: missing prompt", ErrBadInput))
+		return
+	}
+	var deadline time.Time
+	if h := r.Header.Get("X-Deadline-Ms"); h != "" {
+		ms, err := strconv.Atoi(h)
+		if err != nil || ms <= 0 {
+			writeError(w, fmt.Errorf("%w: bad X-Deadline-Ms %q", ErrBadInput, h))
+			return
+		}
+		deadline = time.Now().Add(time.Duration(ms) * time.Millisecond)
+	}
+
+	st, err := g.Generate(model, generate.Request{
+		Prompt:    req.Prompt,
+		MaxTokens: req.MaxTokens,
+		StopBelow: req.StopBelow,
+		Deadline:  deadline,
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	// From here the sequence owns a queue position (and soon a slot):
+	// whatever exit path the handler takes, the engine must hear about a
+	// gone consumer, or its slot leaks until MaxTokens.
+	stop := context.AfterFunc(r.Context(), st.Cancel)
+	defer stop()
+	defer st.Cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+
+	buf := make([]byte, 0, 128)
+	tokens := 0
+	for {
+		tok, ok := st.Next()
+		if !ok {
+			break
+		}
+		tokens++
+		// Hand-rolled event body: FormatFloat 'g'/-1 round-trips the exact
+		// float64 bits, which the smoke client asserts token for token.
+		buf = append(buf[:0], `data: {"index":`...)
+		buf = strconv.AppendInt(buf, int64(tok.Index), 10)
+		buf = append(buf, `,"token":`...)
+		buf = strconv.AppendFloat(buf, tok.Value, 'g', -1, 64)
+		buf = append(buf, `,"step":`...)
+		buf = strconv.AppendUint(buf, tok.Step, 10)
+		buf = append(buf, "}\n\n"...)
+		if _, err := w.Write(buf); err != nil {
+			return // client gone; the deferred Cancel frees the slot
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	reason, ferr := st.Finish()
+	if ferr != nil {
+		fmt.Fprintf(w, "event: error\ndata: {\"error\":%q,\"status\":%d}\n\n", ferr.Error(), HTTPStatus(ferr))
+	} else {
+		fmt.Fprintf(w, "data: {\"done\":true,\"finish_reason\":%q,\"tokens\":%d}\n\n", reason, tokens)
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+}

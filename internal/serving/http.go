@@ -22,6 +22,9 @@ const maxBodyBytes = 64 << 20
 // Predictor (a local Service or a replica Router):
 //
 //	POST /v1/models/<name>:predict   {"instances": [[f, ...], ...]}
+//	POST /v1/models/<name>:generate  {"prompt": [f, ...], "max_tokens": n, "stop_below": s}
+//	                                 → server-sent events, one token per event
+//	                                 (requires a Predictor that is also a Generator)
 //	GET  /v1/models                  list served models
 //	GET  /v1/models/<name>           one model's status
 //	GET  /healthz                    process liveness
@@ -64,6 +67,19 @@ func NewHTTPHandler(p Predictor) http.Handler {
 				return
 			}
 			servePredict(w, r, p, name)
+			return
+		}
+		if name, ok := strings.CutSuffix(rest, ":generate"); ok {
+			if r.Method != http.MethodPost {
+				http.Error(w, "generate wants POST", http.StatusMethodNotAllowed)
+				return
+			}
+			g, ok := p.(Generator)
+			if !ok {
+				writeError(w, fmt.Errorf("%w: %q (no generative serving)", ErrNotFound, name))
+				return
+			}
+			serveGenerate(w, r, g, name)
 			return
 		}
 		for _, m := range p.Models() {

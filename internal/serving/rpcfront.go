@@ -59,6 +59,12 @@ func Attach(mux RPCMux, p Predictor) {
 		sm.HandleStream(PredictStreamMethod, func(st *rpc.Stream) error {
 			return servePredictStream(p, st)
 		})
+		// Predictors that also generate get the sequence-streaming endpoint.
+		if g, ok := p.(Generator); ok {
+			sm.HandleStream(GenerateStreamMethod, func(st *rpc.Stream) error {
+				return serveGenerateStream(g, st)
+			})
+		}
 	}
 }
 

@@ -33,6 +33,7 @@ type Service struct {
 
 	mu       sync.Mutex
 	batchers map[string]*Batcher
+	gens     map[string]*genEntry
 	closed   bool
 }
 
@@ -162,15 +163,17 @@ func stackOutputs(outs []rowOut, n int) (*tensor.Tensor, error) {
 	}
 }
 
-// Models implements Predictor.
-func (s *Service) Models() []ModelStatus { return s.reg.Models() }
+// Models implements Predictor: predict models plus generative ones.
+func (s *Service) Models() []ModelStatus {
+	return append(s.reg.Models(), s.genModels()...)
+}
 
-// Ready implements Predictor: serving at least one model.
+// Ready implements Predictor: serving at least one model (of either kind).
 func (s *Service) Ready() bool {
 	s.mu.Lock()
-	closed := s.closed
+	closed, gens := s.closed, len(s.gens)
 	s.mu.Unlock()
-	return !closed && s.reg.Ready()
+	return !closed && (s.reg.Ready() || gens > 0)
 }
 
 // Snapshots returns every model's counters.
@@ -211,7 +214,11 @@ func (s *Service) Snapshots() []StatsSnapshot {
 
 // StatsJSON implements Predictor.
 func (s *Service) StatsJSON() ([]byte, error) {
-	return json.Marshal(map[string]any{"models": s.Snapshots()})
+	payload := map[string]any{"models": s.Snapshots()}
+	if gs := s.genStats(); len(gs) > 0 {
+		payload["generate"] = gs
+	}
+	return json.Marshal(payload)
 }
 
 // Close drains every batcher (queued requests are answered) and stops the
@@ -227,9 +234,16 @@ func (s *Service) Close() {
 	for _, b := range s.batchers {
 		batchers = append(batchers, b)
 	}
+	gens := make([]*genEntry, 0, len(s.gens))
+	for _, g := range s.gens {
+		gens = append(gens, g)
+	}
 	s.mu.Unlock()
 	for _, b := range batchers {
 		b.Close()
+	}
+	for _, g := range gens {
+		g.eng.Close()
 	}
 	for _, m := range s.reg.Models() {
 		s.reg.Unload(m.Name)

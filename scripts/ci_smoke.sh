@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Distributed smoke tests over real processes. Four legs, gated by
-# SMOKE_ONLY (core|elastic|rollout|telemetry|all, default all):
+# Distributed smoke tests over real processes. Five legs, gated by
+# SMOKE_ONLY (core|elastic|rollout|telemetry|generate|all, default all):
 #
 # core — build the binaries, boot a 4-task localhost cluster as real
 # processes, run a CG solve and an SGD epoch over TCP (collectives ring
@@ -35,6 +35,14 @@
 # s/f flow pair across pids, and keep every parent/child link resolvable.
 # The merged artifacts land in $BIN/logs/ ready for ui.perfetto.dev.
 #
+# generate — the generative serving contract: tfsgd trains and checkpoints an
+# autoregressive model, tfserve serves it with the continuous-batching engine,
+# and generate_smoke drives concurrent SSE token streams that must be
+# bit-identical to a sequential reference while decoding in interleaved
+# engine steps (continuous batching, not flush-and-refill), then cancels one
+# stream mid-decode and requires /metricz to show the slot reclaimed with the
+# slot-leak counter exactly zero.
+#
 # Every leg runs under a timeout(1) wrapper: a hung leg exits with the
 # distinct code 97 instead of stalling the CI job to its global limit.
 #
@@ -54,6 +62,7 @@ go build -o "$BIN/tfsgd" ./cmd/tfsgd
 go build -o "$BIN/tfserve" ./cmd/tfserve
 go build -o "$BIN/serving_smoke" ./scripts/serving_smoke
 go build -o "$BIN/rollout_smoke" ./scripts/rollout_smoke
+go build -o "$BIN/generate_smoke" ./scripts/generate_smoke
 go build -o "$BIN/trace_check" ./scripts/trace_check
 
 BASE_PORT=${BASE_PORT:-17841}
@@ -369,6 +378,38 @@ run_telemetry() {
     "$LOGDIR/trace-router.json" "$LOGDIR/trace-replica-1.json" "$LOGDIR/trace-replica-2.json"
 }
 
+run_generate() {
+  local GPORT=$((BASE_PORT + 120))
+  local GADDR="127.0.0.1:${GPORT}"
+  local GCKPT
+  GCKPT=$(mktemp -t tfhpc_generate_XXXX.ckpt)
+
+  echo "smoke: training + checkpointing the autoregressive model"
+  "$BIN/tfsgd" -mode real -features 32 -rows 128 -workers 2 -steps 30 -gen-checkpoint "$GCKPT"
+
+  echo "smoke: booting tfserve with the generative engine on $GADDR"
+  # -gen-max-tokens lifted: the join-proof stream must keep decoding under
+  # backpressure until the client has seen it straddle a whole second stream.
+  "$BIN/tfserve" -listen "$GADDR" -genmodel "gen=$GCKPT" -gen-slots 4 -deadline 10s \
+    -gen-max-tokens 1048576 \
+    >"$LOGDIR/tfserve-generate.log" 2>&1 &
+  pids+=($!)
+
+  echo "smoke: concurrent SSE streams (bit-identity, interleaving, cancel reclaim)"
+  "$BIN/generate_smoke" -addr "http://$GADDR" -model gen -features 32 -streams 6
+
+  echo "smoke: generate /metricz scrape after load"
+  local SEQS TOKENS
+  SEQS=$(scrape_metric "$GADDR" tfhpc_generate_sequences_total)
+  TOKENS=$(scrape_metric "$GADDR" tfhpc_generate_tokens_total)
+  if [ "${SEQS:-0}" -lt 13 ] || [ "${TOKENS:-0}" -le 0 ]; then
+    echo "smoke: FAIL — generate counters flat (sequences=$SEQS tokens=$TOKENS, want >= 13 sequences)"
+    exit 1
+  fi
+  echo "smoke: generate counters sequences=$SEQS tokens=$TOKENS OK"
+  rm -f "$GCKPT"
+}
+
 # Internal re-entry point: `ci_smoke.sh --leg <name>` runs one leg directly
 # (no timeout wrapper) — it is what the wrapper execs under timeout(1).
 if [ "${1:-}" = "--leg" ]; then
@@ -395,14 +436,16 @@ case "$SMOKE_ONLY" in
   elastic) run_leg elastic ;;
   rollout) run_leg rollout ;;
   telemetry) run_leg telemetry ;;
+  generate) run_leg generate ;;
   all)
     run_leg core
     run_leg elastic
     run_leg rollout
     run_leg telemetry
+    run_leg generate
     ;;
   *)
-    echo "smoke: unknown SMOKE_ONLY=$SMOKE_ONLY (want core|elastic|rollout|telemetry|all)" >&2
+    echo "smoke: unknown SMOKE_ONLY=$SMOKE_ONLY (want core|elastic|rollout|telemetry|generate|all)" >&2
     exit 1
     ;;
 esac

@@ -1,0 +1,343 @@
+// generate_smoke is the CI client for the generative serving smoke: against
+// a tfserve hosting a tfsgd-trained autoregressive checkpoint it (1) decodes
+// every prompt sequentially — one stream in flight at a time — as the
+// reference, (2) replays the same prompts as N concurrent SSE streams and
+// asserts token-for-token bit-identity with the reference, (3) proves the
+// batching was continuous, not flush-and-refill, by holding one stream
+// mid-decode under backpressure while a second joins, completes, and is
+// passed — its engine-step interval strictly inside the held stream's,
+// (4) cancels the held stream mid-decode by tearing down its connection,
+// and (5) scrapes /metricz until the engine shows every slot reclaimed —
+// with the slot-leak counter exactly zero and the cancellation counted.
+//
+//	go run ./scripts/generate_smoke -addr http://127.0.0.1:8500 -model gen -features 32
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"tfhpc/internal/tensor"
+)
+
+type token struct {
+	Index int     `json:"index"`
+	Value float64 `json:"token"`
+	Step  uint64  `json:"step"`
+}
+
+type result struct {
+	tokens []token
+	finish string
+	err    error
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8500", "tfserve HTTP base URL")
+	model := flag.String("model", "gen", "generative model name to exercise")
+	features := flag.Int("features", 32, "model feature dimension (prompt width)")
+	streams := flag.Int("streams", 6, "concurrent SSE streams")
+	wait := flag.Duration("wait", 15*time.Second, "readiness wait budget")
+	flag.Parse()
+
+	if err := waitReady(*addr, *wait); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("generate_smoke: %s ready\n", *addr)
+
+	// Deterministic prompts, mixed token budgets — short and long sequences
+	// must share the in-flight batch for the interleaving check to mean
+	// anything.
+	r := tensor.NewRNG(99)
+	prompts := make([][]float64, *streams)
+	budgets := make([]int, *streams)
+	for i := range prompts {
+		p := make([]float64, *features)
+		for j := range p {
+			p[j] = r.Float64()*2 - 1
+		}
+		prompts[i] = p
+		budgets[i] = 24 + 16*(i%3)
+	}
+
+	// Sequential reference: one stream in flight at a time.
+	refs := make([]result, *streams)
+	for i := range prompts {
+		refs[i] = generate(*addr, *model, prompts[i], budgets[i])
+		if refs[i].err != nil {
+			fatal(fmt.Errorf("sequential reference stream %d: %w", i, refs[i].err))
+		}
+		if len(refs[i].tokens) != budgets[i] || refs[i].finish != "length" {
+			fatal(fmt.Errorf("reference stream %d: %d tokens finish=%q, want %d/length",
+				i, len(refs[i].tokens), refs[i].finish, budgets[i]))
+		}
+	}
+	fmt.Printf("generate_smoke: sequential reference decoded (%d streams)\n", *streams)
+
+	// Concurrent replay: same prompts, all streams at once.
+	conc := make([]result, *streams)
+	var wg sync.WaitGroup
+	for i := range prompts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			conc[i] = generate(*addr, *model, prompts[i], budgets[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range conc {
+		if conc[i].err != nil {
+			fatal(fmt.Errorf("concurrent stream %d: %w", i, conc[i].err))
+		}
+		if len(conc[i].tokens) != len(refs[i].tokens) {
+			fatal(fmt.Errorf("stream %d: %d tokens concurrent vs %d sequential",
+				i, len(conc[i].tokens), len(refs[i].tokens)))
+		}
+		for k := range conc[i].tokens {
+			got, want := conc[i].tokens[k], refs[i].tokens[k]
+			if got.Index != k || math.Float64bits(got.Value) != math.Float64bits(want.Value) {
+				fatal(fmt.Errorf("stream %d token %d: concurrent %x != sequential %x (continuous batching broke bit-identity)",
+					i, k, math.Float64bits(got.Value), math.Float64bits(want.Value)))
+			}
+		}
+	}
+	fmt.Printf("generate_smoke: concurrent streams bit-identical to sequential reference\n")
+
+	// Continuous batching proof, deterministic: hold stream A mid-decode by
+	// backpressure (an effectively unbounded budget and a reader that
+	// stops — the token window plus the filled TCP buffer stall A's slot,
+	// nothing else), run short stream B to completion, then drain A until
+	// its engine-step stamps pass B's last. B's whole life then sits
+	// strictly inside A's — B joined the in-flight batch mid-decode, which
+	// a flush-and-refill scheduler cannot produce. A is finally cancelled
+	// by dropping its connection, which doubles as the slot-reclaim check.
+	aResp, err := openStream(*addr, *model, prompts[0], 1<<20)
+	if err != nil {
+		fatal(fmt.Errorf("join-proof stream A: %w", err))
+	}
+	aScan := newSSEScanner(aResp)
+	var aHeld token
+	for i := 0; i < 5; i++ {
+		t, done, err := aScan.next()
+		if err != nil || done {
+			fatal(fmt.Errorf("stream A died early (token %d, done=%v): %v", i, done, err))
+		}
+		aHeld = t
+	}
+
+	b := generate(*addr, *model, prompts[1], 48)
+	if b.err != nil {
+		fatal(fmt.Errorf("join-proof stream B: %w", b.err))
+	}
+	bRange := stepRange(b.tokens)
+	if bRange[0] <= aHeld.Step {
+		fatal(fmt.Errorf("stream B step %d not after A's held step %d", bRange[0], aHeld.Step))
+	}
+	// A was admitted before B and must still be decoding after B finished:
+	// scan A forward (bounded) until a step beyond B's last appears.
+	passed := false
+	for i := 0; i < 500000; i++ {
+		t, done, err := aScan.next()
+		if err != nil || done {
+			fatal(fmt.Errorf("stream A ended (done=%v) before passing B's last step: %v", done, err))
+		}
+		if t.Step > bRange[1] {
+			passed = true
+			break
+		}
+	}
+	if !passed {
+		fatal(fmt.Errorf("stream A never emitted a step past B's last (%d) — B did not join A's in-flight batch", bRange[1]))
+	}
+	fmt.Printf("generate_smoke: stream B (steps %d..%d) decoded strictly inside stream A's lifetime — mid-decode join\n",
+		bRange[0], bRange[1])
+
+	// Cancellation: drop A's connection mid-decode. The server's disconnect
+	// watcher must cancel the sequence and reclaim its slot without a leak.
+	aResp.Body.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		slots, err1 := scrapeMetric(*addr, "tfhpc_generate_slots_in_use")
+		leaks, err2 := scrapeMetric(*addr, "tfhpc_generate_slot_leaks_total")
+		cancelled, err3 := scrapeMetric(*addr, "tfhpc_generate_cancelled_total")
+		if err1 == nil && err2 == nil && err3 == nil && slots == 0 {
+			if leaks != 0 {
+				fatal(fmt.Errorf("slot leak counter is %v, want exactly 0", leaks))
+			}
+			if cancelled < 1 {
+				fatal(fmt.Errorf("cancelled counter is %v after a mid-stream disconnect, want >= 1", cancelled))
+			}
+			fmt.Printf("generate_smoke: cancelled slot reclaimed (slots_in_use=0, slot_leaks=0, cancelled=%v)\n", cancelled)
+			break
+		}
+		if time.Now().After(deadline) {
+			fatal(fmt.Errorf("slots never drained after cancel: slots_in_use=%v slot_leaks=%v (errs %v %v %v)",
+				slots, leaks, err1, err2, err3))
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Printf("generate_smoke: OK — %d streams, bit-identical, interleaved, cancel reclaimed\n", *streams)
+}
+
+// sseScanner incrementally parses one SSE stream's data events.
+type sseScanner struct {
+	sc *bufio.Scanner
+}
+
+func newSSEScanner(resp *http.Response) *sseScanner {
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &sseScanner{sc: sc}
+}
+
+// next returns the next token, or done=true on the finish event (with a
+// non-nil error for server error events or malformed frames).
+func (s *sseScanner) next() (t token, done bool, err error) {
+	for s.sc.Scan() {
+		line := s.sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		payload := strings.TrimPrefix(line, "data: ")
+		if strings.Contains(payload, `"done"`) || strings.Contains(payload, `"error"`) {
+			var fin struct {
+				Done   bool   `json:"done"`
+				Finish string `json:"finish_reason"`
+				Error  string `json:"error"`
+			}
+			if jerr := json.Unmarshal([]byte(payload), &fin); jerr == nil && (fin.Done || fin.Error != "") {
+				if fin.Error != "" {
+					return token{}, true, fmt.Errorf("server error event: %s", fin.Error)
+				}
+				return token{Index: -1}, true, nil
+			}
+		}
+		if jerr := json.Unmarshal([]byte(payload), &t); jerr != nil {
+			return token{}, true, fmt.Errorf("bad SSE token payload %q: %w", payload, jerr)
+		}
+		return t, false, nil
+	}
+	if serr := s.sc.Err(); serr != nil {
+		return token{}, true, serr
+	}
+	return token{}, true, fmt.Errorf("stream ended without a finish event")
+}
+
+// generate runs one SSE stream to completion.
+func generate(addr, model string, prompt []float64, maxTokens int) result {
+	resp, err := openStream(addr, model, prompt, maxTokens)
+	if err != nil {
+		return result{err: err}
+	}
+	defer resp.Body.Close()
+	var res result
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		payload := strings.TrimPrefix(line, "data: ")
+		var fin struct {
+			Done   bool   `json:"done"`
+			Finish string `json:"finish_reason"`
+			Error  string `json:"error"`
+		}
+		if strings.Contains(payload, `"done"`) || strings.Contains(payload, `"error"`) {
+			if err := json.Unmarshal([]byte(payload), &fin); err == nil && (fin.Done || fin.Error != "") {
+				if fin.Error != "" {
+					res.err = fmt.Errorf("server error event: %s", fin.Error)
+				}
+				res.finish = fin.Finish
+				return res
+			}
+		}
+		var t token
+		if err := json.Unmarshal([]byte(payload), &t); err != nil {
+			return result{err: fmt.Errorf("bad SSE token payload %q: %w", payload, err)}
+		}
+		res.tokens = append(res.tokens, t)
+	}
+	if err := sc.Err(); err != nil {
+		return result{err: err}
+	}
+	return result{err: fmt.Errorf("stream ended without a finish event")}
+}
+
+func openStream(addr, model string, prompt []float64, maxTokens int) (*http.Response, error) {
+	body, err := json.Marshal(map[string]any{"prompt": prompt, "max_tokens": maxTokens})
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.Post(fmt.Sprintf("%s/v1/models/%s:generate", addr, model),
+		"application/json", bytes.NewBuffer(body))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e map[string]string
+		json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, e["error"])
+	}
+	return resp, nil
+}
+
+func stepRange(toks []token) [2]uint64 {
+	out := [2]uint64{math.MaxUint64, 0}
+	for _, t := range toks {
+		out[0] = min(out[0], t.Step)
+		out[1] = max(out[1], t.Step)
+	}
+	return out
+}
+
+// scrapeMetric reads one series from the Prometheus text exposition.
+func scrapeMetric(addr, series string) (float64, error) {
+	resp, err := http.Get(addr + "/metricz")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 2 && fields[0] == series {
+			return strconv.ParseFloat(fields[1], 64)
+		}
+	}
+	return 0, fmt.Errorf("series %s missing from /metricz", series)
+}
+
+func waitReady(addr string, budget time.Duration) error {
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := http.Get(addr + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not ready after %v (last err %v)", addr, budget, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "generate_smoke: FAIL: %v\n", err)
+	os.Exit(1)
+}
